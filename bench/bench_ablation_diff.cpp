@@ -1,0 +1,120 @@
+// Ablation A2: the twin/diff engine.
+//
+// Two halves:
+//   1. google-benchmark micros of Diff::compute / apply / serialize on a
+//      4 kB page across write densities (these are real-time numbers for the
+//      engine itself);
+//   2. a protocol-level sweep: bytes of diff traffic hbrc_mw ships per
+//      release as the written fraction of a page grows — the design point
+//      behind multiple-writer diffing (ship what changed, not the page).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+constexpr std::size_t kPage = 4096;
+
+std::pair<std::vector<std::byte>, std::vector<std::byte>> make_pair_with_density(
+    double density, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> twin(kPage);
+  for (auto& b : twin) b = static_cast<std::byte>(rng.next_u64());
+  auto current = twin;
+  const auto words = static_cast<std::size_t>(static_cast<double>(kPage / 8) * density);
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::size_t off = rng.next_below(kPage / 8) * 8;
+    current[off] = static_cast<std::byte>(rng.next_u64());
+  }
+  return {twin, current};
+}
+
+void BM_DiffCompute(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  auto [twin, current] = make_pair_with_density(density, 42);
+  for (auto _ : state) {
+    auto diff = dsm::Diff::compute(twin, current);
+    benchmark::DoNotOptimize(diff);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_DiffCompute)->Arg(0)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffApply(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  auto [twin, current] = make_pair_with_density(density, 43);
+  const auto diff = dsm::Diff::compute(twin, current);
+  std::vector<std::byte> target = twin;
+  for (auto _ : state) {
+    diff.apply(target);
+    benchmark::DoNotOptimize(target.data());
+  }
+}
+BENCHMARK(BM_DiffApply)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_DiffSerializeRoundTrip(benchmark::State& state) {
+  auto [twin, current] = make_pair_with_density(0.1, 44);
+  const auto diff = dsm::Diff::compute(twin, current);
+  for (auto _ : state) {
+    Packer p;
+    diff.serialize(p);
+    Unpacker u(p.buffer());
+    auto back = dsm::Diff::deserialize(u);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_DiffSerializeRoundTrip);
+
+/// Protocol-level sweep: how many diff bytes does one hbrc_mw release ship
+/// when a remote writer dirties a given fraction of one page?
+void protocol_sweep() {
+  std::printf("\nhbrc_mw: diff traffic per release vs written fraction of one "
+              "4 kB page\n");
+  TablePrinter table({"written bytes", "diff wire bytes", "page wire bytes",
+                      "savings"});
+  for (const int written : {8, 64, 256, 1024, 4096}) {
+    pm2::Config cfg;
+    cfg.nodes = 2;
+    pm2::Runtime rt(cfg);
+    dsm::Dsm dsm(rt, dsm::DsmConfig{});
+    dsm::AllocAttr attr;
+    attr.protocol = dsm.builtin().hbrc_mw;
+    const DsmAddr base = dsm.dsm_malloc(kPage, attr);
+    const int lock = dsm.create_lock(dsm.builtin().hbrc_mw);
+    rt.run([&] {
+      auto& t = rt.spawn_on(1, "writer", [&] {
+        dsm.lock_acquire(lock);
+        for (int i = 0; i < written; i += 8) {
+          dsm.write<std::uint64_t>(base + static_cast<DsmAddr>(i), 0xD1FFull + i);
+        }
+        dsm.lock_release(lock);
+      });
+      rt.threads().join(t);
+    });
+    const auto bytes = dsm.counters().total(dsm::Counter::kDiffBytesSent);
+    char savings[32];
+    std::snprintf(savings, sizeof savings, "%.1fx",
+                  static_cast<double>(kPage) / static_cast<double>(bytes));
+    table.add_row({std::to_string(written), std::to_string(bytes),
+                   std::to_string(kPage), savings});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Ablation A2 — twin/diff engine\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  protocol_sweep();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces the paper's §2.1 in-text micro measurements of the PM2 runtime:
+//
+//   "The minimal latency of a RPC is 6 µs over SISCI/SCI and 8 µs over
+//    BIP/Myrinet on our local Linux clusters."
+//   "Migrating a thread with a minimal stack and no attached data takes
+//    62 µs over SISCI/SCI and 75 µs over BIP/Myrinet."
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+double rpc_one_way_us(const madeleine::DriverParams& driver) {
+  pm2::Config cfg;
+  cfg.nodes = 2;
+  cfg.driver = driver;
+  pm2::Runtime rt(cfg);
+  auto& rpc = rt.rpc();
+  const auto echo = rpc.register_service(
+      "echo", pm2::Dispatch::kInline,
+      [](pm2::RpcContext& ctx, Unpacker&) { ctx.reply(Packer{}); });
+  SimTime round_trip = 0;
+  rt.run([&] {
+    const SimTime t0 = rt.now();
+    rpc.call(1, echo, Packer{});
+    round_trip = rt.now() - t0;
+  });
+  return to_us(round_trip) / 2.0;
+}
+
+struct MigrationSample {
+  double us;
+  std::size_t image_bytes;
+};
+
+MigrationSample migration_us(const madeleine::DriverParams& driver) {
+  pm2::Config cfg;
+  cfg.nodes = 2;
+  cfg.driver = driver;
+  pm2::Runtime rt(cfg);
+  MigrationSample s{};
+  rt.run([&] {
+    // A minimal thread: migrate straight away, as shallow as it gets.
+    auto& t = rt.spawn_on(0, "m", [&] {
+      const SimTime t0 = rt.now();
+      rt.migrate_to(1);
+      s.us = to_us(rt.now() - t0);
+      s.image_bytes = rt.migration().last_image_bytes();
+    });
+    rt.threads().join(t);
+  });
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PM2 micro benchmarks (paper section 2.1)\n\n");
+  const struct {
+    madeleine::DriverParams driver;
+    double paper_rpc;
+    double paper_migration;
+  } cases[] = {
+      {madeleine::sisci_sci(), 6.0, 62.0},
+      {madeleine::bip_myrinet(), 8.0, 75.0},
+      {madeleine::tcp_myrinet(), -1, -1},      // not quoted in the paper
+      {madeleine::tcp_fast_ethernet(), -1, -1},
+  };
+
+  TablePrinter table({"network", "rpc one-way us", "paper", "migration us",
+                      "paper", "image bytes"});
+  for (const auto& c : cases) {
+    const double rpc = rpc_one_way_us(c.driver);
+    const auto mig = migration_us(c.driver);
+    auto paper_str = [](double v) {
+      return v < 0 ? std::string("-") : TablePrinter::fmt(v, 0);
+    };
+    table.add_row({c.driver.name, TablePrinter::fmt(rpc, 2), paper_str(c.paper_rpc),
+                   TablePrinter::fmt(mig.us, 1), paper_str(c.paper_migration),
+                   std::to_string(mig.image_bytes)});
+  }
+  table.print();
+  return 0;
+}

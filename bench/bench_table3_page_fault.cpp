@@ -1,0 +1,92 @@
+// Reproduces Table 3: "Processing a read-fault under page-migration policy:
+// Performance analysis" — the per-step cost of a remote read fault under a
+// page-transfer protocol (li_hudak), on all four network drivers.
+//
+// Paper values (µs):
+//   Operation          BIP/Myrinet  TCP/Myrinet  TCP/FastEthernet  SISCI/SCI
+//   Page fault              11           11             11             11
+//   Request page            23          220            220             38
+//   Page transfer          138          343            736            119
+//   Protocol overhead       26           26             26             26
+//   Total                  198          600            993            194
+//
+// The measured transfer is ~1.3 µs above the paper's bare-4 kB anchor
+// because the message carries real headers in addition to the page.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+struct Row {
+  const char* op;
+  double paper[4];
+};
+
+const Row kPaper[] = {
+    {"Page fault", {11, 11, 11, 11}},
+    {"Request page", {23, 220, 220, 38}},
+    {"Page transfer", {138, 343, 736, 119}},
+    {"Protocol overhead", {26, 26, 26, 26}},
+    {"Total", {198, 600, 993, 194}},
+};
+
+dsm::FaultProbe::Breakdown measure(const madeleine::DriverParams& driver) {
+  pm2::Config cfg;
+  cfg.nodes = 2;
+  cfg.driver = driver;
+  pm2::Runtime rt(cfg);
+  dsm::DsmConfig dc;
+  dc.enable_fault_probe = true;
+  dsm::Dsm dsm(rt, dc);
+  const DsmAddr x = dsm.dsm_malloc(sizeof(int));
+  rt.run([&] {
+    dsm.write<int>(x, 1);  // the page lives on node 0
+    auto& t = rt.spawn_on(1, "reader", [&] { (void)dsm.read<int>(x); });
+    rt.threads().join(t);
+  });
+  return dsm.probe().breakdown(1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table 3 — read fault, page-transfer policy (li_hudak), 4 kB page\n");
+  std::printf("each cell: measured us (paper us)\n\n");
+
+  dsm::FaultProbe::Breakdown got[4];
+  const auto& drivers = madeleine::builtin_drivers();
+  for (int d = 0; d < 4; ++d) got[d] = measure(drivers[static_cast<std::size_t>(d)]);
+
+  std::vector<std::string> header{"Operation"};
+  for (const auto& d : drivers) header.push_back(d.name);
+  TablePrinter table(std::move(header));
+  auto add = [&](const Row& row, auto select) {
+    std::vector<std::string> cells{row.op};
+    for (int d = 0; d < 4; ++d) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.1f (%.0f)", select(got[d]), row.paper[d]);
+      cells.emplace_back(buf);
+    }
+    table.add_row(std::move(cells));
+  };
+  add(kPaper[0], [](const auto& b) { return b.fault_us; });
+  add(kPaper[1], [](const auto& b) { return b.request_us; });
+  add(kPaper[2], [](const auto& b) { return b.transfer_us; });
+  add(kPaper[3], [](const auto& b) { return b.overhead_us; });
+  add(kPaper[4], [](const auto& b) { return b.total_us; });
+  table.print();
+
+  std::printf("\nshape check: SISCI/SCI < BIP/Myrinet < TCP/Myrinet < TCP/FE "
+              "on total: %s\n",
+              got[3].total_us < got[0].total_us &&
+                      got[0].total_us < got[1].total_us &&
+                      got[1].total_us < got[2].total_us
+                  ? "HOLDS"
+                  : "VIOLATED");
+  return 0;
+}

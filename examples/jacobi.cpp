@@ -1,0 +1,53 @@
+// SPLASH-style Jacobi relaxation over DSM (the paper's announced next step:
+// "a more thorough performance evaluation using the SPLASH-2 benchmarks").
+//
+//   ./example_jacobi [protocol] [nodes] [size] [iterations]
+//
+// A regular, barrier-synchronized kernel: rows partitioned across nodes,
+// sharing only at partition boundaries. Compare li_hudak (pages ping-pong on
+// boundary pages) with hbrc_mw (concurrent writers on one page merge by
+// diffs) by looking at the message counters the run prints.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/jacobi.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+int main(int argc, char** argv) {
+  const std::string protocol_name = argc > 1 ? argv[1] : "hbrc_mw";
+  const int nodes = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int size = argc > 3 ? std::atoi(argv[3]) : 64;
+  const int iterations = argc > 4 ? std::atoi(argv[4]) : 10;
+
+  pm2::Config cfg;
+  cfg.nodes = nodes;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+
+  apps::JacobiConfig jc;
+  jc.rows = size;
+  jc.cols = size;
+  jc.iterations = iterations;
+  jc.protocol = dsm.protocol_by_name(protocol_name);
+  if (jc.protocol == dsm::kInvalidProtocol) {
+    std::fprintf(stderr, "unknown protocol '%s'\n", protocol_name.c_str());
+    return 1;
+  }
+
+  const double reference = apps::jacobi_sequential_checksum(jc);
+  apps::JacobiResult result;
+  rt.run([&] { result = apps::run_jacobi(rt, dsm, jc); });
+
+  std::printf("jacobi %dx%d, %d iterations, %d nodes, %s on %s\n", size, size,
+              iterations, nodes, protocol_name.c_str(), cfg.driver.name.c_str());
+  std::printf("  checksum     : %.6f (reference %.6f)%s\n", result.checksum,
+              reference, result.checksum == reference ? "" : "  MISMATCH!");
+  std::printf("  virtual time : %.2f ms\n", to_ms(result.elapsed));
+  std::printf("\n%s", dsm.report().c_str());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// 2-D Jacobi relaxation over DSM — a SPLASH-2-style regular kernel.
+//
+// The paper closes by saying "we are currently working on a more thorough
+// performance evaluation using the SPLASH-2 benchmarks"; this kernel is the
+// representative of that line of work: a grid partitioned by rows across
+// nodes, barrier-synchronized iterations, with true sharing only on the
+// partition-boundary pages. It exercises the barrier consistency hooks and
+// the page-granularity false/true sharing behaviour of every protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::apps {
+
+struct JacobiConfig {
+  int rows = 64;
+  int cols = 64;
+  int iterations = 10;
+  dsm::ProtocolId protocol = dsm::kInvalidProtocol;
+  /// CPU cost charged per grid-point update.
+  SimTime cost_per_point = 100;  // 0.1 us
+};
+
+struct JacobiResult {
+  double checksum = 0.0;  ///< sum over the final grid (validation)
+  SimTime elapsed = 0;
+};
+
+/// Reference: same computation on plain memory.
+double jacobi_sequential_checksum(const JacobiConfig& config);
+
+/// Runs the distributed kernel; one worker per node, row-partitioned.
+/// Precondition: called from a PM2 thread.
+JacobiResult run_jacobi(pm2::Runtime& rt, dsm::Dsm& dsm, const JacobiConfig& config);
+
+}  // namespace dsmpm2::apps

@@ -1,0 +1,304 @@
+#include "apps/map_coloring.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::apps {
+
+namespace {
+
+/// Adjacency of the 29 eastern-most US states (a faithful rendering of the
+/// US map east of — and including — the Mississippi line the paper's problem
+/// uses; touching-corner pairs excluded).
+struct Edge {
+  const char* a;
+  const char* b;
+};
+
+const char* kStates[] = {
+    "ME", "NH", "VT", "MA", "RI", "CT", "NY", "NJ", "PA", "DE",
+    "MD", "VA", "WV", "NC", "SC", "GA", "FL", "AL", "TN", "KY",
+    "OH", "MI", "IN", "IL", "WI", "MS", "LA", "AR", "MO",
+};
+
+const Edge kEdges[] = {
+    {"ME", "NH"}, {"NH", "VT"}, {"NH", "MA"}, {"VT", "MA"}, {"VT", "NY"},
+    {"MA", "RI"}, {"MA", "CT"}, {"MA", "NY"}, {"RI", "CT"}, {"CT", "NY"},
+    {"NY", "NJ"}, {"NY", "PA"}, {"NJ", "PA"}, {"NJ", "DE"}, {"PA", "DE"},
+    {"PA", "MD"}, {"PA", "WV"}, {"PA", "OH"}, {"DE", "MD"}, {"MD", "VA"},
+    {"MD", "WV"}, {"VA", "WV"}, {"VA", "NC"}, {"VA", "TN"}, {"VA", "KY"},
+    {"WV", "OH"}, {"WV", "KY"}, {"NC", "SC"}, {"NC", "GA"}, {"NC", "TN"},
+    {"SC", "GA"}, {"GA", "FL"}, {"GA", "AL"}, {"GA", "TN"}, {"FL", "AL"},
+    {"AL", "TN"}, {"AL", "MS"}, {"TN", "KY"}, {"TN", "MO"}, {"TN", "AR"},
+    {"TN", "MS"}, {"KY", "OH"}, {"KY", "IN"}, {"KY", "IL"}, {"KY", "MO"},
+    {"OH", "IN"}, {"OH", "MI"}, {"MI", "IN"}, {"MI", "WI"}, {"IN", "IL"},
+    {"IL", "WI"}, {"IL", "MO"}, {"MS", "LA"}, {"MS", "AR"}, {"LA", "AR"},
+    {"AR", "MO"},
+};
+
+int state_index(const EasternUsMap& map, const char* name) {
+  for (std::size_t i = 0; i < map.names.size(); ++i) {
+    if (map.names[i] == name) return static_cast<int>(i);
+  }
+  DSM_UNREACHABLE("unknown state");
+}
+
+/// Shared DFS core. All data accesses go through callbacks so the Hyperion
+/// variant can route them through get/put: `adj(state)` reads a state
+/// object's adjacency field, and `get_color`/`put_color` access the worker's
+/// colour-assignment array — in a compiled Java program every one of these
+/// is an object access, which is exactly the access stream whose detection
+/// cost the paper's Figure 5 compares.
+template <typename Adj, typename GetColor, typename PutColor, typename CheckBound,
+          typename Report, typename Tick>
+void color_dfs(int n_states, const std::array<int, 4>& costs, int state,
+               int cost_so_far, int min_cost, Adj&& adj, GetColor&& get_color,
+               PutColor&& put_color, CheckBound&& check_bound, Report&& report,
+               Tick&& tick) {
+  tick();
+  if (state == n_states) {
+    report(cost_so_far);
+    return;
+  }
+  // Lower bound: every remaining state pays at least the cheapest color.
+  if (cost_so_far + (n_states - state) * min_cost >= check_bound()) return;
+  const std::uint32_t neighbours = adj(state);
+  for (std::uint8_t c = 0; c < 4; ++c) {
+    bool legal = true;
+    for (int prev = 0; prev < state; ++prev) {
+      if ((neighbours >> prev) & 1u) {
+        if (get_color(prev) == c) {
+          legal = false;
+          break;
+        }
+      }
+    }
+    if (!legal) continue;
+    put_color(state, c);
+    color_dfs(n_states, costs, state + 1, cost_so_far + costs[c], min_cost, adj,
+              get_color, put_color, check_bound, report, tick);
+  }
+}
+
+}  // namespace
+
+const EasternUsMap& eastern_us_map() {
+  static const EasternUsMap map = [] {
+    EasternUsMap m;
+    for (const char* s : kStates) m.names.emplace_back(s);
+    m.adjacency.assign(m.names.size(), 0);
+    for (const Edge& e : kEdges) {
+      const int a = state_index(m, e.a);
+      const int b = state_index(m, e.b);
+      m.adjacency[static_cast<std::size_t>(a)] |= 1u << b;
+      m.adjacency[static_cast<std::size_t>(b)] |= 1u << a;
+    }
+    return m;
+  }();
+  DSM_CHECK(map.names.size() == 29);
+  return map;
+}
+
+std::vector<int> constraint_order(const EasternUsMap& map) {
+  const int n = static_cast<int>(map.names.size());
+  auto degree = [&](int s) {
+    return std::popcount(map.adjacency[static_cast<std::size_t>(s)]);
+  };
+  std::vector<int> order;
+  std::vector<bool> placed(static_cast<std::size_t>(n), false);
+  int start = 0;
+  for (int s = 1; s < n; ++s) {
+    if (degree(s) > degree(start)) start = s;
+  }
+  order.push_back(start);
+  placed[static_cast<std::size_t>(start)] = true;
+  while (static_cast<int>(order.size()) < n) {
+    int best_s = -1;
+    int best_back = -1;
+    int best_deg = -1;
+    for (int s = 0; s < n; ++s) {
+      if (placed[static_cast<std::size_t>(s)]) continue;
+      int back = 0;
+      for (const int p : order) {
+        if ((map.adjacency[static_cast<std::size_t>(s)] >> p) & 1u) ++back;
+      }
+      if (back > best_back || (back == best_back && degree(s) > best_deg)) {
+        best_s = s;
+        best_back = back;
+        best_deg = degree(s);
+      }
+    }
+    order.push_back(best_s);
+    placed[static_cast<std::size_t>(best_s)] = true;
+  }
+  return order;
+}
+
+namespace {
+
+/// Adjacency of the first `n_states` states in constraint order, remapped to
+/// ordered indices (and masked to the kept prefix).
+std::vector<std::uint32_t> ordered_adjacency(const EasternUsMap& map, int n_states) {
+  const auto order = constraint_order(map);
+  DSM_CHECK(n_states >= 2 && n_states <= static_cast<int>(order.size()));
+  std::vector<int> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::vector<std::uint32_t> adj(static_cast<std::size_t>(n_states), 0);
+  for (int i = 0; i < n_states; ++i) {
+    const std::uint32_t raw = map.adjacency[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    for (std::size_t s = 0; s < order.size(); ++s) {
+      if (((raw >> s) & 1u) != 0 && pos[s] < n_states) {
+        adj[static_cast<std::size_t>(i)] |= 1u << pos[s];
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+int solve_map_coloring_sequential(const MapColoringConfig& config) {
+  const auto adj = ordered_adjacency(eastern_us_map(), config.n_states);
+  const int n = config.n_states;
+  const int min_cost = *std::min_element(config.color_costs.begin(),
+                                         config.color_costs.end());
+  int best = n * *std::max_element(config.color_costs.begin(),
+                                   config.color_costs.end()) +
+             1;
+  std::vector<std::uint8_t> colors(static_cast<std::size_t>(n), 0);
+  color_dfs(
+      n, config.color_costs, 0, 0, min_cost,
+      [&](int s) { return adj[static_cast<std::size_t>(s)]; },
+      [&](int s) { return colors[static_cast<std::size_t>(s)]; },
+      [&](int s, std::uint8_t c) { colors[static_cast<std::size_t>(s)] = c; },
+      [&] { return best; }, [&](int cost) { best = std::min(best, cost); },
+      [] {});
+  return best;
+}
+
+MapColoringResult run_map_coloring(pm2::Runtime& rt, hyperion::Runtime& hyp,
+                                   const MapColoringConfig& config) {
+  const auto adjacency = ordered_adjacency(eastern_us_map(), config.n_states);
+  const int n = config.n_states;
+  const int min_cost = *std::min_element(config.color_costs.begin(),
+                                         config.color_costs.end());
+  const int worst = n * *std::max_element(config.color_costs.begin(),
+                                          config.color_costs.end()) +
+                    1;
+
+  // The state graph as Java objects: one object per state, field 0 holding
+  // its adjacency mask, spread round-robin over the cluster's home nodes.
+  // A separate "solution" object (field 0 = best cost) guards the bound.
+  std::vector<hyperion::Ref> states;
+  states.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    const auto home = static_cast<NodeId>(s % rt.node_count());
+    states.push_back(hyp.new_object(2, home));
+  }
+  const hyperion::Ref solution = hyp.new_object(2, 0);
+  for (int s = 0; s < n; ++s) {
+    hyp.put_field<std::uint32_t>(states[static_cast<std::size_t>(s)], 0,
+                                 adjacency[static_cast<std::size_t>(s)]);
+  }
+  hyp.put_field<int>(solution, 0, worst);
+
+  MapColoringResult result;
+  const SimTime t0 = rt.now();
+  const int total_threads = rt.node_count() * config.threads_per_node;
+  std::vector<marcel::Thread*> workers;
+
+  for (int w = 0; w < total_threads; ++w) {
+    const auto node = static_cast<NodeId>(w % rt.node_count());
+    // start_thread carries the JMM happens-before edge: the graph and bound
+    // initialized above are visible to every worker.
+    workers.push_back(&hyp.start_thread(node, "mc.worker" + std::to_string(w), [&, w] {
+      std::uint64_t local_expansions = 0;
+      std::uint64_t local_gets = 0;
+      int cached_bound = worst;
+      int since_refresh = 0;
+      SimTime uncharged = 0;
+      // The worker's colour assignment lives in a Java array homed on its own
+      // node: "local objects are intensively used" — every legality check is
+      // a get on it, every assignment a put.
+      const hyperion::Ref colors =
+          hyp.new_array(n, rt.threads().self().node());
+      for (int s = 0; s < n; ++s) hyp.put_field<std::int64_t>(colors, s, 0);
+
+      auto adj = [&](int s) {
+        ++local_gets;
+        return hyp.get_field<std::uint32_t>(states[static_cast<std::size_t>(s)], 0);
+      };
+      auto get_color = [&](int s) {
+        ++local_gets;
+        return static_cast<std::uint8_t>(hyp.get_field<std::int64_t>(colors, s));
+      };
+      auto put_color = [&](int s, std::uint8_t c) {
+        hyp.put_field<std::int64_t>(colors, s, c);
+      };
+      auto tick = [&] {
+        ++local_expansions;
+        uncharged += config.cost_per_expansion;
+        if (uncharged >= 64 * config.cost_per_expansion) {
+          rt.compute(uncharged);
+          uncharged = 0;
+        }
+      };
+      auto check_bound = [&] {
+        if (++since_refresh >= config.bound_refresh_period) {
+          since_refresh = 0;
+          // Volatile read of the shared bound: consults main memory without
+          // a monitor round trip (and without flushing the object cache) —
+          // one of the Hyperion/DSM-PM2 co-design optimizations the paper
+          // mentions. Updates still go through the monitor below.
+          cached_bound = hyp.get_field_volatile<int>(solution, 0);
+        }
+        return cached_bound;
+      };
+      auto report = [&](int cost) {
+        if (cost >= cached_bound) return;
+        hyperion::Runtime::Synchronized sync(hyp, solution);
+        const int shared = hyp.get_field<int>(solution, 0);
+        if (cost < shared) {
+          hyp.put_field<int>(solution, 0, cost);
+          cached_bound = cost;
+        } else {
+          cached_bound = shared;
+        }
+      };
+
+      // Static partition of the search tree by the colors of the first two
+      // states (16 subtrees dealt round-robin to the workers).
+      for (int c0 = 0; c0 < 4; ++c0) {
+        for (int c1 = 0; c1 < 4; ++c1) {
+          if ((c0 * 4 + c1) % total_threads != w) continue;
+          const std::uint32_t adj1 = adj(1);
+          if ((adj1 & 1u) != 0 && c0 == c1) continue;  // illegal start
+          put_color(0, static_cast<std::uint8_t>(c0));
+          put_color(1, static_cast<std::uint8_t>(c1));
+          color_dfs(n, config.color_costs, 2,
+                    config.color_costs[static_cast<std::size_t>(c0)] +
+                        config.color_costs[static_cast<std::size_t>(c1)],
+                    min_cost, adj, get_color, put_color, check_bound, report,
+                    tick);
+        }
+      }
+      if (uncharged > 0) rt.compute(uncharged);
+      result.expansions += local_expansions;
+      result.gets += local_gets;
+    }));
+  }
+  for (auto* worker : workers) hyp.join(*worker);
+
+  {
+    hyperion::Runtime::Synchronized sync(hyp, solution);
+    result.best_cost = hyp.get_field<int>(solution, 0);
+  }
+  result.elapsed = rt.now() - t0;
+  return result;
+}
+
+}  // namespace dsmpm2::apps

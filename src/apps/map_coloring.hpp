@@ -1,0 +1,69 @@
+// Minimal-cost map colouring, the paper's Figure 5 workload.
+//
+// "A multithreaded Java program implementing a branch-and-bound solution to
+// the minimal-cost map-coloring problem, compiled with Hyperion ... solves
+// the problem of coloring the twenty-nine eastern-most states in the USA
+// using four colors with different costs."
+//
+// The program is written against the Hyperion runtime: the state graph lives
+// in Java objects spread over the cluster's home nodes, all field accesses go
+// through get/put, and the shared best solution is guarded by an object
+// monitor. Running it with Detection::kInlineCheck vs Detection::kPageFault
+// reproduces the java_ic / java_pf comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "dsm/dsm.hpp"
+#include "hyperion/runtime.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::apps {
+
+/// The 29 eastern-most US states and their adjacency (indices into the
+/// state list). Compiled into the binary; see map_coloring.cpp.
+struct EasternUsMap {
+  std::vector<std::string> names;          // 29 states
+  std::vector<std::uint32_t> adjacency;    // bitmask per state
+};
+
+const EasternUsMap& eastern_us_map();
+
+struct MapColoringConfig {
+  int threads_per_node = 1;
+  /// Number of states to colour: the full 29 for the paper's experiment;
+  /// tests use a prefix (in constraint order) for speed.
+  int n_states = 29;
+  /// Cost of each of the four colors (different, per the paper).
+  std::array<int, 4> color_costs{1, 2, 3, 4};
+  /// CPU cost charged per search-tree expansion.
+  SimTime cost_per_expansion = 300;  // 0.3 us
+  /// Expansions between volatile-read refreshes of the cached bound.
+  int bound_refresh_period = 32;
+};
+
+/// Most-constrained-first ordering of the map's states (greedy maximum
+/// backward degree). Branch and bound explores states in this order: each
+/// new state is adjacent to many already-coloured ones, so illegal branches
+/// die early — an order-of-magnitude smaller search tree.
+std::vector<int> constraint_order(const EasternUsMap& map);
+
+struct MapColoringResult {
+  int best_cost = 0;
+  SimTime elapsed = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t gets = 0;
+};
+
+/// Reference solution on plain memory.
+int solve_map_coloring_sequential(const MapColoringConfig& config);
+
+/// Runs the distributed solver. Precondition: called from a PM2 thread.
+MapColoringResult run_map_coloring(pm2::Runtime& rt, hyperion::Runtime& hyp,
+                                   const MapColoringConfig& config);
+
+}  // namespace dsmpm2::apps

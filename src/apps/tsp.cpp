@@ -1,0 +1,214 @@
+#include "apps/tsp.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dsmpm2::apps {
+
+namespace {
+
+/// Nearest-neighbour tour: a decent initial bound that makes the search
+/// tractable and deterministic.
+int greedy_tour_length(const std::vector<int>& dist, int n) {
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  visited[0] = true;
+  int current = 0;
+  int total = 0;
+  for (int step = 1; step < n; ++step) {
+    int best_city = -1;
+    int best_d = INT32_MAX;
+    for (int c = 1; c < n; ++c) {
+      if (!visited[static_cast<std::size_t>(c)] &&
+          dist[static_cast<std::size_t>(current * n + c)] < best_d) {
+        best_d = dist[static_cast<std::size_t>(current * n + c)];
+        best_city = c;
+      }
+    }
+    visited[static_cast<std::size_t>(best_city)] = true;
+    total += best_d;
+    current = best_city;
+  }
+  return total + dist[static_cast<std::size_t>(current * n)];
+}
+
+/// Per-city lower-bound contribution: the cheapest edge leaving each city.
+std::vector<int> min_out_edges(const std::vector<int>& dist, int n) {
+  std::vector<int> out(static_cast<std::size_t>(n), INT32_MAX);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a != b) {
+        out[static_cast<std::size_t>(a)] =
+            std::min(out[static_cast<std::size_t>(a)],
+                     dist[static_cast<std::size_t>(a * n + b)]);
+      }
+    }
+  }
+  return out;
+}
+
+/// The DFS search shared by the sequential reference and the DSM workers.
+/// `check_bound(len)` returns the current pruning bound; `report(len)` offers
+/// a complete tour. Both are caller-provided so the DSM variant can route
+/// them through shared memory.
+template <typename CheckBound, typename Report, typename Tick>
+void dfs(const std::vector<int>& dist, const std::vector<int>& min_out, int n,
+         std::vector<int>& path, std::uint64_t& visited_mask, int length,
+         CheckBound&& check_bound, Report&& report, Tick&& tick) {
+  tick();
+  const int current = path.back();
+  if (static_cast<int>(path.size()) == n) {
+    report(length + dist[static_cast<std::size_t>(current * n)]);
+    return;
+  }
+  // Lower bound: tour so far + cheapest exit from every remaining city
+  // (including the current one, which still has to leave).
+  int lb = length;
+  for (int c = 0; c < n; ++c) {
+    if ((visited_mask & (1ull << c)) == 0 || c == current) {
+      lb += min_out[static_cast<std::size_t>(c)];
+    }
+  }
+  if (lb >= check_bound(length)) return;
+  for (int next = 1; next < n; ++next) {
+    if (visited_mask & (1ull << next)) continue;
+    const int d = dist[static_cast<std::size_t>(current * n + next)];
+    path.push_back(next);
+    visited_mask |= 1ull << next;
+    dfs(dist, min_out, n, path, visited_mask, length + d, check_bound, report,
+        tick);
+    visited_mask &= ~(1ull << next);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<int> make_distance_matrix(int n_cities, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto n = static_cast<std::size_t>(n_cities);
+  std::vector<int> dist(n * n, 0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const int d = static_cast<int>(1 + rng.next_below(99));
+      dist[a * n + b] = d;
+      dist[b * n + a] = d;
+    }
+  }
+  return dist;
+}
+
+int solve_tsp_sequential(const std::vector<int>& dist, int n_cities) {
+  const auto min_out = min_out_edges(dist, n_cities);
+  int best = greedy_tour_length(dist, n_cities);
+  std::vector<int> path{0};
+  std::uint64_t mask = 1;
+  dfs(
+      dist, min_out, n_cities, path, mask, 0,
+      [&](int) { return best; },
+      [&](int len) { best = std::min(best, len); }, [] {});
+  return best;
+}
+
+TspResult run_tsp(pm2::Runtime& rt, dsm::Dsm& dsm, const TspConfig& config) {
+  const int n = config.n_cities;
+  DSM_CHECK(n >= 4 && n < 20);
+  const auto host_dist = make_distance_matrix(n, config.seed);
+  const auto min_out = min_out_edges(host_dist, n);
+  const int initial_bound = greedy_tour_length(host_dist, n);
+
+  // Shared state: the distance matrix (read-shared) and the current best
+  // bound (the paper's intensively accessed, lock-protected variable). They
+  // live in separate areas so bound writes do not invalidate the matrix.
+  dsm::AllocAttr attr;
+  attr.protocol =
+      config.protocol != dsm::kInvalidProtocol ? config.protocol : dsm.default_protocol();
+  attr.name = "tsp.bound";
+  const DsmAddr bound_addr = dsm.dsm_malloc(sizeof(int), attr);
+  attr.name = "tsp.dist";
+  const DsmAddr dist_addr =
+      dsm.dsm_malloc(static_cast<std::uint64_t>(n) * n * sizeof(int), attr);
+  const int bound_lock = dsm.create_lock(attr.protocol);
+
+  dsm.write<int>(bound_addr, initial_bound);
+  for (int i = 0; i < n * n; ++i) {
+    dsm.write<int>(dist_addr + static_cast<DsmAddr>(i) * sizeof(int),
+                   host_dist[static_cast<std::size_t>(i)]);
+  }
+
+  TspResult result;
+  const SimTime t0 = rt.now();
+  const int total_threads = rt.node_count() * config.threads_per_node;
+  std::vector<marcel::Thread*> workers;
+
+  for (int w = 0; w < total_threads; ++w) {
+    const auto node = static_cast<NodeId>(w % rt.node_count());
+    workers.push_back(&rt.spawn_on(node, "tsp.worker" + std::to_string(w), [&, w] {
+      // Each worker reads the matrix out of DSM once (replicating the pages
+      // to its node), then searches its share of the (city1) subtrees.
+      std::vector<int> dist(static_cast<std::size_t>(n) * n);
+      for (int i = 0; i < n * n; ++i) {
+        dist[static_cast<std::size_t>(i)] =
+            dsm.read<int>(dist_addr + static_cast<DsmAddr>(i) * sizeof(int));
+      }
+      std::uint64_t local_expansions = 0;
+      std::uint64_t local_updates = 0;
+      int cached_bound = initial_bound;
+      int since_refresh = 0;
+      SimTime uncharged = 0;
+
+      auto tick = [&] {
+        ++local_expansions;
+        // Batch the per-expansion CPU charge to keep the event count sane.
+        uncharged += config.cost_per_expansion;
+        if (uncharged >= 64 * config.cost_per_expansion) {
+          rt.compute(uncharged);
+          uncharged = 0;
+        }
+      };
+      auto check_bound = [&](int) {
+        if (++since_refresh >= config.bound_refresh_period) {
+          since_refresh = 0;
+          dsm.lock_acquire(bound_lock);
+          cached_bound = dsm.read<int>(bound_addr);
+          dsm.lock_release(bound_lock);
+        }
+        return cached_bound;
+      };
+      auto report = [&](int len) {
+        if (len >= cached_bound) return;
+        dsm.lock_acquire(bound_lock);
+        const int shared = dsm.read<int>(bound_addr);
+        if (len < shared) {
+          dsm.write<int>(bound_addr, len);
+          ++local_updates;
+          cached_bound = len;
+        } else {
+          cached_bound = shared;
+        }
+        dsm.lock_release(bound_lock);
+      };
+
+      for (int first = 1; first < n; ++first) {
+        if ((first - 1) % total_threads != w) continue;
+        std::vector<int> path{0, first};
+        std::uint64_t mask = (1ull << 0) | (1ull << first);
+        dfs(dist, min_out, n, path, mask,
+            dist[static_cast<std::size_t>(first)], check_bound, report, tick);
+      }
+      if (uncharged > 0) rt.compute(uncharged);
+      result.expansions += local_expansions;
+      result.bound_updates += local_updates;
+    }));
+  }
+  for (auto* worker : workers) rt.threads().join(*worker);
+
+  dsm.lock_acquire(bound_lock);
+  result.best_length = dsm.read<int>(bound_addr);
+  dsm.lock_release(bound_lock);
+  result.elapsed = rt.now() - t0;
+  return result;
+}
+
+}  // namespace dsmpm2::apps

@@ -1,0 +1,56 @@
+// Branch-and-bound Traveling Salesman, the paper's Figure 4 workload.
+//
+// "We have run a program solving the Traveling Salesman Problem for 14
+// randomly placed cities, using one application thread per node. ... the only
+// shared variable intensively accessed in this program is the current
+// shortest path and the accesses to this variable are always lock protected."
+//
+// The search tree is statically partitioned over the threads by the first
+// two tour cities; each thread runs depth-first branch and bound, pruning
+// against a cached copy of the shared best bound which it refreshes (under
+// the DSM lock) every `bound_refresh_period` expansions and updates (under
+// the same lock) whenever it finds a better tour. Compute is charged to the
+// thread's current node per expansion — which is exactly what makes the
+// migrate_thread protocol's node-0 pile-up visible in the results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::apps {
+
+struct TspConfig {
+  int n_cities = 14;
+  std::uint64_t seed = 42;
+  /// "one application thread per node"
+  int threads_per_node = 1;
+  dsm::ProtocolId protocol = dsm::kInvalidProtocol;  ///< default protocol if unset
+  /// CPU cost charged per search-tree expansion.
+  SimTime cost_per_expansion = 500;  // 0.5 us
+  /// Expansions between (lock-protected) refreshes of the cached bound.
+  int bound_refresh_period = 64;
+};
+
+struct TspResult {
+  int best_length = 0;
+  SimTime elapsed = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t bound_updates = 0;
+};
+
+/// Builds the seeded random inter-city distance matrix (symmetric, 1..99).
+std::vector<int> make_distance_matrix(int n_cities, std::uint64_t seed);
+
+/// Reference solution: sequential branch and bound on plain memory.
+int solve_tsp_sequential(const std::vector<int>& dist, int n_cities);
+
+/// Runs the distributed solver inside `rt.run(...)` context.
+/// Precondition: called from a PM2 thread.
+TspResult run_tsp(pm2::Runtime& rt, dsm::Dsm& dsm, const TspConfig& config);
+
+}  // namespace dsmpm2::apps

@@ -1,0 +1,37 @@
+// Invariant checking for DSM-PM2.
+//
+// DSM_CHECK is active in all build types: a violated runtime invariant in a
+// consistency protocol is a correctness bug, never an acceptable fast path,
+// so we do not compile the checks out in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dsmpm2::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "DSM_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace dsmpm2::detail
+
+#define DSM_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::dsmpm2::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+    }                                                                    \
+  } while (false)
+
+#define DSM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::dsmpm2::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                                    \
+  } while (false)
+
+#define DSM_UNREACHABLE(msg) \
+  ::dsmpm2::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))

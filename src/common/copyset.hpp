@@ -1,0 +1,67 @@
+// CopySet: the set of nodes holding a copy of a page.
+//
+// A fixed-capacity bitset (up to 64 nodes — far beyond the clusters in the
+// paper) with the set algebra the protocols need: insert/erase/test, union,
+// iteration, and serialization as a single word.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace dsmpm2 {
+
+class CopySet {
+ public:
+  static constexpr NodeId kMaxNodes = 64;
+
+  constexpr CopySet() = default;
+  explicit constexpr CopySet(std::uint64_t bits) : bits_(bits) {}
+
+  constexpr void insert(NodeId node) {
+    DSM_CHECK(node < kMaxNodes);
+    bits_ |= (std::uint64_t{1} << node);
+  }
+
+  constexpr void erase(NodeId node) {
+    DSM_CHECK(node < kMaxNodes);
+    bits_ &= ~(std::uint64_t{1} << node);
+  }
+
+  [[nodiscard]] constexpr bool contains(NodeId node) const {
+    DSM_CHECK(node < kMaxNodes);
+    return (bits_ & (std::uint64_t{1} << node)) != 0;
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr int size() const { return std::popcount(bits_); }
+
+  constexpr void clear() { bits_ = 0; }
+
+  constexpr CopySet& operator|=(const CopySet& other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
+
+  constexpr bool operator==(const CopySet&) const = default;
+
+  /// Visits every member node in increasing order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    std::uint64_t rest = bits_;
+    while (rest != 0) {
+      const int node = std::countr_zero(rest);
+      fn(static_cast<NodeId>(node));
+      rest &= rest - 1;
+    }
+  }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace dsmpm2

@@ -1,0 +1,29 @@
+// Fundamental identifier types shared across the whole stack.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dsmpm2 {
+
+/// Identifies a node (a machine of the simulated cluster).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Identifies a page of the DSM shared space.
+using PageId = std::uint32_t;
+
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/// Byte offset inside the DSM shared space. Iso-addressing guarantees that a
+/// given DsmAddr designates the same datum on every node.
+using DsmAddr = std::uint64_t;
+
+/// Identifies a Marcel thread, unique across the cluster for a run.
+using ThreadId = std::uint64_t;
+
+inline constexpr ThreadId kInvalidThread = std::numeric_limits<ThreadId>::max();
+
+}  // namespace dsmpm2

@@ -1,0 +1,59 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace dsmpm2::log {
+
+namespace {
+
+Level g_level = [] {
+  const char* env = std::getenv("DSMPM2_LOG");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "trace") == 0) return Level::kTrace;
+  return Level::kWarn;
+}();
+
+NowFn g_now_fn = nullptr;
+
+const char* level_name(Level l) {
+  switch (l) {
+    case Level::kError: return "E";
+    case Level::kWarn: return "W";
+    case Level::kInfo: return "I";
+    case Level::kDebug: return "D";
+    case Level::kTrace: return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level level) { g_level = level; }
+void set_now_fn(NowFn fn) { g_now_fn = fn; }
+
+namespace detail {
+
+void vlog(Level level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  char body[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof body, fmt, ap);
+  va_end(ap);
+  if (g_now_fn != nullptr) {
+    std::fprintf(stderr, "[%s %10.2fus] %s\n", level_name(level), to_us(g_now_fn()), body);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), body);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace dsmpm2::log

@@ -1,0 +1,51 @@
+// Minimal levelled logger.
+//
+// The simulator is deterministic, so logs are a faithful trace of a run.
+// Verbosity is controlled programmatically (set_level) or via the
+// DSMPM2_LOG environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Currently active level; messages above it are discarded.
+Level level();
+void set_level(Level level);
+
+/// Installed by the scheduler so log lines carry virtual timestamps.
+using NowFn = SimTime (*)();
+void set_now_fn(NowFn fn);
+
+namespace detail {
+void vlog(Level level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+template <typename... Args>
+void error(const char* fmt, Args&&... args) {
+  detail::vlog(Level::kError, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(const char* fmt, Args&&... args) {
+  detail::vlog(Level::kWarn, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(const char* fmt, Args&&... args) {
+  detail::vlog(Level::kInfo, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(const char* fmt, Args&&... args) {
+  detail::vlog(Level::kDebug, fmt, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void trace(const char* fmt, Args&&... args) {
+  detail::vlog(Level::kTrace, fmt, std::forward<Args>(args)...);
+}
+
+}  // namespace dsmpm2::log

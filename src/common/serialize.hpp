@@ -1,0 +1,106 @@
+// Message (de)serialization used by the Madeleine layer and the RPC stubs.
+//
+// A Packer appends trivially-copyable values and byte ranges to a growable
+// buffer; an Unpacker reads them back in order. All protocol messages in
+// DSM-PM2 — page requests, page bodies, diffs, migrated thread images — go
+// through these buffers, so data genuinely crosses a serialization boundary
+// even inside the single-process simulator.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dsmpm2 {
+
+using Buffer = std::vector<std::byte>;
+
+class Packer {
+ public:
+  Packer() = default;
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Packer& pack(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+    return *this;
+  }
+
+  Packer& pack_bytes(std::span<const std::byte> bytes) {
+    pack(static_cast<std::uint64_t>(bytes.size()));
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    return *this;
+  }
+
+  Packer& pack_string(const std::string& s) {
+    pack_bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+    return *this;
+  }
+
+  /// Appends raw bytes with no length prefix (caller knows the framing).
+  Packer& pack_raw(std::span<const std::byte> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] Buffer take() && { return std::move(buf_); }
+  [[nodiscard]] const Buffer& buffer() const { return buf_; }
+
+ private:
+  Buffer buf_;
+};
+
+class Unpacker {
+ public:
+  explicit Unpacker(std::span<const std::byte> data) : data_(data) {}
+  explicit Unpacker(const Buffer& buf) : data_(buf.data(), buf.size()) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T unpack() {
+    DSM_CHECK_MSG(pos_ + sizeof(T) <= data_.size(), "unpack past end of buffer");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// Returns a view into the buffer; valid as long as the buffer lives.
+  std::span<const std::byte> unpack_bytes() {
+    const auto n = unpack<std::uint64_t>();
+    DSM_CHECK_MSG(pos_ + n <= data_.size(), "unpack_bytes past end of buffer");
+    std::span<const std::byte> out(data_.data() + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string unpack_string() {
+    auto bytes = unpack_bytes();
+    return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+
+  /// Reads exactly n raw bytes (counterpart of pack_raw).
+  std::span<const std::byte> unpack_raw(std::size_t n) {
+    DSM_CHECK_MSG(pos_ + n <= data_.size(), "unpack_raw past end of buffer");
+    std::span<const std::byte> out(data_.data() + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dsmpm2

@@ -1,0 +1,54 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace dsmpm2 {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  DSM_CHECK_MSG(row.size() == rows_.front().size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> width(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + row[c] + std::string(width[c] - row[c].size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+  auto emit_sep = [&] {
+    out += "+";
+    for (const auto w : width) out += std::string(w + 2, '-') + "+";
+    out += "\n";
+  };
+  emit_sep();
+  emit_row(rows_.front());
+  emit_sep();
+  for (std::size_t r = 1; r < rows_.size(); ++r) emit_row(rows_[r]);
+  emit_sep();
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace dsmpm2

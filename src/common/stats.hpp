@@ -1,0 +1,59 @@
+// Lightweight statistics and table rendering for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsmpm2 {
+
+/// Streaming mean/min/max/stddev accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Renders paper-style ASCII tables: a header row then data rows, columns
+/// padded to the widest cell. Used by every bench binary.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders the full table (with separators) to a string.
+  [[nodiscard]] std::string render() const;
+  /// Convenience: renders and writes to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 1);
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dsmpm2

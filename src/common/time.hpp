@@ -1,0 +1,59 @@
+// Virtual time for the cluster simulator.
+//
+// All of DSM-PM2 runs against a discrete-event virtual clock. SimTime is a
+// signed 64-bit nanosecond count; the paper reports everything in
+// microseconds, so conversion helpers and user-defined literals are provided.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace dsmpm2 {
+
+/// Virtual time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNsPerUs = 1000;
+inline constexpr SimTime kNsPerMs = 1000 * 1000;
+inline constexpr SimTime kNsPerSec = 1000 * 1000 * 1000;
+
+namespace time_literals {
+
+constexpr SimTime operator""_ns(unsigned long long v) { return static_cast<SimTime>(v); }
+constexpr SimTime operator""_us(unsigned long long v) { return static_cast<SimTime>(v) * kNsPerUs; }
+constexpr SimTime operator""_ms(unsigned long long v) { return static_cast<SimTime>(v) * kNsPerMs; }
+constexpr SimTime operator""_s(unsigned long long v) { return static_cast<SimTime>(v) * kNsPerSec; }
+
+}  // namespace time_literals
+
+/// Nanoseconds -> fractional microseconds (for reporting, as in the paper's tables).
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / static_cast<double>(kNsPerUs); }
+
+/// Nanoseconds -> fractional milliseconds.
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / static_cast<double>(kNsPerMs); }
+
+/// Nanoseconds -> fractional seconds.
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / static_cast<double>(kNsPerSec); }
+
+/// Microseconds (possibly fractional) -> SimTime.
+constexpr SimTime from_us(double us) { return static_cast<SimTime>(us * static_cast<double>(kNsPerUs)); }
+
+/// Human-readable rendering ("12.3us", "4.56ms", ...).
+std::string format_time(SimTime t);
+
+inline std::string format_time(SimTime t) {
+  char buf[48];
+  if (t < kNsPerUs) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  } else if (t < kNsPerMs) {
+    std::snprintf(buf, sizeof buf, "%.2fus", to_us(t));
+  } else if (t < kNsPerSec) {
+    std::snprintf(buf, sizeof buf, "%.2fms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_sec(t));
+  }
+  return buf;
+}
+
+}  // namespace dsmpm2

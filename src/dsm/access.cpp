@@ -1,0 +1,190 @@
+// Access detection and the fault retry loop (generic core).
+//
+// Page-fault mode models the SIGSEGV path of a real page-based DSM: an access
+// with insufficient rights costs the fault-detection time (11 µs in the
+// paper), runs the protocol's fault handler, and retries — under a per-page
+// lock, so that the data read/written is consistent with the rights at the
+// moment of the access, and concurrent faulters are handled exactly once.
+//
+// Inline-check mode (get/put with an AccessMode::kInlineCheck protocol)
+// models Hyperion's explicit locality checks: every primitive charges the
+// check cost; a miss runs the same handler but skips the fault cost — this
+// is the java_ic / java_pf distinction evaluated in the paper's Figure 5.
+#include <span>
+
+#include "common/check.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+namespace {
+
+/// Bounds + geometry checks shared by all access paths.
+void check_span(const PageGeometry& g, DsmAddr addr, std::size_t len) {
+  DSM_CHECK_MSG(g.within_one_page(addr, len),
+                "scalar DSM access must not straddle a page boundary");
+}
+
+}  // namespace
+
+void Dsm::fault(DsmAddr addr, PageId page, Access wanted, bool charge_fault_cost) {
+  const NodeId node = self();
+  const Protocol& proto = protocol_of(page);
+  if (charge_fault_cost) {
+    probe_.mark(node, FaultStep::kFaultStart, rt_.now());
+    counters_.inc(node, wanted == Access::kWrite ? Counter::kWriteFaults
+                                                 : Counter::kReadFaults);
+    charge(costs().page_fault);
+    probe_.mark(node, FaultStep::kFaultDetected, rt_.now());
+  }
+  FaultContext ctx{page, addr, wanted, node};
+  if (wanted == Access::kWrite) {
+    proto.write_fault_handler(*this, ctx);
+  } else {
+    proto.read_fault_handler(*this, ctx);
+  }
+  probe_.mark(node, FaultStep::kDone, rt_.now());
+}
+
+void Dsm::access_read(DsmAddr addr, std::span<std::byte> out) {
+  check_span(geometry_, addr, out.size());
+  const PageId page = geometry_.page_of(addr);
+  for (;;) {
+    const NodeId node = self();  // re-evaluated: the thread may have migrated
+    auto& tbl = table(node);
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      const PageEntry& e = tbl.entry(page);
+      DSM_CHECK_MSG(e.valid, "read from unallocated DSM address");
+      if (access_covers(e.access, Access::kRead)) {
+        store(node).read_bytes(page, geometry_.offset_in_page(addr), out);
+        return;
+      }
+    }
+    fault(addr, page, Access::kRead, /*charge_fault_cost=*/true);
+  }
+}
+
+void Dsm::access_write(DsmAddr addr, std::span<const std::byte> in) {
+  check_span(geometry_, addr, in.size());
+  const PageId page = geometry_.page_of(addr);
+  for (;;) {
+    const NodeId node = self();
+    auto& tbl = table(node);
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      const PageEntry& e = tbl.entry(page);
+      DSM_CHECK_MSG(e.valid, "write to unallocated DSM address");
+      if (access_covers(e.access, Access::kWrite)) {
+        store(node).write_bytes(page, geometry_.offset_in_page(addr), in);
+        return;
+      }
+    }
+    fault(addr, page, Access::kWrite, /*charge_fault_cost=*/true);
+  }
+}
+
+void Dsm::access_get(DsmAddr addr, std::span<std::byte> out) {
+  check_span(geometry_, addr, out.size());
+  const PageId page = geometry_.page_of(addr);
+  counters_.inc(self(), Counter::kGets);
+  const Protocol& proto = protocol_of(page);
+  if (proto.access_mode == AccessMode::kPageFault) {
+    access_read(addr, out);
+    return;
+  }
+  // Inline-check mode: pay the check on every primitive, never a fault cost.
+  counters_.inc(self(), Counter::kInlineChecks);
+  charge(costs().inline_check);
+  for (;;) {
+    const NodeId node = self();
+    auto& tbl = table(node);
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      const PageEntry& e = tbl.entry(page);
+      DSM_CHECK_MSG(e.valid, "get from unallocated DSM address");
+      if (access_covers(e.access, Access::kRead)) {
+        store(node).read_bytes(page, geometry_.offset_in_page(addr), out);
+        return;
+      }
+    }
+    fault(addr, page, Access::kRead, /*charge_fault_cost=*/false);
+  }
+}
+
+void Dsm::access_put(DsmAddr addr, std::span<const std::byte> in) {
+  check_span(geometry_, addr, in.size());
+  const PageId page = geometry_.page_of(addr);
+  counters_.inc(self(), Counter::kPuts);
+  const Protocol& proto = protocol_of(page);
+  if (proto.access_mode == AccessMode::kInlineCheck) {
+    counters_.inc(self(), Counter::kInlineChecks);
+    charge(costs().inline_check);
+  }
+  for (;;) {
+    const NodeId node = self();
+    auto& tbl = table(node);
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      const PageEntry& e = tbl.entry(page);
+      DSM_CHECK_MSG(e.valid, "put to unallocated DSM address");
+      if (access_covers(e.access, Access::kWrite)) {
+        store(node).write_bytes(page, geometry_.offset_in_page(addr), in);
+        break;
+      }
+    }
+    fault(addr, page, Access::kWrite,
+          /*charge_fault_cost=*/proto.access_mode == AccessMode::kPageFault);
+  }
+  // On-the-fly modification recording (java protocols, field granularity).
+  if (proto.after_put) {
+    proto.after_put(*this, page, geometry_.offset_in_page(addr),
+                    static_cast<std::uint32_t>(in.size()));
+  }
+}
+
+void Dsm::access_get_volatile(DsmAddr addr, std::span<std::byte> out) {
+  check_span(geometry_, addr, out.size());
+  const PageId page = geometry_.page_of(addr);
+  const NodeId node = self();
+  NodeId home;
+  {
+    auto& tbl = table(node);
+    marcel::MutexLock l(tbl.mutex(page));
+    const PageEntry& e = tbl.entry(page);
+    DSM_CHECK_MSG(e.valid, "volatile get from unallocated DSM address");
+    home = e.home;
+    if (home == node) {
+      store(node).read_bytes(page, geometry_.offset_in_page(addr), out);
+      return;
+    }
+  }
+  const std::uint64_t word = comm_->remote_read_word(
+      home, page, geometry_.offset_in_page(addr),
+      static_cast<std::uint32_t>(out.size()));
+  std::memcpy(out.data(), &word, out.size());
+}
+
+void Dsm::read_bytes(DsmAddr addr, std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const DsmAddr a = addr + done;
+    const std::size_t room = geometry_.page_size() - geometry_.offset_in_page(a);
+    const std::size_t n = std::min(room, out.size() - done);
+    access_read(a, out.subspan(done, n));
+    done += n;
+  }
+}
+
+void Dsm::write_bytes(DsmAddr addr, std::span<const std::byte> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const DsmAddr a = addr + done;
+    const std::size_t room = geometry_.page_size() - geometry_.offset_in_page(a);
+    const std::size_t n = std::min(room, in.size() - done);
+    access_write(a, in.subspan(done, n));
+    done += n;
+  }
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,66 @@
+#include "dsm/barrier.hpp"
+
+#include "common/check.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+BarrierManager::BarrierManager(Dsm& dsm) : dsm_(dsm) {
+  svc_arrive_ = dsm_.runtime().rpc().register_service(
+      "dsm.barrier.arrive", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_arrive(ctx, args); });
+}
+
+int BarrierManager::create(int parties, ProtocolId protocol) {
+  DSM_CHECK(parties > 0);
+  const int id = next_id_++;
+  protocol_of_.push_back(protocol);
+  parties_of_.push_back(parties);
+  return id;
+}
+
+NodeId BarrierManager::coordinator_of(int barrier_id) const {
+  return static_cast<NodeId>(barrier_id % dsm_.node_count());
+}
+
+void BarrierManager::wait(int barrier_id) {
+  DSM_CHECK(barrier_id >= 0 && barrier_id < next_id_);
+  auto& rt = dsm_.runtime();
+  const ProtocolId pid =
+      protocol_of_[static_cast<std::size_t>(barrier_id)] != kInvalidProtocol
+          ? protocol_of_[static_cast<std::size_t>(barrier_id)]
+          : dsm_.default_protocol();
+  const Protocol& proto = dsm_.protocols().get(pid);
+
+  // A barrier is a release followed by an acquire.
+  proto.lock_release(dsm_, SyncContext{barrier_id, rt.self_node()});
+
+  Packer args;
+  args.pack(barrier_id);
+  rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
+
+  proto.lock_acquire(dsm_, SyncContext{barrier_id, rt.self_node()});
+  dsm_.counters().inc(rt.self_node(), Counter::kBarriersCrossed);
+}
+
+void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto barrier_id = args.unpack<int>();
+  BarrierState& s = state_[barrier_id];
+  if (s.parties == 0) {
+    s.parties = parties_of_[static_cast<std::size_t>(barrier_id)];
+  }
+  s.waiters.push_back(Waiter{ctx.src, ctx.reply_token});
+  ctx.reply_token = 0;  // replies go out when the generation completes
+  ++s.arrived;
+  if (s.arrived < s.parties) return;
+  // Everyone is here: resume the lot.
+  auto waiters = std::move(s.waiters);
+  s.waiters.clear();
+  s.arrived = 0;
+  ++s.generation;
+  for (const Waiter& w : waiters) {
+    dsm_.runtime().rpc().reply_to(ctx.self, w.src, w.token, Packer{});
+  }
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,59 @@
+// Cluster-wide barriers with consistency hooks.
+//
+// A barrier is a release point followed by an acquire point: before arriving,
+// the generic core runs the protocol's lock_release action (pushing pending
+// modifications / invalidations); after everyone arrived, each participant
+// runs lock_acquire (refreshing its view) and resumes. Centralized
+// coordinator per barrier (coordinator = id mod nodes).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/config.hpp"
+#include "pm2/rpc.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+class BarrierManager {
+ public:
+  explicit BarrierManager(Dsm& dsm);
+
+  BarrierManager(const BarrierManager&) = delete;
+  BarrierManager& operator=(const BarrierManager&) = delete;
+
+  /// Creates a barrier for `parties` participating threads.
+  int create(int parties, ProtocolId protocol = kInvalidProtocol);
+
+  /// Release-hook, arrive, wait for everyone, acquire-hook.
+  void wait(int barrier_id);
+
+ private:
+  struct Waiter {
+    NodeId src;
+    std::uint64_t token;
+  };
+  struct BarrierState {
+    int parties = 0;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    std::vector<Waiter> waiters;
+  };
+
+  [[nodiscard]] NodeId coordinator_of(int barrier_id) const;
+
+  void serve_arrive(pm2::RpcContext& ctx, Unpacker& args);
+
+  Dsm& dsm_;
+  pm2::ServiceId svc_arrive_ = 0;
+  int next_id_ = 0;
+  std::vector<ProtocolId> protocol_of_;
+  std::vector<int> parties_of_;
+  std::unordered_map<int, BarrierState> state_;  // lives on the coordinator
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,200 @@
+#include "dsm/comm.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+namespace {
+
+struct RequestWire {
+  PageId page;
+  Access wanted;
+  NodeId requester;
+};
+
+struct PageWire {
+  PageId page;
+  Access granted;
+  std::uint8_t ownership;
+  std::uint64_t copyset_bits;
+  NodeId owner_hint;
+};
+
+struct InvalidateWire {
+  PageId page;
+  NodeId new_owner;
+};
+
+struct DiffWire {
+  PageId page;
+  std::uint8_t response_to_invalidation;
+};
+
+}  // namespace
+
+DsmComm::DsmComm(Dsm& dsm) : dsm_(dsm) {
+  auto& rpc = dsm_.runtime().rpc();
+  svc_request_ = rpc.register_service(
+      "dsm.request", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_page_request(ctx, args); });
+  svc_page_ = rpc.register_service(
+      "dsm.page", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_send_page(ctx, args); });
+  svc_invalidate_ = rpc.register_service(
+      "dsm.invalidate", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_invalidate(ctx, args); });
+  svc_diff_ = rpc.register_service(
+      "dsm.diff", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_diff(ctx, args); });
+  svc_word_ = rpc.register_service(
+      "dsm.word_read", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_word_read(ctx, args); });
+}
+
+void DsmComm::request_page(NodeId to, PageId page, Access wanted, NodeId requester) {
+  auto& rt = dsm_.runtime();
+  dsm_.counters().inc(requester, Counter::kPageRequestsSent);
+  dsm_.probe().mark(requester, FaultStep::kRequestSent, rt.now());
+  Packer p;
+  p.pack(RequestWire{page, wanted, requester});
+  // The request may be sent by the faulting thread or by a forwarding
+  // server thread; either way the wire source is the current node.
+  rt.rpc().call_async(to, svc_request_, std::move(p),
+                      madeleine::MsgKind::kPageRequest);
+}
+
+void DsmComm::serve_page_request(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<RequestWire>();
+  dsm_.probe().mark(wire.requester, FaultStep::kRequestReceived, dsm_.runtime().now());
+  const Protocol& proto = dsm_.protocol_of(wire.page);
+  PageRequest req{wire.page, wire.wanted, wire.requester, ctx.self};
+  if (wire.wanted == Access::kWrite) {
+    proto.write_server(dsm_, req);
+  } else {
+    proto.read_server(dsm_, req);
+  }
+}
+
+void DsmComm::send_page(NodeId to, PageId page, Access granted, bool ownership,
+                        const CopySet& copyset, NodeId owner_hint) {
+  auto& rt = dsm_.runtime();
+  const NodeId self = rt.self_node();
+  dsm_.counters().inc(self, Counter::kPagesSent);
+  Packer p;
+  p.pack(PageWire{page, granted, ownership ? std::uint8_t{1} : std::uint8_t{0},
+                  copyset.bits(), owner_hint});
+  p.pack_raw(dsm_.store(self).frame(page));  // the real page bytes
+  dsm_.probe().mark(to, FaultStep::kPageSent, rt.now());
+  rt.rpc().call_async(to, svc_page_, std::move(p), madeleine::MsgKind::kBulk);
+}
+
+void DsmComm::serve_send_page(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<PageWire>();
+  dsm_.probe().mark(ctx.self, FaultStep::kPageReceived, dsm_.runtime().now());
+  auto data = args.unpack_raw(dsm_.geometry().page_size());
+  PageArrival arrival;
+  arrival.page = wire.page;
+  arrival.granted = wire.granted;
+  arrival.from = ctx.src;
+  arrival.node = ctx.self;
+  arrival.ownership_transferred = wire.ownership != 0;
+  arrival.copyset = CopySet(wire.copyset_bits);
+  arrival.owner_hint = wire.owner_hint;
+  arrival.data = data;
+  dsm_.protocol_of(wire.page).receive_page_server(dsm_, arrival);
+}
+
+void DsmComm::invalidate(NodeId to, PageId page, NodeId new_owner) {
+  auto& rt = dsm_.runtime();
+  dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
+  Packer p;
+  p.pack(InvalidateWire{page, new_owner});
+  rt.rpc().call(to, svc_invalidate_, std::move(p));  // blocks for the ack
+}
+
+void DsmComm::invalidate_async(NodeId to, PageId page, NodeId new_owner) {
+  auto& rt = dsm_.runtime();
+  dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
+  Packer p;
+  p.pack(InvalidateWire{page, new_owner});
+  rt.rpc().call_async(to, svc_invalidate_, std::move(p));
+}
+
+void DsmComm::serve_invalidate(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<InvalidateWire>();
+  dsm_.counters().inc(ctx.self, Counter::kInvalidationsServed);
+  dsm_.charge(dsm_.costs().invalidate_serve);
+  InvalidateRequest inv{wire.page, ctx.src, wire.new_owner, ctx.self};
+  dsm_.protocol_of(wire.page).invalidate_server(dsm_, inv);
+  if (ctx.reply_token != 0) ctx.reply(Packer{});
+}
+
+void DsmComm::send_diff(NodeId home, PageId page, const Diff& diff,
+                        bool response_to_invalidation) {
+  auto& rt = dsm_.runtime();
+  const NodeId self = rt.self_node();
+  dsm_.counters().inc(self, Counter::kDiffsSent);
+  dsm_.counters().inc(self, Counter::kDiffBytesSent, diff.wire_bytes());
+  Packer p;
+  p.pack(DiffWire{page, response_to_invalidation ? std::uint8_t{1} : std::uint8_t{0}});
+  diff.serialize(p);
+  rt.rpc().call(home, svc_diff_, std::move(p), madeleine::MsgKind::kBulk);
+}
+
+namespace {
+struct WordWire {
+  PageId page;
+  std::uint32_t offset;
+  std::uint32_t length;
+};
+}  // namespace
+
+std::uint64_t DsmComm::remote_read_word(NodeId home, PageId page,
+                                        std::uint32_t offset, std::uint32_t length) {
+  DSM_CHECK(length > 0 && length <= 8);
+  Packer p;
+  p.pack(WordWire{page, offset, length});
+  Buffer reply = dsm_.runtime().rpc().call(home, svc_word_, std::move(p));
+  return Unpacker(reply).unpack<std::uint64_t>();
+}
+
+void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<WordWire>();
+  // Inline (non-blocking) read of the home's current frame. The home's frame
+  // is always the merged "main memory" for its pages.
+  std::uint64_t value = 0;
+  dsm_.store(ctx.self).read_bytes(
+      wire.page, wire.offset,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(&value), wire.length));
+  Packer out;
+  out.pack(value);
+  ctx.reply(std::move(out));
+}
+
+void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<DiffWire>();
+  const Diff diff = Diff::deserialize(args);
+  dsm_.counters().inc(ctx.self, Counter::kDiffsApplied);
+  DiffArrival arrival;
+  arrival.page = wire.page;
+  arrival.from = ctx.src;
+  arrival.node = ctx.self;
+  arrival.response_to_invalidation = wire.response_to_invalidation != 0;
+  arrival.diff = &diff;
+  const Protocol& proto = dsm_.protocol_of(wire.page);
+  if (proto.diff_server) {
+    proto.diff_server(dsm_, arrival);
+  } else {
+    // Default: charge the apply cost and patch the local frame.
+    auto& tbl = dsm_.table(ctx.self);
+    marcel::MutexLock l(tbl.mutex(wire.page));
+    dsm_.charge_us(static_cast<double>(diff.payload_bytes()) *
+                   dsm_.costs().diff_apply_per_byte_us);
+    diff.apply(dsm_.store(ctx.self).frame(wire.page));
+  }
+  if (ctx.reply_token != 0) ctx.reply(Packer{});
+}
+
+}  // namespace dsmpm2::dsm

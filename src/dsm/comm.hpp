@@ -1,0 +1,74 @@
+// The DSM communication module (paper §2.2).
+//
+// "This module is responsible for providing elementary communication
+// mechanisms, such as delivering requests for page copies, sending pages,
+// invalidating pages or sending diffs. [It] is implemented using PM2's RPC
+// mechanism" — and so is this one: four PM2 services, each dispatching into
+// the protocol actions of the page's protocol. Because the services ride on
+// Madeleine, the module is "portable across all communication interfaces
+// supported by Madeleine at no extra cost" (here: all drivers).
+#pragma once
+
+#include <cstdint>
+
+#include "common/copyset.hpp"
+#include "common/ids.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/page.hpp"
+#include "pm2/rpc.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+class DsmComm {
+ public:
+  explicit DsmComm(Dsm& dsm);
+
+  DsmComm(const DsmComm&) = delete;
+  DsmComm& operator=(const DsmComm&) = delete;
+
+  /// Requests `wanted` access to `page` on behalf of `requester`; the target
+  /// runs the page's protocol read_server/write_server. Asynchronous — the
+  /// page (or a forwarded grant) arrives later via send_page.
+  void request_page(NodeId to, PageId page, Access wanted, NodeId requester);
+
+  /// Ships the local copy of `page` to `to`, granting `granted` access.
+  /// `ownership` transfers page ownership (with `copyset`); `owner_hint`
+  /// updates the receiver's probable-owner field.
+  void send_page(NodeId to, PageId page, Access granted, bool ownership,
+                 const CopySet& copyset, NodeId owner_hint);
+
+  /// Invalidates `page` on `to`; blocks until acknowledged (the paper's
+  /// write-invalidate protocols need the ack before granting write access).
+  void invalidate(NodeId to, PageId page, NodeId new_owner);
+
+  /// Fire-and-forget variant used by release-time batch invalidation.
+  void invalidate_async(NodeId to, PageId page, NodeId new_owner);
+
+  /// Sends `diff` for `page` to its home; blocks until the home applied it.
+  void send_diff(NodeId home, PageId page, const Diff& diff,
+                 bool response_to_invalidation);
+
+  /// Reads up to 8 bytes straight from `home`'s current frame — the wire
+  /// mechanics behind volatile accesses (which bypass the local cache and
+  /// consult main memory). Blocks for the round trip.
+  std::uint64_t remote_read_word(NodeId home, PageId page, std::uint32_t offset,
+                                 std::uint32_t length);
+
+ private:
+  void serve_page_request(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_send_page(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_invalidate(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_diff(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_word_read(pm2::RpcContext& ctx, Unpacker& args);
+
+  Dsm& dsm_;
+  pm2::ServiceId svc_request_ = 0;
+  pm2::ServiceId svc_page_ = 0;
+  pm2::ServiceId svc_invalidate_ = 0;
+  pm2::ServiceId svc_diff_ = 0;
+  pm2::ServiceId svc_word_ = 0;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,60 @@
+// DSM-PM2 configuration: page geometry and the protocol-processing cost
+// model.
+//
+// The cost model holds every software cost the DSM layer charges to the
+// simulated CPUs. Defaults are calibrated from the paper's Tables 3 and 4:
+// the 11 µs page-fault detection cost and the 26 µs page-based protocol
+// overhead (which we split between the owner-side request service and the
+// requester-side page install), and the ~1 µs protocol overhead of the
+// thread-migration protocol. Everything is overridable — the ablation
+// benches sweep these knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace dsmpm2::dsm {
+
+using ProtocolId = int;
+inline constexpr ProtocolId kInvalidProtocol = -1;
+
+struct CostModel {
+  /// Catching the access fault and entering the handler (Table 3, row 1).
+  SimTime page_fault = 11 * kNsPerUs;
+  /// Owner-side processing of a page request (part of the 26 µs overhead).
+  SimTime request_serve = 13 * kNsPerUs;
+  /// Requester-side page install: copy + rights + table update (rest of 26 µs).
+  SimTime page_install = 13 * kNsPerUs;
+  /// The migrate_thread protocol's handler cost (Table 4, row 3).
+  SimTime migrate_overhead = 1 * kNsPerUs;
+  /// One inline locality check in the java_ic get/put primitives.
+  SimTime inline_check = 200;  // 0.2 µs
+  /// Appending one record to the on-the-fly write log (java protocols).
+  SimTime write_record = 50;  // 0.05 µs
+  /// Serving an invalidation request.
+  SimTime invalidate_serve = 2 * kNsPerUs;
+  /// Lock manager bookkeeping per acquire/release message.
+  SimTime lock_manage = 1 * kNsPerUs;
+  /// Twin creation (copying one page), charged per byte.
+  double twin_per_byte_us = 0.002;
+  /// Computing a diff against the twin, charged per byte scanned.
+  double diff_scan_per_byte_us = 0.002;
+  /// Applying a received diff, charged per byte written.
+  double diff_apply_per_byte_us = 0.002;
+  /// Barrier bookkeeping per participant message.
+  SimTime barrier_manage = 1 * kNsPerUs;
+};
+
+struct DsmConfig {
+  /// Page size in bytes (the paper uses 4 kB pages throughout).
+  std::uint32_t page_size = 4096;
+  /// Total DSM address-space size managed (frames materialize lazily).
+  std::uint64_t space_bytes = 64ull * 1024 * 1024;
+  CostModel costs;
+  /// Enable the per-fault step probe (used by the Table 3/4 benches).
+  bool enable_fault_probe = false;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,121 @@
+#include "dsm/diff.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+Diff Diff::compute(std::span<const std::byte> twin,
+                   std::span<const std::byte> current, std::uint32_t word_size) {
+  DSM_CHECK(twin.size() == current.size());
+  DSM_CHECK(word_size > 0);
+  Diff diff;
+  const std::size_t n = twin.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t w = std::min<std::size_t>(word_size, n - i);
+    if (std::memcmp(twin.data() + i, current.data() + i, w) != 0) {
+      // Start of a modified run: extend over consecutive modified words.
+      const std::size_t start = i;
+      while (i < n) {
+        const std::size_t ww = std::min<std::size_t>(word_size, n - i);
+        if (std::memcmp(twin.data() + i, current.data() + i, ww) == 0) break;
+        i += ww;
+      }
+      diff.add_chunk(static_cast<std::uint32_t>(start),
+                     current.subspan(start, i - start));
+    } else {
+      i += w;
+    }
+  }
+  return diff;
+}
+
+void Diff::apply(std::span<std::byte> target) const {
+  for (const Chunk& c : chunks_) {
+    DSM_CHECK(c.offset + c.data.size() <= target.size());
+    std::memcpy(target.data() + c.offset, c.data.data(), c.data.size());
+  }
+}
+
+void Diff::add_chunk(std::uint32_t offset, std::span<const std::byte> data) {
+  Chunk c;
+  c.offset = offset;
+  c.data.assign(data.begin(), data.end());
+  chunks_.push_back(std::move(c));
+}
+
+std::size_t Diff::payload_bytes() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.data.size();
+  return total;
+}
+
+std::size_t Diff::wire_bytes() const {
+  // offset + length prefix per chunk, plus the data.
+  return sizeof(std::uint32_t) + chunks_.size() * (2 * sizeof(std::uint32_t)) +
+         payload_bytes();
+}
+
+void Diff::serialize(Packer& p) const {
+  p.pack<std::uint32_t>(static_cast<std::uint32_t>(chunks_.size()));
+  for (const Chunk& c : chunks_) {
+    p.pack<std::uint32_t>(c.offset);
+    p.pack_bytes(c.data);
+  }
+}
+
+Diff Diff::deserialize(Unpacker& u) {
+  Diff d;
+  const auto n = u.unpack<std::uint32_t>();
+  d.chunks_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto offset = u.unpack<std::uint32_t>();
+    auto bytes = u.unpack_bytes();
+    d.add_chunk(offset, bytes);
+  }
+  return d;
+}
+
+void WriteLog::record(PageId page, std::uint32_t offset, std::uint32_t length) {
+  if (length == 0) return;
+  // Merge with an existing overlapping/adjacent record on the same page.
+  for (Record& r : records_) {
+    if (r.page != page) continue;
+    const std::uint32_t r_end = r.offset + r.length;
+    const std::uint32_t end = offset + length;
+    if (offset <= r_end && end >= r.offset) {
+      const std::uint32_t lo = std::min(r.offset, offset);
+      const std::uint32_t hi = std::max(r_end, end);
+      r.offset = lo;
+      r.length = hi - lo;
+      return;
+    }
+  }
+  records_.push_back(Record{page, offset, length});
+}
+
+std::vector<WriteLog::Record> WriteLog::for_page(PageId page) const {
+  std::vector<Record> out;
+  for (const Record& r : records_) {
+    if (r.page == page) out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Record& a, const Record& b) { return a.offset < b.offset; });
+  return out;
+}
+
+std::vector<PageId> WriteLog::pages() const {
+  std::vector<PageId> out;
+  for (const Record& r : records_) {
+    if (std::find(out.begin(), out.end(), r.page) == out.end()) {
+      out.push_back(r.page);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dsmpm2::dsm

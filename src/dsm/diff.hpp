@@ -1,0 +1,87 @@
+// Twin/diff machinery for the multiple-writer protocols.
+//
+// Two diff sources exist in DSM-PM2 (paper §3.2/§3.3):
+//   * hbrc_mw computes diffs *on release* by comparing a page against its
+//     twin (the "classical twinning technique" of Keleher et al. [15]);
+//   * the Java protocols record modifications *on the fly* with object-field
+//     granularity through the put primitive (a WriteLog here), and ship the
+//     recorded ranges at main-memory-update time.
+//
+// A Diff is a list of (offset, bytes) chunks relative to a page; it
+// serializes into the Madeleine payload that travels to the home node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+
+namespace dsmpm2::dsm {
+
+class Diff {
+ public:
+  struct Chunk {
+    std::uint32_t offset = 0;
+    std::vector<std::byte> data;
+  };
+
+  Diff() = default;
+
+  /// Word-granularity comparison of `current` against `twin`; adjacent
+  /// modified words coalesce into one chunk.
+  static Diff compute(std::span<const std::byte> twin,
+                      std::span<const std::byte> current,
+                      std::uint32_t word_size = 8);
+
+  /// Writes every chunk into `target` (a page frame).
+  void apply(std::span<std::byte> target) const;
+
+  void add_chunk(std::uint32_t offset, std::span<const std::byte> data);
+
+  [[nodiscard]] bool empty() const { return chunks_.empty(); }
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+  /// Total modified bytes carried.
+  [[nodiscard]] std::size_t payload_bytes() const;
+  /// Serialized size (what travels on the wire).
+  [[nodiscard]] std::size_t wire_bytes() const;
+  [[nodiscard]] const std::vector<Chunk>& chunks() const { return chunks_; }
+
+  void serialize(Packer& p) const;
+  static Diff deserialize(Unpacker& u);
+
+ private:
+  std::vector<Chunk> chunks_;
+};
+
+/// On-the-fly modification record for the Java-consistency protocols: each
+/// put() on a cached (non-home) object field appends a range; ranges merge
+/// when adjacent or overlapping within a page.
+class WriteLog {
+ public:
+  struct Record {
+    PageId page = kInvalidPage;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  void record(PageId page, std::uint32_t offset, std::uint32_t length);
+
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+  /// All records for `page`, in offset order.
+  [[nodiscard]] std::vector<Record> for_page(PageId page) const;
+
+  /// Distinct pages present in the log.
+  [[nodiscard]] std::vector<PageId> pages() const;
+
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace dsmpm2::dsm

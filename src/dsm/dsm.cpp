@@ -1,0 +1,94 @@
+#include "dsm/dsm.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::dsm {
+
+Dsm::Dsm(pm2::Runtime& runtime, DsmConfig config)
+    : rt_(runtime),
+      config_(std::move(config)),
+      geometry_(config_.page_size, runtime.config().iso_space_bytes),
+      counters_(runtime.node_count()),
+      probe_(runtime.node_count()),
+      areas_(*this),
+      locks_(*this),
+      barriers_(*this) {
+  DSM_CHECK_MSG(config_.page_size % runtime.config().iso_slot_bytes == 0 ||
+                    runtime.config().iso_slot_bytes % config_.page_size == 0,
+                "page size and iso slot size must nest");
+  for (NodeId n = 0; n < static_cast<NodeId>(rt_.node_count()); ++n) {
+    nodes_.push_back(std::make_unique<NodeState>(rt_.scheduler(), n,
+                                                 geometry_.page_count(),
+                                                 config_.page_size));
+  }
+  comm_ = std::make_unique<DsmComm>(*this);
+  builtin_ = protocols::register_builtins(*this);
+  default_protocol_ = builtin_.li_hudak;
+  probe_.set_enabled(config_.enable_fault_probe);
+}
+
+Dsm::~Dsm() = default;
+
+void Dsm::set_default_protocol(ProtocolId id) {
+  DSM_CHECK(id >= 0 && id < registry_.count());
+  default_protocol_ = id;
+}
+
+DsmAddr Dsm::dsm_malloc(std::uint64_t size, const AllocAttr& attr) {
+  return areas_.allocate(size, attr);
+}
+
+PageTable& Dsm::table(NodeId node) {
+  DSM_CHECK(node < nodes_.size());
+  return nodes_[node]->table;
+}
+
+PageStore& Dsm::store(NodeId node) {
+  DSM_CHECK(node < nodes_.size());
+  return nodes_[node]->store;
+}
+
+const Protocol& Dsm::protocol_of(PageId page) {
+  return registry_.get(protocol_id_of(page));
+}
+
+ProtocolId Dsm::protocol_id_of(PageId page) {
+  // Protocol ids are identical on every node; read from node 0's table.
+  const PageEntry& e = nodes_[0]->table.entry(page);
+  DSM_CHECK_MSG(e.valid, "page belongs to no DSM area");
+  return e.protocol;
+}
+
+ProtocolState& Dsm::proto_state_erased(ProtocolId protocol, NodeId node) {
+  DSM_CHECK(node < nodes_.size());
+  DSM_CHECK(protocol >= 0 && protocol < registry_.count());
+  auto& slots = nodes_[node]->proto;
+  if (slots.size() <= static_cast<std::size_t>(protocol)) {
+    slots.resize(static_cast<std::size_t>(registry_.count()));
+  }
+  auto& slot = slots[static_cast<std::size_t>(protocol)];
+  if (slot == nullptr) {
+    const Protocol& p = registry_.get(protocol);
+    DSM_CHECK_MSG(p.make_node_state != nullptr,
+                  "protocol declares no per-node state");
+    slot = p.make_node_state();
+  }
+  return *slot;
+}
+
+std::string Dsm::report() const {
+  std::string out = counters_.report();
+  TablePrinter net({"node", "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv"});
+  for (NodeId n = 0; n < static_cast<NodeId>(rt_.node_count()); ++n) {
+    const auto& s = rt_.network().stats(n);
+    net.add_row({std::to_string(n), std::to_string(s.messages_sent),
+                 std::to_string(s.bytes_sent), std::to_string(s.messages_received),
+                 std::to_string(s.bytes_received)});
+  }
+  out += net.render();
+  return out;
+}
+
+}  // namespace dsmpm2::dsm

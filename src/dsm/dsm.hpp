@@ -1,0 +1,213 @@
+// The DSM-PM2 façade: the public API of the platform.
+//
+// Layering (paper Figure 1):
+//
+//          DSM protocol policy        <- built-in + user protocols, selection
+//          DSM protocol library       <- dsm/protocol_lib.hpp toolbox
+//     DSM page manager | DSM comm     <- page_table/page_store | comm
+//          PM2 (threads + RPC)        <- pm2::Runtime
+//
+// A Dsm instance provides the illusion of one address space shared by all
+// Marcel threads regardless of node. Static and dynamic areas are allocated
+// with per-area protocols; accesses go through read/write (page-fault
+// detection) or get/put (compiler-target primitives that may use inline
+// checks); locks and barriers carry the consistency actions of the weak
+// models.
+//
+// Quickstart (mirrors the paper's Figure 2):
+//
+//   pm2::Runtime rt(pm2_cfg);
+//   dsm::Dsm dsm(rt, dsm::DsmConfig{});
+//   dsm.set_default_protocol(dsm.builtin().li_hudak);
+//   DsmAddr x = dsm.dsm_malloc(sizeof(int));
+//   rt.run([&] { dsm.write<int>(x, 34); ... });
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/barrier.hpp"
+#include "dsm/comm.hpp"
+#include "dsm/config.hpp"
+#include "dsm/instrumentation.hpp"
+#include "dsm/lock.hpp"
+#include "dsm/memory.hpp"
+#include "dsm/page.hpp"
+#include "dsm/page_store.hpp"
+#include "dsm/page_table.hpp"
+#include "dsm/protocol.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::dsm {
+
+/// Identifiers of the protocols that ship with DSM-PM2 (paper Table 2, plus
+/// the hybrid built from library routines described in §2.3).
+struct BuiltinProtocols {
+  ProtocolId li_hudak = kInvalidProtocol;
+  ProtocolId migrate_thread = kInvalidProtocol;
+  ProtocolId erc_sw = kInvalidProtocol;
+  ProtocolId hbrc_mw = kInvalidProtocol;
+  ProtocolId java_ic = kInvalidProtocol;
+  ProtocolId java_pf = kInvalidProtocol;
+  ProtocolId hybrid_rw = kInvalidProtocol;
+};
+
+class Dsm {
+ public:
+  Dsm(pm2::Runtime& runtime, DsmConfig config);
+  ~Dsm();
+
+  Dsm(const Dsm&) = delete;
+  Dsm& operator=(const Dsm&) = delete;
+
+  // ---- protocol policy layer ----
+  /// Registers a user protocol (the paper's dsm_create_protocol).
+  ProtocolId create_protocol(Protocol p) { return registry_.create(std::move(p)); }
+  /// The paper's pm2_dsm_set_default_protocol.
+  void set_default_protocol(ProtocolId id);
+  [[nodiscard]] ProtocolId default_protocol() const { return default_protocol_; }
+  [[nodiscard]] const ProtocolRegistry& protocols() const { return registry_; }
+  [[nodiscard]] ProtocolId protocol_by_name(std::string_view name) const {
+    return registry_.find(name);
+  }
+  [[nodiscard]] const BuiltinProtocols& builtin() const { return builtin_; }
+
+  // ---- memory ----
+  /// Allocates a shared area (the paper's dsm_malloc with attributes).
+  DsmAddr dsm_malloc(std::uint64_t size, const AllocAttr& attr = {});
+  void dsm_free(DsmAddr base) { areas_.release(base); }
+  [[nodiscard]] AreaManager& areas() { return areas_; }
+
+  // ---- shared access: page-fault detection ----
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T read(DsmAddr addr) {
+    T out;
+    access_read(addr, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(DsmAddr addr, const T& value) {
+    access_write(addr, {reinterpret_cast<const std::byte*>(&value), sizeof(T)});
+  }
+
+  void read_bytes(DsmAddr addr, std::span<std::byte> out);
+  void write_bytes(DsmAddr addr, std::span<const std::byte> in);
+
+  // ---- shared access: compiler-target primitives (paper §2.3 get/put) ----
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] T get(DsmAddr addr) {
+    T out;
+    access_get(addr, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+    return out;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(DsmAddr addr, const T& value) {
+    access_put(addr, {reinterpret_cast<const std::byte*>(&value), sizeof(T)});
+  }
+
+  /// Volatile read (Java-volatile semantics for the compiler target): reads
+  /// the datum straight from its home node's "main memory", bypassing the
+  /// local cache — no fault, no cache flush, one small round trip when
+  /// remote. Hyperion uses this for data whose staleness matters but whose
+  /// access pattern makes monitor round trips wasteful (the paper's "a
+  /// number of synchronizations could thereby be optimized out").
+  template <typename T>
+    requires(std::is_trivially_copyable_v<T> && sizeof(T) <= 8)
+  [[nodiscard]] T get_volatile(DsmAddr addr) {
+    T out;
+    access_get_volatile(addr, {reinterpret_cast<std::byte*>(&out), sizeof(T)});
+    return out;
+  }
+
+  // ---- synchronization with consistency hooks ----
+  int create_lock(ProtocolId protocol = kInvalidProtocol) {
+    return locks_.create(protocol);
+  }
+  void lock_acquire(int lock_id) { locks_.acquire(lock_id); }
+  void lock_release(int lock_id) { locks_.release(lock_id); }
+
+  int create_barrier(int parties, ProtocolId protocol = kInvalidProtocol) {
+    return barriers_.create(parties, protocol);
+  }
+  void barrier_wait(int barrier_id) { barriers_.wait(barrier_id); }
+
+  // ---- introspection / infrastructure (used by protocols and benches) ----
+  [[nodiscard]] pm2::Runtime& runtime() { return rt_; }
+  [[nodiscard]] const DsmConfig& config() const { return config_; }
+  [[nodiscard]] const CostModel& costs() const { return config_.costs; }
+  [[nodiscard]] const PageGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] int node_count() const { return rt_.node_count(); }
+  [[nodiscard]] NodeId self() const { return rt_.self_node(); }
+
+  [[nodiscard]] PageTable& table(NodeId node);
+  [[nodiscard]] PageStore& store(NodeId node);
+  [[nodiscard]] DsmComm& comm() { return *comm_; }
+  [[nodiscard]] Counters& counters() { return counters_; }
+  [[nodiscard]] FaultProbe& probe() { return probe_; }
+
+  /// Charges CPU on the calling thread's node.
+  void charge(SimTime cost) { rt_.compute(cost); }
+  void charge_us(double us) { rt_.compute(from_us(us)); }
+
+  /// The protocol managing `page` (checked).
+  [[nodiscard]] const Protocol& protocol_of(PageId page);
+  [[nodiscard]] ProtocolId protocol_id_of(PageId page);
+
+  /// Per-(protocol, node) state, created on demand by the protocol's
+  /// factory and downcast by the protocol implementation.
+  template <typename StateT>
+  [[nodiscard]] StateT& proto_state(ProtocolId protocol, NodeId node) {
+    return static_cast<StateT&>(proto_state_erased(protocol, node));
+  }
+
+  /// Post-mortem report: counters + network traffic.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct NodeState {
+    PageTable table;
+    PageStore store;
+    std::vector<std::unique_ptr<ProtocolState>> proto;
+    NodeState(sim::Scheduler& sched, NodeId node, PageId pages,
+              std::uint32_t page_size)
+        : table(sched, node, pages), store(node, pages, page_size) {}
+  };
+
+  ProtocolState& proto_state_erased(ProtocolId protocol, NodeId node);
+
+  // Non-template access paths (dsm/access.cpp).
+  void access_read(DsmAddr addr, std::span<std::byte> out);
+  void access_write(DsmAddr addr, std::span<const std::byte> in);
+  void access_get(DsmAddr addr, std::span<std::byte> out);
+  void access_put(DsmAddr addr, std::span<const std::byte> in);
+  void access_get_volatile(DsmAddr addr, std::span<std::byte> out);
+
+  /// One fault: counts, charges the detection cost (if page-fault mode) and
+  /// runs the protocol's fault handler. Callers loop until rights suffice.
+  void fault(DsmAddr addr, PageId page, Access wanted, bool charge_fault_cost);
+
+  pm2::Runtime& rt_;
+  DsmConfig config_;
+  PageGeometry geometry_;
+  ProtocolRegistry registry_;
+  BuiltinProtocols builtin_;
+  ProtocolId default_protocol_ = kInvalidProtocol;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  Counters counters_;
+  FaultProbe probe_;
+  std::unique_ptr<DsmComm> comm_;
+  AreaManager areas_;
+  LockManager locks_;
+  BarrierManager barriers_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,78 @@
+#include "dsm/instrumentation.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kReadFaults: return "read_faults";
+    case Counter::kWriteFaults: return "write_faults";
+    case Counter::kPageRequestsSent: return "page_requests_sent";
+    case Counter::kRequestsForwarded: return "requests_forwarded";
+    case Counter::kPagesSent: return "pages_sent";
+    case Counter::kInvalidationsSent: return "invalidations_sent";
+    case Counter::kInvalidationsServed: return "invalidations_served";
+    case Counter::kDiffsSent: return "diffs_sent";
+    case Counter::kDiffBytesSent: return "diff_bytes_sent";
+    case Counter::kDiffsApplied: return "diffs_applied";
+    case Counter::kThreadMigrations: return "thread_migrations";
+    case Counter::kLockAcquires: return "lock_acquires";
+    case Counter::kLockReleases: return "lock_releases";
+    case Counter::kBarriersCrossed: return "barriers_crossed";
+    case Counter::kInlineChecks: return "inline_checks";
+    case Counter::kGets: return "gets";
+    case Counter::kPuts: return "puts";
+    case Counter::kWriteRecords: return "write_records";
+    case Counter::kTwinsCreated: return "twins_created";
+    case Counter::kCacheFlushes: return "cache_flushes";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+std::string Counters::report() const {
+  std::vector<std::string> header{"counter"};
+  for (std::size_t n = 0; n < per_node_.size(); ++n) {
+    header.push_back("node" + std::to_string(n));
+  }
+  header.push_back("total");
+  TablePrinter table(std::move(header));
+  for (int c = 0; c < static_cast<int>(Counter::kCount); ++c) {
+    const auto counter = static_cast<Counter>(c);
+    if (total(counter) == 0) continue;
+    std::vector<std::string> row{counter_name(counter)};
+    for (std::size_t n = 0; n < per_node_.size(); ++n) {
+      row.push_back(std::to_string(get(static_cast<NodeId>(n), counter)));
+    }
+    row.push_back(std::to_string(total(counter)));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+void FaultProbe::mark(NodeId faulter, FaultStep step, SimTime now) {
+  if (!enabled_) return;
+  DSM_CHECK(faulter < last_.size());
+  if (in_flight_.empty()) in_flight_.resize(last_.size());
+  Trace& t = in_flight_[faulter];
+  if (step == FaultStep::kFaultStart) t = Trace{};
+  t.t[static_cast<std::size_t>(step)] = now;
+  if (step == FaultStep::kDone) last_[faulter] = t;
+}
+
+FaultProbe::Breakdown FaultProbe::breakdown(NodeId faulter) const {
+  const Trace& t = last_[faulter];
+  Breakdown b;
+  b.fault_us = to_us(t.at(FaultStep::kFaultDetected) - t.at(FaultStep::kFaultStart));
+  b.request_us =
+      to_us(t.at(FaultStep::kRequestReceived) - t.at(FaultStep::kRequestSent));
+  b.transfer_us = to_us(t.at(FaultStep::kPageReceived) - t.at(FaultStep::kPageSent));
+  b.overhead_us =
+      to_us((t.at(FaultStep::kPageSent) - t.at(FaultStep::kRequestReceived)) +
+            (t.at(FaultStep::kDone) - t.at(FaultStep::kPageReceived)));
+  b.total_us = to_us(t.at(FaultStep::kDone) - t.at(FaultStep::kFaultStart));
+  return b;
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,132 @@
+// Instrumentation: per-node counters and the post-mortem event trace.
+//
+// The paper closes its evaluation by noting that "very precise post-mortem
+// monitoring tools are available in the PM2 platform, providing the user with
+// valuable information on the time spent within each elementary function."
+// This module supplies the DSM-PM2 equivalents:
+//   * Counters — cheap per-node counts of protocol events;
+//   * FaultProbe — per-step timestamps of a fault's life cycle (the exact
+//     decomposition reported in Tables 3 and 4);
+//   * EventTrace — an optional time-stamped record of protocol events for
+//     post-mortem inspection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace dsmpm2::dsm {
+
+enum class Counter : int {
+  kReadFaults = 0,
+  kWriteFaults,
+  kPageRequestsSent,
+  kRequestsForwarded,
+  kPagesSent,
+  kInvalidationsSent,
+  kInvalidationsServed,
+  kDiffsSent,
+  kDiffBytesSent,
+  kDiffsApplied,
+  kThreadMigrations,
+  kLockAcquires,
+  kLockReleases,
+  kBarriersCrossed,
+  kInlineChecks,
+  kGets,
+  kPuts,
+  kWriteRecords,
+  kTwinsCreated,
+  kCacheFlushes,
+  kCount  // sentinel
+};
+
+const char* counter_name(Counter c);
+
+class Counters {
+ public:
+  explicit Counters(int node_count)
+      : per_node_(static_cast<std::size_t>(node_count)) {}
+
+  void inc(NodeId node, Counter c, std::uint64_t by = 1) {
+    per_node_[node][static_cast<std::size_t>(c)] += by;
+  }
+
+  [[nodiscard]] std::uint64_t get(NodeId node, Counter c) const {
+    return per_node_[node][static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] std::uint64_t total(Counter c) const {
+    std::uint64_t sum = 0;
+    for (const auto& n : per_node_) sum += n[static_cast<std::size_t>(c)];
+    return sum;
+  }
+
+  /// Renders the non-zero counters as a table (post-mortem report).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  using Row = std::array<std::uint64_t, static_cast<std::size_t>(Counter::kCount)>;
+  std::vector<Row> per_node_;
+};
+
+/// The life-cycle steps of one read/write fault, matching the rows of the
+/// paper's Tables 3 and 4.
+enum class FaultStep : int {
+  kFaultStart = 0,   ///< access violated, handler entered
+  kFaultDetected,    ///< fault cost charged (Table row "Page fault")
+  kRequestSent,      ///< page request left the node
+  kRequestReceived,  ///< request arrived at the serving node
+  kPageSent,         ///< serving node finished processing, page on the wire
+  kPageReceived,     ///< page arrived back at the faulting node
+  kDone,             ///< install finished, access granted / thread migrated
+  kCount
+};
+
+/// Records timestamps for fault steps. Because virtual time is global, steps
+/// executed on different nodes stitch into one coherent timeline.
+class FaultProbe {
+ public:
+  explicit FaultProbe(int node_count)
+      : last_(static_cast<std::size_t>(node_count)),
+        stats_(static_cast<std::size_t>(node_count)) {}
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Marks a step of the fault whose *faulting node* is `faulter`.
+  void mark(NodeId faulter, FaultStep step, SimTime now);
+
+  struct Trace {
+    std::array<SimTime, static_cast<std::size_t>(FaultStep::kCount)> t{};
+    [[nodiscard]] SimTime at(FaultStep s) const {
+      return t[static_cast<std::size_t>(s)];
+    }
+  };
+
+  /// The most recently completed fault trace for a node.
+  [[nodiscard]] const Trace& last(NodeId faulter) const { return last_[faulter]; }
+
+  /// Decomposition of the last fault, Table 3 style (all µs):
+  struct Breakdown {
+    double fault_us = 0;      ///< detection cost
+    double request_us = 0;    ///< request on the wire
+    double transfer_us = 0;   ///< page (or migration) on the wire
+    double overhead_us = 0;   ///< serve + install processing
+    double total_us = 0;
+  };
+  [[nodiscard]] Breakdown breakdown(NodeId faulter) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<Trace> in_flight_;
+  std::vector<Trace> last_;
+  std::vector<RunningStats> stats_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,85 @@
+#include "dsm/lock.hpp"
+
+#include "common/check.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+LockManager::LockManager(Dsm& dsm) : dsm_(dsm) {
+  auto& rpc = dsm_.runtime().rpc();
+  svc_acquire_ = rpc.register_service(
+      "dsm.lock.acquire", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_acquire(ctx, args); });
+  svc_release_ = rpc.register_service(
+      "dsm.lock.release", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_release(ctx, args); });
+}
+
+int LockManager::create(ProtocolId protocol) {
+  const int id = next_id_++;
+  protocol_of_.push_back(protocol);
+  return id;
+}
+
+NodeId LockManager::manager_of(int lock_id) const {
+  return static_cast<NodeId>(lock_id % dsm_.node_count());
+}
+
+ProtocolId LockManager::hook_protocol(int lock_id) const {
+  DSM_CHECK(lock_id >= 0 && lock_id < next_id_);
+  const ProtocolId p = protocol_of_[static_cast<std::size_t>(lock_id)];
+  return p != kInvalidProtocol ? p : dsm_.default_protocol();
+}
+
+void LockManager::acquire(int lock_id) {
+  auto& rt = dsm_.runtime();
+  const NodeId node = rt.self_node();
+  Packer args;
+  args.pack(lock_id);
+  // Blocks until the manager grants (possibly much later, FIFO).
+  rt.rpc().call(manager_of(lock_id), svc_acquire_, std::move(args));
+  dsm_.counters().inc(rt.self_node(), Counter::kLockAcquires);
+  // Consistency action *after having acquired* the lock (Table 1).
+  const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
+  proto.lock_acquire(dsm_, SyncContext{lock_id, rt.self_node()});
+  (void)node;
+}
+
+void LockManager::release(int lock_id) {
+  auto& rt = dsm_.runtime();
+  // Consistency action *before releasing* the lock (Table 1).
+  const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
+  proto.lock_release(dsm_, SyncContext{lock_id, rt.self_node()});
+  dsm_.counters().inc(rt.self_node(), Counter::kLockReleases);
+  Packer args;
+  args.pack(lock_id);
+  rt.rpc().call_async(manager_of(lock_id), svc_release_, std::move(args));
+}
+
+void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto lock_id = args.unpack<int>();
+  LockState& s = state_[lock_id];
+  if (!s.held) {
+    s.held = true;
+    ctx.reply(Packer{});  // immediate grant
+    return;
+  }
+  s.queue.push_back(Waiter{ctx.src, ctx.reply_token});
+  ctx.reply_token = 0;  // the grant goes out later, at release time
+}
+
+void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto lock_id = args.unpack<int>();
+  LockState& s = state_[lock_id];
+  DSM_CHECK_MSG(s.held, "release of a lock that is not held");
+  if (s.queue.empty()) {
+    s.held = false;
+    return;
+  }
+  const Waiter next = s.queue.front();
+  s.queue.pop_front();
+  // FIFO hand-off: the lock stays held; grant the queued requester.
+  dsm_.runtime().rpc().reply_to(ctx.self, next.src, next.token, Packer{});
+}
+
+}  // namespace dsmpm2::dsm

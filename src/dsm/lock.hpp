@@ -1,0 +1,69 @@
+// DSM locks with consistency hooks.
+//
+// Weak consistency models take their consistency actions at synchronization
+// points (paper §2.2, "Synchronization and consistency"). A DSM lock here is
+// a cluster-wide mutex with a centralized per-lock manager node (manager =
+// id mod nodes, FIFO grants), and the generic core invokes the protocol's
+// lock_acquire action right after the grant arrives and its lock_release
+// action right before the release message leaves — exactly the two hook
+// points of Table 1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/config.hpp"
+#include "pm2/rpc.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+class LockManager {
+ public:
+  explicit LockManager(Dsm& dsm);
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Creates a cluster-wide lock whose consistency hooks come from
+  /// `protocol` (kInvalidProtocol = the default protocol at acquire time).
+  int create(ProtocolId protocol = kInvalidProtocol);
+
+  /// Acquires the lock; blocks until granted, then runs the protocol's
+  /// lock_acquire action on the calling node.
+  void acquire(int lock_id);
+
+  /// Runs the protocol's lock_release action, then releases the lock.
+  void release(int lock_id);
+
+  [[nodiscard]] int count() const { return next_id_; }
+
+ private:
+  struct Waiter {
+    NodeId src;
+    std::uint64_t token;
+  };
+  struct LockState {
+    bool held = false;
+    std::deque<Waiter> queue;
+  };
+
+  [[nodiscard]] NodeId manager_of(int lock_id) const;
+  [[nodiscard]] ProtocolId hook_protocol(int lock_id) const;
+
+  void serve_acquire(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_release(pm2::RpcContext& ctx, Unpacker& args);
+
+  Dsm& dsm_;
+  pm2::ServiceId svc_acquire_ = 0;
+  pm2::ServiceId svc_release_ = 0;
+  int next_id_ = 0;
+  std::vector<ProtocolId> protocol_of_;       // by lock id
+  std::unordered_map<int, LockState> state_;  // lives on the manager node
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,111 @@
+#include "dsm/memory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+AreaManager::AreaManager(Dsm& dsm) : dsm_(dsm) {}
+
+DsmAddr AreaManager::allocate(std::uint64_t size, const AllocAttr& attr) {
+  DSM_CHECK(size > 0);
+  auto& rt = dsm_.runtime();
+  marcel::Thread* caller = rt.threads().self_or_null();
+  const NodeId node = caller != nullptr ? caller->node() : NodeId{0};
+
+  const DsmAddr base = rt.iso().allocate(node, size);
+  Area area;
+  area.base = base;
+  area.size = size;
+  area.protocol =
+      attr.protocol != kInvalidProtocol ? attr.protocol : dsm_.default_protocol();
+  DSM_CHECK_MSG(area.protocol != kInvalidProtocol,
+                "no protocol given and no default protocol set");
+  area.name = attr.name.empty() ? "area@" + std::to_string(base) : attr.name;
+  init_pages(area, attr, node);
+  areas_.push_back(area);
+  log::debug("dsm_malloc: %s base=%llu size=%llu protocol=%s", area.name.c_str(),
+             static_cast<unsigned long long>(base),
+             static_cast<unsigned long long>(size),
+             dsm_.protocols().get(area.protocol).name.c_str());
+  return base;
+}
+
+void AreaManager::init_pages(const Area& area, const AllocAttr& attr,
+                             NodeId allocating_node) {
+  const auto& g = dsm_.geometry();
+  const PageId first = g.page_of(area.base);
+  const PageId last = g.page_of(area.base + area.size - 1);
+  const int nodes = dsm_.node_count();
+  for (PageId p = first; p <= last; ++p) {
+    NodeId home = allocating_node;
+    switch (attr.home_policy) {
+      case HomePolicy::kAllocatingNode: home = allocating_node; break;
+      case HomePolicy::kRoundRobin:
+        home = static_cast<NodeId>((p - first) % static_cast<PageId>(nodes));
+        break;
+      case HomePolicy::kFixed: home = attr.fixed_home; break;
+    }
+    DSM_CHECK(home < static_cast<NodeId>(nodes));
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+      PageEntry& e = dsm_.table(n).entry(p);
+      DSM_CHECK_MSG(!e.valid, "page already belongs to a live area");
+      e = PageEntry{};
+      e.valid = true;
+      e.protocol = area.protocol;
+      e.home = home;
+      e.prob_owner = home;
+      e.access = n == home ? Access::kWrite : Access::kNone;
+    }
+  }
+}
+
+void AreaManager::release(DsmAddr base) {
+  auto it = std::find_if(areas_.begin(), areas_.end(),
+                         [base](const Area& a) { return a.base == base; });
+  DSM_CHECK_MSG(it != areas_.end(), "dsm_free of unknown area");
+  const auto& g = dsm_.geometry();
+  const PageId first = g.page_of(it->base);
+  const PageId last = g.page_of(it->base + it->size - 1);
+  for (NodeId n = 0; n < static_cast<NodeId>(dsm_.node_count()); ++n) {
+    for (PageId p = first; p <= last; ++p) {
+      dsm_.table(n).entry(p) = PageEntry{};
+      dsm_.store(n).drop_twin(p);
+      dsm_.store(n).drop_frame(p);
+    }
+  }
+  dsm_.runtime().iso().release(dsm_.runtime().iso().owner_of(base), base);
+  areas_.erase(it);
+}
+
+const Area* AreaManager::find(DsmAddr addr) const {
+  for (const Area& a : areas_) {
+    if (a.contains(addr)) return &a;
+  }
+  return nullptr;
+}
+
+void AreaManager::switch_protocol(DsmAddr base, ProtocolId protocol) {
+  auto it = std::find_if(areas_.begin(), areas_.end(),
+                         [base](const Area& a) { return a.base == base; });
+  DSM_CHECK_MSG(it != areas_.end(), "switch_protocol on unknown area");
+  DSM_CHECK(protocol != kInvalidProtocol);
+  const auto& g = dsm_.geometry();
+  const PageId first = g.page_of(it->base);
+  const PageId last = g.page_of(it->base + it->size - 1);
+  for (NodeId n = 0; n < static_cast<NodeId>(dsm_.node_count()); ++n) {
+    for (PageId p = first; p <= last; ++p) {
+      PageEntry& e = dsm_.table(n).entry(p);
+      DSM_CHECK_MSG(!e.in_transition,
+                    "protocol switch while a page is in transition — the "
+                    "application must quiesce accesses (e.g. via a barrier)");
+      e.protocol = protocol;
+    }
+  }
+  it->protocol = protocol;
+}
+
+}  // namespace dsmpm2::dsm

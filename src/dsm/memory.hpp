@@ -1,0 +1,81 @@
+// DSM memory areas: static shared data and dsm_malloc.
+//
+// Mirrors the paper's programming interface:
+//   * a static shared area (the BEGIN_DSM_DATA ... END_DSM_DATA block),
+//     carved out at startup with the default protocol;
+//   * dynamically allocated shared areas (dsm_malloc) whose creation
+//     attribute selects a per-area protocol — "different DSM protocols may
+//     be associated to different DSM memory areas within the same
+//     application";
+//   * iso-addresses throughout: an area's DsmAddr means the same datum on
+//     every node (allocation rides on PM2's isomalloc).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/config.hpp"
+#include "dsm/page.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+/// Where the pages of a new area start out (their home / initial owner).
+enum class HomePolicy {
+  kAllocatingNode,  ///< all pages homed on the allocating node
+  kRoundRobin,      ///< pages spread over the cluster round-robin
+  kFixed,           ///< all pages homed on `fixed_home`
+};
+
+struct AllocAttr {
+  /// Protocol for the area (kInvalidProtocol = the current default protocol
+  /// set by set_default_protocol — the paper's pm2_dsm_set_default_protocol).
+  ProtocolId protocol = kInvalidProtocol;
+  HomePolicy home_policy = HomePolicy::kAllocatingNode;
+  NodeId fixed_home = 0;
+  std::string name;
+};
+
+struct Area {
+  DsmAddr base = 0;
+  std::uint64_t size = 0;
+  ProtocolId protocol = kInvalidProtocol;
+  std::string name;
+
+  [[nodiscard]] bool contains(DsmAddr addr) const {
+    return addr >= base && addr < base + size;
+  }
+};
+
+class AreaManager {
+ public:
+  explicit AreaManager(Dsm& dsm);
+
+  /// Allocates a shared area and initializes its page-table entries on every
+  /// node (rights, protocol, home, probable owner). Runs from a thread.
+  DsmAddr allocate(std::uint64_t size, const AllocAttr& attr);
+
+  /// Releases an area (pages become invalid everywhere).
+  void release(DsmAddr base);
+
+  [[nodiscard]] const Area* find(DsmAddr addr) const;
+  [[nodiscard]] const std::vector<Area>& areas() const { return areas_; }
+
+  /// Rebinds an existing area to another protocol. The caller is responsible
+  /// for quiescing accesses around the switch (the paper: "this can be
+  /// achieved through a careful synchronization at the program level, e.g.
+  /// through barriers"), because the distributed page tables are updated on
+  /// all nodes.
+  void switch_protocol(DsmAddr base, ProtocolId protocol);
+
+ private:
+  void init_pages(const Area& area, const AllocAttr& attr, NodeId allocating_node);
+
+  Dsm& dsm_;
+  std::vector<Area> areas_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,67 @@
+// Page-level fundamentals: access rights and address/page arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/ids.hpp"
+
+namespace dsmpm2::dsm {
+
+/// Local access rights on a page — the state a real implementation keeps in
+/// the MMU protections (PROT_NONE / PROT_READ / PROT_READ|PROT_WRITE).
+enum class Access : std::uint8_t { kNone = 0, kRead = 1, kWrite = 2 };
+
+/// True if rights `have` satisfy a request for `want`.
+constexpr bool access_covers(Access have, Access want) {
+  return static_cast<int>(have) >= static_cast<int>(want);
+}
+
+constexpr const char* access_name(Access a) {
+  switch (a) {
+    case Access::kNone: return "none";
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+  }
+  return "?";
+}
+
+/// Address/page arithmetic for a fixed page size.
+class PageGeometry {
+ public:
+  explicit PageGeometry(std::uint32_t page_size, std::uint64_t space_bytes)
+      : page_size_(page_size), space_bytes_(space_bytes) {
+    DSM_CHECK_MSG(page_size > 0 && (page_size & (page_size - 1)) == 0,
+                  "page size must be a power of two");
+  }
+
+  [[nodiscard]] std::uint32_t page_size() const { return page_size_; }
+  [[nodiscard]] std::uint64_t space_bytes() const { return space_bytes_; }
+  [[nodiscard]] PageId page_count() const {
+    return static_cast<PageId>(space_bytes_ / page_size_);
+  }
+
+  [[nodiscard]] PageId page_of(DsmAddr addr) const {
+    DSM_CHECK_MSG(addr < space_bytes_, "address outside DSM space");
+    return static_cast<PageId>(addr / page_size_);
+  }
+
+  [[nodiscard]] DsmAddr page_base(PageId page) const {
+    return static_cast<DsmAddr>(page) * page_size_;
+  }
+
+  [[nodiscard]] std::uint32_t offset_in_page(DsmAddr addr) const {
+    return static_cast<std::uint32_t>(addr % page_size_);
+  }
+
+  /// True if [addr, addr+len) stays within one page.
+  [[nodiscard]] bool within_one_page(DsmAddr addr, std::uint64_t len) const {
+    return len == 0 || page_of(addr) == page_of(addr + len - 1);
+  }
+
+ private:
+  std::uint32_t page_size_;
+  std::uint64_t space_bytes_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,75 @@
+#include "dsm/page_store.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+PageStore::PageStore(NodeId node, PageId page_count, std::uint32_t page_size)
+    : node_(node),
+      page_size_(page_size),
+      frames_(page_count),
+      twins_(page_count) {}
+
+std::span<std::byte> PageStore::frame(PageId page) {
+  DSM_CHECK(page < frames_.size());
+  if (frames_[page] == nullptr) {
+    frames_[page] = std::make_unique<std::byte[]>(page_size_);
+    std::memset(frames_[page].get(), 0, page_size_);
+    ++resident_;
+  }
+  return {frames_[page].get(), page_size_};
+}
+
+bool PageStore::has_frame(PageId page) const {
+  DSM_CHECK(page < frames_.size());
+  return frames_[page] != nullptr;
+}
+
+void PageStore::drop_frame(PageId page) {
+  DSM_CHECK(page < frames_.size());
+  if (frames_[page] != nullptr) {
+    frames_[page].reset();
+    --resident_;
+  }
+}
+
+void PageStore::make_twin(PageId page) {
+  DSM_CHECK(page < twins_.size());
+  DSM_CHECK_MSG(frames_[page] != nullptr, "twin of a page with no frame");
+  if (twins_[page] == nullptr) twins_[page] = std::make_unique<std::byte[]>(page_size_);
+  std::memcpy(twins_[page].get(), frames_[page].get(), page_size_);
+}
+
+std::span<const std::byte> PageStore::twin(PageId page) const {
+  DSM_CHECK(page < twins_.size());
+  DSM_CHECK_MSG(twins_[page] != nullptr, "no twin for page");
+  return {twins_[page].get(), page_size_};
+}
+
+bool PageStore::has_twin(PageId page) const {
+  DSM_CHECK(page < twins_.size());
+  return twins_[page] != nullptr;
+}
+
+void PageStore::drop_twin(PageId page) {
+  DSM_CHECK(page < twins_.size());
+  twins_[page].reset();
+}
+
+void PageStore::read_bytes(PageId page, std::uint32_t offset,
+                           std::span<std::byte> out) {
+  DSM_CHECK(offset + out.size() <= page_size_);
+  auto f = frame(page);
+  std::memcpy(out.data(), f.data() + offset, out.size());
+}
+
+void PageStore::write_bytes(PageId page, std::uint32_t offset,
+                            std::span<const std::byte> in) {
+  DSM_CHECK(offset + in.size() <= page_size_);
+  auto f = frame(page);
+  std::memcpy(f.data() + offset, in.data(), in.size());
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,53 @@
+// Per-node backing storage for DSM pages: the actual bytes.
+//
+// Every node sees the same DSM address space but holds its own frames, which
+// exist only for pages the node has touched (lazy, zero-filled on first use —
+// like fresh anonymous memory). Twins (pristine copies kept for later
+// diffing, per Keleher et al.'s multiple-writer technique) live here too.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/page.hpp"
+
+namespace dsmpm2::dsm {
+
+class PageStore {
+ public:
+  PageStore(NodeId node, PageId page_count, std::uint32_t page_size);
+
+  [[nodiscard]] std::uint32_t page_size() const { return page_size_; }
+
+  /// The frame for `page`, materializing it zero-filled if needed.
+  [[nodiscard]] std::span<std::byte> frame(PageId page);
+  [[nodiscard]] bool has_frame(PageId page) const;
+  /// Drops the frame (invalidated copy); contents are discarded.
+  void drop_frame(PageId page);
+
+  // ---- twins ----
+  /// Snapshots the current frame as the page's twin.
+  void make_twin(PageId page);
+  [[nodiscard]] std::span<const std::byte> twin(PageId page) const;
+  [[nodiscard]] bool has_twin(PageId page) const;
+  void drop_twin(PageId page);
+
+  // ---- convenience typed access within a frame ----
+  void read_bytes(PageId page, std::uint32_t offset, std::span<std::byte> out);
+  void write_bytes(PageId page, std::uint32_t offset, std::span<const std::byte> in);
+
+  /// Number of currently materialized frames (footprint metric).
+  [[nodiscard]] std::size_t resident_frames() const { return resident_; }
+
+ private:
+  NodeId node_;
+  std::uint32_t page_size_;
+  std::vector<std::unique_ptr<std::byte[]>> frames_;
+  std::vector<std::unique_ptr<std::byte[]>> twins_;
+  std::size_t resident_ = 0;
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,50 @@
+#include "dsm/page_table.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+PageTable::PageTable(sim::Scheduler& sched, NodeId node, PageId page_count)
+    : sched_(sched), node_(node), entries_(page_count), sync_(page_count) {}
+
+PageEntry& PageTable::entry(PageId page) {
+  DSM_CHECK(page < entries_.size());
+  return entries_[page];
+}
+
+const PageEntry& PageTable::entry(PageId page) const {
+  DSM_CHECK(page < entries_.size());
+  return entries_[page];
+}
+
+PageTable::PageSync& PageTable::sync(PageId page) {
+  DSM_CHECK(page < sync_.size());
+  if (sync_[page] == nullptr) sync_[page] = std::make_unique<PageSync>(sched_);
+  return *sync_[page];
+}
+
+marcel::Mutex& PageTable::mutex(PageId page) { return sync(page).mutex; }
+marcel::CondVar& PageTable::cond(PageId page) { return sync(page).cond; }
+
+void PageTable::wait_transition(PageId page) {
+  PageSync& s = sync(page);
+  DSM_CHECK(s.mutex.locked_by_me());
+  while (entries_[page].in_transition) s.cond.wait(s.mutex);
+}
+
+void PageTable::begin_transition(PageId page) {
+  DSM_CHECK(sync(page).mutex.locked_by_me());
+  DSM_CHECK_MSG(!entries_[page].in_transition, "page already in transition");
+  entries_[page].in_transition = true;
+}
+
+void PageTable::end_transition(PageId page) {
+  PageSync& s = sync(page);
+  DSM_CHECK(s.mutex.locked_by_me());
+  DSM_CHECK(entries_[page].in_transition);
+  entries_[page].in_transition = false;
+  entries_[page].pending = Access::kNone;
+  s.cond.broadcast();
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,101 @@
+// The DSM page manager's per-node page table.
+//
+// "Page-based DSM systems use a page table which stores information about the
+// shared pages. Each memory page is handled individually. Some information
+// fields are common to virtually all protocols: local access rights, current
+// owner, etc. Other fields may be specific to some protocol." (paper §2.2)
+//
+// The entry layout below follows that prescription: the common fields
+// (access, probable owner, home, copyset) are typed; `proto_word` is the
+// extensible protocol-private field; and each entry carries a mutex/condvar
+// pair so that concurrent faulters on one page are serialized while faults on
+// different pages proceed in parallel — the paper's thread-safety
+// requirement.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/copyset.hpp"
+#include "common/ids.hpp"
+#include "dsm/config.hpp"
+#include "dsm/page.hpp"
+#include "marcel/sync.hpp"
+
+namespace dsmpm2::dsm {
+
+struct PageEntry {
+  // ---- generic fields (meaningful for every protocol) ----
+  /// Local access rights (what the MMU protection would be).
+  Access access = Access::kNone;
+  /// Probable owner for dynamic distributed managers (Li/Hudak chains); for
+  /// protocols with a fixed manager this simply caches the owner.
+  NodeId prob_owner = 0;
+  /// Home node for fixed / home-based managers.
+  NodeId home = 0;
+  /// Nodes holding copies; maintained by the owner/home.
+  CopySet copyset;
+  /// Protocol managing this page (set when its area is allocated).
+  ProtocolId protocol = kInvalidProtocol;
+  /// Page belongs to a live DSM area.
+  bool valid = false;
+
+  // ---- fault-service state ----
+  /// A thread on this node is currently obtaining this page; other faulters
+  /// wait on the entry's condvar instead of issuing duplicate requests.
+  bool in_transition = false;
+  /// Access being obtained while in_transition. Invalidations defer behind a
+  /// pending *read* grant (the grant carries pre-write data and is dropped
+  /// right after), but apply immediately across a pending *write* grant —
+  /// deferring there would deadlock against the writer waiting for our ack.
+  Access pending = Access::kNone;
+
+  // ---- fields used by the weak-consistency protocols ----
+  /// Written since the last release (meaning is protocol-specific).
+  bool dirty = false;
+  /// A twin exists in the page store (hbrc_mw).
+  bool has_twin = false;
+
+  /// Protocol-private scratch word ("new fields could be added as needed";
+  /// protocols are free to encode whatever state they need here).
+  std::uint64_t proto_word = 0;
+};
+
+class PageTable {
+ public:
+  PageTable(sim::Scheduler& sched, NodeId node, PageId page_count);
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] PageId page_count() const { return static_cast<PageId>(entries_.size()); }
+
+  [[nodiscard]] PageEntry& entry(PageId page);
+  [[nodiscard]] const PageEntry& entry(PageId page) const;
+
+  /// Per-page mutex: taken around every entry mutation and protocol action.
+  [[nodiscard]] marcel::Mutex& mutex(PageId page);
+  /// Per-page condition: signalled when a page transition completes.
+  [[nodiscard]] marcel::CondVar& cond(PageId page);
+
+  /// Blocks while `in_transition` is set. Caller must hold the page mutex.
+  void wait_transition(PageId page);
+  /// Sets in_transition (must be clear). Caller must hold the page mutex.
+  void begin_transition(PageId page);
+  /// Clears in_transition and wakes waiters. Caller must hold the page mutex.
+  void end_transition(PageId page);
+
+ private:
+  struct PageSync {
+    marcel::Mutex mutex;
+    marcel::CondVar cond;
+    explicit PageSync(sim::Scheduler& sched) : mutex(sched), cond(sched) {}
+  };
+
+  PageSync& sync(PageId page);
+
+  sim::Scheduler& sched_;
+  NodeId node_;
+  std::vector<PageEntry> entries_;
+  std::vector<std::unique_ptr<PageSync>> sync_;  // lazily created
+};
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,34 @@
+#include "dsm/protocol.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+ProtocolId ProtocolRegistry::create(Protocol p) {
+  DSM_CHECK_MSG(!p.name.empty(), "protocol needs a name");
+  DSM_CHECK_MSG(find(p.name) == kInvalidProtocol, "duplicate protocol name");
+  DSM_CHECK_MSG(p.read_fault_handler && p.write_fault_handler && p.read_server &&
+                    p.write_server && p.invalidate_server && p.receive_page_server &&
+                    p.lock_acquire && p.lock_release,
+                "a protocol must provide all 8 actions (Table 1)");
+  protocols_.push_back(std::move(p));
+  return static_cast<ProtocolId>(protocols_.size() - 1);
+}
+
+const Protocol& ProtocolRegistry::get(ProtocolId id) const {
+  DSM_CHECK_MSG(id >= 0 && id < count(), "unknown protocol id");
+  return protocols_[static_cast<std::size_t>(id)];
+}
+
+ProtocolId ProtocolRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < protocols_.size(); ++i) {
+    if (protocols_[i].name == name) return static_cast<ProtocolId>(i);
+  }
+  return kInvalidProtocol;
+}
+
+void protocol_action_unused(Dsm&, const PageRequest&) {
+  DSM_UNREACHABLE("protocol action declared unused was invoked");
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,147 @@
+// The DSM-PM2 protocol interface: exactly the eight actions of the paper's
+// Table 1. A consistency protocol *is* a set of these routines; they are
+// called automatically by the generic DSM support:
+//
+//   read_fault_handler    — on a read page fault
+//   write_fault_handler   — on a write page fault
+//   read_server           — on receiving a request for read access
+//   write_server          — on receiving a request for write access
+//   invalidate_server     — on receiving a request for invalidation
+//   receive_page_server   — on receiving a page
+//   lock_acquire          — after having acquired a lock
+//   lock_release          — before releasing a lock
+//
+// create() below is the paper's dsm_create_protocol: user code can assemble a
+// brand-new protocol out of its own routines (or out of the protocol-library
+// toolbox in dsm/protocol_lib.hpp) and register it; built-in and user
+// protocols are then selected in exactly the same way.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/copyset.hpp"
+#include "common/ids.hpp"
+#include "dsm/config.hpp"
+#include "dsm/diff.hpp"
+#include "dsm/page.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+/// How accesses to shared data are detected for this protocol (paper §2.3:
+/// page faults for direct use; explicit get/put checks for compiler targets).
+enum class AccessMode {
+  kPageFault,    ///< li_hudak, migrate_thread, erc_sw, hbrc_mw, java_pf
+  kInlineCheck,  ///< java_ic
+};
+
+/// Context of a local access fault.
+struct FaultContext {
+  PageId page = kInvalidPage;
+  DsmAddr addr = 0;
+  Access wanted = Access::kNone;
+  NodeId node = kInvalidNode;  ///< faulting node (== node the handler runs on)
+};
+
+/// A page request being served (runs on the request's receiving node).
+struct PageRequest {
+  PageId page = kInvalidPage;
+  Access wanted = Access::kNone;
+  NodeId requester = kInvalidNode;
+  NodeId node = kInvalidNode;  ///< node serving the request
+};
+
+/// A page arriving at `node` (the former requester, usually).
+struct PageArrival {
+  PageId page = kInvalidPage;
+  Access granted = Access::kNone;
+  NodeId from = kInvalidNode;
+  NodeId node = kInvalidNode;
+  bool ownership_transferred = false;
+  CopySet copyset;        ///< transferred with ownership (MRSW write path)
+  NodeId owner_hint = 0;  ///< sender's idea of the owner (prob_owner update)
+  std::span<const std::byte> data;
+};
+
+/// An invalidation being served at `node`.
+struct InvalidateRequest {
+  PageId page = kInvalidPage;
+  NodeId from = kInvalidNode;
+  NodeId new_owner = kInvalidNode;
+  NodeId node = kInvalidNode;
+};
+
+/// A diff arriving at `node` (home-based protocols).
+struct DiffArrival {
+  PageId page = kInvalidPage;
+  NodeId from = kInvalidNode;
+  NodeId node = kInvalidNode;
+  /// True when this diff was flushed in response to an invalidation (the
+  /// home must not start another invalidation round for it).
+  bool response_to_invalidation = false;
+  const Diff* diff = nullptr;
+};
+
+/// A synchronization event (lock or barrier) on `node`.
+struct SyncContext {
+  int object_id = -1;
+  NodeId node = kInvalidNode;
+};
+
+/// Base for per-(protocol, node) state; protocols derive their own.
+struct ProtocolState {
+  virtual ~ProtocolState() = default;
+};
+
+struct Protocol {
+  std::string name;
+
+  // ---- the eight actions of Table 1 ----
+  std::function<void(Dsm&, const FaultContext&)> read_fault_handler;
+  std::function<void(Dsm&, const FaultContext&)> write_fault_handler;
+  std::function<void(Dsm&, const PageRequest&)> read_server;
+  std::function<void(Dsm&, const PageRequest&)> write_server;
+  std::function<void(Dsm&, const InvalidateRequest&)> invalidate_server;
+  std::function<void(Dsm&, const PageArrival&)> receive_page_server;
+  std::function<void(Dsm&, const SyncContext&)> lock_acquire;
+  std::function<void(Dsm&, const SyncContext&)> lock_release;
+
+  // ---- optional extensions (defaults supplied by the generic core) ----
+  /// Serves an incoming diff; default applies it to the local frame.
+  std::function<void(Dsm&, const DiffArrival&)> diff_server;
+  /// Called after a successful put() (java protocols record modifications
+  /// on the fly here). Arguments: page, offset, length.
+  std::function<void(Dsm&, PageId, std::uint32_t, std::uint32_t)> after_put;
+  /// Factory for per-node protocol state.
+  std::function<std::unique_ptr<ProtocolState>()> make_node_state;
+
+  AccessMode access_mode = AccessMode::kPageFault;
+};
+
+class ProtocolRegistry {
+ public:
+  /// Registers a protocol (the paper's dsm_create_protocol) and returns its
+  /// identifier. Missing optional hooks get benign defaults; the eight core
+  /// actions must all be present.
+  ProtocolId create(Protocol p);
+
+  [[nodiscard]] const Protocol& get(ProtocolId id) const;
+  /// Identifier for `name`, or kInvalidProtocol.
+  [[nodiscard]] ProtocolId find(std::string_view name) const;
+  [[nodiscard]] int count() const { return static_cast<int>(protocols_.size()); }
+
+ private:
+  std::vector<Protocol> protocols_;
+};
+
+/// A no-op action usable for protocols that never receive a given event
+/// (e.g. migrate_thread has no page traffic at all).
+void protocol_action_unused(Dsm&, const PageRequest&);
+
+}  // namespace dsmpm2::dsm

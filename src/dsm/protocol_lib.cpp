@@ -1,0 +1,510 @@
+#include "dsm/protocol_lib.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm::lib {
+
+namespace {
+
+/// Serving threads must not act on a page while a local transition is in
+/// flight; they wait it out first. Caller must hold the page mutex.
+void settle(Dsm& dsm, NodeId node, PageId page) {
+  dsm.table(node).wait_transition(page);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dynamic distributed manager (MRSW)
+// ---------------------------------------------------------------------------
+
+void acquire_page_copy(Dsm& dsm, const FaultContext& ctx) {
+  auto& tbl = dsm.table(ctx.node);
+  NodeId target = kInvalidNode;
+  {
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    PageEntry& e = tbl.entry(ctx.page);
+    if (access_covers(e.access, ctx.wanted)) return;  // raced: already here
+    if (e.in_transition) {
+      // Another thread on this node is already fetching this page; wait for
+      // it and let the retry loop re-examine the rights — the concurrent-
+      // faulters case the paper calls out for multithreaded protocols.
+      tbl.wait_transition(ctx.page);
+      return;
+    }
+    if (e.prob_owner == ctx.node) {
+      // We are (or just became) the owner; the retry loop will route this
+      // fault through the protocol's local upgrade path instead.
+      return;
+    }
+    tbl.begin_transition(ctx.page);
+    e.pending = ctx.wanted;
+    target = e.prob_owner;
+  }
+  dsm.comm().request_page(target, ctx.page, ctx.wanted, ctx.node);
+  {
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    tbl.wait_transition(ctx.page);  // cleared by receive_page_server
+  }
+}
+
+void serve_read_dynamic(Dsm& dsm, const PageRequest& req) {
+  auto& tbl = dsm.table(req.node);
+  NodeId forward_to = kInvalidNode;
+  {
+    marcel::MutexLock l(tbl.mutex(req.page));
+    settle(dsm, req.node, req.page);
+    PageEntry& e = tbl.entry(req.page);
+    if (e.prob_owner == req.node) {
+      // We are the owner: replicate. A writing owner drops to read — from
+      // here on all copies are read-only until the next write fault (MRSW).
+      dsm.charge(dsm.costs().request_serve);
+      if (e.access == Access::kWrite) e.access = Access::kRead;
+      e.copyset.insert(req.requester);
+    } else {
+      forward_to = e.prob_owner;
+    }
+  }
+  if (forward_to != kInvalidNode) {
+    DSM_CHECK(forward_to != req.node);
+    dsm.counters().inc(req.node, Counter::kRequestsForwarded);
+    dsm.comm().request_page(forward_to, req.page, Access::kRead, req.requester);
+    return;
+  }
+  dsm.comm().send_page(req.requester, req.page, Access::kRead,
+                       /*ownership=*/false, CopySet{}, /*owner_hint=*/req.node);
+}
+
+void serve_write_dynamic(Dsm& dsm, const PageRequest& req) {
+  auto& tbl = dsm.table(req.node);
+  NodeId forward_to = kInvalidNode;
+  CopySet transfer;
+  {
+    marcel::MutexLock l(tbl.mutex(req.page));
+    settle(dsm, req.node, req.page);
+    PageEntry& e = tbl.entry(req.page);
+    if (e.prob_owner == req.node) {
+      // We are the owner: the page migrates to the writer together with
+      // ownership and the copyset (which the writer must invalidate).
+      dsm.charge(dsm.costs().request_serve);
+      transfer = e.copyset;
+      transfer.erase(req.requester);
+      e.copyset.clear();
+      e.access = Access::kNone;
+      e.prob_owner = req.requester;
+    } else {
+      forward_to = e.prob_owner;
+      // Li/Hudak forwarding heuristic: the requester will be the new owner.
+      e.prob_owner = req.requester;
+    }
+  }
+  if (forward_to != kInvalidNode) {
+    DSM_CHECK(forward_to != req.node);
+    dsm.counters().inc(req.node, Counter::kRequestsForwarded);
+    dsm.comm().request_page(forward_to, req.page, Access::kWrite, req.requester);
+    return;
+  }
+  dsm.comm().send_page(req.requester, req.page, Access::kWrite,
+                       /*ownership=*/true, transfer, /*owner_hint=*/req.requester);
+  dsm.store(req.node).drop_frame(req.page);  // the copy left with the grant
+}
+
+void receive_page_dynamic(Dsm& dsm, const PageArrival& arrival,
+                          bool eager_invalidate) {
+  auto& tbl = dsm.table(arrival.node);
+  {
+    marcel::MutexLock l(tbl.mutex(arrival.page));
+    PageEntry& e = tbl.entry(arrival.page);
+    DSM_CHECK_MSG(e.in_transition, "unsolicited page arrival");
+    dsm.charge(dsm.costs().page_install);
+    auto frame = dsm.store(arrival.node).frame(arrival.page);
+    DSM_CHECK(arrival.data.size() == frame.size());
+    std::copy(arrival.data.begin(), arrival.data.end(), frame.begin());
+    if (!arrival.ownership_transferred) {
+      // Read replica: remember who served us as the probable owner.
+      e.access = Access::kRead;
+      e.prob_owner = arrival.owner_hint;
+      tbl.end_transition(arrival.page);
+      return;
+    }
+    // Ownership arrived with the page.
+    e.prob_owner = arrival.node;
+    e.copyset = arrival.copyset;
+  }
+  if (eager_invalidate) {
+    // Sequential consistency: no stale copy may survive a write grant.
+    CopySet cs;
+    {
+      marcel::MutexLock l(tbl.mutex(arrival.page));
+      cs = tbl.entry(arrival.page).copyset;
+    }
+    invalidate_copyset(dsm, arrival.page, cs, arrival.node, arrival.node);
+    marcel::MutexLock l(tbl.mutex(arrival.page));
+    PageEntry& e = tbl.entry(arrival.page);
+    e.copyset.clear();
+    e.access = Access::kWrite;
+    tbl.end_transition(arrival.page);
+    return;
+  }
+  // Eager *release* consistency: keep the copyset; invalidations fire at the
+  // next lock release.
+  marcel::MutexLock l(tbl.mutex(arrival.page));
+  PageEntry& e = tbl.entry(arrival.page);
+  e.access = Access::kWrite;
+  e.dirty = true;
+  auto& rc = dsm.proto_state<MrswRcState>(e.protocol, arrival.node);
+  if (std::find(rc.pending_invalidate.begin(), rc.pending_invalidate.end(),
+                arrival.page) == rc.pending_invalidate.end()) {
+    rc.pending_invalidate.push_back(arrival.page);
+  }
+  tbl.end_transition(arrival.page);
+}
+
+void invalidate_local(Dsm& dsm, const InvalidateRequest& inv) {
+  auto& tbl = dsm.table(inv.node);
+  marcel::MutexLock l(tbl.mutex(inv.page));
+  // A read grant may be in flight; deferring the invalidation until it lands
+  // keeps the grant/invalidate order linearizable (the momentarily granted
+  // copy is pre-write data, and we drop it right here). A pending *write*
+  // grant, however, must not be waited on: the writer serving it may itself
+  // be waiting for our acknowledgement — apply immediately instead (our
+  // in-flight write request stays valid and will be served afterwards).
+  while (tbl.entry(inv.page).in_transition &&
+         tbl.entry(inv.page).pending != Access::kWrite) {
+    tbl.cond(inv.page).wait(tbl.mutex(inv.page));
+  }
+  PageEntry& e = tbl.entry(inv.page);
+  e.access = Access::kNone;
+  e.prob_owner = inv.new_owner;
+  e.dirty = false;
+  if (e.has_twin) {
+    dsm.store(inv.node).drop_twin(inv.page);
+    e.has_twin = false;
+  }
+  if (!e.in_transition) dsm.store(inv.node).drop_frame(inv.page);
+}
+
+bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
+                            bool eager_invalidate) {
+  auto& tbl = dsm.table(ctx.node);
+  CopySet cs;
+  {
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    PageEntry& e = tbl.entry(ctx.page);
+    if (access_covers(e.access, Access::kWrite)) return true;  // raced
+    if (e.in_transition) {
+      tbl.wait_transition(ctx.page);
+      return true;  // re-examine in the retry loop
+    }
+    if (e.prob_owner != ctx.node) return false;  // ownership raced away
+    tbl.begin_transition(ctx.page);
+    cs = e.copyset;
+    cs.erase(ctx.node);
+  }
+  if (eager_invalidate) {
+    invalidate_copyset(dsm, ctx.page, cs, ctx.node, ctx.node);
+  }
+  marcel::MutexLock l(tbl.mutex(ctx.page));
+  PageEntry& e = tbl.entry(ctx.page);
+  if (eager_invalidate) {
+    e.copyset.clear();
+  } else {
+    e.dirty = true;
+    auto& rc = dsm.proto_state<MrswRcState>(e.protocol, ctx.node);
+    if (std::find(rc.pending_invalidate.begin(), rc.pending_invalidate.end(),
+                  ctx.page) == rc.pending_invalidate.end()) {
+      rc.pending_invalidate.push_back(ctx.page);
+    }
+  }
+  e.access = Access::kWrite;
+  tbl.end_transition(ctx.page);
+  return true;
+}
+
+void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
+  auto& rc = dsm.proto_state<MrswRcState>(protocol, node);
+  std::vector<PageId> pages;
+  pages.swap(rc.pending_invalidate);
+  auto& tbl = dsm.table(node);
+  for (const PageId page : pages) {
+    CopySet cs;
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      PageEntry& e = tbl.entry(page);
+      if (e.prob_owner != node || !e.dirty) continue;  // ownership moved on
+      cs = e.copyset;
+      cs.erase(node);
+      e.copyset.clear();
+      e.dirty = false;
+    }
+    invalidate_copyset(dsm, page, cs, node, node);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread migration
+// ---------------------------------------------------------------------------
+
+void migrate_to_owner(Dsm& dsm, const FaultContext& ctx) {
+  NodeId owner;
+  {
+    auto& tbl = dsm.table(ctx.node);
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    owner = tbl.entry(ctx.page).prob_owner;
+  }
+  DSM_CHECK_MSG(owner != ctx.node, "migrate_to_owner while already at owner");
+  dsm.charge(dsm.costs().migrate_overhead);
+  dsm.counters().inc(ctx.node, Counter::kThreadMigrations);
+  auto& rt = dsm.runtime();
+  dsm.probe().mark(ctx.node, FaultStep::kRequestSent, rt.now());
+  rt.migrate_to(owner);
+  dsm.probe().mark(ctx.node, FaultStep::kPageReceived, rt.now());
+  // The retry loop repeats the access, now local to the data.
+}
+
+// ---------------------------------------------------------------------------
+// Home-based protocols
+// ---------------------------------------------------------------------------
+
+void fetch_from_home(Dsm& dsm, const FaultContext& ctx) {
+  auto& tbl = dsm.table(ctx.node);
+  NodeId home = kInvalidNode;
+  {
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    PageEntry& e = tbl.entry(ctx.page);
+    if (access_covers(e.access, ctx.wanted)) return;
+    if (e.in_transition) {
+      tbl.wait_transition(ctx.page);
+      return;
+    }
+    tbl.begin_transition(ctx.page);
+    e.pending = ctx.wanted;
+    home = e.home;
+  }
+  DSM_CHECK_MSG(home != ctx.node, "home node faulting on its own page");
+  dsm.comm().request_page(home, ctx.page, ctx.wanted, ctx.node);
+  {
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    tbl.wait_transition(ctx.page);
+  }
+}
+
+void serve_request_home(Dsm& dsm, const PageRequest& req,
+                        bool arm_home_write_detection) {
+  auto& tbl = dsm.table(req.node);
+  {
+    marcel::MutexLock l(tbl.mutex(req.page));
+    PageEntry& e = tbl.entry(req.page);
+    DSM_CHECK_MSG(e.home == req.node, "home request served off the home node");
+    dsm.charge(dsm.costs().request_serve);
+    e.copyset.insert(req.requester);
+    if (arm_home_write_detection && e.access == Access::kWrite) {
+      e.access = Access::kRead;  // next home-side write faults and is tracked
+    }
+  }
+  dsm.comm().send_page(req.requester, req.page, req.wanted,
+                       /*ownership=*/false, CopySet{}, /*owner_hint=*/req.node);
+}
+
+bool upgrade_home_write(Dsm& dsm, const FaultContext& ctx) {
+  auto& tbl = dsm.table(ctx.node);
+  marcel::MutexLock l(tbl.mutex(ctx.page));
+  PageEntry& e = tbl.entry(ctx.page);
+  if (e.home != ctx.node) return false;
+  if (access_covers(e.access, Access::kWrite)) return true;  // raced
+  DSM_CHECK(e.access == Access::kRead);  // the home always retains read
+  e.access = Access::kWrite;
+  e.dirty = true;
+  auto& rc = dsm.proto_state<HomeRcState>(e.protocol, ctx.node);
+  if (std::find(rc.home_dirty.begin(), rc.home_dirty.end(), ctx.page) ==
+      rc.home_dirty.end()) {
+    rc.home_dirty.push_back(ctx.page);
+  }
+  return true;
+}
+
+void release_home_dirty(Dsm& dsm, ProtocolId protocol, NodeId node) {
+  auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
+  std::vector<PageId> pages;
+  pages.swap(rc.home_dirty);
+  auto& tbl = dsm.table(node);
+  for (const PageId page : pages) {
+    CopySet cs;
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      PageEntry& e = tbl.entry(page);
+      cs = e.copyset;
+      cs.erase(node);
+      e.copyset.clear();
+      e.dirty = false;
+    }
+    invalidate_copyset(dsm, page, cs, node, node);
+  }
+}
+
+void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write) {
+  auto& tbl = dsm.table(arrival.node);
+  marcel::MutexLock l(tbl.mutex(arrival.page));
+  PageEntry& e = tbl.entry(arrival.page);
+  DSM_CHECK_MSG(e.in_transition, "unsolicited page arrival");
+  dsm.charge(dsm.costs().page_install);
+  auto frame = dsm.store(arrival.node).frame(arrival.page);
+  DSM_CHECK(arrival.data.size() == frame.size());
+  std::copy(arrival.data.begin(), arrival.data.end(), frame.begin());
+  e.access = arrival.granted;
+  if (arrival.granted == Access::kWrite && twin_on_write) {
+    dsm.charge_us(static_cast<double>(frame.size()) * dsm.costs().twin_per_byte_us);
+    dsm.store(arrival.node).make_twin(arrival.page);
+    dsm.counters().inc(arrival.node, Counter::kTwinsCreated);
+    e.has_twin = true;
+    e.dirty = true;
+    auto& rc = dsm.proto_state<HomeRcState>(e.protocol, arrival.node);
+    if (std::find(rc.twinned.begin(), rc.twinned.end(), arrival.page) ==
+        rc.twinned.end()) {
+      rc.twinned.push_back(arrival.page);
+    }
+  }
+  tbl.end_transition(arrival.page);
+}
+
+void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx) {
+  auto& tbl = dsm.table(ctx.node);
+  marcel::MutexLock l(tbl.mutex(ctx.page));
+  PageEntry& e = tbl.entry(ctx.page);
+  if (access_covers(e.access, Access::kWrite)) return;
+  if (e.in_transition) {
+    tbl.wait_transition(ctx.page);
+    return;
+  }
+  DSM_CHECK(e.access == Access::kRead);
+  const auto frame = dsm.store(ctx.node).frame(ctx.page);
+  dsm.charge_us(static_cast<double>(frame.size()) * dsm.costs().twin_per_byte_us);
+  dsm.store(ctx.node).make_twin(ctx.page);
+  dsm.counters().inc(ctx.node, Counter::kTwinsCreated);
+  e.has_twin = true;
+  e.dirty = true;
+  e.access = Access::kWrite;
+  auto& rc = dsm.proto_state<HomeRcState>(e.protocol, ctx.node);
+  if (std::find(rc.twinned.begin(), rc.twinned.end(), ctx.page) ==
+      rc.twinned.end()) {
+    rc.twinned.push_back(ctx.page);
+  }
+}
+
+void flush_one_twin_diff(Dsm& dsm, PageId page, NodeId node,
+                         bool response_to_invalidation) {
+  auto& tbl = dsm.table(node);
+  Diff diff;
+  NodeId home = kInvalidNode;
+  {
+    marcel::MutexLock l(tbl.mutex(page));
+    PageEntry& e = tbl.entry(page);
+    if (!e.has_twin) return;
+    const auto frame = dsm.store(node).frame(page);
+    dsm.charge_us(static_cast<double>(frame.size()) *
+                  dsm.costs().diff_scan_per_byte_us);
+    diff = Diff::compute(dsm.store(node).twin(page), frame);
+    dsm.store(node).drop_twin(page);
+    e.has_twin = false;
+    e.dirty = false;
+    // Flush-invalidate: drop our copy along with the flush. Keeping it
+    // read-only would leave a copy missing *concurrent* writers' diffs (they
+    // merge only at the home), which a later read here must not see.
+    e.access = Access::kNone;
+    dsm.store(node).drop_frame(page);
+    home = e.home;
+  }
+  if (!diff.empty()) {
+    dsm.comm().send_diff(home, page, diff, response_to_invalidation);
+  }
+}
+
+void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
+                      bool response_to_invalidation) {
+  auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
+  std::vector<PageId> pages;
+  pages.swap(rc.twinned);
+  for (const PageId page : pages) {
+    flush_one_twin_diff(dsm, page, node, response_to_invalidation);
+  }
+}
+
+void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival) {
+  auto& tbl = dsm.table(arrival.node);
+  CopySet third_party;
+  {
+    marcel::MutexLock l(tbl.mutex(arrival.page));
+    PageEntry& e = tbl.entry(arrival.page);
+    DSM_CHECK_MSG(e.home == arrival.node, "diff arrived off the home node");
+    dsm.charge_us(static_cast<double>(arrival.diff->payload_bytes()) *
+                  dsm.costs().diff_apply_per_byte_us);
+    arrival.diff->apply(dsm.store(arrival.node).frame(arrival.page));
+    if (!arrival.response_to_invalidation) {
+      third_party = e.copyset;
+      third_party.erase(arrival.from);
+      third_party.erase(arrival.node);
+      // The releaser flush-invalidated its own copy and the round below
+      // drops everyone else's: no replicas remain.
+      e.copyset.clear();
+    }
+  }
+  if (!arrival.response_to_invalidation && !third_party.empty()) {
+    invalidate_copyset(dsm, arrival.page, third_party, arrival.node, arrival.node);
+  }
+}
+
+void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
+  // Compute our pending diff (the paper: "these latter nodes need to compute
+  // and send their own diffs (if any) to the home node") and drop the copy —
+  // all under one hold of the page lock, so no local write can slip between
+  // the flush and the drop and be destroyed.
+  auto& tbl = dsm.table(inv.node);
+  Diff diff;
+  NodeId home = kInvalidNode;
+  {
+    marcel::MutexLock l(tbl.mutex(inv.page));
+    settle(dsm, inv.node, inv.page);  // let any in-flight fetch land first
+    PageEntry& e = tbl.entry(inv.page);
+    if (e.has_twin) {
+      const auto frame = dsm.store(inv.node).frame(inv.page);
+      dsm.charge_us(static_cast<double>(frame.size()) *
+                    dsm.costs().diff_scan_per_byte_us);
+      diff = Diff::compute(dsm.store(inv.node).twin(inv.page), frame);
+      dsm.store(inv.node).drop_twin(inv.page);
+      e.has_twin = false;
+      auto& rc = dsm.proto_state<HomeRcState>(e.protocol, inv.node);
+      std::erase(rc.twinned, inv.page);
+    }
+    e.access = Access::kNone;
+    e.dirty = false;
+    home = e.home;
+    dsm.store(inv.node).drop_frame(inv.page);
+  }
+  // The blocking send happens outside the lock; a concurrent local refetch
+  // may transiently miss these bytes (RC permits that until the next
+  // acquire), and diff application at the home is idempotent with respect to
+  // the later release flush.
+  if (!diff.empty()) {
+    dsm.comm().send_diff(home, inv.page, diff, /*response_to_invalidation=*/true);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
+                        NodeId new_owner, NodeId skip) {
+  copyset.for_each([&](NodeId member) {
+    if (member == skip) return;
+    dsm.comm().invalidate(member, page, new_owner);
+  });
+}
+
+void sync_noop(Dsm&, const SyncContext&) {}
+
+}  // namespace dsmpm2::dsm::lib

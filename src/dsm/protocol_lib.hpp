@@ -1,0 +1,153 @@
+// The DSM protocol library layer (paper §2.2): a toolbox of thread-safe
+// routines out of which consistency protocols are assembled.
+//
+// "It provides routines to perform elementary actions such as bringing a copy
+// of a remote page to a thread, migrating a thread to some remote data,
+// invalidating all copies of a page, etc. All the available routines are
+// thread-safe. This library is built on top of the two base components of the
+// generic core: the DSM page manager and the DSM communication module."
+//
+// The built-in protocols are thin compositions of these routines; user code
+// can combine them differently (see the hybrid protocol and the paper's §2.3
+// "Building protocols using library routines").
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/protocol.hpp"
+
+namespace dsmpm2::dsm::lib {
+
+// ---------------------------------------------------------------------------
+// Shared per-node protocol state used by the release-consistency protocols.
+// ---------------------------------------------------------------------------
+
+/// MRSW + eager release consistency: pages we own and wrote since the last
+/// release; their copysets are invalidated at lock release.
+struct MrswRcState : ProtocolState {
+  std::vector<PageId> pending_invalidate;
+};
+
+/// Home-based multiple-writer state: non-home pages with a live twin whose
+/// diffs flush to the home at release, plus home pages this node dirtied
+/// while replicas were outstanding (their copysets are invalidated at
+/// release — the home-as-writer side of the protocol).
+struct HomeRcState : ProtocolState {
+  std::vector<PageId> twinned;
+  std::vector<PageId> home_dirty;
+};
+
+// ---------------------------------------------------------------------------
+// Dynamic distributed manager, MRSW (Li & Hudak [16], adapted by Mueller [17])
+// ---------------------------------------------------------------------------
+
+/// Client side of a fault: serializes concurrent faulters on the page (the
+/// in_transition dance), sends a request along the probable-owner chain and
+/// waits for the page. On return the transition is over; the caller's access
+/// retry loop re-checks rights.
+void acquire_page_copy(Dsm& dsm, const FaultContext& ctx);
+
+/// Owner/forwarder side of a read request: replicate to the requester
+/// (downgrading a writing owner to read), or forward along the chain.
+void serve_read_dynamic(Dsm& dsm, const PageRequest& req);
+
+/// Owner/forwarder side of a write request: migrate the page with its
+/// ownership and copyset to the requester, or forward along the chain.
+void serve_write_dynamic(Dsm& dsm, const PageRequest& req);
+
+/// Page arrival. For a write grant, when `eager_invalidate` is true
+/// (sequential consistency — li_hudak) the transferred copyset is invalidated
+/// before write access is granted; when false (eager release consistency —
+/// erc_sw) invalidation is deferred to lock release via MrswRcState.
+void receive_page_dynamic(Dsm& dsm, const PageArrival& arrival,
+                          bool eager_invalidate);
+
+/// Local invalidation service: waits out any in-flight transition, then drops
+/// rights and the local copy and records the new probable owner.
+void invalidate_local(Dsm& dsm, const InvalidateRequest& inv);
+
+/// Write fault on the owning node itself (its access was downgraded to read
+/// while it served readers): invalidate (or defer) the copyset, upgrade.
+/// Returns false when this node turns out not to be the owner (ownership
+/// raced away) — the caller falls back to acquire_page_copy.
+bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
+                            bool eager_invalidate);
+
+/// Release-time invalidation sweep for erc_sw (and friends): invalidates the
+/// copysets of every page recorded in MrswRcState.
+void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node);
+
+// ---------------------------------------------------------------------------
+// Thread migration (paper §3.1, Figure 3)
+// ---------------------------------------------------------------------------
+
+/// "On page fault, the thread migrates to the node where the data is
+/// located." One call to the PM2 migration primitive; the retry loop then
+/// repeats the access locally.
+void migrate_to_owner(Dsm& dsm, const FaultContext& ctx);
+
+// ---------------------------------------------------------------------------
+// Home-based protocols (hbrc_mw, java_ic, java_pf)
+// ---------------------------------------------------------------------------
+
+/// Client side: fetches a copy of the page from its home node.
+void fetch_from_home(Dsm& dsm, const FaultContext& ctx);
+
+/// Home side of read/write requests: register the requester in the copyset
+/// and ship the current page copy. The home keeps write semantics (MRMW);
+/// with `arm_home_write_detection` it downgrades its own rights to read so
+/// that its next local write faults and gets recorded in home_dirty — that
+/// is how home-side writes become visible to replica holders at release
+/// (hbrc_mw). The Java protocols pass false: their visibility comes from the
+/// acquire-side cache flush instead.
+void serve_request_home(Dsm& dsm, const PageRequest& req,
+                        bool arm_home_write_detection);
+
+/// Write fault on a home page whose rights were downgraded by
+/// serve_request_home: re-upgrade locally and record the page in home_dirty.
+/// Returns false when this node is not the page's home.
+bool upgrade_home_write(Dsm& dsm, const FaultContext& ctx);
+
+/// Release-time sweep of home_dirty: invalidate every replica of each page
+/// this (home) node wrote, forcing fresh fetches afterwards.
+void release_home_dirty(Dsm& dsm, ProtocolId protocol, NodeId node);
+
+/// Arrival of a home-based copy; `twin_on_write` snapshots a twin when write
+/// access was requested (hbrc_mw) and records it in HomeRcState.
+void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write);
+
+/// Write fault on a page we already cache read-only (hbrc_mw): purely local
+/// upgrade — twin, mark dirty, grant write. The home learns at release time.
+void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx);
+
+/// Release-time flush for hbrc_mw: diff every twinned page against its twin,
+/// ship diffs home, downgrade to read.
+void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
+                      bool response_to_invalidation);
+
+/// Flushes one page's twin diff (used by the invalidate server).
+void flush_one_twin_diff(Dsm& dsm, PageId page, NodeId node,
+                         bool response_to_invalidation);
+
+/// Home side of a diff arrival: apply, then (unless the diff itself was an
+/// invalidation response) invalidate third-party copy holders, which flush
+/// their own diffs before dropping their copies.
+void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival);
+
+/// hbrc_mw invalidation service: flush own diff (if dirty), drop the copy.
+void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv);
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+/// Synchronously invalidates every member of `copyset` except `skip`.
+void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
+                        NodeId new_owner, NodeId skip);
+
+/// No-op synchronization hooks for protocols without consistency actions at
+/// sync points (sequential consistency).
+void sync_noop(Dsm& dsm, const SyncContext& ctx);
+
+}  // namespace dsmpm2::dsm::lib

@@ -1,0 +1,87 @@
+#include "hyperion/runtime.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::hyperion {
+
+Runtime::Runtime(dsm::Dsm& dsm, Detection detection)
+    : dsm_(dsm),
+      protocol_(detection == Detection::kInlineCheck ? dsm.builtin().java_ic
+                                                     : dsm.builtin().java_pf),
+      heaps_(static_cast<std::size_t>(dsm.node_count())) {}
+
+DsmAddr Runtime::carve(NodeId home, std::uint64_t bytes) {
+  DSM_CHECK(home < heaps_.size());
+  DSM_CHECK_MSG(bytes <= kHeapChunkBytes, "object larger than a heap chunk");
+  HomeHeap& heap = heaps_[home];
+  if (heap.next + bytes > heap.end) {
+    dsm::AllocAttr attr;
+    attr.protocol = protocol_;
+    attr.home_policy = dsm::HomePolicy::kFixed;
+    attr.fixed_home = home;
+    attr.name = "hyperion.heap.node" + std::to_string(home);
+    heap.next = dsm_.dsm_malloc(kHeapChunkBytes, attr);
+    heap.end = heap.next + kHeapChunkBytes;
+  }
+  const DsmAddr addr = heap.next;
+  heap.next += bytes;
+  return addr;
+}
+
+Ref Runtime::new_object(int field_count, NodeId home) {
+  DSM_CHECK(field_count > 0);
+  // Fields are 8-byte slots; keep objects 8-byte aligned within pages and
+  // never straddling a page boundary (Hyperion aligns similarly so that an
+  // object lives on exactly one page).
+  const auto bytes = static_cast<std::uint64_t>(field_count) * 8;
+  const std::uint64_t page = dsm_.geometry().page_size();
+  DSM_CHECK_MSG(bytes <= page, "object larger than a page");
+  HomeHeap& heap = heaps_[home];
+  if (heap.next != 0 && heap.next / page != (heap.next + bytes - 1) / page) {
+    heap.next = (heap.next / page + 1) * page;  // skip to the next page
+  }
+  const DsmAddr addr = carve(home, bytes);
+  ++objects_;
+  return Ref{addr};
+}
+
+void Runtime::monitor_enter(Ref ref) {
+  DSM_CHECK(!ref.is_null());
+  auto it = monitors_.find(ref.addr);
+  if (it == monitors_.end()) {
+    it = monitors_.emplace(ref.addr, dsm_.create_lock(protocol_)).first;
+  }
+  dsm_.lock_acquire(it->second);
+}
+
+void Runtime::monitor_exit(Ref ref) {
+  auto it = monitors_.find(ref.addr);
+  DSM_CHECK_MSG(it != monitors_.end(), "monitor_exit without enter");
+  dsm_.lock_release(it->second);
+}
+
+marcel::Thread& Runtime::start_thread(NodeId node, std::string name,
+                                      std::function<void()> body) {
+  const dsm::Protocol& proto = dsm_.protocols().get(protocol_);
+  // start() happens-before the new thread's first action: publish the
+  // starter's recorded modifications to main memory.
+  proto.lock_release(dsm_, dsm::SyncContext{-1, dsm_.self()});
+  auto java_body = [this, body = std::move(body)] {
+    const dsm::Protocol& p = dsm_.protocols().get(protocol_);
+    // Begin with a coherent view of main memory...
+    p.lock_acquire(dsm_, dsm::SyncContext{-1, dsm_.self()});
+    body();
+    // ...and publish our writes for join()ers on the way out.
+    p.lock_release(dsm_, dsm::SyncContext{-1, dsm_.self()});
+  };
+  return dsm_.runtime().spawn_on(node, std::move(name), std::move(java_body));
+}
+
+void Runtime::join(marcel::Thread& t) {
+  dsm_.runtime().threads().join(t);
+  // join() happens-after the thread's termination: refresh our cache.
+  const dsm::Protocol& proto = dsm_.protocols().get(protocol_);
+  proto.lock_acquire(dsm_, dsm::SyncContext{-1, dsm_.self()});
+}
+
+}  // namespace dsmpm2::hyperion

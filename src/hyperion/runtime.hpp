@@ -1,0 +1,134 @@
+// A miniature Hyperion-style Java runtime on top of DSM-PM2 (paper §3.3).
+//
+// The Hyperion system compiles multithreaded Java bytecode to native code and
+// runs it on clusters over DSM-PM2's Java-consistency protocols [2]. This
+// module reproduces the runtime contract those protocols were co-designed
+// for:
+//
+//   * objects live on home nodes ("main memory" is home-based); they are
+//     replicated page-wise into per-node caches when accessed remotely; at
+//     most one copy of an object exists per node, shared by all threads;
+//   * all field accesses go through get/put primitives — never through raw
+//     pointers — so access detection can be inline checks (java_ic) or page
+//     faults (java_pf);
+//   * object monitors map to DSM locks: entering flushes the node's object
+//     cache, exiting transmits the locally recorded modifications to the
+//     home nodes (the Java Memory Model rules);
+//   * threads are Marcel threads started on any node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::hyperion {
+
+/// A reference to a heap object (iso-address: identical on every node).
+struct Ref {
+  DsmAddr addr = 0;
+  [[nodiscard]] bool is_null() const { return addr == 0; }
+  bool operator==(const Ref&) const = default;
+};
+
+/// Which access-detection flavour the runtime drives (paper Figure 5).
+enum class Detection { kInlineCheck, kPageFault };
+
+class Runtime {
+ public:
+  /// Binds the runtime to a Dsm and selects java_ic or java_pf for its heap.
+  Runtime(dsm::Dsm& dsm, Detection detection);
+
+  [[nodiscard]] dsm::Dsm& dsm() { return dsm_; }
+  [[nodiscard]] dsm::ProtocolId protocol() const { return protocol_; }
+
+  /// Allocates an object of `field_count` 8-byte fields homed on `home`.
+  /// Objects are packed into per-home heap chunks, so objects with one home
+  /// share pages (good locality — the paper credits "a good distribution of
+  /// the objects" for java_pf's behaviour).
+  Ref new_object(int field_count, NodeId home);
+
+  /// Allocates a long[] / double[]-style array of `length` 8-byte slots.
+  Ref new_array(int length, NodeId home) { return new_object(length, home); }
+
+  // ---- field access (the Hyperion get/put primitives) ----
+  template <typename T = std::int64_t>
+  [[nodiscard]] T get_field(Ref ref, int index) {
+    static_assert(sizeof(T) <= 8);
+    return dsm_.get<T>(field_addr(ref, index));
+  }
+
+  template <typename T = std::int64_t>
+  void put_field(Ref ref, int index, T value) {
+    static_assert(sizeof(T) <= 8);
+    dsm_.put<T>(field_addr(ref, index), value);
+  }
+
+  /// Volatile field read (Java `volatile` semantics): consults main memory
+  /// at the object's home directly, without caching or cache flushes.
+  template <typename T = std::int64_t>
+  [[nodiscard]] T get_field_volatile(Ref ref, int index) {
+    static_assert(sizeof(T) <= 8);
+    return dsm_.get_volatile<T>(field_addr(ref, index));
+  }
+
+  // ---- monitors ----
+  void monitor_enter(Ref ref);
+  void monitor_exit(Ref ref);
+
+  /// RAII synchronized block:  { Synchronized s(rt, obj); ... }
+  class Synchronized {
+   public:
+    Synchronized(Runtime& rt, Ref ref) : rt_(rt), ref_(ref) {
+      rt_.monitor_enter(ref_);
+    }
+    ~Synchronized() { rt_.monitor_exit(ref_); }
+    Synchronized(const Synchronized&) = delete;
+    Synchronized& operator=(const Synchronized&) = delete;
+
+   private:
+    Runtime& rt_;
+    Ref ref_;
+  };
+
+  /// Starts a Java thread on `node`, with the Java Memory Model's
+  /// happens-before edge: the starter's pending modifications are pushed to
+  /// main memory first, and the new thread begins with a freshly flushed
+  /// object cache — so everything written before start() is visible to the
+  /// new thread. The thread also publishes its writes when its body returns.
+  marcel::Thread& start_thread(NodeId node, std::string name,
+                               std::function<void()> body);
+
+  /// Joins a Java thread; afterwards the joined thread's writes are visible
+  /// to the caller (the join() happens-before edge).
+  void join(marcel::Thread& t);
+
+  [[nodiscard]] std::uint64_t objects_allocated() const { return objects_; }
+
+ private:
+  [[nodiscard]] DsmAddr field_addr(Ref ref, int index) const {
+    return ref.addr + static_cast<DsmAddr>(index) * 8;
+  }
+
+  /// Bump allocator over per-home heap chunks.
+  DsmAddr carve(NodeId home, std::uint64_t bytes);
+
+  struct HomeHeap {
+    DsmAddr next = 0;
+    DsmAddr end = 0;
+  };
+
+  dsm::Dsm& dsm_;
+  dsm::ProtocolId protocol_;
+  std::vector<HomeHeap> heaps_;
+  std::unordered_map<DsmAddr, int> monitors_;  // object -> DSM lock id
+  std::uint64_t objects_ = 0;
+
+  static constexpr std::uint64_t kHeapChunkBytes = 64 * 1024;
+};
+
+}  // namespace dsmpm2::hyperion

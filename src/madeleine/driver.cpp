@@ -1,0 +1,100 @@
+#include "madeleine/driver.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::madeleine {
+
+namespace {
+
+// Derives the per-byte streaming cost from the paper's 4 kB page-transfer
+// anchor: transfer(4096) = rpc_min + 4096 · per_byte.
+constexpr double per_byte_from_4k(double transfer_4k_us, double rpc_min_us) {
+  return (transfer_4k_us - rpc_min_us) / 4096.0;
+}
+
+// Derives the fixed migration cost from the paper's minimal-stack anchor,
+// assuming the nominal ~1 kB stack image the paper quotes.
+constexpr double migration_fixed_from_anchor(double migration_us, double per_byte_us) {
+  return migration_us - 1024.0 * per_byte_us;
+}
+
+// TCP minimal one-way latency (not quoted in the paper; see header comment).
+constexpr double kTcpRpcMinUs = 105.0;
+
+}  // namespace
+
+SimTime DriverParams::wire_time(MsgKind kind, std::size_t payload_bytes) const {
+  switch (kind) {
+    case MsgKind::kControl:
+      return from_us(rpc_min_us);
+    case MsgKind::kPageRequest:
+      return from_us(page_request_us);
+    case MsgKind::kBulk:
+      return from_us(rpc_min_us + static_cast<double>(payload_bytes) * per_byte_us);
+    case MsgKind::kMigration:
+      return from_us(migration_fixed_us +
+                     static_cast<double>(payload_bytes) * per_byte_us);
+  }
+  DSM_UNREACHABLE("bad MsgKind");
+}
+
+DriverParams bip_myrinet() {
+  DriverParams p;
+  p.name = "BIP/Myrinet";
+  p.rpc_min_us = 8.0;                                  // paper §2.1
+  p.page_request_us = 23.0;                            // paper Table 3
+  p.per_byte_us = per_byte_from_4k(138.0, p.rpc_min_us);  // Table 3, 4 kB page
+  p.migration_fixed_us = migration_fixed_from_anchor(75.0, p.per_byte_us);  // Table 4
+  return p;
+}
+
+DriverParams tcp_myrinet() {
+  DriverParams p;
+  p.name = "TCP/Myrinet";
+  p.rpc_min_us = kTcpRpcMinUs;
+  p.page_request_us = 220.0;
+  p.per_byte_us = per_byte_from_4k(343.0, p.rpc_min_us);
+  p.migration_fixed_us = migration_fixed_from_anchor(280.0, p.per_byte_us);
+  return p;
+}
+
+DriverParams tcp_fast_ethernet() {
+  DriverParams p;
+  p.name = "TCP/FastEthernet";
+  p.rpc_min_us = kTcpRpcMinUs;
+  p.page_request_us = 220.0;
+  p.per_byte_us = per_byte_from_4k(736.0, p.rpc_min_us);
+  p.migration_fixed_us = migration_fixed_from_anchor(373.0, p.per_byte_us);
+  return p;
+}
+
+DriverParams sisci_sci() {
+  DriverParams p;
+  p.name = "SISCI/SCI";
+  p.rpc_min_us = 6.0;  // paper §2.1
+  p.page_request_us = 38.0;
+  p.per_byte_us = per_byte_from_4k(119.0, p.rpc_min_us);
+  p.migration_fixed_us = migration_fixed_from_anchor(62.0, p.per_byte_us);
+  return p;
+}
+
+DriverParams custom(std::string name, double rpc_min_us, double page_request_us,
+                    double per_byte_us, double migration_fixed_us) {
+  DriverParams p;
+  p.name = std::move(name);
+  p.rpc_min_us = rpc_min_us;
+  p.page_request_us = page_request_us;
+  p.per_byte_us = per_byte_us;
+  p.migration_fixed_us = migration_fixed_us;
+  return p;
+}
+
+const std::vector<DriverParams>& builtin_drivers() {
+  static const std::vector<DriverParams> drivers = {
+      bip_myrinet(), tcp_myrinet(), tcp_fast_ethernet(), sisci_sci()};
+  return drivers;
+}
+
+}  // namespace dsmpm2::madeleine

@@ -1,0 +1,65 @@
+// Madeleine network drivers: cost models for the four cluster interconnects
+// of the paper, plus a fully custom driver.
+//
+// The paper's Madeleine is a portable communication library with back-ends
+// for BIP, SISCI, VIA, TCP and MPI; DSM-PM2 inherits its portability. In the
+// simulator a "driver" is a calibrated cost model. Calibration anchors come
+// straight from the paper:
+//
+//   * §2.1  minimal RPC latency: 8 µs BIP/Myrinet, 6 µs SISCI/SCI;
+//   * Table 3  "request page" step: 23 / 220 / 220 / 38 µs,
+//              4 kB page transfer: 138 / 343 / 736 / 119 µs;
+//   * Table 4  minimal-stack (~1 kB) thread migration: 75 / 280 / 373 / 62 µs
+//
+// for BIP/Myrinet, TCP/Myrinet, TCP/FastEthernet and SISCI/SCI respectively.
+// TCP's minimal RPC latency is not quoted in the paper; 105 µs is assumed
+// (typical user-space TCP latency for that hardware generation). Per-byte
+// costs are derived from the 4 kB anchors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::madeleine {
+
+/// What a message is, for cost purposes. Mirrors the distinct message classes
+/// whose costs the paper reports separately.
+enum class MsgKind {
+  kControl,      ///< Small control message / empty RPC: costs rpc_min.
+  kPageRequest,  ///< A DSM page request: costs page_request (Table 3, row 2).
+  kBulk,         ///< Payload-bearing message (page, diff): rpc_min + bytes·per_byte.
+  kMigration,    ///< Thread migration image: migration_fixed + bytes·per_byte.
+};
+
+struct DriverParams {
+  std::string name;
+  double rpc_min_us = 0.0;          ///< One-way minimal small-message cost.
+  double page_request_us = 0.0;     ///< One-way page-request cost.
+  double per_byte_us = 0.0;         ///< Streaming cost per payload byte.
+  double migration_fixed_us = 0.0;  ///< Fixed part of a thread-migration message.
+
+  /// One-way wire time for a message of `kind` carrying `payload_bytes`.
+  [[nodiscard]] SimTime wire_time(MsgKind kind, std::size_t payload_bytes) const;
+};
+
+/// BIP over Myrinet (the paper's fastest send path for bulk data).
+DriverParams bip_myrinet();
+/// TCP over Myrinet.
+DriverParams tcp_myrinet();
+/// TCP over Fast Ethernet.
+DriverParams tcp_fast_ethernet();
+/// SISCI over SCI (the paper's lowest-latency path).
+DriverParams sisci_sci();
+
+/// A user-defined driver (the "porting Madeleine" story: new interconnects
+/// are one parameter table away).
+DriverParams custom(std::string name, double rpc_min_us, double page_request_us,
+                    double per_byte_us, double migration_fixed_us);
+
+/// All four built-in drivers, in the order the paper's tables list them.
+const std::vector<DriverParams>& builtin_drivers();
+
+}  // namespace dsmpm2::madeleine

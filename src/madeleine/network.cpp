@@ -1,0 +1,62 @@
+#include "madeleine/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dsmpm2::madeleine {
+
+namespace {
+using namespace dsmpm2::time_literals;
+/// Loopback (same-node) delivery cost: a local queue operation, not a NIC.
+constexpr SimTime kLoopbackCost = 1_us;
+}  // namespace
+
+Network::Network(sim::Cluster& cluster, DriverParams driver)
+    : cluster_(cluster),
+      driver_(std::move(driver)),
+      loopback_(kLoopbackCost),
+      handlers_(static_cast<std::size_t>(cluster.size())),
+      stats_(static_cast<std::size_t>(cluster.size())),
+      last_delivery_(static_cast<std::size_t>(cluster.size()) *
+                     static_cast<std::size_t>(cluster.size())) {}
+
+void Network::set_delivery_handler(NodeId node, DeliveryHandler handler) {
+  DSM_CHECK(node < handlers_.size());
+  handlers_[node] = std::move(handler);
+}
+
+void Network::send(Message msg) {
+  DSM_CHECK(msg.src < handlers_.size() && msg.dst < handlers_.size());
+  auto& sched = cluster_.scheduler();
+
+  stats_[msg.src].messages_sent++;
+  stats_[msg.src].bytes_sent += msg.payload.size();
+
+  const SimTime wire = msg.src == msg.dst
+                           ? loopback_
+                           : driver_.wire_time(msg.kind, msg.payload.size());
+  const std::size_t link = static_cast<std::size_t>(msg.src) * handlers_.size() + msg.dst;
+  SimTime deliver_at = sched.now() + wire;
+  // FIFO per link: never deliver before an earlier message on the same link.
+  deliver_at = std::max(deliver_at, last_delivery_[link] + 1);
+  last_delivery_[link] = deliver_at;
+
+  // The shared_ptr carries the payload through the event queue without copies.
+  auto boxed = std::make_shared<Message>(std::move(msg));
+  sched.schedule_at(deliver_at, [this, boxed] {
+    stats_[boxed->dst].messages_received++;
+    stats_[boxed->dst].bytes_received += boxed->payload.size();
+    DSM_CHECK_MSG(handlers_[boxed->dst] != nullptr, "no delivery handler installed");
+    handlers_[boxed->dst](std::move(*boxed));
+  });
+}
+
+const LinkStats& Network::stats(NodeId node) const {
+  DSM_CHECK(node < stats_.size());
+  return stats_[node];
+}
+
+}  // namespace dsmpm2::madeleine

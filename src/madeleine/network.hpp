@@ -1,0 +1,67 @@
+// Madeleine transport: ordered point-to-point message delivery between the
+// nodes of the simulated cluster.
+//
+// Semantics (mirroring what PM2's RPC layer relies on):
+//   * per-(src,dst) FIFO: two messages on a link are delivered in send order;
+//   * delivery after the driver's wire time for the message kind/size;
+//   * local sends (src == dst) are delivered with a fixed small loopback cost.
+//
+// Delivery handlers run in event context and must not block; the PM2 RPC
+// layer immediately spawns a Marcel handler thread for anything that might.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "common/time.hpp"
+#include "madeleine/driver.hpp"
+#include "sim/cluster.hpp"
+
+namespace dsmpm2::madeleine {
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgKind kind = MsgKind::kControl;
+  Buffer payload;
+};
+
+/// Per-node traffic counters.
+struct LinkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  using DeliveryHandler = std::function<void(Message)>;
+
+  Network(sim::Cluster& cluster, DriverParams driver);
+
+  /// Installs the receive upcall for a node (one consumer — the RPC layer).
+  void set_delivery_handler(NodeId node, DeliveryHandler handler);
+
+  /// Sends `msg`; delivery is scheduled at now + wire_time, respecting
+  /// per-link FIFO order. Callable from fiber or event context.
+  void send(Message msg);
+
+  [[nodiscard]] const DriverParams& driver() const { return driver_; }
+  [[nodiscard]] const LinkStats& stats(NodeId node) const;
+  [[nodiscard]] SimTime loopback_time() const { return loopback_; }
+
+ private:
+  sim::Cluster& cluster_;
+  DriverParams driver_;
+  SimTime loopback_;
+  std::vector<DeliveryHandler> handlers_;
+  std::vector<LinkStats> stats_;
+  // last scheduled delivery time per (src * n + dst), for FIFO enforcement
+  std::vector<SimTime> last_delivery_;
+};
+
+}  // namespace dsmpm2::madeleine

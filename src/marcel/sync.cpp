@@ -1,0 +1,102 @@
+#include "marcel/sync.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::marcel {
+
+void Mutex::lock() {
+  sim::Fiber* self = sched_->current();
+  DSM_CHECK_MSG(self != nullptr, "Mutex::lock outside fiber context");
+  DSM_CHECK_MSG(owner_ != self, "recursive Mutex::lock");
+  if (owner_ == nullptr) {
+    owner_ = self;
+    return;
+  }
+  waiters_.push_back(self);
+  sched_->block();
+  // Ownership was transferred to us by unlock().
+  DSM_CHECK(owner_ == self);
+}
+
+bool Mutex::try_lock() {
+  sim::Fiber* self = sched_->current();
+  DSM_CHECK_MSG(self != nullptr, "Mutex::try_lock outside fiber context");
+  if (owner_ != nullptr) return false;
+  owner_ = self;
+  return true;
+}
+
+void Mutex::unlock() {
+  DSM_CHECK_MSG(owner_ == sched_->current(), "Mutex::unlock by non-owner");
+  if (waiters_.empty()) {
+    owner_ = nullptr;
+    return;
+  }
+  sim::Fiber* next = waiters_.front();
+  waiters_.pop_front();
+  owner_ = next;  // direct hand-off keeps the mutex FIFO-fair
+  sched_->ready(next);
+}
+
+void CondVar::wait(Mutex& m) {
+  sim::Fiber* self = sched_->current();
+  DSM_CHECK_MSG(self != nullptr, "CondVar::wait outside fiber context");
+  DSM_CHECK_MSG(m.locked_by_me(), "CondVar::wait without holding the mutex");
+  Waiter w{self, &m};
+  waiters_.push_back(&w);
+  m.unlock();
+  sched_->block();
+  DSM_CHECK(w.signalled);
+  m.lock();
+}
+
+void CondVar::signal() {
+  if (waiters_.empty()) return;
+  Waiter* w = waiters_.front();
+  waiters_.pop_front();
+  w->signalled = true;
+  sched_->ready(w->fiber);
+}
+
+void CondVar::broadcast() {
+  while (!waiters_.empty()) signal();
+}
+
+void Semaphore::acquire() {
+  sim::Fiber* self = sched_->current();
+  DSM_CHECK_MSG(self != nullptr, "Semaphore::acquire outside fiber context");
+  if (count_ > 0) {
+    --count_;
+    return;
+  }
+  waiters_.push_back(self);
+  sched_->block();
+  // The releaser consumed the unit on our behalf.
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    sim::Fiber* next = waiters_.front();
+    waiters_.pop_front();
+    sched_->ready(next);
+    return;
+  }
+  ++count_;
+}
+
+void Completion::wait() {
+  if (done_) return;
+  sim::Fiber* self = sched_->current();
+  DSM_CHECK_MSG(self != nullptr, "Completion::wait outside fiber context");
+  waiters_.push_back(self);
+  sched_->block();
+  DSM_CHECK(done_);
+}
+
+void Completion::signal() {
+  done_ = true;
+  for (sim::Fiber* f : waiters_) sched_->ready(f);
+  waiters_.clear();
+}
+
+}  // namespace dsmpm2::marcel

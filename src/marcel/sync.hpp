@@ -1,0 +1,105 @@
+// Fiber-aware synchronization primitives (the Marcel sync API).
+//
+// These are *node-local* primitives in the DSM-PM2 model: threads on the same
+// node may freely share memory and synchronize with them. (Cross-node
+// synchronization goes through DSM locks/barriers, which carry consistency
+// actions.) The generic DSM core also uses them to make its own per-node data
+// structures thread-safe, e.g. the per-page entry locks that serialize
+// concurrent faulters — the paper's headline thread-safety requirement.
+//
+// All primitives are FIFO and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/time.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsmpm2::marcel {
+
+class Mutex {
+ public:
+  explicit Mutex(sim::Scheduler& sched) : sched_(&sched) {}
+
+  void lock();
+  bool try_lock();
+  void unlock();
+
+  [[nodiscard]] bool locked() const { return owner_ != nullptr; }
+  [[nodiscard]] bool locked_by_me() const { return owner_ == sched_->current(); }
+
+ private:
+  friend class CondVar;
+  sim::Scheduler* sched_;
+  sim::Fiber* owner_ = nullptr;
+  std::deque<sim::Fiber*> waiters_;
+};
+
+/// RAII lock guard for Mutex.
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) : m_(m) { m_.lock(); }
+  ~MutexLock() { m_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+class CondVar {
+ public:
+  explicit CondVar(sim::Scheduler& sched) : sched_(&sched) {}
+
+  /// Atomically releases `m` and blocks; re-acquires `m` before returning.
+  void wait(Mutex& m);
+
+  /// Wakes one waiter (FIFO).
+  void signal();
+  /// Wakes all waiters.
+  void broadcast();
+
+  [[nodiscard]] int waiting() const { return static_cast<int>(waiters_.size()); }
+
+ private:
+  struct Waiter {
+    sim::Fiber* fiber;
+    Mutex* mutex;
+    bool signalled = false;
+  };
+  sim::Scheduler* sched_;
+  std::deque<Waiter*> waiters_;
+};
+
+class Semaphore {
+ public:
+  Semaphore(sim::Scheduler& sched, int initial) : sched_(&sched), count_(initial) {}
+
+  void acquire();
+  void release();
+  [[nodiscard]] int value() const { return count_; }
+
+ private:
+  sim::Scheduler* sched_;
+  int count_;
+  std::deque<sim::Fiber*> waiters_;
+};
+
+/// One-shot completion: signal() releases all current and future waiters.
+/// signal() is safe from event context; wait() requires fiber context.
+class Completion {
+ public:
+  explicit Completion(sim::Scheduler& sched) : sched_(&sched) {}
+
+  void wait();
+  void signal();
+  [[nodiscard]] bool done() const { return done_; }
+
+ private:
+  sim::Scheduler* sched_;
+  bool done_ = false;
+  std::deque<sim::Fiber*> waiters_;
+};
+
+}  // namespace dsmpm2::marcel

@@ -1,0 +1,72 @@
+#include "marcel/thread.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dsmpm2::marcel {
+
+ThreadSystem::ThreadSystem(sim::Scheduler& sched, sim::Cluster& cluster)
+    : sched_(sched), cluster_(cluster) {}
+
+Thread& ThreadSystem::spawn(NodeId node, std::string name, std::function<void()> fn,
+                            std::size_t stack_size) {
+  DSM_CHECK(node < static_cast<NodeId>(cluster_.size()));
+  auto thread = std::make_unique<Thread>();
+  Thread* t = thread.get();
+  t->system_ = this;
+  t->id_ = next_id_++;
+  t->name_ = std::move(name);
+  t->node_ = node;
+  threads_.push_back(std::move(thread));
+
+  auto body = [this, t, fn = std::move(fn)] {
+    fn();
+    t->finished_ = true;
+    for (sim::Fiber* j : t->joiners_) sched_.ready(j);
+    t->joiners_.clear();
+  };
+  t->fiber_ = sched_.spawn(t->name_, std::move(body), stack_size);
+  t->fiber_->set_user_data(t);
+  return *t;
+}
+
+Thread& ThreadSystem::spawn_daemon(NodeId node, std::string name,
+                                   std::function<void()> fn, std::size_t stack_size) {
+  Thread& t = spawn(node, std::move(name), std::move(fn), stack_size);
+  t.fiber_->set_daemon(true);
+  return t;
+}
+
+void ThreadSystem::join(Thread& t) {
+  if (t.finished_) return;
+  sim::Fiber* self_fiber = sched_.current();
+  DSM_CHECK_MSG(self_fiber != nullptr, "join outside thread context");
+  t.joiners_.push_back(self_fiber);
+  sched_.block();
+  DSM_CHECK(t.finished_);
+}
+
+Thread& ThreadSystem::self() const {
+  Thread* t = self_or_null();
+  DSM_CHECK_MSG(t != nullptr, "marcel::self() outside thread context");
+  return *t;
+}
+
+Thread* ThreadSystem::self_or_null() const {
+  sim::Fiber* f = sched_.current();
+  if (f == nullptr) return nullptr;
+  return static_cast<Thread*>(f->user_data());
+}
+
+void ThreadSystem::charge(SimTime work) {
+  Thread& t = self();
+  cluster_.node(t.node()).cpu().charge(work);
+}
+
+void ThreadSystem::rebind(Thread& t, NodeId node) {
+  DSM_CHECK(node < static_cast<NodeId>(cluster_.size()));
+  t.node_ = node;
+  ++t.migrations_;
+}
+
+}  // namespace dsmpm2::marcel

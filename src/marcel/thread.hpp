@@ -1,0 +1,110 @@
+// Marcel: the PM2 user-level thread package (simulated flavour).
+//
+// Marcel threads are fibers bound to a node of the simulated cluster. The
+// paper's Marcel is a POSIX-like user-level package; this one exposes the
+// same essentials — create, join, yield, self, per-thread naming — plus the
+// two properties DSM-PM2 leans on:
+//   * threads on one node genuinely share memory (trivially true in-process),
+//   * a thread can be rebound to another node by the PM2 migration layer,
+//     carrying its stack with it.
+//
+// CPU time is modelled: compute phases call `charge()`, which consumes time
+// on the *current* node's processor-sharing CPU. After a migration the same
+// call charges the destination node — this is what makes load imbalance
+// observable in the Figure 4 experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "sim/cluster.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsmpm2::marcel {
+
+class ThreadSystem;
+
+class Thread {
+ public:
+  [[nodiscard]] ThreadId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  /// The node this thread currently runs on (changes under migration).
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] ThreadSystem& system() const { return *system_; }
+  [[nodiscard]] sim::Fiber* fiber() const { return fiber_; }
+
+  /// Number of times this thread has migrated (instrumentation).
+  [[nodiscard]] int migrations() const { return migrations_; }
+
+ private:
+  friend class ThreadSystem;
+  friend class MigrationService;
+
+  ThreadSystem* system_ = nullptr;
+  ThreadId id_ = kInvalidThread;
+  std::string name_;
+  NodeId node_ = kInvalidNode;
+  sim::Fiber* fiber_ = nullptr;
+  bool finished_ = false;
+  int migrations_ = 0;
+  std::vector<sim::Fiber*> joiners_;
+};
+
+class ThreadSystem {
+ public:
+  ThreadSystem(sim::Scheduler& sched, sim::Cluster& cluster);
+
+  ThreadSystem(const ThreadSystem&) = delete;
+  ThreadSystem& operator=(const ThreadSystem&) = delete;
+
+  /// Creates a thread bound to `node`, immediately runnable. No communication
+  /// cost is charged here; remote creation with an RPC cost goes through
+  /// pm2::Runtime::spawn_on.
+  Thread& spawn(NodeId node, std::string name, std::function<void()> fn,
+                std::size_t stack_size = sim::Fiber::kDefaultStackSize);
+
+  /// Same, but the thread starts as a daemon (blocked-forever is not a bug).
+  Thread& spawn_daemon(NodeId node, std::string name, std::function<void()> fn,
+                       std::size_t stack_size = sim::Fiber::kDefaultStackSize);
+
+  /// Blocks the calling thread until `t` finishes.
+  void join(Thread& t);
+
+  /// The thread executing right now (checked).
+  [[nodiscard]] Thread& self() const;
+  /// Or nullptr when called outside thread context.
+  [[nodiscard]] Thread* self_or_null() const;
+
+  /// Node of the calling thread.
+  [[nodiscard]] NodeId self_node() const { return self().node(); }
+
+  /// Cooperative yield.
+  void yield() { sched_.yield(); }
+
+  /// Consumes `work` of CPU on the calling thread's current node.
+  void charge(SimTime work);
+
+  /// Virtual sleep (no CPU consumed).
+  void sleep_for(SimTime d) { sched_.sleep_for(d); }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] sim::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] std::uint64_t threads_created() const { return next_id_; }
+
+  /// Used by the PM2 migration layer to rebind a thread.
+  void rebind(Thread& t, NodeId node);
+
+ private:
+  sim::Scheduler& sched_;
+  sim::Cluster& cluster_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  ThreadId next_id_ = 0;
+};
+
+}  // namespace dsmpm2::marcel

@@ -1,0 +1,96 @@
+#include "pm2/isomalloc.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::pm2 {
+
+IsoAllocator::IsoAllocator(DsmAddr base, std::uint64_t total_size, int node_count,
+                           std::uint64_t slot_size)
+    : base_(base), slot_size_(slot_size), node_count_(node_count) {
+  DSM_CHECK(node_count > 0);
+  DSM_CHECK(slot_size > 0);
+  const std::uint64_t total_slots = total_size / slot_size;
+  slots_per_node_ = total_slots / static_cast<std::uint64_t>(node_count);
+  DSM_CHECK_MSG(slots_per_node_ > 0, "iso space too small for node count");
+  arenas_.resize(static_cast<std::size_t>(node_count));
+}
+
+DsmAddr IsoAllocator::slot_addr(NodeId node, std::uint64_t local_slot) const {
+  return base_ + (node * slots_per_node_ + local_slot) * slot_size_;
+}
+
+DsmAddr IsoAllocator::allocate(NodeId node, std::uint64_t size) {
+  DSM_CHECK(node < arenas_.size());
+  DSM_CHECK(size > 0);
+  NodeArena& arena = arenas_[node];
+  const std::uint64_t slots = (size + slot_size_ - 1) / slot_size_;
+
+  // First fit in the recycled runs.
+  for (auto it = arena.free_runs.begin(); it != arena.free_runs.end(); ++it) {
+    if (it->second >= slots) {
+      const std::uint64_t start = it->first;
+      const std::uint64_t run = it->second;
+      arena.free_runs.erase(it);
+      if (run > slots) arena.free_runs.emplace(start + slots, run - slots);
+      arena.live.emplace(start, slots);
+      arena.allocated_bytes += slots * slot_size_;
+      return slot_addr(node, start);
+    }
+  }
+
+  // Otherwise take fresh slots.
+  DSM_CHECK_MSG(arena.next_fresh + slots <= slots_per_node_,
+                "isomalloc: node arena exhausted");
+  const std::uint64_t start = arena.next_fresh;
+  arena.next_fresh += slots;
+  arena.live.emplace(start, slots);
+  arena.allocated_bytes += slots * slot_size_;
+  return slot_addr(node, start);
+}
+
+void IsoAllocator::release(NodeId node, DsmAddr addr) {
+  DSM_CHECK(node < arenas_.size());
+  NodeArena& arena = arenas_[node];
+  DSM_CHECK(addr >= base_);
+  const std::uint64_t global_slot = (addr - base_) / slot_size_;
+  DSM_CHECK_MSG(global_slot / slots_per_node_ == node, "release on the wrong node");
+  const std::uint64_t start = global_slot % slots_per_node_;
+
+  auto live_it = arena.live.find(start);
+  DSM_CHECK_MSG(live_it != arena.live.end(), "release of unallocated address");
+  const std::uint64_t slots = live_it->second;
+  arena.live.erase(live_it);
+  arena.allocated_bytes -= slots * slot_size_;
+
+  // Insert and coalesce with neighbours.
+  auto [it, inserted] = arena.free_runs.emplace(start, slots);
+  DSM_CHECK(inserted);
+  if (it != arena.free_runs.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      arena.free_runs.erase(it);
+      it = prev;
+    }
+  }
+  auto next = std::next(it);
+  if (next != arena.free_runs.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    arena.free_runs.erase(next);
+  }
+}
+
+NodeId IsoAllocator::owner_of(DsmAddr addr) const {
+  DSM_CHECK(addr >= base_);
+  const std::uint64_t global_slot = (addr - base_) / slot_size_;
+  const auto node = global_slot / slots_per_node_;
+  DSM_CHECK(node < static_cast<std::uint64_t>(node_count_));
+  return static_cast<NodeId>(node);
+}
+
+std::uint64_t IsoAllocator::allocated_bytes(NodeId node) const {
+  DSM_CHECK(node < arenas_.size());
+  return arenas_[node].allocated_bytes;
+}
+
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,68 @@
+// Isomalloc: PM2's iso-address allocator.
+//
+// The invariant from the paper [3]: "the range of virtual addresses allocated
+// by a thread on a node will be left free on any other node", so a migrated
+// thread's stack and private data can be installed at identical addresses on
+// the destination — which keeps every pointer valid with no translation.
+//
+// The allocator partitions one global address space into large contiguous
+// per-node *regions*, each region divided into fixed-size slots. An
+// allocation grabs consecutive slots inside the allocating node's own region;
+// because regions are disjoint by construction, the iso-address property
+// holds with zero cross-node coordination, and every allocation is a
+// contiguous address range. Freed slot runs are recycled per-node (first-fit
+// on a sorted, coalescing free list).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace dsmpm2::pm2 {
+
+class IsoAllocator {
+ public:
+  /// `slot_size` is the allocation granularity (default 4 kB — one DSM page).
+  IsoAllocator(DsmAddr base, std::uint64_t total_size, int node_count,
+               std::uint64_t slot_size = 4096);
+
+  /// Allocates `size` bytes on behalf of `node`. Returns the iso-address.
+  /// The returned range is aligned to the slot size and globally unique.
+  DsmAddr allocate(NodeId node, std::uint64_t size);
+
+  /// Releases a range previously returned by allocate() on the same node.
+  void release(NodeId node, DsmAddr addr);
+
+  /// The node whose slot stripe covers `addr` (i.e. which node allocated it).
+  [[nodiscard]] NodeId owner_of(DsmAddr addr) const;
+
+  [[nodiscard]] DsmAddr base() const { return base_; }
+  [[nodiscard]] std::uint64_t slot_size() const { return slot_size_; }
+  [[nodiscard]] std::uint64_t slots_per_node() const { return slots_per_node_; }
+  [[nodiscard]] std::uint64_t region_size() const { return slots_per_node_ * slot_size_; }
+  [[nodiscard]] std::uint64_t allocated_bytes(NodeId node) const;
+
+ private:
+  // Node n owns the contiguous region
+  //   [base + n·region_size, base + (n+1)·region_size).
+  [[nodiscard]] DsmAddr slot_addr(NodeId node, std::uint64_t local_slot) const;
+
+  DsmAddr base_;
+  std::uint64_t slot_size_;
+  int node_count_;
+  std::uint64_t slots_per_node_;
+
+  struct NodeArena {
+    std::uint64_t next_fresh = 0;  // first never-used local slot
+    // free runs: local slot index -> run length, coalesced
+    std::map<std::uint64_t, std::uint64_t> free_runs;
+    // live allocations: local slot -> slot count
+    std::map<std::uint64_t, std::uint64_t> live;
+    std::uint64_t allocated_bytes = 0;
+  };
+  std::vector<NodeArena> arenas_;
+};
+
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,78 @@
+#include "pm2/migration.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace dsmpm2::pm2 {
+
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+MigrationService::MigrationService(Rpc& rpc) : rpc_(rpc) {
+  svc_ = rpc_.register_service(
+      "pm2.migrate", Dispatch::kInline,
+      [this](RpcContext& ctx, Unpacker& args) { install(ctx, args); });
+}
+
+void MigrationService::migrate_to(NodeId dst) {
+  marcel::ThreadSystem& threads = rpc_.threads();
+  marcel::Thread& t = threads.self();
+  if (t.node() == dst) return;
+  const NodeId src = t.node();
+  sim::Scheduler& sched = threads.scheduler();
+  sim::Fiber* fiber = t.fiber();
+
+  // Packing the live stack needs the fiber switched out (its saved SP is only
+  // meaningful then), so the pack-and-send step runs as an immediate event
+  // right after this thread blocks below.
+  sched.schedule_at(sched.now(), [this, &t, fiber, src, dst] {
+    const auto stack = fiber->used_stack();
+    Packer p;
+    DescriptorImage desc{t.id(), src, dst, reinterpret_cast<std::uint64_t>(&t),
+                         stack.size(), fnv1a(stack)};
+    p.pack(desc);
+    p.pack_raw(stack);
+    last_image_bytes_ = p.size() + sizeof(ServiceId) * 4;  // + RPC header
+    ++migrations_;
+    log::debug("migrating thread '%s' %u -> %u (%zu stack bytes)",
+               t.name().c_str(), src, dst, stack.size());
+    rpc_.call_async_from(src, dst, svc_, std::move(p),
+                         madeleine::MsgKind::kMigration);
+  });
+
+  sched.block();
+  DSM_CHECK(t.node() == dst);
+}
+
+void MigrationService::install(RpcContext& ctx, Unpacker& args) {
+  const auto desc = args.unpack<DescriptorImage>();
+  DSM_CHECK(desc.to == ctx.self);
+  auto* t = reinterpret_cast<marcel::Thread*>(desc.thread_handle);
+  DSM_CHECK(t->id() == desc.id);
+
+  auto bytes = args.unpack_raw(desc.stack_bytes);
+  const auto stack = t->fiber()->used_stack();
+  DSM_CHECK_MSG(stack.size() == desc.stack_bytes,
+                "stack layout changed during migration");
+  // Reinstall the image at the identical virtual addresses (iso-address).
+  std::memcpy(stack.data(), bytes.data(), bytes.size());
+  DSM_CHECK_MSG(fnv1a(stack) == desc.checksum, "stack image corrupted in flight");
+
+  rpc_.threads().rebind(*t, desc.to);
+  rpc_.threads().scheduler().ready(t->fiber());
+}
+
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,76 @@
+#include "pm2/pm2.hpp"
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dsmpm2::pm2 {
+
+Runtime::Runtime(Config config)
+    : config_(std::move(config)),
+      sched_(config_.sched_policy, config_.seed),
+      cluster_(config_.nodes, sched_),
+      threads_(sched_, cluster_),
+      net_(cluster_, config_.driver),
+      rpc_(cluster_, net_, threads_),
+      migration_(rpc_),
+      // The first slot is reserved so that address 0 is never handed out —
+      // upper layers use 0 as a null reference.
+      iso_(/*base=*/config_.iso_slot_bytes,
+           config_.iso_space_bytes - config_.iso_slot_bytes, config_.nodes,
+           config_.iso_slot_bytes) {
+  // Remote thread creation: the function object stays in a local table (a
+  // closure cannot be serialized); the RPC carries its token and pays the
+  // control-message cost, and the handler thread *is* the new thread.
+  spawn_service_ = rpc_.register_service(
+      "pm2.spawn", Dispatch::kInline, [this](RpcContext& ctx, Unpacker& args) {
+        const auto token = args.unpack<std::uint64_t>();
+        const auto name = args.unpack_string();
+        auto it = pending_spawns_.find(token);
+        DSM_CHECK(it != pending_spawns_.end());
+        auto fn = std::move(it->second);
+        pending_spawns_.erase(it);
+        threads_.spawn(ctx.self, name, std::move(fn));
+      });
+}
+
+RunStats Runtime::run(std::function<void()> entry) {
+  threads_.spawn(0, "pm2.main", std::move(entry));
+  const auto result = sched_.run();
+  RunStats stats;
+  stats.end_time = result.end_time;
+  stats.fibers_spawned = result.fibers_spawned;
+  stats.events_executed = result.events_executed;
+  stats.stuck_fibers = result.stuck_fibers;
+  DSM_CHECK_MSG(stats.stuck_fibers == 0, "deadlock: threads left blocked");
+  return stats;
+}
+
+marcel::Thread& Runtime::spawn_on(NodeId node, std::string name,
+                                  std::function<void()> fn) {
+  marcel::Thread* caller = threads_.self_or_null();
+  if (caller == nullptr || caller->node() == node) {
+    return threads_.spawn(node, std::move(name), std::move(fn));
+  }
+  // Remote creation: one control message to the target node. We also return
+  // a handle synchronously, which the simulator can do because the thread
+  // object is created eagerly; it starts running only when the RPC arrives.
+  const std::uint64_t token = next_spawn_token_++;
+  marcel::Completion started(sched_);
+  marcel::Thread* created = nullptr;
+  pending_spawns_[token] = [&created, &started, fn = std::move(fn), this,
+                            node]() mutable {
+    created = &threads_.self();
+    started.signal();
+    (void)node;
+    fn();
+  };
+  Packer args;
+  args.pack(token);
+  args.pack_string(name);
+  rpc_.call_async(node, spawn_service_, std::move(args));
+  started.wait();
+  DSM_CHECK(created != nullptr);
+  return *created;
+}
+
+}  // namespace dsmpm2::pm2

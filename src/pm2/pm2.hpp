@@ -1,0 +1,103 @@
+// The PM2 runtime façade: everything an application (or the DSM layer) needs
+// from the substrate, assembled and wired.
+//
+//   pm2::Config cfg;
+//   cfg.nodes = 4;
+//   cfg.driver = madeleine::bip_myrinet();
+//   pm2::Runtime rt(cfg);
+//   rt.run([&] {
+//     auto& t = rt.spawn_on(2, "worker", [] { ... });
+//     rt.threads().join(t);
+//   });
+//
+// run() spawns the entry function as a Marcel thread on node 0 (the paper's
+// usual SPMD entry), drives the discrete-event loop to quiescence, and checks
+// that no non-daemon thread is left deadlocked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "madeleine/driver.hpp"
+#include "madeleine/network.hpp"
+#include "marcel/sync.hpp"
+#include "marcel/thread.hpp"
+#include "pm2/isomalloc.hpp"
+#include "pm2/migration.hpp"
+#include "pm2/rpc.hpp"
+#include "sim/cluster.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsmpm2::pm2 {
+
+struct Config {
+  int nodes = 4;
+  madeleine::DriverParams driver = madeleine::bip_myrinet();
+  sim::SchedPolicy sched_policy = sim::SchedPolicy::kFifo;
+  std::uint64_t seed = 1;
+  /// Size of the iso-address space managed for DSM data (virtual; frames are
+  /// materialized lazily).
+  std::uint64_t iso_space_bytes = 64ull * 1024 * 1024;
+  std::uint64_t iso_slot_bytes = 4096;
+};
+
+struct RunStats {
+  SimTime end_time = 0;
+  std::uint64_t fibers_spawned = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t stuck_fibers = 0;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(Config config);
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs `entry` as a Marcel thread on node 0 and drives the simulation to
+  /// quiescence. Aborts if any non-daemon thread is left blocked (deadlock).
+  RunStats run(std::function<void()> entry);
+
+  /// Creates a thread on a (possibly remote) node. When the target is remote
+  /// the creation is shipped as a PM2 RPC and costs one control message.
+  marcel::Thread& spawn_on(NodeId node, std::string name, std::function<void()> fn);
+
+  /// Migrates the calling thread (see MigrationService).
+  void migrate_to(NodeId dst) { migration_.migrate_to(dst); }
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] int node_count() const { return cluster_.size(); }
+  [[nodiscard]] NodeId self_node() const { return threads_.self_node(); }
+  [[nodiscard]] SimTime now() const { return sched_.now(); }
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] sim::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] marcel::ThreadSystem& threads() { return threads_; }
+  [[nodiscard]] madeleine::Network& network() { return net_; }
+  [[nodiscard]] Rpc& rpc() { return rpc_; }
+  [[nodiscard]] IsoAllocator& iso() { return iso_; }
+  [[nodiscard]] MigrationService& migration() { return migration_; }
+
+  /// Charges `work` of CPU on the calling thread's node.
+  void compute(SimTime work) { threads_.charge(work); }
+
+ private:
+  Config config_;
+  sim::Scheduler sched_;
+  sim::Cluster cluster_;
+  marcel::ThreadSystem threads_;
+  madeleine::Network net_;
+  Rpc rpc_;
+  MigrationService migration_;
+  IsoAllocator iso_;
+  ServiceId spawn_service_ = 0;
+  std::uint64_t next_spawn_token_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void()>> pending_spawns_;
+};
+
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,130 @@
+#include "pm2/rpc.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dsmpm2::pm2 {
+
+namespace {
+
+// Wire header prepended to every RPC message.
+struct WireHeader {
+  ServiceId svc;
+  NodeId src;
+  std::uint64_t token;  // 0: no reply expected; for kReplyService: which call
+};
+
+}  // namespace
+
+void RpcContext::reply(Packer result, madeleine::MsgKind kind) {
+  DSM_CHECK_MSG(reply_token != 0, "reply() for a call that expects none");
+  rpc.send_reply(self, src, reply_token, std::move(result), kind);
+  reply_token = 0;
+}
+
+Rpc::Rpc(sim::Cluster& cluster, madeleine::Network& net, marcel::ThreadSystem& threads)
+    : cluster_(cluster), net_(net), threads_(threads) {
+  // Service 0 is the internal reply channel.
+  services_.push_back(Service{
+      "rpc.reply", Dispatch::kInline,
+      [this](RpcContext& ctx, Unpacker& args) {
+        auto it = pending_.find(ctx.reply_token);
+        DSM_CHECK_MSG(it != pending_.end(), "reply for unknown token");
+        auto rest = args.unpack_raw(args.remaining());
+        it->second.result.assign(rest.begin(), rest.end());
+        it->second.done = true;
+        if (it->second.waiter != nullptr) {
+          cluster_.scheduler().ready(it->second.waiter);
+        }
+      }});
+  for (NodeId n = 0; n < static_cast<NodeId>(cluster.size()); ++n) {
+    net_.set_delivery_handler(
+        n, [this, n](madeleine::Message msg) { on_delivery(n, std::move(msg)); });
+  }
+}
+
+ServiceId Rpc::register_service(std::string name, Dispatch dispatch, Handler handler) {
+  services_.push_back(Service{std::move(name), dispatch, std::move(handler)});
+  return static_cast<ServiceId>(services_.size() - 1);
+}
+
+const std::string& Rpc::service_name(ServiceId svc) const {
+  DSM_CHECK(svc < services_.size());
+  return services_[svc].name;
+}
+
+void Rpc::call_async(NodeId dst, ServiceId svc, Packer args, madeleine::MsgKind kind) {
+  call_async_from(threads_.self().node(), dst, svc, std::move(args), kind);
+}
+
+void Rpc::call_async_from(NodeId src, NodeId dst, ServiceId svc, Packer args,
+                          madeleine::MsgKind kind) {
+  DSM_CHECK(svc < services_.size());
+  ++calls_issued_;
+  Packer wire;
+  wire.pack(WireHeader{svc, src, 0});
+  wire.pack_raw(std::span<const std::byte>(args.buffer().data(), args.size()));
+  net_.send(madeleine::Message{src, dst, kind, std::move(wire).take()});
+}
+
+Buffer Rpc::call(NodeId dst, ServiceId svc, Packer args, madeleine::MsgKind kind) {
+  DSM_CHECK(svc < services_.size());
+  ++calls_issued_;
+  const NodeId src = threads_.self().node();
+  const std::uint64_t token = next_token_++;
+  PendingReply& pending = pending_[token];
+
+  Packer wire;
+  wire.pack(WireHeader{svc, src, token});
+  wire.pack_raw(std::span<const std::byte>(args.buffer().data(), args.size()));
+  net_.send(madeleine::Message{src, dst, kind, std::move(wire).take()});
+
+  if (!pending.done) {
+    pending.waiter = cluster_.scheduler().current();
+    DSM_CHECK_MSG(pending.waiter != nullptr, "Rpc::call outside thread context");
+    cluster_.scheduler().block();
+  }
+  auto it = pending_.find(token);
+  DSM_CHECK(it != pending_.end() && it->second.done);
+  Buffer result = std::move(it->second.result);
+  pending_.erase(it);
+  return result;
+}
+
+void Rpc::send_reply(NodeId from, NodeId to, std::uint64_t token, Packer result,
+                     madeleine::MsgKind kind) {
+  Packer wire;
+  wire.pack(WireHeader{kReplyService, from, token});
+  wire.pack_raw(std::span<const std::byte>(result.buffer().data(), result.size()));
+  net_.send(madeleine::Message{from, to, kind, std::move(wire).take()});
+}
+
+void Rpc::on_delivery(NodeId self, madeleine::Message msg) {
+  // Runs in event (delivery) context.
+  auto boxed = std::make_shared<Buffer>(std::move(msg.payload));
+  Unpacker peek(*boxed);
+  const auto header = peek.unpack<WireHeader>();
+  DSM_CHECK_MSG(header.svc < services_.size(), "RPC to unregistered service");
+  Service& svc = services_[header.svc];
+
+  if (svc.dispatch == Dispatch::kInline) {
+    RpcContext ctx{*this, self, header.src, header.token};
+    svc.handler(ctx, peek);
+    return;
+  }
+
+  // Spawn a Marcel handler thread on the destination node — the paper's
+  // "hidden threads" that keep the DSM reactive to external events.
+  const ServiceId svc_id = header.svc;
+  threads_.spawn_daemon(self, "rpc." + svc.name,
+                        [this, self, header, boxed, svc_id] {
+                          Unpacker args(*boxed);
+                          args.unpack<WireHeader>();  // skip header
+                          RpcContext ctx{*this, self, header.src, header.token};
+                          services_[svc_id].handler(ctx, args);
+                        });
+}
+
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,116 @@
+// PM2's Remote Procedure Call layer, built on Madeleine.
+//
+// Threads invoke remote services by id; the receiving node either spawns a
+// fresh Marcel handler thread (kThread — the default, used for anything that
+// may block, e.g. DSM protocol servers taking page locks) or runs the handler
+// inline in delivery context (kInline — for short, non-blocking services such
+// as reply matching or the lock manager's queue operations). This mirrors the
+// paper: "invocations can either be handled by a pre-existing thread, or they
+// can involve the creation of a new thread."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "madeleine/network.hpp"
+#include "marcel/sync.hpp"
+#include "marcel/thread.hpp"
+
+namespace dsmpm2::pm2 {
+
+using ServiceId = std::uint32_t;
+
+enum class Dispatch {
+  kThread,  ///< Spawn a Marcel handler thread on the receiving node.
+  kInline,  ///< Run in delivery context; the handler must not block.
+};
+
+class Rpc;
+
+/// Handed to every service handler.
+struct RpcContext {
+  Rpc& rpc;
+  NodeId self;              ///< node the handler runs on
+  NodeId src;               ///< node that issued the call
+  std::uint64_t reply_token;  ///< nonzero iff the caller waits for a reply
+
+  /// Sends the reply for a call() (exactly once, and only if reply_token != 0).
+  void reply(Packer result, madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+};
+
+class Rpc {
+ public:
+  using Handler = std::function<void(RpcContext&, Unpacker&)>;
+
+  Rpc(sim::Cluster& cluster, madeleine::Network& net, marcel::ThreadSystem& threads);
+
+  /// Registers a service on every node. Must be called before the run starts.
+  ServiceId register_service(std::string name, Dispatch dispatch, Handler handler);
+
+  /// Fire-and-forget invocation.
+  void call_async(NodeId dst, ServiceId svc, Packer args,
+                  madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+
+  /// Fire-and-forget with an explicit source node — usable from event
+  /// context, where there is no "current thread" (e.g. the migration packer).
+  void call_async_from(NodeId src, NodeId dst, ServiceId svc, Packer args,
+                       madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+
+  /// Invocation with reply: blocks the calling thread until the handler
+  /// replies, and returns the reply payload.
+  Buffer call(NodeId dst, ServiceId svc, Packer args,
+              madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+
+  /// Sends the reply for a deferred call: a handler may stash (src, token)
+  /// and answer long after returning (e.g. a lock manager granting a queued
+  /// request at release time).
+  void reply_to(NodeId from, NodeId to, std::uint64_t token, Packer result,
+                madeleine::MsgKind kind = madeleine::MsgKind::kControl) {
+    send_reply(from, to, token, std::move(result), kind);
+  }
+
+  [[nodiscard]] madeleine::Network& network() { return net_; }
+  [[nodiscard]] marcel::ThreadSystem& threads() { return threads_; }
+  [[nodiscard]] const std::string& service_name(ServiceId svc) const;
+
+  /// The node the calling thread currently runs on.
+  [[nodiscard]] NodeId self_node() const { return threads_.self_node(); }
+
+  [[nodiscard]] std::uint64_t calls_issued() const { return calls_issued_; }
+
+ private:
+  friend struct RpcContext;
+
+  struct Service {
+    std::string name;
+    Dispatch dispatch;
+    Handler handler;
+  };
+
+  struct PendingReply {
+    sim::Fiber* waiter = nullptr;
+    Buffer result;
+    bool done = false;
+  };
+
+  void on_delivery(NodeId self, madeleine::Message msg);
+  void send_reply(NodeId from, NodeId to, std::uint64_t token, Packer result,
+                  madeleine::MsgKind kind);
+
+  static constexpr ServiceId kReplyService = 0;
+
+  sim::Cluster& cluster_;
+  madeleine::Network& net_;
+  marcel::ThreadSystem& threads_;
+  std::vector<Service> services_;
+  std::unordered_map<std::uint64_t, PendingReply> pending_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t calls_issued_ = 0;
+};
+
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,19 @@
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+dsm::BuiltinProtocols register_builtins(dsm::Dsm& d) {
+  dsm::BuiltinProtocols ids;
+  ids.li_hudak = d.create_protocol(make_li_hudak());
+  ids.migrate_thread = d.create_protocol(make_migrate_thread());
+  ids.erc_sw = d.create_protocol(make_erc_sw());
+  ids.hbrc_mw = d.create_protocol(make_hbrc_mw());
+  ids.java_ic = d.create_protocol(
+      make_java_protocol("java_ic", dsm::AccessMode::kInlineCheck));
+  ids.java_pf = d.create_protocol(
+      make_java_protocol("java_pf", dsm::AccessMode::kPageFault));
+  ids.hybrid_rw = d.create_protocol(make_hybrid_rw());
+  return ids;
+}
+
+}  // namespace dsmpm2::protocols

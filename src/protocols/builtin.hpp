@@ -1,0 +1,42 @@
+// The built-in consistency protocols of DSM-PM2 (paper Table 2):
+//
+//   li_hudak        Sequential  MRSW, replicate on read / migrate page on
+//                               write, dynamic distributed manager.
+//   migrate_thread  Sequential  thread migration on read & write faults,
+//                               fixed distributed manager.
+//   erc_sw          Release     MRSW eager release consistency, dynamic
+//                               distributed manager.
+//   hbrc_mw         Release     home-based lazy release consistency, MRMW,
+//                               twins and on-release diffing.
+//   java_ic         Java        home-based MRMW, inline locality checks,
+//                               on-the-fly diff recording.
+//   java_pf         Java        same, but page-fault access detection.
+//
+// plus hybrid_rw, the §2.3 "mixed approach" example assembled purely from
+// protocol-library routines: page replication on read fault (as li_hudak) and
+// thread migration on write fault (as migrate_thread).
+//
+// Every factory returns a plain dsm::Protocol value — built-ins go through
+// the exact same dsm_create_protocol path as user-defined protocols.
+#pragma once
+
+#include <string>
+
+#include "dsm/dsm.hpp"
+#include "dsm/protocol.hpp"
+
+namespace dsmpm2::protocols {
+
+dsm::Protocol make_li_hudak();
+dsm::Protocol make_migrate_thread();
+dsm::Protocol make_erc_sw();
+dsm::Protocol make_hbrc_mw();
+/// Shared implementation of the two Java-consistency protocols; they differ
+/// only in how accesses to shared data are detected.
+dsm::Protocol make_java_protocol(std::string name, dsm::AccessMode mode);
+dsm::Protocol make_hybrid_rw();
+
+/// Registers all built-ins with `dsm` and returns their ids.
+dsm::BuiltinProtocols register_builtins(dsm::Dsm& dsm);
+
+}  // namespace dsmpm2::protocols

@@ -1,0 +1,68 @@
+// erc_sw: eager release consistency, MRSW, dynamic distributed manager.
+//
+// "A MRSW protocol for eager release consistency. It uses page replication on
+// read fault and page migration on write fault, based on the same dynamic
+// distributed manager scheme as li_hudak. Page ownership migrates along with
+// the write access rights. Pages in the copyset get invalidated on lock
+// release." (paper §3.2)
+//
+// The only difference from li_hudak is *when* the copyset is invalidated:
+// writes proceed immediately while readers keep their (stale, RC-legal)
+// copies; the invalidations are pushed eagerly at the release.
+#include <memory>
+
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::FaultContext;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+using dsm::SyncContext;
+
+Protocol make_erc_sw() {
+  Protocol p;
+  p.name = "erc_sw";
+
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::acquire_page_copy(d, ctx);
+  };
+
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    if (dsm::lib::upgrade_owner_to_write(d, ctx, /*eager_invalidate=*/false)) {
+      return;
+    }
+    dsm::lib::acquire_page_copy(d, ctx);
+  };
+
+  p.read_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_read_dynamic(d, req);
+  };
+  p.write_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_write_dynamic(d, req);
+  };
+  p.invalidate_server = [](Dsm& d, const InvalidateRequest& inv) {
+    dsm::lib::invalidate_local(d, inv);
+  };
+  p.receive_page_server = [](Dsm& d, const PageArrival& arrival) {
+    dsm::lib::receive_page_dynamic(d, arrival, /*eager_invalidate=*/false);
+  };
+
+  // Consistency actions live at the release: invalidate the copyset of every
+  // page this node wrote since it became their owner.
+  p.lock_acquire = dsm::lib::sync_noop;
+  p.lock_release = [](Dsm& d, const SyncContext& ctx) {
+    dsm::lib::release_pending_invalidations(d, d.protocol_by_name("erc_sw"),
+                                            ctx.node);
+  };
+  p.make_node_state = [] {
+    return std::make_unique<dsm::lib::MrswRcState>();
+  };
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

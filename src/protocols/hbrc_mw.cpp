@@ -1,0 +1,92 @@
+// hbrc_mw: home-based (lazy) release consistency with multiple writers.
+//
+// "A home-based protocol allowing multiple writers (MRMW protocol) by using
+// the 'classical' twinning technique described in [15]. Essentially, each
+// page has a home node, where all threads have write access. On page fault, a
+// copy of the page is brought from the home node and a twin copy gets
+// created. On release, page diffs are computed and sent to the home node,
+// which subsequently invalidates third-party writer nodes. On receiving such
+// an invalidation, these latter nodes need to compute and send their own
+// diffs (if any) to the home node." (paper §3.2)
+#include <memory>
+
+#include "common/check.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::DiffArrival;
+using dsm::FaultContext;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+using dsm::SyncContext;
+
+Protocol make_hbrc_mw() {
+  Protocol p;
+  p.name = "hbrc_mw";
+
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::fetch_from_home(d, ctx);
+  };
+
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    // The home writing its own page (rights armed to read while replicas are
+    // out): re-upgrade locally and remember to invalidate the replicas at
+    // release time.
+    if (dsm::lib::upgrade_home_write(d, ctx)) return;
+    // Already caching the page read-only? Upgrade purely locally: snapshot a
+    // twin and write away — the home learns about it at release time (lazy).
+    const bool cached = [&] {
+      auto& tbl = d.table(ctx.node);
+      marcel::MutexLock l(tbl.mutex(ctx.page));
+      return tbl.entry(ctx.page).access == dsm::Access::kRead &&
+             !tbl.entry(ctx.page).in_transition;
+    }();
+    if (cached) {
+      dsm::lib::upgrade_local_with_twin(d, ctx);
+    } else {
+      dsm::lib::fetch_from_home(d, ctx);
+    }
+  };
+
+  // The home serves both read and write copy requests; it keeps writing its
+  // own pages too (multiple writers are welcome), arming write detection so
+  // its own modifications are tracked while replicas are outstanding.
+  p.read_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_request_home(d, req, /*arm_home_write_detection=*/true);
+  };
+  p.write_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_request_home(d, req, /*arm_home_write_detection=*/true);
+  };
+
+  p.invalidate_server = [](Dsm& d, const InvalidateRequest& inv) {
+    dsm::lib::invalidate_home_based(d, inv);
+  };
+
+  p.receive_page_server = [](Dsm& d, const PageArrival& arrival) {
+    dsm::lib::receive_page_home(d, arrival, /*twin_on_write=*/true);
+  };
+
+  p.lock_acquire = dsm::lib::sync_noop;
+  p.lock_release = [](Dsm& d, const SyncContext& ctx) {
+    const dsm::ProtocolId pid = d.protocol_by_name("hbrc_mw");
+    dsm::lib::flush_twin_diffs(d, pid, ctx.node,
+                               /*response_to_invalidation=*/false);
+    dsm::lib::release_home_dirty(d, pid, ctx.node);
+  };
+
+  p.diff_server = [](Dsm& d, const DiffArrival& arrival) {
+    dsm::lib::apply_diff_home_and_invalidate(d, arrival);
+  };
+
+  p.make_node_state = [] {
+    return std::make_unique<dsm::lib::HomeRcState>();
+  };
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

@@ -1,0 +1,63 @@
+// hybrid_rw: the paper's §2.3 "mixed approach", assembled entirely from
+// protocol-library routines.
+//
+// "One may thus consider hybrid approaches such as page replication on read
+// fault (like in the li_hudak protocol) and thread migration on write fault
+// (like in the migrate_thread protocol)."
+//
+// Reads replicate pages to the reader's node; writes move the *thread* to the
+// owning node (ownership itself never moves), where a local upgrade
+// invalidates the read copies. Demonstrates that a perfectly usable protocol
+// is a handful of library calls — the platform's raison d'être.
+#include "common/check.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::FaultContext;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+
+Protocol make_hybrid_rw() {
+  Protocol p;
+  p.name = "hybrid_rw";
+
+  // Read fault: replicate, as li_hudak does.
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::acquire_page_copy(d, ctx);
+  };
+
+  // Write fault: if we own the page, upgrade in place (invalidating the
+  // replicas); otherwise migrate the thread to the owner, as migrate_thread
+  // does, and let the retry loop fault again over there.
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    if (dsm::lib::upgrade_owner_to_write(d, ctx, /*eager_invalidate=*/true)) {
+      return;
+    }
+    dsm::lib::migrate_to_owner(d, ctx);
+  };
+
+  p.read_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_read_dynamic(d, req);
+  };
+  // Ownership never moves, so write requests are never issued.
+  p.write_server = [](Dsm&, const PageRequest&) {
+    DSM_UNREACHABLE("hybrid_rw sends no write requests");
+  };
+  p.invalidate_server = [](Dsm& d, const InvalidateRequest& inv) {
+    dsm::lib::invalidate_local(d, inv);
+  };
+  p.receive_page_server = [](Dsm& d, const PageArrival& arrival) {
+    dsm::lib::receive_page_dynamic(d, arrival, /*eager_invalidate=*/true);
+  };
+
+  p.lock_acquire = dsm::lib::sync_noop;
+  p.lock_release = dsm::lib::sync_noop;
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

@@ -1,0 +1,186 @@
+// The two Java-consistency protocols (paper §3.3).
+//
+// The Java Memory Model lets threads keep locally cached copies of objects;
+// consistency requires the cache to be flushed on monitor entry and local
+// modifications to be transmitted to the central memory on monitor exit.
+// DSM-PM2 implements "main memory" home-based: objects live on home nodes,
+// pages are replicated into per-node caches on access, and at most one copy
+// of an object exists per node (caches belong to nodes, not threads).
+//
+// Modifications are recorded *on the fly*, with object-field granularity,
+// through the put access primitive; the main-memory update at monitor exit
+// ships the recorded ranges to the home nodes. The two protocols differ only
+// in access detection:
+//
+//   java_ic — every get/put performs an explicit inline check for locality;
+//   java_pf — accesses to non-local objects are caught by page faults.
+//
+// That one flag is what the paper's Figure 5 evaluates.
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Access;
+using dsm::Dsm;
+using dsm::FaultContext;
+using dsm::ProtocolId;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+using dsm::SyncContext;
+
+namespace {
+
+/// Per-node state: the on-the-fly modification log plus the set of cached
+/// (non-home) pages — the node's object cache.
+struct JavaState : dsm::ProtocolState {
+  dsm::WriteLog log;
+  std::vector<PageId> cached;
+};
+
+JavaState& state_of(Dsm& d, PageId page, NodeId node) {
+  return d.proto_state<JavaState>(d.protocol_id_of(page), node);
+}
+
+/// Main-memory update (monitor exit): group the recorded modifications by
+/// page, build diffs carrying the *current* local values of the recorded
+/// ranges, and ship them to the pages' home nodes.
+void main_memory_update(Dsm& d, ProtocolId protocol, NodeId node) {
+  auto& st = d.proto_state<JavaState>(protocol, node);
+  if (st.log.empty()) return;
+  auto& tbl = d.table(node);
+  for (const PageId page : st.log.pages()) {
+    dsm::Diff diff;
+    NodeId home = kInvalidNode;
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      const dsm::PageEntry& e = tbl.entry(page);
+      home = e.home;
+      if (e.access == Access::kNone) continue;  // cache dropped already
+      auto frame = d.store(node).frame(page);
+      for (const auto& rec : st.log.for_page(page)) {
+        DSM_CHECK(rec.offset + rec.length <= frame.size());
+        diff.add_chunk(rec.offset, frame.subspan(rec.offset, rec.length));
+      }
+    }
+    if (!diff.empty()) {
+      d.comm().send_diff(home, page, diff, /*response_to_invalidation=*/false);
+    }
+  }
+  st.log.clear();
+}
+
+/// Cache flush (monitor entry): drop every cached non-home page so later
+/// accesses refetch fresh copies from the homes.
+void flush_cache(Dsm& d, ProtocolId protocol, NodeId node) {
+  auto& st = d.proto_state<JavaState>(protocol, node);
+  if (st.cached.empty()) return;
+  // Anything still recorded but not yet flushed would lose its backing frame
+  // below; push it home first (a correctly synchronized program has already
+  // flushed at the previous monitor exit — this covers racy programs).
+  main_memory_update(d, protocol, node);
+  d.counters().inc(node, dsm::Counter::kCacheFlushes);
+  auto& tbl = d.table(node);
+  std::vector<PageId> keep;
+  for (const PageId page : st.cached) {
+    marcel::MutexLock l(tbl.mutex(page));
+    dsm::PageEntry& e = tbl.entry(page);
+    if (e.in_transition) {
+      keep.push_back(page);  // being fetched right now; leave it alone
+      continue;
+    }
+    e.access = Access::kNone;
+    d.store(node).drop_frame(page);
+  }
+  st.cached.swap(keep);
+}
+
+}  // namespace
+
+Protocol make_java_protocol(std::string name, dsm::AccessMode mode) {
+  Protocol p;
+  p.name = name;
+  p.access_mode = mode;
+
+  // Both faults fetch a copy of the page from its home into the node cache.
+  // Writers get write rights without any ownership transfer (MRMW: the home
+  // merges everyone's recorded modifications).
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::fetch_from_home(d, ctx);
+  };
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    // An upgrade of a cached read-only copy is purely local: the recorded
+    // puts carry the modifications, so no twin is needed.
+    {
+      auto& tbl = d.table(ctx.node);
+      marcel::MutexLock l(tbl.mutex(ctx.page));
+      dsm::PageEntry& e = tbl.entry(ctx.page);
+      if (e.access == Access::kRead && !e.in_transition) {
+        e.access = Access::kWrite;
+        return;
+      }
+    }
+    dsm::lib::fetch_from_home(d, ctx);
+  };
+
+  // Visibility of home-side writes comes from the acquire-side cache flush,
+  // so the home keeps its write rights (no write detection needed there).
+  p.read_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_request_home(d, req, /*arm_home_write_detection=*/false);
+  };
+  p.write_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_request_home(d, req, /*arm_home_write_detection=*/false);
+  };
+
+  // The Java protocols invalidate only locally (cache flush at monitor
+  // entry); no remote invalidations are ever sent.
+  p.invalidate_server = [](Dsm&, const InvalidateRequest&) {
+    DSM_UNREACHABLE("java protocols send no invalidations");
+  };
+
+  p.receive_page_server = [](Dsm& d, const PageArrival& arrival) {
+    dsm::lib::receive_page_home(d, arrival, /*twin_on_write=*/false);
+    auto& st = state_of(d, arrival.page, arrival.node);
+    if (std::find(st.cached.begin(), st.cached.end(), arrival.page) ==
+        st.cached.end()) {
+      st.cached.push_back(arrival.page);
+    }
+  };
+
+  // Monitor entry flushes the object cache; monitor exit transmits the local
+  // modifications to main memory (the home nodes).
+  p.lock_acquire = [name](Dsm& d, const SyncContext& ctx) {
+    flush_cache(d, d.protocol_by_name(name), ctx.node);
+  };
+  p.lock_release = [name](Dsm& d, const SyncContext& ctx) {
+    main_memory_update(d, d.protocol_by_name(name), ctx.node);
+  };
+
+  // On-the-fly recording with field granularity, through put only, and only
+  // for cached (non-home) pages — home-local writes already hit main memory.
+  p.after_put = [](Dsm& d, PageId page, std::uint32_t offset,
+                   std::uint32_t length) {
+    const NodeId node = d.self();
+    auto& tbl = d.table(node);
+    bool is_home;
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      is_home = tbl.entry(page).home == node;
+    }
+    if (is_home) return;
+    d.charge(d.costs().write_record);
+    d.counters().inc(node, dsm::Counter::kWriteRecords);
+    state_of(d, page, node).log.record(page, offset, length);
+  };
+
+  p.make_node_state = [] { return std::make_unique<JavaState>(); };
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

@@ -1,0 +1,63 @@
+// li_hudak: sequential consistency, MRSW, dynamic distributed manager.
+//
+// "Relies on a variant of the dynamic distributed manager MRSW (multiple
+// reader, single writer) algorithm described by Li and Hudak [16], adapted by
+// Mueller [17]. It uses page replication on read fault and page migration on
+// write fault." (paper §3.1)
+//
+// In the multithreaded adaptation the single writer is a *node*, not a
+// thread: all threads on the owning node share the same copy and may write it
+// concurrently; concurrent faulters on one page serialize on the page entry.
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::FaultContext;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+
+Protocol make_li_hudak() {
+  Protocol p;
+  p.name = "li_hudak";
+
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::acquire_page_copy(d, ctx);
+  };
+
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    // A downgraded owner (it served readers) upgrades in place, invalidating
+    // its copyset eagerly — no stale copy survives a write under sequential
+    // consistency. Anyone else requests the page along the owner chain.
+    if (dsm::lib::upgrade_owner_to_write(d, ctx, /*eager_invalidate=*/true)) {
+      return;
+    }
+    dsm::lib::acquire_page_copy(d, ctx);
+  };
+
+  p.read_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_read_dynamic(d, req);
+  };
+
+  p.write_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_write_dynamic(d, req);
+  };
+
+  p.invalidate_server = [](Dsm& d, const InvalidateRequest& inv) {
+    dsm::lib::invalidate_local(d, inv);
+  };
+
+  p.receive_page_server = [](Dsm& d, const PageArrival& arrival) {
+    dsm::lib::receive_page_dynamic(d, arrival, /*eager_invalidate=*/true);
+  };
+
+  // Sequential consistency attaches no actions to synchronization events.
+  p.lock_acquire = dsm::lib::sync_noop;
+  p.lock_release = dsm::lib::sync_noop;
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

@@ -1,0 +1,59 @@
+// migrate_thread: sequential consistency by moving computation to the data.
+//
+// "When a thread accesses a page and does not have the appropriate access
+// rights, it executes the page fault handler which simply migrates the thread
+// to the node owning the page (as specified by the local page table). On
+// reaching the destination node, the thread exits the handler and repeats the
+// access, which is now successfully carried out. Note the simplicity of this
+// protocol, which essentially relies on a single function: the thread
+// migration primitive provided by PM2." (paper §3.1, Figure 3)
+//
+// Fixed distributed manager: each page lives permanently on its home node;
+// pages are never replicated, so no page traffic, no invalidations — and the
+// protocol's correctness depends crucially on PM2's iso-address allocation:
+// after migration the thread repeats the access at the *same* virtual
+// address, which designates the same datum.
+#include "common/check.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::FaultContext;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+
+Protocol make_migrate_thread() {
+  Protocol p;
+  p.name = "migrate_thread";
+
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::migrate_to_owner(d, ctx);
+  };
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    dsm::lib::migrate_to_owner(d, ctx);
+  };
+
+  // No page is ever requested, shipped or invalidated under this protocol.
+  p.read_server = [](Dsm&, const PageRequest&) {
+    DSM_UNREACHABLE("migrate_thread sends no page requests");
+  };
+  p.write_server = [](Dsm&, const PageRequest&) {
+    DSM_UNREACHABLE("migrate_thread sends no page requests");
+  };
+  p.invalidate_server = [](Dsm&, const InvalidateRequest&) {
+    DSM_UNREACHABLE("migrate_thread sends no invalidations");
+  };
+  p.receive_page_server = [](Dsm&, const PageArrival&) {
+    DSM_UNREACHABLE("migrate_thread ships no pages");
+  };
+
+  p.lock_acquire = dsm::lib::sync_noop;
+  p.lock_release = dsm::lib::sync_noop;
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

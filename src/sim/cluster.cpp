@@ -1,0 +1,23 @@
+#include "sim/cluster.hpp"
+
+#include "common/check.hpp"
+#include "common/copyset.hpp"
+
+namespace dsmpm2::sim {
+
+Cluster::Cluster(int node_count, Scheduler& sched) : sched_(sched) {
+  DSM_CHECK_MSG(node_count > 0, "cluster needs at least one node");
+  DSM_CHECK_MSG(node_count <= static_cast<int>(CopySet::kMaxNodes),
+                "cluster larger than CopySet capacity");
+  nodes_.reserve(static_cast<std::size_t>(node_count));
+  for (int i = 0; i < node_count; ++i) {
+    nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(i), sched));
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  DSM_CHECK(id < nodes_.size());
+  return *nodes_[id];
+}
+
+}  // namespace dsmpm2::sim

@@ -1,0 +1,44 @@
+// The simulated cluster: N nodes, each with its own CPU.
+//
+// Nodes are intentionally minimal here; higher layers (madeleine endpoints,
+// PM2 RPC tables, DSM page tables) keep their own per-node state indexed by
+// NodeId. A node corresponds to one machine of the paper's clusters.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "sim/cpu.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsmpm2::sim {
+
+class Node {
+ public:
+  Node(NodeId id, Scheduler& sched)
+      : id_(id), cpu_(sched, "node" + std::to_string(id) + ".cpu") {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Cpu& cpu() { return cpu_; }
+
+ private:
+  NodeId id_;
+  Cpu cpu_;
+};
+
+class Cluster {
+ public:
+  Cluster(int node_count, Scheduler& sched);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+
+ private:
+  Scheduler& sched_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace dsmpm2::sim

@@ -1,0 +1,61 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::sim {
+
+Cpu::Cpu(Scheduler& sched, std::string name)
+    : sched_(sched), name_(std::move(name)) {}
+
+void Cpu::charge(SimTime work) {
+  if (work <= 0) return;
+  Fiber* self = sched_.current();
+  DSM_CHECK_MSG(self != nullptr, "Cpu::charge outside fiber context");
+  settle();
+  active_.push_back({self, work});
+  reschedule();
+  sched_.block();  // woken by on_completion when our share is delivered
+}
+
+void Cpu::settle() {
+  const SimTime now = sched_.now();
+  const auto n = static_cast<SimTime>(active_.size());
+  if (n > 0) {
+    const SimTime dt = now - last_settle_;
+    // Each of the n active fibers progressed at rate 1/n.
+    const SimTime consumed = dt / n;
+    if (consumed > 0) {
+      for (auto& a : active_) a.remaining -= consumed;
+      busy_ += consumed * n;
+    }
+  }
+  last_settle_ = now;
+}
+
+void Cpu::reschedule() {
+  pending_.cancel();
+  pending_ = EventHandle();
+  if (active_.empty()) return;
+  SimTime min_rem = active_.front().remaining;
+  for (const auto& a : active_) min_rem = std::min(min_rem, a.remaining);
+  min_rem = std::max<SimTime>(min_rem, 1);
+  const auto n = static_cast<SimTime>(active_.size());
+  pending_ = sched_.schedule_after(min_rem * n, [this] { on_completion(); });
+}
+
+void Cpu::on_completion() {
+  settle();
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->remaining <= 0) {
+      sched_.ready(it->fiber);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+}
+
+}  // namespace dsmpm2::sim

@@ -1,0 +1,60 @@
+// Per-node CPU with an egalitarian processor-sharing model.
+//
+// `charge(work)` blocks the calling fiber for as long as it takes a CPU that
+// is fairly shared among all concurrently charging fibers to deliver `work`
+// nanoseconds of compute. With n active fibers each progresses at rate 1/n.
+//
+// This is the component that lets contention effects *emerge* in the
+// evaluation: in the paper's Figure 4 experiment, the migrate_thread protocol
+// funnels every application thread onto the node that owns the shared bound,
+// and that node's CPU becomes the bottleneck. No part of that behaviour is
+// scripted — it falls out of processor sharing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsmpm2::sim {
+
+class Cpu {
+ public:
+  Cpu(Scheduler& sched, std::string name);
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Consumes `work` nanoseconds of CPU under processor sharing; blocks the
+  /// calling fiber until done. Must be called from fiber context.
+  void charge(SimTime work);
+
+  /// Number of fibers currently computing on this CPU.
+  [[nodiscard]] int active() const { return static_cast<int>(active_.size()); }
+
+  /// Total CPU-busy virtual time delivered so far (for utilization reports).
+  [[nodiscard]] SimTime busy_time() const { return busy_; }
+
+ private:
+  struct Active {
+    Fiber* fiber;
+    SimTime remaining;  // work still to deliver, in CPU-ns
+  };
+
+  /// Accounts for progress since the last settle at the current sharing level.
+  void settle();
+  /// (Re)arms the completion event for the active fiber closest to finishing.
+  void reschedule();
+  void on_completion();
+
+  Scheduler& sched_;
+  std::string name_;
+  std::vector<Active> active_;
+  SimTime last_settle_ = 0;
+  SimTime busy_ = 0;
+  EventHandle pending_;
+};
+
+}  // namespace dsmpm2::sim

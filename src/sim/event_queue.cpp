@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::sim {
+
+void EventHandle::cancel() {
+  if (entry_ != nullptr) entry_->cancelled = true;
+}
+
+EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn) {
+  auto entry = std::make_shared<EventHandle::Entry>();
+  entry->time = at;
+  entry->seq = next_seq_++;
+  entry->fn = std::move(fn);
+  heap_.push(entry);
+  return EventHandle(std::move(entry));
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  DSM_CHECK(!heap_.empty());
+  return heap_.top()->time;
+}
+
+SimTime EventQueue::pop_and_run() {
+  drop_cancelled();
+  DSM_CHECK(!heap_.empty());
+  auto entry = heap_.top();
+  heap_.pop();
+  ++executed_;
+  const SimTime t = entry->time;
+  auto fn = std::move(entry->fn);
+  fn();
+  return t;
+}
+
+}  // namespace dsmpm2::sim

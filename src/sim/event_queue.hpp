@@ -1,0 +1,71 @@
+// Time-ordered event queue for the discrete-event core.
+//
+// Events at equal timestamps fire in scheduling (FIFO) order — a stable
+// tie-break that keeps whole-cluster runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::sim {
+
+class EventQueue;
+
+/// Cancelable handle to a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing (no-op if it already fired).
+  void cancel();
+  [[nodiscard]] bool valid() const { return entry_ != nullptr; }
+
+ private:
+  friend class EventQueue;
+  struct Entry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+    bool cancelled = false;
+  };
+  explicit EventHandle(std::shared_ptr<Entry> entry) : entry_(std::move(entry)) {}
+  std::shared_ptr<Entry> entry_;
+};
+
+class EventQueue {
+ public:
+  EventHandle schedule(SimTime at, std::function<void()> fn);
+
+  [[nodiscard]] bool empty() const;
+  /// Earliest pending (non-cancelled) event time; only valid if !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pops the earliest event and runs it. Returns its timestamp.
+  SimTime pop_and_run();
+
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  void drop_cancelled() const;
+
+  struct Later {
+    bool operator()(const std::shared_ptr<EventHandle::Entry>& a,
+                    const std::shared_ptr<EventHandle::Entry>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  mutable std::priority_queue<std::shared_ptr<EventHandle::Entry>,
+                              std::vector<std::shared_ptr<EventHandle::Entry>>, Later>
+      heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace dsmpm2::sim

@@ -1,0 +1,99 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+Fiber* g_trampoline_target = nullptr;
+
+// makecontext passes only ints portably; the scheduler runs fibers one at a
+// time on a single OS thread, so handing the target over via a static is safe.
+void fiber_trampoline() {
+  Fiber* self = g_trampoline_target;
+  g_trampoline_target = nullptr;
+  self->run_body();
+}
+
+}  // namespace
+
+Fiber::Fiber(std::string name, Fn fn, std::size_t stack_size)
+    : name_(std::move(name)), fn_(std::move(fn)) {
+  const std::size_t ps = page_size();
+  stack_size_ = round_up(stack_size, ps);
+  mapping_size_ = stack_size_ + ps;  // one guard page below the stack
+  void* mem = ::mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  DSM_CHECK_MSG(mem != MAP_FAILED, "fiber stack mmap failed");
+  mapping_ = static_cast<std::byte*>(mem);
+  DSM_CHECK(::mprotect(mapping_, ps, PROT_NONE) == 0);
+  stack_base_ = mapping_ + ps;
+}
+
+Fiber::~Fiber() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_size_);
+}
+
+std::span<std::byte> Fiber::stack_region() { return {stack_base_, stack_size_}; }
+
+std::span<std::byte> Fiber::used_stack() {
+#if defined(__x86_64__)
+  DSM_CHECK_MSG(state_ != State::kRunning, "used_stack needs a switched-out fiber");
+  if (state_ == State::kCreated || state_ == State::kFinished) return {};
+  const auto sp = static_cast<std::uintptr_t>(context_.uc_mcontext.gregs[REG_RSP]);
+  const auto base = reinterpret_cast<std::uintptr_t>(stack_base_);
+  const auto top = base + stack_size_;
+  DSM_CHECK_MSG(sp >= base && sp <= top, "saved SP outside fiber stack");
+  return {reinterpret_cast<std::byte*>(sp), top - sp};
+#else
+  return stack_region();
+#endif
+}
+
+void Fiber::run_body() {
+  state_ = State::kRunning;
+  fn_();
+  fn_ = nullptr;  // release captured resources eagerly
+  state_ = State::kFinished;
+  // Return to the scheduler for good. setcontext never comes back.
+  DSM_CHECK(return_to_ != nullptr);
+  ::setcontext(return_to_);
+  DSM_UNREACHABLE("setcontext returned");
+}
+
+void Fiber::switch_in(ucontext_t* from) {
+  DSM_CHECK(state_ == State::kCreated || state_ == State::kRunnable);
+  return_to_ = from;
+  if (state_ == State::kCreated) {
+    DSM_CHECK(::getcontext(&context_) == 0);
+    context_.uc_stack.ss_sp = stack_base_;
+    context_.uc_stack.ss_size = stack_size_;
+    context_.uc_link = nullptr;
+    g_trampoline_target = this;
+    ::makecontext(&context_, fiber_trampoline, 0);
+  }
+  state_ = State::kRunning;
+  DSM_CHECK(::swapcontext(from, &context_) == 0);
+}
+
+void Fiber::switch_out(ucontext_t* to) {
+  DSM_CHECK(state_ != State::kRunning || to == return_to_);
+  DSM_CHECK(::swapcontext(&context_, to) == 0);
+}
+
+}  // namespace dsmpm2::sim

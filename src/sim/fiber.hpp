@@ -1,0 +1,88 @@
+// Fibers: ucontext-based user-level execution contexts.
+//
+// Marcel threads (the PM2 thread package) are built on these fibers. A fiber
+// owns an mmap'd stack with a guard page; the scheduler switches fibers in
+// and out with swapcontext. Because a fiber's stack is a real, addressable
+// byte region, PM2 thread migration can copy it through the (simulated)
+// network byte-for-byte — exactly the mechanism of the paper's iso-address
+// migration [Antoniu, Bougé, Namyst, RTSPP'99].
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace dsmpm2::sim {
+
+class Scheduler;
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  enum class State { kCreated, kRunnable, kRunning, kBlocked, kFinished };
+
+  /// Default stack size. Generous relative to the paper's ~1 kB app stacks
+  /// because our "application code" is ordinary C++.
+  static constexpr std::size_t kDefaultStackSize = 256 * 1024;
+
+  Fiber(std::string name, Fn fn, std::size_t stack_size = kDefaultStackSize);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool finished() const { return state_ == State::kFinished; }
+
+  /// Daemon fibers (network daemons, RPC dispatchers) may stay blocked
+  /// forever without the run loop reporting a deadlock.
+  void set_daemon(bool daemon) { daemon_ = daemon; }
+  [[nodiscard]] bool daemon() const { return daemon_; }
+
+  /// Opaque pointer for upper layers (marcel::Thread hangs itself here).
+  void set_user_data(void* p) { user_data_ = p; }
+  [[nodiscard]] void* user_data() const { return user_data_; }
+
+  /// Whole stack region (without the guard page).
+  [[nodiscard]] std::span<std::byte> stack_region();
+
+  /// The currently live portion of the stack, i.e. [saved-SP, stack top).
+  /// Only meaningful while the fiber is switched out. This is what thread
+  /// migration serializes.
+  [[nodiscard]] std::span<std::byte> used_stack();
+
+  /// Entry trampoline target (internal; public for the extern-"C"-style
+  /// trampoline only).
+  void run_body();
+
+ private:
+  friend class Scheduler;
+
+  /// Switch from `from` (the scheduler context) into this fiber.
+  void switch_in(ucontext_t* from);
+  /// Switch out of this fiber back into `to` (the scheduler context).
+  void switch_out(ucontext_t* to);
+
+  std::string name_;
+  Fn fn_;
+  State state_ = State::kCreated;
+  bool daemon_ = false;
+  void* user_data_ = nullptr;
+
+  std::byte* mapping_ = nullptr;  // includes guard page at the low end
+  std::size_t mapping_size_ = 0;
+  std::byte* stack_base_ = nullptr;  // usable stack bottom (above the guard)
+  std::size_t stack_size_ = 0;
+
+  ucontext_t context_{};
+  ucontext_t* return_to_ = nullptr;  // where switch_out goes (set by switch_in)
+};
+
+}  // namespace dsmpm2::sim

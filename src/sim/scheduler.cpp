@@ -1,0 +1,155 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+
+namespace dsmpm2::sim {
+
+namespace {
+Scheduler* g_active = nullptr;
+SimTime log_now() { return g_active != nullptr ? g_active->now() : 0; }
+}  // namespace
+
+Scheduler::Scheduler(SchedPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+Scheduler::~Scheduler() {
+  if (g_active == this) g_active = nullptr;
+}
+
+Scheduler* Scheduler::active() { return g_active; }
+
+Scheduler& this_scheduler() {
+  DSM_CHECK_MSG(g_active != nullptr, "no scheduler is running");
+  return *g_active;
+}
+
+Fiber* this_fiber() { return g_active != nullptr ? g_active->current() : nullptr; }
+
+Fiber* Scheduler::spawn(std::string name, Fiber::Fn fn, std::size_t stack_size) {
+  auto fiber = std::make_unique<Fiber>(std::move(name), std::move(fn), stack_size);
+  Fiber* raw = fiber.get();
+  fibers_.push_back(std::move(fiber));
+  ++spawned_;
+  raw->state_ = Fiber::State::kCreated;
+  run_queue_.push_back(raw);
+  return raw;
+}
+
+void Scheduler::ready(Fiber* fiber) {
+  DSM_CHECK(fiber != nullptr);
+  DSM_CHECK_MSG(fiber->state_ == Fiber::State::kBlocked,
+                "ready() target must be blocked");
+  fiber->state_ = Fiber::State::kRunnable;
+  run_queue_.push_back(fiber);
+}
+
+void Scheduler::yield() {
+  Fiber* self = current_;
+  DSM_CHECK_MSG(self != nullptr, "yield() outside fiber context");
+  self->state_ = Fiber::State::kRunnable;
+  run_queue_.push_back(self);
+  self->switch_out(&main_context_);
+}
+
+void Scheduler::block() {
+  Fiber* self = current_;
+  DSM_CHECK_MSG(self != nullptr, "block() outside fiber context");
+  self->state_ = Fiber::State::kBlocked;
+  self->switch_out(&main_context_);
+}
+
+void Scheduler::sleep_for(SimTime d) { sleep_until(now_ + std::max<SimTime>(d, 0)); }
+
+void Scheduler::sleep_until(SimTime t) {
+  Fiber* self = current_;
+  DSM_CHECK_MSG(self != nullptr, "sleep outside fiber context");
+  if (t <= now_) {
+    yield();
+    return;
+  }
+  schedule_at(t, [this, self] { ready(self); });
+  block();
+}
+
+EventHandle Scheduler::schedule_at(SimTime t, std::function<void()> fn) {
+  DSM_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  return events_.schedule(t, std::move(fn));
+}
+
+EventHandle Scheduler::schedule_after(SimTime d, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<SimTime>(d, 0), std::move(fn));
+}
+
+Fiber* Scheduler::pick_next() {
+  DSM_CHECK(!run_queue_.empty());
+  std::size_t idx = 0;
+  if (policy_ == SchedPolicy::kRandom && run_queue_.size() > 1) {
+    idx = static_cast<std::size_t>(rng_.next_below(run_queue_.size()));
+  }
+  Fiber* fiber = run_queue_[idx];
+  run_queue_.erase(run_queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return fiber;
+}
+
+void Scheduler::run_fiber(Fiber* fiber) {
+  current_ = fiber;
+  fiber->switch_in(&main_context_);
+  current_ = nullptr;
+}
+
+void Scheduler::reap_finished() {
+  std::erase_if(fibers_, [](const std::unique_ptr<Fiber>& f) { return f->finished(); });
+}
+
+Scheduler::RunResult Scheduler::run() {
+  DSM_CHECK_MSG(!running_, "scheduler already running");
+  running_ = true;
+  Scheduler* prev_active = g_active;
+  g_active = this;
+  log::set_now_fn(&log_now);
+
+  std::uint64_t reap_countdown = 64;
+  while (true) {
+    if (!run_queue_.empty()) {
+      run_fiber(pick_next());
+      if (--reap_countdown == 0) {
+        reap_finished();
+        reap_countdown = 64;
+      }
+      continue;
+    }
+    if (!events_.empty()) {
+      const SimTime t = events_.next_time();
+      DSM_CHECK(t >= now_);
+      now_ = t;
+      events_.pop_and_run();
+      continue;
+    }
+    break;  // quiescent
+  }
+
+  reap_finished();
+  RunResult result;
+  result.fibers_spawned = spawned_;
+  result.events_executed = events_.executed();
+  result.end_time = now_;
+  for (const auto& f : fibers_) {
+    if (f->state() == Fiber::State::kBlocked && !f->daemon()) ++result.stuck_fibers;
+  }
+  if (result.stuck_fibers > 0) {
+    for (const auto& f : fibers_) {
+      if (f->state() == Fiber::State::kBlocked && !f->daemon()) {
+        log::warn("deadlock: fiber '%s' still blocked at quiescence", f->name().c_str());
+      }
+    }
+  }
+
+  g_active = prev_active;
+  running_ = false;
+  return result;
+}
+
+}  // namespace dsmpm2::sim

@@ -1,0 +1,109 @@
+// The discrete-event fiber scheduler: the heart of the cluster simulator.
+//
+// All Marcel threads of all simulated nodes are fibers multiplexed onto one
+// OS thread by this scheduler, against a virtual clock. A fiber runs until
+// it yields, sleeps or blocks; when no fiber is runnable the clock jumps to
+// the next pending event (message delivery, timer, CPU-charge completion).
+//
+// Determinism: with the default FIFO policy a run is a pure function of the
+// program and the seed. A seeded random-order policy is available to shake
+// out interleaving bugs in protocol code (used by the property tests).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fiber.hpp"
+
+namespace dsmpm2::sim {
+
+enum class SchedPolicy {
+  kFifo,    ///< Run-queue in FIFO order (default; fully deterministic).
+  kRandom,  ///< Pick a random runnable fiber (seeded; for interleaving tests).
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedPolicy policy = SchedPolicy::kFifo, std::uint64_t seed = 1);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // ---- Time ----
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // ---- Fibers ----
+  /// Creates a fiber and makes it runnable. The scheduler owns it.
+  Fiber* spawn(std::string name, Fiber::Fn fn,
+               std::size_t stack_size = Fiber::kDefaultStackSize);
+
+  /// The fiber currently executing, or nullptr when in scheduler/event context.
+  [[nodiscard]] Fiber* current() const { return current_; }
+
+  /// True when called from inside a fiber.
+  [[nodiscard]] bool in_fiber() const { return current_ != nullptr; }
+
+  /// Makes a blocked fiber runnable again.
+  void ready(Fiber* fiber);
+
+  // Fiber-context operations -------------------------------------------------
+  /// Cooperative yield: requeue self, let others run at the same instant.
+  void yield();
+  /// Blocks until `ready(self)` is called by someone else.
+  void block();
+  /// Blocks for `d` of virtual time.
+  void sleep_for(SimTime d);
+  void sleep_until(SimTime t);
+
+  // ---- Events (scheduler-context callbacks; must not block) ----
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+  EventHandle schedule_after(SimTime d, std::function<void()> fn);
+
+  // ---- Run loop ----
+  struct RunResult {
+    std::uint64_t fibers_spawned = 0;
+    std::uint64_t events_executed = 0;
+    /// Non-daemon fibers still blocked at quiescence — a deadlock if nonzero.
+    std::uint64_t stuck_fibers = 0;
+    SimTime end_time = 0;
+  };
+
+  /// Runs until quiescence: no runnable fiber and no pending event.
+  RunResult run();
+
+  /// The scheduler currently inside run(), if any (ambient context used by
+  /// marcel::self() and the DSM accessors).
+  static Scheduler* active();
+
+  [[nodiscard]] std::uint64_t fibers_spawned() const { return spawned_; }
+
+ private:
+  Fiber* pick_next();
+  void run_fiber(Fiber* fiber);
+  void reap_finished();
+
+  SchedPolicy policy_;
+  Rng rng_;
+  SimTime now_ = 0;
+  EventQueue events_;
+  std::deque<Fiber*> run_queue_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  Fiber* current_ = nullptr;
+  ucontext_t main_context_{};
+  std::uint64_t spawned_ = 0;
+  bool running_ = false;
+};
+
+/// Convenience ambient accessors (valid only while a scheduler is running).
+Scheduler& this_scheduler();
+Fiber* this_fiber();
+
+}  // namespace dsmpm2::sim

@@ -1,0 +1,60 @@
+// Jacobi kernel: the distributed result must match the sequential reference
+// bit-for-bit under every protocol (it is a deterministic computation).
+#include <gtest/gtest.h>
+
+#include "apps/jacobi.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::apps {
+namespace {
+
+using dsm::testing::DsmFixture;
+
+class JacobiProtocolTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JacobiProtocolTest, ChecksumMatchesSequential) {
+  JacobiConfig cfg;
+  cfg.rows = 32;
+  cfg.cols = 32;
+  cfg.iterations = 4;
+  const double expected = jacobi_sequential_checksum(cfg);
+  DsmFixture fx(4);
+  cfg.protocol = fx.dsm.protocol_by_name(GetParam());
+  JacobiResult result;
+  fx.run([&] { result = run_jacobi(fx.rt, fx.dsm, cfg); });
+  EXPECT_DOUBLE_EQ(result.checksum, expected) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, JacobiProtocolTest,
+                         ::testing::Values("li_hudak", "hbrc_mw", "erc_sw"));
+
+TEST(JacobiApp, TwoNodeRun) {
+  JacobiConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.iterations = 3;
+  const double expected = jacobi_sequential_checksum(cfg);
+  DsmFixture fx(2);
+  cfg.protocol = fx.dsm.builtin().hbrc_mw;
+  JacobiResult result;
+  fx.run([&] { result = run_jacobi(fx.rt, fx.dsm, cfg); });
+  EXPECT_DOUBLE_EQ(result.checksum, expected);
+}
+
+TEST(JacobiApp, MoreIterationsMoreVirtualTime) {
+  auto elapsed = [](int iters) {
+    DsmFixture fx(2);
+    JacobiConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    cfg.iterations = iters;
+    cfg.protocol = fx.dsm.builtin().li_hudak;
+    JacobiResult r;
+    fx.run([&] { r = run_jacobi(fx.rt, fx.dsm, cfg); });
+    return r.elapsed;
+  };
+  EXPECT_LT(elapsed(2), elapsed(6));
+}
+
+}  // namespace
+}  // namespace dsmpm2::apps

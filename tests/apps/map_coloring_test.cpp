@@ -1,0 +1,161 @@
+// Map colouring + Hyperion runtime correctness, and the Figure 5 property
+// (java_pf beats java_ic on this get/put-heavy program).
+#include <gtest/gtest.h>
+
+#include "apps/map_coloring.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::apps {
+namespace {
+
+using dsm::testing::DsmFixture;
+
+TEST(EasternUsMapData, TwentyNineStatesSymmetricAdjacency) {
+  const auto& map = eastern_us_map();
+  ASSERT_EQ(map.names.size(), 29u);
+  for (std::size_t a = 0; a < 29; ++a) {
+    EXPECT_EQ((map.adjacency[a] >> a) & 1u, 0u) << "self loop at " << map.names[a];
+    for (std::size_t b = 0; b < 29; ++b) {
+      EXPECT_EQ((map.adjacency[a] >> b) & 1u, (map.adjacency[b] >> a) & 1u)
+          << map.names[a] << "-" << map.names[b];
+    }
+  }
+  // Sanity: Maine borders only New Hampshire.
+  EXPECT_EQ(map.adjacency[0], 1u << 1);
+}
+
+TEST(MapColoringApp, SequentialSolutionIsLegalAndStable) {
+  MapColoringConfig cfg;
+  const int best = solve_map_coloring_sequential(cfg);
+  EXPECT_GT(best, 0);
+  EXPECT_EQ(best, solve_map_coloring_sequential(cfg));  // deterministic
+  // 29 states, cheapest color costs 1: the optimum is at least 29 and
+  // clearly under 29 * 2 (a 4-colorable planar map mostly takes cheap colors).
+  EXPECT_GE(best, 29);
+  EXPECT_LT(best, 58);
+}
+
+class MapColoringProtocolTest
+    : public ::testing::TestWithParam<hyperion::Detection> {};
+
+TEST_P(MapColoringProtocolTest, MatchesSequentialOptimum) {
+  MapColoringConfig cfg;
+  cfg.n_states = 18;  // prefix instance: same code paths, test-sized tree
+  const int expected = solve_map_coloring_sequential(cfg);
+  DsmFixture fx(4, madeleine::sisci_sci());
+  hyperion::Runtime hyp(fx.dsm, GetParam());
+  MapColoringResult result;
+  fx.run([&] { result = run_map_coloring(fx.rt, hyp, cfg); });
+  EXPECT_EQ(result.best_cost, expected);
+  EXPECT_GT(result.gets, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Detections, MapColoringProtocolTest,
+                         ::testing::Values(hyperion::Detection::kInlineCheck,
+                                           hyperion::Detection::kPageFault),
+                         [](const auto& info) {
+                           return info.param == hyperion::Detection::kInlineCheck
+                                      ? "java_ic"
+                                      : "java_pf";
+                         });
+
+TEST(MapColoringApp, PageFaultDetectionOutperformsInlineChecks) {
+  // The Figure 5 headline: java_pf < java_ic in run time, because java_ic
+  // pays a check on every get/put while java_pf pays only on remote misses.
+  auto elapsed_with = [](hyperion::Detection det) {
+    DsmFixture fx(4, madeleine::sisci_sci());
+    hyperion::Runtime hyp(fx.dsm, det);
+    MapColoringConfig cfg;
+    cfg.n_states = 20;
+    MapColoringResult r;
+    fx.run([&] { r = run_map_coloring(fx.rt, hyp, cfg); });
+    return r;
+  };
+  const auto ic = elapsed_with(hyperion::Detection::kInlineCheck);
+  const auto pf = elapsed_with(hyperion::Detection::kPageFault);
+  EXPECT_LT(pf.elapsed, ic.elapsed);
+}
+
+TEST(HyperionRuntime, ObjectsFieldsAndMonitors) {
+  DsmFixture fx(2);
+  hyperion::Runtime hyp(fx.dsm, hyperion::Detection::kPageFault);
+  fx.run([&] {
+    const hyperion::Ref obj = hyp.new_object(4, 1);
+    hyp.put_field<std::int64_t>(obj, 0, 42);
+    hyp.put_field<double>(obj, 1, 2.5);
+    EXPECT_EQ(hyp.get_field<std::int64_t>(obj, 0), 42);
+    EXPECT_EQ(hyp.get_field<double>(obj, 1), 2.5);
+    {
+      hyperion::Runtime::Synchronized sync(hyp, obj);
+      hyp.put_field<std::int64_t>(obj, 2, 7);
+    }
+    EXPECT_EQ(hyp.get_field<std::int64_t>(obj, 2), 7);
+  });
+  EXPECT_EQ(hyp.objects_allocated(), 1u);
+}
+
+TEST(HyperionRuntime, ObjectsPackOnHomePages) {
+  DsmFixture fx(2);
+  hyperion::Runtime hyp(fx.dsm, hyperion::Detection::kPageFault);
+  const hyperion::Ref a = hyp.new_object(2, 0);
+  const hyperion::Ref b = hyp.new_object(2, 0);
+  // Same home, small objects: same page (locality by construction).
+  EXPECT_EQ(fx.dsm.geometry().page_of(a.addr), fx.dsm.geometry().page_of(b.addr));
+  const hyperion::Ref c = hyp.new_object(2, 1);
+  EXPECT_NE(fx.dsm.geometry().page_of(c.addr), fx.dsm.geometry().page_of(a.addr));
+}
+
+TEST(HyperionRuntime, MonitorVisibilityAcrossNodes) {
+  // JMM through monitors: a value written inside a monitor on one node is
+  // seen by another node after it enters the same monitor.
+  DsmFixture fx(2);
+  hyperion::Runtime hyp(fx.dsm, hyperion::Detection::kPageFault);
+  const hyperion::Ref obj = hyp.new_object(2, 0);
+  std::int64_t seen = 0;
+  fx.run([&] {
+    {
+      hyperion::Runtime::Synchronized sync(hyp, obj);
+      hyp.put_field<std::int64_t>(obj, 0, 99);
+    }
+    auto& t = hyp.start_thread(1, "reader", [&] {
+      hyperion::Runtime::Synchronized sync(hyp, obj);
+      seen = hyp.get_field<std::int64_t>(obj, 0);
+    });
+    hyp.join(t);
+  });
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(HyperionRuntime, CachedObjectRereadAfterMonitorRoundTrip) {
+  // Writer updates outside the reader's cache; reader's monitor entry
+  // flushes its cache so the new value is fetched.
+  DsmFixture fx(2);
+  hyperion::Runtime hyp(fx.dsm, hyperion::Detection::kInlineCheck);
+  const hyperion::Ref obj = hyp.new_object(2, 0);
+  std::vector<std::int64_t> seen;
+  fx.run([&] {
+    hyp.put_field<std::int64_t>(obj, 0, 1);
+    auto& reader = hyp.start_thread(1, "reader", [&] {
+      {
+        hyperion::Runtime::Synchronized sync(hyp, obj);
+        seen.push_back(hyp.get_field<std::int64_t>(obj, 0));
+      }
+      // Main updates now (through the same monitor).
+      fx.rt.threads().sleep_for(5 * kNsPerMs);
+      {
+        hyperion::Runtime::Synchronized sync(hyp, obj);
+        seen.push_back(hyp.get_field<std::int64_t>(obj, 0));
+      }
+    });
+    fx.rt.threads().sleep_for(2 * kNsPerMs);
+    {
+      hyperion::Runtime::Synchronized sync(hyp, obj);
+      hyp.put_field<std::int64_t>(obj, 0, 2);
+    }
+    hyp.join(reader);
+  });
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace dsmpm2::apps

@@ -1,0 +1,109 @@
+// TSP correctness: the distributed solver must find the same optimum as the
+// sequential reference, under every protocol and cluster size.
+#include <gtest/gtest.h>
+
+#include "apps/tsp.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::apps {
+namespace {
+
+using dsm::testing::DsmFixture;
+
+TEST(TspApp, DistanceMatrixSymmetricAndSeeded) {
+  const auto a = make_distance_matrix(14, 42);
+  const auto b = make_distance_matrix(14, 42);
+  EXPECT_EQ(a, b);
+  const auto c = make_distance_matrix(14, 43);
+  EXPECT_NE(a, c);
+  for (int i = 0; i < 14; ++i) {
+    EXPECT_EQ(a[static_cast<std::size_t>(i * 14 + i)], 0);
+    for (int j = 0; j < 14; ++j) {
+      EXPECT_EQ(a[static_cast<std::size_t>(i * 14 + j)],
+                a[static_cast<std::size_t>(j * 14 + i)]);
+    }
+  }
+}
+
+TEST(TspApp, SequentialSolvesSmallInstanceExactly) {
+  // 5 cities: brute-force check.
+  const auto dist = make_distance_matrix(5, 7);
+  int brute = INT32_MAX;
+  int perm[4] = {1, 2, 3, 4};
+  std::sort(perm, perm + 4);
+  do {
+    int len = dist[static_cast<std::size_t>(perm[0])];
+    for (int i = 0; i + 1 < 4; ++i) {
+      len += dist[static_cast<std::size_t>(perm[i] * 5 + perm[i + 1])];
+    }
+    len += dist[static_cast<std::size_t>(perm[3] * 5)];
+    brute = std::min(brute, len);
+  } while (std::next_permutation(perm, perm + 4));
+  EXPECT_EQ(solve_tsp_sequential(dist, 5), brute);
+}
+
+class TspProtocolTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TspProtocolTest, MatchesSequentialOptimum) {
+  const int n = 11;  // moderate instance for test speed
+  const auto dist = make_distance_matrix(n, 42);
+  const int expected = solve_tsp_sequential(dist, n);
+  DsmFixture fx(4);
+  TspConfig cfg;
+  cfg.n_cities = n;
+  cfg.seed = 42;
+  cfg.protocol = fx.dsm.protocol_by_name(GetParam());
+  TspResult result;
+  fx.run([&] { result = run_tsp(fx.rt, fx.dsm, cfg); });
+  EXPECT_EQ(result.best_length, expected) << GetParam();
+  EXPECT_GT(result.expansions, 0u);
+  EXPECT_GT(result.elapsed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, TspProtocolTest,
+                         ::testing::Values("li_hudak", "migrate_thread", "erc_sw",
+                                           "hbrc_mw", "hybrid_rw"));
+
+TEST(TspApp, MigrateThreadPilesUpOnBoundNode) {
+  // The Figure 4 effect: under migrate_thread all workers converge onto the
+  // node holding the shared data and stay there.
+  DsmFixture fx(4);
+  TspConfig cfg;
+  cfg.n_cities = 10;
+  cfg.protocol = fx.dsm.builtin().migrate_thread;
+  fx.run([&] { (void)run_tsp(fx.rt, fx.dsm, cfg); });
+  EXPECT_GT(fx.dsm.counters().total(dsm::Counter::kThreadMigrations), 0u);
+  // Node 0's CPU did essentially all the work.
+  const SimTime busy0 = fx.rt.cluster().node(0).cpu().busy_time();
+  SimTime busy_rest = 0;
+  for (NodeId n = 1; n < 4; ++n) busy_rest += fx.rt.cluster().node(n).cpu().busy_time();
+  EXPECT_GT(busy0, 10 * busy_rest);
+}
+
+TEST(TspApp, PageProtocolSpreadsComputeAcrossNodes) {
+  DsmFixture fx(4);
+  TspConfig cfg;
+  cfg.n_cities = 10;
+  cfg.protocol = fx.dsm.builtin().li_hudak;
+  fx.run([&] { (void)run_tsp(fx.rt, fx.dsm, cfg); });
+  // Every node did a meaningful share of the compute.
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_GT(fx.rt.cluster().node(n).cpu().busy_time(), 0) << "node " << n;
+  }
+}
+
+TEST(TspApp, FasterOnFourNodesThanOnOne) {
+  auto elapsed_with_nodes = [](int nodes) {
+    DsmFixture fx(nodes);
+    TspConfig cfg;
+    cfg.n_cities = 11;
+    cfg.protocol = fx.dsm.builtin().li_hudak;
+    TspResult r;
+    fx.run([&] { r = run_tsp(fx.rt, fx.dsm, cfg); });
+    return r.elapsed;
+  };
+  EXPECT_LT(elapsed_with_nodes(4), elapsed_with_nodes(1));
+}
+
+}  // namespace
+}  // namespace dsmpm2::apps

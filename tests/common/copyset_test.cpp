@@ -1,0 +1,89 @@
+#include "common/copyset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dsmpm2 {
+namespace {
+
+TEST(CopySet, StartsEmpty) {
+  CopySet cs;
+  EXPECT_TRUE(cs.empty());
+  EXPECT_EQ(cs.size(), 0);
+  EXPECT_FALSE(cs.contains(0));
+}
+
+TEST(CopySet, InsertEraseContains) {
+  CopySet cs;
+  cs.insert(3);
+  cs.insert(17);
+  EXPECT_TRUE(cs.contains(3));
+  EXPECT_TRUE(cs.contains(17));
+  EXPECT_FALSE(cs.contains(4));
+  EXPECT_EQ(cs.size(), 2);
+  cs.erase(3);
+  EXPECT_FALSE(cs.contains(3));
+  EXPECT_EQ(cs.size(), 1);
+}
+
+TEST(CopySet, InsertIdempotent) {
+  CopySet cs;
+  cs.insert(5);
+  cs.insert(5);
+  EXPECT_EQ(cs.size(), 1);
+}
+
+TEST(CopySet, EraseAbsentIsNoop) {
+  CopySet cs;
+  cs.insert(1);
+  cs.erase(2);
+  EXPECT_EQ(cs.size(), 1);
+}
+
+TEST(CopySet, UnionMerges) {
+  CopySet a;
+  a.insert(0);
+  a.insert(2);
+  CopySet b;
+  b.insert(2);
+  b.insert(63);
+  a |= b;
+  EXPECT_EQ(a.size(), 3);
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_TRUE(a.contains(63));
+}
+
+TEST(CopySet, ForEachVisitsInOrder) {
+  CopySet cs;
+  cs.insert(40);
+  cs.insert(1);
+  cs.insert(12);
+  std::vector<NodeId> seen;
+  cs.for_each([&](NodeId n) { seen.push_back(n); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{1, 12, 40}));
+}
+
+TEST(CopySet, BitsRoundTrip) {
+  CopySet cs;
+  cs.insert(7);
+  cs.insert(63);
+  CopySet back(cs.bits());
+  EXPECT_EQ(back, cs);
+}
+
+TEST(CopySet, ClearEmpties) {
+  CopySet cs;
+  cs.insert(9);
+  cs.clear();
+  EXPECT_TRUE(cs.empty());
+}
+
+TEST(CopySetDeath, OutOfRangeAborts) {
+  CopySet cs;
+  EXPECT_DEATH(cs.insert(64), "DSM_CHECK");
+}
+
+}  // namespace
+}  // namespace dsmpm2

@@ -1,0 +1,128 @@
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+
+namespace dsmpm2 {
+namespace {
+
+TEST(Serialize, RoundTripScalars) {
+  Packer p;
+  p.pack<std::uint32_t>(42);
+  p.pack<std::int64_t>(-7);
+  p.pack<double>(3.25);
+  p.pack<char>('x');
+
+  Unpacker u(p.buffer());
+  EXPECT_EQ(u.unpack<std::uint32_t>(), 42u);
+  EXPECT_EQ(u.unpack<std::int64_t>(), -7);
+  EXPECT_EQ(u.unpack<double>(), 3.25);
+  EXPECT_EQ(u.unpack<char>(), 'x');
+  EXPECT_TRUE(u.done());
+}
+
+TEST(Serialize, RoundTripStruct) {
+  struct Wire {
+    std::uint64_t a;
+    std::uint32_t b;
+    std::uint8_t c;
+  };
+  Packer p;
+  p.pack(Wire{1, 2, 3});
+  Unpacker u(p.buffer());
+  const auto w = u.unpack<Wire>();
+  EXPECT_EQ(w.a, 1u);
+  EXPECT_EQ(w.b, 2u);
+  EXPECT_EQ(w.c, 3u);
+}
+
+TEST(Serialize, RoundTripBytes) {
+  std::vector<std::byte> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::byte>(i);
+  Packer p;
+  p.pack_bytes(data);
+  p.pack<std::uint16_t>(0xBEEF);
+
+  Unpacker u(p.buffer());
+  auto view = u.unpack_bytes();
+  ASSERT_EQ(view.size(), data.size());
+  EXPECT_EQ(std::memcmp(view.data(), data.data(), data.size()), 0);
+  EXPECT_EQ(u.unpack<std::uint16_t>(), 0xBEEF);
+}
+
+TEST(Serialize, RoundTripString) {
+  Packer p;
+  p.pack_string("dsm-pm2");
+  p.pack_string("");
+  Unpacker u(p.buffer());
+  EXPECT_EQ(u.unpack_string(), "dsm-pm2");
+  EXPECT_EQ(u.unpack_string(), "");
+}
+
+TEST(Serialize, RawBytesNoLengthPrefix) {
+  std::vector<std::byte> data(64, std::byte{0xAB});
+  Packer p;
+  p.pack<std::uint64_t>(data.size());
+  p.pack_raw(data);
+  Unpacker u(p.buffer());
+  const auto n = u.unpack<std::uint64_t>();
+  auto view = u.unpack_raw(n);
+  EXPECT_EQ(view.size(), 64u);
+  EXPECT_EQ(view[13], std::byte{0xAB});
+  EXPECT_TRUE(u.done());
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  Packer p;
+  p.pack<std::uint32_t>(1);
+  p.pack<std::uint32_t>(2);
+  Unpacker u(p.buffer());
+  EXPECT_EQ(u.remaining(), 8u);
+  u.unpack<std::uint32_t>();
+  EXPECT_EQ(u.remaining(), 4u);
+  u.unpack<std::uint32_t>();
+  EXPECT_EQ(u.remaining(), 0u);
+}
+
+TEST(Serialize, MixedRandomRoundTrip) {
+  std::mt19937_64 gen(7);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::uint64_t> values;
+    std::vector<std::vector<std::byte>> blobs;
+    Packer p;
+    const int ops = static_cast<int>(gen() % 20) + 1;
+    for (int i = 0; i < ops; ++i) {
+      if (gen() % 2 == 0) {
+        values.push_back(gen());
+        p.pack(values.back());
+        blobs.emplace_back();
+      } else {
+        std::vector<std::byte> blob(gen() % 100);
+        for (auto& b : blob) b = static_cast<std::byte>(gen());
+        p.pack_bytes(blob);
+        blobs.push_back(blob);
+        values.push_back(0);
+      }
+    }
+    Unpacker u(p.buffer());
+    for (int i = 0; i < ops; ++i) {
+      if (blobs[static_cast<std::size_t>(i)].empty() &&
+          values[static_cast<std::size_t>(i)] != 0) {
+        EXPECT_EQ(u.unpack<std::uint64_t>(), values[static_cast<std::size_t>(i)]);
+      } else if (!blobs[static_cast<std::size_t>(i)].empty()) {
+        auto view = u.unpack_bytes();
+        const auto& blob = blobs[static_cast<std::size_t>(i)];
+        ASSERT_EQ(view.size(), blob.size());
+        EXPECT_EQ(std::memcmp(view.data(), blob.data(), blob.size()), 0);
+      } else {
+        // zero value packed as scalar, or empty blob: both occupy 8 bytes
+        u.unpack<std::uint64_t>();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsmpm2

@@ -1,0 +1,55 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsmpm2 {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSeries) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  // Sample variance of this classic series is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(TablePrinter, RendersAlignedTable) {
+  TablePrinter t({"Operation", "BIP"});
+  t.add_row({"Page fault", "11"});
+  t.add_row({"Total", "198"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Operation  | BIP |"), std::string::npos);
+  EXPECT_NE(out.find("| Page fault | 11  |"), std::string::npos);
+  EXPECT_NE(out.find("| Total      | 198 |"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.0, 0), "3");
+}
+
+TEST(TablePrinterDeath, RowWidthMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width mismatch");
+}
+
+}  // namespace
+}  // namespace dsmpm2

@@ -1,0 +1,166 @@
+#include "dsm/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+std::vector<std::byte> page(std::size_t n, std::byte fill = std::byte{0}) {
+  return std::vector<std::byte>(n, fill);
+}
+
+TEST(Diff, IdenticalPagesGiveEmptyDiff) {
+  auto a = page(4096, std::byte{7});
+  const Diff d = Diff::compute(a, a);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.payload_bytes(), 0u);
+}
+
+TEST(Diff, SingleWordChange) {
+  auto twin = page(4096);
+  auto cur = twin;
+  cur[100] = std::byte{0xFF};
+  const Diff d = Diff::compute(twin, cur, 8);
+  EXPECT_EQ(d.chunk_count(), 1u);
+  // Word granularity: the chunk covers the containing 8-byte word.
+  EXPECT_EQ(d.payload_bytes(), 8u);
+}
+
+TEST(Diff, AdjacentChangesCoalesce) {
+  auto twin = page(4096);
+  auto cur = twin;
+  for (int i = 64; i < 96; ++i) cur[static_cast<std::size_t>(i)] = std::byte{1};
+  const Diff d = Diff::compute(twin, cur, 8);
+  EXPECT_EQ(d.chunk_count(), 1u);
+  EXPECT_EQ(d.payload_bytes(), 32u);
+}
+
+TEST(Diff, DisjointChangesStaySeparate) {
+  auto twin = page(4096);
+  auto cur = twin;
+  cur[0] = std::byte{1};
+  cur[2048] = std::byte{2};
+  const Diff d = Diff::compute(twin, cur, 8);
+  EXPECT_EQ(d.chunk_count(), 2u);
+}
+
+TEST(Diff, ApplyReconstructsTarget) {
+  auto twin = page(4096, std::byte{0xAA});
+  auto cur = twin;
+  cur[17] = std::byte{1};
+  cur[1000] = std::byte{2};
+  cur[4095] = std::byte{3};
+  const Diff d = Diff::compute(twin, cur);
+  auto target = twin;  // home still has the twin image
+  d.apply(target);
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), cur.size()), 0);
+}
+
+TEST(Diff, SerializeRoundTrip) {
+  auto twin = page(4096);
+  auto cur = twin;
+  for (int i = 0; i < 4096; i += 97) cur[static_cast<std::size_t>(i)] = std::byte{9};
+  const Diff d = Diff::compute(twin, cur);
+  Packer p;
+  d.serialize(p);
+  Unpacker u(p.buffer());
+  const Diff back = Diff::deserialize(u);
+  EXPECT_EQ(back.chunk_count(), d.chunk_count());
+  auto target = twin;
+  back.apply(target);
+  EXPECT_EQ(std::memcmp(target.data(), cur.data(), cur.size()), 0);
+}
+
+TEST(Diff, WireBytesSmallerThanPageForSparseWrites) {
+  auto twin = page(4096);
+  auto cur = twin;
+  cur[5] = std::byte{1};
+  const Diff d = Diff::compute(twin, cur);
+  EXPECT_LT(d.wire_bytes(), 100u);
+}
+
+// Property test: for random twin/current pairs with random write patterns,
+// applying the diff to the twin reproduces the current page exactly.
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, ApplyOnTwinReproducesCurrent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const std::size_t size = 1024 + rng.next_below(8192);
+  std::vector<std::byte> twin(size);
+  for (auto& b : twin) b = static_cast<std::byte>(rng.next_u64());
+  auto cur = twin;
+  const int writes = static_cast<int>(rng.next_below(64));
+  for (int w = 0; w < writes; ++w) {
+    const std::size_t off = rng.next_below(size);
+    const std::size_t len = 1 + rng.next_below(std::min<std::uint64_t>(128, size - off));
+    for (std::size_t i = 0; i < len; ++i) {
+      cur[off + i] = static_cast<std::byte>(rng.next_u64());
+    }
+  }
+  const std::uint32_t word = GetParam() % 2 == 0 ? 8 : 4;
+  const Diff d = Diff::compute(twin, cur, word);
+  // Ship it through serialization like the real protocol does.
+  Packer p;
+  d.serialize(p);
+  Unpacker u(p.buffer());
+  const Diff wire = Diff::deserialize(u);
+  auto target = twin;
+  wire.apply(target);
+  ASSERT_EQ(std::memcmp(target.data(), cur.data(), size), 0)
+      << "diff failed to reconstruct page (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPages, DiffProperty, ::testing::Range(0, 24));
+
+TEST(WriteLog, RecordsAndMerges) {
+  WriteLog log;
+  log.record(3, 100, 8);
+  log.record(3, 108, 8);  // adjacent: merges
+  log.record(3, 500, 4);
+  log.record(7, 0, 16);
+  EXPECT_EQ(log.size(), 3u);
+  const auto recs = log.for_page(3);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].offset, 100u);
+  EXPECT_EQ(recs[0].length, 16u);
+  EXPECT_EQ(recs[1].offset, 500u);
+}
+
+TEST(WriteLog, OverlapMerges) {
+  WriteLog log;
+  log.record(1, 10, 20);
+  log.record(1, 15, 30);  // overlaps [10,30)
+  const auto recs = log.for_page(1);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].offset, 10u);
+  EXPECT_EQ(recs[0].length, 35u);
+}
+
+TEST(WriteLog, PagesSortedUnique) {
+  WriteLog log;
+  log.record(9, 0, 1);
+  log.record(2, 0, 1);
+  log.record(9, 100, 1);
+  EXPECT_EQ(log.pages(), (std::vector<PageId>{2, 9}));
+}
+
+TEST(WriteLog, ZeroLengthIgnored) {
+  WriteLog log;
+  log.record(1, 0, 0);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(WriteLog, ClearEmpties) {
+  WriteLog log;
+  log.record(1, 0, 4);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

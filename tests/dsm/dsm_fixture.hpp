@@ -1,0 +1,49 @@
+// Shared test fixture: a PM2 runtime plus a DSM instance.
+#pragma once
+
+#include <functional>
+
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::dsm::testing {
+
+struct DsmFixture {
+  pm2::Runtime rt;
+  Dsm dsm;
+
+  explicit DsmFixture(int nodes = 4,
+                      madeleine::DriverParams driver = madeleine::bip_myrinet(),
+                      DsmConfig cfg = {}, std::uint64_t seed = 1,
+                      sim::SchedPolicy policy = sim::SchedPolicy::kFifo)
+      : rt(make_pm2_config(nodes, std::move(driver), seed, policy)),
+        dsm(rt, cfg) {}
+
+  /// Runs `body` as the main PM2 thread and drives the cluster to quiescence.
+  pm2::RunStats run(std::function<void()> body) { return rt.run(std::move(body)); }
+
+  /// Spawns one thread per node running `body(node)`, joins them all.
+  void run_on_all_nodes(std::function<void(NodeId)> body) {
+    run([&] {
+      std::vector<marcel::Thread*> workers;
+      for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+        workers.push_back(&rt.spawn_on(n, "worker" + std::to_string(n),
+                                       [&body, n] { body(n); }));
+      }
+      for (auto* w : workers) rt.threads().join(*w);
+    });
+  }
+
+ private:
+  static pm2::Config make_pm2_config(int nodes, madeleine::DriverParams driver,
+                                     std::uint64_t seed, sim::SchedPolicy policy) {
+    pm2::Config cfg;
+    cfg.nodes = nodes;
+    cfg.driver = std::move(driver);
+    cfg.seed = seed;
+    cfg.sched_policy = policy;
+    return cfg;
+  }
+};
+
+}  // namespace dsmpm2::dsm::testing

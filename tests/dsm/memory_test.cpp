@@ -1,0 +1,192 @@
+// Tests for DSM areas: dsm_malloc attributes, home policies, per-area
+// protocols, release, and protocol switching.
+#include <gtest/gtest.h>
+
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+TEST(DsmMemory, DefaultProtocolIsLiHudak) {
+  DsmFixture fx;
+  EXPECT_EQ(fx.dsm.default_protocol(), fx.dsm.builtin().li_hudak);
+  EXPECT_EQ(fx.dsm.protocols().get(fx.dsm.default_protocol()).name, "li_hudak");
+}
+
+TEST(DsmMemory, BuiltinsResolvableByName) {
+  DsmFixture fx;
+  for (const char* name : {"li_hudak", "migrate_thread", "erc_sw", "hbrc_mw",
+                           "java_ic", "java_pf", "hybrid_rw"}) {
+    EXPECT_NE(fx.dsm.protocol_by_name(name), kInvalidProtocol) << name;
+  }
+  EXPECT_EQ(fx.dsm.protocol_by_name("no_such_protocol"), kInvalidProtocol);
+}
+
+TEST(DsmMemory, AllocInitializesPages) {
+  DsmFixture fx(4);
+  const DsmAddr base = fx.dsm.dsm_malloc(3 * 4096);
+  const PageId first = fx.dsm.geometry().page_of(base);
+  for (PageId p = first; p < first + 3; ++p) {
+    for (NodeId n = 0; n < 4; ++n) {
+      const PageEntry& e = fx.dsm.table(n).entry(p);
+      EXPECT_TRUE(e.valid);
+      EXPECT_EQ(e.protocol, fx.dsm.builtin().li_hudak);
+      EXPECT_EQ(e.home, 0u);  // allocated outside a thread: node 0
+      EXPECT_EQ(e.access, n == 0 ? Access::kWrite : Access::kNone);
+    }
+  }
+}
+
+TEST(DsmMemory, AllocatingNodePolicyFollowsCaller) {
+  DsmFixture fx(4);
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(2, "allocator", [&] {
+      const DsmAddr base = fx.dsm.dsm_malloc(4096);
+      const PageId p = fx.dsm.geometry().page_of(base);
+      EXPECT_EQ(fx.dsm.table(0).entry(p).home, 2u);
+      EXPECT_EQ(fx.dsm.table(2).entry(p).access, Access::kWrite);
+    });
+    fx.rt.threads().join(t);
+  });
+}
+
+TEST(DsmMemory, RoundRobinHomePolicySpreadsPages) {
+  DsmFixture fx(4);
+  AllocAttr attr;
+  attr.home_policy = HomePolicy::kRoundRobin;
+  const DsmAddr base = fx.dsm.dsm_malloc(8 * 4096, attr);
+  const PageId first = fx.dsm.geometry().page_of(base);
+  for (PageId i = 0; i < 8; ++i) {
+    EXPECT_EQ(fx.dsm.table(0).entry(first + i).home, i % 4);
+  }
+}
+
+TEST(DsmMemory, FixedHomePolicy) {
+  DsmFixture fx(4);
+  AllocAttr attr;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 3;
+  const DsmAddr base = fx.dsm.dsm_malloc(2 * 4096, attr);
+  const PageId p = fx.dsm.geometry().page_of(base);
+  EXPECT_EQ(fx.dsm.table(1).entry(p).home, 3u);
+  EXPECT_EQ(fx.dsm.table(3).entry(p).access, Access::kWrite);
+}
+
+TEST(DsmMemory, PerAreaProtocols) {
+  // "Different DSM protocols may be associated to different DSM memory areas
+  // within the same application." (paper §2.3)
+  DsmFixture fx(2);
+  AllocAttr attr_seq;
+  attr_seq.protocol = fx.dsm.builtin().li_hudak;
+  AllocAttr attr_rc;
+  attr_rc.protocol = fx.dsm.builtin().hbrc_mw;
+  const DsmAddr a = fx.dsm.dsm_malloc(4096, attr_seq);
+  const DsmAddr b = fx.dsm.dsm_malloc(4096, attr_rc);
+  EXPECT_EQ(fx.dsm.protocol_id_of(fx.dsm.geometry().page_of(a)),
+            fx.dsm.builtin().li_hudak);
+  EXPECT_EQ(fx.dsm.protocol_id_of(fx.dsm.geometry().page_of(b)),
+            fx.dsm.builtin().hbrc_mw);
+  // And both areas actually work in one program.
+  fx.run([&] {
+    fx.dsm.write<int>(a, 1);
+    fx.dsm.write<int>(b, 2);
+    EXPECT_EQ(fx.dsm.read<int>(a), 1);
+    EXPECT_EQ(fx.dsm.read<int>(b), 2);
+  });
+}
+
+TEST(DsmMemory, AreasDoNotOverlap) {
+  DsmFixture fx(4);
+  const DsmAddr a = fx.dsm.dsm_malloc(10000);
+  const DsmAddr b = fx.dsm.dsm_malloc(10000);
+  const bool disjoint = a + 10000 <= b || b + 10000 <= a;
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(DsmMemory, FreeInvalidatesPages) {
+  DsmFixture fx(2);
+  const DsmAddr base = fx.dsm.dsm_malloc(4096);
+  const PageId p = fx.dsm.geometry().page_of(base);
+  fx.dsm.dsm_free(base);
+  EXPECT_FALSE(fx.dsm.table(0).entry(p).valid);
+}
+
+TEST(DsmMemory, FreedRangeCanBeReallocated) {
+  DsmFixture fx(2);
+  const DsmAddr a = fx.dsm.dsm_malloc(4096);
+  fx.dsm.dsm_free(a);
+  const DsmAddr b = fx.dsm.dsm_malloc(4096);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DsmMemory, FindLocatesArea) {
+  DsmFixture fx(2);
+  AllocAttr attr;
+  attr.name = "payload";
+  const DsmAddr base = fx.dsm.dsm_malloc(3 * 4096, attr);
+  const Area* area = fx.dsm.areas().find(base + 5000);
+  ASSERT_NE(area, nullptr);
+  EXPECT_EQ(area->name, "payload");
+  EXPECT_EQ(fx.dsm.areas().find(base + 3 * 4096), nullptr);
+}
+
+TEST(DsmMemory, ProtocolSwitchBetweenPhases) {
+  // Paper §2.3: switching an area's protocol is possible with program-level
+  // synchronization around the switch.
+  DsmFixture fx(2);
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  const int barrier = fx.dsm.create_barrier(2);  // li_hudak phase (no hooks)
+  // The post-switch phase needs synchronization bound to the NEW protocol so
+  // its release/acquire actions (diff flushes) run.
+  const int rc_barrier = fx.dsm.create_barrier(2, fx.dsm.builtin().hbrc_mw);
+  fx.run_on_all_nodes([&](NodeId n) {
+    if (n == 0) fx.dsm.write<int>(x, 11);
+    fx.dsm.barrier_wait(barrier);
+    if (n == 1) EXPECT_EQ(fx.dsm.read<int>(x), 11);
+    fx.dsm.barrier_wait(barrier);
+    if (n == 0) {
+      fx.dsm.areas().switch_protocol(x, fx.dsm.builtin().hbrc_mw);
+    }
+    fx.dsm.barrier_wait(rc_barrier);
+    // Under the new protocol the area still behaves.
+    if (n == 1) {
+      fx.dsm.write<int>(x, 22);
+    }
+    fx.dsm.barrier_wait(rc_barrier);
+    if (n == 0) EXPECT_EQ(fx.dsm.read<int>(x), 22);
+  });
+}
+
+TEST(DsmMemoryDeath, AccessOutsideAnyAreaAborts) {
+  DsmFixture fx(2);
+  const DsmAddr base = fx.dsm.dsm_malloc(4096);
+  EXPECT_DEATH(fx.run([&] {
+                 (void)fx.dsm.read<int>(base + 10 * 4096);
+               }),
+               "unallocated");
+}
+
+TEST(DsmMemoryDeath, StraddlingScalarAborts) {
+  DsmFixture fx(2);
+  const DsmAddr base = fx.dsm.dsm_malloc(2 * 4096);
+  EXPECT_DEATH(fx.run([&] { (void)fx.dsm.read<long>(base + 4094); }),
+               "straddle");
+}
+
+TEST(DsmMemory, ByteRangeAccessSpansPages) {
+  DsmFixture fx(2);
+  const DsmAddr base = fx.dsm.dsm_malloc(3 * 4096);
+  std::vector<std::byte> in(6000);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<std::byte>(i * 7);
+  fx.run([&] {
+    fx.dsm.write_bytes(base + 1000, in);
+    std::vector<std::byte> out(in.size());
+    fx.dsm.read_bytes(base + 1000, out);
+    EXPECT_EQ(out, in);
+  });
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

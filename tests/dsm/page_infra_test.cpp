@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "dsm/page.hpp"
+#include "dsm/page_store.hpp"
+#include "dsm/page_table.hpp"
+#include "marcel/thread.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+TEST(PageGeometry, Arithmetic) {
+  PageGeometry g(4096, 1 << 20);
+  EXPECT_EQ(g.page_count(), 256u);
+  EXPECT_EQ(g.page_of(0), 0u);
+  EXPECT_EQ(g.page_of(4095), 0u);
+  EXPECT_EQ(g.page_of(4096), 1u);
+  EXPECT_EQ(g.page_base(3), 3u * 4096u);
+  EXPECT_EQ(g.offset_in_page(4100), 4u);
+}
+
+TEST(PageGeometry, WithinOnePage) {
+  PageGeometry g(4096, 1 << 20);
+  EXPECT_TRUE(g.within_one_page(0, 4096));
+  EXPECT_FALSE(g.within_one_page(1, 4096));
+  EXPECT_TRUE(g.within_one_page(4092, 4));
+  EXPECT_FALSE(g.within_one_page(4092, 5));
+  EXPECT_TRUE(g.within_one_page(100, 0));
+}
+
+TEST(PageGeometryDeath, NonPowerOfTwoPageSize) {
+  EXPECT_DEATH(PageGeometry(3000, 1 << 20), "power of two");
+}
+
+TEST(AccessRights, CoversOrdering) {
+  EXPECT_TRUE(access_covers(Access::kWrite, Access::kRead));
+  EXPECT_TRUE(access_covers(Access::kWrite, Access::kWrite));
+  EXPECT_TRUE(access_covers(Access::kRead, Access::kRead));
+  EXPECT_FALSE(access_covers(Access::kRead, Access::kWrite));
+  EXPECT_FALSE(access_covers(Access::kNone, Access::kRead));
+  EXPECT_TRUE(access_covers(Access::kNone, Access::kNone));
+}
+
+TEST(PageStore, FramesLazyAndZeroed) {
+  PageStore store(0, 16, 4096);
+  EXPECT_FALSE(store.has_frame(3));
+  EXPECT_EQ(store.resident_frames(), 0u);
+  auto f = store.frame(3);
+  EXPECT_TRUE(store.has_frame(3));
+  EXPECT_EQ(store.resident_frames(), 1u);
+  for (const std::byte b : f) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(PageStore, ReadWriteBytes) {
+  PageStore store(0, 16, 4096);
+  const std::byte data[4] = {std::byte{1}, std::byte{2}, std::byte{3}, std::byte{4}};
+  store.write_bytes(2, 100, data);
+  std::byte out[4];
+  store.read_bytes(2, 100, out);
+  EXPECT_EQ(std::memcmp(out, data, 4), 0);
+}
+
+TEST(PageStore, TwinSnapshotsAndIsStable) {
+  PageStore store(0, 16, 4096);
+  const std::byte v1[1] = {std::byte{0xA1}};
+  store.write_bytes(5, 0, v1);
+  store.make_twin(5);
+  const std::byte v2[1] = {std::byte{0xB2}};
+  store.write_bytes(5, 0, v2);  // mutate the frame after twinning
+  EXPECT_EQ(store.twin(5)[0], std::byte{0xA1});
+  EXPECT_EQ(store.frame(5)[0], std::byte{0xB2});
+  store.drop_twin(5);
+  EXPECT_FALSE(store.has_twin(5));
+}
+
+TEST(PageStore, DropFrameReleases) {
+  PageStore store(0, 16, 4096);
+  (void)store.frame(1);
+  store.drop_frame(1);
+  EXPECT_FALSE(store.has_frame(1));
+  EXPECT_EQ(store.resident_frames(), 0u);
+  // Re-materialized frames are zeroed again.
+  EXPECT_EQ(store.frame(1)[0], std::byte{0});
+}
+
+struct TableFixture {
+  sim::Scheduler sched;
+  sim::Cluster cluster{2, sched};
+  marcel::ThreadSystem threads{sched, cluster};
+  PageTable table{sched, 0, 64};
+};
+
+TEST(PageTable, EntryDefaults) {
+  TableFixture fx;
+  const PageEntry& e = fx.table.entry(7);
+  EXPECT_EQ(e.access, Access::kNone);
+  EXPECT_FALSE(e.valid);
+  EXPECT_FALSE(e.in_transition);
+  EXPECT_EQ(e.protocol, kInvalidProtocol);
+}
+
+TEST(PageTable, TransitionBeginEnd) {
+  TableFixture fx;
+  bool in_transition_seen = false;
+  fx.threads.spawn(0, "fetcher", [&] {
+    {
+      marcel::MutexLock l(fx.table.mutex(3));
+      fx.table.begin_transition(3);
+      in_transition_seen = fx.table.entry(3).in_transition;
+    }
+    {
+      marcel::MutexLock l(fx.table.mutex(3));
+      fx.table.end_transition(3);
+    }
+    EXPECT_FALSE(fx.table.entry(3).in_transition);
+    EXPECT_EQ(fx.table.entry(3).pending, Access::kNone);
+  });
+  fx.sched.run();
+  EXPECT_TRUE(in_transition_seen);
+}
+
+TEST(PageTable, WaitersWakeOnEndTransition) {
+  TableFixture fx;
+  std::vector<int> order;
+  fx.threads.spawn(0, "fetcher", [&] {
+    {
+      marcel::MutexLock l(fx.table.mutex(3));
+      fx.table.begin_transition(3);
+    }
+    fx.threads.sleep_for(10 * kNsPerUs);
+    {
+      marcel::MutexLock l(fx.table.mutex(3));
+      order.push_back(1);
+      fx.table.end_transition(3);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    fx.threads.spawn(0, "waiter", [&] {
+      fx.threads.yield();  // let the fetcher start first
+      marcel::MutexLock l(fx.table.mutex(3));
+      fx.table.wait_transition(3);
+      order.push_back(2);
+    });
+  }
+  fx.sched.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);  // end_transition first, then the three waiters
+}
+
+TEST(PageTable, TransitionsOnDifferentPagesIndependent) {
+  TableFixture fx;
+  bool page5_done = false;
+  fx.threads.spawn(0, "a", [&] {
+    marcel::MutexLock l(fx.table.mutex(4));
+    fx.table.begin_transition(4);
+    // Leave page 4 in transition; page 5 must not be affected.
+  });
+  fx.threads.spawn(0, "b", [&] {
+    marcel::MutexLock l(fx.table.mutex(5));
+    fx.table.wait_transition(5);  // returns immediately
+    page5_done = true;
+  });
+  fx.sched.run();
+  EXPECT_TRUE(page5_done);
+}
+
+TEST(PageTableDeath, DoubleBeginTransitionAborts) {
+  TableFixture fx;
+  fx.threads.spawn(0, "t", [&] {
+    marcel::MutexLock l(fx.table.mutex(1));
+    fx.table.begin_transition(1);
+    EXPECT_DEATH(fx.table.begin_transition(1), "already in transition");
+    fx.table.end_transition(1);
+  });
+  fx.sched.run();
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,209 @@
+// Model-specific semantic tests: the *differences* between the consistency
+// models, which the generic integration tests (identical behaviour under
+// locks) deliberately do not probe.
+#include <gtest/gtest.h>
+
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+using namespace dsmpm2::time_literals;
+
+TEST(SequentialConsistency, WriterInvalidatesBeforeWriting) {
+  // li_hudak: once the writer's write completes, no reader can see the old
+  // value, even without any lock (SC write-invalidate).
+  DsmFixture fx(3);
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  fx.run([&] {
+    fx.dsm.write<int>(x, 1);
+    auto& r = fx.rt.spawn_on(1, "reader", [&] { EXPECT_EQ(fx.dsm.read<int>(x), 1); });
+    fx.rt.threads().join(r);
+    auto& w = fx.rt.spawn_on(2, "writer", [&] { fx.dsm.write<int>(x, 2); });
+    fx.rt.threads().join(w);
+    // The moment the write returned, every copy is gone: a new read anywhere
+    // must see 2.
+    auto& r2 = fx.rt.spawn_on(1, "reader2", [&] { EXPECT_EQ(fx.dsm.read<int>(x), 2); });
+    fx.rt.threads().join(r2);
+  });
+}
+
+TEST(EagerReleaseConsistency, StaleReadsAllowedUntilRelease) {
+  // erc_sw: between the writer's write and its release, a reader holding a
+  // replica may legally read the old value; after the release, it must not.
+  DsmFixture fx(2);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().erc_sw;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int), attr);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().erc_sw);
+  const PageId p = fx.dsm.geometry().page_of(x);
+  fx.run([&] {
+    fx.dsm.write<int>(x, 1);
+    auto& r = fx.rt.spawn_on(1, "reader", [&] { EXPECT_EQ(fx.dsm.read<int>(x), 1); });
+    fx.rt.threads().join(r);
+
+    fx.dsm.lock_acquire(lock);
+    fx.dsm.write<int>(x, 2);
+    // Before the release: the replica on node 1 is intact (RC permits it).
+    EXPECT_EQ(fx.dsm.table(1).entry(p).access, Access::kRead);
+    fx.dsm.lock_release(lock);
+    // After the release: invalidated.
+    EXPECT_EQ(fx.dsm.table(1).entry(p).access, Access::kNone);
+  });
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kInvalidationsSent), 1u);
+}
+
+TEST(HomeBasedReleaseConsistency, DiffsCarryOnlyModifiedBytes) {
+  DsmFixture fx(2);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().hbrc_mw;
+  const DsmAddr base = fx.dsm.dsm_malloc(4096, attr);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().hbrc_mw);
+  fx.run([&] {
+    auto& w = fx.rt.spawn_on(1, "writer", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.write<long>(base + 128, 42);  // one 8-byte write in a 4 kB page
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(w);
+  });
+  // The flush moved far less than a page.
+  const auto diff_bytes = fx.dsm.counters().total(Counter::kDiffBytesSent);
+  EXPECT_GT(diff_bytes, 0u);
+  EXPECT_LT(diff_bytes, 64u);
+}
+
+TEST(HomeBasedReleaseConsistency, ConcurrentWritersMergeAtHome) {
+  // Two nodes write disjoint halves of one page concurrently (MRMW), then
+  // release; the home must end up with both sets of writes.
+  DsmFixture fx(3);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().hbrc_mw;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr base = fx.dsm.dsm_malloc(4096, attr);
+  const int lock_a = fx.dsm.create_lock(fx.dsm.builtin().hbrc_mw);
+  const int lock_b = fx.dsm.create_lock(fx.dsm.builtin().hbrc_mw);
+  fx.run([&] {
+    auto& w1 = fx.rt.spawn_on(1, "w1", [&] {
+      fx.dsm.lock_acquire(lock_a);
+      for (int i = 0; i < 16; ++i) {
+        fx.dsm.write<long>(base + static_cast<DsmAddr>(i) * 8, 100 + i);
+      }
+      fx.dsm.lock_release(lock_a);
+    });
+    auto& w2 = fx.rt.spawn_on(2, "w2", [&] {
+      fx.dsm.lock_acquire(lock_b);
+      for (int i = 0; i < 16; ++i) {
+        fx.dsm.write<long>(base + 2048 + static_cast<DsmAddr>(i) * 8, 200 + i);
+      }
+      fx.dsm.lock_release(lock_b);
+    });
+    fx.rt.threads().join(w1);
+    fx.rt.threads().join(w2);
+    // Read back at the home: both writers' data must be there.
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(fx.dsm.read<long>(base + static_cast<DsmAddr>(i) * 8), 100 + i);
+      EXPECT_EQ(fx.dsm.read<long>(base + 2048 + static_cast<DsmAddr>(i) * 8), 200 + i);
+    }
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kTwinsCreated), 2u);
+}
+
+TEST(JavaConsistency, CacheFlushOnMonitorEntry) {
+  DsmFixture fx(2);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().java_pf;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int), attr);
+  const int monitor = fx.dsm.create_lock(fx.dsm.builtin().java_pf);
+  const PageId p = fx.dsm.geometry().page_of(x);
+  fx.run([&] {
+    fx.dsm.put<int>(x, 1);
+    auto& t = fx.rt.spawn_on(1, "t", [&] {
+      (void)fx.dsm.get<int>(x);  // caches the page
+      EXPECT_EQ(fx.dsm.table(1).entry(p).access, Access::kRead);
+      fx.dsm.lock_acquire(monitor);  // JMM: flush the object cache
+      EXPECT_EQ(fx.dsm.table(1).entry(p).access, Access::kNone);
+      fx.dsm.lock_release(monitor);
+    });
+    fx.rt.threads().join(t);
+  });
+  EXPECT_EQ(fx.dsm.counters().get(1, Counter::kCacheFlushes), 1u);
+}
+
+TEST(JavaConsistency, MainMemoryUpdateOnMonitorExit) {
+  DsmFixture fx(2);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().java_pf;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int), attr);
+  const int monitor = fx.dsm.create_lock(fx.dsm.builtin().java_pf);
+  fx.run([&] {
+    fx.dsm.put<int>(x, 1);
+    auto& t = fx.rt.spawn_on(1, "t", [&] {
+      fx.dsm.lock_acquire(monitor);
+      fx.dsm.put<int>(x, 99);  // recorded with field granularity
+      fx.dsm.lock_release(monitor);  // transmitted to the home
+    });
+    fx.rt.threads().join(t);
+    // Home-local read on node 0 sees the committed value.
+    EXPECT_EQ(fx.dsm.get<int>(x), 99);
+  });
+  EXPECT_EQ(fx.dsm.counters().get(1, Counter::kWriteRecords), 1u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsApplied), 1u);
+}
+
+TEST(JavaConsistency, FieldGranularityNoFalseSharingLoss) {
+  // Two nodes write *adjacent fields of the same object* under different
+  // monitors; both must survive (the recorded ranges do not clobber each
+  // other, unlike whole-page shipping would).
+  DsmFixture fx(3);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().java_pf;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr obj = fx.dsm.dsm_malloc(16, attr);
+  const int m1 = fx.dsm.create_lock(fx.dsm.builtin().java_pf);
+  const int m2 = fx.dsm.create_lock(fx.dsm.builtin().java_pf);
+  fx.run([&] {
+    auto& t1 = fx.rt.spawn_on(1, "t1", [&] {
+      fx.dsm.lock_acquire(m1);
+      fx.dsm.put<long>(obj, 111);
+      fx.dsm.lock_release(m1);
+    });
+    auto& t2 = fx.rt.spawn_on(2, "t2", [&] {
+      fx.dsm.lock_acquire(m2);
+      fx.dsm.put<long>(obj + 8, 222);
+      fx.dsm.lock_release(m2);
+    });
+    fx.rt.threads().join(t1);
+    fx.rt.threads().join(t2);
+    EXPECT_EQ(fx.dsm.get<long>(obj), 111);
+    EXPECT_EQ(fx.dsm.get<long>(obj + 8), 222);
+  });
+}
+
+TEST(MigrateThread, NoPageEverMoves) {
+  DsmFixture fx(4);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().migrate_thread;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  fx.run([&] {
+    fx.dsm.write<long>(x, 0);
+    std::vector<marcel::Thread*> ws;
+    for (NodeId n = 1; n < 4; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "w", [&] {
+        // Unsynchronized increments are safe here: every thread migrates to
+        // the owning node and runs there cooperatively.
+        fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+    EXPECT_EQ(fx.dsm.read<long>(x), 3);
+  });
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kPagesSent), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kThreadMigrations), 3u);
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,145 @@
+// Randomized stress / property tests: many threads, many pages, random
+// lock-protected operations, random scheduler interleavings — the final
+// memory image must match a sequential model, for every protocol.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+struct Param {
+  const char* protocol;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(info.param.protocol) + "_s" + std::to_string(info.param.seed);
+}
+
+class StressTest : public ::testing::TestWithParam<Param> {};
+
+// Lock-protected random read-modify-writes over a multi-page array: the sum
+// of all cells must equal the number of increments issued, under any
+// protocol and any (seeded-random) interleaving.
+TEST_P(StressTest, RandomIncrementsSumExact) {
+  const auto [proto, seed] = GetParam();
+  constexpr int kCells = 512;  // spans pages
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 30;
+  DsmFixture fx(4, madeleine::sisci_sci(), DsmConfig{}, seed,
+                sim::SchedPolicy::kRandom);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.protocol_by_name(proto);
+  attr.home_policy = HomePolicy::kRoundRobin;
+  const DsmAddr base = fx.dsm.dsm_malloc(kCells * sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(attr.protocol);
+  const bool getput = std::string(proto).starts_with("java");
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    for (int t = 0; t < kThreads; ++t) {
+      ws.push_back(&fx.rt.spawn_on(static_cast<NodeId>(t % 4), "w", [&, t] {
+        Rng rng(seed * 977 + static_cast<std::uint64_t>(t));
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          const DsmAddr cell = base + rng.next_below(kCells) * sizeof(long);
+          fx.dsm.lock_acquire(lock);
+          if (getput) {
+            fx.dsm.put<long>(cell, fx.dsm.get<long>(cell) + 1);
+          } else {
+            fx.dsm.write<long>(cell, fx.dsm.read<long>(cell) + 1);
+          }
+          fx.dsm.lock_release(lock);
+        }
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+    fx.dsm.lock_acquire(lock);
+    long sum = 0;
+    for (int c = 0; c < kCells; ++c) {
+      sum += getput ? fx.dsm.get<long>(base + static_cast<DsmAddr>(c) * 8)
+                    : fx.dsm.read<long>(base + static_cast<DsmAddr>(c) * 8);
+    }
+    fx.dsm.lock_release(lock);
+    EXPECT_EQ(sum, static_cast<long>(kThreads) * kOpsPerThread);
+  });
+}
+
+// Per-cell ownership property: each thread owns a disjoint slice and writes a
+// recognizable pattern without any synchronization; after a barrier, every
+// cell must hold its owner's final pattern (no lost or misdirected writes).
+TEST_P(StressTest, DisjointSlicesNeverInterfere) {
+  const auto [proto, seed] = GetParam();
+  constexpr int kThreads = 8;
+  constexpr int kCellsPerThread = 64;
+  DsmFixture fx(4, madeleine::bip_myrinet(), DsmConfig{}, seed,
+                sim::SchedPolicy::kRandom);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.protocol_by_name(proto);
+  attr.home_policy = HomePolicy::kRoundRobin;
+  const DsmAddr base =
+      fx.dsm.dsm_malloc(kThreads * kCellsPerThread * sizeof(long), attr);
+  const int barrier = fx.dsm.create_barrier(kThreads, attr.protocol);
+  const bool getput = std::string(proto).starts_with("java");
+  int wrong = 0;
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    for (int t = 0; t < kThreads; ++t) {
+      ws.push_back(&fx.rt.spawn_on(static_cast<NodeId>(t % 4), "w", [&, t] {
+        Rng rng(seed + static_cast<std::uint64_t>(t) * 31);
+        const DsmAddr mine = base + static_cast<DsmAddr>(t) * kCellsPerThread * 8;
+        // Several passes of random-order writes into our own slice.
+        for (int pass = 0; pass < 3; ++pass) {
+          for (int i = 0; i < kCellsPerThread; ++i) {
+            const auto c = rng.next_below(kCellsPerThread);
+            const long v = t * 1000000 + static_cast<long>(c) * 100 + pass;
+            if (getput) {
+              fx.dsm.put<long>(mine + c * 8, v);
+            } else {
+              fx.dsm.write<long>(mine + c * 8, v);
+            }
+          }
+        }
+        // Final deterministic pass.
+        for (int c = 0; c < kCellsPerThread; ++c) {
+          const long v = t * 1000000 + c * 100 + 99;
+          if (getput) {
+            fx.dsm.put<long>(mine + static_cast<DsmAddr>(c) * 8, v);
+          } else {
+            fx.dsm.write<long>(mine + static_cast<DsmAddr>(c) * 8, v);
+          }
+        }
+        fx.dsm.barrier_wait(barrier);
+        // Check a peer's slice.
+        const int peer = (t + 1) % kThreads;
+        const DsmAddr theirs =
+            base + static_cast<DsmAddr>(peer) * kCellsPerThread * 8;
+        for (int c = 0; c < kCellsPerThread; ++c) {
+          const long expect = peer * 1000000 + c * 100 + 99;
+          const long got =
+              getput ? fx.dsm.get<long>(theirs + static_cast<DsmAddr>(c) * 8)
+                     : fx.dsm.read<long>(theirs + static_cast<DsmAddr>(c) * 8);
+          if (got != expect) ++wrong;
+        }
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  EXPECT_EQ(wrong, 0) << "stale or lost writes under " << proto;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, StressTest,
+    ::testing::Values(Param{"li_hudak", 1}, Param{"li_hudak", 2},
+                      Param{"erc_sw", 1}, Param{"erc_sw", 2},
+                      Param{"hbrc_mw", 1}, Param{"hbrc_mw", 2},
+                      Param{"java_pf", 1}, Param{"java_ic", 1},
+                      Param{"hybrid_rw", 1}, Param{"migrate_thread", 1}),
+    param_name);
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,92 @@
+#include "madeleine/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::madeleine {
+namespace {
+
+// The calibration anchors from the paper (µs).
+struct Anchor {
+  const char* name;
+  double rpc_min;
+  double page_request;
+  double xfer_4k;
+  double migrate_1k;
+};
+
+const Anchor kAnchors[] = {
+    {"BIP/Myrinet", 8.0, 23.0, 138.0, 75.0},
+    {"TCP/Myrinet", 105.0, 220.0, 343.0, 280.0},
+    {"TCP/FastEthernet", 105.0, 220.0, 736.0, 373.0},
+    {"SISCI/SCI", 6.0, 38.0, 119.0, 62.0},
+};
+
+class DriverAnchorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DriverAnchorTest, MatchesPaperCalibration) {
+  const auto& drivers = builtin_drivers();
+  const auto i = static_cast<std::size_t>(GetParam());
+  const DriverParams& d = drivers[i];
+  const Anchor& a = kAnchors[i];
+  EXPECT_EQ(d.name, a.name);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kControl, 16)), a.rpc_min, 1e-9);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kPageRequest, 64)), a.page_request, 1e-9);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kBulk, 4096)), a.xfer_4k, 1e-3);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kMigration, 1024)), a.migrate_1k, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDrivers, DriverAnchorTest, ::testing::Range(0, 4));
+
+TEST(Driver, BulkCostGrowsLinearly) {
+  const auto d = bip_myrinet();
+  const auto t1 = d.wire_time(MsgKind::kBulk, 1000);
+  const auto t2 = d.wire_time(MsgKind::kBulk, 2000);
+  const auto t3 = d.wire_time(MsgKind::kBulk, 3000);
+  EXPECT_EQ(t3 - t2, t2 - t1);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(Driver, ControlCostIgnoresPayload) {
+  const auto d = sisci_sci();
+  EXPECT_EQ(d.wire_time(MsgKind::kControl, 0), d.wire_time(MsgKind::kControl, 200));
+}
+
+TEST(Driver, RelativeOrderingOfNetworks) {
+  // Structural property from the paper: SCI has the lowest latency, BIP the
+  // next; both TCP variants are an order of magnitude slower for requests;
+  // Fast Ethernet is the slowest for bulk transfers.
+  const auto bip = bip_myrinet();
+  const auto tcpm = tcp_myrinet();
+  const auto fe = tcp_fast_ethernet();
+  const auto sci = sisci_sci();
+  EXPECT_LT(sci.wire_time(MsgKind::kControl, 16), bip.wire_time(MsgKind::kControl, 16));
+  EXPECT_LT(bip.wire_time(MsgKind::kControl, 16), tcpm.wire_time(MsgKind::kControl, 16));
+  EXPECT_LT(sci.wire_time(MsgKind::kBulk, 4096), bip.wire_time(MsgKind::kBulk, 4096));
+  EXPECT_LT(bip.wire_time(MsgKind::kBulk, 4096), tcpm.wire_time(MsgKind::kBulk, 4096));
+  EXPECT_LT(tcpm.wire_time(MsgKind::kBulk, 4096), fe.wire_time(MsgKind::kBulk, 4096));
+}
+
+TEST(Driver, CustomDriver) {
+  const auto d = custom("loop", 1.0, 2.0, 0.001, 3.0);
+  EXPECT_EQ(d.name, "loop");
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kControl, 8)), 1.0, 1e-9);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kPageRequest, 8)), 2.0, 1e-9);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kBulk, 1000)), 2.0, 1e-9);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kMigration, 1000)), 4.0, 1e-9);
+}
+
+TEST(Driver, PaperTableTotalsReproduce) {
+  // Table 3 totals: fault(11) + request + transfer(4k) + overhead(26).
+  const double expected_totals[] = {198, 600, 993, 194};
+  for (int i = 0; i < 4; ++i) {
+    const auto& d = builtin_drivers()[static_cast<std::size_t>(i)];
+    const double total = 11.0 + to_us(d.wire_time(MsgKind::kPageRequest, 64)) +
+                         to_us(d.wire_time(MsgKind::kBulk, 4096)) + 26.0;
+    EXPECT_NEAR(total, expected_totals[i], 0.5) << d.name;
+  }
+}
+
+}  // namespace
+}  // namespace dsmpm2::madeleine

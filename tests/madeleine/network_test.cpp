@@ -1,0 +1,129 @@
+#include "madeleine/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::madeleine {
+namespace {
+
+using namespace dsmpm2::time_literals;
+
+struct Fixture {
+  sim::Scheduler sched;
+  sim::Cluster cluster;
+  Network net;
+
+  explicit Fixture(int nodes = 4, DriverParams driver = bip_myrinet())
+      : cluster(nodes, sched), net(cluster, std::move(driver)) {}
+};
+
+Buffer make_payload(std::size_t n, std::byte fill = std::byte{0x5A}) {
+  return Buffer(n, fill);
+}
+
+TEST(Network, DeliversAfterWireTime) {
+  Fixture fx;
+  SimTime delivered_at = -1;
+  fx.net.set_delivery_handler(1, [&](Message) { delivered_at = fx.sched.now(); });
+  fx.sched.spawn("sender", [&] {
+    fx.net.send({0, 1, MsgKind::kControl, make_payload(16)});
+  });
+  fx.sched.run();
+  EXPECT_EQ(delivered_at, fx.net.driver().wire_time(MsgKind::kControl, 16));
+}
+
+TEST(Network, PayloadArrivesIntact) {
+  Fixture fx;
+  Buffer received;
+  fx.net.set_delivery_handler(2, [&](Message m) { received = std::move(m.payload); });
+  fx.sched.spawn("sender", [&] {
+    Buffer b(100);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<std::byte>(i * 3);
+    fx.net.send({0, 2, MsgKind::kBulk, std::move(b)});
+  });
+  fx.sched.run();
+  ASSERT_EQ(received.size(), 100u);
+  for (std::size_t i = 0; i < received.size(); ++i) {
+    EXPECT_EQ(received[i], static_cast<std::byte>(i * 3));
+  }
+}
+
+TEST(Network, PerLinkFifoEvenWhenCostsDiffer) {
+  Fixture fx;
+  std::vector<int> order;
+  fx.net.set_delivery_handler(1, [&](Message m) {
+    order.push_back(static_cast<int>(m.payload.size()));
+  });
+  fx.sched.spawn("sender", [&] {
+    // A big (slow) message first, then a small (fast) one. FIFO on the link
+    // means the small one must NOT overtake.
+    fx.net.send({0, 1, MsgKind::kBulk, make_payload(100000)});
+    fx.net.send({0, 1, MsgKind::kControl, make_payload(1)});
+  });
+  fx.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{100000, 1}));
+}
+
+TEST(Network, DistinctLinksDoNotBlockEachOther) {
+  Fixture fx;
+  std::vector<NodeId> order;
+  fx.net.set_delivery_handler(1, [&](Message m) { order.push_back(m.src); });
+  fx.sched.spawn("sender0", [&] {
+    fx.net.send({0, 1, MsgKind::kBulk, make_payload(1000000)});
+  });
+  fx.sched.spawn("sender2", [&] {
+    fx.net.send({2, 1, MsgKind::kControl, make_payload(1)});
+  });
+  fx.sched.run();
+  // The control message from node 2 overtakes the megabyte from node 0.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 0u);
+}
+
+TEST(Network, LoopbackIsCheap) {
+  Fixture fx;
+  SimTime delivered_at = -1;
+  fx.net.set_delivery_handler(0, [&](Message) { delivered_at = fx.sched.now(); });
+  fx.sched.spawn("sender", [&] {
+    fx.net.send({0, 0, MsgKind::kBulk, make_payload(4096)});
+  });
+  fx.sched.run();
+  EXPECT_EQ(delivered_at, fx.net.loopback_time());
+  EXPECT_LT(delivered_at, fx.net.driver().wire_time(MsgKind::kBulk, 4096));
+}
+
+TEST(Network, StatsCountMessagesAndBytes) {
+  Fixture fx;
+  fx.net.set_delivery_handler(1, [](Message) {});
+  fx.sched.spawn("sender", [&] {
+    fx.net.send({0, 1, MsgKind::kBulk, make_payload(10)});
+    fx.net.send({0, 1, MsgKind::kBulk, make_payload(20)});
+  });
+  fx.sched.run();
+  EXPECT_EQ(fx.net.stats(0).messages_sent, 2u);
+  EXPECT_EQ(fx.net.stats(0).bytes_sent, 30u);
+  EXPECT_EQ(fx.net.stats(1).messages_received, 2u);
+  EXPECT_EQ(fx.net.stats(1).bytes_received, 30u);
+}
+
+TEST(Network, ManyMessagesAllDelivered) {
+  Fixture fx;
+  int received = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    fx.net.set_delivery_handler(n, [&](Message) { ++received; });
+  }
+  fx.sched.spawn("sender", [&] {
+    for (int i = 0; i < 100; ++i) {
+      fx.net.send({0, static_cast<NodeId>(i % 4), MsgKind::kControl, make_payload(8)});
+    }
+  });
+  fx.sched.run();
+  EXPECT_EQ(received, 100);
+}
+
+}  // namespace
+}  // namespace dsmpm2::madeleine

@@ -1,0 +1,242 @@
+#include "marcel/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "marcel/thread.hpp"
+
+namespace dsmpm2::marcel {
+namespace {
+
+using namespace dsmpm2::time_literals;
+
+struct Fixture {
+  sim::Scheduler sched;
+  sim::Cluster cluster;
+  ThreadSystem threads;
+
+  explicit Fixture(int nodes = 2) : cluster(nodes, sched), threads(sched, cluster) {}
+};
+
+TEST(MarcelMutex, MutualExclusion) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  for (int i = 0; i < 8; ++i) {
+    fx.threads.spawn(0, "w", [&] {
+      m.lock();
+      ++in_critical;
+      max_in_critical = std::max(max_in_critical, in_critical);
+      fx.threads.yield();  // try to let others interleave inside the section
+      --in_critical;
+      m.unlock();
+    });
+  }
+  fx.sched.run();
+  EXPECT_EQ(max_in_critical, 1);
+}
+
+TEST(MarcelMutex, FifoHandoff) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  std::vector<int> order;
+  fx.threads.spawn(0, "holder", [&] {
+    m.lock();
+    fx.threads.sleep_for(10_us);  // let contenders queue in spawn order
+    m.unlock();
+  });
+  for (int i = 0; i < 4; ++i) {
+    fx.threads.spawn(0, "w", [&, i] {
+      m.lock();
+      order.push_back(i);
+      m.unlock();
+    });
+  }
+  fx.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MarcelMutex, TryLock) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  fx.threads.spawn(0, "t", [&] {
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock() || false);  // second try fails (not recursive)
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+  fx.sched.run();
+}
+
+TEST(MarcelMutex, LockedByMe) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  fx.threads.spawn(0, "t", [&] {
+    EXPECT_FALSE(m.locked_by_me());
+    m.lock();
+    EXPECT_TRUE(m.locked_by_me());
+    m.unlock();
+  });
+  fx.sched.run();
+}
+
+TEST(MarcelCondVar, SignalWakesOne) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  CondVar cv(fx.sched);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    fx.threads.spawn(0, "waiter", [&] {
+      MutexLock lock(m);
+      cv.wait(m);
+      ++woken;
+    });
+  }
+  fx.threads.spawn(0, "signaller", [&] {
+    fx.threads.sleep_for(1_us);
+    m.lock();
+    cv.signal();
+    m.unlock();
+    fx.threads.sleep_for(1_us);
+    EXPECT_EQ(woken, 1);
+    m.lock();
+    cv.broadcast();
+    m.unlock();
+  });
+  fx.sched.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(MarcelCondVar, WaitReleasesMutex) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  CondVar cv(fx.sched);
+  bool other_got_lock = false;
+  fx.threads.spawn(0, "waiter", [&] {
+    m.lock();
+    cv.wait(m);
+    EXPECT_TRUE(m.locked_by_me());  // re-acquired on wake
+    m.unlock();
+  });
+  fx.threads.spawn(0, "other", [&] {
+    m.lock();  // succeeds because wait() released it
+    other_got_lock = true;
+    cv.signal();
+    m.unlock();
+  });
+  fx.sched.run();
+  EXPECT_TRUE(other_got_lock);
+}
+
+TEST(MarcelCondVar, ProducerConsumer) {
+  Fixture fx;
+  Mutex m(fx.sched);
+  CondVar cv(fx.sched);
+  std::vector<int> queue;
+  std::vector<int> consumed;
+  fx.threads.spawn(0, "consumer", [&] {
+    for (int i = 0; i < 5; ++i) {
+      MutexLock lock(m);
+      while (queue.empty()) cv.wait(m);
+      consumed.push_back(queue.back());
+      queue.pop_back();
+    }
+  });
+  fx.threads.spawn(0, "producer", [&] {
+    for (int i = 0; i < 5; ++i) {
+      fx.threads.sleep_for(1_us);
+      MutexLock lock(m);
+      queue.push_back(i);
+      cv.signal();
+    }
+  });
+  fx.sched.run();
+  EXPECT_EQ(consumed, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MarcelSemaphore, LimitsConcurrency) {
+  Fixture fx;
+  Semaphore sem(fx.sched, 2);
+  int inside = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 6; ++i) {
+    fx.threads.spawn(0, "w", [&] {
+      sem.acquire();
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      fx.threads.sleep_for(1_us);
+      --inside;
+      sem.release();
+    });
+  }
+  fx.sched.run();
+  EXPECT_EQ(max_inside, 2);
+}
+
+TEST(MarcelSemaphore, ZeroInitialBlocksUntilRelease) {
+  Fixture fx;
+  Semaphore sem(fx.sched, 0);
+  bool passed = false;
+  fx.threads.spawn(0, "waiter", [&] {
+    sem.acquire();
+    passed = true;
+  });
+  fx.threads.spawn(0, "releaser", [&] {
+    EXPECT_FALSE(passed);
+    sem.release();
+  });
+  fx.sched.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(MarcelCompletion, ReleasesCurrentAndFutureWaiters) {
+  Fixture fx;
+  Completion c(fx.sched);
+  int released = 0;
+  fx.threads.spawn(0, "early", [&] {
+    c.wait();
+    ++released;
+  });
+  fx.threads.spawn(0, "signaller", [&] {
+    fx.threads.sleep_for(1_us);
+    c.signal();
+  });
+  fx.threads.spawn(0, "late", [&] {
+    fx.threads.sleep_for(2_us);
+    c.wait();  // already done: returns immediately
+    ++released;
+  });
+  fx.sched.run();
+  EXPECT_EQ(released, 2);
+}
+
+TEST(MarcelCompletion, SignalFromEventContext) {
+  Fixture fx;
+  Completion c(fx.sched);
+  bool passed = false;
+  fx.threads.spawn(0, "waiter", [&] {
+    c.wait();
+    passed = true;
+  });
+  fx.sched.schedule_at(5_us, [&] { c.signal(); });
+  fx.sched.run();
+  EXPECT_TRUE(passed);
+}
+
+TEST(MarcelMutexDeath, RecursiveLockAborts) {
+  Fixture fx;
+  fx.threads.spawn(0, "t", [&] {
+    Mutex m(fx.sched);
+    m.lock();
+    EXPECT_DEATH(m.lock(), "recursive");
+    m.unlock();
+  });
+  fx.sched.run();
+}
+
+}  // namespace
+}  // namespace dsmpm2::marcel

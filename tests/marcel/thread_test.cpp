@@ -1,0 +1,154 @@
+#include "marcel/thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::marcel {
+namespace {
+
+using namespace dsmpm2::time_literals;
+
+struct Fixture {
+  sim::Scheduler sched;
+  sim::Cluster cluster;
+  ThreadSystem threads;
+
+  explicit Fixture(int nodes = 4) : cluster(nodes, sched), threads(sched, cluster) {}
+};
+
+TEST(MarcelThread, SpawnAndJoin) {
+  Fixture fx;
+  bool child_done = false;
+  bool parent_done = false;
+  fx.threads.spawn(0, "parent", [&] {
+    Thread& child = fx.threads.spawn(1, "child", [&] { child_done = true; });
+    fx.threads.join(child);
+    EXPECT_TRUE(child_done);
+    parent_done = true;
+  });
+  fx.sched.run();
+  EXPECT_TRUE(parent_done);
+}
+
+TEST(MarcelThread, JoinAlreadyFinishedThread) {
+  Fixture fx;
+  bool ok = false;
+  fx.threads.spawn(0, "parent", [&] {
+    Thread& child = fx.threads.spawn(0, "child", [] {});
+    fx.threads.yield();  // let the child run to completion
+    EXPECT_TRUE(child.finished());
+    fx.threads.join(child);  // must not hang
+    ok = true;
+  });
+  fx.sched.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(MarcelThread, MultipleJoinersAllWake) {
+  Fixture fx;
+  int woken = 0;
+  fx.threads.spawn(0, "root", [&] {
+    Thread& slow = fx.threads.spawn(0, "slow", [&] { fx.threads.sleep_for(10_us); });
+    for (int i = 0; i < 3; ++i) {
+      fx.threads.spawn(0, "joiner", [&] {
+        fx.threads.join(slow);
+        ++woken;
+      });
+    }
+    fx.threads.join(slow);
+    ++woken;
+  });
+  fx.sched.run();
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(MarcelThread, SelfReportsIdentity) {
+  Fixture fx;
+  fx.threads.spawn(2, "me", [&] {
+    EXPECT_EQ(fx.threads.self().name(), "me");
+    EXPECT_EQ(fx.threads.self().node(), 2u);
+    EXPECT_EQ(fx.threads.self_node(), 2u);
+  });
+  fx.sched.run();
+}
+
+TEST(MarcelThread, IdsAreUnique) {
+  Fixture fx;
+  std::vector<ThreadId> ids;
+  fx.threads.spawn(0, "root", [&] {
+    for (int i = 0; i < 10; ++i) {
+      Thread& t = fx.threads.spawn(0, "t", [] {});
+      ids.push_back(t.id());
+    }
+  });
+  fx.sched.run();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) EXPECT_NE(ids[i], ids[j]);
+  }
+}
+
+TEST(MarcelThread, ChargeConsumesOnOwnNode) {
+  Fixture fx;
+  SimTime end0 = -1;
+  SimTime end1 = -1;
+  fx.threads.spawn(0, "a", [&] {
+    fx.threads.charge(100_us);
+    end0 = fx.sched.now();
+  });
+  fx.threads.spawn(1, "b", [&] {
+    fx.threads.charge(100_us);
+    end1 = fx.sched.now();
+  });
+  fx.sched.run();
+  // Different nodes, different CPUs: no contention.
+  EXPECT_EQ(end0, 100_us);
+  EXPECT_EQ(end1, 100_us);
+}
+
+TEST(MarcelThread, ChargeContendsOnSameNode) {
+  Fixture fx;
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 2; ++i) {
+    fx.threads.spawn(3, "w", [&] {
+      fx.threads.charge(100_us);
+      ends.push_back(fx.sched.now());
+    });
+  }
+  fx.sched.run();
+  EXPECT_EQ(ends[0], 200_us);
+  EXPECT_EQ(ends[1], 200_us);
+}
+
+TEST(MarcelThread, RebindMovesChargeTarget) {
+  Fixture fx;
+  SimTime end = -1;
+  fx.threads.spawn(0, "hog", [&] { fx.threads.charge(1000_us); });
+  fx.threads.spawn(0, "mover", [&] {
+    // Manually rebind (the PM2 migration layer does this officially).
+    fx.threads.rebind(fx.threads.self(), 1);
+    fx.threads.charge(100_us);
+    end = fx.sched.now();
+  });
+  fx.sched.run();
+  // The mover escaped node 0's contention: finishes at 100us, not 200us.
+  EXPECT_EQ(end, 100_us);
+  EXPECT_EQ(fx.threads.self_or_null(), nullptr);
+}
+
+TEST(MarcelThread, MigrationsCounter) {
+  Fixture fx;
+  fx.threads.spawn(0, "t", [&] {
+    Thread& self = fx.threads.self();
+    EXPECT_EQ(self.migrations(), 0);
+    fx.threads.rebind(self, 1);
+    fx.threads.rebind(self, 2);
+    EXPECT_EQ(self.migrations(), 2);
+  });
+  fx.sched.run();
+}
+
+}  // namespace
+}  // namespace dsmpm2::marcel

@@ -1,0 +1,129 @@
+#include "pm2/isomalloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dsmpm2::pm2 {
+namespace {
+
+TEST(Isomalloc, AllocationsAreSlotAligned) {
+  IsoAllocator iso(0, 1 << 20, 4, 4096);
+  for (NodeId n = 0; n < 4; ++n) {
+    const DsmAddr a = iso.allocate(n, 100);
+    EXPECT_EQ(a % 4096, 0u);
+  }
+}
+
+TEST(Isomalloc, OwnerOfTracksAllocatingNode) {
+  IsoAllocator iso(0, 1 << 20, 4, 4096);
+  for (NodeId n = 0; n < 4; ++n) {
+    const DsmAddr a = iso.allocate(n, 5000);
+    EXPECT_EQ(iso.owner_of(a), n);
+  }
+}
+
+TEST(Isomalloc, CrossNodeDisjointness) {
+  // The core iso-address invariant: ranges allocated by different nodes
+  // (with no coordination) never overlap.
+  IsoAllocator iso(0, 1 << 26, 8, 4096);
+  Rng rng(99);
+  std::map<DsmAddr, std::pair<DsmAddr, NodeId>> ranges;  // start -> (end, node)
+  for (int i = 0; i < 500; ++i) {
+    const auto node = static_cast<NodeId>(rng.next_below(8));
+    const auto size = 1 + rng.next_below(3 * 4096);
+    const DsmAddr start = iso.allocate(node, size);
+    const DsmAddr end = start + ((size + 4095) / 4096) * 4096;
+    // Check no overlap with any existing range.
+    auto it = ranges.upper_bound(start);
+    if (it != ranges.begin()) {
+      auto prev = std::prev(it);
+      EXPECT_LE(prev->second.first, start)
+          << "overlap with range of node " << prev->second.second;
+    }
+    if (it != ranges.end()) EXPECT_GE(it->first, end);
+    ranges.emplace(start, std::make_pair(end, node));
+  }
+}
+
+TEST(Isomalloc, ReleaseRecyclesSlots) {
+  IsoAllocator iso(0, 1 << 20, 2, 4096);
+  const DsmAddr a = iso.allocate(0, 4096);
+  iso.release(0, a);
+  const DsmAddr b = iso.allocate(0, 4096);
+  EXPECT_EQ(a, b);  // first-fit reuses the freed slot
+}
+
+TEST(Isomalloc, ReleaseCoalescesNeighbours) {
+  IsoAllocator iso(0, 1 << 20, 1, 4096);
+  const DsmAddr a = iso.allocate(0, 4096);
+  const DsmAddr b = iso.allocate(0, 4096);
+  const DsmAddr c = iso.allocate(0, 4096);
+  iso.release(0, a);
+  iso.release(0, c);
+  iso.release(0, b);  // middle release must coalesce all three
+  const DsmAddr big = iso.allocate(0, 3 * 4096);
+  EXPECT_EQ(big, a);  // the coalesced run satisfies a 3-slot request
+}
+
+TEST(Isomalloc, MultiSlotAllocationsAreContiguous) {
+  IsoAllocator iso(0, 1 << 20, 4, 4096);  // contiguity must hold multi-node
+  const DsmAddr a = iso.allocate(2, 10000);  // 3 slots
+  const DsmAddr b = iso.allocate(2, 4096);
+  EXPECT_EQ(b - a, 3u * 4096u);
+}
+
+TEST(Isomalloc, NodesOwnDisjointContiguousRegions) {
+  IsoAllocator iso(0, 1 << 20, 4, 4096);
+  // Region layout: node n's first allocation starts at n * region_size.
+  for (NodeId n = 0; n < 4; ++n) {
+    const DsmAddr a = iso.allocate(n, 1);
+    EXPECT_EQ(a, n * iso.region_size());
+  }
+}
+
+TEST(Isomalloc, AllocatedBytesAccounting) {
+  IsoAllocator iso(0, 1 << 20, 2, 4096);
+  EXPECT_EQ(iso.allocated_bytes(0), 0u);
+  const DsmAddr a = iso.allocate(0, 100);
+  EXPECT_EQ(iso.allocated_bytes(0), 4096u);
+  iso.release(0, a);
+  EXPECT_EQ(iso.allocated_bytes(0), 0u);
+}
+
+TEST(Isomalloc, RandomAllocReleaseStress) {
+  IsoAllocator iso(0, 1 << 25, 4, 4096);
+  Rng rng(1234);
+  std::vector<std::pair<NodeId, DsmAddr>> live;
+  for (int i = 0; i < 2000; ++i) {
+    if (live.empty() || rng.next_below(3) != 0) {
+      const auto node = static_cast<NodeId>(rng.next_below(4));
+      live.emplace_back(node, iso.allocate(node, 1 + rng.next_below(8192)));
+    } else {
+      const auto idx = rng.next_below(live.size());
+      iso.release(live[idx].first, live[idx].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  // All remaining live allocations still map back to their node.
+  for (const auto& [node, addr] : live) EXPECT_EQ(iso.owner_of(addr), node);
+}
+
+TEST(IsomallocDeath, DoubleReleaseAborts) {
+  IsoAllocator iso(0, 1 << 20, 2, 4096);
+  const DsmAddr a = iso.allocate(0, 1);
+  iso.release(0, a);
+  EXPECT_DEATH(iso.release(0, a), "unallocated");
+}
+
+TEST(IsomallocDeath, WrongNodeReleaseAborts) {
+  IsoAllocator iso(0, 1 << 20, 2, 4096);
+  const DsmAddr a = iso.allocate(0, 1);
+  EXPECT_DEATH(iso.release(1, a), "wrong node");
+}
+
+}  // namespace
+}  // namespace dsmpm2::pm2

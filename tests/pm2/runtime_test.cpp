@@ -1,0 +1,115 @@
+#include "pm2/pm2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::pm2 {
+namespace {
+
+using namespace dsmpm2::time_literals;
+
+TEST(Runtime, RunsEntryOnNodeZero) {
+  Config cfg;
+  cfg.nodes = 4;
+  Runtime rt(cfg);
+  NodeId entry_node = kInvalidNode;
+  rt.run([&] { entry_node = rt.self_node(); });
+  EXPECT_EQ(entry_node, 0u);
+}
+
+TEST(Runtime, SpawnOnLocalNodeIsImmediate) {
+  Runtime rt(Config{});
+  bool ran = false;
+  rt.run([&] {
+    auto& t = rt.spawn_on(0, "local", [&] { ran = true; });
+    rt.threads().join(t);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(Runtime, SpawnOnRemoteNodeRunsThere) {
+  Runtime rt(Config{});
+  NodeId observed = kInvalidNode;
+  rt.run([&] {
+    auto& t = rt.spawn_on(2, "remote", [&] { observed = rt.self_node(); });
+    rt.threads().join(t);
+  });
+  EXPECT_EQ(observed, 2u);
+}
+
+TEST(Runtime, RemoteSpawnCostsOneControlMessage) {
+  Config cfg;
+  cfg.driver = madeleine::sisci_sci();
+  Runtime rt(cfg);
+  SimTime spawn_visible_at = -1;
+  rt.run([&] {
+    auto& t = rt.spawn_on(1, "remote", [&] { spawn_visible_at = rt.now(); });
+    rt.threads().join(t);
+  });
+  EXPECT_EQ(spawn_visible_at, 6_us);  // SISCI/SCI control message latency
+}
+
+TEST(Runtime, ComputeAdvancesVirtualTime) {
+  Runtime rt(Config{});
+  SimTime end = -1;
+  rt.run([&] {
+    rt.compute(500_us);
+    end = rt.now();
+  });
+  EXPECT_EQ(end, 500_us);
+}
+
+TEST(Runtime, RunStatsPlausible) {
+  Runtime rt(Config{});
+  const auto stats = rt.run([&] {
+    for (int i = 0; i < 4; ++i) {
+      rt.spawn_on(0, "w", [&] { rt.compute(10_us); });
+    }
+  });
+  EXPECT_GE(stats.fibers_spawned, 5u);
+  EXPECT_EQ(stats.stuck_fibers, 0u);
+  EXPECT_EQ(stats.end_time, 40_us);  // 4 threads sharing node 0's CPU
+}
+
+TEST(Runtime, MigrateToViaFacade) {
+  Runtime rt(Config{});
+  NodeId after = kInvalidNode;
+  rt.run([&] {
+    rt.migrate_to(3);
+    after = rt.self_node();
+  });
+  EXPECT_EQ(after, 3u);
+}
+
+TEST(Runtime, DeterministicEndTime) {
+  auto run_once = [] {
+    Config cfg;
+    cfg.nodes = 4;
+    cfg.seed = 7;
+    Runtime rt(cfg);
+    const auto stats = rt.run([&] {
+      for (int i = 0; i < 6; ++i) {
+        rt.spawn_on(static_cast<NodeId>(i % 4), "w", [&] {
+          rt.compute(13_us);
+          rt.migrate_to((rt.self_node() + 1) % 4);
+          rt.compute(7_us);
+        });
+      }
+    });
+    return stats.end_time;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Runtime, IsoAllocatorWired) {
+  Runtime rt(Config{});
+  rt.run([&] {
+    const DsmAddr a = rt.iso().allocate(0, 4096);
+    const DsmAddr b = rt.iso().allocate(1, 4096);
+    EXPECT_NE(a, b);
+  });
+}
+
+}  // namespace
+}  // namespace dsmpm2::pm2

@@ -1,0 +1,168 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace dsmpm2::sim {
+namespace {
+
+using namespace dsmpm2::time_literals;
+
+TEST(Cpu, SingleChargeTakesExactlyItsWork) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  SimTime end = -1;
+  s.spawn("f", [&] {
+    cpu.charge(100_us);
+    end = s.now();
+  });
+  s.run();
+  EXPECT_EQ(end, 100_us);
+}
+
+TEST(Cpu, ZeroChargeIsFree) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  SimTime end = -1;
+  s.spawn("f", [&] {
+    cpu.charge(0);
+    end = s.now();
+  });
+  s.run();
+  EXPECT_EQ(end, 0);
+}
+
+TEST(Cpu, TwoEqualChargesShareTheProcessor) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 2; ++i) {
+    s.spawn("f", [&] {
+      cpu.charge(100_us);
+      ends.push_back(s.now());
+    });
+  }
+  s.run();
+  ASSERT_EQ(ends.size(), 2u);
+  // Processor sharing: both finish together at 200us (each ran at rate 1/2).
+  EXPECT_EQ(ends[0], 200_us);
+  EXPECT_EQ(ends[1], 200_us);
+}
+
+TEST(Cpu, FourWayContentionQuadruplesLatency) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 4; ++i) {
+    s.spawn("f", [&] {
+      cpu.charge(50_us);
+      ends.push_back(s.now());
+    });
+  }
+  s.run();
+  for (const auto e : ends) EXPECT_EQ(e, 200_us);
+}
+
+TEST(Cpu, ShortChargeFinishesBeforeLongOne) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  SimTime short_end = -1;
+  SimTime long_end = -1;
+  s.spawn("long", [&] {
+    cpu.charge(100_us);
+    long_end = s.now();
+  });
+  s.spawn("short", [&] {
+    cpu.charge(10_us);
+    short_end = s.now();
+  });
+  s.run();
+  // Shared at rate 1/2 until the short job's 10us of work is done (t=20us),
+  // then the long one runs alone: 20 + 90 = 110us.
+  EXPECT_EQ(short_end, 20_us);
+  EXPECT_EQ(long_end, 110_us);
+}
+
+TEST(Cpu, LateArrivalSharesRemainder) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  SimTime first_end = -1;
+  SimTime second_end = -1;
+  s.spawn("first", [&] {
+    cpu.charge(100_us);
+    first_end = s.now();
+  });
+  s.spawn("second", [&] {
+    this_scheduler().sleep_for(50_us);
+    cpu.charge(100_us);
+    second_end = s.now();
+  });
+  s.run();
+  // First runs alone for 50us (50 left), then shares: both need
+  // {50,100}; first finishes after 2*50=100 more (t=150), second then
+  // runs alone for its remaining 50 (t=200).
+  EXPECT_EQ(first_end, 150_us);
+  EXPECT_EQ(second_end, 200_us);
+}
+
+TEST(Cpu, IndependentCpusDoNotInterfere) {
+  Scheduler s;
+  Cpu cpu0(s, "cpu0");
+  Cpu cpu1(s, "cpu1");
+  std::vector<SimTime> ends;
+  s.spawn("a", [&] {
+    cpu0.charge(100_us);
+    ends.push_back(s.now());
+  });
+  s.spawn("b", [&] {
+    cpu1.charge(100_us);
+    ends.push_back(s.now());
+  });
+  s.run();
+  EXPECT_EQ(ends[0], 100_us);
+  EXPECT_EQ(ends[1], 100_us);
+}
+
+TEST(Cpu, BusyTimeAccounted) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  for (int i = 0; i < 3; ++i) {
+    s.spawn("f", [&] { cpu.charge(10_us); });
+  }
+  s.run();
+  EXPECT_EQ(cpu.busy_time(), 30_us);
+}
+
+TEST(Cpu, SequentialChargesAccumulate) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  SimTime end = -1;
+  s.spawn("f", [&] {
+    for (int i = 0; i < 10; ++i) cpu.charge(10_us);
+    end = s.now();
+  });
+  s.run();
+  EXPECT_EQ(end, 100_us);
+}
+
+TEST(Cpu, ManyContendersConverge) {
+  Scheduler s;
+  Cpu cpu(s, "cpu");
+  int done = 0;
+  for (int i = 0; i < 32; ++i) {
+    s.spawn("f", [&] {
+      cpu.charge(5_us);
+      ++done;
+    });
+  }
+  const auto r = s.run();
+  EXPECT_EQ(done, 32);
+  // 32 jobs of 5us each on one PS processor: total 160us.
+  EXPECT_EQ(r.end_time, 160_us);
+}
+
+}  // namespace
+}  // namespace dsmpm2::sim
