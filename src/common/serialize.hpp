@@ -28,14 +28,13 @@ class Packer {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   Packer& pack(const T& value) {
-    const auto* p = reinterpret_cast<const std::byte*>(&value);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    append(reinterpret_cast<const std::byte*>(&value), sizeof(T));
     return *this;
   }
 
   Packer& pack_bytes(std::span<const std::byte> bytes) {
     pack(static_cast<std::uint64_t>(bytes.size()));
-    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    append(bytes.data(), bytes.size());
     return *this;
   }
 
@@ -46,7 +45,7 @@ class Packer {
 
   /// Appends raw bytes with no length prefix (caller knows the framing).
   Packer& pack_raw(std::span<const std::byte> bytes) {
-    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    append(bytes.data(), bytes.size());
     return *this;
   }
 
@@ -55,6 +54,15 @@ class Packer {
   [[nodiscard]] const Buffer& buffer() const { return buf_; }
 
  private:
+  // resize + memcpy rather than vector::insert over a raw-byte range: GCC 12
+  // misdiagnoses the inlined insert path as a -Wstringop-overflow at -O2+.
+  void append(const std::byte* p, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
+  }
+
   Buffer buf_;
 };
 

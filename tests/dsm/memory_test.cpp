@@ -144,7 +144,9 @@ TEST(DsmMemory, ProtocolSwitchBetweenPhases) {
   fx.run_on_all_nodes([&](NodeId n) {
     if (n == 0) fx.dsm.write<int>(x, 11);
     fx.dsm.barrier_wait(barrier);
-    if (n == 1) EXPECT_EQ(fx.dsm.read<int>(x), 11);
+    if (n == 1) {
+      EXPECT_EQ(fx.dsm.read<int>(x), 11);
+    }
     fx.dsm.barrier_wait(barrier);
     if (n == 0) {
       fx.dsm.areas().switch_protocol(x, fx.dsm.builtin().hbrc_mw);
@@ -155,7 +157,9 @@ TEST(DsmMemory, ProtocolSwitchBetweenPhases) {
       fx.dsm.write<int>(x, 22);
     }
     fx.dsm.barrier_wait(rc_barrier);
-    if (n == 0) EXPECT_EQ(fx.dsm.read<int>(x), 22);
+    if (n == 0) {
+      EXPECT_EQ(fx.dsm.read<int>(x), 22);
+    }
   });
 }
 

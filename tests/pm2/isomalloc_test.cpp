@@ -44,7 +44,9 @@ TEST(Isomalloc, CrossNodeDisjointness) {
       EXPECT_LE(prev->second.first, start)
           << "overlap with range of node " << prev->second.second;
     }
-    if (it != ranges.end()) EXPECT_GE(it->first, end);
+    if (it != ranges.end()) {
+      EXPECT_GE(it->first, end);
+    }
     ranges.emplace(start, std::make_pair(end, node));
   }
 }
