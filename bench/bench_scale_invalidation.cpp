@@ -1,0 +1,145 @@
+// Write-fault latency vs. copyset width: the parallel invalidation fan-out
+// against the sequential one-blocking-round-trip-per-member baseline.
+//
+// Setup per point: N = sharers+1 nodes under li_hudak; node 0 writes a page,
+// every other node replicates it (copyset = sharers), then node 0 writes
+// again — the write fault must invalidate every replica before the write may
+// proceed (sequential consistency). The measured cost is the simulated time
+// of that second write.
+//
+// Sequential mode grows O(sharers) in network round trips; the ack-counted
+// fan-out pays one round-trip depth plus per-ack processing, so the curve
+// flattens. The 127-sharer point exercises a copyset wider than one 64-bit
+// word (the old wire-format limit).
+//
+// Usage: bench_scale_invalidation [--smoke] [--json <path>]
+//   --smoke   small sweep (CI: the `ctest -L smoke` entry)
+//   --json    also write machine-readable results to <path>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+struct Point {
+  int sharers = 0;
+  double seq_us = 0;
+  double par_us = 0;
+  [[nodiscard]] double speedup() const { return par_us > 0 ? seq_us / par_us : 0; }
+};
+
+double measure_write_fault_us(int sharers, bool parallel) {
+  pm2::Config cfg;
+  cfg.nodes = sharers + 1;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::DsmConfig dc;
+  dc.parallel_invalidate = parallel;
+  dsm::Dsm dsm(rt, dc);
+  const DsmAddr x = dsm.dsm_malloc(sizeof(long));
+  SimTime elapsed = 0;
+  rt.run([&] {
+    dsm.write<long>(x, 1);  // node 0 owns the page with write access
+    std::vector<marcel::Thread*> readers;
+    for (NodeId n = 1; n <= static_cast<NodeId>(sharers); ++n) {
+      readers.push_back(
+          &rt.spawn_on(n, "reader", [&] { (void)dsm.read<long>(x); }));
+    }
+    for (auto* r : readers) rt.threads().join(*r);
+    // The measured operation: one write fault whose upgrade invalidates
+    // every member of the copyset before write access is granted.
+    const SimTime t0 = rt.now();
+    dsm.write<long>(x, 2);
+    elapsed = rt.now() - t0;
+  });
+  DSM_CHECK_MSG(dsm.counters().total(dsm::Counter::kInvalidationsSent) ==
+                    static_cast<std::uint64_t>(sharers),
+                "bench invariant: one invalidation per sharer");
+  return to_us(elapsed);
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"scale_invalidation\",\n"
+      << "  \"protocol\": \"li_hudak\",\n  \"driver\": \"bip_myrinet\",\n"
+      << "  \"unit\": \"simulated_us\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"nodes\": %d, \"sharers\": %d, \"sequential_us\": "
+                  "%.3f, \"parallel_us\": %.3f, \"speedup\": %.2f}%s\n",
+                  p.sharers + 1, p.sharers, p.seq_us, p.par_us, p.speedup(),
+                  i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{1, 4, 8}
+            : std::vector<int>{1, 2, 4, 8, 16, 32, 64, 127};
+
+  std::printf("Invalidation fan-out scaling — write-fault latency, li_hudak, "
+              "BIP/Myrinet\n%s sweep: nodes 2 -> %d\n\n",
+              smoke ? "smoke" : "full", sweep.back() + 1);
+
+  std::vector<Point> points;
+  TablePrinter table({"nodes", "copyset", "sequential us", "fan-out us", "speedup"});
+  for (const int sharers : sweep) {
+    Point p;
+    p.sharers = sharers;
+    p.seq_us = measure_write_fault_us(sharers, /*parallel=*/false);
+    p.par_us = measure_write_fault_us(sharers, /*parallel=*/true);
+    table.add_row({std::to_string(sharers + 1), std::to_string(sharers),
+                   TablePrinter::fmt(p.seq_us), TablePrinter::fmt(p.par_us),
+                   TablePrinter::fmt(p.speedup(), 2) + "x"});
+    points.push_back(p);
+  }
+  table.print();
+
+  if (!json_path.empty()) write_json(json_path, points);
+
+  // Self-check: the fan-out must collapse the O(copyset) round-trip chain.
+  // Full sweep: >= 4x at 32 sharers (the ISSUE acceptance bar); smoke sweep:
+  // >= 2x at its widest point.
+  const double bar = smoke ? 2.0 : 4.0;
+  const int at = smoke ? sweep.back() : 32;
+  for (const Point& p : points) {
+    if (p.sharers != at) continue;
+    std::printf("\ncheck: %.2fx speedup at %d sharers (need >= %.1fx): %s\n",
+                p.speedup(), at, bar, p.speedup() >= bar ? "PASS" : "FAIL");
+    return p.speedup() >= bar ? 0 : 1;
+  }
+  std::fprintf(stderr, "sweep missing the %d-sharer check point\n", at);
+  return 1;
+}

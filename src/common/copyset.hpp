@@ -1,67 +1,103 @@
 // CopySet: the set of nodes holding a copy of a page.
 //
-// A fixed-capacity bitset (up to 64 nodes — far beyond the clusters in the
-// paper) with the set algebra the protocols need: insert/erase/test, union,
-// iteration, and serialization as a single word.
+// A fixed-capacity multi-word bitset (up to 256 nodes — four 64-bit words)
+// with the set algebra the protocols need: insert/erase/test, union,
+// iteration, and length-prefixed serialization. The wire format is one byte
+// holding the count of trailing words actually used, followed by that many
+// words — a copyset confined to nodes 0..63 still costs 9 bytes, and the
+// format grows without another wire change up to kMaxNodes.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 
 #include "common/check.hpp"
 #include "common/ids.hpp"
+#include "common/serialize.hpp"
 
 namespace dsmpm2 {
 
 class CopySet {
  public:
-  static constexpr NodeId kMaxNodes = 64;
+  static constexpr NodeId kMaxNodes = 256;
+  static constexpr std::size_t kWords = kMaxNodes / 64;
 
   constexpr CopySet() = default;
-  explicit constexpr CopySet(std::uint64_t bits) : bits_(bits) {}
 
   constexpr void insert(NodeId node) {
     DSM_CHECK(node < kMaxNodes);
-    bits_ |= (std::uint64_t{1} << node);
+    words_[word_of(node)] |= bit_of(node);
   }
 
   constexpr void erase(NodeId node) {
     DSM_CHECK(node < kMaxNodes);
-    bits_ &= ~(std::uint64_t{1} << node);
+    words_[word_of(node)] &= ~bit_of(node);
   }
 
   [[nodiscard]] constexpr bool contains(NodeId node) const {
     DSM_CHECK(node < kMaxNodes);
-    return (bits_ & (std::uint64_t{1} << node)) != 0;
+    return (words_[word_of(node)] & bit_of(node)) != 0;
   }
 
-  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
-  [[nodiscard]] constexpr int size() const { return std::popcount(bits_); }
+  [[nodiscard]] constexpr bool empty() const {
+    for (const auto w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
 
-  constexpr void clear() { bits_ = 0; }
+  [[nodiscard]] constexpr int size() const {
+    int n = 0;
+    for (const auto w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  constexpr void clear() { words_ = {}; }
 
   constexpr CopySet& operator|=(const CopySet& other) {
-    bits_ |= other.bits_;
+    for (std::size_t i = 0; i < kWords; ++i) words_[i] |= other.words_[i];
     return *this;
   }
-
-  [[nodiscard]] constexpr std::uint64_t bits() const { return bits_; }
 
   constexpr bool operator==(const CopySet&) const = default;
 
   /// Visits every member node in increasing order.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    std::uint64_t rest = bits_;
-    while (rest != 0) {
-      const int node = std::countr_zero(rest);
-      fn(static_cast<NodeId>(node));
-      rest &= rest - 1;
+    for (std::size_t i = 0; i < kWords; ++i) {
+      std::uint64_t rest = words_[i];
+      while (rest != 0) {
+        const int bit = std::countr_zero(rest);
+        fn(static_cast<NodeId>(i * 64 + static_cast<std::size_t>(bit)));
+        rest &= rest - 1;
+      }
     }
   }
 
+  /// Wire format: used-word count (1 byte), then that many words.
+  void serialize(Packer& p) const {
+    std::uint8_t used = kWords;
+    while (used > 0 && words_[used - 1] == 0) --used;
+    p.pack(used);
+    for (std::uint8_t i = 0; i < used; ++i) p.pack(words_[i]);
+  }
+
+  static CopySet deserialize(Unpacker& u) {
+    const auto used = u.unpack<std::uint8_t>();
+    DSM_CHECK_MSG(used <= kWords, "copyset wire word count out of range");
+    CopySet cs;
+    for (std::uint8_t i = 0; i < used; ++i) cs.words_[i] = u.unpack<std::uint64_t>();
+    return cs;
+  }
+
  private:
-  std::uint64_t bits_ = 0;
+  static constexpr std::size_t word_of(NodeId node) { return node / 64; }
+  static constexpr std::uint64_t bit_of(NodeId node) {
+    return std::uint64_t{1} << (node % 64);
+  }
+
+  std::array<std::uint64_t, kWords> words_{};
 };
 
 }  // namespace dsmpm2

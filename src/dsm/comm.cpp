@@ -14,17 +14,24 @@ struct RequestWire {
   NodeId requester;
 };
 
+// Fixed-size head of a page grant. The copyset follows as a separate
+// length-prefixed CopySet::serialize block (it outgrew a single word when
+// kMaxNodes went to 256), then the raw page bytes.
 struct PageWire {
   PageId page;
   Access granted;
   std::uint8_t ownership;
-  std::uint64_t copyset_bits;
   NodeId owner_hint;
 };
 
 struct InvalidateWire {
   PageId page;
   NodeId new_owner;
+  NodeId ack_to;  ///< collector to ack (kInvalidNode: reply/no-ack instead)
+};
+
+struct InvalidateAckWire {
+  PageId page;
 };
 
 struct DiffWire {
@@ -45,6 +52,11 @@ DsmComm::DsmComm(Dsm& dsm) : dsm_(dsm) {
   svc_invalidate_ = rpc.register_service(
       "dsm.invalidate", pm2::Dispatch::kThread,
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_invalidate(ctx, args); });
+  // Acks run inline: they only tick the initiator's collector and wake it,
+  // which is safe in delivery context (like the RPC reply service).
+  svc_invalidate_ack_ = rpc.register_service(
+      "dsm.invalidate_ack", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_invalidate_ack(ctx, args); });
   svc_diff_ = rpc.register_service(
       "dsm.diff", pm2::Dispatch::kThread,
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_diff(ctx, args); });
@@ -67,6 +79,9 @@ void DsmComm::request_page(NodeId to, PageId page, Access wanted, NodeId request
 
 void DsmComm::serve_page_request(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<RequestWire>();
+  check_wire_page(wire.page, "page request names a page outside the DSM space");
+  DSM_CHECK_MSG(wire.requester < static_cast<NodeId>(dsm_.node_count()),
+                "page request names a requester outside the cluster");
   dsm_.probe().mark(wire.requester, FaultStep::kRequestReceived, dsm_.runtime().now());
   const Protocol& proto = dsm_.protocol_of(wire.page);
   PageRequest req{wire.page, wire.wanted, wire.requester, ctx.self};
@@ -84,7 +99,8 @@ void DsmComm::send_page(NodeId to, PageId page, Access granted, bool ownership,
   dsm_.counters().inc(self, Counter::kPagesSent);
   Packer p;
   p.pack(PageWire{page, granted, ownership ? std::uint8_t{1} : std::uint8_t{0},
-                  copyset.bits(), owner_hint});
+                  owner_hint});
+  copyset.serialize(p);
   p.pack_raw(dsm_.store(self).frame(page));  // the real page bytes
   dsm_.probe().mark(to, FaultStep::kPageSent, rt.now());
   rt.rpc().call_async(to, svc_page_, std::move(p), madeleine::MsgKind::kBulk);
@@ -92,6 +108,10 @@ void DsmComm::send_page(NodeId to, PageId page, Access granted, bool ownership,
 
 void DsmComm::serve_send_page(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<PageWire>();
+  check_wire_page(wire.page, "page grant names a page outside the DSM space");
+  const CopySet copyset = CopySet::deserialize(args);
+  DSM_CHECK_MSG(args.remaining() == dsm_.geometry().page_size(),
+                "page grant payload is not exactly one page");
   dsm_.probe().mark(ctx.self, FaultStep::kPageReceived, dsm_.runtime().now());
   auto data = args.unpack_raw(dsm_.geometry().page_size());
   PageArrival arrival;
@@ -100,7 +120,7 @@ void DsmComm::serve_send_page(pm2::RpcContext& ctx, Unpacker& args) {
   arrival.from = ctx.src;
   arrival.node = ctx.self;
   arrival.ownership_transferred = wire.ownership != 0;
-  arrival.copyset = CopySet(wire.copyset_bits);
+  arrival.copyset = copyset;
   arrival.owner_hint = wire.owner_hint;
   arrival.data = data;
   dsm_.protocol_of(wire.page).receive_page_server(dsm_, arrival);
@@ -110,25 +130,43 @@ void DsmComm::invalidate(NodeId to, PageId page, NodeId new_owner) {
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
   Packer p;
-  p.pack(InvalidateWire{page, new_owner});
+  p.pack(InvalidateWire{page, new_owner, kInvalidNode});
   rt.rpc().call(to, svc_invalidate_, std::move(p));  // blocks for the ack
 }
 
-void DsmComm::invalidate_async(NodeId to, PageId page, NodeId new_owner) {
+void DsmComm::invalidate_async(NodeId to, PageId page, NodeId new_owner,
+                               NodeId ack_to) {
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
   Packer p;
-  p.pack(InvalidateWire{page, new_owner});
+  p.pack(InvalidateWire{page, new_owner, ack_to});
   rt.rpc().call_async(to, svc_invalidate_, std::move(p));
 }
 
 void DsmComm::serve_invalidate(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<InvalidateWire>();
+  check_wire_page(wire.page, "invalidation names a page outside the DSM space");
   dsm_.counters().inc(ctx.self, Counter::kInvalidationsServed);
   dsm_.charge(dsm_.costs().invalidate_serve);
   InvalidateRequest inv{wire.page, ctx.src, wire.new_owner, ctx.self};
   dsm_.protocol_of(wire.page).invalidate_server(dsm_, inv);
-  if (ctx.reply_token != 0) ctx.reply(Packer{});
+  // Every invalidation is acknowledged once the protocol action completed:
+  // either through the blocking call's reply channel or with an explicit ack
+  // to the initiator's collector (parallel fan-out).
+  if (ctx.reply_token != 0) {
+    ctx.reply(Packer{});
+  } else if (wire.ack_to != kInvalidNode) {
+    Packer ack;
+    ack.pack(InvalidateAckWire{wire.page});
+    dsm_.runtime().rpc().call_async(wire.ack_to, svc_invalidate_ack_, std::move(ack));
+  }
+}
+
+void DsmComm::serve_invalidate_ack(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<InvalidateAckWire>();
+  check_wire_page(wire.page, "invalidation ack names a page outside the DSM space");
+  dsm_.counters().inc(ctx.self, Counter::kInvalidationAcks);
+  dsm_.table(ctx.self).ack_invalidation(wire.page);
 }
 
 void DsmComm::send_diff(NodeId home, PageId page, const Diff& diff,
@@ -162,6 +200,15 @@ std::uint64_t DsmComm::remote_read_word(NodeId home, PageId page,
 
 void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<WordWire>();
+  // Wire-supplied geometry is validated before it touches the page store: a
+  // corrupt (or future, version-skewed) peer must fail loudly here, not index
+  // out of a frame.
+  check_wire_page(wire.page, "word read names a page outside the DSM space");
+  DSM_CHECK_MSG(wire.length > 0 && wire.length <= 8,
+                "word read length outside 1..8");
+  DSM_CHECK_MSG(std::uint64_t{wire.offset} + wire.length <=
+                    dsm_.geometry().page_size(),
+                "word read past the end of the page");
   // Inline (non-blocking) read of the home's current frame. The home's frame
   // is always the merged "main memory" for its pages.
   std::uint64_t value = 0;
@@ -173,8 +220,13 @@ void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
   ctx.reply(std::move(out));
 }
 
+void DsmComm::check_wire_page(PageId page, const char* what) const {
+  DSM_CHECK_MSG(page < dsm_.geometry().page_count(), what);
+}
+
 void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<DiffWire>();
+  check_wire_page(wire.page, "diff names a page outside the DSM space");
   const Diff diff = Diff::deserialize(args);
   dsm_.counters().inc(ctx.self, Counter::kDiffsApplied);
   DiffArrival arrival;

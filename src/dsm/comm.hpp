@@ -3,7 +3,7 @@
 // "This module is responsible for providing elementary communication
 // mechanisms, such as delivering requests for page copies, sending pages,
 // invalidating pages or sending diffs. [It] is implemented using PM2's RPC
-// mechanism" — and so is this one: four PM2 services, each dispatching into
+// mechanism" — and so is this one: six PM2 services, each dispatching into
 // the protocol actions of the page's protocol. Because the services ride on
 // Madeleine, the module is "portable across all communication interfaces
 // supported by Madeleine at no extra cost" (here: all drivers).
@@ -43,8 +43,10 @@ class DsmComm {
   /// write-invalidate protocols need the ack before granting write access).
   void invalidate(NodeId to, PageId page, NodeId new_owner);
 
-  /// Fire-and-forget variant used by release-time batch invalidation.
-  void invalidate_async(NodeId to, PageId page, NodeId new_owner);
+  /// Fire-and-forget invalidation used by the parallel fan-out round: the
+  /// server acks back to `ack_to`'s invalidation collector instead of
+  /// replying. Pass kInvalidNode to request no ack at all.
+  void invalidate_async(NodeId to, PageId page, NodeId new_owner, NodeId ack_to);
 
   /// Sends `diff` for `page` to its home; blocks until the home applied it.
   void send_diff(NodeId home, PageId page, const Diff& diff,
@@ -60,13 +62,18 @@ class DsmComm {
   void serve_page_request(pm2::RpcContext& ctx, Unpacker& args);
   void serve_send_page(pm2::RpcContext& ctx, Unpacker& args);
   void serve_invalidate(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_invalidate_ack(pm2::RpcContext& ctx, Unpacker& args);
   void serve_diff(pm2::RpcContext& ctx, Unpacker& args);
   void serve_word_read(pm2::RpcContext& ctx, Unpacker& args);
+
+  /// Server-side sanity check on a wire-supplied page id.
+  void check_wire_page(PageId page, const char* what) const;
 
   Dsm& dsm_;
   pm2::ServiceId svc_request_ = 0;
   pm2::ServiceId svc_page_ = 0;
   pm2::ServiceId svc_invalidate_ = 0;
+  pm2::ServiceId svc_invalidate_ack_ = 0;
   pm2::ServiceId svc_diff_ = 0;
   pm2::ServiceId svc_word_ = 0;
 };

@@ -55,6 +55,10 @@ struct DsmConfig {
   CostModel costs;
   /// Enable the per-fault step probe (used by the Table 3/4 benches).
   bool enable_fault_probe = false;
+  /// Invalidate copyset members concurrently (one fan-out round, ack-counted)
+  /// instead of one blocking round trip per member. Off reproduces the
+  /// historical sequential behaviour — the bench_scale_invalidation baseline.
+  bool parallel_invalidate = true;
 };
 
 }  // namespace dsmpm2::dsm

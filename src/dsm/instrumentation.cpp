@@ -13,6 +13,7 @@ const char* counter_name(Counter c) {
     case Counter::kPagesSent: return "pages_sent";
     case Counter::kInvalidationsSent: return "invalidations_sent";
     case Counter::kInvalidationsServed: return "invalidations_served";
+    case Counter::kInvalidationAcks: return "invalidation_acks";
     case Counter::kDiffsSent: return "diffs_sent";
     case Counter::kDiffBytesSent: return "diff_bytes_sent";
     case Counter::kDiffsApplied: return "diffs_applied";

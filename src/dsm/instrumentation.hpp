@@ -30,6 +30,7 @@ enum class Counter : int {
   kPagesSent,
   kInvalidationsSent,
   kInvalidationsServed,
+  kInvalidationAcks,
   kDiffsSent,
   kDiffBytesSent,
   kDiffsApplied,

@@ -47,4 +47,29 @@ void PageTable::end_transition(PageId page) {
   s.cond.broadcast();
 }
 
+void PageTable::begin_invalidation_round(PageId page, int acks) {
+  PageSync& s = sync(page);
+  DSM_CHECK(s.mutex.locked_by_me());
+  DSM_CHECK(acks > 0);
+  while (s.round_active) s.cond.wait(s.mutex);
+  s.round_active = true;
+  s.acks_pending = acks;
+}
+
+void PageTable::wait_invalidation_round(PageId page) {
+  PageSync& s = sync(page);
+  DSM_CHECK(s.mutex.locked_by_me());
+  DSM_CHECK(s.round_active);
+  while (s.acks_pending > 0) s.cond.wait(s.mutex);
+  s.round_active = false;
+  s.cond.broadcast();  // admit the next round (and any transition waiters)
+}
+
+void PageTable::ack_invalidation(PageId page) {
+  PageSync& s = sync(page);
+  DSM_CHECK_MSG(s.round_active && s.acks_pending > 0,
+                "invalidation ack with no round in flight");
+  if (--s.acks_pending == 0) s.cond.broadcast();
+}
+
 }  // namespace dsmpm2::dsm

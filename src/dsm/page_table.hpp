@@ -83,10 +83,28 @@ class PageTable {
   /// Clears in_transition and wakes waiters. Caller must hold the page mutex.
   void end_transition(PageId page);
 
+  // ---- invalidation-round ack collection (parallel fan-out) ----
+  // One round per page at a time: the initiator fires invalidate_async at
+  // every copyset member, then blocks once until every ack came back —
+  // round-trip depth 1 instead of one blocking round-trip per member.
+
+  /// Opens a round expecting `acks` acknowledgements; blocks while another
+  /// round for this page is in flight. Caller must hold the page mutex.
+  void begin_invalidation_round(PageId page, int acks);
+  /// Blocks until every ack of the open round arrived, then closes the
+  /// round. Caller must hold the page mutex.
+  void wait_invalidation_round(PageId page);
+  /// Records one ack and wakes the collector when it was the last. Safe from
+  /// event (delivery) context — touches no mutex.
+  void ack_invalidation(PageId page);
+
  private:
   struct PageSync {
     marcel::Mutex mutex;
     marcel::CondVar cond;
+    /// Ack accounting for the page's in-flight invalidation round.
+    bool round_active = false;
+    int acks_pending = 0;
     explicit PageSync(sim::Scheduler& sched) : mutex(sched), cond(sched) {}
   };
 

@@ -11,8 +11,10 @@ ProtocolId ProtocolRegistry::create(Protocol p) {
                     p.write_server && p.invalidate_server && p.receive_page_server &&
                     p.lock_acquire && p.lock_release,
                 "a protocol must provide all 8 actions (Table 1)");
+  const auto id = static_cast<ProtocolId>(protocols_.size());
+  by_name_.emplace(p.name, id);
   protocols_.push_back(std::move(p));
-  return static_cast<ProtocolId>(protocols_.size() - 1);
+  return id;
 }
 
 const Protocol& ProtocolRegistry::get(ProtocolId id) const {
@@ -21,10 +23,8 @@ const Protocol& ProtocolRegistry::get(ProtocolId id) const {
 }
 
 ProtocolId ProtocolRegistry::find(std::string_view name) const {
-  for (std::size_t i = 0; i < protocols_.size(); ++i) {
-    if (protocols_[i].name == name) return static_cast<ProtocolId>(i);
-  }
-  return kInvalidProtocol;
+  const auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : kInvalidProtocol;
 }
 
 void protocol_action_unused(Dsm&, const PageRequest&) {

@@ -22,6 +22,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/copyset.hpp"
@@ -132,12 +133,23 @@ class ProtocolRegistry {
   ProtocolId create(Protocol p);
 
   [[nodiscard]] const Protocol& get(ProtocolId id) const;
-  /// Identifier for `name`, or kInvalidProtocol.
+  /// Identifier for `name`, or kInvalidProtocol. O(1): protocols are looked
+  /// up by name on hot paths (the release sweeps of erc_sw/hbrc_mw resolve
+  /// their own id per release), so this is a hash lookup, not a scan.
   [[nodiscard]] ProtocolId find(std::string_view name) const;
   [[nodiscard]] int count() const { return static_cast<int>(protocols_.size()); }
 
  private:
+  // Heterogeneous hashing so find(string_view) never materializes a string.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<Protocol> protocols_;
+  std::unordered_map<std::string, ProtocolId, NameHash, std::equal_to<>> by_name_;
 };
 
 /// A no-op action usable for protocols that never receive a given event

@@ -1,6 +1,7 @@
 #include "dsm/protocol_lib.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -157,10 +158,7 @@ void receive_page_dynamic(Dsm& dsm, const PageArrival& arrival,
   e.access = Access::kWrite;
   e.dirty = true;
   auto& rc = dsm.proto_state<MrswRcState>(e.protocol, arrival.node);
-  if (std::find(rc.pending_invalidate.begin(), rc.pending_invalidate.end(),
-                arrival.page) == rc.pending_invalidate.end()) {
-    rc.pending_invalidate.push_back(arrival.page);
-  }
+  rc.pending_invalidate.insert(arrival.page);
   tbl.end_transition(arrival.page);
 }
 
@@ -215,10 +213,7 @@ bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
   } else {
     e.dirty = true;
     auto& rc = dsm.proto_state<MrswRcState>(e.protocol, ctx.node);
-    if (std::find(rc.pending_invalidate.begin(), rc.pending_invalidate.end(),
-                  ctx.page) == rc.pending_invalidate.end()) {
-      rc.pending_invalidate.push_back(ctx.page);
-    }
+    rc.pending_invalidate.insert(ctx.page);
   }
   e.access = Access::kWrite;
   tbl.end_transition(ctx.page);
@@ -227,8 +222,7 @@ bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
 
 void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
   auto& rc = dsm.proto_state<MrswRcState>(protocol, node);
-  std::vector<PageId> pages;
-  pages.swap(rc.pending_invalidate);
+  const std::vector<PageId> pages = rc.pending_invalidate.take();
   auto& tbl = dsm.table(node);
   for (const PageId page : pages) {
     CopySet cs;
@@ -320,17 +314,13 @@ bool upgrade_home_write(Dsm& dsm, const FaultContext& ctx) {
   e.access = Access::kWrite;
   e.dirty = true;
   auto& rc = dsm.proto_state<HomeRcState>(e.protocol, ctx.node);
-  if (std::find(rc.home_dirty.begin(), rc.home_dirty.end(), ctx.page) ==
-      rc.home_dirty.end()) {
-    rc.home_dirty.push_back(ctx.page);
-  }
+  rc.home_dirty.insert(ctx.page);
   return true;
 }
 
 void release_home_dirty(Dsm& dsm, ProtocolId protocol, NodeId node) {
   auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
-  std::vector<PageId> pages;
-  pages.swap(rc.home_dirty);
+  const std::vector<PageId> pages = rc.home_dirty.take();
   auto& tbl = dsm.table(node);
   for (const PageId page : pages) {
     CopySet cs;
@@ -363,10 +353,7 @@ void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write)
     e.has_twin = true;
     e.dirty = true;
     auto& rc = dsm.proto_state<HomeRcState>(e.protocol, arrival.node);
-    if (std::find(rc.twinned.begin(), rc.twinned.end(), arrival.page) ==
-        rc.twinned.end()) {
-      rc.twinned.push_back(arrival.page);
-    }
+    rc.twinned.insert(arrival.page);
   }
   tbl.end_transition(arrival.page);
 }
@@ -389,10 +376,7 @@ void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx) {
   e.dirty = true;
   e.access = Access::kWrite;
   auto& rc = dsm.proto_state<HomeRcState>(e.protocol, ctx.node);
-  if (std::find(rc.twinned.begin(), rc.twinned.end(), ctx.page) ==
-      rc.twinned.end()) {
-    rc.twinned.push_back(ctx.page);
-  }
+  rc.twinned.insert(ctx.page);
 }
 
 void flush_one_twin_diff(Dsm& dsm, PageId page, NodeId node,
@@ -426,8 +410,7 @@ void flush_one_twin_diff(Dsm& dsm, PageId page, NodeId node,
 void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
                       bool response_to_invalidation) {
   auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
-  std::vector<PageId> pages;
-  pages.swap(rc.twinned);
+  const std::vector<PageId> pages = rc.twinned.take();
   for (const PageId page : pages) {
     flush_one_twin_diff(dsm, page, node, response_to_invalidation);
   }
@@ -477,7 +460,7 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
       dsm.store(inv.node).drop_twin(inv.page);
       e.has_twin = false;
       auto& rc = dsm.proto_state<HomeRcState>(e.protocol, inv.node);
-      std::erase(rc.twinned, inv.page);
+      rc.twinned.erase(inv.page);
     }
     e.access = Access::kNone;
     e.dirty = false;
@@ -499,10 +482,35 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
 
 void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
                         NodeId new_owner, NodeId skip) {
-  copyset.for_each([&](NodeId member) {
-    if (member == skip) return;
-    dsm.comm().invalidate(member, page, new_owner);
+  CopySet targets = copyset;
+  if (skip != kInvalidNode) targets.erase(skip);
+  const int count = targets.size();
+  if (count == 0) return;
+
+  if (!dsm.config().parallel_invalidate) {
+    // Sequential baseline: one blocking round trip per member.
+    targets.for_each(
+        [&](NodeId member) { dsm.comm().invalidate(member, page, new_owner); });
+    return;
+  }
+
+  // Parallel fan-out: open an ack-counting round on this page, fire all
+  // invalidations without waiting, then block once until the last ack. Rounds
+  // for one page are serialized by the collector; different pages (and other
+  // nodes' rounds) overlap freely.
+  const NodeId self = dsm.self();
+  auto& tbl = dsm.table(self);
+  {
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.begin_invalidation_round(page, count);
+  }
+  targets.for_each([&](NodeId member) {
+    dsm.comm().invalidate_async(member, page, new_owner, /*ack_to=*/self);
   });
+  {
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.wait_invalidation_round(page);
+  }
 }
 
 void sync_noop(Dsm&, const SyncContext&) {}

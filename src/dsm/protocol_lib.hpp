@@ -12,8 +12,7 @@
 // "Building protocols using library routines").
 #pragma once
 
-#include <vector>
-
+#include "common/flat_set.hpp"
 #include "common/ids.hpp"
 #include "dsm/protocol.hpp"
 
@@ -21,12 +20,14 @@ namespace dsmpm2::dsm::lib {
 
 // ---------------------------------------------------------------------------
 // Shared per-node protocol state used by the release-consistency protocols.
+// The page lists are deduplicating flat sets: a page floods its entry once
+// per critical section no matter how many write faults hit it.
 // ---------------------------------------------------------------------------
 
 /// MRSW + eager release consistency: pages we own and wrote since the last
 /// release; their copysets are invalidated at lock release.
 struct MrswRcState : ProtocolState {
-  std::vector<PageId> pending_invalidate;
+  FlatSet<PageId> pending_invalidate;
 };
 
 /// Home-based multiple-writer state: non-home pages with a live twin whose
@@ -34,8 +35,8 @@ struct MrswRcState : ProtocolState {
 /// while replicas were outstanding (their copysets are invalidated at
 /// release — the home-as-writer side of the protocol).
 struct HomeRcState : ProtocolState {
-  std::vector<PageId> twinned;
-  std::vector<PageId> home_dirty;
+  FlatSet<PageId> twinned;
+  FlatSet<PageId> home_dirty;
 };
 
 // ---------------------------------------------------------------------------
@@ -142,7 +143,12 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv);
 // Small helpers
 // ---------------------------------------------------------------------------
 
-/// Synchronously invalidates every member of `copyset` except `skip`.
+/// Invalidates every member of `copyset` except `skip` and returns once all
+/// of them acknowledged. With DsmConfig::parallel_invalidate (the default)
+/// the invalidations fan out concurrently and the calling thread blocks a
+/// single time on the page's ack collector — round-trip depth 1 instead of
+/// O(|copyset|); otherwise members are invalidated one blocking round trip
+/// at a time (the historical behaviour, kept as a measurable baseline).
 void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
                         NodeId new_owner, NodeId skip);
 

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace dsmpm2 {
 namespace {
 
@@ -55,6 +57,33 @@ TEST(CopySet, UnionMerges) {
   EXPECT_TRUE(a.contains(63));
 }
 
+TEST(CopySet, HoldsNodesBeyondOneWord) {
+  // The multi-word generalization: members across all four words.
+  CopySet cs;
+  for (NodeId n : {NodeId{0}, NodeId{63}, NodeId{64}, NodeId{127}, NodeId{128},
+                   NodeId{200}, NodeId{255}}) {
+    cs.insert(n);
+  }
+  EXPECT_EQ(cs.size(), 7);
+  EXPECT_TRUE(cs.contains(64));
+  EXPECT_TRUE(cs.contains(255));
+  EXPECT_FALSE(cs.contains(129));
+  cs.erase(128);
+  EXPECT_FALSE(cs.contains(128));
+  EXPECT_EQ(cs.size(), 6);
+}
+
+TEST(CopySet, ForEachCrossesWordBoundariesInOrder) {
+  CopySet cs;
+  cs.insert(250);
+  cs.insert(3);
+  cs.insert(64);
+  cs.insert(130);
+  std::vector<NodeId> seen;
+  cs.for_each([&](NodeId n) { seen.push_back(n); });
+  EXPECT_EQ(seen, (std::vector<NodeId>{3, 64, 130, 250}));
+}
+
 TEST(CopySet, ForEachVisitsInOrder) {
   CopySet cs;
   cs.insert(40);
@@ -65,12 +94,49 @@ TEST(CopySet, ForEachVisitsInOrder) {
   EXPECT_EQ(seen, (std::vector<NodeId>{1, 12, 40}));
 }
 
-TEST(CopySet, BitsRoundTrip) {
+TEST(CopySet, SerializeRoundTrip) {
   CopySet cs;
   cs.insert(7);
   cs.insert(63);
-  CopySet back(cs.bits());
+  cs.insert(201);
+  Packer p;
+  cs.serialize(p);
+  Unpacker u(p.buffer());
+  const CopySet back = CopySet::deserialize(u);
   EXPECT_EQ(back, cs);
+  EXPECT_TRUE(u.done());
+}
+
+TEST(CopySet, SerializationIsLengthPrefixed) {
+  // An empty set costs one byte; a low-node set one word; only sets past
+  // node 63 pay for more words.
+  Packer empty;
+  CopySet{}.serialize(empty);
+  EXPECT_EQ(empty.size(), 1u);
+
+  CopySet low;
+  low.insert(5);
+  Packer one_word;
+  low.serialize(one_word);
+  EXPECT_EQ(one_word.size(), 1u + 8u);
+
+  CopySet high;
+  high.insert(5);
+  high.insert(255);
+  Packer four_words;
+  high.serialize(four_words);
+  EXPECT_EQ(four_words.size(), 1u + 4u * 8u);
+}
+
+TEST(CopySetDeath, DeserializeRejectsOversizedWordCount) {
+  Packer p;
+  p.pack(std::uint8_t{CopySet::kWords + 1});
+  EXPECT_DEATH(
+      {
+        Unpacker u(p.buffer());
+        (void)CopySet::deserialize(u);
+      },
+      "DSM_CHECK");
 }
 
 TEST(CopySet, ClearEmpties) {
@@ -82,7 +148,7 @@ TEST(CopySet, ClearEmpties) {
 
 TEST(CopySetDeath, OutOfRangeAborts) {
   CopySet cs;
-  EXPECT_DEATH(cs.insert(64), "DSM_CHECK");
+  EXPECT_DEATH(cs.insert(CopySet::kMaxNodes), "DSM_CHECK");
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+// FlatSet: the sorted-vector set backing the release-consistency protocols'
+// per-release page lists (pending_invalidate / twinned / home_dirty).
+#include "common/flat_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+
+namespace dsmpm2 {
+namespace {
+
+TEST(FlatSet, InsertDeduplicates) {
+  FlatSet<PageId> s;
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(FlatSet, EraseReportsPresence) {
+  FlatSet<PageId> s;
+  s.insert(1);
+  s.insert(2);
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatSet, IterationAndTakeAreSorted) {
+  FlatSet<PageId> s;
+  for (PageId p : {PageId{9}, PageId{1}, PageId{5}, PageId{1}, PageId{9}}) {
+    s.insert(p);
+  }
+  const std::vector<PageId> in_order(s.begin(), s.end());
+  EXPECT_EQ(in_order, (std::vector<PageId>{1, 5, 9}));
+  const std::vector<PageId> drained = s.take();
+  EXPECT_EQ(drained, in_order);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.take(), std::vector<PageId>{});  // draining empty is a no-op
+}
+
+// The hot-path shape: the same page floods its entry once per critical
+// section no matter how many write faults record it.
+TEST(FlatSet, FloodingOneKeyKeepsOneEntry) {
+  FlatSet<PageId> s;
+  int inserted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (s.insert(42)) ++inserted;
+  }
+  EXPECT_EQ(inserted, 1);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.take(), std::vector<PageId>{42});
+}
+
+TEST(FlatSet, RandomizedMatchesReferenceSet) {
+  Rng rng(2026);
+  FlatSet<PageId> s;
+  std::vector<PageId> ref;  // sorted unique reference
+  for (int op = 0; op < 2000; ++op) {
+    const PageId key = static_cast<PageId>(rng.next_below(64));
+    const auto it = std::lower_bound(ref.begin(), ref.end(), key);
+    const bool present = it != ref.end() && *it == key;
+    if (rng.next_below(2) == 0) {
+      EXPECT_EQ(s.insert(key), !present);
+      if (!present) ref.insert(it, key);
+    } else {
+      EXPECT_EQ(s.erase(key), present);
+      if (present) ref.erase(it);
+    }
+    EXPECT_EQ(s.size(), ref.size());
+  }
+  EXPECT_EQ(std::vector<PageId>(s.begin(), s.end()), ref);
+}
+
+}  // namespace
+}  // namespace dsmpm2

@@ -138,5 +138,28 @@ TEST(CustomProtocolDeath, DuplicateNameRejected) {
   EXPECT_DEATH(fx.dsm.create_protocol(std::move(p)), "duplicate");
 }
 
+TEST(CustomProtocolDeath, RegistryLookupStaysConsistentAtScale) {
+  // Regression for the map-backed registry: find() must keep returning the
+  // id create() handed out for every protocol ever registered, and duplicate
+  // rejection must still hold for names added through the map (not only the
+  // built-ins the old linear scan walked).
+  DsmFixture fx(2);
+  int calls = 0;
+  std::vector<ProtocolId> ids;
+  for (int i = 0; i < 32; ++i) {
+    Protocol p = make_counting_migrator(&calls);
+    p.name = "user_proto_" + std::to_string(i);
+    ids.push_back(fx.dsm.create_protocol(std::move(p)));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fx.dsm.protocol_by_name("user_proto_" + std::to_string(i)),
+              ids[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(fx.dsm.protocol_by_name("user_proto_999"), kInvalidProtocol);
+  Protocol dup = make_counting_migrator(&calls);
+  dup.name = "user_proto_17";
+  EXPECT_DEATH(fx.dsm.create_protocol(std::move(dup)), "duplicate");
+}
+
 }  // namespace
 }  // namespace dsmpm2::dsm

@@ -1,0 +1,217 @@
+// The parallel invalidation fan-out (ack-counted rounds) and the >64-node
+// CopySet, exercised end to end: a 128-node cluster whose copyset spans more
+// than one 64-bit word, readers faulting while an invalidation round for the
+// same page is in flight, and the flat-set dedup of the release-consistency
+// pending lists under a write-fault flood.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsm/protocol_lib.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+// Every invalidation fired through the parallel fan-out must come back as
+// exactly one ack, and every one must have been served.
+void expect_ack_accounting(Dsm& dsm) {
+  const auto sent = dsm.counters().total(Counter::kInvalidationsSent);
+  EXPECT_EQ(dsm.counters().total(Counter::kInvalidationsServed), sent);
+  EXPECT_EQ(dsm.counters().total(Counter::kInvalidationAcks), sent);
+}
+
+// A 128-node cluster: 127 readers replicate one page (a copyset that does
+// not fit the old single-word wire format), then the owner's write runs one
+// invalidation round over all of them — no stale copy may survive.
+TEST(InvalidationFanout, OneHundredTwentyEightNodeCopysetBeyondOneWord) {
+  constexpr int kNodes = 128;
+  DsmFixture fx(kNodes);
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long));
+  const PageId page = fx.dsm.geometry().page_of(x);
+  fx.run([&] {
+    fx.dsm.write<long>(x, 1);
+    std::vector<marcel::Thread*> ws;
+    for (NodeId n = 1; n < kNodes; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "reader", [&] {
+        EXPECT_EQ(fx.dsm.read<long>(x), 1);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+    EXPECT_EQ(fx.dsm.table(0).entry(page).copyset.size(), kNodes - 1);
+
+    fx.dsm.write<long>(x, 2);  // invalidates all 127 replicas in one round
+
+    ws.clear();
+    for (NodeId n = 1; n < kNodes; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "recheck", [&] {
+        EXPECT_EQ(fx.dsm.read<long>(x), 2);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kInvalidationsSent), 127u);
+  expect_ack_accounting(fx.dsm);
+}
+
+struct Param {
+  const char* protocol;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(info.param.protocol) + "_s" + std::to_string(info.param.seed);
+}
+
+class FanoutRaceTest : public ::testing::TestWithParam<Param> {};
+
+// Readers fault on the page while invalidation rounds for that page are in
+// flight: unsynchronized reads keep replication traffic racing the rounds,
+// and the lock-protected reads must serialize against them — per reader the
+// observed value never goes backward, and once the writer is done no stale
+// copy survives anywhere.
+TEST_P(FanoutRaceTest, ReaderFaultingDuringRoundSerializes) {
+  const auto [proto, seed] = GetParam();
+  constexpr int kNodes = 8;
+  constexpr long kWrites = 16;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), DsmConfig{}, seed,
+                sim::SchedPolicy::kRandom);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.protocol_by_name(proto);
+  ASSERT_NE(attr.protocol, kInvalidProtocol);
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(attr.protocol);
+  int went_backward = 0;
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    // The writer lives off the home/allocating node so pages (and for the
+    // dynamic protocols, ownership) must move to it.
+    ws.push_back(&fx.rt.spawn_on(1, "writer", [&] {
+      for (long v = 1; v <= kWrites; ++v) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(x, v);
+        fx.dsm.lock_release(lock);  // erc/hbrc push their round here
+      }
+    }));
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "reader", [&] {
+        long last = 0;
+        for (int i = 0; i < 12; ++i) {
+          (void)fx.dsm.read<long>(x);  // unsynchronized: races the rounds
+          fx.dsm.lock_acquire(lock);
+          const long v = fx.dsm.read<long>(x);
+          fx.dsm.lock_release(lock);
+          if (v < last) ++went_backward;
+          last = v;
+        }
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+    // The writer finished and every round completed: the final value must be
+    // visible from every node, stale copies must all be gone.
+    ws.clear();
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "final", [&] {
+        fx.dsm.lock_acquire(lock);
+        EXPECT_EQ(fx.dsm.read<long>(x), kWrites);
+        fx.dsm.lock_release(lock);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  EXPECT_EQ(went_backward, 0) << "a stale copy survived an invalidation round";
+  expect_ack_accounting(fx.dsm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, FanoutRaceTest,
+    ::testing::Values(Param{"li_hudak", 1}, Param{"li_hudak", 7},
+                      Param{"erc_sw", 1}, Param{"erc_sw", 7},
+                      Param{"hbrc_mw", 1}, Param{"hbrc_mw", 7}),
+    param_name);
+
+// Flooding one page with repeated write faults inside a single critical
+// section: the erc_sw pending-invalidate list must stay deduplicated (one
+// entry, drained exactly once at release) no matter how often ownership
+// ping-pongs back.
+TEST(InvalidationFanout, WriteFaultFloodDedupsPendingInvalidate) {
+  constexpr int kRounds = 8;
+  DsmFixture fx(2);
+  const ProtocolId erc = fx.dsm.protocol_by_name("erc_sw");
+  AllocAttr attr;
+  attr.protocol = erc;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(erc);
+  fx.run([&] {
+    fx.dsm.lock_acquire(lock);
+    for (long i = 1; i <= kRounds; ++i) {
+      // An unsynchronized peer write steals ownership (RC permits it)...
+      auto& peer = fx.rt.spawn_on(1, "peer", [&, i] {
+        fx.dsm.write<long>(x, 1000 + i);
+      });
+      fx.rt.threads().join(peer);
+      // ...so this write faults again and re-records the page. The flat set
+      // must keep exactly one entry however often that repeats.
+      fx.dsm.write<long>(x, i);
+      auto& rc = fx.dsm.proto_state<lib::MrswRcState>(erc, 0);
+      EXPECT_EQ(rc.pending_invalidate.size(), 1u);
+      EXPECT_TRUE(rc.pending_invalidate.contains(fx.dsm.geometry().page_of(x)));
+    }
+    fx.dsm.lock_release(lock);
+    EXPECT_TRUE(fx.dsm.proto_state<lib::MrswRcState>(erc, 0).pending_invalidate.empty());
+    // The release drained the list: the peer must now see the final value.
+    auto& check = fx.rt.spawn_on(1, "check", [&] {
+      fx.dsm.lock_acquire(lock);
+      EXPECT_EQ(fx.dsm.read<long>(x), kRounds);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(check);
+  });
+  EXPECT_GE(fx.dsm.counters().get(0, Counter::kWriteFaults), 8u);
+  expect_ack_accounting(fx.dsm);
+}
+
+// The sequential baseline (parallel_invalidate off) must stay semantically
+// identical — only slower. Same workload, same final state, more simulated
+// time than the fan-out on a wide copyset.
+TEST(InvalidationFanout, SequentialBaselineMatchesSemantics) {
+  constexpr int kNodes = 24;
+  auto run_once = [](bool parallel) {
+    DsmConfig cfg;
+    cfg.parallel_invalidate = parallel;
+    DsmFixture fx(kNodes, madeleine::bip_myrinet(), cfg);
+    const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long));
+    long final_value = 0;
+    const auto stats = fx.run([&] {
+      fx.dsm.write<long>(x, 1);
+      std::vector<marcel::Thread*> ws;
+      for (NodeId n = 1; n < kNodes; ++n) {
+        ws.push_back(&fx.rt.spawn_on(n, "reader", [&] {
+          (void)fx.dsm.read<long>(x);
+        }));
+      }
+      for (auto* w : ws) fx.rt.threads().join(*w);
+      fx.dsm.write<long>(x, 2);
+      final_value = fx.dsm.read<long>(x);
+    });
+    EXPECT_EQ(fx.dsm.counters().total(Counter::kInvalidationsSent),
+              static_cast<std::uint64_t>(kNodes - 1));
+    if (parallel) {
+      EXPECT_EQ(fx.dsm.counters().total(Counter::kInvalidationAcks),
+                static_cast<std::uint64_t>(kNodes - 1));
+    } else {
+      EXPECT_EQ(fx.dsm.counters().total(Counter::kInvalidationAcks), 0u);
+    }
+    EXPECT_EQ(final_value, 2);
+    return stats.end_time;
+  };
+  const SimTime parallel_time = run_once(true);
+  const SimTime sequential_time = run_once(false);
+  EXPECT_LT(parallel_time, sequential_time)
+      << "the fan-out should beat one blocking round trip per member";
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm
