@@ -1,0 +1,30 @@
+#include "dsm/ack_collector.hpp"
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+void AckCollector::begin(int expected) {
+  DSM_CHECK(expected > 0);
+  marcel::MutexLock l(mutex_);
+  while (active_) cond_.wait(mutex_);
+  active_ = true;
+  pending_ = expected;
+}
+
+void AckCollector::wait() {
+  marcel::MutexLock l(mutex_);
+  DSM_CHECK_MSG(active_, "wait() with no round open");
+  while (pending_ > 0) cond_.wait(mutex_);
+  active_ = false;
+  cond_.broadcast();  // admit the next round
+}
+
+void AckCollector::ack() {
+  // Event-context safe: the counter mutation needs no fiber mutex (the
+  // simulator is cooperatively scheduled) and broadcast() never blocks.
+  DSM_CHECK_MSG(active_ && pending_ > 0, "ack with no round in flight");
+  if (--pending_ == 0) cond_.broadcast();
+}
+
+}  // namespace dsmpm2::dsm

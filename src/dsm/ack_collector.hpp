@@ -1,0 +1,56 @@
+// AckCollector: the one-block fan-out primitive of the DSM core.
+//
+// An initiator opens a round declaring how many acknowledgements it expects,
+// fires any number of asynchronous requests, and blocks exactly once until
+// the last ack arrived — round-trip depth 1 instead of one blocking round
+// trip per peer. PR 2 introduced this shape for per-page invalidation
+// rounds; it is now a standalone, reusable collector shared by every
+// fan-out in the DSM core:
+//
+//   * per-page invalidation rounds (`PageTable::ack_collector(page)`,
+//     used by `lib::invalidate_copyset`);
+//   * release-scoped rounds spanning many pages/homes
+//     (`PageTable::release_collector()`, used by the batched diff flush and
+//     the release-time invalidation sweeps).
+//
+// Rounds on one collector serialize: begin() waits while another round is in
+// flight. Rounds on different collectors (different pages, different nodes)
+// overlap freely. ack() is callable from event (delivery) context — it never
+// blocks, it only counts and wakes the collector.
+#pragma once
+
+#include "marcel/sync.hpp"
+#include "sim/scheduler.hpp"
+
+namespace dsmpm2::dsm {
+
+class AckCollector {
+ public:
+  explicit AckCollector(sim::Scheduler& sched) : mutex_(sched), cond_(sched) {}
+
+  AckCollector(const AckCollector&) = delete;
+  AckCollector& operator=(const AckCollector&) = delete;
+
+  /// Opens a round expecting `expected` acks (> 0). Blocks (fiber context)
+  /// while another round on this collector is in flight.
+  void begin(int expected);
+
+  /// Blocks (fiber context) until every ack of the open round arrived, then
+  /// closes the round and admits the next one.
+  void wait();
+
+  /// Records one ack and wakes the waiter when it was the last. Safe from
+  /// event (delivery) context — never blocks.
+  void ack();
+
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] int pending() const { return pending_; }
+
+ private:
+  marcel::Mutex mutex_;
+  marcel::CondVar cond_;
+  bool active_ = false;
+  int pending_ = 0;
+};
+
+}  // namespace dsmpm2::dsm

@@ -27,16 +27,31 @@ struct PageWire {
 struct InvalidateWire {
   PageId page;
   NodeId new_owner;
-  NodeId ack_to;  ///< collector to ack (kInvalidNode: reply/no-ack instead)
+  NodeId ack_to;  ///< collector node to ack (kInvalidNode: reply/no-ack instead)
+  /// Nonzero: ack the node-level release collector (the round spans many
+  /// pages); zero: ack the page's own collector.
+  std::uint8_t ack_release;
 };
 
-struct InvalidateAckWire {
-  PageId page;
+/// The unified completion ack feeding the ack collectors: what kind of
+/// fan-out completed and which collector on the receiving node it ticks.
+struct AckWire {
+  enum Kind : std::uint8_t { kInvalidation = 0, kDiffBatch = 1 };
+  std::uint8_t kind;
+  std::uint8_t to_release;  ///< nonzero: release collector; else page collector
+  PageId page;              ///< the page acted on (collector key + stats)
 };
 
 struct DiffWire {
   PageId page;
   std::uint8_t response_to_invalidation;
+};
+
+/// Head fragment of a batched diff message; each of the `count` gather
+/// fragments that follow carries one PageId plus one serialized Diff.
+struct DiffBatchWire {
+  std::uint32_t count;
+  NodeId ack_to;  ///< release collector to ack once done (kInvalidNode: none)
 };
 
 }  // namespace
@@ -54,12 +69,15 @@ DsmComm::DsmComm(Dsm& dsm) : dsm_(dsm) {
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_invalidate(ctx, args); });
   // Acks run inline: they only tick the initiator's collector and wake it,
   // which is safe in delivery context (like the RPC reply service).
-  svc_invalidate_ack_ = rpc.register_service(
-      "dsm.invalidate_ack", pm2::Dispatch::kInline,
-      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_invalidate_ack(ctx, args); });
+  svc_ack_ = rpc.register_service(
+      "dsm.ack", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_ack(ctx, args); });
   svc_diff_ = rpc.register_service(
       "dsm.diff", pm2::Dispatch::kThread,
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_diff(ctx, args); });
+  svc_diff_batch_ = rpc.register_service(
+      "dsm.diff_batch", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_diff_batch(ctx, args); });
   svc_word_ = rpc.register_service(
       "dsm.word_read", pm2::Dispatch::kInline,
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_word_read(ctx, args); });
@@ -130,43 +148,63 @@ void DsmComm::invalidate(NodeId to, PageId page, NodeId new_owner) {
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
   Packer p;
-  p.pack(InvalidateWire{page, new_owner, kInvalidNode});
+  p.pack(InvalidateWire{page, new_owner, kInvalidNode, 0});
   rt.rpc().call(to, svc_invalidate_, std::move(p));  // blocks for the ack
 }
 
 void DsmComm::invalidate_async(NodeId to, PageId page, NodeId new_owner,
-                               NodeId ack_to) {
+                               NodeId ack_to, bool ack_to_release_collector) {
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
   Packer p;
-  p.pack(InvalidateWire{page, new_owner, ack_to});
+  p.pack(InvalidateWire{page, new_owner, ack_to,
+                        ack_to_release_collector ? std::uint8_t{1} : std::uint8_t{0}});
   rt.rpc().call_async(to, svc_invalidate_, std::move(p));
 }
 
 void DsmComm::serve_invalidate(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<InvalidateWire>();
   check_wire_page(wire.page, "invalidation names a page outside the DSM space");
+  DSM_CHECK_MSG(wire.ack_to == kInvalidNode ||
+                    wire.ack_to < static_cast<NodeId>(dsm_.node_count()),
+                "invalidation names an ack target outside the cluster");
   dsm_.counters().inc(ctx.self, Counter::kInvalidationsServed);
   dsm_.charge(dsm_.costs().invalidate_serve);
   InvalidateRequest inv{wire.page, ctx.src, wire.new_owner, ctx.self};
   dsm_.protocol_of(wire.page).invalidate_server(dsm_, inv);
   // Every invalidation is acknowledged once the protocol action completed:
   // either through the blocking call's reply channel or with an explicit ack
-  // to the initiator's collector (parallel fan-out).
+  // to a collector on the initiator (fan-out rounds).
   if (ctx.reply_token != 0) {
     ctx.reply(Packer{});
   } else if (wire.ack_to != kInvalidNode) {
     Packer ack;
-    ack.pack(InvalidateAckWire{wire.page});
-    dsm_.runtime().rpc().call_async(wire.ack_to, svc_invalidate_ack_, std::move(ack));
+    ack.pack(AckWire{AckWire::kInvalidation, wire.ack_release, wire.page});
+    dsm_.runtime().rpc().call_async(wire.ack_to, svc_ack_, std::move(ack));
   }
 }
 
-void DsmComm::serve_invalidate_ack(pm2::RpcContext& ctx, Unpacker& args) {
-  const auto wire = args.unpack<InvalidateAckWire>();
-  check_wire_page(wire.page, "invalidation ack names a page outside the DSM space");
-  dsm_.counters().inc(ctx.self, Counter::kInvalidationAcks);
-  dsm_.table(ctx.self).ack_invalidation(wire.page);
+void DsmComm::serve_ack(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<AckWire>();
+  check_wire_page(wire.page, "completion ack names a page outside the DSM space");
+  auto& tbl = dsm_.table(ctx.self);
+  switch (wire.kind) {
+    case AckWire::kInvalidation:
+      dsm_.counters().inc(ctx.self, Counter::kInvalidationAcks);
+      break;
+    case AckWire::kDiffBatch:
+      dsm_.counters().inc(ctx.self, Counter::kDiffBatchAcks);
+      DSM_CHECK_MSG(wire.to_release != 0,
+                    "diff-batch ack must target the release collector");
+      break;
+    default:
+      DSM_CHECK_MSG(false, "completion ack of unknown kind");
+  }
+  if (wire.to_release != 0) {
+    tbl.release_collector().ack();
+  } else {
+    tbl.ack_collector(wire.page).ack();
+  }
 }
 
 void DsmComm::send_diff(NodeId home, PageId page, const Diff& diff,
@@ -179,6 +217,30 @@ void DsmComm::send_diff(NodeId home, PageId page, const Diff& diff,
   p.pack(DiffWire{page, response_to_invalidation ? std::uint8_t{1} : std::uint8_t{0}});
   diff.serialize(p);
   rt.rpc().call(home, svc_diff_, std::move(p), madeleine::MsgKind::kBulk);
+}
+
+void DsmComm::send_diff_batch(NodeId home, std::span<const DiffBatchItem> items,
+                              NodeId ack_to) {
+  DSM_CHECK(!items.empty());
+  auto& rt = dsm_.runtime();
+  const NodeId self = rt.self_node();
+  dsm_.counters().inc(self, Counter::kDiffBatchesSent);
+  // Each page's diff serializes into its own gather fragment: the wire
+  // message references N fragment buffers, never one flattened copy.
+  std::vector<Buffer> fragments;
+  fragments.reserve(items.size());
+  for (const DiffBatchItem& item : items) {
+    dsm_.counters().inc(self, Counter::kDiffsSent);
+    dsm_.counters().inc(self, Counter::kDiffBytesSent, item.diff.wire_bytes());
+    Packer f;
+    f.pack(item.page);
+    item.diff.serialize(f);
+    fragments.push_back(std::move(f).take());
+  }
+  Packer p;
+  p.pack(DiffBatchWire{static_cast<std::uint32_t>(items.size()), ack_to});
+  rt.rpc().call_async(home, svc_diff_batch_, std::move(p),
+                      madeleine::MsgKind::kBulk, std::move(fragments));
 }
 
 namespace {
@@ -224,29 +286,79 @@ void DsmComm::check_wire_page(PageId page, const char* what) const {
   DSM_CHECK_MSG(page < dsm_.geometry().page_count(), what);
 }
 
-void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
-  const auto wire = args.unpack<DiffWire>();
-  check_wire_page(wire.page, "diff names a page outside the DSM space");
-  const Diff diff = Diff::deserialize(args);
-  dsm_.counters().inc(ctx.self, Counter::kDiffsApplied);
+void DsmComm::check_wire_diff(const Diff& diff, const char* what) const {
+  // Every wire-supplied chunk must land inside one page: a corrupt (or
+  // version-skewed) peer fails loudly here, before Diff::apply indexes a
+  // frame. The 64-bit sum cannot overflow for 32-bit offsets/lengths.
+  const std::uint64_t page_size = dsm_.geometry().page_size();
+  for (const Diff::Chunk& c : diff.chunks()) {
+    DSM_CHECK_MSG(std::uint64_t{c.offset} + c.data.size() <= page_size, what);
+  }
+}
+
+void DsmComm::deliver_diff(PageId page, NodeId from, NodeId self,
+                           bool response_to_invalidation, const Diff& diff) {
+  dsm_.counters().inc(self, Counter::kDiffsApplied);
   DiffArrival arrival;
-  arrival.page = wire.page;
-  arrival.from = ctx.src;
-  arrival.node = ctx.self;
-  arrival.response_to_invalidation = wire.response_to_invalidation != 0;
+  arrival.page = page;
+  arrival.from = from;
+  arrival.node = self;
+  arrival.response_to_invalidation = response_to_invalidation;
   arrival.diff = &diff;
-  const Protocol& proto = dsm_.protocol_of(wire.page);
+  const Protocol& proto = dsm_.protocol_of(page);
   if (proto.diff_server) {
     proto.diff_server(dsm_, arrival);
   } else {
     // Default: charge the apply cost and patch the local frame.
-    auto& tbl = dsm_.table(ctx.self);
-    marcel::MutexLock l(tbl.mutex(wire.page));
+    auto& tbl = dsm_.table(self);
+    marcel::MutexLock l(tbl.mutex(page));
     dsm_.charge_us(static_cast<double>(diff.payload_bytes()) *
                    dsm_.costs().diff_apply_per_byte_us);
-    diff.apply(dsm_.store(ctx.self).frame(wire.page));
+    diff.apply(dsm_.store(self).frame(page));
   }
+}
+
+void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<DiffWire>();
+  check_wire_page(wire.page, "diff names a page outside the DSM space");
+  const Diff diff = Diff::deserialize(args);
+  check_wire_diff(diff, "diff chunk outside the page");
+  deliver_diff(wire.page, ctx.src, ctx.self, wire.response_to_invalidation != 0,
+               diff);
   if (ctx.reply_token != 0) ctx.reply(Packer{});
+}
+
+void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<DiffBatchWire>();
+  DSM_CHECK_MSG(wire.count > 0, "empty diff batch");
+  DSM_CHECK_MSG(ctx.fragments.size() == wire.count,
+                "diff batch fragment count does not match its header");
+  DSM_CHECK_MSG(wire.ack_to == kInvalidNode ||
+                    wire.ack_to < static_cast<NodeId>(dsm_.node_count()),
+                "diff batch names an ack target outside the cluster");
+  // Validate, then apply, one fragment (= one page's diff) at a time. The
+  // batch never flushes in response to an invalidation — that path is
+  // per-page — so arrivals carry response_to_invalidation=false and the
+  // home's protocol may start third-party invalidation rounds per page.
+  for (const Buffer& fragment : ctx.fragments) {
+    Unpacker u(fragment);
+    const auto page = u.unpack<PageId>();
+    check_wire_page(page, "batched diff names a page outside the DSM space");
+    const Diff diff = Diff::deserialize(u);
+    DSM_CHECK_MSG(u.done(), "batched diff fragment carries trailing bytes");
+    check_wire_diff(diff, "batched diff chunk outside the page");
+    deliver_diff(page, ctx.src, ctx.self, /*response_to_invalidation=*/false,
+                 diff);
+  }
+  // One ack for the whole batch, and only after every page (including any
+  // third-party invalidation rounds the applies triggered) is done — the
+  // releaser's collector counts homes, not pages.
+  if (wire.ack_to != kInvalidNode) {
+    Packer ack;
+    ack.pack(AckWire{AckWire::kDiffBatch, /*to_release=*/1,
+                     /*page=*/PageId{0}});
+    dsm_.runtime().rpc().call_async(wire.ack_to, svc_ack_, std::move(ack));
+  }
 }
 
 }  // namespace dsmpm2::dsm

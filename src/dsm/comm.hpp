@@ -3,13 +3,16 @@
 // "This module is responsible for providing elementary communication
 // mechanisms, such as delivering requests for page copies, sending pages,
 // invalidating pages or sending diffs. [It] is implemented using PM2's RPC
-// mechanism" — and so is this one: six PM2 services, each dispatching into
-// the protocol actions of the page's protocol. Because the services ride on
-// Madeleine, the module is "portable across all communication interfaces
-// supported by Madeleine at no extra cost" (here: all drivers).
+// mechanism" — and so is this one: seven PM2 services, each dispatching into
+// the protocol actions of the page's protocol, plus the inline `dsm.ack`
+// completion channel that feeds the ack collectors. Because the services
+// ride on Madeleine, the module is "portable across all communication
+// interfaces supported by Madeleine at no extra cost" (here: all drivers).
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/copyset.hpp"
 #include "common/ids.hpp"
@@ -43,14 +46,31 @@ class DsmComm {
   /// write-invalidate protocols need the ack before granting write access).
   void invalidate(NodeId to, PageId page, NodeId new_owner);
 
-  /// Fire-and-forget invalidation used by the parallel fan-out round: the
-  /// server acks back to `ack_to`'s invalidation collector instead of
-  /// replying. Pass kInvalidNode to request no ack at all.
-  void invalidate_async(NodeId to, PageId page, NodeId new_owner, NodeId ack_to);
+  /// Fire-and-forget invalidation used by the fan-out rounds: the server
+  /// acks back to a collector on `ack_to` instead of replying — the page's
+  /// own collector, or (ack_to_release_collector) the node-level release
+  /// collector when the round spans many pages. Pass kInvalidNode to request
+  /// no ack at all.
+  void invalidate_async(NodeId to, PageId page, NodeId new_owner, NodeId ack_to,
+                        bool ack_to_release_collector = false);
 
   /// Sends `diff` for `page` to its home; blocks until the home applied it.
   void send_diff(NodeId home, PageId page, const Diff& diff,
                  bool response_to_invalidation);
+
+  /// One page's worth of a batched release flush.
+  struct DiffBatchItem {
+    PageId page = kInvalidPage;
+    Diff diff;
+  };
+
+  /// Ships every diff of `items` to `home` as ONE vectored message (one
+  /// fragment per page diff, no flattening copy) — the aggregation that keeps
+  /// release latency flat in the write-set size. Fire-and-forget: the home
+  /// applies every diff, then acks once to `ack_to`'s release collector
+  /// (kInvalidNode: no ack). Pair with PageTable::release_collector().
+  void send_diff_batch(NodeId home, std::span<const DiffBatchItem> items,
+                       NodeId ack_to);
 
   /// Reads up to 8 bytes straight from `home`'s current frame — the wire
   /// mechanics behind volatile accesses (which bypass the local cache and
@@ -62,19 +82,28 @@ class DsmComm {
   void serve_page_request(pm2::RpcContext& ctx, Unpacker& args);
   void serve_send_page(pm2::RpcContext& ctx, Unpacker& args);
   void serve_invalidate(pm2::RpcContext& ctx, Unpacker& args);
-  void serve_invalidate_ack(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_ack(pm2::RpcContext& ctx, Unpacker& args);
   void serve_diff(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args);
   void serve_word_read(pm2::RpcContext& ctx, Unpacker& args);
 
   /// Server-side sanity check on a wire-supplied page id.
   void check_wire_page(PageId page, const char* what) const;
+  /// Server-side sanity check of every wire-supplied chunk of `diff` against
+  /// the local page geometry (must run before Diff::apply).
+  void check_wire_diff(const Diff& diff, const char* what) const;
+  /// Dispatches an arrived-and-validated diff into the page's protocol (or
+  /// the default apply path). Shared by serve_diff and serve_diff_batch.
+  void deliver_diff(PageId page, NodeId from, NodeId self,
+                    bool response_to_invalidation, const Diff& diff);
 
   Dsm& dsm_;
   pm2::ServiceId svc_request_ = 0;
   pm2::ServiceId svc_page_ = 0;
   pm2::ServiceId svc_invalidate_ = 0;
-  pm2::ServiceId svc_invalidate_ack_ = 0;
+  pm2::ServiceId svc_ack_ = 0;
   pm2::ServiceId svc_diff_ = 0;
+  pm2::ServiceId svc_diff_batch_ = 0;
   pm2::ServiceId svc_word_ = 0;
 };
 

@@ -59,6 +59,13 @@ struct DsmConfig {
   /// instead of one blocking round trip per member. Off reproduces the
   /// historical sequential behaviour — the bench_scale_invalidation baseline.
   bool parallel_invalidate = true;
+  /// Batch the release path: a release's diffs are grouped by home node and
+  /// shipped as one vectored message per home (one ack each), and the
+  /// release-time invalidation sweeps open one collector round across every
+  /// released page, instead of one blocking round trip per dirty page. Off
+  /// reproduces the historical sequential release — the bench_scale_release
+  /// baseline.
+  bool batch_diffs = true;
 };
 
 }  // namespace dsmpm2::dsm

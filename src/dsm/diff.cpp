@@ -54,8 +54,10 @@ std::size_t Diff::payload_bytes() const {
 }
 
 std::size_t Diff::wire_bytes() const {
-  // offset + length prefix per chunk, plus the data.
-  return sizeof(std::uint32_t) + chunks_.size() * (2 * sizeof(std::uint32_t)) +
+  // Mirrors serialize() exactly: the chunk count, then per chunk a 32-bit
+  // offset and the 64-bit pack_bytes length prefix, then the data.
+  return sizeof(std::uint32_t) +
+         chunks_.size() * (sizeof(std::uint32_t) + sizeof(std::uint64_t)) +
          payload_bytes();
 }
 

@@ -17,6 +17,8 @@ const char* counter_name(Counter c) {
     case Counter::kDiffsSent: return "diffs_sent";
     case Counter::kDiffBytesSent: return "diff_bytes_sent";
     case Counter::kDiffsApplied: return "diffs_applied";
+    case Counter::kDiffBatchesSent: return "diff_batches_sent";
+    case Counter::kDiffBatchAcks: return "diff_batch_acks";
     case Counter::kThreadMigrations: return "thread_migrations";
     case Counter::kLockAcquires: return "lock_acquires";
     case Counter::kLockReleases: return "lock_releases";

@@ -34,6 +34,8 @@ enum class Counter : int {
   kDiffsSent,
   kDiffBytesSent,
   kDiffsApplied,
+  kDiffBatchesSent,
+  kDiffBatchAcks,
   kThreadMigrations,
   kLockAcquires,
   kLockReleases,

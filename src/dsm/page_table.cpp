@@ -5,7 +5,11 @@
 namespace dsmpm2::dsm {
 
 PageTable::PageTable(sim::Scheduler& sched, NodeId node, PageId page_count)
-    : sched_(sched), node_(node), entries_(page_count), sync_(page_count) {}
+    : sched_(sched),
+      node_(node),
+      entries_(page_count),
+      sync_(page_count),
+      release_(sched) {}
 
 PageEntry& PageTable::entry(PageId page) {
   DSM_CHECK(page < entries_.size());
@@ -47,29 +51,6 @@ void PageTable::end_transition(PageId page) {
   s.cond.broadcast();
 }
 
-void PageTable::begin_invalidation_round(PageId page, int acks) {
-  PageSync& s = sync(page);
-  DSM_CHECK(s.mutex.locked_by_me());
-  DSM_CHECK(acks > 0);
-  while (s.round_active) s.cond.wait(s.mutex);
-  s.round_active = true;
-  s.acks_pending = acks;
-}
-
-void PageTable::wait_invalidation_round(PageId page) {
-  PageSync& s = sync(page);
-  DSM_CHECK(s.mutex.locked_by_me());
-  DSM_CHECK(s.round_active);
-  while (s.acks_pending > 0) s.cond.wait(s.mutex);
-  s.round_active = false;
-  s.cond.broadcast();  // admit the next round (and any transition waiters)
-}
-
-void PageTable::ack_invalidation(PageId page) {
-  PageSync& s = sync(page);
-  DSM_CHECK_MSG(s.round_active && s.acks_pending > 0,
-                "invalidation ack with no round in flight");
-  if (--s.acks_pending == 0) s.cond.broadcast();
-}
+AckCollector& PageTable::ack_collector(PageId page) { return sync(page).collector; }
 
 }  // namespace dsmpm2::dsm

@@ -18,6 +18,7 @@
 
 #include "common/copyset.hpp"
 #include "common/ids.hpp"
+#include "dsm/ack_collector.hpp"
 #include "dsm/config.hpp"
 #include "dsm/page.hpp"
 #include "marcel/sync.hpp"
@@ -83,29 +84,27 @@ class PageTable {
   /// Clears in_transition and wakes waiters. Caller must hold the page mutex.
   void end_transition(PageId page);
 
-  // ---- invalidation-round ack collection (parallel fan-out) ----
-  // One round per page at a time: the initiator fires invalidate_async at
-  // every copyset member, then blocks once until every ack came back —
-  // round-trip depth 1 instead of one blocking round-trip per member.
+  // ---- ack collectors (one-block fan-out rounds) ----
 
-  /// Opens a round expecting `acks` acknowledgements; blocks while another
-  /// round for this page is in flight. Caller must hold the page mutex.
-  void begin_invalidation_round(PageId page, int acks);
-  /// Blocks until every ack of the open round arrived, then closes the
-  /// round. Caller must hold the page mutex.
-  void wait_invalidation_round(PageId page);
-  /// Records one ack and wakes the collector when it was the last. Safe from
-  /// event (delivery) context — touches no mutex.
-  void ack_invalidation(PageId page);
+  /// The page's fan-out collector: one invalidation round per page at a time
+  /// (the initiator fires invalidate_async at every copyset member, then
+  /// blocks once). Acks are routed back here by the `dsm.ack` service.
+  [[nodiscard]] AckCollector& ack_collector(PageId page);
+
+  /// The node-level collector for release-scoped rounds that span many pages
+  /// and homes at once: the batched diff flush (one ack per home) and the
+  /// release-time invalidation sweeps (one ack per copyset member across
+  /// every released page). Rounds serialize per node; nodes overlap freely.
+  [[nodiscard]] AckCollector& release_collector() { return release_; }
 
  private:
   struct PageSync {
     marcel::Mutex mutex;
     marcel::CondVar cond;
-    /// Ack accounting for the page's in-flight invalidation round.
-    bool round_active = false;
-    int acks_pending = 0;
-    explicit PageSync(sim::Scheduler& sched) : mutex(sched), cond(sched) {}
+    /// Fan-out rounds scoped to this page (invalidation of its copyset).
+    AckCollector collector;
+    explicit PageSync(sim::Scheduler& sched)
+        : mutex(sched), cond(sched), collector(sched) {}
   };
 
   PageSync& sync(PageId page);
@@ -114,6 +113,7 @@ class PageTable {
   NodeId node_;
   std::vector<PageEntry> entries_;
   std::vector<std::unique_ptr<PageSync>> sync_;  // lazily created
+  AckCollector release_;
 };
 
 }  // namespace dsmpm2::dsm

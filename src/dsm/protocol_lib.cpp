@@ -1,6 +1,8 @@
 #include "dsm/protocol_lib.hpp"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -15,6 +17,39 @@ namespace {
 /// flight; they wait it out first. Caller must hold the page mutex.
 void settle(Dsm& dsm, NodeId node, PageId page) {
   dsm.table(node).wait_transition(page);
+}
+
+/// One page's share of a release-time invalidation sweep.
+struct SweepRound {
+  PageId page = kInvalidPage;
+  CopySet targets;
+};
+
+/// Runs the invalidation rounds of a release sweep. Batched mode opens ONE
+/// node-level collector round covering every page's copyset and blocks a
+/// single time (acks route to the release collector); otherwise each page
+/// runs its own invalidate_copyset round — the sequential baseline.
+void run_release_invalidations(Dsm& dsm, NodeId node,
+                               std::vector<SweepRound> rounds) {
+  std::erase_if(rounds, [](const SweepRound& r) { return r.targets.empty(); });
+  if (rounds.empty()) return;
+  if (!dsm.config().batch_diffs || !dsm.config().parallel_invalidate) {
+    for (const SweepRound& r : rounds) {
+      invalidate_copyset(dsm, r.page, r.targets, node, node);
+    }
+    return;
+  }
+  int total = 0;
+  for (const SweepRound& r : rounds) total += r.targets.size();
+  AckCollector& collector = dsm.table(node).release_collector();
+  collector.begin(total);
+  for (const SweepRound& r : rounds) {
+    r.targets.for_each([&](NodeId member) {
+      dsm.comm().invalidate_async(member, r.page, node, /*ack_to=*/node,
+                                  /*ack_to_release_collector=*/true);
+    });
+  }
+  collector.wait();
 }
 
 }  // namespace
@@ -224,19 +259,24 @@ void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
   auto& rc = dsm.proto_state<MrswRcState>(protocol, node);
   const std::vector<PageId> pages = rc.pending_invalidate.take();
   auto& tbl = dsm.table(node);
+  // Snapshot-and-clear every page's copyset under its lock first, then run
+  // the whole sweep as one fan-out (batched: a single collector round across
+  // all pages — release latency stays flat in the write-set size).
+  std::vector<SweepRound> rounds;
+  rounds.reserve(pages.size());
   for (const PageId page : pages) {
-    CopySet cs;
-    {
-      marcel::MutexLock l(tbl.mutex(page));
-      PageEntry& e = tbl.entry(page);
-      if (e.prob_owner != node || !e.dirty) continue;  // ownership moved on
-      cs = e.copyset;
-      cs.erase(node);
-      e.copyset.clear();
-      e.dirty = false;
-    }
-    invalidate_copyset(dsm, page, cs, node, node);
+    marcel::MutexLock l(tbl.mutex(page));
+    PageEntry& e = tbl.entry(page);
+    if (e.prob_owner != node || !e.dirty) continue;  // ownership moved on
+    SweepRound r;
+    r.page = page;
+    r.targets = e.copyset;
+    r.targets.erase(node);
+    e.copyset.clear();
+    e.dirty = false;
+    rounds.push_back(std::move(r));
   }
+  run_release_invalidations(dsm, node, std::move(rounds));
 }
 
 // ---------------------------------------------------------------------------
@@ -322,18 +362,20 @@ void release_home_dirty(Dsm& dsm, ProtocolId protocol, NodeId node) {
   auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
   const std::vector<PageId> pages = rc.home_dirty.take();
   auto& tbl = dsm.table(node);
+  std::vector<SweepRound> rounds;
+  rounds.reserve(pages.size());
   for (const PageId page : pages) {
-    CopySet cs;
-    {
-      marcel::MutexLock l(tbl.mutex(page));
-      PageEntry& e = tbl.entry(page);
-      cs = e.copyset;
-      cs.erase(node);
-      e.copyset.clear();
-      e.dirty = false;
-    }
-    invalidate_copyset(dsm, page, cs, node, node);
+    marcel::MutexLock l(tbl.mutex(page));
+    PageEntry& e = tbl.entry(page);
+    SweepRound r;
+    r.page = page;
+    r.targets = e.copyset;
+    r.targets.erase(node);
+    e.copyset.clear();
+    e.dirty = false;
+    rounds.push_back(std::move(r));
   }
+  run_release_invalidations(dsm, node, std::move(rounds));
 }
 
 void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write) {
@@ -379,30 +421,39 @@ void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx) {
   rc.twinned.insert(ctx.page);
 }
 
+namespace {
+
+/// Computes `page`'s twin diff and retires the local copy (twin, rights,
+/// frame) under one hold of the page lock — the flush-invalidate step shared
+/// by the sequential and batched release paths. Returns the page's home, or
+/// kInvalidNode when there was no twin to flush.
+NodeId take_twin_diff(Dsm& dsm, PageId page, NodeId node, Diff& out) {
+  auto& tbl = dsm.table(node);
+  marcel::MutexLock l(tbl.mutex(page));
+  PageEntry& e = tbl.entry(page);
+  if (!e.has_twin) return kInvalidNode;
+  const auto frame = dsm.store(node).frame(page);
+  dsm.charge_us(static_cast<double>(frame.size()) *
+                dsm.costs().diff_scan_per_byte_us);
+  out = Diff::compute(dsm.store(node).twin(page), frame);
+  dsm.store(node).drop_twin(page);
+  e.has_twin = false;
+  e.dirty = false;
+  // Flush-invalidate: drop our copy along with the flush. Keeping it
+  // read-only would leave a copy missing *concurrent* writers' diffs (they
+  // merge only at the home), which a later read here must not see.
+  e.access = Access::kNone;
+  dsm.store(node).drop_frame(page);
+  return e.home;
+}
+
+}  // namespace
+
 void flush_one_twin_diff(Dsm& dsm, PageId page, NodeId node,
                          bool response_to_invalidation) {
-  auto& tbl = dsm.table(node);
   Diff diff;
-  NodeId home = kInvalidNode;
-  {
-    marcel::MutexLock l(tbl.mutex(page));
-    PageEntry& e = tbl.entry(page);
-    if (!e.has_twin) return;
-    const auto frame = dsm.store(node).frame(page);
-    dsm.charge_us(static_cast<double>(frame.size()) *
-                  dsm.costs().diff_scan_per_byte_us);
-    diff = Diff::compute(dsm.store(node).twin(page), frame);
-    dsm.store(node).drop_twin(page);
-    e.has_twin = false;
-    e.dirty = false;
-    // Flush-invalidate: drop our copy along with the flush. Keeping it
-    // read-only would leave a copy missing *concurrent* writers' diffs (they
-    // merge only at the home), which a later read here must not see.
-    e.access = Access::kNone;
-    dsm.store(node).drop_frame(page);
-    home = e.home;
-  }
-  if (!diff.empty()) {
+  const NodeId home = take_twin_diff(dsm, page, node, diff);
+  if (home != kInvalidNode && !diff.empty()) {
     dsm.comm().send_diff(home, page, diff, response_to_invalidation);
   }
 }
@@ -411,9 +462,41 @@ void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
                       bool response_to_invalidation) {
   auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
   const std::vector<PageId> pages = rc.twinned.take();
-  for (const PageId page : pages) {
-    flush_one_twin_diff(dsm, page, node, response_to_invalidation);
+  if (pages.empty()) return;
+  // Invalidation responses stay per-page (the home is blocked on them and
+  // they must not trigger new third-party rounds); everything else follows
+  // the batch_diffs knob.
+  if (!dsm.config().batch_diffs || response_to_invalidation) {
+    // Sequential baseline: one blocking round trip to a home per dirty page.
+    for (const PageId page : pages) {
+      flush_one_twin_diff(dsm, page, node, response_to_invalidation);
+    }
+    return;
   }
+  // Batched release: retire every twin first (each under its page lock),
+  // aggregate the diffs by home node, then one vectored message per home —
+  // release latency is one round-trip depth plus per-home processing, not
+  // O(dirty pages). std::map keeps home order deterministic.
+  std::map<NodeId, std::vector<DsmComm::DiffBatchItem>> by_home;
+  for (const PageId page : pages) {
+    Diff diff;
+    const NodeId home = take_twin_diff(dsm, page, node, diff);
+    if (home == kInvalidNode || diff.empty()) continue;
+    by_home[home].push_back(DsmComm::DiffBatchItem{page, std::move(diff)});
+  }
+  send_diff_batches(dsm, node, by_home);
+}
+
+void send_diff_batches(
+    Dsm& dsm, NodeId node,
+    const std::map<NodeId, std::vector<DsmComm::DiffBatchItem>>& by_home) {
+  if (by_home.empty()) return;
+  AckCollector& collector = dsm.table(node).release_collector();
+  collector.begin(static_cast<int>(by_home.size()));
+  for (const auto& [home, items] : by_home) {
+    dsm.comm().send_diff_batch(home, items, /*ack_to=*/node);
+  }
+  collector.wait();
 }
 
 void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival) {
@@ -494,23 +577,17 @@ void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
     return;
   }
 
-  // Parallel fan-out: open an ack-counting round on this page, fire all
+  // Parallel fan-out: open a round on the page's ack collector, fire all
   // invalidations without waiting, then block once until the last ack. Rounds
   // for one page are serialized by the collector; different pages (and other
   // nodes' rounds) overlap freely.
   const NodeId self = dsm.self();
-  auto& tbl = dsm.table(self);
-  {
-    marcel::MutexLock l(tbl.mutex(page));
-    tbl.begin_invalidation_round(page, count);
-  }
+  AckCollector& collector = dsm.table(self).ack_collector(page);
+  collector.begin(count);
   targets.for_each([&](NodeId member) {
     dsm.comm().invalidate_async(member, page, new_owner, /*ack_to=*/self);
   });
-  {
-    marcel::MutexLock l(tbl.mutex(page));
-    tbl.wait_invalidation_round(page);
-  }
+  collector.wait();
 }
 
 void sync_noop(Dsm&, const SyncContext&) {}

@@ -12,8 +12,12 @@
 // "Building protocols using library routines").
 #pragma once
 
+#include <map>
+#include <vector>
+
 #include "common/flat_set.hpp"
 #include "common/ids.hpp"
+#include "dsm/comm.hpp"
 #include "dsm/protocol.hpp"
 
 namespace dsmpm2::dsm::lib {
@@ -76,7 +80,9 @@ bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
                             bool eager_invalidate);
 
 /// Release-time invalidation sweep for erc_sw (and friends): invalidates the
-/// copysets of every page recorded in MrswRcState.
+/// copysets of every page recorded in MrswRcState. With
+/// DsmConfig::batch_diffs (and parallel_invalidate) the whole sweep is one
+/// collector round across every page — one block, not one round per page.
 void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node);
 
 // ---------------------------------------------------------------------------
@@ -111,7 +117,8 @@ void serve_request_home(Dsm& dsm, const PageRequest& req,
 bool upgrade_home_write(Dsm& dsm, const FaultContext& ctx);
 
 /// Release-time sweep of home_dirty: invalidate every replica of each page
-/// this (home) node wrote, forcing fresh fetches afterwards.
+/// this (home) node wrote, forcing fresh fetches afterwards. Batched like
+/// release_pending_invalidations.
 void release_home_dirty(Dsm& dsm, ProtocolId protocol, NodeId node);
 
 /// Arrival of a home-based copy; `twin_on_write` snapshots a twin when write
@@ -122,8 +129,11 @@ void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write)
 /// upgrade — twin, mark dirty, grant write. The home learns at release time.
 void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx);
 
-/// Release-time flush for hbrc_mw: diff every twinned page against its twin,
-/// ship diffs home, downgrade to read.
+/// Release-time flush for hbrc_mw: diff every twinned page against its twin
+/// and ship the diffs home. With DsmConfig::batch_diffs (default) the diffs
+/// are aggregated by home into one vectored message per home, all homes in
+/// flight at once, one block on the node's release collector; otherwise one
+/// blocking send_diff per page (the measurable sequential baseline).
 void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
                       bool response_to_invalidation);
 
@@ -142,6 +152,15 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv);
 // ---------------------------------------------------------------------------
 // Small helpers
 // ---------------------------------------------------------------------------
+
+/// Ships a release's diffs grouped by home — one vectored message per home,
+/// all homes in flight at once — and blocks a single time on `node`'s
+/// release collector until every home acknowledged. No-op when empty. The
+/// one batched-release round used by flush_twin_diffs and the Java
+/// main-memory update.
+void send_diff_batches(
+    Dsm& dsm, NodeId node,
+    const std::map<NodeId, std::vector<DsmComm::DiffBatchItem>>& by_home);
 
 /// Invalidates every member of `copyset` except `skip` and returns once all
 /// of them acknowledged. With DsmConfig::parallel_invalidate (the default)

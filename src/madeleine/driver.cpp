@@ -25,16 +25,34 @@ constexpr double kTcpRpcMinUs = 105.0;
 
 }  // namespace
 
-SimTime DriverParams::wire_time(MsgKind kind, std::size_t payload_bytes) const {
+const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kControl: return "control";
+    case MsgKind::kPageRequest: return "page_request";
+    case MsgKind::kBulk: return "bulk";
+    case MsgKind::kMigration: return "migration";
+  }
+  DSM_UNREACHABLE("bad MsgKind");
+}
+
+SimTime DriverParams::wire_time(MsgKind kind, std::size_t payload_bytes,
+                                std::size_t fragments) const {
+  DSM_CHECK(fragments >= 1);
+  // Each fragment beyond the first costs one gather-descriptor append; the
+  // fixed per-message cost (rpc_min etc.) is paid exactly once — that is the
+  // whole point of aggregating a release's diffs into one vectored message.
+  const double gather_us =
+      static_cast<double>(fragments - 1) * frag_overhead_us;
   switch (kind) {
     case MsgKind::kControl:
-      return from_us(rpc_min_us);
+      return from_us(rpc_min_us + gather_us);
     case MsgKind::kPageRequest:
-      return from_us(page_request_us);
+      return from_us(page_request_us + gather_us);
     case MsgKind::kBulk:
-      return from_us(rpc_min_us + static_cast<double>(payload_bytes) * per_byte_us);
+      return from_us(rpc_min_us + gather_us +
+                     static_cast<double>(payload_bytes) * per_byte_us);
     case MsgKind::kMigration:
-      return from_us(migration_fixed_us +
+      return from_us(migration_fixed_us + gather_us +
                      static_cast<double>(payload_bytes) * per_byte_us);
   }
   DSM_UNREACHABLE("bad MsgKind");
@@ -81,13 +99,15 @@ DriverParams sisci_sci() {
 }
 
 DriverParams custom(std::string name, double rpc_min_us, double page_request_us,
-                    double per_byte_us, double migration_fixed_us) {
+                    double per_byte_us, double migration_fixed_us,
+                    double frag_overhead_us) {
   DriverParams p;
   p.name = std::move(name);
   p.rpc_min_us = rpc_min_us;
   p.page_request_us = page_request_us;
   p.per_byte_us = per_byte_us;
   p.migration_fixed_us = migration_fixed_us;
+  p.frag_overhead_us = frag_overhead_us;
   return p;
 }
 

@@ -34,15 +34,28 @@ enum class MsgKind {
   kMigration,    ///< Thread migration image: migration_fixed + bytes·per_byte.
 };
 
+/// Number of MsgKind values (for per-kind stat arrays).
+inline constexpr std::size_t kMsgKindCount = 4;
+
+/// Stable short name for a MsgKind ("control", "page_request", ...).
+const char* msg_kind_name(MsgKind kind);
+
 struct DriverParams {
   std::string name;
   double rpc_min_us = 0.0;          ///< One-way minimal small-message cost.
   double page_request_us = 0.0;     ///< One-way page-request cost.
   double per_byte_us = 0.0;         ///< Streaming cost per payload byte.
   double migration_fixed_us = 0.0;  ///< Fixed part of a thread-migration message.
+  /// Gather cost per fragment beyond the first of a vectored message. This is
+  /// the aggregation trade: N diffs sent separately cost N·rpc_min in fixed
+  /// latency, while one vectored message carrying them costs one rpc_min plus
+  /// (N-1) of this (a descriptor append, not a NIC doorbell).
+  double frag_overhead_us = 0.5;
 
-  /// One-way wire time for a message of `kind` carrying `payload_bytes`.
-  [[nodiscard]] SimTime wire_time(MsgKind kind, std::size_t payload_bytes) const;
+  /// One-way wire time for a message of `kind` carrying `payload_bytes`
+  /// spread over `fragments` gather fragments (1 = a plain flat payload).
+  [[nodiscard]] SimTime wire_time(MsgKind kind, std::size_t payload_bytes,
+                                  std::size_t fragments = 1) const;
 };
 
 /// BIP over Myrinet (the paper's fastest send path for bulk data).
@@ -57,7 +70,8 @@ DriverParams sisci_sci();
 /// A user-defined driver (the "porting Madeleine" story: new interconnects
 /// are one parameter table away).
 DriverParams custom(std::string name, double rpc_min_us, double page_request_us,
-                    double per_byte_us, double migration_fixed_us);
+                    double per_byte_us, double migration_fixed_us,
+                    double frag_overhead_us = 0.5);
 
 /// All four built-in drivers, in the order the paper's tables list them.
 const std::vector<DriverParams>& builtin_drivers();

@@ -32,12 +32,19 @@ void Network::send(Message msg) {
   DSM_CHECK(msg.src < handlers_.size() && msg.dst < handlers_.size());
   auto& sched = cluster_.scheduler();
 
+  const std::size_t bytes = msg.total_bytes();
+  const std::size_t kind = static_cast<std::size_t>(msg.kind);
   stats_[msg.src].messages_sent++;
-  stats_[msg.src].bytes_sent += msg.payload.size();
+  stats_[msg.src].bytes_sent += bytes;
+  stats_[msg.src].kind_messages_sent[kind]++;
+  stats_[msg.src].kind_bytes_sent[kind] += bytes;
 
-  const SimTime wire = msg.src == msg.dst
-                           ? loopback_
-                           : driver_.wire_time(msg.kind, msg.payload.size());
+  // A vectored message pays its fixed wire cost once for the whole gather
+  // list; the per-fragment descriptor overhead is the driver's to charge.
+  const SimTime wire =
+      msg.src == msg.dst
+          ? loopback_
+          : driver_.wire_time(msg.kind, bytes, msg.fragment_count());
   const std::size_t link = static_cast<std::size_t>(msg.src) * handlers_.size() + msg.dst;
   SimTime deliver_at = sched.now() + wire;
   // FIFO per link: never deliver before an earlier message on the same link.
@@ -46,9 +53,11 @@ void Network::send(Message msg) {
 
   // The shared_ptr carries the payload through the event queue without copies.
   auto boxed = std::make_shared<Message>(std::move(msg));
-  sched.schedule_at(deliver_at, [this, boxed] {
+  sched.schedule_at(deliver_at, [this, boxed, bytes, kind] {
     stats_[boxed->dst].messages_received++;
-    stats_[boxed->dst].bytes_received += boxed->payload.size();
+    stats_[boxed->dst].bytes_received += bytes;
+    stats_[boxed->dst].kind_messages_received[kind]++;
+    stats_[boxed->dst].kind_bytes_received[kind] += bytes;
     DSM_CHECK_MSG(handlers_[boxed->dst] != nullptr, "no delivery handler installed");
     handlers_[boxed->dst](std::move(*boxed));
   });

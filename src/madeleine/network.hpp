@@ -10,6 +10,7 @@
 // layer immediately spawns a Marcel handler thread for anything that might.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -22,19 +23,60 @@
 
 namespace dsmpm2::madeleine {
 
+/// One wire message. A message is vectored: besides the head `payload` it may
+/// carry extra `fragments` that travel as one transfer (one fixed wire cost)
+/// without ever being copied into one flat buffer — the gather/scatter send
+/// Madeleine exposes on RDMA-class interconnects. Receivers see the fragment
+/// buffers exactly as queued by the sender.
 struct Message {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
   MsgKind kind = MsgKind::kControl;
-  Buffer payload;
+  Buffer payload;                 ///< head fragment (headers + flat payloads)
+  std::vector<Buffer> fragments;  ///< extra gather fragments, in send order
+
+  Message() = default;
+  Message(NodeId src, NodeId dst, MsgKind kind, Buffer payload,
+          std::vector<Buffer> fragments = {})
+      : src(src),
+        dst(dst),
+        kind(kind),
+        payload(std::move(payload)),
+        fragments(std::move(fragments)) {}
+
+  /// Bytes on the wire: head plus every fragment.
+  [[nodiscard]] std::size_t total_bytes() const {
+    std::size_t n = payload.size();
+    for (const Buffer& f : fragments) n += f.size();
+    return n;
+  }
+  /// Gather-list length (head counts as the first fragment).
+  [[nodiscard]] std::size_t fragment_count() const { return 1 + fragments.size(); }
 };
 
-/// Per-node traffic counters.
+/// Per-node traffic counters, total and broken down by MsgKind.
 struct LinkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::array<std::uint64_t, kMsgKindCount> kind_messages_sent{};
+  std::array<std::uint64_t, kMsgKindCount> kind_bytes_sent{};
+  std::array<std::uint64_t, kMsgKindCount> kind_messages_received{};
+  std::array<std::uint64_t, kMsgKindCount> kind_bytes_received{};
+
+  [[nodiscard]] std::uint64_t messages_sent_of(MsgKind k) const {
+    return kind_messages_sent[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t bytes_sent_of(MsgKind k) const {
+    return kind_bytes_sent[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t messages_received_of(MsgKind k) const {
+    return kind_messages_received[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t bytes_received_of(MsgKind k) const {
+    return kind_bytes_received[static_cast<std::size_t>(k)];
+  }
 };
 
 class Network {

@@ -55,18 +55,21 @@ const std::string& Rpc::service_name(ServiceId svc) const {
   return services_[svc].name;
 }
 
-void Rpc::call_async(NodeId dst, ServiceId svc, Packer args, madeleine::MsgKind kind) {
-  call_async_from(threads_.self().node(), dst, svc, std::move(args), kind);
+void Rpc::call_async(NodeId dst, ServiceId svc, Packer args, madeleine::MsgKind kind,
+                     std::vector<Buffer> fragments) {
+  call_async_from(threads_.self().node(), dst, svc, std::move(args), kind,
+                  std::move(fragments));
 }
 
 void Rpc::call_async_from(NodeId src, NodeId dst, ServiceId svc, Packer args,
-                          madeleine::MsgKind kind) {
+                          madeleine::MsgKind kind, std::vector<Buffer> fragments) {
   DSM_CHECK(svc < services_.size());
   ++calls_issued_;
   Packer wire;
   wire.pack(WireHeader{svc, src, 0});
   wire.pack_raw(std::span<const std::byte>(args.buffer().data(), args.size()));
-  net_.send(madeleine::Message{src, dst, kind, std::move(wire).take()});
+  net_.send(madeleine::Message{src, dst, kind, std::move(wire).take(),
+                               std::move(fragments)});
 }
 
 Buffer Rpc::call(NodeId dst, ServiceId svc, Packer args, madeleine::MsgKind kind) {
@@ -102,15 +105,18 @@ void Rpc::send_reply(NodeId from, NodeId to, std::uint64_t token, Packer result,
 }
 
 void Rpc::on_delivery(NodeId self, madeleine::Message msg) {
-  // Runs in event (delivery) context.
-  auto boxed = std::make_shared<Buffer>(std::move(msg.payload));
-  Unpacker peek(*boxed);
+  // Runs in event (delivery) context. The whole message is boxed so the
+  // gather fragments of a vectored call stay alive (and uncopied) for the
+  // handler, which may run later on a spawned thread.
+  auto boxed = std::make_shared<madeleine::Message>(std::move(msg));
+  Unpacker peek(boxed->payload);
   const auto header = peek.unpack<WireHeader>();
   DSM_CHECK_MSG(header.svc < services_.size(), "RPC to unregistered service");
   Service& svc = services_[header.svc];
 
   if (svc.dispatch == Dispatch::kInline) {
-    RpcContext ctx{*this, self, header.src, header.token};
+    RpcContext ctx{*this, self, header.src, header.token,
+                   std::span<const Buffer>(boxed->fragments)};
     svc.handler(ctx, peek);
     return;
   }
@@ -120,9 +126,10 @@ void Rpc::on_delivery(NodeId self, madeleine::Message msg) {
   const ServiceId svc_id = header.svc;
   threads_.spawn_daemon(self, "rpc." + svc.name,
                         [this, self, header, boxed, svc_id] {
-                          Unpacker args(*boxed);
+                          Unpacker args(boxed->payload);
                           args.unpack<WireHeader>();  // skip header
-                          RpcContext ctx{*this, self, header.src, header.token};
+                          RpcContext ctx{*this, self, header.src, header.token,
+                                         std::span<const Buffer>(boxed->fragments)};
                           services_[svc_id].handler(ctx, args);
                         });
 }

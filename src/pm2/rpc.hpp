@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +39,9 @@ struct RpcContext {
   NodeId self;              ///< node the handler runs on
   NodeId src;               ///< node that issued the call
   std::uint64_t reply_token;  ///< nonzero iff the caller waits for a reply
+  /// Extra gather fragments of a vectored call, in send order (empty for a
+  /// plain flat call). The args Unpacker covers only the head fragment.
+  std::span<const Buffer> fragments = {};
 
   /// Sends the reply for a call() (exactly once, and only if reply_token != 0).
   void reply(Packer result, madeleine::MsgKind kind = madeleine::MsgKind::kControl);
@@ -52,17 +56,22 @@ class Rpc {
   /// Registers a service on every node. Must be called before the run starts.
   ServiceId register_service(std::string name, Dispatch dispatch, Handler handler);
 
-  /// Fire-and-forget invocation.
+  /// Fire-and-forget invocation. `fragments` ride along as the vectored part
+  /// of the wire message (one wire transfer; the handler sees them through
+  /// RpcContext::fragments).
   void call_async(NodeId dst, ServiceId svc, Packer args,
-                  madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+                  madeleine::MsgKind kind = madeleine::MsgKind::kControl,
+                  std::vector<Buffer> fragments = {});
 
   /// Fire-and-forget with an explicit source node — usable from event
   /// context, where there is no "current thread" (e.g. the migration packer).
   void call_async_from(NodeId src, NodeId dst, ServiceId svc, Packer args,
-                       madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+                       madeleine::MsgKind kind = madeleine::MsgKind::kControl,
+                       std::vector<Buffer> fragments = {});
 
   /// Invocation with reply: blocks the calling thread until the handler
-  /// replies, and returns the reply payload.
+  /// replies, and returns the reply payload. (Vectored sends are async-only:
+  /// the batched callers pair call_async fragments with an ack collector.)
   Buffer call(NodeId dst, ServiceId svc, Packer args,
               madeleine::MsgKind kind = madeleine::MsgKind::kControl);
 

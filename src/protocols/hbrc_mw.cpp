@@ -71,6 +71,9 @@ Protocol make_hbrc_mw() {
     dsm::lib::receive_page_home(d, arrival, /*twin_on_write=*/true);
   };
 
+  // Release: ship every twinned page's diff home (batched: one vectored
+  // message per home, one collector wait — see flush_twin_diffs), then
+  // invalidate the replicas of home pages this node wrote itself.
   p.lock_acquire = dsm::lib::sync_noop;
   p.lock_release = [](Dsm& d, const SyncContext& ctx) {
     const dsm::ProtocolId pid = d.protocol_by_name("hbrc_mw");

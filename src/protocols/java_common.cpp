@@ -17,7 +17,9 @@
 //
 // That one flag is what the paper's Figure 5 evaluates.
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <utility>
 
 #include "common/check.hpp"
 #include "dsm/protocol_lib.hpp"
@@ -50,11 +52,16 @@ JavaState& state_of(Dsm& d, PageId page, NodeId node) {
 
 /// Main-memory update (monitor exit): group the recorded modifications by
 /// page, build diffs carrying the *current* local values of the recorded
-/// ranges, and ship them to the pages' home nodes.
+/// ranges, and ship them to the pages' home nodes. With
+/// DsmConfig::batch_diffs the diffs aggregate by home into one vectored
+/// message per home (one block on the release collector); otherwise one
+/// blocking send_diff per page.
 void main_memory_update(Dsm& d, ProtocolId protocol, NodeId node) {
   auto& st = d.proto_state<JavaState>(protocol, node);
   if (st.log.empty()) return;
   auto& tbl = d.table(node);
+  const bool batch = d.config().batch_diffs;
+  std::map<NodeId, std::vector<dsm::DsmComm::DiffBatchItem>> by_home;
   for (const PageId page : st.log.pages()) {
     dsm::Diff diff;
     NodeId home = kInvalidNode;
@@ -69,11 +76,15 @@ void main_memory_update(Dsm& d, ProtocolId protocol, NodeId node) {
         diff.add_chunk(rec.offset, frame.subspan(rec.offset, rec.length));
       }
     }
-    if (!diff.empty()) {
+    if (diff.empty()) continue;
+    if (batch) {
+      by_home[home].push_back(dsm::DsmComm::DiffBatchItem{page, std::move(diff)});
+    } else {
       d.comm().send_diff(home, page, diff, /*response_to_invalidation=*/false);
     }
   }
   st.log.clear();
+  dsm::lib::send_diff_batches(d, node, by_home);
 }
 
 /// Cache flush (monitor entry): drop every cached non-home page so later

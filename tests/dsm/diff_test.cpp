@@ -84,6 +84,90 @@ TEST(Diff, WireBytesSmallerThanPageForSparseWrites) {
   EXPECT_LT(d.wire_bytes(), 100u);
 }
 
+TEST(Diff, EmptyDiffSerializeRoundTripAndApplyNoop) {
+  const Diff d;
+  EXPECT_TRUE(d.empty());
+  Packer p;
+  d.serialize(p);
+  Unpacker u(p.buffer());
+  const Diff back = Diff::deserialize(u);
+  EXPECT_TRUE(u.done());
+  EXPECT_TRUE(back.empty());
+  auto target = page(64, std::byte{0xAB});
+  const auto before = target;
+  back.apply(target);
+  EXPECT_EQ(target, before);
+}
+
+TEST(Diff, PageSizeNotAMultipleOfWordSizeDiffsTheTail) {
+  // 4100 bytes with 8-byte words leaves a 4-byte tail word; a change there
+  // must be found, cover exactly the tail, and apply cleanly.
+  auto twin = page(4100);
+  auto cur = twin;
+  cur[4098] = std::byte{0x7E};
+  const Diff d = Diff::compute(twin, cur, 8);
+  ASSERT_EQ(d.chunk_count(), 1u);
+  EXPECT_EQ(d.chunks()[0].offset, 4096u);
+  EXPECT_EQ(d.chunks()[0].data.size(), 4u);
+  auto target = twin;
+  d.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, ModifiedRunSpanningIntoShortTailCoalesces) {
+  // A run starting in the last full word and continuing into the short tail
+  // must come out as one chunk ending exactly at the page end.
+  auto twin = page(4100);
+  auto cur = twin;
+  for (std::size_t i = 4090; i < 4100; ++i) cur[i] = std::byte{0x55};
+  const Diff d = Diff::compute(twin, cur, 8);
+  ASSERT_EQ(d.chunk_count(), 1u);
+  EXPECT_EQ(d.chunks()[0].offset, 4088u);
+  EXPECT_EQ(d.chunks()[0].offset + d.chunks()[0].data.size(), 4100u);
+  auto target = twin;
+  d.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, ChunkEndingExactlyAtPageEndApplies) {
+  auto twin = page(4096);
+  auto cur = twin;
+  for (std::size_t i = 4088; i < 4096; ++i) cur[i] = std::byte{0x99};
+  const Diff d = Diff::compute(twin, cur, 8);
+  ASSERT_EQ(d.chunk_count(), 1u);
+  EXPECT_EQ(d.chunks()[0].offset, 4088u);
+  EXPECT_EQ(d.chunks()[0].offset + d.chunks()[0].data.size(), 4096u);
+  auto target = twin;
+  d.apply(target);
+  EXPECT_EQ(target, cur);
+}
+
+TEST(Diff, WordSizeLargerThanPageComparesWholePage) {
+  auto twin = page(24);
+  auto cur = twin;
+  cur[23] = std::byte{1};
+  const Diff d = Diff::compute(twin, cur, 64);
+  ASSERT_EQ(d.chunk_count(), 1u);
+  EXPECT_EQ(d.chunks()[0].offset, 0u);
+  EXPECT_EQ(d.chunks()[0].data.size(), 24u);
+}
+
+TEST(Diff, WireBytesMatchesSerializedSizeExactly) {
+  auto twin = page(4096);
+  auto cur = twin;
+  cur[0] = std::byte{1};
+  cur[2000] = std::byte{2};
+  cur[4095] = std::byte{3};
+  const Diff d = Diff::compute(twin, cur);
+  Packer p;
+  d.serialize(p);
+  EXPECT_EQ(d.wire_bytes(), p.size());
+  // And for the empty diff too.
+  Packer pe;
+  Diff{}.serialize(pe);
+  EXPECT_EQ(Diff{}.wire_bytes(), pe.size());
+}
+
 // Property test: for random twin/current pairs with random write patterns,
 // applying the diff to the twin reproduces the current page exactly.
 class DiffProperty : public ::testing::TestWithParam<int> {};

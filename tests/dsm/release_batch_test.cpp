@@ -1,0 +1,290 @@
+// The batched release pipeline end to end: per-home aggregation of a
+// release's diffs into vectored messages (hbrc_mw twins, java write log),
+// the release-wide invalidation sweep (erc_sw, hbrc_mw home_dirty), readers
+// faulting while a home applies a batched diff round, and the equivalence of
+// the batched and sequential release paths.
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "dsm/protocol_lib.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+// Every fan-out must complete its accounting: one ack per invalidation sent
+// (they all ride collectors under the default config) and one ack per
+// vectored diff batch.
+void expect_round_accounting(Dsm& dsm) {
+  EXPECT_EQ(dsm.counters().total(Counter::kInvalidationsServed),
+            dsm.counters().total(Counter::kInvalidationsSent));
+  EXPECT_EQ(dsm.counters().total(Counter::kInvalidationAcks),
+            dsm.counters().total(Counter::kInvalidationsSent));
+  EXPECT_EQ(dsm.counters().total(Counter::kDiffBatchAcks),
+            dsm.counters().total(Counter::kDiffBatchesSent));
+}
+
+// A release with D dirty pages spread over H homes must ship exactly one
+// vectored message per home (carrying all of that home's diffs), not one
+// message per page — and the homes must end up with the written values.
+TEST(ReleaseBatch, HbrcFlushShipsOneVectoredMessagePerHome) {
+  constexpr int kHomes = 3;
+  constexpr int kPagesPerHome = 4;
+  DsmFixture fx(kHomes + 1);
+  const ProtocolId hbrc = fx.dsm.builtin().hbrc_mw;
+  std::vector<DsmAddr> pages;
+  for (int h = 1; h <= kHomes; ++h) {
+    for (int p = 0; p < kPagesPerHome; ++p) {
+      AllocAttr attr;
+      attr.protocol = hbrc;
+      attr.home_policy = HomePolicy::kFixed;
+      attr.fixed_home = static_cast<NodeId>(h);
+      pages.push_back(fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr));
+    }
+  }
+  const int lock = fx.dsm.create_lock(hbrc);
+  fx.run([&] {
+    fx.dsm.lock_acquire(lock);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      fx.dsm.write<long>(pages[i], static_cast<long>(i) + 100);
+    }
+    fx.dsm.lock_release(lock);
+    // The homes hold the merged main memory: verify from the homes directly.
+    std::vector<marcel::Thread*> ws;
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      const NodeId home = static_cast<NodeId>(1 + i / kPagesPerHome);
+      ws.push_back(&fx.rt.spawn_on(home, "verify", [&, i] {
+        EXPECT_EQ(fx.dsm.read<long>(pages[i]), static_cast<long>(i) + 100);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffBatchesSent),
+            static_cast<std::uint64_t>(kHomes));
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsSent),
+            static_cast<std::uint64_t>(kHomes * kPagesPerHome));
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsApplied),
+            static_cast<std::uint64_t>(kHomes * kPagesPerHome));
+  expect_round_accounting(fx.dsm);
+}
+
+// The java write-log path: modifications recorded on the fly through put()
+// aggregate by home at monitor exit, and a later reader (whose monitor entry
+// flushes its cache) sees them.
+TEST(ReleaseBatch, JavaMainMemoryUpdateBatchesByHome) {
+  constexpr int kHomes = 2;
+  constexpr int kPagesPerHome = 3;
+  DsmFixture fx(kHomes + 2);
+  const ProtocolId java = fx.dsm.builtin().java_ic;
+  std::vector<DsmAddr> pages;
+  for (int h = 1; h <= kHomes; ++h) {
+    for (int p = 0; p < kPagesPerHome; ++p) {
+      AllocAttr attr;
+      attr.protocol = java;
+      attr.home_policy = HomePolicy::kFixed;
+      attr.fixed_home = static_cast<NodeId>(h);
+      pages.push_back(fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr));
+    }
+  }
+  const int lock = fx.dsm.create_lock(java);
+  fx.run([&] {
+    fx.dsm.lock_acquire(lock);
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      fx.dsm.put<long>(pages[i], static_cast<long>(i) + 500);
+    }
+    fx.dsm.lock_release(lock);  // main-memory update, batched by home
+    auto& reader = fx.rt.spawn_on(kHomes + 1, "reader", [&] {
+      fx.dsm.lock_acquire(lock);  // monitor entry: cache flush
+      for (std::size_t i = 0; i < pages.size(); ++i) {
+        EXPECT_EQ(fx.dsm.get<long>(pages[i]), static_cast<long>(i) + 500);
+      }
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(reader);
+  });
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffBatchesSent),
+            static_cast<std::uint64_t>(kHomes));
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsSent),
+            static_cast<std::uint64_t>(kHomes * kPagesPerHome));
+  expect_round_accounting(fx.dsm);
+}
+
+struct Param {
+  const char* protocol;
+  std::uint64_t seed;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(info.param.protocol) + "_s" + std::to_string(info.param.seed);
+}
+
+class ReleaseRaceTest : public ::testing::TestWithParam<Param> {};
+
+// Readers fault on pages while their homes are applying a batched diff
+// round (hbrc_mw) or while a release-wide invalidation sweep is in flight
+// (erc_sw): unsynchronized reads keep replication traffic racing the
+// release, lock-protected reads must serialize against it — per reader and
+// page the observed value never goes backward, and once the writer finished
+// no stale copy survives anywhere.
+TEST_P(ReleaseRaceTest, ReaderFaultingDuringBatchedReleaseSerializes) {
+  const auto [proto, seed] = GetParam();
+  constexpr int kNodes = 6;
+  constexpr int kPages = 4;
+  constexpr long kWrites = 12;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), DsmConfig{}, seed,
+                sim::SchedPolicy::kRandom);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.protocol_by_name(proto);
+  ASSERT_NE(attr.protocol, kInvalidProtocol);
+  // One area spanning kPages pages, homes spread round-robin — the writer
+  // node is home to some pages (exercising the home_dirty sweep) and remote
+  // to others (exercising the batched twin flush).
+  attr.home_policy = HomePolicy::kRoundRobin;
+  const DsmAddr base =
+      fx.dsm.dsm_malloc(static_cast<std::uint64_t>(kPages) *
+                            fx.dsm.config().page_size,
+                        attr);
+  auto addr_of = [&](int p) {
+    return base + static_cast<DsmAddr>(p) * fx.dsm.config().page_size;
+  };
+  const int lock = fx.dsm.create_lock(attr.protocol);
+  int went_backward = 0;
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    ws.push_back(&fx.rt.spawn_on(1, "writer", [&] {
+      for (long v = 1; v <= kWrites; ++v) {
+        fx.dsm.lock_acquire(lock);
+        for (int p = 0; p < kPages; ++p) {
+          fx.dsm.write<long>(addr_of(p), v);
+        }
+        fx.dsm.lock_release(lock);  // batched flush / sweep fires here
+      }
+    }));
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "reader", [&] {
+        std::vector<long> last(kPages, 0);
+        for (int i = 0; i < 10; ++i) {
+          (void)fx.dsm.read<long>(addr_of(i % kPages));  // races the release
+          fx.dsm.lock_acquire(lock);
+          for (int p = 0; p < kPages; ++p) {
+            const long v = fx.dsm.read<long>(addr_of(p));
+            if (v < last[static_cast<std::size_t>(p)]) ++went_backward;
+            last[static_cast<std::size_t>(p)] = v;
+          }
+          fx.dsm.lock_release(lock);
+        }
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+    ws.clear();
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "final", [&] {
+        fx.dsm.lock_acquire(lock);
+        for (int p = 0; p < kPages; ++p) {
+          EXPECT_EQ(fx.dsm.read<long>(addr_of(p)), kWrites);
+        }
+        fx.dsm.lock_release(lock);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  EXPECT_EQ(went_backward, 0) << "a stale copy survived a batched release";
+  expect_round_accounting(fx.dsm);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ReleaseRaceTest,
+    ::testing::Values(Param{"hbrc_mw", 1}, Param{"hbrc_mw", 7},
+                      Param{"erc_sw", 1}, Param{"erc_sw", 7}),
+    param_name);
+
+// The sequential release (batch_diffs off) must stay semantically identical
+// to the batched one: same workload, same final memory on every node — only
+// the message pattern (and the simulated time) differs.
+class ReleaseEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReleaseEquivalenceTest, BatchedAndSequentialReleaseConverge) {
+  const char* proto = GetParam();
+  constexpr int kNodes = 5;
+  constexpr int kPages = 3;
+  constexpr long kRounds = 6;
+  auto run_once = [&](bool batch) {
+    DsmConfig cfg;
+    cfg.batch_diffs = batch;
+    DsmFixture fx(kNodes, madeleine::bip_myrinet(), cfg);
+    AllocAttr attr;
+    attr.protocol = fx.dsm.protocol_by_name(proto);
+    attr.home_policy = HomePolicy::kRoundRobin;
+    const DsmAddr base =
+        fx.dsm.dsm_malloc(static_cast<std::uint64_t>(kPages) *
+                              fx.dsm.config().page_size,
+                          attr);
+    const int lock = fx.dsm.create_lock(attr.protocol);
+    std::vector<long> finals(static_cast<std::size_t>(kNodes) * kPages, -1);
+    fx.run([&] {
+      std::vector<marcel::Thread*> ws;
+      for (NodeId n = 1; n < kNodes; ++n) {
+        ws.push_back(&fx.rt.spawn_on(n, "writer", [&, n] {
+          for (long v = 1; v <= kRounds; ++v) {
+            fx.dsm.lock_acquire(lock);
+            for (int p = 0; p < kPages; ++p) {
+              const DsmAddr a =
+                  base + static_cast<DsmAddr>(p) * fx.dsm.config().page_size +
+                  static_cast<DsmAddr>(n) * sizeof(long);
+              fx.dsm.write<long>(a, v * 10 + n);
+            }
+            fx.dsm.lock_release(lock);
+          }
+        }));
+      }
+      for (auto* w : ws) fx.rt.threads().join(*w);
+      ws.clear();
+      for (NodeId n = 0; n < kNodes; ++n) {
+        ws.push_back(&fx.rt.spawn_on(n, "collect", [&, n] {
+          fx.dsm.lock_acquire(lock);
+          for (int p = 0; p < kPages; ++p) {
+            const DsmAddr a =
+                base + static_cast<DsmAddr>(p) * fx.dsm.config().page_size +
+                static_cast<DsmAddr>(n) * sizeof(long);
+            finals[static_cast<std::size_t>(n) * kPages +
+                   static_cast<std::size_t>(p)] = fx.dsm.read<long>(a);
+          }
+          fx.dsm.lock_release(lock);
+        }));
+      }
+      for (auto* w : ws) fx.rt.threads().join(*w);
+    });
+    // Only the home-based protocol ships diffs; erc_sw's batched release is
+    // the invalidation sweep (covered by the ack accounting below).
+    if (batch && std::string_view(proto) == "hbrc_mw") {
+      EXPECT_GT(fx.dsm.counters().total(Counter::kDiffBatchesSent), 0u)
+          << proto << " batched run shipped no vectored batches";
+    } else {
+      EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffBatchesSent), 0u);
+    }
+    expect_round_accounting(fx.dsm);
+    return finals;
+  };
+  const auto batched = run_once(true);
+  const auto sequential = run_once(false);
+  EXPECT_EQ(batched, sequential);
+  // Every slot was written by its node's last locked round.
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    const long n = static_cast<long>(i) / kPages;
+    if (n == 0) continue;  // node 0 never wrote its slot
+    EXPECT_EQ(batched[i], kRounds * 10 + n) << "slot " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ReleaseEquivalenceTest,
+                         ::testing::Values("hbrc_mw", "erc_sw"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -68,6 +68,42 @@ TEST(Driver, RelativeOrderingOfNetworks) {
   EXPECT_LT(tcpm.wire_time(MsgKind::kBulk, 4096), fe.wire_time(MsgKind::kBulk, 4096));
 }
 
+TEST(Driver, FragmentOverheadChargedPerExtraFragment) {
+  const auto d = bip_myrinet();
+  // Same bytes, more fragments: each fragment beyond the first adds exactly
+  // frag_overhead_us; a flat message (fragments=1) is the unchanged baseline.
+  const auto flat = d.wire_time(MsgKind::kBulk, 4096);
+  EXPECT_EQ(d.wire_time(MsgKind::kBulk, 4096, 1), flat);
+  EXPECT_EQ(d.wire_time(MsgKind::kBulk, 4096, 4) - flat,
+            from_us(3 * d.frag_overhead_us));
+}
+
+TEST(Driver, AggregationBeatsSeparateMessages) {
+  // The batching trade the release pipeline relies on: one vectored message
+  // with N fragments undercuts N separate messages as long as the gather
+  // overhead stays below rpc_min.
+  for (const auto& d : builtin_drivers()) {
+    ASSERT_LT(d.frag_overhead_us, d.rpc_min_us) << d.name;
+    const int n = 16;
+    const std::size_t each = 64;
+    EXPECT_LT(d.wire_time(MsgKind::kBulk, n * each, n),
+              n * d.wire_time(MsgKind::kBulk, each))
+        << d.name;
+  }
+}
+
+TEST(Driver, CustomDriverFragmentOverhead) {
+  const auto d = custom("loop", 1.0, 2.0, 0.001, 3.0, 0.25);
+  EXPECT_NEAR(to_us(d.wire_time(MsgKind::kControl, 0, 5)), 2.0, 1e-9);
+}
+
+TEST(Driver, MsgKindNames) {
+  EXPECT_STREQ(msg_kind_name(MsgKind::kControl), "control");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kPageRequest), "page_request");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kBulk), "bulk");
+  EXPECT_STREQ(msg_kind_name(MsgKind::kMigration), "migration");
+}
+
 TEST(Driver, CustomDriver) {
   const auto d = custom("loop", 1.0, 2.0, 0.001, 3.0);
   EXPECT_EQ(d.name, "loop");

@@ -110,6 +110,80 @@ TEST(Network, StatsCountMessagesAndBytes) {
   EXPECT_EQ(fx.net.stats(1).bytes_received, 30u);
 }
 
+TEST(Network, VectoredFragmentsArriveIntactAndInOrder) {
+  Fixture fx;
+  Message received;
+  fx.net.set_delivery_handler(1, [&](Message m) { received = std::move(m); });
+  fx.sched.spawn("sender", [&] {
+    Message m{0, 1, MsgKind::kBulk, make_payload(8, std::byte{0x11})};
+    m.fragments.push_back(make_payload(16, std::byte{0x22}));
+    m.fragments.push_back(make_payload(24, std::byte{0x33}));
+    fx.net.send(std::move(m));
+  });
+  fx.sched.run();
+  EXPECT_EQ(received.payload, make_payload(8, std::byte{0x11}));
+  ASSERT_EQ(received.fragments.size(), 2u);
+  EXPECT_EQ(received.fragments[0], make_payload(16, std::byte{0x22}));
+  EXPECT_EQ(received.fragments[1], make_payload(24, std::byte{0x33}));
+  EXPECT_EQ(received.total_bytes(), 48u);
+  EXPECT_EQ(received.fragment_count(), 3u);
+}
+
+TEST(Network, VectoredSendCountsEveryFragmentByte) {
+  Fixture fx;
+  fx.net.set_delivery_handler(1, [](Message) {});
+  fx.sched.spawn("sender", [&] {
+    Message m{0, 1, MsgKind::kBulk, make_payload(10)};
+    m.fragments.push_back(make_payload(30));
+    fx.net.send(std::move(m));
+  });
+  fx.sched.run();
+  EXPECT_EQ(fx.net.stats(0).bytes_sent, 40u);
+  EXPECT_EQ(fx.net.stats(1).bytes_received, 40u);
+}
+
+TEST(Network, VectoredWireTimeOneFixedCostPlusFragmentOverheads) {
+  // One vectored bulk message carrying N fragments must cost one rpc_min
+  // (plus per-byte and the small per-fragment gather overhead) — strictly
+  // less than N separate bulk messages of the same total size.
+  Fixture fx;
+  SimTime delivered_at = -1;
+  fx.net.set_delivery_handler(1, [&](Message) { delivered_at = fx.sched.now(); });
+  fx.sched.spawn("sender", [&] {
+    Message m{0, 1, MsgKind::kBulk, make_payload(64)};
+    for (int i = 0; i < 7; ++i) m.fragments.push_back(make_payload(64));
+    fx.net.send(std::move(m));
+  });
+  fx.sched.run();
+  const auto& d = fx.net.driver();
+  EXPECT_EQ(delivered_at, d.wire_time(MsgKind::kBulk, 512, 8));
+  EXPECT_LT(delivered_at, 8 * d.wire_time(MsgKind::kBulk, 64));
+}
+
+TEST(Network, StatsBreakDownByMsgKind) {
+  Fixture fx;
+  fx.net.set_delivery_handler(1, [](Message) {});
+  fx.sched.spawn("sender", [&] {
+    fx.net.send({0, 1, MsgKind::kControl, make_payload(4)});
+    fx.net.send({0, 1, MsgKind::kBulk, make_payload(100)});
+    fx.net.send({0, 1, MsgKind::kBulk, make_payload(50)});
+    fx.net.send({0, 1, MsgKind::kPageRequest, make_payload(8)});
+  });
+  fx.sched.run();
+  const LinkStats& tx = fx.net.stats(0);
+  EXPECT_EQ(tx.messages_sent_of(MsgKind::kControl), 1u);
+  EXPECT_EQ(tx.messages_sent_of(MsgKind::kBulk), 2u);
+  EXPECT_EQ(tx.bytes_sent_of(MsgKind::kBulk), 150u);
+  EXPECT_EQ(tx.messages_sent_of(MsgKind::kPageRequest), 1u);
+  EXPECT_EQ(tx.messages_sent_of(MsgKind::kMigration), 0u);
+  const LinkStats& rx = fx.net.stats(1);
+  EXPECT_EQ(rx.messages_received_of(MsgKind::kBulk), 2u);
+  EXPECT_EQ(rx.bytes_received_of(MsgKind::kBulk), 150u);
+  // Per-kind counters partition the totals.
+  EXPECT_EQ(tx.messages_sent, 4u);
+  EXPECT_EQ(tx.bytes_sent, 162u);
+}
+
 TEST(Network, ManyMessagesAllDelivered) {
   Fixture fx;
   int received = 0;
