@@ -3,12 +3,16 @@
 // AckCollector wait) against the sequential one-blocking-diff-per-page
 // baseline, for both diff sources of the paper:
 //
-//   * hbrc_mw — twin-based diffs computed at release. Its release pays an
-//     unavoidable CPU floor (one twin scan per dirty page) in both modes, so
-//     batching collapses only the communication term (~3x at scale);
+//   * hbrc_mw — twin-based diffs. Historically floored at ~3x by the
+//     O(page_size) twin scan per dirty page; with write-span tracking
+//     (DsmConfig::track_write_spans, the default) the release reads only the
+//     recorded write intervals, so the scan floor is gone. The bench
+//     measures a third series — batched with `track_write_spans = false`
+//     (the twin-scan baseline) — and reports the span speedup against it
+//     (the >=5x ISSUE 4 acceptance point, checked at 64 pages x 8 homes);
 //   * java_ic — modifications recorded on the fly through put(), so the
 //     release is pure communication and batching collapses almost all of it
-//     (the >=5x ISSUE acceptance point is checked here).
+//     (the >=5x ISSUE 3 acceptance point is checked here).
 //
 // Setup per point: H+1 nodes; D single-page areas spread over H home nodes
 // (1..H, fixed-home). Node 0 acquires a lock, writes one word in every page
@@ -38,21 +42,28 @@ struct Point {
   const char* protocol = "";
   int dirty_pages = 0;
   int homes = 0;
-  double seq_us = 0;
-  double batch_us = 0;
+  double seq_us = 0;        // sequential release (spans on)
+  double batch_us = 0;      // batched release (spans on)
+  double twin_scan_us = 0;  // batched release, track_write_spans=false (twin
+                            // protocols only; 0 elsewhere)
   [[nodiscard]] double speedup() const {
     return batch_us > 0 ? seq_us / batch_us : 0;
+  }
+  /// How much killing the twin scan buys on top of batching.
+  [[nodiscard]] double span_speedup() const {
+    return batch_us > 0 && twin_scan_us > 0 ? twin_scan_us / batch_us : 0;
   }
 };
 
 double measure_release_us(const char* protocol, int dirty_pages, int homes,
-                          bool batch) {
+                          bool batch, bool track_spans) {
   pm2::Config cfg;
   cfg.nodes = homes + 1;
   cfg.driver = madeleine::bip_myrinet();
   pm2::Runtime rt(cfg);
   dsm::DsmConfig dc;
   dc.batch_diffs = batch;
+  dc.track_write_spans = track_spans;
   dsm::Dsm dsm(rt, dc);
   const dsm::ProtocolId proto = dsm.protocol_by_name(protocol);
   DSM_CHECK(proto != dsm::kInvalidProtocol);
@@ -109,13 +120,15 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
       << "  \"unit\": \"simulated_us\",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const Point& p = points[i];
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof buf,
                   "    {\"protocol\": \"%s\", \"dirty_pages\": %d, "
                   "\"homes\": %d, \"sequential_us\": %.3f, "
-                  "\"batched_us\": %.3f, \"speedup\": %.2f}%s\n",
+                  "\"batched_us\": %.3f, \"speedup\": %.2f, "
+                  "\"twin_scan_us\": %.3f, \"span_speedup\": %.2f}%s\n",
                   p.protocol, p.dirty_pages, p.homes, p.seq_us, p.batch_us,
-                  p.speedup(), i + 1 < points.size() ? "," : "");
+                  p.speedup(), p.twin_scan_us, p.span_speedup(),
+                  i + 1 < points.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -146,24 +159,40 @@ int main(int argc, char** argv) {
                   {4, 2}, {8, 4}, {16, 4}, {32, 8}, {64, 8}, {128, 16}};
   const char* kProtocols[] = {"hbrc_mw", "java_ic"};
 
-  std::printf("Batched release scaling — lock_release latency, BIP/Myrinet\n"
-              "%s sweep: up to %d dirty pages over %d homes\n\n",
-              smoke ? "smoke" : "full", sweep.back().first, sweep.back().second);
+  std::printf(
+      "Batched release scaling — lock_release latency, BIP/Myrinet\n"
+      "%s sweep: up to %d dirty pages over %d homes\n"
+      "(twin-scan us = batched release with track_write_spans=false;\n"
+      " span speedup = twin-scan / batched — twin protocols only)\n\n",
+      smoke ? "smoke" : "full", sweep.back().first, sweep.back().second);
 
   std::vector<Point> points;
   TablePrinter table({"protocol", "dirty pages", "homes", "sequential us",
-                      "batched us", "speedup"});
+                      "batched us", "twin-scan us", "batch speedup",
+                      "span speedup"});
   for (const char* proto : kProtocols) {
+    // track_write_spans only changes the twin-diff path, so the twin-scan
+    // series is measured for the twinning protocol only.
+    const bool twins = std::strcmp(proto, "hbrc_mw") == 0;
     for (const auto& [dirty, homes] : sweep) {
       Point p;
       p.protocol = proto;
       p.dirty_pages = dirty;
       p.homes = homes;
-      p.seq_us = measure_release_us(proto, dirty, homes, /*batch=*/false);
-      p.batch_us = measure_release_us(proto, dirty, homes, /*batch=*/true);
+      p.seq_us = measure_release_us(proto, dirty, homes, /*batch=*/false,
+                                    /*track_spans=*/true);
+      p.batch_us = measure_release_us(proto, dirty, homes, /*batch=*/true,
+                                      /*track_spans=*/true);
+      p.twin_scan_us = twins ? measure_release_us(proto, dirty, homes,
+                                                  /*batch=*/true,
+                                                  /*track_spans=*/false)
+                             : 0;
       table.add_row({proto, std::to_string(dirty), std::to_string(homes),
                      TablePrinter::fmt(p.seq_us), TablePrinter::fmt(p.batch_us),
-                     TablePrinter::fmt(p.speedup(), 2) + "x"});
+                     twins ? TablePrinter::fmt(p.twin_scan_us) : "-",
+                     TablePrinter::fmt(p.speedup(), 2) + "x",
+                     twins ? TablePrinter::fmt(p.span_speedup(), 2) + "x"
+                           : "-"});
       points.push_back(p);
     }
   }
@@ -171,24 +200,38 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) write_json(json_path, points);
 
-  // Self-check. The write-log path (pure-communication release) must clear
-  // the ISSUE bar: >= 5x at 64 pages / 8 homes (smoke: >= 2x at its widest
-  // point). The twin path's release keeps its per-page scan CPU floor in
-  // both modes, so its bar is the communication share only: >= 2x.
+  // Self-checks at the widest point of the sweep.
+  //   * java_ic (write log): batching must clear >= 5x (smoke >= 2x) — the
+  //     pure-communication release, ISSUE 3's bar.
+  //   * hbrc_mw batching: with the scan floor gone from both series this is
+  //     pure communication too — >= 2x stands with margin.
+  //   * hbrc_mw spans: the span-tracked release must beat the twin-scan
+  //     baseline >= 5x at 64 pages x 8 homes (ISSUE 4's bar); the smoke
+  //     sweep's widest point (16 x 4) carries a quarter of the scan CPU, so
+  //     its bar is 2x.
   const double java_bar = smoke ? 2.0 : 5.0;
-  const double hbrc_bar = 2.0;
+  const double hbrc_batch_bar = 2.0;
+  const double span_bar = smoke ? 2.0 : 5.0;
   const auto [at_dirty, at_homes] = smoke ? sweep.back() : std::pair{64, 8};
   bool pass = true;
   for (const Point& p : points) {
     if (p.dirty_pages != at_dirty || p.homes != at_homes) continue;
-    const double bar =
-        std::strcmp(p.protocol, "java_ic") == 0 ? java_bar : hbrc_bar;
+    const bool is_java = std::strcmp(p.protocol, "java_ic") == 0;
+    const double bar = is_java ? java_bar : hbrc_batch_bar;
     const bool ok = p.speedup() >= bar;
-    std::printf("\ncheck[%s]: %.2fx speedup at %d pages x %d homes "
+    std::printf("\ncheck[%s batch]: %.2fx speedup at %d pages x %d homes "
                 "(need >= %.1fx): %s",
                 p.protocol, p.speedup(), at_dirty, at_homes, bar,
                 ok ? "PASS" : "FAIL");
     pass = pass && ok;
+    if (!is_java) {
+      const bool span_ok = p.span_speedup() >= span_bar;
+      std::printf("\ncheck[%s span-vs-scan]: %.2fx speedup at %d pages x %d "
+                  "homes (need >= %.1fx): %s",
+                  p.protocol, p.span_speedup(), at_dirty, at_homes, span_bar,
+                  span_ok ? "PASS" : "FAIL");
+      pass = pass && span_ok;
+    }
   }
   std::printf("\n");
   return pass ? 0 : 1;

@@ -27,6 +27,19 @@ void check_span(const PageGeometry& g, DsmAddr addr, std::size_t len) {
 
 }  // namespace
 
+void Dsm::note_write_span(NodeId node, PageEntry& e, std::uint32_t offset,
+                          std::uint32_t length) {
+  if (!config_.track_write_spans || !e.has_twin) return;
+  if (e.write_spans.whole_page()) return;  // collapsed: appends are no-ops
+  e.write_spans.record(offset, length, kDiffWordSize, geometry_.page_size(),
+                       config_.write_span_cap);
+  counters_.inc(node, Counter::kSpanRecords);
+  if (e.write_spans.whole_page()) {
+    counters_.inc(node, Counter::kSpanOverflows);
+  }
+  charge(costs().span_record);
+}
+
 void Dsm::fault(DsmAddr addr, PageId page, Access wanted, bool charge_fault_cost) {
   const NodeId node = self();
   const Protocol& proto = protocol_of(page);
@@ -73,10 +86,12 @@ void Dsm::access_write(DsmAddr addr, std::span<const std::byte> in) {
     auto& tbl = table(node);
     {
       marcel::MutexLock l(tbl.mutex(page));
-      const PageEntry& e = tbl.entry(page);
+      PageEntry& e = tbl.entry(page);
       DSM_CHECK_MSG(e.valid, "write to unallocated DSM address");
       if (access_covers(e.access, Access::kWrite)) {
         store(node).write_bytes(page, geometry_.offset_in_page(addr), in);
+        note_write_span(node, e, geometry_.offset_in_page(addr),
+                        static_cast<std::uint32_t>(in.size()));
         return;
       }
     }
@@ -126,10 +141,12 @@ void Dsm::access_put(DsmAddr addr, std::span<const std::byte> in) {
     auto& tbl = table(node);
     {
       marcel::MutexLock l(tbl.mutex(page));
-      const PageEntry& e = tbl.entry(page);
+      PageEntry& e = tbl.entry(page);
       DSM_CHECK_MSG(e.valid, "put to unallocated DSM address");
       if (access_covers(e.access, Access::kWrite)) {
         store(node).write_bytes(page, geometry_.offset_in_page(addr), in);
+        note_write_span(node, e, geometry_.offset_in_page(addr),
+                        static_cast<std::uint32_t>(in.size()));
         break;
       }
     }

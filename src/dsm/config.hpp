@@ -29,6 +29,9 @@ struct CostModel {
   SimTime page_install = 13 * kNsPerUs;
   /// The migrate_thread protocol's handler cost (Table 4, row 3).
   SimTime migrate_overhead = 1 * kNsPerUs;
+  /// Appending one interval to a page's write-span log at access time
+  /// (coalescing insert into a small sorted vector).
+  SimTime span_record = 50;  // 0.05 µs
   /// One inline locality check in the java_ic get/put primitives.
   SimTime inline_check = 200;  // 0.2 µs
   /// Appending one record to the on-the-fly write log (java protocols).
@@ -66,6 +69,17 @@ struct DsmConfig {
   /// reproduces the historical sequential release — the bench_scale_release
   /// baseline.
   bool batch_diffs = true;
+  /// Track dirty write spans at access time: every write to a twinned page
+  /// appends a word-aligned, coalesced [offset, len) interval to the page's
+  /// span log, and release-time diffs read only the recorded intervals
+  /// instead of scanning the whole twin — the diff cost scales with bytes
+  /// written, not page size. Off restores the full twin-scan baseline (the
+  /// bench_scale_release "twin_scan" series).
+  bool track_write_spans = true;
+  /// Distinct spans kept per page before the span log collapses to "whole
+  /// page dirty" (full-scan fallback); bounds both the log's memory and the
+  /// per-write coalescing cost.
+  std::uint32_t write_span_cap = 32;
 };
 
 }  // namespace dsmpm2::dsm

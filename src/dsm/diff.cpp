@@ -33,6 +33,49 @@ Diff Diff::compute(std::span<const std::byte> twin,
   return diff;
 }
 
+Diff Diff::compute_from_spans(std::span<const WriteSpan> spans,
+                              std::span<const std::byte> twin,
+                              std::span<const std::byte> current,
+                              std::uint32_t word_size) {
+  DSM_CHECK(word_size > 0);
+  Diff diff;
+  if (twin.empty()) {
+    // Span-exact mode: the spans ARE the modifications; no comparison needed.
+    for (const WriteSpan& s : spans) {
+      DSM_CHECK(s.end() <= current.size());
+      diff.add_chunk(s.offset, current.subspan(s.offset, s.length));
+    }
+    return diff;
+  }
+  DSM_CHECK(twin.size() == current.size());
+  const std::size_t n = current.size();
+  for (const WriteSpan& s : spans) {
+    DSM_CHECK(s.end() <= n);
+    // Word-by-word comparison restricted to the span. Spans sit on the page's
+    // word grid, so runs found here match the full scan's chunks exactly;
+    // runs never continue across spans because the gap between two spans was
+    // never written (hence equals the twin).
+    std::size_t i = s.offset;
+    const std::size_t span_end = s.end();
+    while (i < span_end) {
+      const std::size_t w = std::min<std::size_t>(word_size, n - i);
+      if (std::memcmp(twin.data() + i, current.data() + i, w) != 0) {
+        const std::size_t start = i;
+        while (i < span_end) {
+          const std::size_t ww = std::min<std::size_t>(word_size, n - i);
+          if (std::memcmp(twin.data() + i, current.data() + i, ww) == 0) break;
+          i += ww;
+        }
+        diff.add_chunk(static_cast<std::uint32_t>(start),
+                       current.subspan(start, i - start));
+      } else {
+        i += w;
+      }
+    }
+  }
+  return diff;
+}
+
 void Diff::apply(std::span<std::byte> target) const {
   for (const Chunk& c : chunks_) {
     DSM_CHECK(c.offset + c.data.size() <= target.size());

@@ -17,8 +17,14 @@
 
 #include "common/ids.hpp"
 #include "common/serialize.hpp"
+#include "dsm/write_spans.hpp"
 
 namespace dsmpm2::dsm {
+
+/// Word granularity shared by the twin-scan and span-guided diff paths (and
+/// by WriteSpanLog alignment): the two must use the same grid to stay
+/// byte-identical.
+inline constexpr std::uint32_t kDiffWordSize = 8;
 
 class Diff {
  public:
@@ -33,7 +39,20 @@ class Diff {
   /// modified words coalesce into one chunk.
   static Diff compute(std::span<const std::byte> twin,
                       std::span<const std::byte> current,
-                      std::uint32_t word_size = 8);
+                      std::uint32_t word_size = kDiffWordSize);
+
+  /// Span-guided diff: reads only the recorded write spans instead of
+  /// scanning the whole page. `spans` must be sorted, pairwise non-touching,
+  /// aligned to `word_size` (WriteSpanLog guarantees all three) and must
+  /// cover every byte where `current` differs from `twin` — then the result
+  /// is byte-identical to the full-scan compute() (the fuzz harness checks
+  /// exactly this). With an empty `twin` the comparison is skipped entirely
+  /// and each span ships verbatim ("span-exact" mode — protocols whose spans
+  /// record precisely the bytes written, like the Java write log).
+  static Diff compute_from_spans(std::span<const WriteSpan> spans,
+                                 std::span<const std::byte> twin,
+                                 std::span<const std::byte> current,
+                                 std::uint32_t word_size = kDiffWordSize);
 
   /// Writes every chunk into `target` (a page frame).
   void apply(std::span<std::byte> target) const;

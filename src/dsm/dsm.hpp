@@ -195,6 +195,13 @@ class Dsm {
   /// runs the protocol's fault handler. Callers loop until rights suffice.
   void fault(DsmAddr addr, PageId page, Access wanted, bool charge_fault_cost);
 
+  /// Access-time write-span tracking: appends [offset, offset+length) to the
+  /// page's coalescing span log when it applies (track_write_spans on and the
+  /// page has a live twin — the only state whose modifications are later
+  /// discovered by diffing). Caller holds the page mutex.
+  void note_write_span(NodeId node, PageEntry& e, std::uint32_t offset,
+                       std::uint32_t length);
+
   pm2::Runtime& rt_;
   DsmConfig config_;
   PageGeometry geometry_;

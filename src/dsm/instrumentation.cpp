@@ -29,6 +29,10 @@ const char* counter_name(Counter c) {
     case Counter::kWriteRecords: return "write_records";
     case Counter::kTwinsCreated: return "twins_created";
     case Counter::kCacheFlushes: return "cache_flushes";
+    case Counter::kSpanRecords: return "span_records";
+    case Counter::kSpanDiffHits: return "span_diff_hits";
+    case Counter::kSpanDiffFallbacks: return "span_diff_fallbacks";
+    case Counter::kSpanOverflows: return "span_overflows";
     case Counter::kCount: break;
   }
   return "?";

@@ -46,6 +46,10 @@ enum class Counter : int {
   kWriteRecords,
   kTwinsCreated,
   kCacheFlushes,
+  kSpanRecords,        ///< intervals appended to page span logs at access time
+  kSpanDiffHits,       ///< diffs built from recorded spans (no full twin scan)
+  kSpanDiffFallbacks,  ///< tracked pages whose diff still full-scanned (cap)
+  kSpanOverflows,      ///< span logs that collapsed to whole-page dirty
   kCount  // sentinel
 };
 

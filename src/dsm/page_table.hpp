@@ -21,6 +21,7 @@
 #include "dsm/ack_collector.hpp"
 #include "dsm/config.hpp"
 #include "dsm/page.hpp"
+#include "dsm/write_spans.hpp"
 #include "marcel/sync.hpp"
 
 namespace dsmpm2::dsm {
@@ -56,6 +57,10 @@ struct PageEntry {
   bool dirty = false;
   /// A twin exists in the page store (hbrc_mw).
   bool has_twin = false;
+  /// Write spans recorded at access time while the twin is live (with
+  /// DsmConfig::track_write_spans): what the release-time diff reads instead
+  /// of scanning the whole twin. Reset whenever the twin is made or dropped.
+  WriteSpanLog write_spans;
 
   /// Protocol-private scratch word ("new fields could be added as needed";
   /// protocols are free to encode whatever state they need here).

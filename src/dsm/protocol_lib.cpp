@@ -218,6 +218,7 @@ void invalidate_local(Dsm& dsm, const InvalidateRequest& inv) {
     dsm.store(inv.node).drop_twin(inv.page);
     e.has_twin = false;
   }
+  e.write_spans.clear();
   if (!e.in_transition) dsm.store(inv.node).drop_frame(inv.page);
 }
 
@@ -393,6 +394,7 @@ void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write)
     dsm.store(arrival.node).make_twin(arrival.page);
     dsm.counters().inc(arrival.node, Counter::kTwinsCreated);
     e.has_twin = true;
+    e.write_spans.clear();  // fresh twin: frame == twin, nothing written yet
     e.dirty = true;
     auto& rc = dsm.proto_state<HomeRcState>(e.protocol, arrival.node);
     rc.twinned.insert(arrival.page);
@@ -415,6 +417,7 @@ void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx) {
   dsm.store(ctx.node).make_twin(ctx.page);
   dsm.counters().inc(ctx.node, Counter::kTwinsCreated);
   e.has_twin = true;
+  e.write_spans.clear();  // fresh twin: frame == twin, nothing written yet
   e.dirty = true;
   e.access = Access::kWrite;
   auto& rc = dsm.proto_state<HomeRcState>(e.protocol, ctx.node);
@@ -422,6 +425,32 @@ void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx) {
 }
 
 namespace {
+
+/// Builds a twinned page's diff under the caller-held page lock: from the
+/// recorded write spans when tracking applies — reading (and charging for)
+/// only the covered bytes, an empty log skipping the twin entirely — or by
+/// the full twin scan when tracking is off or the log overflowed to
+/// whole-page. Consumes the span log either way.
+Diff compute_twin_diff(Dsm& dsm, PageEntry& e, PageId page, NodeId node) {
+  const auto frame = dsm.store(node).frame(page);
+  Diff diff;
+  if (dsm.config().track_write_spans && !e.write_spans.whole_page()) {
+    dsm.charge_us(static_cast<double>(e.write_spans.covered_bytes()) *
+                  dsm.costs().diff_scan_per_byte_us);
+    diff = Diff::compute_from_spans(e.write_spans.spans(),
+                                    dsm.store(node).twin(page), frame);
+    dsm.counters().inc(node, Counter::kSpanDiffHits);
+  } else {
+    dsm.charge_us(static_cast<double>(frame.size()) *
+                  dsm.costs().diff_scan_per_byte_us);
+    diff = Diff::compute(dsm.store(node).twin(page), frame);
+    if (dsm.config().track_write_spans) {
+      dsm.counters().inc(node, Counter::kSpanDiffFallbacks);
+    }
+  }
+  e.write_spans.clear();
+  return diff;
+}
 
 /// Computes `page`'s twin diff and retires the local copy (twin, rights,
 /// frame) under one hold of the page lock — the flush-invalidate step shared
@@ -432,10 +461,7 @@ NodeId take_twin_diff(Dsm& dsm, PageId page, NodeId node, Diff& out) {
   marcel::MutexLock l(tbl.mutex(page));
   PageEntry& e = tbl.entry(page);
   if (!e.has_twin) return kInvalidNode;
-  const auto frame = dsm.store(node).frame(page);
-  dsm.charge_us(static_cast<double>(frame.size()) *
-                dsm.costs().diff_scan_per_byte_us);
-  out = Diff::compute(dsm.store(node).twin(page), frame);
+  out = compute_twin_diff(dsm, e, page, node);
   dsm.store(node).drop_twin(page);
   e.has_twin = false;
   e.dirty = false;
@@ -536,10 +562,8 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
     settle(dsm, inv.node, inv.page);  // let any in-flight fetch land first
     PageEntry& e = tbl.entry(inv.page);
     if (e.has_twin) {
-      const auto frame = dsm.store(inv.node).frame(inv.page);
-      dsm.charge_us(static_cast<double>(frame.size()) *
-                    dsm.costs().diff_scan_per_byte_us);
-      diff = Diff::compute(dsm.store(inv.node).twin(inv.page), frame);
+      // The third-party-writer flush: span-guided like the release path.
+      diff = compute_twin_diff(dsm, e, inv.page, inv.node);
       dsm.store(inv.node).drop_twin(inv.page);
       e.has_twin = false;
       auto& rc = dsm.proto_state<HomeRcState>(e.protocol, inv.node);

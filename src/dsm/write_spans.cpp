@@ -1,0 +1,55 @@
+#include "dsm/write_spans.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dsmpm2::dsm {
+
+void WriteSpanLog::record(std::uint32_t offset, std::uint32_t length,
+                          std::uint32_t word_size, std::uint32_t page_size,
+                          std::uint32_t span_cap) {
+  if (length == 0 || whole_page_) return;
+  DSM_CHECK(word_size > 0);
+  DSM_CHECK_MSG(offset + length <= page_size, "write span outside the page");
+  // Widen to the page's word grid so a span-guided word comparison lines up
+  // exactly with the full-scan grid (byte-identical diffs).
+  const std::uint32_t lo = offset / word_size * word_size;
+  const std::uint32_t hi =
+      std::min<std::uint32_t>((offset + length + word_size - 1) / word_size * word_size,
+                              page_size);
+
+  // Find the first span ending at or after lo; everything from there that
+  // starts at or before hi overlaps or touches [lo, hi) and merges into it.
+  auto first = std::find_if(spans_.begin(), spans_.end(),
+                            [lo](const WriteSpan& s) { return s.end() >= lo; });
+  auto last = first;
+  std::uint32_t merged_lo = lo;
+  std::uint32_t merged_hi = hi;
+  while (last != spans_.end() && last->offset <= hi) {
+    merged_lo = std::min(merged_lo, last->offset);
+    merged_hi = std::max(merged_hi, last->end());
+    ++last;
+  }
+  if (first == last) {
+    spans_.insert(first, WriteSpan{lo, hi - lo});
+  } else {
+    first->offset = merged_lo;
+    first->length = merged_hi - merged_lo;
+    spans_.erase(first + 1, last);
+  }
+  if (spans_.size() > span_cap) {
+    // Cap overflow: the write pattern is too scattered for span tracking to
+    // pay off — degrade to "whole page dirty" (the full-scan fallback).
+    whole_page_ = true;
+    spans_.assign(1, WriteSpan{0, page_size});
+  }
+}
+
+std::size_t WriteSpanLog::covered_bytes() const {
+  std::size_t total = 0;
+  for (const WriteSpan& s : spans_) total += s.length;
+  return total;
+}
+
+}  // namespace dsmpm2::dsm

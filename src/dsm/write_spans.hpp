@@ -1,0 +1,64 @@
+// Write-span tracking: the access-time alternative to the release-time twin
+// scan.
+//
+// The classical twinning technique (Keleher et al. [15], used by hbrc_mw)
+// discovers a writer's modifications by comparing the whole page against its
+// twin at release — an O(page_size) scan per dirty page that floors the
+// release latency once communication is batched. A WriteSpanLog instead
+// records each write as a word-aligned [offset, offset+length) interval at
+// access time; the release then reads only the recorded intervals
+// (Diff::compute_from_spans), so the diff cost scales with the bytes actually
+// written, not the page size.
+//
+// The log stays small by construction: intervals merge on insert when they
+// overlap or touch, and past a configurable cap the log collapses to "whole
+// page dirty" — from there the span path degenerates to exactly the full
+// twin scan, never worse.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsmpm2::dsm {
+
+/// One dirty interval [offset, offset+length) within a page.
+struct WriteSpan {
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+
+  [[nodiscard]] std::uint32_t end() const { return offset + length; }
+  friend bool operator==(const WriteSpan&, const WriteSpan&) = default;
+};
+
+/// Per-page coalescing log of write spans. Lives in the PageEntry and is
+/// mutated under the page mutex like every other entry field.
+class WriteSpanLog {
+ public:
+  /// Records [offset, offset+length): the interval is widened to `word_size`
+  /// boundaries (clamped to `page_size`), inserted in offset order, and
+  /// merged with any spans it overlaps or touches. Once the log would exceed
+  /// `span_cap` distinct spans it collapses to one whole-page span — the
+  /// full-scan fallback. Zero-length records are ignored.
+  void record(std::uint32_t offset, std::uint32_t length,
+              std::uint32_t word_size, std::uint32_t page_size,
+              std::uint32_t span_cap);
+
+  [[nodiscard]] bool empty() const { return spans_.empty(); }
+  /// True once the cap collapsed the log to the whole-page span.
+  [[nodiscard]] bool whole_page() const { return whole_page_; }
+  /// Sorted, pairwise-disjoint, non-touching, word-aligned spans.
+  [[nodiscard]] const std::vector<WriteSpan>& spans() const { return spans_; }
+  /// Total bytes covered — what a span-guided diff has to read.
+  [[nodiscard]] std::size_t covered_bytes() const;
+
+  void clear() {
+    spans_.clear();
+    whole_page_ = false;
+  }
+
+ private:
+  std::vector<WriteSpan> spans_;
+  bool whole_page_ = false;
+};
+
+}  // namespace dsmpm2::dsm

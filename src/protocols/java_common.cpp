@@ -52,10 +52,12 @@ JavaState& state_of(Dsm& d, PageId page, NodeId node) {
 
 /// Main-memory update (monitor exit): group the recorded modifications by
 /// page, build diffs carrying the *current* local values of the recorded
-/// ranges, and ship them to the pages' home nodes. With
-/// DsmConfig::batch_diffs the diffs aggregate by home into one vectored
-/// message per home (one block on the release collector); otherwise one
-/// blocking send_diff per page.
+/// ranges, and ship them to the pages' home nodes. The write log records
+/// exactly the bytes put(), so the diff is built span-exact — straight from
+/// the recorded intervals, no twin and no comparison (Diff::compute_from_spans
+/// with an empty twin). With DsmConfig::batch_diffs the diffs aggregate by
+/// home into one vectored message per home (one block on the release
+/// collector); otherwise one blocking send_diff per page.
 void main_memory_update(Dsm& d, ProtocolId protocol, NodeId node) {
   auto& st = d.proto_state<JavaState>(protocol, node);
   if (st.log.empty()) return;
@@ -71,10 +73,13 @@ void main_memory_update(Dsm& d, ProtocolId protocol, NodeId node) {
       home = e.home;
       if (e.access == Access::kNone) continue;  // cache dropped already
       auto frame = d.store(node).frame(page);
+      std::vector<dsm::WriteSpan> spans;
       for (const auto& rec : st.log.for_page(page)) {
         DSM_CHECK(rec.offset + rec.length <= frame.size());
-        diff.add_chunk(rec.offset, frame.subspan(rec.offset, rec.length));
+        spans.push_back(dsm::WriteSpan{rec.offset, rec.length});
       }
+      diff = dsm::Diff::compute_from_spans(spans, /*twin=*/{}, frame);
+      if (!diff.empty()) d.counters().inc(node, dsm::Counter::kSpanDiffHits);
     }
     if (diff.empty()) continue;
     if (batch) {

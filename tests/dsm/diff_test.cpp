@@ -201,6 +201,130 @@ TEST_P(DiffProperty, ApplyOnTwinReproducesCurrent) {
 
 INSTANTIATE_TEST_SUITE_P(RandomPages, DiffProperty, ::testing::Range(0, 24));
 
+// ---------------------------------------------------------------------------
+// WriteSpanLog + Diff::compute_from_spans edge cases (the span-tracking path
+// that replaces the release-time twin scan).
+// ---------------------------------------------------------------------------
+
+TEST(WriteSpanLog, EmptyLogGivesEmptyDiffWithoutReadingTwin) {
+  // An empty span log means nothing was written since the twin snapshot: the
+  // span path must produce an empty diff — and trivially never touches the
+  // twin bytes.
+  const WriteSpanLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(log.whole_page());
+  EXPECT_EQ(log.covered_bytes(), 0u);
+  auto twin = page(4096, std::byte{0x11});
+  const Diff d = Diff::compute_from_spans(log.spans(), twin, twin);
+  EXPECT_TRUE(d.empty());
+  auto target = page(64, std::byte{0xCD});
+  const auto before = target;
+  d.apply(target);
+  EXPECT_EQ(target, before);
+}
+
+TEST(WriteSpanLog, DuplicateWritesToSameIntervalCoalesceToOneSpanAndChunk) {
+  WriteSpanLog log;
+  for (int i = 0; i < 10; ++i) log.record(512, 8, 8, 4096, 32);
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0], (WriteSpan{512, 8}));
+  EXPECT_EQ(log.covered_bytes(), 8u);
+  auto twin = page(4096);
+  auto cur = twin;
+  for (std::size_t i = 512; i < 520; ++i) cur[i] = std::byte{0x42};
+  const Diff d = Diff::compute_from_spans(log.spans(), twin, cur);
+  ASSERT_EQ(d.chunk_count(), 1u);
+  EXPECT_EQ(d.chunks()[0].offset, 512u);
+  EXPECT_EQ(d.chunks()[0].data.size(), 8u);
+}
+
+TEST(WriteSpanLog, CapOverflowFallsBackToWholePage) {
+  WriteSpanLog log;
+  // Cap of 4: the fifth disjoint span collapses the log to one whole-page
+  // span, after which further records are no-ops.
+  for (std::uint32_t s = 0; s < 5; ++s) log.record(s * 100, 8, 8, 4096, 4);
+  EXPECT_TRUE(log.whole_page());
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0], (WriteSpan{0, 4096}));
+  EXPECT_EQ(log.covered_bytes(), 4096u);
+  log.record(2000, 8, 8, 4096, 4);
+  EXPECT_TRUE(log.whole_page());
+  EXPECT_EQ(log.spans().size(), 1u);
+  // Whole-page spans make the span path identical to the full scan.
+  auto twin = page(4096);
+  auto cur = twin;
+  cur[5] = std::byte{1};
+  cur[3000] = std::byte{2};
+  const Diff scan = Diff::compute(twin, cur);
+  const Diff span = Diff::compute_from_spans(log.spans(), twin, cur);
+  ASSERT_EQ(span.chunk_count(), scan.chunk_count());
+  for (std::size_t i = 0; i < scan.chunk_count(); ++i) {
+    EXPECT_EQ(span.chunks()[i].offset, scan.chunks()[i].offset);
+    EXPECT_EQ(span.chunks()[i].data, scan.chunks()[i].data);
+  }
+}
+
+TEST(WriteSpanLog, UnalignedRecordWidensToWordGrid) {
+  WriteSpanLog log;
+  log.record(13, 3, 8, 4096, 32);  // [13,16) -> word-aligned [8,16)
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0], (WriteSpan{8, 8}));
+}
+
+TEST(WriteSpanLog, AdjacentAndOverlappingRecordsMerge) {
+  WriteSpanLog log;
+  log.record(64, 8, 8, 4096, 32);
+  log.record(72, 8, 8, 4096, 32);   // touches [64,72) -> one span
+  log.record(68, 16, 8, 4096, 32);  // overlaps, already covered
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0], (WriteSpan{64, 24}));
+  // A distant record stays separate; a bridging record merges all three.
+  log.record(128, 8, 8, 4096, 32);
+  ASSERT_EQ(log.spans().size(), 2u);
+  log.record(88, 40, 8, 4096, 32);  // [88,128) bridges the gap
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0], (WriteSpan{64, 72}));
+}
+
+TEST(WriteSpanLog, TailRecordClampsToPageSize) {
+  // Page of 4100 bytes, word 8: a write into the 4-byte tail word aligns up
+  // past the page end and must clamp to the page size.
+  WriteSpanLog log;
+  log.record(4098, 2, 8, 4100, 32);
+  ASSERT_EQ(log.spans().size(), 1u);
+  EXPECT_EQ(log.spans()[0], (WriteSpan{4096, 4}));
+}
+
+TEST(WriteSpanLog, ZeroLengthIgnoredAndClearResets) {
+  WriteSpanLog log;
+  log.record(100, 0, 8, 4096, 32);
+  EXPECT_TRUE(log.empty());
+  for (std::uint32_t s = 0; s < 64; ++s) log.record(s * 64, 1, 8, 4096, 2);
+  EXPECT_TRUE(log.whole_page());
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(log.whole_page());
+}
+
+TEST(WriteSpanLog, SpanExactModeShipsRecordedIntervalsVerbatim) {
+  // With no twin, compute_from_spans skips the comparison entirely: one
+  // chunk per span, carrying the current bytes — the Java write-log path.
+  std::vector<WriteSpan> spans{{4, 4}, {100, 12}};
+  auto cur = page(256);
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    cur[i] = static_cast<std::byte>(i);
+  }
+  const Diff d = Diff::compute_from_spans(spans, /*twin=*/{}, cur);
+  ASSERT_EQ(d.chunk_count(), 2u);
+  EXPECT_EQ(d.chunks()[0].offset, 4u);
+  EXPECT_EQ(d.chunks()[0].data.size(), 4u);
+  EXPECT_EQ(d.chunks()[1].offset, 100u);
+  EXPECT_EQ(d.chunks()[1].data.size(), 12u);
+  auto target = page(256);
+  d.apply(target);
+  for (std::size_t i = 100; i < 112; ++i) EXPECT_EQ(target[i], cur[i]);
+}
+
 TEST(WriteLog, RecordsAndMerges) {
   WriteLog log;
   log.record(3, 100, 8);

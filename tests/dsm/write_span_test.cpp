@@ -1,0 +1,276 @@
+// Write-span tracking through the full system (hbrc_mw): concurrent
+// multi-writer merges, the third-party diff-on-invalidate flush, the span-cap
+// whole-page fallback, and end-to-end equivalence between the span-tracked
+// release and the `track_write_spans = false` twin-scan baseline — including
+// readers faulting while a release is in flight.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+// Two writer nodes share one hbrc_mw page: disjoint slots are written
+// concurrently (lock-serialized critical sections, merge order immaterial),
+// the overlapping region is written by both writers in barrier-enforced order
+// (writer 1 last), and a reader faults on the page mid-release throughout.
+// The home's merged bytes must be identical with span tracking on and off.
+std::vector<std::byte> run_two_writers(bool track_spans) {
+  constexpr NodeId kHome = 3;
+  constexpr long kRounds = 3;
+  DsmConfig cfg;
+  cfg.track_write_spans = track_spans;
+  DsmFixture fx(4, madeleine::bip_myrinet(), cfg);
+  const ProtocolId hbrc = fx.dsm.builtin().hbrc_mw;
+  AllocAttr attr;
+  attr.protocol = hbrc;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = kHome;
+  const DsmAddr base = fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr);
+  const int lock = fx.dsm.create_lock(hbrc);
+  const int barrier = fx.dsm.create_barrier(2, hbrc);
+
+  std::vector<std::byte> merged(fx.dsm.config().page_size);
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    for (NodeId w = 0; w < 2; ++w) {
+      ws.push_back(&fx.rt.spawn_on(w, "writer" + std::to_string(w), [&, w] {
+        // Disjoint phase: writer w owns slots [256*w ..) and an unaligned
+        // strip at 1024 + 128*w — concurrent critical sections, any order.
+        for (long r = 0; r < kRounds; ++r) {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(base + 256 * w + 8 * static_cast<DsmAddr>(r),
+                             1000 * w + 10 * r + 7);
+          fx.dsm.write<std::uint16_t>(
+              base + 1024 + 128 * w + 3 * static_cast<DsmAddr>(r) + 1,
+              static_cast<std::uint16_t>(500 * w + r + 1));
+          fx.dsm.lock_release(lock);
+        }
+        // Overlapping phase, ordered by the barrier: writer 0 writes
+        // [2048, 2064) first, writer 1 overwrites [2056, 2072) after.
+        if (w == 0) {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(base + 2048, 777);
+          fx.dsm.write<long>(base + 2056, 778);
+          fx.dsm.lock_release(lock);
+        }
+        fx.dsm.barrier_wait(barrier);
+        if (w == 1) {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(base + 2056, 888);
+          fx.dsm.write<long>(base + 2064, 889);
+          fx.dsm.lock_release(lock);
+        }
+      }));
+    }
+    // A reader faulting mid-release: unsynchronized reads race the batched
+    // flushes and the home's third-party invalidations.
+    ws.push_back(&fx.rt.spawn_on(2, "reader", [&] {
+      for (int i = 0; i < 16; ++i) {
+        (void)fx.dsm.read<long>(base + 8 * static_cast<DsmAddr>(i % 40));
+      }
+    }));
+    for (auto* t : ws) fx.rt.threads().join(*t);
+    // The home holds main memory: collect the merged page under the lock.
+    auto& collector = fx.rt.spawn_on(kHome, "collect", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.read_bytes(base, merged);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(collector);
+  });
+
+  if (track_spans) {
+    EXPECT_GT(fx.dsm.counters().total(Counter::kSpanRecords), 0u);
+    EXPECT_GT(fx.dsm.counters().total(Counter::kSpanDiffHits), 0u);
+    EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanDiffFallbacks), 0u);
+    EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanOverflows), 0u);
+  } else {
+    EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanRecords), 0u);
+    EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanDiffHits), 0u);
+  }
+  return merged;
+}
+
+TEST(WriteSpanSystem, ConcurrentWritersMergeIdenticallyToTwinScanBaseline) {
+  const auto baseline = run_two_writers(/*track_spans=*/false);
+  const auto spanned = run_two_writers(/*track_spans=*/true);
+  EXPECT_EQ(spanned, baseline);
+
+  // Spot-check the merged content directly on the span-tracked run.
+  auto long_at = [&](std::size_t off) {
+    long v;
+    std::memcpy(&v, spanned.data() + off, sizeof v);
+    return v;
+  };
+  auto u16_at = [&](std::size_t off) {
+    std::uint16_t v;
+    std::memcpy(&v, spanned.data() + off, sizeof v);
+    return v;
+  };
+  for (long w = 0; w < 2; ++w) {
+    for (long r = 0; r < 3; ++r) {
+      EXPECT_EQ(long_at(static_cast<std::size_t>(256 * w + 8 * r)),
+                1000 * w + 10 * r + 7);
+      EXPECT_EQ(u16_at(static_cast<std::size_t>(1024 + 128 * w + 3 * r + 1)),
+                static_cast<std::uint16_t>(500 * w + r + 1));
+    }
+  }
+  EXPECT_EQ(long_at(2048), 777);  // writer 0's non-overlapped word survives
+  EXPECT_EQ(long_at(2056), 888);  // writer 1 wrote the overlap last
+  EXPECT_EQ(long_at(2064), 889);
+}
+
+// A write pattern too scattered for the cap must collapse to whole-page
+// tracking (counted as overflow + fallback) and still deliver exactly the
+// written bytes to the home.
+TEST(WriteSpanSystem, SpanCapOverflowFallsBackToFullScanAndConverges) {
+  DsmConfig cfg;
+  cfg.track_write_spans = true;
+  cfg.write_span_cap = 2;
+  DsmFixture fx(2, madeleine::bip_myrinet(), cfg);
+  const ProtocolId hbrc = fx.dsm.builtin().hbrc_mw;
+  AllocAttr attr;
+  attr.protocol = hbrc;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 1;
+  const DsmAddr base = fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr);
+  const int lock = fx.dsm.create_lock(hbrc);
+  constexpr int kSlots = 8;
+  fx.run([&] {
+    fx.dsm.lock_acquire(lock);
+    for (int s = 0; s < kSlots; ++s) {
+      fx.dsm.write<long>(base + 256 * static_cast<DsmAddr>(s), 40 + s);
+    }
+    fx.dsm.lock_release(lock);
+    auto& verify = fx.rt.spawn_on(1, "verify", [&] {
+      for (int s = 0; s < kSlots; ++s) {
+        EXPECT_EQ(fx.dsm.read<long>(base + 256 * static_cast<DsmAddr>(s)),
+                  40 + s);
+      }
+    });
+    fx.rt.threads().join(verify);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kSpanOverflows), 1u);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kSpanDiffFallbacks), 1u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanDiffHits), 0u);
+}
+
+// The paper's third-party-writer path: when the home invalidates another
+// writer after applying a release's diff, that writer's own flush
+// (invalidate_home_based) must also be span-guided — no full twin scan.
+TEST(WriteSpanSystem, ThirdPartyWriterFlushOnInvalidateUsesSpans) {
+  constexpr NodeId kHome = 2;
+  DsmFixture fx(3);
+  const ProtocolId hbrc = fx.dsm.builtin().hbrc_mw;
+  AllocAttr attr;
+  attr.protocol = hbrc;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = kHome;
+  const DsmAddr base = fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr);
+  const int lock = fx.dsm.create_lock(hbrc);
+  fx.run([&] {
+    // Both nodes write the page concurrently (multiple writers, twins on
+    // both); neither has released yet.
+    auto& wa = fx.rt.spawn_on(0, "wa",
+                              [&] { fx.dsm.write<long>(base + 0, 111); });
+    auto& wb = fx.rt.spawn_on(1, "wb",
+                              [&] { fx.dsm.write<long>(base + 8, 222); });
+    fx.rt.threads().join(wa);
+    fx.rt.threads().join(wb);
+    // Node 0 releases: its diff reaches the home, which invalidates node 1 —
+    // the third-party writer — whose pending span diff flushes in response.
+    auto& rel = fx.rt.spawn_on(0, "rel", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(rel);
+    auto& verify = fx.rt.spawn_on(1, "verify", [&] {
+      fx.dsm.lock_acquire(lock);
+      EXPECT_EQ(fx.dsm.read<long>(base + 0), 111);
+      EXPECT_EQ(fx.dsm.read<long>(base + 8), 222);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(verify);
+  });
+  // Both flushes — the release's and the invalidation response — were
+  // span-guided.
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanDiffHits), 2u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kSpanDiffFallbacks), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsApplied), 2u);
+}
+
+// End-to-end seeded-random single-writer workload over a multi-page area
+// (mixed home/non-home pages, aligned and unaligned writes of 1/2/4/8 bytes,
+// a cap small enough to overflow on some rounds): the area's final contents
+// must be identical with span tracking on and off.
+class WriteSpanWorkload : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WriteSpanWorkload, SpanAndScanRunsConverge) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kPages = 3;
+  constexpr int kRounds = 5;
+  constexpr int kWritesPerRound = 12;
+  auto run_once = [&](bool track_spans) {
+    DsmConfig cfg;
+    cfg.track_write_spans = track_spans;
+    cfg.write_span_cap = 8;
+    DsmFixture fx(3, madeleine::bip_myrinet(), cfg, seed);
+    AllocAttr attr;
+    attr.protocol = fx.dsm.builtin().hbrc_mw;
+    attr.home_policy = HomePolicy::kRoundRobin;  // writer is home of page 0
+    const std::uint32_t page_size = fx.dsm.config().page_size;
+    const DsmAddr base = fx.dsm.dsm_malloc(
+        static_cast<std::uint64_t>(kPages) * page_size, attr);
+    const int lock = fx.dsm.create_lock(attr.protocol);
+    std::vector<std::byte> contents(static_cast<std::size_t>(kPages) *
+                                    page_size);
+    fx.run([&] {
+      Rng rng(seed * 31 + 5);
+      for (int r = 0; r < kRounds; ++r) {
+        fx.dsm.lock_acquire(lock);
+        for (int i = 0; i < kWritesPerRound; ++i) {
+          const auto p = static_cast<DsmAddr>(rng.next_below(kPages));
+          const auto off = static_cast<DsmAddr>(rng.next_below(page_size - 8));
+          const DsmAddr a = base + p * page_size + off;
+          const auto v = rng.next_u64();
+          switch (rng.next_below(4)) {
+            case 0: fx.dsm.write<std::uint8_t>(a, static_cast<std::uint8_t>(v)); break;
+            case 1: fx.dsm.write<std::uint16_t>(a, static_cast<std::uint16_t>(v)); break;
+            case 2: fx.dsm.write<std::uint32_t>(a, static_cast<std::uint32_t>(v)); break;
+            default: fx.dsm.write<std::uint64_t>(a, v); break;
+          }
+        }
+        fx.dsm.lock_release(lock);
+      }
+      // Collect the merged area from another node (fetches from each home).
+      auto& collect = fx.rt.spawn_on(1, "collect", [&] {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.read_bytes(base, contents);
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(collect);
+    });
+    if (track_spans) {
+      EXPECT_GT(fx.dsm.counters().total(Counter::kSpanDiffHits) +
+                    fx.dsm.counters().total(Counter::kSpanDiffFallbacks),
+                0u);
+    }
+    return contents;
+  };
+  EXPECT_EQ(run_once(true), run_once(false)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteSpanWorkload,
+                         ::testing::Values(1u, 2u, 3u, 11u));
+
+}  // namespace
+}  // namespace dsmpm2::dsm
