@@ -1,0 +1,250 @@
+// Eager vs lazy release consistency under lock migration: erc_sw (release
+// sweep-invalidates every written page's copyset, whether or not anyone will
+// ever look) against lrc_mw (release ships write notices on the lock grant;
+// only the next acquirer invalidates, and diffs travel on demand via
+// dsm.diff_req).
+//
+// Workload per point: N nodes, P single-page areas, two writer nodes passing
+// the lock back and forth (cross-node hand-off every critical section) and
+// N-2 read-mostly monitor nodes that re-read the written page after every
+// section WITHOUT synchronizing — the paper-era RC scenario (§2.2): stale
+// reads outside the critical section are legal, so a consistency protocol
+// only owes fresh data to acquirers. Eager release consistency pays for the
+// monitors anyway — every erc_sw release invalidates the written page's
+// whole copyset (~N-1 nodes) and every monitor refetches — while lrc_mw
+// ships one write notice on the grant, lets monitors keep their RC-legal
+// copies for free, and only the other writer's next fault pulls a diff.
+//
+// Measured over the lock-migration phase:
+//   * invalidation/diff messages — invalidations + eagerly pushed diffs +
+//     lazy diff pulls (the consistency traffic the ISSUE acceptance bars);
+//   * hand-off latency — mean lock_release + mean lock_acquire time, plus
+//     the mean full critical-section time (faults included) for honesty:
+//     laziness moves work from the releaser to the acquirer's faults.
+//
+// Usage: bench_scale_lrc [--smoke] [--json <path>]
+//   --smoke   small sweep (CI: the `ctest -L smoke` entry)
+//   --json    also write machine-readable results to <path>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+constexpr int kPages = 8;
+
+struct Point {
+  const char* protocol = "";
+  int nodes = 0;
+  int rounds = 0;
+  std::uint64_t inval_diff_msgs = 0;  // invalidations + diffs + diff pulls
+  std::uint64_t total_msgs = 0;       // every wire message of the phase
+  double release_us = 0;              // mean lock_release latency
+  double acquire_us = 0;              // mean lock_acquire latency
+  double cs_us = 0;                   // mean acquire..release round
+  [[nodiscard]] double handoff_us() const { return release_us + acquire_us; }
+};
+
+std::uint64_t consistency_msgs(dsm::Dsm& d) {
+  return d.counters().total(dsm::Counter::kInvalidationsSent) +
+         d.counters().total(dsm::Counter::kDiffsSent) +
+         d.counters().total(dsm::Counter::kDiffBatchesSent) +
+         d.counters().total(dsm::Counter::kDiffFetchesSent);
+}
+
+std::uint64_t wire_msgs(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).messages_sent;
+  }
+  return sum;
+}
+
+Point measure(const char* protocol, int nodes) {
+  pm2::Config cfg;
+  cfg.nodes = nodes;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+  const dsm::ProtocolId proto = dsm.protocol_by_name(protocol);
+  DSM_CHECK(proto != dsm::kInvalidProtocol);
+
+  // Pages homed on a monitor node; writers and monitors all cache them.
+  std::vector<DsmAddr> pages;
+  for (int p = 0; p < kPages; ++p) {
+    dsm::AllocAttr attr;
+    attr.protocol = proto;
+    attr.home_policy = dsm::HomePolicy::kFixed;
+    attr.fixed_home = static_cast<NodeId>(nodes - 1);
+    pages.push_back(dsm.dsm_malloc(dsm.config().page_size, attr));
+  }
+  const int lock = dsm.create_lock(proto);
+
+  Point point;
+  point.protocol = protocol;
+  point.nodes = nodes;
+  point.rounds = 2 * nodes;
+  SimTime release_total = 0;
+  SimTime acquire_total = 0;
+  SimTime cs_total = 0;
+
+  rt.run([&] {
+    // Seed phase (not measured): replicate every page everywhere.
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+      auto& t = rt.spawn_on(n, "seed", [&] {
+        for (const DsmAddr p : pages) (void)dsm.read<long>(p);
+      });
+      rt.threads().join(t);
+    }
+    const std::uint64_t msgs0 = wire_msgs(rt);
+    const std::uint64_t cons0 = consistency_msgs(dsm);
+
+    // Lock-migration phase: the two writers pass the lock back and forth;
+    // each critical section writes one word of a rotating page.
+    for (int r = 0; r < point.rounds; ++r) {
+      const NodeId holder = static_cast<NodeId>(r % 2);
+      const DsmAddr target = pages[static_cast<std::size_t>(r % kPages)];
+      auto& w = rt.spawn_on(holder, "cs", [&] {
+        const SimTime t0 = rt.now();
+        dsm.lock_acquire(lock);
+        const SimTime t1 = rt.now();
+        dsm.write<long>(target, static_cast<long>(r) + 1);
+        const SimTime t2 = rt.now();
+        dsm.lock_release(lock);
+        acquire_total += t1 - t0;
+        release_total += rt.now() - t2;
+        cs_total += rt.now() - t0;
+      });
+      rt.threads().join(w);
+      // Monitors (and the idle writer) re-read the written page WITHOUT
+      // taking the lock. Under erc_sw their copies were just invalidated, so
+      // each re-read refetches; under lrc_mw the monitors still hold RC-legal
+      // copies and cost nothing — only the other writer, which synchronized,
+      // patches its copy with one diff pull.
+      for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+        if (n == holder) continue;
+        auto& reader = rt.spawn_on(n, "rd", [&] { (void)dsm.read<long>(target); });
+        rt.threads().join(reader);
+      }
+    }
+
+    point.inval_diff_msgs = consistency_msgs(dsm) - cons0;
+    point.total_msgs = wire_msgs(rt) - msgs0;
+  });
+
+  point.release_us = to_us(release_total) / point.rounds;
+  point.acquire_us = to_us(acquire_total) / point.rounds;
+  point.cs_us = to_us(cs_total) / point.rounds;
+  return point;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"scale_lrc\",\n"
+      << "  \"driver\": \"bip_myrinet\",\n"
+      << "  \"pages\": " << kPages << ",\n"
+      << "  \"unit\": \"simulated_us\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"protocol\": \"%s\", \"nodes\": %d, \"rounds\": %d, "
+                  "\"inval_diff_msgs\": %llu, \"total_msgs\": %llu, "
+                  "\"release_us\": %.3f, \"acquire_us\": %.3f, "
+                  "\"handoff_us\": %.3f, \"cs_us\": %.3f}%s\n",
+                  p.protocol, p.nodes, p.rounds,
+                  static_cast<unsigned long long>(p.inval_diff_msgs),
+                  static_cast<unsigned long long>(p.total_msgs), p.release_us,
+                  p.acquire_us, p.handoff_us(), p.cs_us,
+                  i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> sweep = smoke ? std::vector<int>{4}
+                                       : std::vector<int>{4, 8, 16};
+  const char* kProtocols[] = {"erc_sw", "lrc_mw"};
+
+  std::printf(
+      "Eager vs lazy release consistency — migrating lock, BIP/Myrinet\n"
+      "%s sweep: %d pages, rounds = 2 x nodes, readers re-read after every "
+      "critical section\n\n",
+      smoke ? "smoke" : "full", kPages);
+
+  std::vector<Point> points;
+  TablePrinter table({"protocol", "nodes", "rounds", "inval/diff msgs",
+                      "total msgs", "release us", "acquire us", "handoff us",
+                      "cs us"});
+  for (const char* proto : kProtocols) {
+    for (const int nodes : sweep) {
+      Point p = measure(proto, nodes);
+      table.add_row({p.protocol, std::to_string(p.nodes),
+                     std::to_string(p.rounds),
+                     std::to_string(p.inval_diff_msgs),
+                     std::to_string(p.total_msgs),
+                     TablePrinter::fmt(p.release_us),
+                     TablePrinter::fmt(p.acquire_us),
+                     TablePrinter::fmt(p.handoff_us()),
+                     TablePrinter::fmt(p.cs_us)});
+      points.push_back(p);
+    }
+  }
+  table.print();
+
+  if (!json_path.empty()) write_json(json_path, points);
+
+  // Self-check at the widest point of the sweep: lrc_mw must cut the
+  // invalidation/diff message count vs erc_sw by >= 3x at 16 nodes (the
+  // ISSUE acceptance bar); the 4-node smoke point carries proportionally
+  // fewer sharers, so its bar is 2x.
+  const double bar = smoke ? 2.0 : 3.0;
+  const int at_nodes = sweep.back();
+  bool pass = true;
+  std::uint64_t eager = 0;
+  std::uint64_t lazy = 0;
+  for (const Point& p : points) {
+    if (p.nodes != at_nodes) continue;
+    if (std::strcmp(p.protocol, "erc_sw") == 0) eager = p.inval_diff_msgs;
+    if (std::strcmp(p.protocol, "lrc_mw") == 0) lazy = p.inval_diff_msgs;
+  }
+  // A perfectly lazy run can send ZERO consistency messages (nothing the
+  // acquirers touched was stale); floor the divisor at one message.
+  const double ratio =
+      static_cast<double>(eager) / static_cast<double>(lazy > 0 ? lazy : 1);
+  const bool ok = ratio >= bar;
+  std::printf("\ncheck[eager/lazy inval+diff msgs]: %.2fx at %d nodes "
+              "(need >= %.1fx): %s\n",
+              ratio, at_nodes, bar, ok ? "PASS" : "FAIL");
+  pass = pass && ok;
+  return pass ? 0 : 1;
+}

@@ -65,6 +65,22 @@ std::function<void(dsm::Dsm&, const Ctx&)> audited(
   };
 }
 
+/// Same, for the payload-bearing lock_release action (it returns the bytes
+/// that ride the release message — empty for this eager protocol).
+std::function<Packer(dsm::Dsm&, const dsm::SyncContext&)> audited_release(
+    Profile* profile, int slot,
+    std::function<Packer(dsm::Dsm&, const dsm::SyncContext&)> inner) {
+  return [profile, slot,
+          inner = std::move(inner)](dsm::Dsm& d, const dsm::SyncContext& ctx) {
+    const SimTime t0 = d.runtime().now();
+    Packer payload = inner(d, ctx);
+    auto& a = profile->actions[static_cast<std::size_t>(slot)];
+    ++a.calls;
+    a.total += d.runtime().now() - t0;
+    return payload;
+  };
+}
+
 /// The user protocol: li_hudak's semantics, rebuilt from library routines
 /// (exactly what the paper's "mixed approach" encourages) with auditing.
 dsm::Protocol make_audited_sc(Profile* profile) {
@@ -95,7 +111,7 @@ dsm::Protocol make_audited_sc(Profile* profile) {
         dsm::lib::receive_page_dynamic(d, a, /*eager_invalidate=*/true);
       });
   p.lock_acquire = audited<dsm::SyncContext>(profile, 6, dsm::lib::sync_noop);
-  p.lock_release = audited<dsm::SyncContext>(profile, 7, dsm::lib::sync_noop);
+  p.lock_release = audited_release(profile, 7, dsm::lib::sync_release_noop);
   return p;
 }
 

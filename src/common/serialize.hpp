@@ -111,4 +111,28 @@ class Unpacker {
   std::size_t pos_ = 0;
 };
 
+/// Packs a sequence of opaque blocks as a count followed by length-prefixed
+/// blocks — the framing shared by lock grants and barrier resumes (their
+/// payload-history slices).
+inline void pack_blocks(std::span<const Buffer> blocks, Packer& p) {
+  p.pack(static_cast<std::uint32_t>(blocks.size()));
+  for (const Buffer& b : blocks) p.pack_bytes(b);
+}
+
+/// Reads a pack_blocks sequence back; the count prefix is validated against
+/// the remaining bytes (every block costs at least its 8-byte length
+/// prefix) before anything is allocated.
+inline std::vector<Buffer> unpack_blocks(Unpacker& u) {
+  const auto count = u.unpack<std::uint32_t>();
+  DSM_CHECK_MSG(std::size_t{count} * sizeof(std::uint64_t) <= u.remaining(),
+                "block sequence shorter than its count prefix");
+  std::vector<Buffer> blocks;
+  blocks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto block = u.unpack_bytes();
+    blocks.emplace_back(block.begin(), block.end());
+  }
+  return blocks;
+}
+
 }  // namespace dsmpm2

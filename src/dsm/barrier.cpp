@@ -31,35 +31,59 @@ void BarrierManager::wait(int barrier_id) {
           ? protocol_of_[static_cast<std::size_t>(barrier_id)]
           : dsm_.default_protocol();
   const Protocol& proto = dsm_.protocols().get(pid);
+  const NodeId node = rt.self_node();
 
-  // A barrier is a release followed by an acquire.
-  proto.lock_release(dsm_, SyncContext{barrier_id, rt.self_node()});
+  // A barrier is a release followed by an acquire; the release payload rides
+  // the arrive message to the coordinator.
+  Packer payload =
+      proto.lock_release(dsm_, SyncContext{barrier_id, node, SyncKind::kBarrier});
 
   Packer args;
   args.pack(barrier_id);
-  rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
+  args.pack_bytes(payload.buffer());
+  const Buffer resume =
+      rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
 
-  proto.lock_acquire(dsm_, SyncContext{barrier_id, rt.self_node()});
-  dsm_.counters().inc(rt.self_node(), Counter::kBarriersCrossed);
+  // The resume message carries the payload-history slice this node has not
+  // yet received.
+  Unpacker u(resume);
+  const std::vector<Buffer> payloads = unpack_blocks(u);
+  DSM_CHECK_MSG(u.done(), "barrier resume carries bytes past its payload blocks");
+
+  SyncContext acq{barrier_id, node, SyncKind::kBarrier, payloads};
+  proto.lock_acquire(dsm_, acq);
+  dsm_.counters().inc(node, Counter::kBarriersCrossed);
 }
 
 void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   const auto barrier_id = args.unpack<int>();
+  DSM_CHECK_MSG(barrier_id >= 0 && barrier_id < next_id_,
+                "arrival at a barrier id that was never created");
+  const auto payload = args.unpack_bytes();
   BarrierState& s = state_[barrier_id];
   if (s.parties == 0) {
     s.parties = parties_of_[static_cast<std::size_t>(barrier_id)];
   }
   s.waiters.push_back(Waiter{ctx.src, ctx.reply_token});
   ctx.reply_token = 0;  // replies go out when the generation completes
+  if (!payload.empty()) {
+    s.history.emplace_back(payload.begin(), payload.end());
+  }
   ++s.arrived;
   if (s.arrived < s.parties) return;
-  // Everyone is here: resume the lot.
+  // Everyone is here: resume the lot, handing each party the history slice
+  // past its cursor — the whole generation's payloads, plus anything from
+  // generations it sat out (parties deduplicate their own contribution).
   auto waiters = std::move(s.waiters);
   s.waiters.clear();
   s.arrived = 0;
   ++s.generation;
   for (const Waiter& w : waiters) {
-    dsm_.runtime().rpc().reply_to(ctx.self, w.src, w.token, Packer{});
+    std::size_t& cur = s.cursor[w.src];
+    Packer resume;
+    pack_blocks(std::span(s.history).subspan(cur), resume);
+    cur = s.history.size();
+    dsm_.runtime().rpc().reply_to(ctx.self, w.src, w.token, std::move(resume));
   }
 }
 

@@ -1,10 +1,19 @@
-// Cluster-wide barriers with consistency hooks.
+// Cluster-wide barriers with payload-bearing consistency hooks.
 //
 // A barrier is a release point followed by an acquire point: before arriving,
 // the generic core runs the protocol's lock_release action (pushing pending
 // modifications / invalidations); after everyone arrived, each participant
 // runs lock_acquire (refreshing its view) and resumes. Centralized
 // coordinator per barrier (coordinator = id mod nodes).
+//
+// Like the lock manager, the barrier carries the release hooks' payloads:
+// each arrive message ships its party's payload to the coordinator, which
+// appends it to the barrier's payload history; each resume message hands the
+// party the history slice it has not yet received (one cursor per node, like
+// lock grants — so a node that skipped earlier generations still catches up
+// on their notices; a party's own block is deduplicated by the protocol).
+// This is what makes lazy protocols correct across barriers — every
+// participant learns about every preceding release at the crossing.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +21,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/serialize.hpp"
 #include "dsm/config.hpp"
 #include "pm2/rpc.hpp"
 
@@ -42,6 +52,10 @@ class BarrierManager {
     int arrived = 0;
     std::uint64_t generation = 0;
     std::vector<Waiter> waiters;
+    /// Release payloads across ALL generations, in arrival order.
+    std::vector<Buffer> history;
+    /// Per node: prefix of `history` already delivered to it in a resume.
+    std::unordered_map<NodeId, std::size_t> cursor;
   };
 
   [[nodiscard]] NodeId coordinator_of(int barrier_id) const;

@@ -81,6 +81,9 @@ DsmComm::DsmComm(Dsm& dsm) : dsm_(dsm) {
   svc_word_ = rpc.register_service(
       "dsm.word_read", pm2::Dispatch::kInline,
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_word_read(ctx, args); });
+  svc_diff_req_ = rpc.register_service(
+      "dsm.diff_req", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_diff_request(ctx, args); });
 }
 
 void DsmComm::request_page(NodeId to, PageId page, Access wanted, NodeId requester) {
@@ -249,6 +252,15 @@ struct WordWire {
   std::uint32_t offset;
   std::uint32_t length;
 };
+
+/// A lazy diff pull: "send me every diff you still hold for `page` with
+/// interval in [from, up_to]" (lrc_mw fault-time completion; the lower
+/// bound keeps the transfer proportional to the requester's missing tail).
+struct DiffReqWire {
+  PageId page;
+  std::uint32_t from_interval;
+  std::uint32_t up_to_interval;
+};
 }  // namespace
 
 std::uint64_t DsmComm::remote_read_word(NodeId home, PageId page,
@@ -280,6 +292,55 @@ void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
   Packer out;
   out.pack(value);
   ctx.reply(std::move(out));
+}
+
+std::vector<std::pair<std::uint32_t, Diff>> DsmComm::fetch_diffs(
+    NodeId writer, PageId page, std::uint32_t from_interval,
+    std::uint32_t up_to_interval) {
+  DSM_CHECK(from_interval <= up_to_interval);
+  auto& rt = dsm_.runtime();
+  dsm_.counters().inc(rt.self_node(), Counter::kDiffFetchesSent);
+  Packer p;
+  p.pack(DiffReqWire{page, from_interval, up_to_interval});
+  const Buffer reply = rt.rpc().call(writer, svc_diff_req_, std::move(p));
+  Unpacker u(reply);
+  const auto count = u.unpack<std::uint32_t>();
+  std::vector<std::pair<std::uint32_t, Diff>> out;
+  out.reserve(count);
+  std::uint32_t prev = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto interval = u.unpack<std::uint32_t>();
+    DSM_CHECK_MSG(interval >= from_interval && interval <= up_to_interval &&
+                      (i == 0 || interval > prev),
+                  "fetched diffs out of interval order or outside the bounds");
+    prev = interval;
+    Diff diff = Diff::deserialize(u);
+    check_wire_diff(diff, "fetched diff chunk outside the page");
+    out.emplace_back(interval, std::move(diff));
+  }
+  DSM_CHECK_MSG(u.done(), "diff fetch reply carries trailing bytes");
+  return out;
+}
+
+void DsmComm::serve_diff_request(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<DiffReqWire>();
+  check_wire_page(wire.page, "diff request names a page outside the DSM space");
+  DSM_CHECK_MSG(wire.from_interval <= wire.up_to_interval,
+                "diff request with an inverted interval range");
+  const Protocol& proto = dsm_.protocol_of(wire.page);
+  DSM_CHECK_MSG(proto.diff_request_server != nullptr,
+                "diff request for a protocol without a local diff store");
+  dsm_.counters().inc(ctx.self, Counter::kDiffFetchesServed);
+  std::vector<std::pair<std::uint32_t, Diff>> diffs;
+  proto.diff_request_server(dsm_, wire.page, wire.from_interval,
+                            wire.up_to_interval, ctx.src, diffs);
+  Packer reply;
+  reply.pack(static_cast<std::uint32_t>(diffs.size()));
+  for (const auto& [interval, diff] : diffs) {
+    reply.pack(interval);
+    diff.serialize(reply);
+  }
+  ctx.reply(std::move(reply), madeleine::MsgKind::kBulk);
 }
 
 void DsmComm::check_wire_page(PageId page, const char* what) const {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/copyset.hpp"
@@ -78,6 +79,18 @@ class DsmComm {
   std::uint64_t remote_read_word(NodeId home, PageId page, std::uint32_t offset,
                                  std::uint32_t length);
 
+  /// Pulls the diffs `writer` still holds for `page` with interval in
+  /// [from_interval, up_to_interval] (lazy release consistency: diffs stay
+  /// on their writer until a later acquirer needs them, and the lower bound
+  /// keeps a pull proportional to the missing tail, not the page's whole
+  /// history). Blocks for the round trip; returns the (interval, diff)
+  /// pairs in interval order, every chunk validated against the local page
+  /// geometry. An empty result means the writer already merged those diffs
+  /// into the page's home frame.
+  std::vector<std::pair<std::uint32_t, Diff>> fetch_diffs(
+      NodeId writer, PageId page, std::uint32_t from_interval,
+      std::uint32_t up_to_interval);
+
  private:
   void serve_page_request(pm2::RpcContext& ctx, Unpacker& args);
   void serve_send_page(pm2::RpcContext& ctx, Unpacker& args);
@@ -86,6 +99,7 @@ class DsmComm {
   void serve_diff(pm2::RpcContext& ctx, Unpacker& args);
   void serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args);
   void serve_word_read(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_diff_request(pm2::RpcContext& ctx, Unpacker& args);
 
   /// Server-side sanity check on a wire-supplied page id.
   void check_wire_page(PageId page, const char* what) const;
@@ -105,6 +119,7 @@ class DsmComm {
   pm2::ServiceId svc_diff_ = 0;
   pm2::ServiceId svc_diff_batch_ = 0;
   pm2::ServiceId svc_word_ = 0;
+  pm2::ServiceId svc_diff_req_ = 0;
 };
 
 }  // namespace dsmpm2::dsm

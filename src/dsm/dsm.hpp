@@ -50,6 +50,7 @@ struct BuiltinProtocols {
   ProtocolId migrate_thread = kInvalidProtocol;
   ProtocolId erc_sw = kInvalidProtocol;
   ProtocolId hbrc_mw = kInvalidProtocol;
+  ProtocolId lrc_mw = kInvalidProtocol;
   ProtocolId java_ic = kInvalidProtocol;
   ProtocolId java_pf = kInvalidProtocol;
   ProtocolId hybrid_rw = kInvalidProtocol;

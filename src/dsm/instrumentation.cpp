@@ -22,6 +22,8 @@ const char* counter_name(Counter c) {
     case Counter::kThreadMigrations: return "thread_migrations";
     case Counter::kLockAcquires: return "lock_acquires";
     case Counter::kLockReleases: return "lock_releases";
+    case Counter::kLockHandoffs: return "lock_handoffs";
+    case Counter::kLockWaitUs: return "lock_wait_us";
     case Counter::kBarriersCrossed: return "barriers_crossed";
     case Counter::kInlineChecks: return "inline_checks";
     case Counter::kGets: return "gets";
@@ -33,6 +35,10 @@ const char* counter_name(Counter c) {
     case Counter::kSpanDiffHits: return "span_diff_hits";
     case Counter::kSpanDiffFallbacks: return "span_diff_fallbacks";
     case Counter::kSpanOverflows: return "span_overflows";
+    case Counter::kWriteNoticesCreated: return "write_notices_created";
+    case Counter::kWriteNoticesApplied: return "write_notices_applied";
+    case Counter::kDiffFetchesSent: return "diff_fetches_sent";
+    case Counter::kDiffFetchesServed: return "diff_fetches_served";
     case Counter::kCount: break;
   }
   return "?";

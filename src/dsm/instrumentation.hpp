@@ -39,6 +39,8 @@ enum class Counter : int {
   kThreadMigrations,
   kLockAcquires,
   kLockReleases,
+  kLockHandoffs,   ///< FIFO grants handed to a queued waiter at release time
+  kLockWaitUs,     ///< accumulated µs spent blocked waiting for lock grants
   kBarriersCrossed,
   kInlineChecks,
   kGets,
@@ -50,6 +52,10 @@ enum class Counter : int {
   kSpanDiffHits,       ///< diffs built from recorded spans (no full twin scan)
   kSpanDiffFallbacks,  ///< tracked pages whose diff still full-scanned (cap)
   kSpanOverflows,      ///< span logs that collapsed to whole-page dirty
+  kWriteNoticesCreated,  ///< notices emitted by lazy releases
+  kWriteNoticesApplied,  ///< fresh remote notices ingested at acquire time
+  kDiffFetchesSent,      ///< dsm.diff_req requests issued (lazy diff pulls)
+  kDiffFetchesServed,    ///< dsm.diff_req requests answered from a diff store
   kCount  // sentinel
 };
 

@@ -1,5 +1,7 @@
 #include "dsm/lock.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 #include "dsm/dsm.hpp"
 
@@ -36,32 +38,57 @@ void LockManager::acquire(int lock_id) {
   const NodeId node = rt.self_node();
   Packer args;
   args.pack(lock_id);
-  // Blocks until the manager grants (possibly much later, FIFO).
-  rt.rpc().call(manager_of(lock_id), svc_acquire_, std::move(args));
-  dsm_.counters().inc(rt.self_node(), Counter::kLockAcquires);
-  // Consistency action *after having acquired* the lock (Table 1).
+  // Blocks until the manager grants (possibly much later, FIFO). The grant
+  // carries the payload-history slice this node has not seen yet.
+  const SimTime wait_start = rt.now();
+  const Buffer grant = rt.rpc().call(manager_of(lock_id), svc_acquire_,
+                                     std::move(args));
+  dsm_.counters().inc(node, Counter::kLockAcquires);
+  dsm_.counters().inc(node, Counter::kLockWaitUs,
+                      static_cast<std::uint64_t>(to_us(rt.now() - wait_start)));
+  // Decode the forwarded release payloads (count + length-prefixed blocks).
+  Unpacker u(grant);
+  const std::vector<Buffer> payloads = unpack_blocks(u);
+  DSM_CHECK_MSG(u.done(), "lock grant carries bytes past its payload blocks");
+  // Consistency action *after having acquired* the lock (Table 1), fed with
+  // whatever the releases before this grant had to say.
   const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
-  proto.lock_acquire(dsm_, SyncContext{lock_id, rt.self_node()});
-  (void)node;
+  SyncContext ctx{lock_id, node, SyncKind::kLock, payloads};
+  proto.lock_acquire(dsm_, ctx);
 }
 
 void LockManager::release(int lock_id) {
   auto& rt = dsm_.runtime();
-  // Consistency action *before releasing* the lock (Table 1).
+  const NodeId node = rt.self_node();
+  // Consistency action *before releasing* the lock (Table 1); its payload
+  // rides the release message to the manager.
   const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
-  proto.lock_release(dsm_, SyncContext{lock_id, rt.self_node()});
-  dsm_.counters().inc(rt.self_node(), Counter::kLockReleases);
+  Packer payload =
+      proto.lock_release(dsm_, SyncContext{lock_id, node, SyncKind::kLock});
+  dsm_.counters().inc(node, Counter::kLockReleases);
   Packer args;
   args.pack(lock_id);
+  args.pack_bytes(payload.buffer());
   rt.rpc().call_async(manager_of(lock_id), svc_release_, std::move(args));
+}
+
+Packer LockManager::make_grant(LockState& s, NodeId to) const {
+  std::size_t& cur = s.cursor[to];
+  DSM_CHECK(cur <= s.history.size());
+  Packer grant;
+  pack_blocks(std::span(s.history).subspan(cur), grant);
+  cur = s.history.size();
+  return grant;
 }
 
 void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
   const auto lock_id = args.unpack<int>();
+  DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
+                "acquire of a lock id that was never created");
   LockState& s = state_[lock_id];
   if (!s.held) {
     s.held = true;
-    ctx.reply(Packer{});  // immediate grant
+    ctx.reply(make_grant(s, ctx.src));  // immediate grant
     return;
   }
   s.queue.push_back(Waiter{ctx.src, ctx.reply_token});
@@ -70,16 +97,28 @@ void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
 
 void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
   const auto lock_id = args.unpack<int>();
+  DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
+                "release of a lock id that was never created");
+  const auto payload = args.unpack_bytes();
   LockState& s = state_[lock_id];
   DSM_CHECK_MSG(s.held, "release of a lock that is not held");
+  if (!payload.empty()) {
+    s.history.emplace_back(payload.begin(), payload.end());
+  }
+  // The releaser trivially knows its own payload (and saw everything before
+  // it at its grant): advance its cursor past the whole history.
+  s.cursor[ctx.src] = s.history.size();
   if (s.queue.empty()) {
     s.held = false;
     return;
   }
   const Waiter next = s.queue.front();
   s.queue.pop_front();
-  // FIFO hand-off: the lock stays held; grant the queued requester.
-  dsm_.runtime().rpc().reply_to(ctx.self, next.src, next.token, Packer{});
+  // FIFO hand-off: the lock stays held; grant the queued requester, with the
+  // payload history it has not seen (including this very release's).
+  dsm_.counters().inc(ctx.self, Counter::kLockHandoffs);
+  dsm_.runtime().rpc().reply_to(ctx.self, next.src, next.token,
+                                make_grant(s, next.src));
 }
 
 }  // namespace dsmpm2::dsm

@@ -1,4 +1,4 @@
-// DSM locks with consistency hooks.
+// DSM locks with payload-bearing consistency hooks.
 //
 // Weak consistency models take their consistency actions at synchronization
 // points (paper §2.2, "Synchronization and consistency"). A DSM lock here is
@@ -7,6 +7,16 @@
 // lock_acquire action right after the grant arrives and its lock_release
 // action right before the release message leaves — exactly the two hook
 // points of Table 1.
+//
+// Consistency data rides the synchronization messages themselves: the bytes
+// a lock_release hook returns travel with the release to the manager, which
+// appends them to the lock's payload history; every grant then carries the
+// slice of that history the grantee has not yet received (one cursor per
+// node), delivered to its lock_acquire hook via SyncContext::grant_payloads.
+// The payloads are protocol-opaque to this layer — eager protocols send
+// nothing, lrc_mw sends write notices. The history lives for the lock's
+// lifetime (lazy protocols may need to bring an arbitrarily late first-time
+// acquirer up to date).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/serialize.hpp"
 #include "dsm/config.hpp"
 #include "pm2/rpc.hpp"
 
@@ -50,10 +61,18 @@ class LockManager {
   struct LockState {
     bool held = false;
     std::deque<Waiter> queue;
+    /// Release payloads in arrival (= happens-before) order.
+    std::vector<Buffer> history;
+    /// Per node: prefix of `history` already delivered to it in a grant.
+    std::unordered_map<NodeId, std::size_t> cursor;
   };
 
   [[nodiscard]] NodeId manager_of(int lock_id) const;
   [[nodiscard]] ProtocolId hook_protocol(int lock_id) const;
+
+  /// Builds the grant message for `to`: the history slice past its cursor
+  /// (count + length-prefixed blocks), and advances the cursor.
+  [[nodiscard]] Packer make_grant(LockState& s, NodeId to) const;
 
   void serve_acquire(pm2::RpcContext& ctx, Unpacker& args);
   void serve_release(pm2::RpcContext& ctx, Unpacker& args);

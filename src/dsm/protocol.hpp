@@ -11,6 +11,14 @@
 //   lock_acquire          — after having acquired a lock
 //   lock_release          — before releasing a lock
 //
+// The two synchronization hooks are payload-bearing: lock_release returns a
+// Packer whose bytes ride the release message to the lock manager and are
+// forwarded inside subsequent grants; lock_acquire receives the grant's
+// accumulated payload blocks through SyncContext::grant_payloads. Eager
+// protocols return an empty payload (their consistency actions are pushed
+// inside the hook); lazy protocols (lrc_mw) describe the release instead —
+// write notices out, invalidations of exactly the noticed pages in.
+//
 // create() below is the paper's dsm_create_protocol: user code can assemble a
 // brand-new protocol out of its own routines (or out of the protocol-library
 // toolbox in dsm/protocol_lib.hpp) and register it; built-in and user
@@ -23,10 +31,12 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/copyset.hpp"
 #include "common/ids.hpp"
+#include "common/serialize.hpp"
 #include "dsm/config.hpp"
 #include "dsm/diff.hpp"
 #include "dsm/page.hpp"
@@ -89,10 +99,25 @@ struct DiffArrival {
   const Diff* diff = nullptr;
 };
 
+/// What kind of synchronization object fired a sync hook. Lazy protocols key
+/// per-channel forwarding state on (kind, object_id) — lock and barrier ids
+/// live in separate id spaces.
+enum class SyncKind : std::uint8_t {
+  kLock = 0,
+  kBarrier = 1,
+  kOther = 2,  ///< direct hook invocation (e.g. Hyperion thread start/join)
+};
+
 /// A synchronization event (lock or barrier) on `node`.
 struct SyncContext {
   int object_id = -1;
   NodeId node = kInvalidNode;
+  SyncKind kind = SyncKind::kOther;
+  /// Consistency payloads piggybacked on the grant that completed this
+  /// acquire, in happens-before order: one Buffer per forwarded release
+  /// payload. Empty for release hooks and for payload-less grants. The spans
+  /// are valid only for the duration of the hook.
+  std::span<const Buffer> grant_payloads = {};
 };
 
 /// Base for per-(protocol, node) state; protocols derive their own.
@@ -111,7 +136,9 @@ struct Protocol {
   std::function<void(Dsm&, const InvalidateRequest&)> invalidate_server;
   std::function<void(Dsm&, const PageArrival&)> receive_page_server;
   std::function<void(Dsm&, const SyncContext&)> lock_acquire;
-  std::function<void(Dsm&, const SyncContext&)> lock_release;
+  /// Returns the consistency payload that travels with the release to the
+  /// manager and is forwarded inside later grants (empty = nothing to say).
+  std::function<Packer(Dsm&, const SyncContext&)> lock_release;
 
   // ---- optional extensions (defaults supplied by the generic core) ----
   /// Serves an incoming diff; default applies it to the local frame.
@@ -119,6 +146,15 @@ struct Protocol {
   /// Called after a successful put() (java protocols record modifications
   /// on the fly here). Arguments: page, offset, length.
   std::function<void(Dsm&, PageId, std::uint32_t, std::uint32_t)> after_put;
+  /// Serves a `dsm.diff_req`: fills `out` with every locally stored
+  /// (interval, diff) pair for `page` with interval inside the requested
+  /// [from, up_to] range, in interval order. Lazy protocols keep release
+  /// diffs local until some node actually needs them; an empty answer means
+  /// the diffs were already merged into the page's home frame. Arguments:
+  /// page, from_interval, up_to_interval, requester, out.
+  std::function<void(Dsm&, PageId, std::uint32_t, std::uint32_t, NodeId,
+                     std::vector<std::pair<std::uint32_t, Diff>>&)>
+      diff_request_server;
   /// Factory for per-node protocol state.
   std::function<std::unique_ptr<ProtocolState>()> make_node_state;
 

@@ -19,6 +19,18 @@ void settle(Dsm& dsm, NodeId node, PageId page) {
   dsm.table(node).wait_transition(page);
 }
 
+/// Installs an arrived page body into the local frame: asserts the arrival
+/// was solicited, charges the install cost, size-checks, copies. Caller
+/// holds the page mutex.
+void install_page_frame(Dsm& dsm, const PageArrival& arrival) {
+  DSM_CHECK_MSG(dsm.table(arrival.node).entry(arrival.page).in_transition,
+                "unsolicited page arrival");
+  dsm.charge(dsm.costs().page_install);
+  auto frame = dsm.store(arrival.node).frame(arrival.page);
+  DSM_CHECK(arrival.data.size() == frame.size());
+  std::copy(arrival.data.begin(), arrival.data.end(), frame.begin());
+}
+
 /// One page's share of a release-time invalidation sweep.
 struct SweepRound {
   PageId page = kInvalidPage;
@@ -155,11 +167,7 @@ void receive_page_dynamic(Dsm& dsm, const PageArrival& arrival,
   {
     marcel::MutexLock l(tbl.mutex(arrival.page));
     PageEntry& e = tbl.entry(arrival.page);
-    DSM_CHECK_MSG(e.in_transition, "unsolicited page arrival");
-    dsm.charge(dsm.costs().page_install);
-    auto frame = dsm.store(arrival.node).frame(arrival.page);
-    DSM_CHECK(arrival.data.size() == frame.size());
-    std::copy(arrival.data.begin(), arrival.data.end(), frame.begin());
+    install_page_frame(dsm, arrival);
     if (!arrival.ownership_transferred) {
       // Read replica: remember who served us as the probable owner.
       e.access = Access::kRead;
@@ -256,9 +264,9 @@ bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
   return true;
 }
 
-void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
-  auto& rc = dsm.proto_state<MrswRcState>(protocol, node);
-  const std::vector<PageId> pages = rc.pending_invalidate.take();
+void sweep_copyset_invalidations(Dsm& dsm, NodeId node,
+                                 const std::vector<PageId>& pages,
+                                 bool require_owned_dirty) {
   auto& tbl = dsm.table(node);
   // Snapshot-and-clear every page's copyset under its lock first, then run
   // the whole sweep as one fan-out (batched: a single collector round across
@@ -268,7 +276,9 @@ void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
   for (const PageId page : pages) {
     marcel::MutexLock l(tbl.mutex(page));
     PageEntry& e = tbl.entry(page);
-    if (e.prob_owner != node || !e.dirty) continue;  // ownership moved on
+    if (require_owned_dirty && (e.prob_owner != node || !e.dirty)) {
+      continue;  // ownership moved on
+    }
     SweepRound r;
     r.page = page;
     r.targets = e.copyset;
@@ -278,6 +288,12 @@ void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
     rounds.push_back(std::move(r));
   }
   run_release_invalidations(dsm, node, std::move(rounds));
+}
+
+void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node) {
+  auto& rc = dsm.proto_state<MrswRcState>(protocol, node);
+  sweep_copyset_invalidations(dsm, node, rc.pending_invalidate.take(),
+                              /*require_owned_dirty=*/true);
 }
 
 // ---------------------------------------------------------------------------
@@ -361,33 +377,16 @@ bool upgrade_home_write(Dsm& dsm, const FaultContext& ctx) {
 
 void release_home_dirty(Dsm& dsm, ProtocolId protocol, NodeId node) {
   auto& rc = dsm.proto_state<HomeRcState>(protocol, node);
-  const std::vector<PageId> pages = rc.home_dirty.take();
-  auto& tbl = dsm.table(node);
-  std::vector<SweepRound> rounds;
-  rounds.reserve(pages.size());
-  for (const PageId page : pages) {
-    marcel::MutexLock l(tbl.mutex(page));
-    PageEntry& e = tbl.entry(page);
-    SweepRound r;
-    r.page = page;
-    r.targets = e.copyset;
-    r.targets.erase(node);
-    e.copyset.clear();
-    e.dirty = false;
-    rounds.push_back(std::move(r));
-  }
-  run_release_invalidations(dsm, node, std::move(rounds));
+  sweep_copyset_invalidations(dsm, node, rc.home_dirty.take(),
+                              /*require_owned_dirty=*/false);
 }
 
 void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write) {
   auto& tbl = dsm.table(arrival.node);
   marcel::MutexLock l(tbl.mutex(arrival.page));
   PageEntry& e = tbl.entry(arrival.page);
-  DSM_CHECK_MSG(e.in_transition, "unsolicited page arrival");
-  dsm.charge(dsm.costs().page_install);
-  auto frame = dsm.store(arrival.node).frame(arrival.page);
-  DSM_CHECK(arrival.data.size() == frame.size());
-  std::copy(arrival.data.begin(), arrival.data.end(), frame.begin());
+  install_page_frame(dsm, arrival);
+  const auto frame = dsm.store(arrival.node).frame(arrival.page);
   e.access = arrival.granted;
   if (arrival.granted == Access::kWrite && twin_on_write) {
     dsm.charge_us(static_cast<double>(frame.size()) * dsm.costs().twin_per_byte_us);
@@ -411,7 +410,22 @@ void upgrade_local_with_twin(Dsm& dsm, const FaultContext& ctx) {
     tbl.wait_transition(ctx.page);
     return;
   }
-  DSM_CHECK(e.access == Access::kRead);
+  if (e.access != Access::kRead) {
+    // The caller's access check ran under an earlier hold of this mutex; a
+    // concurrent invalidation (or lrc notice ingest) revoked the page in
+    // the window. Benign: return and let the retry loop re-fault through
+    // the full handler.
+    return;
+  }
+  if (e.has_twin) {
+    // The interval's twin is already live (a home re-armed to read by
+    // serving a request mid-critical-section): keep writing against it.
+    // Re-twinning here would bake the interval's earlier writes into the
+    // baseline and silently drop them from the release diff.
+    e.dirty = true;
+    e.access = Access::kWrite;
+    return;  // already recorded in the twinned set
+  }
   const auto frame = dsm.store(ctx.node).frame(ctx.page);
   dsm.charge_us(static_cast<double>(frame.size()) * dsm.costs().twin_per_byte_us);
   dsm.store(ctx.node).make_twin(ctx.page);
@@ -584,6 +598,361 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
 }
 
 // ---------------------------------------------------------------------------
+// Lazy release consistency (lrc_mw)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Forwarding-channel key for LrcState::sent_mark: lock and barrier ids live
+/// in separate id spaces, so the kind disambiguates.
+std::uint64_t channel_key(const SyncContext& ctx) {
+  return (std::uint64_t{static_cast<std::uint32_t>(ctx.object_id)} << 2) |
+         static_cast<std::uint64_t>(ctx.kind);
+}
+
+/// Records a notice this node just learned (or created). Returns false when
+/// it was already known (notices reach a node through many channels).
+bool learn_notice(LrcState& st, const WriteNotice& n) {
+  if (!st.notices_seen.insert(notice_key(n)).second) return false;
+  st.notice_order.push_back(n);
+  st.notices_by_page[n.page].push_back(n);
+  return true;
+}
+
+/// Closes one twinned page's share of a release: span-guided diff (possibly
+/// empty), twin retired, frame KEPT — under LRC the releaser's copy is the
+/// freshest one there is — but dropped to read so the next local write
+/// re-twins (and, for a home page, re-arms home write detection).
+Diff lrc_take_twin_diff(Dsm& dsm, PageId page, NodeId node) {
+  auto& tbl = dsm.table(node);
+  marcel::MutexLock l(tbl.mutex(page));
+  PageEntry& e = tbl.entry(page);
+  if (!e.has_twin) return Diff{};
+  Diff diff = compute_twin_diff(dsm, e, page, node);
+  dsm.store(node).drop_twin(page);
+  e.has_twin = false;
+  e.dirty = false;
+  e.access = Access::kRead;
+  return diff;
+}
+
+/// Stores a freshly taken diff as a new local interval and learns the
+/// corresponding notice. No-op for an empty diff.
+void lrc_store_interval(Dsm& dsm, LrcState& st, PageId page, NodeId node,
+                        std::uint32_t interval, Diff diff) {
+  if (diff.empty()) return;
+  st.diff_store[page].emplace(interval, std::move(diff));
+  learn_notice(st, WriteNotice{page, node, interval});
+  dsm.counters().inc(node, Counter::kWriteNoticesCreated);
+}
+
+/// Pulls the diffs behind `todo` (a contiguous tail of a page's notice
+/// list): one dsm.diff_req per distinct remote writer, bounded by its
+/// highest wanted interval; own diffs come straight from the local store.
+/// Returns (notice, diff) pairs in `todo` order — the apply order. Notices
+/// whose diff is gone were already merged into the home frame and are
+/// simply skipped. Blocks; the caller must hold no page mutex.
+std::vector<std::pair<WriteNotice, Diff>> lrc_collect_diffs(
+    Dsm& dsm, LrcState& st, PageId page, NodeId node,
+    const std::vector<WriteNotice>& todo) {
+  struct Range {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+  std::map<NodeId, Range> bound;
+  for (const WriteNotice& n : todo) {
+    if (n.node == node) continue;
+    auto [it, fresh] = bound.try_emplace(n.node, Range{n.interval, n.interval});
+    if (!fresh) {
+      it->second.lo = std::min(it->second.lo, n.interval);
+      it->second.hi = std::max(it->second.hi, n.interval);
+    }
+  }
+  std::map<std::pair<NodeId, std::uint32_t>, Diff> fetched;
+  for (const auto& [writer, range] : bound) {
+    for (auto& [interval, diff] :
+         dsm.comm().fetch_diffs(writer, page, range.lo, range.hi)) {
+      fetched.emplace(std::pair{writer, interval}, std::move(diff));
+    }
+  }
+  std::vector<std::pair<WriteNotice, Diff>> out;
+  out.reserve(todo.size());
+  for (const WriteNotice& n : todo) {
+    if (n.node == node) {
+      const auto pit = st.diff_store.find(page);
+      if (pit == st.diff_store.end()) continue;
+      const auto dit = pit->second.find(n.interval);
+      if (dit == pit->second.end()) continue;
+      out.emplace_back(n, dit->second);
+      continue;
+    }
+    const auto it = fetched.find(std::pair{n.node, n.interval});
+    if (it == fetched.end()) continue;
+    out.emplace_back(n, std::move(it->second));
+  }
+  return out;
+}
+
+/// Applies collected diffs to the page's local frame in order and advances
+/// the entry's applied-notice prefix (proto_word) from `from` to `end`,
+/// under the page mutex (which the caller must NOT hold). The batch is
+/// applied ONLY if the prefix still equals `from`: a concurrent completer
+/// may have advanced it while this batch's pulls blocked, and re-applying a
+/// stale shorter batch over newer diffs would roll overlapping bytes back.
+/// The caller's pull loop simply re-snapshots.
+void lrc_apply_diffs(Dsm& dsm, PageId page, NodeId node,
+                     const std::vector<std::pair<WriteNotice, Diff>>& diffs,
+                     std::size_t from, std::size_t end) {
+  auto& tbl = dsm.table(node);
+  marcel::MutexLock l(tbl.mutex(page));
+  PageEntry& e = tbl.entry(page);
+  if (e.proto_word != from) return;  // lost the race; the fetched batch is stale
+  auto frame = dsm.store(node).frame(page);
+  for (const auto& [notice, diff] : diffs) {
+    dsm.charge_us(static_cast<double>(diff.payload_bytes()) *
+                  dsm.costs().diff_apply_per_byte_us);
+    diff.apply(frame);
+    dsm.counters().inc(node, Counter::kDiffsApplied);
+  }
+  e.proto_word = end;
+}
+
+/// Pulls and applies the not-yet-merged tail of the page's notice list onto
+/// the local frame (whose applied prefix is the entry's proto_word). Loops
+/// because the pulls block and new notices may arrive meanwhile; on return
+/// the frame covers every notice currently known. Caller must NOT hold the
+/// page mutex, and must prevent the frame from disappearing (home frames
+/// never do; cached frames are pinned by in_transition).
+void lrc_pull_missing_diffs(Dsm& dsm, LrcState& st, PageId page, NodeId node) {
+  auto& tbl = dsm.table(node);
+  for (;;) {
+    std::size_t done = 0;
+    std::vector<WriteNotice> todo;
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      done = static_cast<std::size_t>(tbl.entry(page).proto_word);
+      const auto& list = st.notices_by_page[page];
+      if (done >= list.size()) return;
+      todo.assign(list.begin() + static_cast<std::ptrdiff_t>(done), list.end());
+    }
+    const auto diffs = lrc_collect_diffs(dsm, st, page, node, todo);  // blocks
+    lrc_apply_diffs(dsm, page, node, diffs, done, done + todo.size());
+  }
+}
+
+}  // namespace
+
+Packer lrc_release(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
+  const NodeId node = ctx.node;
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  // Close the interval: every twinned page's diff stays LOCAL, nothing is
+  // invalidated, nothing travels to the homes — the release's only output
+  // is its description.
+  const std::vector<PageId> pages = st.twinned.take();
+  std::uint32_t interval = 0;
+  for (const PageId page : pages) {
+    Diff diff = lrc_take_twin_diff(dsm, page, node);
+    if (diff.empty()) continue;
+    if (interval == 0) interval = ++st.interval;
+    const std::size_t before = st.notices_by_page[page].size();
+    lrc_store_interval(dsm, st, page, node, interval, std::move(diff));
+    // The frame already contains this write, so the applied prefix may step
+    // past our own notice — but ONLY if every earlier notice was merged too
+    // (a home page can carry unmerged home_pending notices while we twin).
+    // Otherwise the outstanding pull re-applies ours in order; blanket-
+    // advancing here would mark those middle notices applied and lose them
+    // from the home frame forever.
+    marcel::MutexLock l(dsm.table(node).mutex(page));
+    PageEntry& e = dsm.table(node).entry(page);
+    if (e.proto_word == before) e.proto_word = before + 1;
+  }
+  // The payload forwards everything this node knows that this channel has
+  // not carried yet — the transitive closure that keeps happens-before
+  // intact across different locks and barriers (receivers deduplicate).
+  std::size_t& mark = st.sent_mark[channel_key(ctx)];
+  Packer payload;
+  if (mark < st.notice_order.size()) {
+    serialize_notices(
+        std::span(st.notice_order).subspan(mark), payload);
+    mark = st.notice_order.size();
+  }
+  return payload;
+}
+
+namespace {
+
+/// Revokes local access to one noticed page — the lazy invalidation:
+/// exactly this page, exactly here, no fan-out, and the frame bytes STAY
+/// (the next fault patches them in place with just the diffs past the
+/// applied prefix in proto_word). Idempotent, so concurrent acquirers can
+/// both attempt it; pages in transition are left to their running
+/// completion, which re-checks the notice list anyway.
+void lrc_revoke_page(Dsm& dsm, LrcState& st, PageId page, NodeId node) {
+  auto& tbl = dsm.table(node);
+  marcel::MutexLock l(tbl.mutex(page));
+  PageEntry& e = tbl.entry(page);
+  if (e.in_transition) return;
+  if (e.access == Access::kNone) return;  // already revoked
+  if (e.has_twin) {
+    // Writes of an enclosing critical section (nested locks): preserve
+    // them as a fresh local interval before revoking access.
+    Diff diff = compute_twin_diff(dsm, e, page, node);
+    dsm.store(node).drop_twin(page);
+    e.has_twin = false;
+    st.twinned.erase(page);
+    lrc_store_interval(dsm, st, page, node, ++st.interval, std::move(diff));
+  }
+  e.access = Access::kNone;
+  e.dirty = false;
+  e.write_spans.clear();
+}
+
+}  // namespace
+
+void lrc_acquire(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
+  const NodeId node = ctx.node;
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  auto& tbl = dsm.table(node);
+  // Ingest phase: learn every forwarded notice and queue its page for
+  // revocation (cached) or in-place merge (homed here).
+  for (const Buffer& block : ctx.grant_payloads) {
+    Unpacker u(block);
+    const std::vector<WriteNotice> notices = deserialize_notices(u);
+    DSM_CHECK_MSG(u.done(), "sync payload carries bytes past its notices");
+    for (const WriteNotice& n : notices) {
+      DSM_CHECK_MSG(n.page < dsm.geometry().page_count(),
+                    "write notice names a page outside the DSM space");
+      DSM_CHECK_MSG(n.node < static_cast<NodeId>(dsm.node_count()),
+                    "write notice names a writer outside the cluster");
+      if (!learn_notice(st, n)) continue;
+      if (n.node == node) continue;  // own writes: frame/store already carry them
+      dsm.counters().inc(node, Counter::kWriteNoticesApplied);
+      marcel::MutexLock l(tbl.mutex(n.page));
+      if (tbl.entry(n.page).home == node) {
+        st.home_pending.insert(n.page);  // merged in place below, never dropped
+      } else {
+        st.revoke_pending.insert(n.page);
+      }
+    }
+  }
+  // Drain phases. Both sets are shared node state and entries leave them
+  // only once handled: notice dedup means only the FIRST of two same-node
+  // acquirers ingests a notice, so the second joins (and waits out) the
+  // first's pending revocations and merges instead of returning early to
+  // read a page the acquire should have revoked or completed.
+  while (!st.revoke_pending.empty()) {
+    const PageId page = *st.revoke_pending.begin();
+    lrc_revoke_page(dsm, st, page, node);
+    st.revoke_pending.erase(page);
+  }
+  while (!st.home_pending.empty()) {
+    const PageId page = *st.home_pending.begin();
+    lrc_pull_missing_diffs(dsm, st, page, node);  // blocks; re-checks growth
+    marcel::MutexLock l(tbl.mutex(page));
+    if (tbl.entry(page).proto_word >= st.notices_by_page[page].size()) {
+      st.home_pending.erase(page);
+    }
+  }
+}
+
+namespace {
+
+/// Grants `wanted` on a completed frame (twinning for a write) and ends the
+/// transition. Caller holds the page mutex.
+void lrc_grant_completed(Dsm& dsm, LrcState& st, PageEntry& e, PageId page,
+                         NodeId node, Access wanted) {
+  e.access = wanted;
+  if (wanted == Access::kWrite) {
+    const auto frame = dsm.store(node).frame(page);
+    dsm.charge_us(static_cast<double>(frame.size()) *
+                  dsm.costs().twin_per_byte_us);
+    dsm.store(node).make_twin(page);
+    dsm.counters().inc(node, Counter::kTwinsCreated);
+    e.has_twin = true;
+    e.write_spans.clear();
+    e.dirty = true;
+    st.twinned.insert(page);
+  }
+  st.cached.insert(page);
+  dsm.table(node).end_transition(page);
+}
+
+}  // namespace
+
+void lrc_receive_page(Dsm& dsm, const PageArrival& arrival) {
+  auto& tbl = dsm.table(arrival.node);
+  ProtocolId pid = kInvalidProtocol;
+  {
+    marcel::MutexLock l(tbl.mutex(arrival.page));
+    PageEntry& e = tbl.entry(arrival.page);
+    install_page_frame(dsm, arrival);
+    // A fresh base image carries no locally verified notices (whatever the
+    // home had merged is simply re-applied — harmless, order-preserving).
+    e.proto_word = 0;
+    pid = e.protocol;
+  }
+  auto& st = dsm.proto_state<LrcState>(pid, arrival.node);
+  // Fault-time completion: the home's copy is only the base image — pull and
+  // apply every known diff for the page in notice order before anyone can
+  // read it. in_transition stays set throughout, so local faulters wait; the
+  // pull loop re-checks the notice list because the pulls block and a
+  // concurrent acquire may learn of more writes meanwhile.
+  for (;;) {
+    lrc_pull_missing_diffs(dsm, st, arrival.page, arrival.node);
+    marcel::MutexLock l(tbl.mutex(arrival.page));
+    PageEntry& e = tbl.entry(arrival.page);
+    if (e.proto_word >= st.notices_by_page[arrival.page].size()) {
+      lrc_grant_completed(dsm, st, e, arrival.page, arrival.node,
+                          arrival.granted);
+      return;
+    }
+    // Grew while we were taking the mutex: pull again (unlocked by scope).
+  }
+}
+
+bool lrc_complete_cached(Dsm& dsm, ProtocolId protocol, const FaultContext& ctx) {
+  auto& st = dsm.proto_state<LrcState>(protocol, ctx.node);
+  auto& tbl = dsm.table(ctx.node);
+  {
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    PageEntry& e = tbl.entry(ctx.page);
+    if (access_covers(e.access, ctx.wanted)) return true;  // raced: done
+    if (e.in_transition) {
+      tbl.wait_transition(ctx.page);
+      return true;  // the retry loop re-examines the rights
+    }
+    if (!st.cached.contains(ctx.page)) return false;  // no frame to patch
+    tbl.begin_transition(ctx.page);
+    e.pending = ctx.wanted;
+  }
+  // The frame is still here, merely access-revoked: patch it with the diffs
+  // past its applied prefix and re-grant. This is the lazy protocol's common
+  // fault path — one targeted pull, no page transfer.
+  for (;;) {
+    lrc_pull_missing_diffs(dsm, st, ctx.page, ctx.node);
+    marcel::MutexLock l(tbl.mutex(ctx.page));
+    PageEntry& e = tbl.entry(ctx.page);
+    if (e.proto_word >= st.notices_by_page[ctx.page].size()) {
+      lrc_grant_completed(dsm, st, e, ctx.page, ctx.node, ctx.wanted);
+      return true;
+    }
+  }
+}
+
+void lrc_serve_diff_request(Dsm& dsm, ProtocolId protocol, PageId page,
+                            std::uint32_t from_interval,
+                            std::uint32_t up_to_interval, NodeId /*requester*/,
+                            std::vector<std::pair<std::uint32_t, Diff>>& out) {
+  auto& st = dsm.proto_state<LrcState>(protocol, dsm.self());
+  const auto it = st.diff_store.find(page);
+  if (it == st.diff_store.end()) return;
+  for (auto dit = it->second.lower_bound(from_interval);
+       dit != it->second.end() && dit->first <= up_to_interval; ++dit) {
+    out.emplace_back(dit->first, dit->second);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Helpers
 // ---------------------------------------------------------------------------
 
@@ -615,5 +984,7 @@ void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
 }
 
 void sync_noop(Dsm&, const SyncContext&) {}
+
+Packer sync_release_noop(Dsm&, const SyncContext&) { return Packer{}; }
 
 }  // namespace dsmpm2::dsm::lib

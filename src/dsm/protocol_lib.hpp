@@ -12,13 +12,17 @@
 // "Building protocols using library routines").
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/flat_set.hpp"
 #include "common/ids.hpp"
 #include "dsm/comm.hpp"
 #include "dsm/protocol.hpp"
+#include "dsm/write_notice.hpp"
 
 namespace dsmpm2::dsm::lib {
 
@@ -41,6 +45,56 @@ struct MrswRcState : ProtocolState {
 struct HomeRcState : ProtocolState {
   FlatSet<PageId> twinned;
   FlatSet<PageId> home_dirty;
+};
+
+/// Lazy release consistency state (lrc_mw), on top of the home-based twin
+/// machinery. A release creates an *interval*: the node's twinned diffs are
+/// computed and kept in the local diff store, and one WriteNotice per dirty
+/// page rides the release payload. Acquires ingest forwarded notices,
+/// invalidate exactly the noticed pages, and later faults pull the missing
+/// diffs from their writers (dsm.diff_req) on demand.
+struct LrcState : HomeRcState {
+  /// Monotone per-node release interval counter (the issue's "per-node
+  /// interval counters"); interval 0 means "never released".
+  std::uint32_t interval = 0;
+  /// Diffs this node created and still holds: page -> interval -> diff, in
+  /// interval order. Entries live until a barrier-style flush merges them
+  /// into the home frame (future work: GC); absent entries mean exactly
+  /// "already merged at the home".
+  std::map<PageId, std::map<std::uint32_t, Diff>> diff_store;
+  /// Every notice this node knows, per page, in happens-before order — the
+  /// apply order of fault-time completion.
+  std::unordered_map<PageId, std::vector<WriteNotice>> notices_by_page;
+  /// Same notices in global learn order: the forwarding queue for release
+  /// payloads (per-channel cursors below slice it).
+  std::vector<WriteNotice> notice_order;
+  /// Dedup over notice_key(): notices arrive through many channels.
+  std::unordered_set<std::uint64_t> notices_seen;
+  /// Per sync channel (keyed 2*id + kind bit): prefix of notice_order this
+  /// node has already sent there. Forwarding everything it knows to every
+  /// channel (with dedup at the receivers) is what keeps happens-before
+  /// transitive across different locks and barriers.
+  std::unordered_map<std::uint64_t, std::size_t> sent_mark;
+  // The per-(page, node) applied-notice prefix — how much of
+  // notices_by_page[p] is already merged into the local frame — lives in the
+  // page entry's proto_word ("new fields could be added as needed"), for
+  // home frames and kept caches alike.
+  /// Pages homed on this node with noticed-but-not-yet-merged diffs. Entries
+  /// are erased only once merged, so every concurrent acquirer on the node
+  /// joins (and waits out) an in-flight completion instead of returning
+  /// while the home frame is still incomplete.
+  FlatSet<PageId> home_pending;
+  /// Cached pages with noticed-but-not-yet-revoked access. Same join
+  /// discipline as home_pending: notice dedup means only the FIRST of two
+  /// same-node acquirers ingests a notice, so the second must not return
+  /// while the first's revocations are still pending.
+  FlatSet<PageId> revoke_pending;
+  /// Non-home pages with a live local frame. An lrc invalidation never
+  /// discards the frame: it only revokes access and leaves the bytes in
+  /// place, and the next fault patches the frame with just the NEW diffs
+  /// (the page entry's proto_word holds the applied-notice prefix). Pages
+  /// leave this set only if their frame is genuinely gone.
+  FlatSet<PageId> cached;
 };
 
 // ---------------------------------------------------------------------------
@@ -84,6 +138,16 @@ bool upgrade_owner_to_write(Dsm& dsm, const FaultContext& ctx,
 /// DsmConfig::batch_diffs (and parallel_invalidate) the whole sweep is one
 /// collector round across every page — one block, not one round per page.
 void release_pending_invalidations(Dsm& dsm, ProtocolId protocol, NodeId node);
+
+/// The eager release machinery shared by release_pending_invalidations and
+/// release_home_dirty: snapshot-and-clear every page's copyset under its
+/// lock (with `require_owned_dirty`, only pages this node still owns and
+/// dirtied — the MRSW ownership-migration guard), then run the whole sweep
+/// as one batched collector round across every page, or per-page rounds when
+/// batching is off.
+void sweep_copyset_invalidations(Dsm& dsm, NodeId node,
+                                 const std::vector<PageId>& pages,
+                                 bool require_owned_dirty);
 
 // ---------------------------------------------------------------------------
 // Thread migration (paper §3.1, Figure 3)
@@ -150,6 +214,48 @@ void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival);
 void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv);
 
 // ---------------------------------------------------------------------------
+// Lazy release consistency (lrc_mw)
+// ---------------------------------------------------------------------------
+
+/// Release action: closes the node's current interval. Every twinned page's
+/// diff is computed (span-guided) and kept in the LOCAL diff store — the
+/// local copy stays valid and readable, nothing is sent to the home and
+/// nobody is invalidated — and one WriteNotice per dirty page is created.
+/// Returns the release payload: every notice this node knows that it has not
+/// yet forwarded on this sync channel (serialize_notices format).
+Packer lrc_release(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx);
+
+/// Acquire action: ingests the grant's forwarded notice blocks in
+/// happens-before order. Fresh remote notices invalidate the named local
+/// copies (only those — the lazy win) and queue the pages for fault-time
+/// completion; pages homed on this node are completed in place instead
+/// (their frames are never dropped).
+void lrc_acquire(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx);
+
+/// Page arrival for lrc_mw: installs the home's copy, then — before making
+/// it accessible — pulls and applies every known diff for the page from its
+/// writers in notice order (dsm.diff_req), looping until no new notices
+/// slipped in. A write grant twins afterwards, like receive_page_home.
+void lrc_receive_page(Dsm& dsm, const PageArrival& arrival);
+
+/// Fault-time completion of a page whose frame is still locally present
+/// (the common lrc case: an acquire revoked access but kept the bytes).
+/// Pulls and applies only the diffs the frame does not have yet — the
+/// applied prefix lives in the entry's proto_word — then grants `wanted`
+/// (twinning for a write). Returns false when there is no local frame to
+/// patch (never cached): the caller falls back to fetch_from_home.
+bool lrc_complete_cached(Dsm& dsm, ProtocolId protocol, const FaultContext& ctx);
+
+/// dsm.diff_req server: answers from the node's local diff store (every
+/// stored diff for the page with interval in [from, up_to], in interval
+/// order). An empty answer means the diffs were already merged into the
+/// home frame.
+void lrc_serve_diff_request(Dsm& dsm, ProtocolId protocol, PageId page,
+                            std::uint32_t from_interval,
+                            std::uint32_t up_to_interval, NodeId requester,
+                            std::vector<std::pair<std::uint32_t, Diff>>& out);
+
+// ---------------------------------------------------------------------------
 // Small helpers
 // ---------------------------------------------------------------------------
 
@@ -172,7 +278,9 @@ void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
                         NodeId new_owner, NodeId skip);
 
 /// No-op synchronization hooks for protocols without consistency actions at
-/// sync points (sequential consistency).
+/// sync points (sequential consistency): acquire-shaped and release-shaped
+/// (the latter returns an empty payload).
 void sync_noop(Dsm& dsm, const SyncContext& ctx);
+Packer sync_release_noop(Dsm& dsm, const SyncContext& ctx);
 
 }  // namespace dsmpm2::dsm::lib

@@ -1,0 +1,42 @@
+#include "dsm/write_notice.hpp"
+
+#include "common/check.hpp"
+#include "common/copyset.hpp"
+
+namespace dsmpm2::dsm {
+
+std::uint64_t notice_key(const WriteNotice& n) {
+  DSM_CHECK_MSG(n.node < CopySet::kMaxNodes, "write notice from an impossible node");
+  DSM_CHECK_MSG(n.interval < (1u << 24), "write notice interval overflows the key");
+  return (std::uint64_t{n.page} << 32) | (std::uint64_t{n.node} << 24) |
+         std::uint64_t{n.interval};
+}
+
+void serialize_notices(std::span<const WriteNotice> notices, Packer& p) {
+  p.pack(static_cast<std::uint32_t>(notices.size()));
+  for (const WriteNotice& n : notices) {
+    p.pack(n.page);
+    p.pack(n.node);
+    p.pack(n.interval);
+  }
+}
+
+std::vector<WriteNotice> deserialize_notices(Unpacker& u) {
+  constexpr std::size_t kWireBytes =
+      sizeof(PageId) + sizeof(NodeId) + sizeof(std::uint32_t);
+  const auto count = u.unpack<std::uint32_t>();
+  DSM_CHECK_MSG(std::size_t{count} * kWireBytes <= u.remaining(),
+                "write notice block shorter than its count prefix");
+  std::vector<WriteNotice> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WriteNotice n;
+    n.page = u.unpack<PageId>();
+    n.node = u.unpack<NodeId>();
+    n.interval = u.unpack<std::uint32_t>();
+    out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,47 @@
+// Write notices: the consistency metadata of lazy release consistency.
+//
+// Eager release-consistency protocols (erc_sw, hbrc_mw) push invalidations
+// to the whole copyset at every release. Lazy protocols instead *describe*
+// each release — "node N modified page P in its interval I" — and let that
+// description travel with the synchronization itself: the releaser packs its
+// notices into the lock-release payload, the lock manager forwards them
+// inside the next grant, and only the next acquirer invalidates exactly the
+// pages named (the user-level DSM of Ramesh & Varadarajan, and Keleher's
+// LRC). The diff for (page, node, interval) stays on the writer until some
+// node actually needs it (dsm.diff_req) or it is flushed to the home.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+
+namespace dsmpm2::dsm {
+
+/// One release's worth of modifications to one page: `node` created a diff
+/// for `page` in its release interval `interval`. Notices for one page are
+/// meaningful only in happens-before order (the order grants deliver them).
+struct WriteNotice {
+  PageId page = kInvalidPage;
+  NodeId node = kInvalidNode;
+  std::uint32_t interval = 0;
+
+  friend bool operator==(const WriteNotice&, const WriteNotice&) = default;
+};
+
+/// Collision-free 64-bit dedup key: page(32) | node(8) | interval(24).
+/// Checked against the encoding limits (kMaxNodes is 256; 16M release
+/// intervals per node far exceeds any feasible run).
+std::uint64_t notice_key(const WriteNotice& n);
+
+/// Appends `notices` to `p` as a length-prefixed, field-by-field block (a
+/// stable wire format — no struct padding travels).
+void serialize_notices(std::span<const WriteNotice> notices, Packer& p);
+
+/// Reads a serialize_notices block back; the count prefix is validated
+/// against the remaining buffer before anything is allocated.
+std::vector<WriteNotice> deserialize_notices(Unpacker& u);
+
+}  // namespace dsmpm2::dsm

@@ -64,15 +64,17 @@ marcel::Thread& Runtime::start_thread(NodeId node, std::string name,
                                       std::function<void()> body) {
   const dsm::Protocol& proto = dsm_.protocols().get(protocol_);
   // start() happens-before the new thread's first action: publish the
-  // starter's recorded modifications to main memory.
-  proto.lock_release(dsm_, dsm::SyncContext{-1, dsm_.self()});
+  // starter's recorded modifications to main memory. The Java protocols push
+  // everything through the homes, so the returned payload is always empty
+  // and there is no grant to carry it anyway — it is discarded.
+  (void)proto.lock_release(dsm_, dsm::SyncContext{-1, dsm_.self()});
   auto java_body = [this, body = std::move(body)] {
     const dsm::Protocol& p = dsm_.protocols().get(protocol_);
     // Begin with a coherent view of main memory...
     p.lock_acquire(dsm_, dsm::SyncContext{-1, dsm_.self()});
     body();
     // ...and publish our writes for join()ers on the way out.
-    p.lock_release(dsm_, dsm::SyncContext{-1, dsm_.self()});
+    (void)p.lock_release(dsm_, dsm::SyncContext{-1, dsm_.self()});
   };
   return dsm_.runtime().spawn_on(node, std::move(name), std::move(java_body));
 }

@@ -8,6 +8,7 @@ dsm::BuiltinProtocols register_builtins(dsm::Dsm& d) {
   ids.migrate_thread = d.create_protocol(make_migrate_thread());
   ids.erc_sw = d.create_protocol(make_erc_sw());
   ids.hbrc_mw = d.create_protocol(make_hbrc_mw());
+  ids.lrc_mw = d.create_protocol(make_lrc_mw());
   ids.java_ic = d.create_protocol(
       make_java_protocol("java_ic", dsm::AccessMode::kInlineCheck));
   ids.java_pf = d.create_protocol(

@@ -6,8 +6,11 @@
 //                               fixed distributed manager.
 //   erc_sw          Release     MRSW eager release consistency, dynamic
 //                               distributed manager.
-//   hbrc_mw         Release     home-based lazy release consistency, MRMW,
-//                               twins and on-release diffing.
+//   hbrc_mw         Release     home-based release consistency, MRMW, twins
+//                               and on-release diffing (eager home flush).
+//   lrc_mw          Release     lazy release consistency, MRMW: write
+//                               notices ride the lock grants, diffs stay on
+//                               their writers until pulled on demand.
 //   java_ic         Java        home-based MRMW, inline locality checks,
 //                               on-the-fly diff recording.
 //   java_pf         Java        same, but page-fault access detection.
@@ -31,6 +34,7 @@ dsm::Protocol make_li_hudak();
 dsm::Protocol make_migrate_thread();
 dsm::Protocol make_erc_sw();
 dsm::Protocol make_hbrc_mw();
+dsm::Protocol make_lrc_mw();
 /// Shared implementation of the two Java-consistency protocols; they differ
 /// only in how accesses to shared data are detected.
 dsm::Protocol make_java_protocol(std::string name, dsm::AccessMode mode);

@@ -55,10 +55,12 @@ Protocol make_erc_sw() {
   // Consistency actions live at the release: invalidate the copyset of every
   // page this node wrote since it became their owner (batched: one collector
   // round spanning every released page — see release_pending_invalidations).
+  // Everything is pushed eagerly, so the grant payload stays empty.
   p.lock_acquire = dsm::lib::sync_noop;
   p.lock_release = [](Dsm& d, const SyncContext& ctx) {
     dsm::lib::release_pending_invalidations(d, d.protocol_by_name("erc_sw"),
                                             ctx.node);
+    return Packer{};
   };
   p.make_node_state = [] {
     return std::make_unique<dsm::lib::MrswRcState>();

@@ -80,6 +80,7 @@ Protocol make_hbrc_mw() {
     dsm::lib::flush_twin_diffs(d, pid, ctx.node,
                                /*response_to_invalidation=*/false);
     dsm::lib::release_home_dirty(d, pid, ctx.node);
+    return Packer{};  // everything was pushed eagerly
   };
 
   p.diff_server = [](Dsm& d, const DiffArrival& arrival) {

@@ -56,7 +56,7 @@ Protocol make_hybrid_rw() {
   };
 
   p.lock_acquire = dsm::lib::sync_noop;
-  p.lock_release = dsm::lib::sync_noop;
+  p.lock_release = dsm::lib::sync_release_noop;
   return p;
 }
 

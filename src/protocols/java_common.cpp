@@ -176,6 +176,7 @@ Protocol make_java_protocol(std::string name, dsm::AccessMode mode) {
   };
   p.lock_release = [name](Dsm& d, const SyncContext& ctx) {
     main_memory_update(d, d.protocol_by_name(name), ctx.node);
+    return Packer{};  // modifications go straight to main memory, not the grant
   };
 
   // On-the-fly recording with field granularity, through put only, and only

@@ -56,7 +56,7 @@ Protocol make_li_hudak() {
 
   // Sequential consistency attaches no actions to synchronization events.
   p.lock_acquire = dsm::lib::sync_noop;
-  p.lock_release = dsm::lib::sync_noop;
+  p.lock_release = dsm::lib::sync_release_noop;
   return p;
 }
 

@@ -1,0 +1,103 @@
+// lrc_mw: lazy release consistency, home-based, multiple writers.
+//
+// The lazy counterpart of hbrc_mw, in the spirit of Keleher's LRC and the
+// write-notice-bearing user-level DSMs (Ramesh & Varadarajan): where the
+// eager protocols act at the release — hbrc_mw ships every diff home and
+// erc_sw sweep-invalidates entire copysets whether or not anyone will ever
+// look — lrc_mw merely *describes* the release. Twins are diffed into a
+// local store, one WriteNotice per dirty page rides the release payload to
+// the lock manager, and the manager forwards the accumulated notices inside
+// the next grant. The acquirer invalidates exactly the pages named; a later
+// fault fetches the base copy from the home and pulls the missing diffs
+// straight from their writers (dsm.diff_req), applying them in
+// happens-before order. Nodes that never synchronize keep their (RC-legal)
+// stale copies and cost nothing.
+#include <memory>
+
+#include "common/check.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::FaultContext;
+using dsm::InvalidateRequest;
+using dsm::PageArrival;
+using dsm::PageRequest;
+using dsm::Protocol;
+using dsm::SyncContext;
+
+Protocol make_lrc_mw() {
+  Protocol p;
+  p.name = "lrc_mw";
+
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    // An access-revoked copy is usually still present: patch it in place
+    // with the missing diffs (no page transfer). Only a never-cached page
+    // fetches the base image from its home.
+    if (dsm::lib::lrc_complete_cached(d, d.protocol_by_name("lrc_mw"), ctx)) {
+      return;
+    }
+    dsm::lib::fetch_from_home(d, ctx);
+  };
+
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    // A read-held copy is consistent as of this node's last acquire (notices
+    // would have revoked it): upgrade purely locally with a twin. This
+    // covers both cached replicas and the home's own armed-to-read pages —
+    // the home twins too, so its interval diffs replay identically when a
+    // completion re-applies them over the home frame.
+    const bool local_upgrade = [&] {
+      auto& tbl = d.table(ctx.node);
+      marcel::MutexLock l(tbl.mutex(ctx.page));
+      return tbl.entry(ctx.page).access == dsm::Access::kRead &&
+             !tbl.entry(ctx.page).in_transition;
+    }();
+    if (local_upgrade) {
+      dsm::lib::upgrade_local_with_twin(d, ctx);
+      return;
+    }
+    if (dsm::lib::lrc_complete_cached(d, d.protocol_by_name("lrc_mw"), ctx)) {
+      return;
+    }
+    dsm::lib::fetch_from_home(d, ctx);
+  };
+
+  // The home serves base copies and arms write detection so its own later
+  // writes twin and produce intervals like everyone else's.
+  p.read_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_request_home(d, req, /*arm_home_write_detection=*/true);
+  };
+  p.write_server = [](Dsm& d, const PageRequest& req) {
+    dsm::lib::serve_request_home(d, req, /*arm_home_write_detection=*/true);
+  };
+
+  // Laziness is the whole point: no invalidation is ever pushed.
+  p.invalidate_server = [](Dsm&, const InvalidateRequest&) {
+    DSM_UNREACHABLE("lrc_mw sends no invalidations");
+  };
+
+  p.receive_page_server = [](Dsm& d, const PageArrival& arrival) {
+    dsm::lib::lrc_receive_page(d, arrival);
+  };
+
+  p.lock_acquire = [](Dsm& d, const SyncContext& ctx) {
+    dsm::lib::lrc_acquire(d, d.protocol_by_name("lrc_mw"), ctx);
+  };
+  p.lock_release = [](Dsm& d, const SyncContext& ctx) {
+    return dsm::lib::lrc_release(d, d.protocol_by_name("lrc_mw"), ctx);
+  };
+
+  p.diff_request_server = [](Dsm& d, PageId page, std::uint32_t from,
+                             std::uint32_t up_to, NodeId requester,
+                             std::vector<std::pair<std::uint32_t, dsm::Diff>>& out) {
+    dsm::lib::lrc_serve_diff_request(d, d.protocol_by_name("lrc_mw"), page,
+                                     from, up_to, requester, out);
+  };
+
+  p.make_node_state = [] { return std::make_unique<dsm::lib::LrcState>(); };
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

@@ -52,7 +52,7 @@ Protocol make_migrate_thread() {
   };
 
   p.lock_acquire = dsm::lib::sync_noop;
-  p.lock_release = dsm::lib::sync_noop;
+  p.lock_release = dsm::lib::sync_release_noop;
   return p;
 }
 

@@ -34,7 +34,7 @@ Protocol make_counting_migrator(int* handler_calls) {
     lib::receive_page_dynamic(d, a, true);
   };
   p.lock_acquire = lib::sync_noop;
-  p.lock_release = lib::sync_noop;
+  p.lock_release = lib::sync_release_noop;
   return p;
 }
 

@@ -1,0 +1,213 @@
+// The payload-bearing sync engine: bytes returned by lock_release hooks ride
+// the release to the manager and come back out of later grants' lock_acquire
+// hooks, with one history cursor per node; plus lock-layer fairness and the
+// new hand-off/wait instrumentation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dsm/protocol_lib.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+using namespace dsmpm2::time_literals;
+
+/// A protocol whose sync hooks do nothing but move payloads: each release
+/// ships the caller-provided `outgoing` string (once), each acquire records
+/// the payload blocks it received as strings.
+struct PayloadProbe {
+  std::string outgoing;                            // next release's payload
+  std::vector<std::vector<std::string>> received;  // one entry per acquire
+};
+
+Protocol make_payload_probe(PayloadProbe* probe) {
+  Protocol p;
+  p.name = "payload_probe";
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    lib::acquire_page_copy(d, ctx);
+  };
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    if (lib::upgrade_owner_to_write(d, ctx, true)) return;
+    lib::acquire_page_copy(d, ctx);
+  };
+  p.read_server = lib::serve_read_dynamic;
+  p.write_server = lib::serve_write_dynamic;
+  p.invalidate_server = lib::invalidate_local;
+  p.receive_page_server = [](Dsm& d, const PageArrival& a) {
+    lib::receive_page_dynamic(d, a, true);
+  };
+  p.lock_acquire = [probe](Dsm&, const SyncContext& ctx) {
+    std::vector<std::string> blocks;
+    for (const Buffer& b : ctx.grant_payloads) {
+      Unpacker u(b);
+      blocks.push_back(u.unpack_string());
+    }
+    probe->received.push_back(std::move(blocks));
+  };
+  p.lock_release = [probe](Dsm&, const SyncContext&) {
+    Packer payload;
+    if (!probe->outgoing.empty()) {
+      payload.pack_string(probe->outgoing);
+      probe->outgoing.clear();
+    }
+    return payload;
+  };
+  return p;
+}
+
+TEST(LockPayload, RoundTripsThroughManagerToNextAcquirer) {
+  DsmFixture fx(2);
+  PayloadProbe probe;
+  const ProtocolId proto = fx.dsm.create_protocol(make_payload_probe(&probe));
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    // Node 0: CS with payload "from-zero".
+    fx.dsm.lock_acquire(lock);
+    probe.outgoing = "from-zero";
+    fx.dsm.lock_release(lock);
+    // Node 1 acquires next: the grant must carry exactly that payload.
+    auto& t = fx.rt.spawn_on(1, "acq", [&] {
+      fx.dsm.lock_acquire(lock);
+      probe.outgoing = "from-one";
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(t);
+    // Node 0 again: sees node 1's payload but NOT its own (cursor advanced).
+    fx.dsm.lock_acquire(lock);
+    fx.dsm.lock_release(lock);
+  });
+  ASSERT_EQ(probe.received.size(), 3u);
+  EXPECT_TRUE(probe.received[0].empty());  // first acquire: no history yet
+  EXPECT_EQ(probe.received[1], (std::vector<std::string>{"from-zero"}));
+  EXPECT_EQ(probe.received[2], (std::vector<std::string>{"from-one"}));
+}
+
+TEST(LockPayload, HistoryAccumulatesForLateFirstAcquirer) {
+  // A node acquiring for the first time gets the ENTIRE payload history, in
+  // release order — that is what lets a lazy protocol bring it up to date.
+  DsmFixture fx(2);
+  PayloadProbe probe;
+  const ProtocolId proto = fx.dsm.create_protocol(make_payload_probe(&probe));
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    for (int i = 0; i < 3; ++i) {
+      fx.dsm.lock_acquire(lock);
+      probe.outgoing = "cs" + std::to_string(i);
+      fx.dsm.lock_release(lock);
+    }
+    auto& t = fx.rt.spawn_on(1, "late", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(t);
+  });
+  ASSERT_EQ(probe.received.size(), 4u);
+  EXPECT_EQ(probe.received[3], (std::vector<std::string>{"cs0", "cs1", "cs2"}));
+}
+
+TEST(LockPayload, EmptyReleasePayloadsAreNotForwarded) {
+  // Eager protocols return empty payloads; grants must stay payload-free
+  // (no empty blocks accumulate in the history).
+  DsmFixture fx(2);
+  PayloadProbe probe;
+  const ProtocolId proto = fx.dsm.create_protocol(make_payload_probe(&probe));
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    for (int i = 0; i < 2; ++i) {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);  // outgoing stays empty
+    }
+    auto& t = fx.rt.spawn_on(1, "acq", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(t);
+  });
+  for (const auto& blocks : probe.received) EXPECT_TRUE(blocks.empty());
+}
+
+TEST(LockPayload, BarrierDistributesEveryPartysPayload) {
+  // A barrier is a release+acquire: the coordinator must hand every party
+  // the whole generation's payload blocks.
+  DsmFixture fx(2);
+  PayloadProbe probe;
+  const ProtocolId proto = fx.dsm.create_protocol(make_payload_probe(&probe));
+  const int barrier = fx.dsm.create_barrier(2, proto);
+  int full_views = 0;
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    for (NodeId n = 0; n < 2; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "b", [&, n] {
+        // The release hook consumes `outgoing` before anything blocks, so
+        // staging it right before the wait is race-free under the
+        // cooperative scheduler.
+        probe.outgoing = "node" + std::to_string(n);
+        fx.dsm.barrier_wait(barrier);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  ASSERT_EQ(probe.received.size(), 2u);
+  for (const auto& blocks : probe.received) {
+    if (blocks.size() == 2u) ++full_views;
+  }
+  // Both parties resume with both payload blocks of the generation.
+  EXPECT_EQ(full_views, 2);
+}
+
+TEST(LockFairness, ContendedLockServesEveryNodeFifo) {
+  // Heavy contention: every node hammers one lock with no staggering. FIFO
+  // grants mean nobody starves and everyone completes its rounds.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 6;
+  DsmFixture fx(kNodes);
+  const int lock = fx.dsm.create_lock();
+  std::vector<int> completed(kNodes, 0);
+  std::vector<NodeId> grant_order;
+  fx.run_on_all_nodes([&](NodeId n) {
+    for (int r = 0; r < kRounds; ++r) {
+      fx.dsm.lock_acquire(lock);
+      grant_order.push_back(n);
+      ++completed[n];
+      fx.rt.compute(10_us);  // hold the lock long enough that others queue
+      fx.dsm.lock_release(lock);
+    }
+  });
+  for (NodeId n = 0; n < kNodes; ++n) EXPECT_EQ(completed[n], kRounds);
+  EXPECT_EQ(grant_order.size(), static_cast<std::size_t>(kNodes * kRounds));
+  // With FIFO queueing under saturation a node cannot lap the others: past
+  // the warm-up (requests still racing to the manager), any window of kNodes
+  // consecutive grants contains no node three times.
+  for (std::size_t i = kNodes * 2; i + kNodes <= grant_order.size(); ++i) {
+    int per_node[kNodes] = {};
+    for (std::size_t j = i; j < i + kNodes; ++j) ++per_node[grant_order[j]];
+    for (int n = 0; n < kNodes; ++n) EXPECT_LE(per_node[n], 2);
+  }
+  // Instrumentation: contended grants are hand-offs, and waiters waited.
+  EXPECT_GT(fx.dsm.counters().total(Counter::kLockHandoffs), 0u);
+  EXPECT_GT(fx.dsm.counters().total(Counter::kLockWaitUs), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kLockAcquires),
+            static_cast<std::uint64_t>(kNodes * kRounds));
+}
+
+// The lock layer validates lock ids at every entry point — the client-side
+// hook resolution here, and (defense in depth, PR 2 page-handler convention)
+// serve_acquire/serve_release re-validate the wire-supplied id against
+// next_id_ before touching manager state.
+TEST(LockHardeningDeath, AcquireOfUnknownLockIdRejected) {
+  DsmFixture fx(2);
+  EXPECT_DEATH(fx.run([&] { fx.dsm.lock_acquire(42); }), "");
+}
+
+TEST(LockHardeningDeath, ReleaseOfUnknownLockIdRejected) {
+  DsmFixture fx(2);
+  fx.dsm.create_lock();
+  EXPECT_DEATH(fx.run([&] { fx.dsm.lock_release(7); }), "");
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,395 @@
+// lrc_mw: lazy release consistency. Releases describe themselves (write
+// notices on the lock grant) instead of pushing invalidations or diffs;
+// acquirers invalidate exactly the noticed pages; faults pull the missing
+// diffs from their writers on demand (dsm.diff_req). These tests pin the
+// lazy traffic shape, the happens-before diff ordering, transitivity across
+// sync objects, and end-to-end equivalence with the eager erc_sw on a
+// seeded multi-writer workload.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+using namespace dsmpm2::time_literals;
+
+/// Allocates `count` single-page areas under `proto`, homed on `home`.
+std::vector<DsmAddr> alloc_pages(Dsm& dsm, ProtocolId proto, int count,
+                                 NodeId home) {
+  std::vector<DsmAddr> pages;
+  for (int i = 0; i < count; ++i) {
+    AllocAttr attr;
+    attr.protocol = proto;
+    attr.home_policy = HomePolicy::kFixed;
+    attr.fixed_home = home;
+    pages.push_back(dsm.dsm_malloc(dsm.config().page_size, attr));
+  }
+  return pages;
+}
+
+TEST(LrcMw, ReleaseSendsNoInvalidationsAndKeepsDiffsLocal) {
+  DsmFixture fx(3);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 2, /*home=*/0);
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    // Replicate both pages everywhere first (so an eager protocol would
+    // have copies to invalidate).
+    for (NodeId n = 1; n <= 2; ++n) {
+      auto& t = fx.rt.spawn_on(n, "r", [&] {
+        for (const DsmAddr p : pages) (void)fx.dsm.read<long>(p);
+      });
+      fx.rt.threads().join(t);
+    }
+    auto& w = fx.rt.spawn_on(1, "w", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.write<long>(pages[0], 77);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(w);
+  });
+  // The lazy release: zero invalidations, zero diffs shipped, one notice.
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kInvalidationsSent), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsSent), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffBatchesSent), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kWriteNoticesCreated), 1u);
+  // Node 2 never synchronized: its (stale) copies survive untouched.
+  const PageId p0 = fx.dsm.geometry().page_of(pages[0]);
+  EXPECT_EQ(fx.dsm.table(2).entry(p0).access, Access::kRead);
+}
+
+TEST(LrcMw, AcquireInvalidatesOnlyNoticedPages) {
+  DsmFixture fx(3);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 3, /*home=*/0);
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    auto& reader = fx.rt.spawn_on(2, "r", [&] {
+      for (const DsmAddr p : pages) (void)fx.dsm.read<long>(p);
+    });
+    fx.rt.threads().join(reader);
+    auto& writer = fx.rt.spawn_on(1, "w", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.write<long>(pages[1], 5);  // touches ONE page
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(writer);
+    auto& acq = fx.rt.spawn_on(2, "acq", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(acq);
+  });
+  // Only the written page lost its rights on the acquirer; its neighbours
+  // survived the acquire (the lazy win over erc_sw's whole-set sweep).
+  EXPECT_EQ(fx.dsm.table(2).entry(fx.dsm.geometry().page_of(pages[0])).access,
+            Access::kRead);
+  EXPECT_EQ(fx.dsm.table(2).entry(fx.dsm.geometry().page_of(pages[1])).access,
+            Access::kNone);
+  EXPECT_EQ(fx.dsm.table(2).entry(fx.dsm.geometry().page_of(pages[2])).access,
+            Access::kRead);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kWriteNoticesApplied), 1u);
+}
+
+TEST(LrcMw, FaultPullsDiffFromWriterOnDemand) {
+  DsmFixture fx(3);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int lock = fx.dsm.create_lock(proto);
+  long observed = 0;
+  fx.run([&] {
+    auto& writer = fx.rt.spawn_on(1, "w", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.write<long>(pages[0], 4242);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(writer);
+    auto& acq = fx.rt.spawn_on(2, "acq", [&] {
+      fx.dsm.lock_acquire(lock);
+      observed = fx.dsm.read<long>(pages[0]);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(acq);
+  });
+  // The value came through even though the home never saw the diff: the
+  // reader pulled it from the writer at fault time.
+  EXPECT_EQ(observed, 4242);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kDiffFetchesSent), 1u);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kDiffFetchesServed), 1u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kDiffsSent), 0u);
+}
+
+TEST(LrcMw, HappensBeforeOrderWinsOnOverlappingWrites) {
+  // A writes x, then B (which saw A's notice) overwrites x, then C reads:
+  // the completion must apply A's diff before B's — last writer in
+  // happens-before order wins.
+  DsmFixture fx(4);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int lock = fx.dsm.create_lock(proto);
+  long observed = -1;
+  fx.run([&] {
+    for (NodeId n : {NodeId{1}, NodeId{2}}) {
+      auto& t = fx.rt.spawn_on(n, "w", [&, n] {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(pages[0], 100 + static_cast<long>(n));
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(t);
+    }
+    auto& r = fx.rt.spawn_on(3, "r", [&] {
+      fx.dsm.lock_acquire(lock);
+      observed = fx.dsm.read<long>(pages[0]);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(r);
+  });
+  EXPECT_EQ(observed, 102);  // node 2 wrote last in hb order
+}
+
+TEST(LrcMw, HomeNodeMergesNoticedDiffsInPlace) {
+  // The home's frame is never dropped; at acquire it pulls the noticed
+  // diffs into "main memory" and reads its own frame.
+  DsmFixture fx(2);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int lock = fx.dsm.create_lock(proto);
+  long at_home = 0;
+  fx.run([&] {
+    auto& w = fx.rt.spawn_on(1, "w", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.write<long>(pages[0], 31337);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(w);
+    fx.dsm.lock_acquire(lock);  // home runs on node 0 (main thread)
+    at_home = fx.dsm.read<long>(pages[0]);
+    fx.dsm.lock_release(lock);
+  });
+  EXPECT_EQ(at_home, 31337);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kDiffFetchesSent), 1u);
+}
+
+TEST(LrcMw, HomeWritesSurviveMidSectionRearm) {
+  // Regression: the home writes word A under the lock (twin live), a remote
+  // read request re-arms the home to read MID-SECTION, the home then writes
+  // word B. The interval's diff must carry BOTH words — re-twinning on the
+  // second fault would bake word A into the baseline and lose it for every
+  // replica that patches in place.
+  DsmFixture fx(3);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int lock = fx.dsm.create_lock(proto);
+  const DsmAddr word_a = pages[0];
+  const DsmAddr word_b = pages[0] + 64;
+  long got_a = 0;
+  long got_b = 0;
+  fx.run([&] {
+    // Node 2 caches the page up front — it can only learn of the home's
+    // writes through the diff the notice points at.
+    auto& pre = fx.rt.spawn_on(2, "pre", [&] { (void)fx.dsm.read<long>(word_a); });
+    fx.rt.threads().join(pre);
+    // Home critical section with a serve in the middle.
+    fx.dsm.lock_acquire(lock);
+    fx.dsm.write<long>(word_a, 11);  // twin live (home was armed by the serve)
+    auto& mid = fx.rt.spawn_on(1, "mid", [&] { (void)fx.dsm.read<long>(word_a); });
+    fx.rt.threads().join(mid);       // serve re-arms the home to read
+    fx.dsm.write<long>(word_b, 22);  // faults again; must NOT re-twin
+    fx.dsm.lock_release(lock);
+    auto& acq = fx.rt.spawn_on(2, "acq", [&] {
+      fx.dsm.lock_acquire(lock);
+      got_a = fx.dsm.read<long>(word_a);
+      got_b = fx.dsm.read<long>(word_b);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(acq);
+  });
+  EXPECT_EQ(got_a, 11);
+  EXPECT_EQ(got_b, 22);
+}
+
+TEST(LrcMw, TransitivityAcrossDifferentLocks) {
+  // A writes x under L1; B acquires L1 then releases L2; C acquires L2 and
+  // must see A's write — the releaser forwards everything it knows on every
+  // channel, so happens-before stays transitive across locks.
+  DsmFixture fx(4);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int l1 = fx.dsm.create_lock(proto);
+  const int l2 = fx.dsm.create_lock(proto);
+  long observed = 0;
+  fx.run([&] {
+    // C caches a stale copy first, so only a forwarded notice can save it.
+    auto& pre = fx.rt.spawn_on(3, "pre", [&] { (void)fx.dsm.read<long>(pages[0]); });
+    fx.rt.threads().join(pre);
+    auto& a = fx.rt.spawn_on(1, "a", [&] {
+      fx.dsm.lock_acquire(l1);
+      fx.dsm.write<long>(pages[0], 555);
+      fx.dsm.lock_release(l1);
+    });
+    fx.rt.threads().join(a);
+    auto& b = fx.rt.spawn_on(2, "b", [&] {
+      fx.dsm.lock_acquire(l1);
+      fx.dsm.lock_acquire(l2);
+      fx.dsm.lock_release(l2);
+      fx.dsm.lock_release(l1);
+    });
+    fx.rt.threads().join(b);
+    auto& c = fx.rt.spawn_on(3, "c", [&] {
+      fx.dsm.lock_acquire(l2);
+      observed = fx.dsm.read<long>(pages[0]);
+      fx.dsm.lock_release(l2);
+    });
+    fx.rt.threads().join(c);
+  });
+  EXPECT_EQ(observed, 555);
+}
+
+TEST(LrcMw, BarrierPropagatesNoticesToAllParties) {
+  DsmFixture fx(3);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int barrier = fx.dsm.create_barrier(3, proto);
+  std::vector<long> observed(3, 0);
+  fx.run([&] {
+    std::vector<marcel::Thread*> ws;
+    for (NodeId n = 0; n < 3; ++n) {
+      ws.push_back(&fx.rt.spawn_on(n, "b", [&, n] {
+        if (n == 1) {
+          // Writer: cache the page, write it (twin), then cross the barrier
+          // — the release side of the barrier emits the notice.
+          (void)fx.dsm.read<long>(pages[0]);
+          fx.dsm.write<long>(pages[0], 999);
+        }
+        fx.dsm.barrier_wait(barrier);
+        observed[n] = fx.dsm.read<long>(pages[0]);
+      }));
+    }
+    for (auto* w : ws) fx.rt.threads().join(*w);
+  });
+  for (NodeId n = 0; n < 3; ++n) EXPECT_EQ(observed[n], 999) << "node " << n;
+}
+
+TEST(LrcMw, BarrierLateComerCatchesUpOnSkippedGenerations) {
+  // Regression: barrier resumes carry a per-node history slice, not just
+  // the current generation — a party that sat out generation 1 must still
+  // receive its notices when it crosses in generation 2.
+  DsmFixture fx(3);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  const auto pages = alloc_pages(fx.dsm, proto, 1, /*home=*/0);
+  const int barrier = fx.dsm.create_barrier(2, proto);
+  long observed = 0;
+  fx.run([&] {
+    auto& a = fx.rt.spawn_on(1, "a", [&] {
+      (void)fx.dsm.read<long>(pages[0]);
+      fx.dsm.write<long>(pages[0], 777);
+      fx.dsm.barrier_wait(barrier);  // generation 1 (with b)
+      fx.dsm.barrier_wait(barrier);  // generation 2 (with c)
+    });
+    auto& b = fx.rt.spawn_on(0, "b", [&] {
+      fx.dsm.barrier_wait(barrier);  // generation 1
+    });
+    auto& c = fx.rt.spawn_on(2, "c", [&] {
+      fx.rt.threads().sleep_for(2_ms);     // sit out generation 1
+      (void)fx.dsm.read<long>(pages[0]);   // cache a stale copy meanwhile
+      fx.dsm.barrier_wait(barrier);        // generation 2
+      observed = fx.dsm.read<long>(pages[0]);
+    });
+    fx.rt.threads().join(a);
+    fx.rt.threads().join(b);
+    fx.rt.threads().join(c);
+  });
+  EXPECT_EQ(observed, 777);
+}
+
+// ---------------------------------------------------------------------------
+// Eager vs lazy equivalence: the same seeded multi-writer lock workload must
+// produce the identical final memory image under erc_sw and lrc_mw.
+// ---------------------------------------------------------------------------
+
+struct WorkloadResult {
+  std::vector<long> image;      // final word of every page, read under the lock
+  std::uint64_t inval_diff_msgs = 0;  // invalidation/diff traffic it took
+};
+
+WorkloadResult run_seeded_workload(const char* protocol, int nodes, int pages_n,
+                                   int rounds, std::uint64_t seed) {
+  DsmFixture fx(nodes);
+  const ProtocolId proto = fx.dsm.protocol_by_name(protocol);
+  // erc_sw is a dynamic-manager protocol, lrc_mw home-based: both accept
+  // fixed initial placement round-robin over all nodes.
+  std::vector<DsmAddr> pages;
+  for (int i = 0; i < pages_n; ++i) {
+    AllocAttr attr;
+    attr.protocol = proto;
+    attr.home_policy = HomePolicy::kFixed;
+    attr.fixed_home = static_cast<NodeId>(i % nodes);
+    pages.push_back(fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr));
+  }
+  const int lock = fx.dsm.create_lock(proto);
+  WorkloadResult result;
+  fx.run([&] {
+    Rng rng(seed);
+    for (int r = 0; r < rounds; ++r) {
+      const NodeId writer = static_cast<NodeId>(rng.next_u64() % nodes);
+      // Each round: a pseudo-random node enters the critical section and
+      // writes pseudo-random words into a pseudo-random subset of pages.
+      auto& t = fx.rt.spawn_on(writer, "w", [&] {
+        fx.dsm.lock_acquire(lock);
+        const int touches = 1 + static_cast<int>(rng.next_u64() % 3);
+        for (int k = 0; k < touches; ++k) {
+          const auto page = static_cast<std::size_t>(rng.next_u64() % pages_n);
+          const auto word = rng.next_u64() % 16;
+          const long value = static_cast<long>(rng.next_u64() % 100000);
+          fx.dsm.write<long>(pages[page] + word * sizeof(long), value);
+        }
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(t);
+    }
+    // Read the full image back under the lock from the last node.
+    auto& reader = fx.rt.spawn_on(static_cast<NodeId>(nodes - 1), "r", [&] {
+      fx.dsm.lock_acquire(lock);
+      for (const DsmAddr base : pages) {
+        for (std::size_t w = 0; w < 16; ++w) {
+          result.image.push_back(fx.dsm.read<long>(base + w * sizeof(long)));
+        }
+      }
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(reader);
+  });
+  result.inval_diff_msgs = fx.dsm.counters().total(Counter::kInvalidationsSent) +
+                           fx.dsm.counters().total(Counter::kDiffsSent) +
+                           fx.dsm.counters().total(Counter::kDiffFetchesSent);
+  return result;
+}
+
+TEST(EagerVsLazy, SeededMultiWriterWorkloadsConverge) {
+  constexpr int kNodes = 4;
+  constexpr int kPages = 6;
+  constexpr int kRounds = 24;
+  for (const std::uint64_t seed : {1ull, 7ull, 2026ull}) {
+    const WorkloadResult eager =
+        run_seeded_workload("erc_sw", kNodes, kPages, kRounds, seed);
+    const WorkloadResult lazy =
+        run_seeded_workload("lrc_mw", kNodes, kPages, kRounds, seed);
+    EXPECT_EQ(eager.image, lazy.image) << "seed " << seed;
+  }
+}
+
+TEST(EagerVsLazy, HbrcAndLrcConvergeToo) {
+  // Same final image under the two home-based multiple-writer protocols.
+  const WorkloadResult eager = run_seeded_workload("hbrc_mw", 4, 6, 24, 99);
+  const WorkloadResult lazy = run_seeded_workload("lrc_mw", 4, 6, 24, 99);
+  EXPECT_EQ(eager.image, lazy.image);
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

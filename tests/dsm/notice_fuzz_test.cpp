@@ -1,0 +1,92 @@
+// Seeded round-trip fuzz for the write-notice wire format (`ctest -L fuzz`):
+// arbitrary notice vectors must survive serialize -> deserialize bit-exactly,
+// alone and when several blocks share one buffer with other payload, and a
+// count prefix pointing past the buffer must be rejected loudly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsm/write_notice.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+std::vector<WriteNotice> random_notices(Rng& rng, std::size_t count) {
+  std::vector<WriteNotice> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    WriteNotice n;
+    // Full 32-bit page range, node within the 256-node cluster bound,
+    // interval within the 24-bit key range — including the extremes.
+    n.page = static_cast<PageId>(rng.next_u64());
+    n.node = static_cast<NodeId>(rng.next_below(256));
+    n.interval = static_cast<std::uint32_t>(rng.next_below(1u << 24));
+    out.push_back(n);
+  }
+  return out;
+}
+
+TEST(NoticeFuzz, RoundTripIsExactAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const auto notices = random_notices(rng, rng.next_below(64));
+    Packer p;
+    serialize_notices(notices, p);
+    Unpacker u(p.buffer());
+    const auto back = deserialize_notices(u);
+    EXPECT_EQ(back, notices) << "seed " << seed;
+    EXPECT_TRUE(u.done());
+  }
+}
+
+TEST(NoticeFuzz, ManyBlocksShareOneBufferWithSurroundingFields) {
+  // The lock grant packs notice blocks between other fields; deserializing
+  // each block must consume exactly its bytes.
+  Rng rng(77);
+  Packer p;
+  std::vector<std::vector<WriteNotice>> blocks;
+  for (int b = 0; b < 8; ++b) {
+    p.pack(static_cast<std::uint32_t>(0xabu + b));  // unrelated field
+    blocks.push_back(random_notices(rng, rng.next_below(16)));
+    serialize_notices(blocks.back(), p);
+  }
+  Unpacker u(p.buffer());
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(u.unpack<std::uint32_t>(), 0xabu + static_cast<unsigned>(b));
+    EXPECT_EQ(deserialize_notices(u), blocks[static_cast<std::size_t>(b)]);
+  }
+  EXPECT_TRUE(u.done());
+}
+
+TEST(NoticeFuzz, KeysAreCollisionFreeWithinBounds) {
+  // notice_key must be injective over (page, node, interval) — the dedup
+  // sets rely on it. Randomized pairwise check.
+  Rng rng(13);
+  const auto notices = random_notices(rng, 512);
+  for (std::size_t i = 0; i < notices.size(); ++i) {
+    for (std::size_t j = i + 1; j < notices.size(); ++j) {
+      if (notices[i] == notices[j]) continue;
+      EXPECT_NE(notice_key(notices[i]), notice_key(notices[j]));
+    }
+  }
+}
+
+TEST(NoticeFuzzDeath, TruncatedBlockRejected) {
+  Rng rng(5);
+  const auto notices = random_notices(rng, 9);
+  Packer p;
+  serialize_notices(notices, p);
+  // Chop the last notice short: the count prefix now lies.
+  Buffer buf = std::move(p).take();
+  buf.resize(buf.size() - 3);
+  EXPECT_DEATH(
+      {
+        Unpacker u(buf);
+        (void)deserialize_notices(u);
+      },
+      "shorter than its count prefix");
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -32,6 +32,7 @@ const Param kAllProtocols[] = {
     {"migrate_thread", 2}, {"migrate_thread", 4},
     {"erc_sw", 2},         {"erc_sw", 4},
     {"hbrc_mw", 2},        {"hbrc_mw", 4},        {"hbrc_mw", 8},
+    {"lrc_mw", 2},         {"lrc_mw", 4},         {"lrc_mw", 8},
     {"java_ic", 2},        {"java_ic", 4},
     {"java_pf", 2},        {"java_pf", 4},
     {"hybrid_rw", 2},      {"hybrid_rw", 4},

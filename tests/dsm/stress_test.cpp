@@ -137,6 +137,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Param{"li_hudak", 1}, Param{"li_hudak", 2},
                       Param{"erc_sw", 1}, Param{"erc_sw", 2},
                       Param{"hbrc_mw", 1}, Param{"hbrc_mw", 2},
+                      Param{"lrc_mw", 1}, Param{"lrc_mw", 2},
                       Param{"java_pf", 1}, Param{"java_ic", 1},
                       Param{"hybrid_rw", 1}, Param{"migrate_thread", 1}),
     param_name);
