@@ -1,0 +1,286 @@
+// Soak test for epoch-based metadata reclamation (dsm/epoch.hpp): a long
+// lock-and-barrier churn under lrc_mw that would grow diff stores, write
+// notice lists and sync payload histories without bound, run once with the
+// cluster-watermark GC on and once with it off as a control.
+//
+// Workload: four nodes, one thread each, all contending on a single lrc_mw
+// lock. Every critical section writes one word of a rotating page (multi-
+// writer diffs across sections), and every few sections the whole cluster
+// crosses a barrier — the GC heartbeat that flushes diffs home, folds the
+// watermark and trims everything below it. The full run covers >= 10,000
+// critical sections (lock hand-offs) and >= 1,000 barrier generations.
+//
+// After each barrier generation, node 0 samples the cluster-wide retained
+// metadata (the four gauges of Dsm::retained_gauges summed over nodes).
+// Self-checks:
+//   * GC on:  the late-run peak stays within 2x of the steady-state level —
+//     retained metadata is bounded, not merely growing slowly;
+//   * GC off: the same workload grows past 2x — proof the workload would
+//     accumulate without the watermark, i.e. the bench measures something.
+//
+// Usage: bench_soak_lrc [--smoke] [--json <path>]
+//   --smoke   shortened deterministic variant (CI: the `ctest -L smoke` run;
+//             the full soak is registered under `ctest -L soak`)
+//   --json    also write the samples and verdict to <path>
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int kPages = 8;
+constexpr int kBarrierEvery = 2;  // sections per node between barriers
+
+struct Sample {
+  int generation = 0;
+  std::uint64_t retained_bytes = 0;
+};
+
+struct SoakRun {
+  bool gc = false;
+  int sections = 0;
+  int generations = 0;
+  std::uint64_t handoffs = 0;
+  std::uint64_t watermark_rounds = 0;
+  std::uint64_t diffs_dropped = 0;
+  std::uint64_t blocks_trimmed = 0;
+  std::vector<Sample> samples;
+  std::uint64_t steady_bytes = 0;     // peak over the early plateau
+  std::uint64_t late_peak_bytes = 0;  // peak over the last quarter
+  std::uint64_t final_bytes = 0;
+  [[nodiscard]] double growth() const {
+    return static_cast<double>(late_peak_bytes) /
+           static_cast<double>(std::max<std::uint64_t>(steady_bytes, 1));
+  }
+};
+
+std::uint64_t total_retained(dsm::Dsm& d) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(kNodes); ++n) {
+    const dsm::Dsm::RetainedGauges g = d.retained_gauges(n);
+    sum += g.diff_store_bytes + g.notice_list_bytes + g.lock_history_bytes +
+           g.barrier_history_bytes;
+  }
+  return sum;
+}
+
+SoakRun run_soak(bool gc, int iters_per_node) {
+  pm2::Config cfg;
+  cfg.nodes = kNodes;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::DsmConfig dcfg;
+  dcfg.enable_metadata_gc = gc;
+  dsm::Dsm dsm(rt, dcfg);
+  const dsm::ProtocolId proto = dsm.protocol_by_name("lrc_mw");
+  DSM_CHECK(proto != dsm::kInvalidProtocol);
+
+  std::vector<DsmAddr> pages;
+  for (int p = 0; p < kPages; ++p) {
+    dsm::AllocAttr attr;
+    attr.protocol = proto;
+    attr.home_policy = dsm::HomePolicy::kFixed;
+    attr.fixed_home = static_cast<NodeId>(p % kNodes);
+    pages.push_back(dsm.dsm_malloc(dsm.config().page_size, attr));
+  }
+  const int lock = dsm.create_lock(proto);
+  const int barrier = dsm.create_barrier(kNodes, proto);
+
+  SoakRun run;
+  run.gc = gc;
+  run.sections = kNodes * iters_per_node;
+  run.generations = iters_per_node / kBarrierEvery;
+  // Cap the recorded samples (~64 for the full soak) so the JSON stays small;
+  // every generation is still *sampled* identically on both runs.
+  const int sample_every = std::max(1, run.generations / 64);
+
+  rt.run([&] {
+    std::vector<marcel::Thread*> workers;
+    for (NodeId n = 0; n < static_cast<NodeId>(kNodes); ++n) {
+      workers.push_back(&rt.spawn_on(n, "soak", [&, n] {
+        for (int i = 0; i < iters_per_node; ++i) {
+          dsm.lock_acquire(lock);
+          const DsmAddr page = pages[static_cast<std::size_t>(n + i) % kPages];
+          const DsmAddr word = page + static_cast<DsmAddr>(i % 16) *
+                                          sizeof(long);
+          dsm.write<long>(word, (static_cast<long>(n) << 24) | i);
+          dsm.lock_release(lock);
+          if ((i + 1) % kBarrierEvery == 0) {
+            dsm.barrier_wait(barrier);
+            // One observer is enough: the sim is deterministic, and the
+            // gauges are pure data reads (no yield points), so the snapshot
+            // is consistent at this scheduling point.
+            if (n == 0) {
+              const int generation = (i + 1) / kBarrierEvery;
+              if (generation % sample_every == 0) {
+                run.samples.push_back(
+                    Sample{generation, total_retained(dsm)});
+              }
+            }
+          }
+        }
+      }));
+    }
+    for (auto* t : workers) rt.threads().join(*t);
+  });
+
+  run.handoffs = dsm.counters().total(dsm::Counter::kLockHandoffs);
+  run.watermark_rounds =
+      dsm.counters().total(dsm::Counter::kGcWatermarkRounds);
+  run.diffs_dropped = dsm.counters().total(dsm::Counter::kGcDiffsDropped);
+  run.blocks_trimmed =
+      dsm.counters().total(dsm::Counter::kGcHistoryBlocksTrimmed);
+
+  // Steady state = the peak across the early plateau (past the initial
+  // ramp-up while stores and histories first fill); late peak = the peak
+  // across the last quarter. A bounded run keeps late within 2x of steady.
+  const std::size_t count = run.samples.size();
+  DSM_CHECK_MSG(count >= 8, "soak too short to judge steady state");
+  const auto peak = [&](std::size_t lo, std::size_t hi) {
+    std::uint64_t p = 0;
+    for (std::size_t s = lo; s < hi; ++s) {
+      p = std::max(p, run.samples[s].retained_bytes);
+    }
+    return p;
+  };
+  run.steady_bytes = peak(count / 8, count / 4);
+  run.late_peak_bytes = peak(3 * count / 4, count);
+  run.final_bytes = run.samples.back().retained_bytes;
+  return run;
+}
+
+void write_json(const std::string& path, bool smoke,
+                const std::vector<SoakRun>& runs, bool pass) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"soak_lrc\",\n"
+      << "  \"driver\": \"bip_myrinet\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"unit\": \"bytes\",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const SoakRun& r = runs[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"gc\": %s, \"sections\": %d, \"generations\": %d, "
+                  "\"lock_handoffs\": %llu, \"watermark_rounds\": %llu, "
+                  "\"gc_diffs_dropped\": %llu, "
+                  "\"gc_history_blocks_trimmed\": %llu,\n"
+                  "     \"steady_bytes\": %llu, \"late_peak_bytes\": %llu, "
+                  "\"final_bytes\": %llu, \"growth\": %.2f,\n"
+                  "     \"samples\": [",
+                  r.gc ? "true" : "false", r.sections, r.generations,
+                  static_cast<unsigned long long>(r.handoffs),
+                  static_cast<unsigned long long>(r.watermark_rounds),
+                  static_cast<unsigned long long>(r.diffs_dropped),
+                  static_cast<unsigned long long>(r.blocks_trimmed),
+                  static_cast<unsigned long long>(r.steady_bytes),
+                  static_cast<unsigned long long>(r.late_peak_bytes),
+                  static_cast<unsigned long long>(r.final_bytes), r.growth());
+    out << buf;
+    for (std::size_t s = 0; s < r.samples.size(); ++s) {
+      std::snprintf(buf, sizeof buf, "%s[%d, %llu]",
+                    s == 0 ? "" : ", ", r.samples[s].generation,
+                    static_cast<unsigned long long>(
+                        r.samples[s].retained_bytes));
+      out << buf;
+    }
+    out << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"verdict\": \"" << (pass ? "PASS" : "FAIL") << "\"\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Full: 4 x 2600 = 10,400 critical sections, 1,300 barrier generations.
+  // Smoke: 4 x 64 = 256 sections, 32 generations — same shape, CI-sized.
+  const int iters_per_node = smoke ? 64 : 2600;
+
+  std::printf(
+      "Epoch GC soak — lrc_mw lock churn + barrier heartbeat, BIP/Myrinet\n"
+      "%s run: %d nodes, %d pages, %d critical sections, %d barrier "
+      "generations\n\n",
+      smoke ? "smoke" : "full", kNodes, kPages, kNodes * iters_per_node,
+      iters_per_node / kBarrierEvery);
+
+  std::vector<SoakRun> runs;
+  runs.push_back(run_soak(/*gc=*/true, iters_per_node));
+  runs.push_back(run_soak(/*gc=*/false, iters_per_node));
+
+  TablePrinter table({"gc", "sections", "generations", "handoffs",
+                      "wm rounds", "steady B", "late peak B", "final B",
+                      "growth"});
+  for (const SoakRun& r : runs) {
+    table.add_row({r.gc ? "on" : "off", std::to_string(r.sections),
+                   std::to_string(r.generations), std::to_string(r.handoffs),
+                   std::to_string(r.watermark_rounds),
+                   std::to_string(r.steady_bytes),
+                   std::to_string(r.late_peak_bytes),
+                   std::to_string(r.final_bytes),
+                   TablePrinter::fmt(r.growth()) + "x"});
+  }
+  table.print();
+
+  const SoakRun& with_gc = runs[0];
+  const SoakRun& no_gc = runs[1];
+  bool pass = true;
+
+  // Flat-memory bar: with the watermark GC on, retained metadata late in the
+  // soak must stay within 2x of the steady-state plateau.
+  const bool flat = with_gc.growth() <= 2.0;
+  std::printf("\ncheck[retained bytes flat under GC]: late peak %llu B vs "
+              "steady %llu B = %.2fx (need <= 2.0x): %s\n",
+              static_cast<unsigned long long>(with_gc.late_peak_bytes),
+              static_cast<unsigned long long>(with_gc.steady_bytes),
+              with_gc.growth(), flat ? "PASS" : "FAIL");
+  pass = pass && flat;
+
+  // Control bar: the identical workload with GC off must blow past the same
+  // 2x envelope, or the soak is not long enough to mean anything.
+  const bool grows = no_gc.growth() > 2.0;
+  std::printf("check[GC-off control grows]: %.2fx (need > 2.0x): %s\n",
+              no_gc.growth(), grows ? "PASS" : "FAIL");
+  pass = pass && grows;
+
+  // The GC really ran: every barrier generation folds one watermark round.
+  const bool reclaimed = with_gc.watermark_rounds > 0 &&
+                         with_gc.diffs_dropped > 0 &&
+                         with_gc.blocks_trimmed > 0;
+  std::printf("check[watermark reclaimed metadata]: %llu rounds, %llu diffs, "
+              "%llu blocks (need > 0): %s\n",
+              static_cast<unsigned long long>(with_gc.watermark_rounds),
+              static_cast<unsigned long long>(with_gc.diffs_dropped),
+              static_cast<unsigned long long>(with_gc.blocks_trimmed),
+              reclaimed ? "PASS" : "FAIL");
+  pass = pass && reclaimed;
+
+  if (!json_path.empty()) write_json(json_path, smoke, runs, pass);
+  return pass ? 0 : 1;
+}

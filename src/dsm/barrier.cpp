@@ -1,7 +1,10 @@
 #include "dsm/barrier.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 #include "dsm/dsm.hpp"
+#include "dsm/epoch.hpp"
 
 namespace dsmpm2::dsm {
 
@@ -23,36 +26,61 @@ NodeId BarrierManager::coordinator_of(int barrier_id) const {
   return static_cast<NodeId>(barrier_id % dsm_.node_count());
 }
 
+ProtocolId BarrierManager::hook_protocol(int barrier_id) const {
+  DSM_CHECK(barrier_id >= 0 && barrier_id < next_id_);
+  const ProtocolId p = protocol_of_[static_cast<std::size_t>(barrier_id)];
+  return p != kInvalidProtocol ? p : dsm_.default_protocol();
+}
+
 void BarrierManager::wait(int barrier_id) {
   DSM_CHECK(barrier_id >= 0 && barrier_id < next_id_);
   auto& rt = dsm_.runtime();
-  const ProtocolId pid =
-      protocol_of_[static_cast<std::size_t>(barrier_id)] != kInvalidProtocol
-          ? protocol_of_[static_cast<std::size_t>(barrier_id)]
-          : dsm_.default_protocol();
-  const Protocol& proto = dsm_.protocols().get(pid);
+  const Protocol& proto = dsm_.protocols().get(hook_protocol(barrier_id));
   const NodeId node = rt.self_node();
 
   // A barrier is a release followed by an acquire; the release payload rides
-  // the arrive message to the coordinator.
+  // the arrive message to the coordinator. For lazy protocols the release
+  // hook also flushes the node's diff store home — a precondition for the
+  // epoch report packed right below (reclamation at the watermark assumes
+  // the homes carry everything at or below it).
   Packer payload =
       proto.lock_release(dsm_, SyncContext{barrier_id, node, SyncKind::kBarrier});
 
   Packer args;
   args.pack(barrier_id);
   args.pack_bytes(payload.buffer());
+  // Epoch report: this node's per-writer seen vector (0-or-1 blocks; empty
+  // when GC is off — the coordinator folds nothing and the watermark stays
+  // pinned at zero).
+  std::vector<Buffer> report;
+  if (dsm_.config().enable_metadata_gc) {
+    Packer r;
+    EpochManager::serialize_intervals(dsm_.epoch().collect_report(node), r);
+    const auto bytes = r.buffer();
+    report.emplace_back(bytes.begin(), bytes.end());
+  }
+  pack_blocks(report, args);
   const Buffer resume =
       rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
 
   // The resume message carries the payload-history slice this node has not
-  // yet received.
+  // yet received, then the folded cluster watermark (0-or-1 blocks).
   Unpacker u(resume);
   const std::vector<Buffer> payloads = unpack_blocks(u);
+  const std::vector<Buffer> watermark_blocks = unpack_blocks(u);
   DSM_CHECK_MSG(u.done(), "barrier resume carries bytes past its payload blocks");
 
   SyncContext acq{barrier_id, node, SyncKind::kBarrier, payloads};
   proto.lock_acquire(dsm_, acq);
   dsm_.counters().inc(node, Counter::kBarriersCrossed);
+  // Reclamation runs AFTER the acquire hook ingested this generation's
+  // notices, in thread context (epoch_trim takes page mutexes).
+  if (!watermark_blocks.empty()) {
+    Unpacker wu(watermark_blocks.front());
+    const std::vector<std::uint32_t> watermark =
+        EpochManager::deserialize_intervals(wu, dsm_.node_count());
+    dsm_.epoch().apply_watermark(node, watermark);
+  }
 }
 
 void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
@@ -60,6 +88,7 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   DSM_CHECK_MSG(barrier_id >= 0 && barrier_id < next_id_,
                 "arrival at a barrier id that was never created");
   const auto payload = args.unpack_bytes();
+  const std::vector<Buffer> report = unpack_blocks(args);
   BarrierState& s = state_[barrier_id];
   if (s.parties == 0) {
     s.parties = parties_of_[static_cast<std::size_t>(barrier_id)];
@@ -68,23 +97,89 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   ctx.reply_token = 0;  // replies go out when the generation completes
   if (!payload.empty()) {
     s.history.emplace_back(payload.begin(), payload.end());
+    std::vector<std::uint32_t> horizon;
+    const Protocol& proto = dsm_.protocols().get(hook_protocol(barrier_id));
+    if (dsm_.config().enable_metadata_gc && proto.payload_horizon) {
+      horizon = proto.payload_horizon(payload);
+    }
+    s.horizons.push_back(std::move(horizon));
+  }
+  if (!report.empty()) {
+    Unpacker ru(report.front());
+    dsm_.epoch().record_report(
+        ctx.src, EpochManager::deserialize_intervals(ru, dsm_.node_count()));
   }
   ++s.arrived;
   if (s.arrived < s.parties) return;
-  // Everyone is here: resume the lot, handing each party the history slice
-  // past its cursor — the whole generation's payloads, plus anything from
-  // generations it sat out (parties deduplicate their own contribution).
+  // Everyone is here. Fold the cluster watermark from the nodes' latest
+  // epoch reports and trim the histories this coordinator manages — safe
+  // before building the resume slices: a trimmed block's horizon is at or
+  // below the watermark, so every node (even one whose cursor still points
+  // below the new floor) provably learned its notices already. The
+  // watermark rides each resume so the parties reclaim their own metadata.
+  std::vector<Buffer> watermark_blocks;
+  if (dsm_.config().enable_metadata_gc) {
+    const std::vector<std::uint32_t> watermark = dsm_.epoch().fold();
+    dsm_.counters().inc(ctx.self, Counter::kGcWatermarkRounds);
+    dsm_.epoch().trim_histories(ctx.self, watermark);
+    Packer wp;
+    EpochManager::serialize_intervals(watermark, wp);
+    const auto bytes = wp.buffer();
+    watermark_blocks.emplace_back(bytes.begin(), bytes.end());
+  }
+  // Resume the lot, handing each party the history slice past its cursor —
+  // the whole generation's payloads, plus anything from generations it sat
+  // out (parties deduplicate their own contribution).
   auto waiters = std::move(s.waiters);
   s.waiters.clear();
   s.arrived = 0;
   ++s.generation;
   for (const Waiter& w : waiters) {
     std::size_t& cur = s.cursor[w.src];
+    if (cur < s.floor) {
+      dsm_.counters().inc(ctx.self, Counter::kGcStaleGrants);
+      cur = s.floor;
+    }
     Packer resume;
-    pack_blocks(std::span(s.history).subspan(cur), resume);
-    cur = s.history.size();
+    pack_blocks(std::span(s.history).subspan(cur - s.floor), resume);
+    cur = s.floor + s.history.size();
+    pack_blocks(watermark_blocks, resume);
     dsm_.runtime().rpc().reply_to(ctx.self, w.src, w.token, std::move(resume));
   }
+}
+
+void BarrierManager::trim_histories(NodeId node,
+                                    std::span<const std::uint32_t> watermark) {
+  const auto covered = [&](const std::vector<std::uint32_t>& horizon) {
+    if (horizon.empty()) return false;  // opaque payload: never trimmable
+    for (std::size_t w = 0; w < horizon.size(); ++w) {
+      const std::uint32_t bound = w < watermark.size() ? watermark[w] : 0;
+      if (horizon[w] > bound) return false;
+    }
+    return true;
+  };
+  for (auto& [barrier_id, s] : state_) {
+    if (coordinator_of(barrier_id) != node) continue;
+    std::size_t drop = 0;
+    while (drop < s.horizons.size() && covered(s.horizons[drop])) ++drop;
+    if (drop == 0) continue;
+    s.history.erase(s.history.begin(),
+                    s.history.begin() + static_cast<std::ptrdiff_t>(drop));
+    s.horizons.erase(s.horizons.begin(),
+                     s.horizons.begin() + static_cast<std::ptrdiff_t>(drop));
+    s.floor += drop;
+    dsm_.counters().inc(node, Counter::kGcHistoryBlocksTrimmed,
+                        static_cast<std::uint64_t>(drop));
+  }
+}
+
+std::uint64_t BarrierManager::history_bytes(NodeId node) const {
+  std::uint64_t bytes = 0;
+  for (const auto& [barrier_id, s] : state_) {
+    if (coordinator_of(barrier_id) != node) continue;
+    for (const Buffer& block : s.history) bytes += block.size();
+  }
+  return bytes;
 }
 
 }  // namespace dsmpm2::dsm

@@ -14,9 +14,17 @@
 // on their notices; a party's own block is deduplicated by the protocol).
 // This is what makes lazy protocols correct across barriers — every
 // participant learns about every preceding release at the crossing.
+//
+// The barrier is also the heartbeat of epoch GC (dsm/epoch.hpp): each
+// arrive message additionally carries the arriving node's per-writer seen
+// vector, the coordinator folds the cluster watermark from the latest
+// reports, trims its payload histories down to it, and ships the watermark
+// back inside the resume messages so every participant reclaims its own
+// consistency metadata right after the crossing.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +50,16 @@ class BarrierManager {
   /// Release-hook, arrive, wait for everyone, acquire-hook.
   void wait(int barrier_id);
 
+  /// Epoch GC: drops the leading payload-history blocks of every barrier
+  /// coordinated by `node` whose notice horizon sank at or below
+  /// `watermark` (blocks with no parsed horizon stop the prefix scan).
+  /// Pure data manipulation, callable from inline servers.
+  void trim_histories(NodeId node, std::span<const std::uint32_t> watermark);
+
+  /// Retained payload-history bytes of the barriers coordinated by `node`
+  /// (the barrier_history_bytes gauge).
+  [[nodiscard]] std::uint64_t history_bytes(NodeId node) const;
+
  private:
   struct Waiter {
     NodeId src;
@@ -52,13 +70,20 @@ class BarrierManager {
     int arrived = 0;
     std::uint64_t generation = 0;
     std::vector<Waiter> waiters;
-    /// Release payloads across ALL generations, in arrival order.
+    /// Release payloads across ALL generations, in arrival order; block i
+    /// is absolute release number floor + i.
     std::vector<Buffer> history;
-    /// Per node: prefix of `history` already delivered to it in a resume.
+    /// Per block: its per-writer notice horizon (empty = opaque, never
+    /// trimmable). Parallel to `history`.
+    std::vector<std::vector<std::uint32_t>> horizons;
+    /// Leading blocks reclaimed by epoch GC; cursors are absolute counts.
+    std::size_t floor = 0;
+    /// Per node: absolute count of blocks already delivered to it.
     std::unordered_map<NodeId, std::size_t> cursor;
   };
 
   [[nodiscard]] NodeId coordinator_of(int barrier_id) const;
+  [[nodiscard]] ProtocolId hook_protocol(int barrier_id) const;
 
   void serve_arrive(pm2::RpcContext& ctx, Unpacker& args);
 

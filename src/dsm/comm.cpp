@@ -296,7 +296,7 @@ void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
 
 std::vector<std::pair<std::uint32_t, Diff>> DsmComm::fetch_diffs(
     NodeId writer, PageId page, std::uint32_t from_interval,
-    std::uint32_t up_to_interval) {
+    std::uint32_t up_to_interval, std::uint32_t* flushed_out) {
   DSM_CHECK(from_interval <= up_to_interval);
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kDiffFetchesSent);
@@ -304,6 +304,8 @@ std::vector<std::pair<std::uint32_t, Diff>> DsmComm::fetch_diffs(
   p.pack(DiffReqWire{page, from_interval, up_to_interval});
   const Buffer reply = rt.rpc().call(writer, svc_diff_req_, std::move(p));
   Unpacker u(reply);
+  const auto flushed = u.unpack<std::uint32_t>();
+  if (flushed_out != nullptr) *flushed_out = flushed;
   const auto count = u.unpack<std::uint32_t>();
   std::vector<std::pair<std::uint32_t, Diff>> out;
   out.reserve(count);
@@ -332,9 +334,11 @@ void DsmComm::serve_diff_request(pm2::RpcContext& ctx, Unpacker& args) {
                 "diff request for a protocol without a local diff store");
   dsm_.counters().inc(ctx.self, Counter::kDiffFetchesServed);
   std::vector<std::pair<std::uint32_t, Diff>> diffs;
+  std::uint32_t flushed = 0;
   proto.diff_request_server(dsm_, wire.page, wire.from_interval,
-                            wire.up_to_interval, ctx.src, diffs);
+                            wire.up_to_interval, ctx.src, diffs, flushed);
   Packer reply;
+  reply.pack(flushed);
   reply.pack(static_cast<std::uint32_t>(diffs.size()));
   for (const auto& [interval, diff] : diffs) {
     reply.pack(interval);

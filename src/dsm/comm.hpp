@@ -85,11 +85,14 @@ class DsmComm {
   /// keeps a pull proportional to the missing tail, not the page's whole
   /// history). Blocks for the round trip; returns the (interval, diff)
   /// pairs in interval order, every chunk validated against the local page
-  /// geometry. An empty result means the writer already merged those diffs
-  /// into the page's home frame.
+  /// geometry. When `flushed_out` is non-null it receives the writer's
+  /// flushed horizon: every diff it created with interval at or below it is
+  /// already merged into the page's home frame, so a miss below the horizon
+  /// is answered by the home, not an error (epoch GC reclaims flushed
+  /// diffs).
   std::vector<std::pair<std::uint32_t, Diff>> fetch_diffs(
       NodeId writer, PageId page, std::uint32_t from_interval,
-      std::uint32_t up_to_interval);
+      std::uint32_t up_to_interval, std::uint32_t* flushed_out = nullptr);
 
  private:
   void serve_page_request(pm2::RpcContext& ctx, Unpacker& args);

@@ -80,6 +80,18 @@ struct DsmConfig {
   /// page dirty" (full-scan fallback); bounds both the log's memory and the
   /// per-write coalescing cost.
   std::uint32_t write_span_cap = 32;
+  /// Epoch-based metadata reclamation: at each barrier crossing, writers
+  /// flush outstanding lazy-release diffs to their home nodes, a cluster-wide
+  /// minimum-applied-interval watermark rides the barrier messages, and every
+  /// node drops diff-store entries, write-notice lists and payload-history
+  /// blocks below the watermark. Off preserves the append-only (unbounded)
+  /// metadata behaviour as the measurable baseline.
+  bool enable_metadata_gc = true;
+  /// When nonzero, a lazy release additionally flushes its diff store to the
+  /// home nodes every `gc_interval_hint` intervals and drops the flushed
+  /// entries immediately — later pulls that miss them fall back to a home
+  /// page fetch. 0 restricts flushing to barrier crossings.
+  std::uint32_t gc_interval_hint = 0;
 };
 
 }  // namespace dsmpm2::dsm

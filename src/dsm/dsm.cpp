@@ -14,7 +14,8 @@ Dsm::Dsm(pm2::Runtime& runtime, DsmConfig config)
       probe_(runtime.node_count()),
       areas_(*this),
       locks_(*this),
-      barriers_(*this) {
+      barriers_(*this),
+      epoch_(*this) {
   DSM_CHECK_MSG(config_.page_size % runtime.config().iso_slot_bytes == 0 ||
                     runtime.config().iso_slot_bytes % config_.page_size == 0,
                 "page size and iso slot size must nest");
@@ -78,6 +79,25 @@ ProtocolState& Dsm::proto_state_erased(ProtocolId protocol, NodeId node) {
   return *slot;
 }
 
+Dsm::RetainedGauges Dsm::retained_gauges(NodeId node) {
+  RetainedGauges g;
+  for (ProtocolId id = 0; id < registry_.count(); ++id) {
+    const Protocol& p = registry_.get(id);
+    if (!p.epoch_retained) continue;
+    // Only probe protocols whose per-node state exists: creating it here
+    // would charge every registered protocol's footprint to every node.
+    const auto& slots = nodes_[node]->proto;
+    if (slots.size() <= static_cast<std::size_t>(id) ||
+        slots[static_cast<std::size_t>(id)] == nullptr) {
+      continue;
+    }
+    p.epoch_retained(*this, node, g.diff_store_bytes, g.notice_list_bytes);
+  }
+  g.lock_history_bytes = locks_.history_bytes(node);
+  g.barrier_history_bytes = barriers_.history_bytes(node);
+  return g;
+}
+
 std::string Dsm::report() const {
   std::string out = counters_.report();
   TablePrinter net({"node", "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv"});
@@ -88,6 +108,16 @@ std::string Dsm::report() const {
                  std::to_string(s.bytes_received)});
   }
   out += net.render();
+  TablePrinter retained({"node", "diff_store_bytes", "notice_list_bytes",
+                         "lock_history_bytes", "barrier_history_bytes"});
+  for (NodeId n = 0; n < static_cast<NodeId>(rt_.node_count()); ++n) {
+    const RetainedGauges g = const_cast<Dsm*>(this)->retained_gauges(n);
+    retained.add_row({std::to_string(n), std::to_string(g.diff_store_bytes),
+                      std::to_string(g.notice_list_bytes),
+                      std::to_string(g.lock_history_bytes),
+                      std::to_string(g.barrier_history_bytes)});
+  }
+  out += retained.render();
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include "dsm/barrier.hpp"
 #include "dsm/comm.hpp"
 #include "dsm/config.hpp"
+#include "dsm/epoch.hpp"
 #include "dsm/instrumentation.hpp"
 #include "dsm/lock.hpp"
 #include "dsm/memory.hpp"
@@ -154,6 +155,21 @@ class Dsm {
   [[nodiscard]] DsmComm& comm() { return *comm_; }
   [[nodiscard]] Counters& counters() { return counters_; }
   [[nodiscard]] FaultProbe& probe() { return probe_; }
+  [[nodiscard]] LockManager& locks() { return locks_; }
+  [[nodiscard]] BarrierManager& barriers() { return barriers_; }
+  [[nodiscard]] EpochManager& epoch() { return epoch_; }
+
+  /// Retained consistency-metadata footprint of one node — the epoch-GC
+  /// observability gauges (also rendered in report()). With GC on these stay
+  /// bounded across arbitrarily long runs; with GC off they grow with every
+  /// release, the measurable baseline.
+  struct RetainedGauges {
+    std::uint64_t diff_store_bytes = 0;
+    std::uint64_t notice_list_bytes = 0;
+    std::uint64_t lock_history_bytes = 0;
+    std::uint64_t barrier_history_bytes = 0;
+  };
+  [[nodiscard]] RetainedGauges retained_gauges(NodeId node);
 
   /// Charges CPU on the calling thread's node.
   void charge(SimTime cost) { rt_.compute(cost); }
@@ -216,6 +232,7 @@ class Dsm {
   AreaManager areas_;
   LockManager locks_;
   BarrierManager barriers_;
+  EpochManager epoch_;
 };
 
 }  // namespace dsmpm2::dsm

@@ -1,0 +1,99 @@
+#include "dsm/epoch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+EpochManager::EpochManager(Dsm& dsm) : dsm_(dsm) {
+  const auto nodes = static_cast<std::size_t>(dsm_.node_count());
+  ledger_.resize(nodes);
+  applied_.resize(nodes);
+}
+
+bool EpochManager::enabled() const { return dsm_.config().enable_metadata_gc; }
+
+std::vector<std::uint32_t> EpochManager::collect_report(NodeId node) {
+  const auto nodes = static_cast<std::size_t>(dsm_.node_count());
+  std::vector<std::uint32_t> out(nodes, 0);
+  for (ProtocolId id = 0; id < dsm_.protocols().count(); ++id) {
+    const Protocol& proto = dsm_.protocols().get(id);
+    if (!proto.epoch_report) continue;
+    const std::vector<std::uint32_t> seen = proto.epoch_report(dsm_, node);
+    for (std::size_t w = 0; w < seen.size() && w < nodes; ++w) {
+      out[w] = std::max(out[w], seen[w]);
+    }
+  }
+  return out;
+}
+
+void EpochManager::record_report(NodeId node, std::vector<std::uint32_t> seen) {
+  DSM_CHECK(node < ledger_.size());
+  ledger_[node] = std::move(seen);
+}
+
+std::vector<std::uint32_t> EpochManager::fold() const {
+  const auto nodes = ledger_.size();
+  std::vector<std::uint32_t> w(nodes, 0);
+  for (const auto& report : ledger_) {
+    if (report.empty()) return std::vector<std::uint32_t>(nodes, 0);
+  }
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const std::uint32_t seen = i < ledger_[n].size() ? ledger_[n][i] : 0;
+      w[i] = n == 0 ? seen : std::min(w[i], seen);
+    }
+  }
+  return w;
+}
+
+void EpochManager::apply_watermark(NodeId node,
+                                   std::span<const std::uint32_t> watermark) {
+  DSM_CHECK(node < applied_.size());
+  auto& applied = applied_[node];
+  if (applied.size() < watermark.size()) applied.resize(watermark.size(), 0);
+  bool advanced = false;
+  for (std::size_t w = 0; w < watermark.size(); ++w) {
+    if (watermark[w] > applied[w]) {
+      applied[w] = watermark[w];
+      advanced = true;
+    }
+  }
+  if (advanced) {
+    for (ProtocolId id = 0; id < dsm_.protocols().count(); ++id) {
+      const Protocol& proto = dsm_.protocols().get(id);
+      if (proto.epoch_trim) proto.epoch_trim(dsm_, node, applied);
+    }
+  }
+  // History trims are idempotent and cheap: run them even when the node's
+  // applied vector did not advance (the coordinator already trimmed at fold
+  // time with the same vector; this covers lock managers catching up).
+  trim_histories(node, applied);
+}
+
+void EpochManager::trim_histories(NodeId node,
+                                  std::span<const std::uint32_t> watermark) {
+  dsm_.locks().trim_histories(node, watermark);
+  dsm_.barriers().trim_histories(node, watermark);
+}
+
+void EpochManager::serialize_intervals(std::span<const std::uint32_t> v,
+                                       Packer& p) {
+  p.pack(static_cast<std::uint32_t>(v.size()));
+  for (const std::uint32_t x : v) p.pack(x);
+}
+
+std::vector<std::uint32_t> EpochManager::deserialize_intervals(
+    Unpacker& u, int node_count) {
+  const auto count = u.unpack<std::uint32_t>();
+  DSM_CHECK_MSG(count == static_cast<std::uint32_t>(node_count),
+                "interval vector sized to a different cluster");
+  std::vector<std::uint32_t> out(count, 0);
+  for (auto& x : out) x = u.unpack<std::uint32_t>();
+  return out;
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,98 @@
+// Epoch-based reclamation of consistency metadata (the cluster watermark).
+//
+// Lazy release consistency is append-only by construction: diff stores grow
+// with every release interval, write-notice lists with every acquire, and
+// the sync managers' payload histories with every release — the price of
+// laziness is that nobody knows when a diff or notice has been seen by
+// everyone. This module supplies that knowledge. Every barrier arrival
+// carries the arriving node's per-writer "seen" vector (the highest release
+// interval of each writer it has learned a notice for); the coordinator
+// folds the element-wise MINIMUM over all nodes' latest reports into the
+// cluster watermark W. An interval at or below W[w] is known to every node
+// in the cluster, and — because a barrier release flushes the writer's diff
+// store to the home nodes before its report leaves — its diff is merged
+// into the home frame. Metadata at or below the watermark is therefore
+// reclaimable everywhere:
+//
+//   * writers drop diff-store entries (a late puller falls back to the
+//     home frame via the flushed horizon riding dsm.diff_req replies),
+//   * every node drops write notices, forwarding-queue entries and
+//     re-bases its per-channel sent marks (dsm/protocol_lib.cpp),
+//   * lock managers and barrier coordinators trim payload-history blocks
+//     whose notice horizon sank below W; a late acquirer whose cursor
+//     points below the trim floor just skips them (it provably knows
+//     their content) and recovers any bytes via a home-page fetch.
+//
+// The watermark travels back inside barrier resume messages, so every
+// participant applies it locally right after its acquire hook. Reports lag
+// one generation behind (a party's report is built before it receives this
+// generation's notices), which only delays reclamation by one crossing.
+//
+// Single-process-simulator note: the report ledger is centralized in this
+// object (all nodes share the process). A distributed implementation would
+// gossip the per-node vectors exactly as they already ride the barrier
+// messages here; the wire protocol carries everything needed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+class EpochManager {
+ public:
+  explicit EpochManager(Dsm& dsm);
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Whether epoch GC is switched on (DsmConfig::enable_metadata_gc).
+  [[nodiscard]] bool enabled() const;
+
+  /// Builds `node`'s report: the element-wise maximum of every protocol's
+  /// epoch_report vector (per-writer highest seen release interval),
+  /// indexed by writer node and sized to the cluster.
+  [[nodiscard]] std::vector<std::uint32_t> collect_report(NodeId node);
+
+  /// Records `node`'s latest report in the ledger (replacing the previous
+  /// one — reports are cumulative maxima, so the latest subsumes them).
+  void record_report(NodeId node, std::vector<std::uint32_t> seen);
+
+  /// Folds the ledger into the cluster watermark: element-wise minimum over
+  /// every node's latest report. Nodes that never reported pin the
+  /// watermark at zero — reclamation cannot start until everyone has
+  /// crossed a barrier at least once.
+  [[nodiscard]] std::vector<std::uint32_t> fold() const;
+
+  /// Applies a received watermark on `node`: merges it into the node's
+  /// applied vector and, when it advanced, runs every protocol's epoch_trim
+  /// (which may take page mutexes — call from thread context, not from an
+  /// inline server). Always trims the sync histories this node manages.
+  void apply_watermark(NodeId node, std::span<const std::uint32_t> watermark);
+
+  /// Trims lock- and barrier-payload histories managed by `node` down to
+  /// the watermark. Pure data manipulation (no blocking, no page mutexes):
+  /// safe from inline RPC servers — the barrier coordinator calls this at
+  /// fold time, before building the resume slices.
+  void trim_histories(NodeId node, std::span<const std::uint32_t> watermark);
+
+  /// Wire helpers for the interval vectors riding barrier messages.
+  static void serialize_intervals(std::span<const std::uint32_t> v, Packer& p);
+  static std::vector<std::uint32_t> deserialize_intervals(Unpacker& u,
+                                                          int node_count);
+
+ private:
+  Dsm& dsm_;
+  /// Latest report per node (empty until first report).
+  std::vector<std::vector<std::uint32_t>> ledger_;
+  /// Watermark already applied per node; epoch_trim runs only on advance.
+  std::vector<std::vector<std::uint32_t>> applied_;
+};
+
+}  // namespace dsmpm2::dsm

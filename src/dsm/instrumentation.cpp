@@ -39,6 +39,13 @@ const char* counter_name(Counter c) {
     case Counter::kWriteNoticesApplied: return "write_notices_applied";
     case Counter::kDiffFetchesSent: return "diff_fetches_sent";
     case Counter::kDiffFetchesServed: return "diff_fetches_served";
+    case Counter::kGcWatermarkRounds: return "gc_watermark_rounds";
+    case Counter::kGcDiffsDropped: return "gc_diffs_dropped";
+    case Counter::kGcNoticesDropped: return "gc_notices_dropped";
+    case Counter::kGcFramesDiscarded: return "gc_frames_discarded";
+    case Counter::kGcHistoryBlocksTrimmed: return "gc_history_blocks_trimmed";
+    case Counter::kGcHomeRefetches: return "gc_home_refetches";
+    case Counter::kGcStaleGrants: return "gc_stale_grants";
     case Counter::kCount: break;
   }
   return "?";

@@ -56,6 +56,13 @@ enum class Counter : int {
   kWriteNoticesApplied,  ///< fresh remote notices ingested at acquire time
   kDiffFetchesSent,      ///< dsm.diff_req requests issued (lazy diff pulls)
   kDiffFetchesServed,    ///< dsm.diff_req requests answered from a diff store
+  kGcWatermarkRounds,    ///< cluster watermark folds completed (coordinator)
+  kGcDiffsDropped,       ///< diff-store entries reclaimed below the watermark
+  kGcNoticesDropped,     ///< write notices reclaimed below the watermark
+  kGcFramesDiscarded,    ///< cached frames dropped because a needed notice was reclaimed
+  kGcHistoryBlocksTrimmed,  ///< lock/barrier payload-history blocks reclaimed
+  kGcHomeRefetches,      ///< page pulls restarted from home after a diff miss
+  kGcStaleGrants,        ///< grants/resumes whose cursor sat below a trimmed floor
   kCount  // sentinel
 };
 

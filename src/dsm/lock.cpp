@@ -72,12 +72,19 @@ void LockManager::release(int lock_id) {
   rt.rpc().call_async(manager_of(lock_id), svc_release_, std::move(args));
 }
 
-Packer LockManager::make_grant(LockState& s, NodeId to) const {
+Packer LockManager::make_grant(LockState& s, NodeId to, NodeId manager) {
   std::size_t& cur = s.cursor[to];
-  DSM_CHECK(cur <= s.history.size());
+  if (cur < s.floor) {
+    // The node's cursor points at blocks epoch GC already reclaimed: the
+    // watermark proved every node learned their notices, so skipping the
+    // delivery is lossless (the acquire hook would have deduplicated them).
+    dsm_.counters().inc(manager, Counter::kGcStaleGrants);
+    cur = s.floor;
+  }
+  DSM_CHECK(cur <= s.floor + s.history.size());
   Packer grant;
-  pack_blocks(std::span(s.history).subspan(cur), grant);
-  cur = s.history.size();
+  pack_blocks(std::span(s.history).subspan(cur - s.floor), grant);
+  cur = s.floor + s.history.size();
   return grant;
 }
 
@@ -88,7 +95,7 @@ void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
   LockState& s = state_[lock_id];
   if (!s.held) {
     s.held = true;
-    ctx.reply(make_grant(s, ctx.src));  // immediate grant
+    ctx.reply(make_grant(s, ctx.src, ctx.self));  // immediate grant
     return;
   }
   s.queue.push_back(Waiter{ctx.src, ctx.reply_token});
@@ -104,10 +111,19 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
   DSM_CHECK_MSG(s.held, "release of a lock that is not held");
   if (!payload.empty()) {
     s.history.emplace_back(payload.begin(), payload.end());
+    // Epoch GC needs each block's notice horizon to know when it sinks
+    // below the cluster watermark; protocols with opaque payloads leave
+    // the horizon empty and their blocks are never trimmed.
+    std::vector<std::uint32_t> horizon;
+    const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
+    if (dsm_.config().enable_metadata_gc && proto.payload_horizon) {
+      horizon = proto.payload_horizon(payload);
+    }
+    s.horizons.push_back(std::move(horizon));
   }
   // The releaser trivially knows its own payload (and saw everything before
   // it at its grant): advance its cursor past the whole history.
-  s.cursor[ctx.src] = s.history.size();
+  s.cursor[ctx.src] = s.floor + s.history.size();
   if (s.queue.empty()) {
     s.held = false;
     return;
@@ -118,7 +134,41 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
   // payload history it has not seen (including this very release's).
   dsm_.counters().inc(ctx.self, Counter::kLockHandoffs);
   dsm_.runtime().rpc().reply_to(ctx.self, next.src, next.token,
-                                make_grant(s, next.src));
+                                make_grant(s, next.src, ctx.self));
+}
+
+void LockManager::trim_histories(NodeId node,
+                                 std::span<const std::uint32_t> watermark) {
+  const auto covered = [&](const std::vector<std::uint32_t>& horizon) {
+    if (horizon.empty()) return false;  // opaque payload: never trimmable
+    for (std::size_t w = 0; w < horizon.size(); ++w) {
+      const std::uint32_t bound = w < watermark.size() ? watermark[w] : 0;
+      if (horizon[w] > bound) return false;
+    }
+    return true;
+  };
+  for (auto& [lock_id, s] : state_) {
+    if (manager_of(lock_id) != node) continue;
+    std::size_t drop = 0;
+    while (drop < s.horizons.size() && covered(s.horizons[drop])) ++drop;
+    if (drop == 0) continue;
+    s.history.erase(s.history.begin(),
+                    s.history.begin() + static_cast<std::ptrdiff_t>(drop));
+    s.horizons.erase(s.horizons.begin(),
+                     s.horizons.begin() + static_cast<std::ptrdiff_t>(drop));
+    s.floor += drop;
+    dsm_.counters().inc(node, Counter::kGcHistoryBlocksTrimmed,
+                        static_cast<std::uint64_t>(drop));
+  }
+}
+
+std::uint64_t LockManager::history_bytes(NodeId node) const {
+  std::uint64_t bytes = 0;
+  for (const auto& [lock_id, s] : state_) {
+    if (manager_of(lock_id) != node) continue;
+    for (const Buffer& block : s.history) bytes += block.size();
+  }
+  return bytes;
 }
 
 }  // namespace dsmpm2::dsm

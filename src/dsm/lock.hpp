@@ -14,13 +14,18 @@
 // slice of that history the grantee has not yet received (one cursor per
 // node), delivered to its lock_acquire hook via SyncContext::grant_payloads.
 // The payloads are protocol-opaque to this layer — eager protocols send
-// nothing, lrc_mw sends write notices. The history lives for the lock's
-// lifetime (lazy protocols may need to bring an arbitrarily late first-time
-// acquirer up to date).
+// nothing, lrc_mw sends write notices. The history is bounded by epoch GC:
+// blocks whose notice horizon (the protocol's payload_horizon parse) sank
+// below the cluster watermark are trimmed away, and a late acquirer whose
+// cursor points below the trim floor skips them — the watermark proves it
+// already knows their content, and any bytes it still needs come from a
+// home-page fetch. With GC off (or for protocols without payload_horizon)
+// the history lives for the lock's lifetime, the pre-GC behaviour.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +58,17 @@ class LockManager {
 
   [[nodiscard]] int count() const { return next_id_; }
 
+  /// Epoch GC: drops the leading payload-history blocks of every lock
+  /// managed by `node` whose notice horizon sank at or below `watermark`
+  /// (element-wise; blocks with no parsed horizon are never trimmed and
+  /// stop the prefix scan — order must be preserved). Pure data
+  /// manipulation, callable from inline servers.
+  void trim_histories(NodeId node, std::span<const std::uint32_t> watermark);
+
+  /// Retained payload-history bytes of the locks managed by `node` (the
+  /// lock_history_bytes gauge).
+  [[nodiscard]] std::uint64_t history_bytes(NodeId node) const;
+
  private:
   struct Waiter {
     NodeId src;
@@ -61,9 +77,16 @@ class LockManager {
   struct LockState {
     bool held = false;
     std::deque<Waiter> queue;
-    /// Release payloads in arrival (= happens-before) order.
+    /// Release payloads in arrival (= happens-before) order; block i holds
+    /// the payload of absolute release number floor + i.
     std::vector<Buffer> history;
-    /// Per node: prefix of `history` already delivered to it in a grant.
+    /// Per block of `history`: its per-writer notice horizon (empty =
+    /// opaque payload, never trimmable). Parallel to `history`.
+    std::vector<std::vector<std::uint32_t>> horizons;
+    /// Number of leading blocks reclaimed by epoch GC: cursors are absolute
+    /// release counts, history[0] is release number `floor`.
+    std::size_t floor = 0;
+    /// Per node: absolute count of releases already delivered to it.
     std::unordered_map<NodeId, std::size_t> cursor;
   };
 
@@ -71,8 +94,10 @@ class LockManager {
   [[nodiscard]] ProtocolId hook_protocol(int lock_id) const;
 
   /// Builds the grant message for `to`: the history slice past its cursor
-  /// (count + length-prefixed blocks), and advances the cursor.
-  [[nodiscard]] Packer make_grant(LockState& s, NodeId to) const;
+  /// (count + length-prefixed blocks), and advances the cursor. A cursor
+  /// below the trim floor is clamped (the watermark proved the node knows
+  /// the trimmed content).
+  [[nodiscard]] Packer make_grant(LockState& s, NodeId to, NodeId manager);
 
   void serve_acquire(pm2::RpcContext& ctx, Unpacker& args);
   void serve_release(pm2::RpcContext& ctx, Unpacker& args);

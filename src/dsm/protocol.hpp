@@ -148,13 +148,39 @@ struct Protocol {
   std::function<void(Dsm&, PageId, std::uint32_t, std::uint32_t)> after_put;
   /// Serves a `dsm.diff_req`: fills `out` with every locally stored
   /// (interval, diff) pair for `page` with interval inside the requested
-  /// [from, up_to] range, in interval order. Lazy protocols keep release
-  /// diffs local until some node actually needs them; an empty answer means
-  /// the diffs were already merged into the page's home frame. Arguments:
-  /// page, from_interval, up_to_interval, requester, out.
+  /// [from, up_to] range, in interval order, and sets `flushed_out` to the
+  /// highest interval this node has already flushed to the home nodes (0 =
+  /// nothing flushed). Lazy protocols keep release diffs local until some
+  /// node actually needs them; a missing diff with interval <= flushed_out
+  /// was reclaimed after its home merge and the requester falls back to the
+  /// home frame. Arguments: page, from_interval, up_to_interval, requester,
+  /// out, flushed_out.
   std::function<void(Dsm&, PageId, std::uint32_t, std::uint32_t, NodeId,
-                     std::vector<std::pair<std::uint32_t, Diff>>&)>
+                     std::vector<std::pair<std::uint32_t, Diff>>&,
+                     std::uint32_t&)>
       diff_request_server;
+
+  // ---- epoch GC hooks (dsm/epoch.hpp; all optional) ----
+  /// Per-writer maximum release interval this node has seen (learned a
+  /// write notice for), indexed by writer node. The cluster minimum of these
+  /// vectors is the reclamation watermark.
+  std::function<std::vector<std::uint32_t>(Dsm&, NodeId)> epoch_report;
+  /// Drops consistency metadata at or below the cluster watermark (per-writer
+  /// interval vector): diff-store entries, write-notice lists and forwarding
+  /// marks. Must preserve the behaviour of everything above the watermark.
+  std::function<void(Dsm&, NodeId, std::span<const std::uint32_t>)> epoch_trim;
+  /// Parses a release payload into its per-writer maximum named interval
+  /// (empty writers = 0), so sync managers can trim payload-history blocks
+  /// that sank below the watermark. Protocols with opaque payloads leave
+  /// this unset and their history blocks are never trimmed.
+  std::function<std::vector<std::uint32_t>(std::span<const std::byte>)>
+      payload_horizon;
+  /// Retained consistency-metadata footprint on `node` (the epoch-GC
+  /// observability gauges): adds this protocol's share to the two sums.
+  std::function<void(Dsm&, NodeId, std::uint64_t& diff_store_bytes,
+                     std::uint64_t& notice_list_bytes)>
+      epoch_retained;
+
   /// Factory for per-node protocol state.
   std::function<std::unique_ptr<ProtocolState>()> make_node_state;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -611,9 +613,20 @@ std::uint64_t channel_key(const SyncContext& ctx) {
 }
 
 /// Records a notice this node just learned (or created). Returns false when
-/// it was already known (notices reach a node through many channels).
+/// it was already known (notices reach a node through many channels), or
+/// when it sank below the applied watermark: such notices are globally
+/// known and their metadata reclaimed, and re-admitting one through a
+/// straggler channel would append it to its page list OUT of happens-before
+/// position — a later completion could re-apply its old diff over a newer
+/// overlapping write.
 bool learn_notice(LrcState& st, const WriteNotice& n) {
+  if (n.node < st.trimmed_floor.size() &&
+      n.interval <= st.trimmed_floor[n.node]) {
+    return false;
+  }
   if (!st.notices_seen.insert(notice_key(n)).second) return false;
+  if (st.seen.size() <= n.node) st.seen.resize(std::size_t{n.node} + 1, 0);
+  st.seen[n.node] = std::max(st.seen[n.node], n.interval);
   st.notice_order.push_back(n);
   st.notices_by_page[n.page].push_back(n);
   return true;
@@ -646,15 +659,32 @@ void lrc_store_interval(Dsm& dsm, LrcState& st, PageId page, NodeId node,
   dsm.counters().inc(node, Counter::kWriteNoticesCreated);
 }
 
+/// What one pull round produced: diffs in apply order, whether some remote
+/// diff was reclaimed past the frame's known base (the caller must refetch
+/// a fresh home image), and the flushed horizons the replies reported.
+struct CollectOutcome {
+  std::vector<std::pair<WriteNotice, Diff>> diffs;
+  bool refetch_home = false;
+  /// Per-writer flushed horizon, from this round's dsm.diff_req replies
+  /// (0 for writers not asked). Everything a writer flushed is merged into
+  /// the page's home frame, so these bound what a home refetch will carry.
+  std::vector<std::uint32_t> horizons;
+};
+
 /// Pulls the diffs behind `todo` (a contiguous tail of a page's notice
 /// list): one dsm.diff_req per distinct remote writer, bounded by its
 /// highest wanted interval; own diffs come straight from the local store.
-/// Returns (notice, diff) pairs in `todo` order — the apply order. Notices
-/// whose diff is gone were already merged into the home frame and are
-/// simply skipped. Blocks; the caller must hold no page mutex.
-std::vector<std::pair<WriteNotice, Diff>> lrc_collect_diffs(
-    Dsm& dsm, LrcState& st, PageId page, NodeId node,
-    const std::vector<WriteNotice>& todo) {
+/// Diffs in `out.diffs` are (notice, diff) pairs in `todo` order — the
+/// apply order. A notice whose diff is gone (epoch GC reclaimed it after a
+/// home flush) is skipped when the local frame already covers it: the home
+/// frame always does (it IS the merge target), own notices always do (the
+/// frame carries this node's own bytes), and a cached frame does iff the
+/// notice sits at or below the frame's recorded base floor. Otherwise the
+/// round reports refetch_home and applies nothing. Blocks; the caller must
+/// hold no page mutex.
+CollectOutcome lrc_collect_diffs(Dsm& dsm, LrcState& st, PageId page,
+                                 NodeId node, bool frame_is_home,
+                                 const std::vector<WriteNotice>& todo) {
   struct Range {
     std::uint32_t lo = 0;
     std::uint32_t hi = 0;
@@ -668,27 +698,45 @@ std::vector<std::pair<WriteNotice, Diff>> lrc_collect_diffs(
       it->second.hi = std::max(it->second.hi, n.interval);
     }
   }
+  CollectOutcome out;
+  out.horizons.assign(static_cast<std::size_t>(dsm.node_count()), 0);
   std::map<std::pair<NodeId, std::uint32_t>, Diff> fetched;
   for (const auto& [writer, range] : bound) {
+    std::uint32_t flushed = 0;
     for (auto& [interval, diff] :
-         dsm.comm().fetch_diffs(writer, page, range.lo, range.hi)) {
+         dsm.comm().fetch_diffs(writer, page, range.lo, range.hi, &flushed)) {
       fetched.emplace(std::pair{writer, interval}, std::move(diff));
     }
+    out.horizons[writer] = flushed;
   }
-  std::vector<std::pair<WriteNotice, Diff>> out;
-  out.reserve(todo.size());
+  const auto fit = st.frame_floor.find(page);
+  const std::vector<std::uint32_t>* floor =
+      fit == st.frame_floor.end() ? nullptr : &fit->second;
+  out.diffs.reserve(todo.size());
   for (const WriteNotice& n : todo) {
     if (n.node == node) {
+      // Own diffs come from the local store; a reclaimed one is already in
+      // the local frame bytes (this node wrote them in place).
       const auto pit = st.diff_store.find(page);
       if (pit == st.diff_store.end()) continue;
       const auto dit = pit->second.find(n.interval);
       if (dit == pit->second.end()) continue;
-      out.emplace_back(n, dit->second);
+      out.diffs.emplace_back(n, dit->second);
       continue;
     }
     const auto it = fetched.find(std::pair{n.node, n.interval});
-    if (it == fetched.end()) continue;
-    out.emplace_back(n, std::move(it->second));
+    if (it == fetched.end()) {
+      DSM_CHECK_MSG(n.interval <= out.horizons[n.node],
+                    "writer lost a diff it never flushed home");
+      if (frame_is_home) continue;  // this frame IS the merge target
+      if (floor != nullptr && n.node < floor->size() &&
+          n.interval <= (*floor)[n.node]) {
+        continue;  // the frame's base image already includes it
+      }
+      out.refetch_home = true;  // stale base: needs a fresh home image
+      continue;
+    }
+    out.diffs.emplace_back(n, std::move(it->second));
   }
   return out;
 }
@@ -717,26 +765,98 @@ void lrc_apply_diffs(Dsm& dsm, PageId page, NodeId node,
   e.proto_word = end;
 }
 
+/// How a pull loop ended.
+enum class PullOutcome {
+  kComplete,     ///< the frame covers every notice currently known
+  kRefetchHome,  ///< a reclaimed diff is missing from the frame's base: the
+                 ///< caller must fetch a fresh home image and retry
+};
+
 /// Pulls and applies the not-yet-merged tail of the page's notice list onto
 /// the local frame (whose applied prefix is the entry's proto_word). Loops
-/// because the pulls block and new notices may arrive meanwhile; on return
-/// the frame covers every notice currently known. Caller must NOT hold the
-/// page mutex, and must prevent the frame from disappearing (home frames
-/// never do; cached frames are pinned by in_transition).
-void lrc_pull_missing_diffs(Dsm& dsm, LrcState& st, PageId page, NodeId node) {
+/// because the pulls block and new notices may arrive meanwhile; on
+/// kComplete the frame covers every notice currently known. On
+/// kRefetchHome the frame's base image predates a writer's flush-and-
+/// reclaim; the home's flushed horizons from this round are stamped into
+/// frame_floor FIRST, so after one home refetch the skipped notices sit at
+/// or below the floor and the next pull completes — the refetch loop
+/// terminates. Caller must NOT hold the page mutex, and must prevent the
+/// frame from disappearing (home frames never do; cached frames are pinned
+/// by in_transition).
+PullOutcome lrc_pull_missing_diffs(Dsm& dsm, LrcState& st, PageId page,
+                                   NodeId node) {
   auto& tbl = dsm.table(node);
   for (;;) {
     std::size_t done = 0;
+    bool frame_is_home = false;
     std::vector<WriteNotice> todo;
     {
       marcel::MutexLock l(tbl.mutex(page));
       done = static_cast<std::size_t>(tbl.entry(page).proto_word);
+      frame_is_home = tbl.entry(page).home == node;
       const auto& list = st.notices_by_page[page];
-      if (done >= list.size()) return;
+      if (done >= list.size()) return PullOutcome::kComplete;
       todo.assign(list.begin() + static_cast<std::ptrdiff_t>(done), list.end());
     }
-    const auto diffs = lrc_collect_diffs(dsm, st, page, node, todo);  // blocks
-    lrc_apply_diffs(dsm, page, node, diffs, done, done + todo.size());
+    auto got =
+        lrc_collect_diffs(dsm, st, page, node, frame_is_home, todo);  // blocks
+    if (got.refetch_home) {
+      // Record what the home frame is known to contain as of these replies
+      // BEFORE requesting it: the refetched base will include at least this
+      // much, so the post-install pull can skip the reclaimed notices.
+      auto& floor = st.frame_floor[page];
+      if (floor.size() < got.horizons.size()) {
+        floor.resize(got.horizons.size(), 0);
+      }
+      for (std::size_t w = 0; w < got.horizons.size(); ++w) {
+        floor[w] = std::max(floor[w], got.horizons[w]);
+      }
+      dsm.counters().inc(node, Counter::kGcHomeRefetches);
+      return PullOutcome::kRefetchHome;
+    }
+    lrc_apply_diffs(dsm, page, node, got.diffs, done, done + todo.size());
+  }
+}
+
+/// Ships every diff-store entry past the flushed horizon to its home node
+/// (one batched round per home, blocking on the home acks) and advances the
+/// horizon — the epoch-GC invariant: a diff may leave its writer's store
+/// only after the home frame carries it. Self-homed pages advance without
+/// sending; the home frame was written in place and already holds this
+/// node's own intervals. With `drop_flushed` the flushed entries are
+/// reclaimed immediately (the gc_interval_hint path — pullers that miss
+/// them fall back to the home image); without it they stay until the
+/// cluster watermark proves every node has seen their notices.
+void lrc_flush_diffs_home(Dsm& dsm, LrcState& st, NodeId node,
+                          bool drop_flushed) {
+  // Snapshot the interval bound before the blocking sends: a concurrent
+  // release on this node may open new intervals while the acks are pending,
+  // and those are NOT in this flush.
+  const std::uint32_t up_to = st.interval;
+  auto& tbl = dsm.table(node);
+  std::map<NodeId, std::vector<DsmComm::DiffBatchItem>> by_home;
+  for (const auto& [page, intervals] : st.diff_store) {
+    NodeId home = kInvalidNode;
+    {
+      marcel::MutexLock l(tbl.mutex(page));
+      home = tbl.entry(page).home;
+    }
+    if (home == node) continue;
+    for (const auto& [iv, diff] : intervals) {
+      if (iv <= st.flushed || iv > up_to) continue;
+      by_home[home].push_back(DsmComm::DiffBatchItem{page, diff});
+    }
+  }
+  send_diff_batches(dsm, node, by_home);  // blocks until every home merged
+  st.flushed = std::max(st.flushed, up_to);
+  if (!drop_flushed) return;
+  for (auto it = st.diff_store.begin(); it != st.diff_store.end();) {
+    auto& intervals = it->second;
+    while (!intervals.empty() && intervals.begin()->first <= st.flushed) {
+      intervals.erase(intervals.begin());
+      dsm.counters().inc(node, Counter::kGcDiffsDropped);
+    }
+    it = intervals.empty() ? st.diff_store.erase(it) : std::next(it);
   }
 }
 
@@ -765,6 +885,20 @@ Packer lrc_release(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
     marcel::MutexLock l(dsm.table(node).mutex(page));
     PageEntry& e = dsm.table(node).entry(page);
     if (e.proto_word == before) e.proto_word = before + 1;
+  }
+  // Epoch GC: a barrier crossing flushes the outstanding diff store to the
+  // home nodes — the watermark the coordinator folds from this crossing may
+  // reclaim everything at or below these intervals, and reclamation is only
+  // sound once the homes carry the bytes. The gc_interval_hint path flushes
+  // (and drops immediately) every `hint` intervals regardless of sync kind,
+  // trading pull hits for home refetches to bound the store between
+  // barriers.
+  if (dsm.config().enable_metadata_gc) {
+    const std::uint32_t hint = dsm.config().gc_interval_hint;
+    const bool hint_due = hint != 0 && st.interval >= st.flushed + hint;
+    if (ctx.kind == SyncKind::kBarrier || hint_due) {
+      lrc_flush_diffs_home(dsm, st, node, /*drop_flushed=*/hint_due);
+    }
   }
   // The payload forwards everything this node knows that this channel has
   // not carried yet — the transitive closure that keeps happens-before
@@ -847,7 +981,10 @@ void lrc_acquire(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
   }
   while (!st.home_pending.empty()) {
     const PageId page = *st.home_pending.begin();
-    lrc_pull_missing_diffs(dsm, st, page, node);  // blocks; re-checks growth
+    const PullOutcome o =
+        lrc_pull_missing_diffs(dsm, st, page, node);  // blocks; re-checks growth
+    DSM_CHECK_MSG(o == PullOutcome::kComplete,
+                  "home frame asked to refetch itself");
     marcel::MutexLock l(tbl.mutex(page));
     if (tbl.entry(page).proto_word >= st.notices_by_page[page].size()) {
       st.home_pending.erase(page);
@@ -898,7 +1035,24 @@ void lrc_receive_page(Dsm& dsm, const PageArrival& arrival) {
   // pull loop re-checks the notice list because the pulls block and a
   // concurrent acquire may learn of more writes meanwhile.
   for (;;) {
-    lrc_pull_missing_diffs(dsm, st, arrival.page, arrival.node);
+    const PullOutcome o =
+        lrc_pull_missing_diffs(dsm, st, arrival.page, arrival.node);
+    if (o == PullOutcome::kRefetchHome) {
+      // The just-installed base predates a writer's flush-and-reclaim: ask
+      // the home again. The transition stays open (local faulters keep
+      // waiting) and the next arrival re-enters this handler; the
+      // frame_floor stamp taken by the pull guarantees the retry completes.
+      NodeId home = kInvalidNode;
+      {
+        marcel::MutexLock l(tbl.mutex(arrival.page));
+        PageEntry& e = tbl.entry(arrival.page);
+        e.proto_word = 0;
+        home = e.home;
+      }
+      dsm.comm().request_page(home, arrival.page, arrival.granted,
+                              arrival.node);
+      return;
+    }
     marcel::MutexLock l(tbl.mutex(arrival.page));
     PageEntry& e = tbl.entry(arrival.page);
     if (e.proto_word >= st.notices_by_page[arrival.page].size()) {
@@ -929,7 +1083,24 @@ bool lrc_complete_cached(Dsm& dsm, ProtocolId protocol, const FaultContext& ctx)
   // past its applied prefix and re-grant. This is the lazy protocol's common
   // fault path — one targeted pull, no page transfer.
   for (;;) {
-    lrc_pull_missing_diffs(dsm, st, ctx.page, ctx.node);
+    const PullOutcome o = lrc_pull_missing_diffs(dsm, st, ctx.page, ctx.node);
+    if (o == PullOutcome::kRefetchHome) {
+      // The cached bytes predate a writer's flush-and-reclaim: trade the
+      // patch-in-place for one fresh home fetch. The transition stays open;
+      // the arrival handler finishes the completion and grants, so just
+      // wait it out and let the fault retry loop re-examine the rights.
+      NodeId home = kInvalidNode;
+      {
+        marcel::MutexLock l(tbl.mutex(ctx.page));
+        PageEntry& e = tbl.entry(ctx.page);
+        e.proto_word = 0;
+        home = e.home;
+      }
+      dsm.comm().request_page(home, ctx.page, ctx.wanted, ctx.node);
+      marcel::MutexLock l(tbl.mutex(ctx.page));
+      tbl.wait_transition(ctx.page);
+      return true;
+    }
     marcel::MutexLock l(tbl.mutex(ctx.page));
     PageEntry& e = tbl.entry(ctx.page);
     if (e.proto_word >= st.notices_by_page[ctx.page].size()) {
@@ -942,14 +1113,166 @@ bool lrc_complete_cached(Dsm& dsm, ProtocolId protocol, const FaultContext& ctx)
 void lrc_serve_diff_request(Dsm& dsm, ProtocolId protocol, PageId page,
                             std::uint32_t from_interval,
                             std::uint32_t up_to_interval, NodeId /*requester*/,
-                            std::vector<std::pair<std::uint32_t, Diff>>& out) {
+                            std::vector<std::pair<std::uint32_t, Diff>>& out,
+                            std::uint32_t& flushed_out) {
   auto& st = dsm.proto_state<LrcState>(protocol, dsm.self());
+  flushed_out = st.flushed;
   const auto it = st.diff_store.find(page);
   if (it == st.diff_store.end()) return;
   for (auto dit = it->second.lower_bound(from_interval);
        dit != it->second.end() && dit->first <= up_to_interval; ++dit) {
     out.emplace_back(dit->first, dit->second);
   }
+}
+
+std::vector<std::uint32_t> lrc_epoch_report(Dsm& dsm, ProtocolId protocol,
+                                            NodeId node) {
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  std::vector<std::uint32_t> out(static_cast<std::size_t>(dsm.node_count()), 0);
+  for (std::size_t w = 0; w < st.seen.size() && w < out.size(); ++w) {
+    out[w] = st.seen[w];
+  }
+  return out;
+}
+
+void lrc_epoch_trim(Dsm& dsm, ProtocolId protocol, NodeId node,
+                    std::span<const std::uint32_t> watermark) {
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  auto& tbl = dsm.table(node);
+  const auto at = [&](NodeId w) -> std::uint32_t {
+    return w < watermark.size() ? watermark[w] : 0;
+  };
+  // Raise the ingest floor FIRST: notices at or below the watermark are
+  // globally known, and a straggler channel must not re-admit one after its
+  // peers are reclaimed (learn_notice would append it out of happens-before
+  // position).
+  if (st.trimmed_floor.size() < watermark.size()) {
+    st.trimmed_floor.resize(watermark.size(), 0);
+  }
+  for (std::size_t w = 0; w < watermark.size(); ++w) {
+    st.trimmed_floor[w] = std::max(st.trimmed_floor[w], watermark[w]);
+  }
+  // Own diffs: reclaim what is both below the watermark (no node will pull
+  // it again) and flushed (the home frame carries it).
+  const std::uint32_t own_bound = std::min(at(node), st.flushed);
+  for (auto it = st.diff_store.begin(); it != st.diff_store.end();) {
+    auto& intervals = it->second;
+    while (!intervals.empty() && intervals.begin()->first <= own_bound) {
+      intervals.erase(intervals.begin());
+      dsm.counters().inc(node, Counter::kGcDiffsDropped);
+    }
+    it = intervals.empty() ? st.diff_store.erase(it) : std::next(it);
+  }
+  // Per-page notice lists. Pages with an open completion (indices into the
+  // list live in a pull loop) or an open write interval are left for the
+  // next watermark round.
+  std::unordered_set<std::uint64_t> dropped;
+  for (auto pit = st.notices_by_page.begin();
+       pit != st.notices_by_page.end();) {
+    const PageId page = pit->first;
+    auto& list = pit->second;
+    marcel::MutexLock l(tbl.mutex(page));
+    PageEntry& e = tbl.entry(page);
+    if (e.in_transition || e.has_twin) {
+      ++pit;
+      continue;
+    }
+    const auto old_prefix = static_cast<std::size_t>(e.proto_word);
+    std::vector<WriteNotice> kept;
+    kept.reserve(list.size());
+    std::size_t kept_applied = 0;
+    bool dropped_unapplied = false;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const WriteNotice& n = list[i];
+      if (n.interval > at(n.node)) {
+        kept.push_back(n);
+        if (i < old_prefix) ++kept_applied;
+      } else {
+        dropped.insert(notice_key(n));
+        if (i >= old_prefix) dropped_unapplied = true;
+        dsm.counters().inc(node, Counter::kGcNoticesDropped);
+      }
+    }
+    if (kept.size() == list.size()) {
+      ++pit;
+      continue;
+    }
+    if (dropped_unapplied && e.home != node) {
+      // The frame (if any) never applied a reclaimed notice and the diff is
+      // gone from its writer: the merged bytes live only at the home now.
+      // Drop the stale cache; the next fault fetches a fresh base image,
+      // restarting the applied prefix at zero over the kept notices.
+      if (st.cached.contains(page)) {
+        e.access = Access::kNone;
+        e.dirty = false;
+        e.write_spans.clear();
+        dsm.store(node).drop_frame(page);
+        st.cached.erase(page);
+        dsm.counters().inc(node, Counter::kGcFramesDiscarded);
+      }
+      e.proto_word = 0;
+      st.frame_floor.erase(page);
+    } else {
+      // Every reclaimed notice was already applied here — or this is the
+      // home frame, which received the missing ones through the writers'
+      // flushes. The applied prefix simply renumbers onto the kept list.
+      e.proto_word = kept_applied;
+    }
+    if (kept.empty()) {
+      pit = st.notices_by_page.erase(pit);
+    } else {
+      list = std::move(kept);
+      ++pit;
+    }
+  }
+  if (dropped.empty()) return;
+  // Rebuild the forwarding queue without the reclaimed notices and remap
+  // every channel's sent prefix onto the surviving order (a mark between a
+  // kept and a dropped notice moves to the number of kept notices before
+  // it — the channel has sent exactly those survivors).
+  std::vector<std::size_t> kept_prefix(st.notice_order.size() + 1, 0);
+  std::vector<WriteNotice> order;
+  order.reserve(st.notice_order.size());
+  for (std::size_t i = 0; i < st.notice_order.size(); ++i) {
+    if (!dropped.contains(notice_key(st.notice_order[i]))) {
+      order.push_back(st.notice_order[i]);
+    }
+    kept_prefix[i + 1] = order.size();
+  }
+  for (auto& [channel, mark] : st.sent_mark) {
+    mark = kept_prefix[std::min(mark, st.notice_order.size())];
+  }
+  st.notice_order = std::move(order);
+  for (const std::uint64_t key : dropped) st.notices_seen.erase(key);
+}
+
+std::vector<std::uint32_t> lrc_payload_horizon(
+    std::span<const std::byte> payload) {
+  Unpacker u(payload);
+  const std::vector<WriteNotice> notices = deserialize_notices(u);
+  std::vector<std::uint32_t> horizon;
+  for (const WriteNotice& n : notices) {
+    if (horizon.size() <= n.node) {
+      horizon.resize(std::size_t{n.node} + 1, 0);
+    }
+    horizon[n.node] = std::max(horizon[n.node], n.interval);
+  }
+  return horizon;
+}
+
+void lrc_retained_bytes(Dsm& dsm, ProtocolId protocol, NodeId node,
+                        std::uint64_t& diff_store_bytes,
+                        std::uint64_t& notice_list_bytes) {
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  for (const auto& [page, intervals] : st.diff_store) {
+    for (const auto& [iv, diff] : intervals) {
+      diff_store_bytes += diff.wire_bytes();
+    }
+  }
+  std::uint64_t notices = st.notice_order.size();
+  for (const auto& [page, list] : st.notices_by_page) notices += list.size();
+  notice_list_bytes += notices * sizeof(WriteNotice) +
+                       st.notices_seen.size() * sizeof(std::uint64_t);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -58,10 +59,33 @@ struct LrcState : HomeRcState {
   /// interval counters"); interval 0 means "never released".
   std::uint32_t interval = 0;
   /// Diffs this node created and still holds: page -> interval -> diff, in
-  /// interval order. Entries live until a barrier-style flush merges them
-  /// into the home frame (future work: GC); absent entries mean exactly
-  /// "already merged at the home".
+  /// interval order. Bounded by the epoch GC: barrier crossings (and the
+  /// gc_interval_hint path) flush entries to the home frames, and the
+  /// cluster watermark reclaims everything at or below it; a missing entry
+  /// with interval <= `flushed` means exactly "already merged at the home".
   std::map<PageId, std::map<std::uint32_t, Diff>> diff_store;
+  /// Highest own interval whose diffs are all merged into their home frames
+  /// (the flush blocks on the home acks before advancing this). Served in
+  /// every diff-request reply so pullers can tell "reclaimed after home
+  /// merge" from "never existed".
+  std::uint32_t flushed = 0;
+  /// Per-writer maximum interval this node has seen a notice for. Because
+  /// notices propagate per writer in interval order, seeing (w, i) implies
+  /// knowing every notice of w up to i — so this vector is a faithful
+  /// summary, and the cluster-wide minimum of these vectors (the watermark)
+  /// bounds what every node knows.
+  std::vector<std::uint32_t> seen;
+  /// Applied watermark: notices at or below it are globally known and their
+  /// metadata reclaimed. Stale notices arriving afterwards through straggler
+  /// channels are ignored on ingest (re-learning them out of order could
+  /// re-apply an old diff over a newer overlapping one).
+  std::vector<std::uint32_t> trimmed_floor;
+  /// Per cached page: per-writer horizon the page's CURRENT frame bytes are
+  /// known to include from the home's merged image (stamped before a home
+  /// refetch from the flushed horizons that triggered it). A pull that
+  /// misses a reclaimed diff at or below this floor skips it — the bytes are
+  /// already in the frame; above it, the frame is discarded and refetched.
+  std::unordered_map<PageId, std::vector<std::uint32_t>> frame_floor;
   /// Every notice this node knows, per page, in happens-before order — the
   /// apply order of fault-time completion.
   std::unordered_map<PageId, std::vector<WriteNotice>> notices_by_page;
@@ -248,12 +272,38 @@ bool lrc_complete_cached(Dsm& dsm, ProtocolId protocol, const FaultContext& ctx)
 
 /// dsm.diff_req server: answers from the node's local diff store (every
 /// stored diff for the page with interval in [from, up_to], in interval
-/// order). An empty answer means the diffs were already merged into the
-/// home frame.
+/// order) and reports the node's flushed horizon in `flushed_out`. A
+/// missing diff at or below the horizon was reclaimed after its home merge;
+/// the requester falls back to the home frame.
 void lrc_serve_diff_request(Dsm& dsm, ProtocolId protocol, PageId page,
                             std::uint32_t from_interval,
                             std::uint32_t up_to_interval, NodeId requester,
-                            std::vector<std::pair<std::uint32_t, Diff>>& out);
+                            std::vector<std::pair<std::uint32_t, Diff>>& out,
+                            std::uint32_t& flushed_out);
+
+// ---- epoch GC (dsm/epoch.hpp) hooks for lrc_mw ----
+
+/// Per-writer maximum seen interval on `node` (LrcState::seen, padded to the
+/// cluster size) — this node's contribution to the watermark fold.
+std::vector<std::uint32_t> lrc_epoch_report(Dsm& dsm, ProtocolId protocol,
+                                            NodeId node);
+
+/// Reclaims lrc metadata at or below the `watermark` (per-writer interval
+/// vector): own flushed diff-store entries, write notices, forwarding marks.
+/// Cached frames still needing a reclaimed notice are discarded (the home
+/// holds the merged bytes); pages mid-transition or mid-critical-section are
+/// left untouched until the next watermark.
+void lrc_epoch_trim(Dsm& dsm, ProtocolId protocol, NodeId node,
+                    std::span<const std::uint32_t> watermark);
+
+/// Parses a serialize_notices release payload into its per-writer maximum
+/// interval (the payload_horizon hook for lrc_mw history trimming).
+std::vector<std::uint32_t> lrc_payload_horizon(std::span<const std::byte> payload);
+
+/// Adds lrc_mw's retained metadata footprint on `node` to the two gauges.
+void lrc_retained_bytes(Dsm& dsm, ProtocolId protocol, NodeId node,
+                        std::uint64_t& diff_store_bytes,
+                        std::uint64_t& notice_list_bytes);
 
 // ---------------------------------------------------------------------------
 // Small helpers

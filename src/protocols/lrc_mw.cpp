@@ -91,9 +91,27 @@ Protocol make_lrc_mw() {
 
   p.diff_request_server = [](Dsm& d, PageId page, std::uint32_t from,
                              std::uint32_t up_to, NodeId requester,
-                             std::vector<std::pair<std::uint32_t, dsm::Diff>>& out) {
+                             std::vector<std::pair<std::uint32_t, dsm::Diff>>& out,
+                             std::uint32_t& flushed) {
     dsm::lib::lrc_serve_diff_request(d, d.protocol_by_name("lrc_mw"), page,
-                                     from, up_to, requester, out);
+                                     from, up_to, requester, out, flushed);
+  };
+
+  // Epoch GC: lrc_mw is the one protocol that accumulates unbounded
+  // metadata (diff stores, notice lists, payload histories), so it wires
+  // all four reclamation hooks.
+  p.epoch_report = [](Dsm& d, NodeId node) {
+    return dsm::lib::lrc_epoch_report(d, d.protocol_by_name("lrc_mw"), node);
+  };
+  p.epoch_trim = [](Dsm& d, NodeId node,
+                    std::span<const std::uint32_t> watermark) {
+    dsm::lib::lrc_epoch_trim(d, d.protocol_by_name("lrc_mw"), node, watermark);
+  };
+  p.payload_horizon = dsm::lib::lrc_payload_horizon;
+  p.epoch_retained = [](Dsm& d, NodeId node, std::uint64_t& diff_store_bytes,
+                        std::uint64_t& notice_list_bytes) {
+    dsm::lib::lrc_retained_bytes(d, d.protocol_by_name("lrc_mw"), node,
+                                 diff_store_bytes, notice_list_bytes);
   };
 
   p.make_node_state = [] { return std::make_unique<dsm::lib::LrcState>(); };

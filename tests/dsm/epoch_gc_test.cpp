@@ -1,0 +1,248 @@
+// Epoch-based metadata reclamation (dsm/epoch.hpp): the cluster watermark
+// folded at barrier crossings bounds lrc_mw's diff stores, notice lists and
+// the sync managers' payload histories. These tests pin the trim edge cases
+// — a barrier sitter-out re-crossing after its history blocks were trimmed,
+// a late lock acquirer whose grant cursor sank below the trim floor — and
+// the correctness bar: seeded workloads stay byte-identical to the eager
+// protocols with GC at its most aggressive settings, and identical between
+// GC on and off (with GC off staying completely silent).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+TEST(EpochGc, BarrierSitterOutRecrossesAfterTrim) {
+  // bar_t is crossed by nodes 0..2 only; node 3 keeps the cluster in sync
+  // through bar_sync (all four parties). The writers' notices sink below
+  // the watermark as node 3's reports catch up, so bar_t's payload history
+  // gets trimmed while node 3's bar_t cursor still points at block zero.
+  // When node 3 finally crosses bar_t, the grant must skip the reclaimed
+  // blocks (a stale grant, not a crash) and node 3 must still read the
+  // latest value — it provably learned those notices through bar_sync.
+  DsmFixture fx(4);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr page = fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr);
+  const int bar_t = fx.dsm.create_barrier(3, proto);
+  const int bar_sync = fx.dsm.create_barrier(4, proto);
+  constexpr int kRounds = 8;
+  long observed = -1;
+  fx.run([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      const NodeId writer = 1 + static_cast<NodeId>(r % 2);
+      std::vector<marcel::Thread*> trio;
+      for (NodeId n = 0; n < 3; ++n) {
+        trio.push_back(&fx.rt.spawn_on(n, "t", [&, n] {
+          if (n == writer) fx.dsm.write<long>(page, 1000 + r);
+          fx.dsm.barrier_wait(bar_t);
+        }));
+      }
+      for (auto* t : trio) fx.rt.threads().join(*t);
+      std::vector<marcel::Thread*> all;
+      for (NodeId n = 0; n < 4; ++n) {
+        all.push_back(
+            &fx.rt.spawn_on(n, "s", [&] { fx.dsm.barrier_wait(bar_sync); }));
+      }
+      for (auto* t : all) fx.rt.threads().join(*t);
+    }
+    // Finale: node 3 joins bar_t for the first time (nodes 1 and 2 fill the
+    // other two slots) and reads the page.
+    std::vector<marcel::Thread*> finale;
+    for (NodeId n = 1; n < 4; ++n) {
+      finale.push_back(&fx.rt.spawn_on(n, "f", [&, n] {
+        fx.dsm.barrier_wait(bar_t);
+        if (n == 3) observed = fx.dsm.read<long>(page);
+      }));
+    }
+    for (auto* t : finale) fx.rt.threads().join(*t);
+  });
+  EXPECT_EQ(observed, 1000 + kRounds - 1);
+  // The histories really were trimmed, and node 3's first crossing really
+  // was served from past the floor.
+  EXPECT_GT(fx.dsm.counters().total(Counter::kGcHistoryBlocksTrimmed), 0u);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kGcStaleGrants), 1u);
+  EXPECT_GT(fx.dsm.counters().total(Counter::kGcWatermarkRounds), 0u);
+}
+
+TEST(EpochGc, LateLockAcquirerBelowTrimmedFloor) {
+  // Writers rotate a lock while every round ends with a full-cluster
+  // barrier, so the watermark keeps advancing: the lock manager trims the
+  // lock's payload history and the writers drop the flushed diffs. A node
+  // that then acquires the lock for the very first time sits below the trim
+  // floor — its grant skips the reclaimed blocks and the read recovers the
+  // bytes from the home frame (where every reclaimed diff was merged).
+  DsmFixture fx(4);
+  const ProtocolId proto = fx.dsm.builtin().lrc_mw;
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr page = fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr);
+  const int lock = fx.dsm.create_lock(proto);
+  const int barrier = fx.dsm.create_barrier(4, proto);
+  constexpr int kRounds = 10;
+  long observed = -1;
+  fx.run([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      const NodeId writer = 1 + static_cast<NodeId>(r % 2);
+      auto& w = fx.rt.spawn_on(writer, "w", [&, r] {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(page, 2000 + r);
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(w);
+      std::vector<marcel::Thread*> all;
+      for (NodeId n = 0; n < 4; ++n) {
+        all.push_back(
+            &fx.rt.spawn_on(n, "s", [&] { fx.dsm.barrier_wait(barrier); }));
+      }
+      for (auto* t : all) fx.rt.threads().join(*t);
+    }
+    auto& late = fx.rt.spawn_on(3, "late", [&] {
+      fx.dsm.lock_acquire(lock);
+      observed = fx.dsm.read<long>(page);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(late);
+  });
+  EXPECT_EQ(observed, 2000 + kRounds - 1);
+  EXPECT_GT(fx.dsm.counters().total(Counter::kGcHistoryBlocksTrimmed), 0u);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kGcStaleGrants), 1u);
+  // The barrier flushes made the writers' diff stores reclaimable, and the
+  // watermark really reclaimed metadata on its way up.
+  EXPECT_GT(fx.dsm.counters().total(Counter::kGcDiffsDropped), 0u);
+  EXPECT_GT(fx.dsm.counters().total(Counter::kGcNoticesDropped), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence under aggressive GC: the same seeded workloads that pin
+// eager-vs-lazy convergence (lrc_test.cpp) must stay byte-identical with GC
+// reclaiming as fast as it can (gc_interval_hint=1 drops every diff the
+// moment it is flushed), and between GC on and off.
+// ---------------------------------------------------------------------------
+
+std::vector<long> run_seeded_image(const char* protocol, DsmConfig cfg,
+                                   std::uint64_t seed, bool with_barriers,
+                                   std::vector<std::uint64_t>* gc_totals) {
+  constexpr int kNodes = 4;
+  constexpr int kPages = 6;
+  constexpr int kRounds = 24;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), cfg);
+  const ProtocolId proto = fx.dsm.protocol_by_name(protocol);
+  std::vector<DsmAddr> pages;
+  for (int i = 0; i < kPages; ++i) {
+    AllocAttr attr;
+    attr.protocol = proto;
+    attr.home_policy = HomePolicy::kFixed;
+    attr.fixed_home = static_cast<NodeId>(i % kNodes);
+    pages.push_back(fx.dsm.dsm_malloc(fx.dsm.config().page_size, attr));
+  }
+  const int lock = fx.dsm.create_lock(proto);
+  const int barrier = fx.dsm.create_barrier(kNodes, proto);
+  std::vector<long> image;
+  fx.run([&] {
+    Rng rng(seed);
+    for (int r = 0; r < kRounds; ++r) {
+      const NodeId writer = static_cast<NodeId>(rng.next_u64() % kNodes);
+      auto& t = fx.rt.spawn_on(writer, "w", [&] {
+        fx.dsm.lock_acquire(lock);
+        const int touches = 1 + static_cast<int>(rng.next_u64() % 3);
+        for (int k = 0; k < touches; ++k) {
+          const auto page = static_cast<std::size_t>(rng.next_u64() % kPages);
+          const auto word = rng.next_u64() % 16;
+          const long value = static_cast<long>(rng.next_u64() % 100000);
+          fx.dsm.write<long>(pages[page] + word * sizeof(long), value);
+        }
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(t);
+      // A barrier-laced variant drives the watermark (and the trims) hard
+      // mid-workload instead of only at the final read-back.
+      if (with_barriers && r % 4 == 3) {
+        std::vector<marcel::Thread*> all;
+        for (NodeId n = 0; n < kNodes; ++n) {
+          all.push_back(
+              &fx.rt.spawn_on(n, "b", [&] { fx.dsm.barrier_wait(barrier); }));
+        }
+        for (auto* b : all) fx.rt.threads().join(*b);
+      }
+    }
+    auto& reader = fx.rt.spawn_on(kNodes - 1, "r", [&] {
+      fx.dsm.lock_acquire(lock);
+      for (const DsmAddr base : pages) {
+        for (std::size_t w = 0; w < 16; ++w) {
+          image.push_back(fx.dsm.read<long>(base + w * sizeof(long)));
+        }
+      }
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(reader);
+  });
+  if (gc_totals != nullptr) {
+    for (const Counter c :
+         {Counter::kGcWatermarkRounds, Counter::kGcDiffsDropped,
+          Counter::kGcNoticesDropped, Counter::kGcFramesDiscarded,
+          Counter::kGcHistoryBlocksTrimmed, Counter::kGcHomeRefetches,
+          Counter::kGcStaleGrants}) {
+      gc_totals->push_back(fx.dsm.counters().total(c));
+    }
+  }
+  return image;
+}
+
+TEST(EpochGc, AggressiveGcMatchesEagerProtocols) {
+  DsmConfig aggressive;
+  aggressive.enable_metadata_gc = true;
+  aggressive.gc_interval_hint = 1;
+  for (const std::uint64_t seed : {1ull, 7ull, 2026ull, 99ull}) {
+    const auto erc =
+        run_seeded_image("erc_sw", DsmConfig{}, seed, false, nullptr);
+    const auto hbrc =
+        run_seeded_image("hbrc_mw", DsmConfig{}, seed, false, nullptr);
+    const auto lazy =
+        run_seeded_image("lrc_mw", aggressive, seed, false, nullptr);
+    EXPECT_EQ(erc, lazy) << "erc_sw vs lrc_mw, seed " << seed;
+    EXPECT_EQ(hbrc, lazy) << "hbrc_mw vs lrc_mw, seed " << seed;
+  }
+}
+
+TEST(EpochGc, AggressiveGcMatchesEagerAcrossBarriers) {
+  DsmConfig aggressive;
+  aggressive.enable_metadata_gc = true;
+  aggressive.gc_interval_hint = 1;
+  for (const std::uint64_t seed : {1ull, 2026ull}) {
+    const auto erc = run_seeded_image("erc_sw", DsmConfig{}, seed, true, nullptr);
+    const auto lazy = run_seeded_image("lrc_mw", aggressive, seed, true, nullptr);
+    EXPECT_EQ(erc, lazy) << "seed " << seed;
+  }
+}
+
+TEST(EpochGc, GcOffMatchesGcOnAndStaysSilent) {
+  DsmConfig off;
+  off.enable_metadata_gc = false;
+  DsmConfig on;
+  on.enable_metadata_gc = true;
+  for (const std::uint64_t seed : {7ull, 99ull}) {
+    std::vector<std::uint64_t> off_totals;
+    const auto base = run_seeded_image("lrc_mw", off, seed, true, &off_totals);
+    const auto gc = run_seeded_image("lrc_mw", on, seed, true, nullptr);
+    EXPECT_EQ(base, gc) << "seed " << seed;
+    // enable_metadata_gc=false preserves the pre-GC behaviour exactly: not
+    // one GC counter moves.
+    for (const std::uint64_t total : off_totals) EXPECT_EQ(total, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm
