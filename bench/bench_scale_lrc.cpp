@@ -25,6 +25,7 @@
 // Usage: bench_scale_lrc [--smoke] [--json <path>]
 //   --smoke   small sweep (CI: the `ctest -L smoke` entry)
 //   --json    also write machine-readable results to <path>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -50,7 +51,21 @@ struct Point {
   double release_us = 0;              // mean lock_release latency
   double acquire_us = 0;              // mean lock_acquire latency
   double cs_us = 0;                   // mean acquire..release round
+  SimTime end_time = 0;               // simulated end of the whole run
   [[nodiscard]] double handoff_us() const { return release_us + acquire_us; }
+};
+
+/// Host-side cost of running the same point with dsmcheck on: the checker
+/// charges no simulated time (sim_identical asserts that), so its price is
+/// real seconds only.
+struct OverheadPoint {
+  int nodes = 0;
+  double host_ms_off = 0;
+  double host_ms_on = 0;
+  bool sim_identical = false;  // same end_time and wire traffic on vs off
+  [[nodiscard]] double overhead_x() const {
+    return host_ms_off > 0 ? host_ms_on / host_ms_off : 0;
+  }
 };
 
 std::uint64_t consistency_msgs(dsm::Dsm& d) {
@@ -68,12 +83,17 @@ std::uint64_t wire_msgs(pm2::Runtime& rt) {
   return sum;
 }
 
-Point measure(const char* protocol, int nodes) {
+Point measure(const char* protocol, int nodes, bool with_checker = false) {
   pm2::Config cfg;
   cfg.nodes = nodes;
   cfg.driver = madeleine::bip_myrinet();
   pm2::Runtime rt(cfg);
-  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+  dsm::DsmConfig dcfg;
+  // Count mode, not abort mode: the monitors re-read WITHOUT synchronizing
+  // on purpose (stale reads are RC-legal), and dsmcheck rightly flags that.
+  dcfg.enable_checker = with_checker;
+  dcfg.checker_abort = false;
+  dsm::Dsm dsm(rt, dcfg);
   const dsm::ProtocolId proto = dsm.protocol_by_name(protocol);
   DSM_CHECK(proto != dsm::kInvalidProtocol);
 
@@ -96,7 +116,7 @@ Point measure(const char* protocol, int nodes) {
   SimTime acquire_total = 0;
   SimTime cs_total = 0;
 
-  rt.run([&] {
+  const pm2::RunStats run_stats = rt.run([&] {
     // Seed phase (not measured): replicate every page everywhere.
     for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
       auto& t = rt.spawn_on(n, "seed", [&] {
@@ -140,13 +160,31 @@ Point measure(const char* protocol, int nodes) {
     point.total_msgs = wire_msgs(rt) - msgs0;
   });
 
+  point.end_time = run_stats.end_time;
   point.release_us = to_us(release_total) / point.rounds;
   point.acquire_us = to_us(acquire_total) / point.rounds;
   point.cs_us = to_us(cs_total) / point.rounds;
   return point;
 }
 
-void write_json(const std::string& path, const std::vector<Point>& points) {
+OverheadPoint measure_overhead(int nodes) {
+  using clock = std::chrono::steady_clock;
+  OverheadPoint o;
+  o.nodes = nodes;
+  const auto t0 = clock::now();
+  const Point off = measure("lrc_mw", nodes, /*with_checker=*/false);
+  const auto t1 = clock::now();
+  const Point on = measure("lrc_mw", nodes, /*with_checker=*/true);
+  const auto t2 = clock::now();
+  o.host_ms_off = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  o.host_ms_on = std::chrono::duration<double, std::milli>(t2 - t1).count();
+  o.sim_identical =
+      off.end_time == on.end_time && off.total_msgs == on.total_msgs;
+  return o;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points,
+                const std::vector<OverheadPoint>& overhead) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -169,6 +207,19 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
                   static_cast<unsigned long long>(p.total_msgs), p.release_us,
                   p.acquire_us, p.handoff_us(), p.cs_us,
                   i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"checker_overhead\": [\n";
+  for (std::size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadPoint& o = overhead[i];
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"protocol\": \"lrc_mw\", \"nodes\": %d, "
+                  "\"host_ms_off\": %.2f, \"host_ms_on\": %.2f, "
+                  "\"overhead_x\": %.3f, \"sim_identical\": %s}%s\n",
+                  o.nodes, o.host_ms_off, o.host_ms_on, o.overhead_x(),
+                  o.sim_identical ? "true" : "false",
+                  i + 1 < overhead.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -221,7 +272,24 @@ int main(int argc, char** argv) {
   }
   table.print();
 
-  if (!json_path.empty()) write_json(json_path, points);
+  // dsmcheck overhead series: same lrc_mw points, checker off vs on, host
+  // wall-clock. The simulated run must be bit-identical either way.
+  std::vector<OverheadPoint> overhead;
+  TablePrinter ck_table(
+      {"nodes", "host ms (off)", "host ms (on)", "overhead", "sim identical"});
+  for (const int nodes : sweep) {
+    OverheadPoint o = measure_overhead(nodes);
+    ck_table.add_row({std::to_string(o.nodes),
+                      TablePrinter::fmt(o.host_ms_off),
+                      TablePrinter::fmt(o.host_ms_on),
+                      TablePrinter::fmt(o.overhead_x()) + "x",
+                      o.sim_identical ? "yes" : "NO"});
+    overhead.push_back(o);
+  }
+  std::printf("\ndsmcheck overhead (lrc_mw, host wall-clock)\n");
+  ck_table.print();
+
+  if (!json_path.empty()) write_json(json_path, points, overhead);
 
   // Self-check at the widest point of the sweep: lrc_mw must cut the
   // invalidation/diff message count vs erc_sw by >= 3x at 16 nodes (the
@@ -246,5 +314,13 @@ int main(int argc, char** argv) {
               "(need >= %.1fx): %s\n",
               ratio, at_nodes, bar, ok ? "PASS" : "FAIL");
   pass = pass && ok;
+
+  // The checker must never perturb the simulation: same end time, same
+  // wire traffic, with it on or off, at every sampled point.
+  bool identical = true;
+  for (const OverheadPoint& o : overhead) identical = identical && o.sim_identical;
+  std::printf("check[checker on/off sim identical]: %s\n",
+              identical ? "PASS" : "FAIL");
+  pass = pass && identical;
   return pass ? 0 : 1;
 }

@@ -23,6 +23,8 @@
 #include "dsm/protocol_lib.hpp"
 #include "pm2/pm2.hpp"
 
+#include "example_config.hpp"
+
 using namespace dsmpm2;
 
 namespace {
@@ -148,7 +150,7 @@ int main() {
   cfg.nodes = 4;
   cfg.driver = madeleine::sisci_sci();
   pm2::Runtime rt(cfg);
-  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+  dsm::Dsm dsm(rt, example_dsm_config());
 
   Profile profile;
   // dsm_create_protocol: the user protocol registers like any built-in.

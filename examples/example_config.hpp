@@ -1,0 +1,17 @@
+#pragma once
+// Shared by every example: DSMPM2_CHECKER=1 in the environment runs the
+// example under dsmcheck in abort mode, so the `checked.<example>` CTest
+// entries fail loudly on any data race or protocol-invariant violation.
+#include <cstdlib>
+
+#include "dsm/config.hpp"
+
+inline dsmpm2::dsm::DsmConfig example_dsm_config() {
+  dsmpm2::dsm::DsmConfig cfg;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): examples are single-threaded here.
+  if (std::getenv("DSMPM2_CHECKER") != nullptr) {
+    cfg.enable_checker = true;
+    cfg.checker_abort = true;
+  }
+  return cfg;
+}

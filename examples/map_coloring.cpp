@@ -16,6 +16,8 @@
 #include "hyperion/runtime.hpp"
 #include "pm2/pm2.hpp"
 
+#include "example_config.hpp"
+
 using namespace dsmpm2;
 
 int main(int argc, char** argv) {
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
   cfg.nodes = nodes;
   cfg.driver = madeleine::sisci_sci();  // the paper ran this on the SCI cluster
   pm2::Runtime rt(cfg);
-  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+  dsm::Dsm dsm(rt, example_dsm_config());
   hyperion::Runtime hyp(dsm, mode == "ic" ? hyperion::Detection::kInlineCheck
                                           : hyperion::Detection::kPageFault);
 

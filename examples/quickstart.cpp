@@ -18,6 +18,8 @@
 #include "dsm/dsm.hpp"
 #include "pm2/pm2.hpp"
 
+#include "example_config.hpp"
+
 using namespace dsmpm2;
 
 int main() {
@@ -25,7 +27,7 @@ int main() {
   pm2_cfg.nodes = 4;
   pm2_cfg.driver = madeleine::bip_myrinet();
   pm2::Runtime rt(pm2_cfg);
-  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+  dsm::Dsm dsm(rt, example_dsm_config());
 
   // "Use the built-in 'li_hudak' protocol."
   dsm.set_default_protocol(dsm.builtin().li_hudak);

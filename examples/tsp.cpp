@@ -16,6 +16,8 @@
 #include "dsm/dsm.hpp"
 #include "pm2/pm2.hpp"
 
+#include "example_config.hpp"
+
 using namespace dsmpm2;
 
 int main(int argc, char** argv) {
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
   cfg.nodes = nodes;
   cfg.driver = madeleine::bip_myrinet();
   pm2::Runtime rt(cfg);
-  dsm::Dsm dsm(rt, dsm::DsmConfig{});
+  dsm::Dsm dsm(rt, example_dsm_config());
 
   const dsm::ProtocolId protocol = dsm.protocol_by_name(protocol_name);
   if (protocol == dsm::kInvalidProtocol) {

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 
 namespace dsmpm2::dsm {
@@ -57,6 +58,9 @@ void Dsm::fault(DsmAddr addr, PageId page, Access wanted, bool charge_fault_cost
     proto.read_fault_handler(*this, ctx);
   }
   probe_.mark(node, FaultStep::kDone, rt_.now());
+  if (checker_ != nullptr) {
+    checker_->verify_page(node, page);
+  }
 }
 
 void Dsm::access_read(DsmAddr addr, std::span<std::byte> out) {
@@ -71,6 +75,11 @@ void Dsm::access_read(DsmAddr addr, std::span<std::byte> out) {
       DSM_CHECK_MSG(e.valid, "read from unallocated DSM address");
       if (access_covers(e.access, Access::kRead)) {
         store(node).read_bytes(page, geometry_.offset_in_page(addr), out);
+        if (checker_ != nullptr) {
+          checker_->on_access(node, page, geometry_.offset_in_page(addr),
+                              static_cast<std::uint32_t>(out.size()),
+                              AccessKind::kRead);
+        }
         return;
       }
     }
@@ -92,6 +101,11 @@ void Dsm::access_write(DsmAddr addr, std::span<const std::byte> in) {
         store(node).write_bytes(page, geometry_.offset_in_page(addr), in);
         note_write_span(node, e, geometry_.offset_in_page(addr),
                         static_cast<std::uint32_t>(in.size()));
+        if (checker_ != nullptr) {
+          checker_->on_access(node, page, geometry_.offset_in_page(addr),
+                              static_cast<std::uint32_t>(in.size()),
+                              AccessKind::kWrite);
+        }
         return;
       }
     }
@@ -120,6 +134,11 @@ void Dsm::access_get(DsmAddr addr, std::span<std::byte> out) {
       DSM_CHECK_MSG(e.valid, "get from unallocated DSM address");
       if (access_covers(e.access, Access::kRead)) {
         store(node).read_bytes(page, geometry_.offset_in_page(addr), out);
+        if (checker_ != nullptr) {
+          checker_->on_access(node, page, geometry_.offset_in_page(addr),
+                              static_cast<std::uint32_t>(out.size()),
+                              AccessKind::kRead);
+        }
         return;
       }
     }
@@ -147,6 +166,11 @@ void Dsm::access_put(DsmAddr addr, std::span<const std::byte> in) {
         store(node).write_bytes(page, geometry_.offset_in_page(addr), in);
         note_write_span(node, e, geometry_.offset_in_page(addr),
                         static_cast<std::uint32_t>(in.size()));
+        if (checker_ != nullptr) {
+          checker_->on_access(node, page, geometry_.offset_in_page(addr),
+                              static_cast<std::uint32_t>(in.size()),
+                              AccessKind::kPut);
+        }
         break;
       }
     }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 #include "dsm/epoch.hpp"
 
@@ -60,6 +61,9 @@ void BarrierManager::wait(int barrier_id) {
     report.emplace_back(bytes.begin(), bytes.end());
   }
   pack_blocks(report, args);
+  if (Checker* ck = dsm_.checker()) {
+    ck->on_barrier_arrive(node, barrier_id);
+  }
   const Buffer resume =
       rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
 
@@ -69,6 +73,10 @@ void BarrierManager::wait(int barrier_id) {
   const std::vector<Buffer> payloads = unpack_blocks(u);
   const std::vector<Buffer> watermark_blocks = unpack_blocks(u);
   DSM_CHECK_MSG(u.done(), "barrier resume carries bytes past its payload blocks");
+  // All parties arrived (and joined the barrier clock) before any resume.
+  if (Checker* ck = dsm_.checker()) {
+    ck->on_barrier_resume(node, barrier_id);
+  }
 
   SyncContext acq{barrier_id, node, SyncKind::kBarrier, payloads};
   proto.lock_acquire(dsm_, acq);
@@ -120,6 +128,9 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   std::vector<Buffer> watermark_blocks;
   if (dsm_.config().enable_metadata_gc) {
     const std::vector<std::uint32_t> watermark = dsm_.epoch().fold();
+    if (Checker* ck = dsm_.checker()) {
+      ck->on_watermark_fold(ctx.self, watermark);
+    }
     dsm_.counters().inc(ctx.self, Counter::kGcWatermarkRounds);
     dsm_.epoch().trim_histories(ctx.self, watermark);
     Packer wp;

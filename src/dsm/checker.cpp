@@ -1,0 +1,562 @@
+#include "dsm/checker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "dsm/page_table.hpp"
+#include "dsm/protocol.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::dsm {
+
+namespace {
+
+// Sync-object clock keys: (id << 8) | kind keeps locks and barriers with the
+// same numeric id apart.
+constexpr std::uint8_t kSyncLock = 0;
+constexpr std::uint8_t kSyncBarrier = 1;
+
+std::uint64_t revoke_key(PageId page, NodeId node) {
+  return (static_cast<std::uint64_t>(page) << 32) | node;
+}
+
+std::uint64_t notice_key(NodeId learner, NodeId writer, PageId page) {
+  return (static_cast<std::uint64_t>(learner) << 48) |
+         (static_cast<std::uint64_t>(writer) << 32) | page;
+}
+
+std::string site_str(const AccessSite& s) {
+  std::string out = access_kind_name(s.kind);
+  out += " by node " + std::to_string(s.node);
+  if (s.thread != kInvalidThread) {
+    out += " (thread " + std::to_string(s.thread) + ")";
+  }
+  out += " at t=" + std::to_string(to_us(s.time)) + "us, page " +
+         std::to_string(s.page) + " [" + std::to_string(s.offset) + ".." +
+         std::to_string(s.offset + s.length) + ")";
+  return out;
+}
+
+}  // namespace
+
+const char* access_kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRead:
+      return "read";
+    case AccessKind::kWrite:
+      return "write";
+    case AccessKind::kPut:
+      return "put";
+  }
+  DSM_UNREACHABLE("unknown AccessKind");
+}
+
+std::string RaceReport::describe() const {
+  std::string out = "happens-before race: ";
+  out += site_str(second);
+  out += " conflicts with earlier ";
+  out += site_str(first);
+  out += " and neither happens before the other";
+  if (!sync_hint.empty()) {
+    out += "\n  recent synchronization: " + sync_hint;
+  }
+  return out;
+}
+
+Checker::Checker(Dsm& dsm)
+    : dsm_(dsm),
+      granularity_(std::clamp<std::uint32_t>(dsm.config().checker_granularity, 1,
+                                             dsm.config().page_size)),
+      nodes_(static_cast<std::size_t>(dsm.node_count())),
+      recent_sync_(nodes_),
+      lrc_last_interval_(nodes_, 0) {
+  node_vc_.reserve(nodes_);
+  for (std::size_t n = 0; n < nodes_; ++n) {
+    // Own component starts at 1: clock value 0 is the "never" sentinel in
+    // the shadow cells, so a genuinely unsynchronized first access must
+    // still carry a non-zero epoch.
+    VectorClock vc(nodes_);
+    vc.set(n, 1);
+    node_vc_.push_back(std::move(vc));
+  }
+}
+
+Checker::PageShadow& Checker::shadow(PageId page) {
+  PageShadow& s = shadows_[page];
+  if (s.write.empty()) {
+    const std::uint32_t granules =
+        (dsm_.config().page_size + granularity_ - 1) / granularity_;
+    s.write.resize(granules);
+    s.read.resize(static_cast<std::size_t>(granules) * nodes_);
+  }
+  return s;
+}
+
+ThreadId Checker::current_thread() const {
+  const marcel::Thread* t = dsm_.runtime().threads().self_or_null();
+  return t != nullptr ? t->id() : kInvalidThread;
+}
+
+VectorClock& Checker::sync_clock(std::uint8_t kind, int id) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id)) << 8) | kind;
+  return sync_vc_[key];
+}
+
+void Checker::record_sync(NodeId node, std::string desc) {
+  desc += " @" + std::to_string(to_us(dsm_.runtime().now())) + "us";
+  auto& ring = recent_sync_[node];
+  ring.push_back(std::move(desc));
+  if (ring.size() > kSyncHintDepth) {
+    ring.erase(ring.begin());
+  }
+  dsm_.counters().inc(node, Counter::kCheckerSyncEvents);
+}
+
+void Checker::report_race(const AccessSite& prev, const AccessSite& cur) {
+  RaceReport r;
+  r.first = prev;
+  r.second = cur;
+  for (const NodeId n : {prev.node, cur.node}) {
+    if (!r.sync_hint.empty()) {
+      r.sync_hint += "; ";
+    }
+    r.sync_hint += "node " + std::to_string(n) + ": [";
+    const auto& ring = recent_sync_[n];
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      if (i != 0) {
+        r.sync_hint += ", ";
+      }
+      r.sync_hint += ring[i];
+    }
+    r.sync_hint += "]";
+  }
+  ++race_count_;
+  dsm_.counters().inc(cur.node, Counter::kCheckerRaces);
+  if (dsm_.config().checker_abort) {
+    const std::string msg = r.describe();
+    DSM_CHECK_MSG(false, msg.c_str());
+  }
+  if (races_.size() < kMaxStoredFindings) {
+    races_.push_back(std::move(r));
+  }
+}
+
+void Checker::on_access(NodeId node, PageId page, std::uint32_t offset,
+                        std::uint32_t length, AccessKind kind) {
+  dsm_.counters().inc(node, Counter::kCheckerAccessesTracked);
+  PageShadow& s = shadow(page);
+  const VectorClock& vc = node_vc_[node];
+  const std::uint64_t my_clock = vc.at(node);
+  const ThreadId tid = current_thread();
+  const SimTime now = dsm_.runtime().now();
+
+  const std::uint32_t span = std::max<std::uint32_t>(length, 1);
+  const std::uint32_t g_first = offset / granularity_;
+  const std::uint32_t g_last = (offset + span - 1) / granularity_;
+  const bool is_write = kind != AccessKind::kRead;
+
+  auto site = [&](std::uint32_t g) {
+    AccessSite a;
+    a.node = node;
+    a.thread = tid;
+    a.time = now;
+    a.page = page;
+    a.offset = std::max(offset, g * granularity_);
+    a.length = std::min(offset + span, (g + 1) * granularity_) - a.offset;
+    a.kind = kind;
+    return a;
+  };
+
+  for (std::uint32_t g = g_first; g <= g_last && g < s.write.size(); ++g) {
+    WriteCell& w = s.write[g];
+    const bool flagged = s.reported.contains(g);
+
+    // Conflict against the last write from another node that this node has
+    // not absorbed through the sync graph.
+    if (!flagged && w.clock != 0 && w.node != node &&
+        !vc.covers(w.node, w.clock)) {
+      AccessSite prev;
+      prev.node = w.node;
+      prev.thread = w.thread;
+      prev.time = w.time;
+      prev.page = page;
+      prev.offset = g * granularity_;
+      prev.length = std::min(granularity_, dsm_.config().page_size - prev.offset);
+      prev.kind = w.kind;
+      s.reported.insert(g);
+      report_race(prev, site(g));
+    }
+
+    if (is_write) {
+      // A write also conflicts with unordered reads from other nodes.
+      for (std::size_t n = 0; n < nodes_; ++n) {
+        ReadCell& r = s.read[static_cast<std::size_t>(g) * nodes_ + n];
+        if (n == node || r.clock == 0 || s.reported.contains(g)) {
+          continue;
+        }
+        if (!vc.covers(n, r.clock)) {
+          AccessSite prev;
+          prev.node = static_cast<NodeId>(n);
+          prev.thread = r.thread;
+          prev.time = r.time;
+          prev.page = page;
+          prev.offset = g * granularity_;
+          prev.length =
+              std::min(granularity_, dsm_.config().page_size - prev.offset);
+          prev.kind = AccessKind::kRead;
+          s.reported.insert(g);
+          report_race(prev, site(g));
+        }
+      }
+      w.clock = my_clock;
+      w.node = node;
+      w.thread = tid;
+      w.time = now;
+      w.kind = kind;
+      // The write supersedes the read history of the granule. Dropping the
+      // other nodes' read cells can only hide a subsequent write/read pair
+      // that the write itself already exposed — false negatives only.
+      for (std::size_t n = 0; n < nodes_; ++n) {
+        s.read[static_cast<std::size_t>(g) * nodes_ + n] = ReadCell{};
+      }
+    } else {
+      ReadCell& r = s.read[static_cast<std::size_t>(g) * nodes_ + node];
+      r.clock = my_clock;
+      r.thread = tid;
+      r.time = now;
+    }
+  }
+}
+
+void Checker::on_lock_acquired(NodeId node, int lock_id) {
+  node_vc_[node].join(sync_clock(kSyncLock, lock_id));
+  record_sync(node, "lock " + std::to_string(lock_id) + " acquire");
+}
+
+void Checker::on_lock_release(NodeId node, int lock_id) {
+  sync_clock(kSyncLock, lock_id).join(node_vc_[node]);
+  node_vc_[node].tick(node);
+  record_sync(node, "lock " + std::to_string(lock_id) + " release");
+}
+
+void Checker::on_barrier_arrive(NodeId node, int barrier_id) {
+  sync_clock(kSyncBarrier, barrier_id).join(node_vc_[node]);
+  node_vc_[node].tick(node);
+  record_sync(node, "barrier " + std::to_string(barrier_id) + " arrive");
+}
+
+void Checker::on_barrier_resume(NodeId node, int barrier_id) {
+  // Barrier semantics guarantee every arrival joined the barrier clock
+  // before any participant resumes, so the join here absorbs all of them.
+  node_vc_[node].join(sync_clock(kSyncBarrier, barrier_id));
+  record_sync(node, "barrier " + std::to_string(barrier_id) + " resume");
+}
+
+void Checker::on_page_send(NodeId from, PageId page) {
+  // Deliberately only a tick: a page grant is protocol machinery, not an
+  // application happens-before edge (see header).
+  node_vc_[from].tick(from);
+  (void)page;
+}
+
+void Checker::on_page_arrival(NodeId to, PageId page, NodeId from) {
+  (void)from;
+  verify_page(to, page);
+}
+
+void Checker::on_spawn(NodeId parent, NodeId child) {
+  if (parent == kInvalidNode) {
+    return;
+  }
+  node_vc_[child].join(node_vc_[parent]);
+  node_vc_[parent].tick(parent);
+  record_sync(child, "spawned from node " + std::to_string(parent));
+}
+
+void Checker::on_join(NodeId joiner, NodeId joined) {
+  node_vc_[joiner].join(node_vc_[joined]);
+  node_vc_[joined].tick(joined);
+  record_sync(joiner, "joined thread on node " + std::to_string(joined));
+}
+
+void Checker::on_rebind(NodeId from, NodeId to) {
+  if (from == to) {
+    return;
+  }
+  node_vc_[to].join(node_vc_[from]);
+  node_vc_[from].tick(from);
+  record_sync(to, "thread migrated in from node " + std::to_string(from));
+}
+
+void Checker::fail_invariant(NodeId node, PageId page, std::string what) {
+  ++invariant_failure_count_;
+  dsm_.counters().inc(node, Counter::kCheckerInvariantFails);
+  std::string msg = "protocol invariant violated on node " +
+                    std::to_string(node) + ", page " + std::to_string(page) +
+                    ": " + what;
+  if (dsm_.config().checker_abort) {
+    DSM_CHECK_MSG(false, msg.c_str());
+  }
+  if (invariant_failures_.size() < kMaxStoredFindings) {
+    invariant_failures_.push_back(
+        InvariantFailure{node, page, std::move(what)});
+  }
+}
+
+void Checker::verify_page(NodeId where, PageId page) {
+  // Transient states between the messages of one protocol round are legal;
+  // charge() yields mid-action, so another fiber can observe them. Verify
+  // only quiescent pages.
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_); ++n) {
+    const PageEntry& e = dsm_.table(n).entry(page);
+    if (!e.valid || e.in_transition) {
+      return;
+    }
+  }
+  ProtocolId proto_id = kInvalidProtocol;
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes_); ++n) {
+    const PageEntry& e = dsm_.table(n).entry(page);
+    // Twin implies the page is still mapped: every site that unmaps drops
+    // the twin in the same atomic (yield-free) step. A twin beside a
+    // read-mapped page is legal (lrc/hbrc re-arm keeps it across a
+    // downgrade), a twin beside kNone is a leak.
+    if (e.has_twin && e.access == Access::kNone) {
+      fail_invariant(n, page, "twin retained on an unmapped page");
+    }
+    // Self-clean pending revocations that already completed from the
+    // node's own side (lazy self-invalidation never sends a message).
+    if (e.access == Access::kNone) {
+      pending_revoke_clear(page, n);
+    }
+    proto_id = e.protocol;
+  }
+  if (proto_id == kInvalidProtocol) {
+    return;
+  }
+  const Protocol& proto = dsm_.protocols().get(proto_id);
+  if (proto.checker_verify) {
+    proto.checker_verify(dsm_, page);
+  }
+  (void)where;
+}
+
+void Checker::pending_revoke_add(PageId page, NodeId node) {
+  pending_revoke_.insert(revoke_key(page, node));
+}
+
+void Checker::pending_revoke_clear(PageId page, NodeId node) {
+  pending_revoke_.erase(revoke_key(page, node));
+}
+
+bool Checker::pending_revoke(PageId page, NodeId node) const {
+  return pending_revoke_.contains(revoke_key(page, node));
+}
+
+void Checker::on_lrc_interval(NodeId node, std::uint32_t interval) {
+  if (interval != lrc_last_interval_[node] + 1) {
+    fail_invariant(node, kInvalidPage,
+                   "lrc interval jumped from " +
+                       std::to_string(lrc_last_interval_[node]) + " to " +
+                       std::to_string(interval) +
+                       " (single-writer-per-interval broken)");
+  }
+  lrc_last_interval_[node] = interval;
+}
+
+void Checker::on_notice_learned(NodeId learner, PageId page, NodeId writer,
+                                std::uint32_t interval) {
+  std::uint32_t& floor = notice_floor_[notice_key(learner, writer, page)];
+  if (interval <= floor) {
+    fail_invariant(learner, page,
+                   "write notice for writer " + std::to_string(writer) +
+                       " interval " + std::to_string(interval) +
+                       " arrived at or below the learned floor " +
+                       std::to_string(floor) + " (notice hb-order broken)");
+  } else {
+    floor = interval;
+  }
+}
+
+void Checker::on_watermark_fold(NodeId coordinator,
+                                std::span<const std::uint32_t> watermark) {
+  if (last_watermark_.size() < watermark.size()) {
+    last_watermark_.resize(watermark.size(), 0);
+  }
+  for (std::size_t i = 0; i < watermark.size(); ++i) {
+    if (watermark[i] < last_watermark_[i]) {
+      fail_invariant(coordinator, kInvalidPage,
+                     "epoch watermark for node " + std::to_string(i) +
+                         " regressed from " +
+                         std::to_string(last_watermark_[i]) + " to " +
+                         std::to_string(watermark[i]));
+      continue;
+    }
+    last_watermark_[i] = watermark[i];
+  }
+}
+
+void Checker::verify_span_coverage(NodeId node, PageId page,
+                                   const WriteSpanLog& log,
+                                   std::span<const std::byte> twin,
+                                   std::span<const std::byte> frame) {
+  if (log.whole_page()) {
+    return;
+  }
+  // Every byte the twin diff would find must sit inside a recorded span —
+  // the PR 4 rule (direct frame writes must note_write_span) checked
+  // dynamically against ground truth.
+  const auto& spans = log.spans();
+  std::size_t si = 0;
+  const std::size_t len = std::min(twin.size(), frame.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    if (frame[i] == twin[i]) {
+      continue;
+    }
+    while (si < spans.size() && spans[si].end() <= i) {
+      ++si;
+    }
+    if (si >= spans.size() || spans[si].offset > i) {
+      fail_invariant(node, page,
+                     "byte " + std::to_string(i) +
+                         " differs from the twin but no write span covers it "
+                         "(direct frame write without note_write_span?)");
+      return;
+    }
+  }
+}
+
+std::string Checker::report() const {
+  std::string out;
+  TablePrinter summary({"checker", "count"});
+  summary.add_row({"races", std::to_string(race_count_)});
+  summary.add_row({"invariant_failures", std::to_string(invariant_failure_count_)});
+  out += summary.render();
+  for (const RaceReport& r : races_) {
+    out += r.describe();
+    out += "\n";
+  }
+  for (const InvariantFailure& f : invariant_failures_) {
+    out += "invariant: node " + std::to_string(f.node) + " page " +
+           (f.page == kInvalidPage ? std::string("-") : std::to_string(f.page)) +
+           ": " + f.what + "\n";
+  }
+  return out;
+}
+
+namespace checks {
+
+void single_writer(Dsm& dsm, PageId page, bool exclusive) {
+  Checker* c = dsm.checker();
+  if (c == nullptr) {
+    return;
+  }
+  const auto nodes = static_cast<NodeId>(dsm.node_count());
+  NodeId writer = kInvalidNode;
+  for (NodeId n = 0; n < nodes; ++n) {
+    const PageEntry& e = dsm.table(n).entry(page);
+    if (e.access != Access::kWrite) {
+      continue;
+    }
+    if (c->pending_revoke(page, n)) {
+      continue;
+    }
+    if (writer != kInvalidNode) {
+      c->fail_invariant(n, page,
+                        "two write mappings (nodes " + std::to_string(writer) +
+                            " and " + std::to_string(n) + ")");
+      return;
+    }
+    writer = n;
+  }
+  if (!exclusive || writer == kInvalidNode) {
+    return;
+  }
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (n == writer) {
+      continue;
+    }
+    const PageEntry& e = dsm.table(n).entry(page);
+    if (e.access != Access::kNone && !c->pending_revoke(page, n)) {
+      c->fail_invariant(n, page,
+                        "reader coexists with writer node " +
+                            std::to_string(writer) +
+                            " under an exclusive-writer protocol");
+      return;
+    }
+  }
+}
+
+void copyset_covers_cached(Dsm& dsm, PageId page) {
+  Checker* c = dsm.checker();
+  if (c == nullptr) {
+    return;
+  }
+  const auto nodes = static_cast<NodeId>(dsm.node_count());
+  for (NodeId m = 0; m < nodes; ++m) {
+    const PageEntry& e = dsm.table(m).entry(page);
+    if (e.access == Access::kNone || e.prob_owner == m ||
+        c->pending_revoke(page, m)) {
+      continue;
+    }
+    bool member = false;
+    for (NodeId o = 0; o < nodes && !member; ++o) {
+      member = dsm.table(o).entry(page).copyset.contains(m);
+    }
+    if (!member) {
+      c->fail_invariant(m, page,
+                        "cached copy is in no node's copyset and not pending "
+                        "revocation");
+      return;
+    }
+  }
+}
+
+void home_copyset_covers_cached(Dsm& dsm, PageId page) {
+  Checker* c = dsm.checker();
+  if (c == nullptr) {
+    return;
+  }
+  const auto nodes = static_cast<NodeId>(dsm.node_count());
+  const NodeId home = dsm.table(0).entry(page).home;
+  const PageEntry& home_entry = dsm.table(home).entry(page);
+  for (NodeId m = 0; m < nodes; ++m) {
+    if (m == home) {
+      continue;
+    }
+    const PageEntry& e = dsm.table(m).entry(page);
+    if (e.access == Access::kNone || c->pending_revoke(page, m)) {
+      continue;
+    }
+    if (!home_entry.copyset.contains(m)) {
+      c->fail_invariant(m, page,
+                        "cached copy missing from the home (node " +
+                            std::to_string(home) + ") copyset");
+      return;
+    }
+  }
+}
+
+void owner_only_frames(Dsm& dsm, PageId page) {
+  Checker* c = dsm.checker();
+  if (c == nullptr) {
+    return;
+  }
+  const auto nodes = static_cast<NodeId>(dsm.node_count());
+  for (NodeId m = 0; m < nodes; ++m) {
+    const PageEntry& e = dsm.table(m).entry(page);
+    if (e.access != Access::kNone && e.prob_owner != m) {
+      c->fail_invariant(m, page,
+                        "non-owner maps the page under an owner-only "
+                        "protocol (data never moves)");
+      return;
+    }
+  }
+}
+
+}  // namespace checks
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,239 @@
+// dsmcheck: happens-before race detection + protocol invariant checking.
+//
+// The sim substrate runs every node's fibers in one process, so an
+// unsynchronized conflicting access to a shared page is invisible to ASan,
+// UBSan and TSan alike — the bytes live in one PageStore and the fibers
+// never preempt each other. This module is the DSM-level sanitizer the
+// platform needs instead (the debugging/verification layer the S-DSM surveys
+// call out as missing): a dynamic analysis, always compiled, gated by
+// DsmConfig::enable_checker, with three duties.
+//
+// 1. Sync graph. One vector clock per node plus one per synchronization
+//    object. Lock hand-offs, barrier crossings, thread spawn/join and
+//    migrations publish happens-before edges (tick at the source, join at
+//    the sink); page grants only tick the sender — a fault-driven page pull
+//    is protocol machinery, not application synchronization, and treating
+//    it as an edge would hide real races under li_hudak-style protocols.
+//
+// 2. Shadow access log. Every access_read/access_write/access_put is
+//    recorded per page at checker_granularity (default one diff word, 8
+//    bytes; raise to page_size for page-level). A conflicting pair whose
+//    clocks do not cover each other is a happens-before race, reported once
+//    per granule with full provenance: both sites (node, thread, simulated
+//    time, page, offset, kind) and each node's recent synchronization
+//    events — the chain that *would* have ordered them. get_volatile is
+//    deliberately untracked (it is the platform's sanctioned relaxed read).
+//
+// 3. Protocol invariants, asserted at message and fault boundaries:
+//    generic ones here (twin implies a mapped page; recorded write spans
+//    cover every byte the twin diff finds; the epoch watermark folds
+//    monotonically; lrc intervals step by one; write notices arrive in
+//    happens-before order per (page, writer)) and per-protocol ones via
+//    Protocol::checker_verify, assembled from the `checks` helpers below
+//    (single writer, copyset covers cached frames, owner-only frames).
+//
+// The sink either aborts on first finding (checker_abort, for tests — a
+// DSM_CHECK failure with the full report) or counts and stores findings for
+// Dsm::report() and the checker_* counters. The checker charges NO simulated
+// time and sends NO messages: enabling it never perturbs the virtual-time
+// schedule, so a run with the checker on is bit-identical (in simulated
+// outcome) to the same run with it off. With enable_checker=false the whole
+// thing is one null-pointer test per hook and zero allocations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "dsm/vector_clock.hpp"
+#include "dsm/write_spans.hpp"
+#include "marcel/thread.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+enum class AccessKind : std::uint8_t { kRead = 0, kWrite = 1, kPut = 2 };
+
+const char* access_kind_name(AccessKind k);
+
+/// One side of a race: where, who, when, what.
+struct AccessSite {
+  NodeId node = kInvalidNode;
+  ThreadId thread = kInvalidThread;
+  SimTime time = 0;
+  PageId page = kInvalidPage;
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;
+  AccessKind kind = AccessKind::kRead;
+};
+
+struct RaceReport {
+  AccessSite first;   ///< the shadowed (earlier) access
+  AccessSite second;  ///< the access that exposed the race
+  /// The recent synchronization events of both nodes — the sync chain that
+  /// would have had to order the two accesses.
+  std::string sync_hint;
+  [[nodiscard]] std::string describe() const;
+};
+
+struct InvariantFailure {
+  NodeId node = kInvalidNode;
+  PageId page = kInvalidPage;
+  std::string what;
+};
+
+class Checker final : public marcel::ThreadObserver {
+ public:
+  explicit Checker(Dsm& dsm);
+  ~Checker() override = default;
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  // ---- shadow access tracking (called under the page mutex) ----
+  void on_access(NodeId node, PageId page, std::uint32_t offset,
+                 std::uint32_t length, AccessKind kind);
+
+  // ---- sync-graph edges ----
+  void on_lock_acquired(NodeId node, int lock_id);
+  void on_lock_release(NodeId node, int lock_id);
+  void on_barrier_arrive(NodeId node, int barrier_id);
+  void on_barrier_resume(NodeId node, int barrier_id);
+  /// A page grant leaving `from`: ticks the sender's clock (no edge).
+  void on_page_send(NodeId from, PageId page);
+  /// A page grant landing: protocol invariants are re-checked.
+  void on_page_arrival(NodeId to, PageId page, NodeId from);
+
+  // ---- marcel::ThreadObserver ----
+  void on_spawn(NodeId parent, NodeId child) override;
+  void on_join(NodeId joiner, NodeId joined) override;
+  void on_rebind(NodeId from, NodeId to) override;
+
+  // ---- protocol invariants ----
+  /// Runs the generic invariants plus the page's protocol checker_verify.
+  /// Skipped while any replica of the page is mid-transition (transient
+  /// states between messages are legal).
+  void verify_page(NodeId where, PageId page);
+  /// Reports one invariant violation through the sink.
+  void fail_invariant(NodeId node, PageId page, std::string what);
+
+  /// A cached copy of `page` on `node` is scheduled for revocation: its
+  /// copyset entry was snapshot-cleared (or handed off on the wire) before
+  /// the invalidation message completes. Cleared when the invalidation is
+  /// served; tolerated by the copyset-covers-cached invariant meanwhile.
+  void pending_revoke_add(PageId page, NodeId node);
+  void pending_revoke_clear(PageId page, NodeId node);
+  [[nodiscard]] bool pending_revoke(PageId page, NodeId node) const;
+
+  // ---- lrc_mw-specific invariants ----
+  /// A new write interval was opened on `node`: must be exactly last + 1.
+  void on_lrc_interval(NodeId node, std::uint32_t interval);
+  /// `learner` ingested the notice (page, writer, interval): per
+  /// (learner, page, writer) the intervals must arrive strictly increasing
+  /// (happens-before order of the notice channels).
+  void on_notice_learned(NodeId learner, PageId page, NodeId writer,
+                         std::uint32_t interval);
+  /// The barrier coordinator folded a cluster watermark: element-wise
+  /// non-decreasing across the run (epoch reports only grow).
+  void on_watermark_fold(NodeId coordinator,
+                         std::span<const std::uint32_t> watermark);
+  /// At diff time, every byte where frame differs from twin must be covered
+  /// by the recorded span log (the PR 4 write-span rule, enforced
+  /// dynamically). Called before the log is consumed.
+  void verify_span_coverage(NodeId node, PageId page, const WriteSpanLog& log,
+                            std::span<const std::byte> twin,
+                            std::span<const std::byte> frame);
+
+  // ---- results ----
+  [[nodiscard]] const std::vector<RaceReport>& races() const { return races_; }
+  [[nodiscard]] const std::vector<InvariantFailure>& invariant_failures() const {
+    return invariant_failures_;
+  }
+  [[nodiscard]] std::uint64_t race_count() const { return race_count_; }
+  [[nodiscard]] std::uint64_t invariant_failure_count() const {
+    return invariant_failure_count_;
+  }
+  /// Rendered findings table for Dsm::report().
+  [[nodiscard]] std::string report() const;
+
+ private:
+  /// Shadow state of one granule: the last write epoch (clock 0 = never
+  /// written) and, per node, the last read epoch since that write.
+  struct WriteCell {
+    std::uint64_t clock = 0;
+    NodeId node = kInvalidNode;
+    ThreadId thread = kInvalidThread;
+    SimTime time = 0;
+    AccessKind kind = AccessKind::kWrite;
+  };
+  struct ReadCell {
+    std::uint64_t clock = 0;
+    ThreadId thread = kInvalidThread;
+    SimTime time = 0;
+  };
+  struct PageShadow {
+    std::vector<WriteCell> write;          ///< one per granule
+    std::vector<ReadCell> read;            ///< [granule * nodes + node]
+    std::unordered_set<std::uint32_t> reported;  ///< granules already flagged
+  };
+
+  PageShadow& shadow(PageId page);
+  [[nodiscard]] ThreadId current_thread() const;
+  /// Publishes an edge source: joins `vc` into the sync object's clock and
+  /// ticks the node. `sink` instead joins the object's clock into the node.
+  VectorClock& sync_clock(std::uint8_t kind, int id);
+  void record_sync(NodeId node, std::string desc);
+  void report_race(const AccessSite& prev, const AccessSite& cur);
+
+  Dsm& dsm_;
+  std::uint32_t granularity_;
+  std::size_t nodes_;
+  std::vector<VectorClock> node_vc_;
+  std::unordered_map<std::uint64_t, VectorClock> sync_vc_;
+  std::unordered_map<PageId, PageShadow> shadows_;
+  std::unordered_set<std::uint64_t> pending_revoke_;  ///< page << 32 | node
+  /// Per node: the most recent sync events, newest last (provenance hints).
+  std::vector<std::vector<std::string>> recent_sync_;
+  std::vector<std::uint32_t> lrc_last_interval_;  ///< per node
+  std::unordered_map<std::uint64_t, std::uint32_t> notice_floor_;
+  std::vector<std::uint32_t> last_watermark_;
+  std::vector<RaceReport> races_;
+  std::vector<InvariantFailure> invariant_failures_;
+  std::uint64_t race_count_ = 0;
+  std::uint64_t invariant_failure_count_ = 0;
+  static constexpr std::size_t kMaxStoredFindings = 64;
+  static constexpr std::size_t kSyncHintDepth = 4;
+};
+
+/// Reusable per-protocol invariant callouts for Protocol::checker_verify —
+/// a new protocol picks the ones matching its sharing discipline. All are
+/// no-ops when the checker is disabled and tolerant of pending revocations.
+namespace checks {
+
+/// At most one node write-maps the page; with `exclusive`, a writer also
+/// excludes readers (sequential consistency, li_hudak) unless their
+/// revocation is pending.
+void single_writer(Dsm& dsm, PageId page, bool exclusive);
+
+/// Every node with a mapped copy is the probable owner, a member of some
+/// node's copyset, or pending revocation (dynamic-manager MRSW protocols).
+void copyset_covers_cached(Dsm& dsm, PageId page);
+
+/// Every non-home node with a mapped copy is in the home's copyset or
+/// pending revocation (home-based protocols; the home never revokes lazily
+/// dropped cache entries, so the reverse direction is deliberately not
+/// checked).
+void home_copyset_covers_cached(Dsm& dsm, PageId page);
+
+/// Only the owner maps the page at all (migrate_thread: data never moves).
+void owner_only_frames(Dsm& dsm, PageId page);
+
+}  // namespace checks
+
+}  // namespace dsmpm2::dsm

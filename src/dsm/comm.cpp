@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 
 namespace dsmpm2::dsm {
@@ -123,6 +124,9 @@ void DsmComm::send_page(NodeId to, PageId page, Access granted, bool ownership,
                   owner_hint});
   copyset.serialize(p);
   p.pack_raw(dsm_.store(self).frame(page));  // the real page bytes
+  if (Checker* ck = dsm_.checker()) {
+    ck->on_page_send(self, page);
+  }
   dsm_.probe().mark(to, FaultStep::kPageSent, rt.now());
   rt.rpc().call_async(to, svc_page_, std::move(p), madeleine::MsgKind::kBulk);
 }
@@ -145,11 +149,17 @@ void DsmComm::serve_send_page(pm2::RpcContext& ctx, Unpacker& args) {
   arrival.owner_hint = wire.owner_hint;
   arrival.data = data;
   dsm_.protocol_of(wire.page).receive_page_server(dsm_, arrival);
+  if (Checker* ck = dsm_.checker()) {
+    ck->on_page_arrival(ctx.self, wire.page, ctx.src);
+  }
 }
 
 void DsmComm::invalidate(NodeId to, PageId page, NodeId new_owner) {
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
+  if (Checker* ck = dsm_.checker()) {
+    ck->pending_revoke_add(page, to);
+  }
   Packer p;
   p.pack(InvalidateWire{page, new_owner, kInvalidNode, 0});
   rt.rpc().call(to, svc_invalidate_, std::move(p));  // blocks for the ack
@@ -159,6 +169,9 @@ void DsmComm::invalidate_async(NodeId to, PageId page, NodeId new_owner,
                                NodeId ack_to, bool ack_to_release_collector) {
   auto& rt = dsm_.runtime();
   dsm_.counters().inc(rt.self_node(), Counter::kInvalidationsSent);
+  if (Checker* ck = dsm_.checker()) {
+    ck->pending_revoke_add(page, to);
+  }
   Packer p;
   p.pack(InvalidateWire{page, new_owner, ack_to,
                         ack_to_release_collector ? std::uint8_t{1} : std::uint8_t{0}});
@@ -175,6 +188,10 @@ void DsmComm::serve_invalidate(pm2::RpcContext& ctx, Unpacker& args) {
   dsm_.charge(dsm_.costs().invalidate_serve);
   InvalidateRequest inv{wire.page, ctx.src, wire.new_owner, ctx.self};
   dsm_.protocol_of(wire.page).invalidate_server(dsm_, inv);
+  if (Checker* ck = dsm_.checker()) {
+    ck->pending_revoke_clear(wire.page, ctx.self);
+    ck->verify_page(ctx.self, wire.page);
+  }
   // Every invalidation is acknowledged once the protocol action completed:
   // either through the blocking call's reply channel or with an explicit ack
   // to a collector on the initiator (fan-out rounds).

@@ -92,6 +92,18 @@ struct DsmConfig {
   /// entries immediately — later pulls that miss them fall back to a home
   /// page fetch. 0 restricts flushing to barrier crossings.
   std::uint32_t gc_interval_hint = 0;
+  /// Enables dsmcheck, the happens-before race detector + protocol invariant
+  /// checker (dsm/checker.hpp). The checker charges no simulated time and
+  /// sends no messages, so the virtual-time schedule of a checked run is
+  /// identical to the unchecked one; off costs one null-pointer test per
+  /// hook and zero allocations.
+  bool enable_checker = false;
+  /// Shadow-tracking granularity in bytes (clamped to [1, page_size]).
+  /// Default is one diff word; raise to page_size for page-level tracking.
+  std::uint32_t checker_granularity = 8;
+  /// When true the first finding aborts with a full report (for tests);
+  /// otherwise findings are counted and listed in Dsm::report().
+  bool checker_abort = false;
 };
 
 }  // namespace dsmpm2::dsm

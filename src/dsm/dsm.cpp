@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "dsm/checker.hpp"
 #include "protocols/builtin.hpp"
 
 namespace dsmpm2::dsm {
@@ -28,9 +29,17 @@ Dsm::Dsm(pm2::Runtime& runtime, DsmConfig config)
   builtin_ = protocols::register_builtins(*this);
   default_protocol_ = builtin_.li_hudak;
   probe_.set_enabled(config_.enable_fault_probe);
+  if (config_.enable_checker) {
+    checker_ = std::make_unique<Checker>(*this);
+    rt_.threads().set_observer(checker_.get());
+  }
 }
 
-Dsm::~Dsm() = default;
+Dsm::~Dsm() {
+  if (checker_ != nullptr) {
+    rt_.threads().set_observer(nullptr);
+  }
+}
 
 void Dsm::set_default_protocol(ProtocolId id) {
   DSM_CHECK(id >= 0 && id < registry_.count());
@@ -118,6 +127,9 @@ std::string Dsm::report() const {
                       std::to_string(g.barrier_history_bytes)});
   }
   out += retained.render();
+  if (checker_ != nullptr) {
+    out += checker_->report();
+  }
   return out;
 }
 

@@ -44,6 +44,8 @@
 
 namespace dsmpm2::dsm {
 
+class Checker;
+
 /// Identifiers of the protocols that ship with DSM-PM2 (paper Table 2, plus
 /// the hybrid built from library routines described in §2.3).
 struct BuiltinProtocols {
@@ -158,6 +160,8 @@ class Dsm {
   [[nodiscard]] LockManager& locks() { return locks_; }
   [[nodiscard]] BarrierManager& barriers() { return barriers_; }
   [[nodiscard]] EpochManager& epoch() { return epoch_; }
+  /// dsmcheck (null unless DsmConfig::enable_checker).
+  [[nodiscard]] Checker* checker() { return checker_.get(); }
 
   /// Retained consistency-metadata footprint of one node — the epoch-GC
   /// observability gauges (also rendered in report()). With GC on these stay
@@ -233,6 +237,9 @@ class Dsm {
   LockManager locks_;
   BarrierManager barriers_;
   EpochManager epoch_;
+  /// Constructed last (it reads config_ and the node count) and registered
+  /// as the thread observer; unregistered in ~Dsm.
+  std::unique_ptr<Checker> checker_;
 };
 
 }  // namespace dsmpm2::dsm

@@ -46,6 +46,10 @@ const char* counter_name(Counter c) {
     case Counter::kGcHistoryBlocksTrimmed: return "gc_history_blocks_trimmed";
     case Counter::kGcHomeRefetches: return "gc_home_refetches";
     case Counter::kGcStaleGrants: return "gc_stale_grants";
+    case Counter::kCheckerRaces: return "checker_races";
+    case Counter::kCheckerInvariantFails: return "checker_invariant_fails";
+    case Counter::kCheckerAccessesTracked: return "checker_accesses_tracked";
+    case Counter::kCheckerSyncEvents: return "checker_sync_events";
     case Counter::kCount: break;
   }
   return "?";

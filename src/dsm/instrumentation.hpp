@@ -63,6 +63,10 @@ enum class Counter : int {
   kGcHistoryBlocksTrimmed,  ///< lock/barrier payload-history blocks reclaimed
   kGcHomeRefetches,      ///< page pulls restarted from home after a diff miss
   kGcStaleGrants,        ///< grants/resumes whose cursor sat below a trimmed floor
+  kCheckerRaces,         ///< happens-before races reported by dsmcheck
+  kCheckerInvariantFails,  ///< protocol invariant violations reported by dsmcheck
+  kCheckerAccessesTracked,  ///< accesses shadow-logged by dsmcheck
+  kCheckerSyncEvents,    ///< happens-before edges recorded by dsmcheck
   kCount  // sentinel
 };
 

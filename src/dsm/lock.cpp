@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 
 namespace dsmpm2::dsm {
@@ -50,6 +51,9 @@ void LockManager::acquire(int lock_id) {
   Unpacker u(grant);
   const std::vector<Buffer> payloads = unpack_blocks(u);
   DSM_CHECK_MSG(u.done(), "lock grant carries bytes past its payload blocks");
+  if (Checker* ck = dsm_.checker()) {
+    ck->on_lock_acquired(node, lock_id);
+  }
   // Consistency action *after having acquired* the lock (Table 1), fed with
   // whatever the releases before this grant had to say.
   const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
@@ -60,6 +64,11 @@ void LockManager::acquire(int lock_id) {
 void LockManager::release(int lock_id) {
   auto& rt = dsm_.runtime();
   const NodeId node = rt.self_node();
+  // Happens-before publication covers everything this node did up to here;
+  // the next grantee joins it back at its acquire.
+  if (Checker* ck = dsm_.checker()) {
+    ck->on_lock_release(node, lock_id);
+  }
   // Consistency action *before releasing* the lock (Table 1); its payload
   // rides the release message to the manager.
   const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));

@@ -181,6 +181,12 @@ struct Protocol {
                      std::uint64_t& notice_list_bytes)>
       epoch_retained;
 
+  /// dsmcheck invariant callout: verifies this protocol's sharing
+  /// discipline for one quiescent page (no replica in transition). Optional;
+  /// assemble from the `checks` helpers in dsm/checker.hpp. Must not yield,
+  /// charge time or send messages.
+  std::function<void(Dsm&, PageId)> checker_verify;
+
   /// Factory for per-node protocol state.
   std::function<std::unique_ptr<ProtocolState>()> make_node_state;
 

@@ -9,6 +9,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 
 namespace dsmpm2::dsm::lib {
@@ -146,6 +147,12 @@ void serve_write_dynamic(Dsm& dsm, const PageRequest& req) {
       e.copyset.clear();
       e.access = Access::kNone;
       e.prob_owner = req.requester;
+      // The old copyset rides the grant; its members stay cached until the
+      // new owner invalidates them — tell the checker they are in flight.
+      if (Checker* ck = dsm.checker()) {
+        transfer.for_each(
+            [&](NodeId m) { ck->pending_revoke_add(req.page, m); });
+      }
     } else {
       forward_to = e.prob_owner;
       // Li/Hudak forwarding heuristic: the requester will be the new owner.
@@ -287,6 +294,10 @@ void sweep_copyset_invalidations(Dsm& dsm, NodeId node,
     r.targets.erase(node);
     e.copyset.clear();
     e.dirty = false;
+    // Snapshot-cleared members stay cached until the fan-out reaches them.
+    if (Checker* ck = dsm.checker()) {
+      r.targets.for_each([&](NodeId m) { ck->pending_revoke_add(page, m); });
+    }
     rounds.push_back(std::move(r));
   }
   run_release_invalidations(dsm, node, std::move(rounds));
@@ -455,6 +466,12 @@ Diff compute_twin_diff(Dsm& dsm, PageEntry& e, PageId page, NodeId node) {
                   dsm.costs().diff_scan_per_byte_us);
     diff = Diff::compute_from_spans(e.write_spans.spans(),
                                     dsm.store(node).twin(page), frame);
+    // Ground-truth check of the PR 4 span rule: every byte a full twin scan
+    // would find must be covered by the recorded log.
+    if (Checker* ck = dsm.checker()) {
+      ck->verify_span_coverage(node, page, e.write_spans,
+                               dsm.store(node).twin(page), frame);
+    }
     dsm.counters().inc(node, Counter::kSpanDiffHits);
   } else {
     dsm.charge_us(static_cast<double>(frame.size()) *
@@ -558,6 +575,10 @@ void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival) {
       // The releaser flush-invalidated its own copy and the round below
       // drops everyone else's: no replicas remain.
       e.copyset.clear();
+      if (Checker* ck = dsm.checker()) {
+        third_party.for_each(
+            [&](NodeId m) { ck->pending_revoke_add(arrival.page, m); });
+      }
     }
   }
   if (!arrival.response_to_invalidation && !third_party.empty()) {
@@ -655,7 +676,11 @@ void lrc_store_interval(Dsm& dsm, LrcState& st, PageId page, NodeId node,
                         std::uint32_t interval, Diff diff) {
   if (diff.empty()) return;
   st.diff_store[page].emplace(interval, std::move(diff));
-  learn_notice(st, WriteNotice{page, node, interval});
+  if (learn_notice(st, WriteNotice{page, node, interval})) {
+    if (Checker* ck = dsm.checker()) {
+      ck->on_notice_learned(node, page, node, interval);
+    }
+  }
   dsm.counters().inc(node, Counter::kWriteNoticesCreated);
 }
 
@@ -873,7 +898,12 @@ Packer lrc_release(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
   for (const PageId page : pages) {
     Diff diff = lrc_take_twin_diff(dsm, page, node);
     if (diff.empty()) continue;
-    if (interval == 0) interval = ++st.interval;
+    if (interval == 0) {
+      interval = ++st.interval;
+      if (Checker* ck = dsm.checker()) {
+        ck->on_lrc_interval(node, interval);
+      }
+    }
     const std::size_t before = st.notices_by_page[page].size();
     lrc_store_interval(dsm, st, page, node, interval, std::move(diff));
     // The frame already contains this write, so the applied prefix may step
@@ -934,7 +964,11 @@ void lrc_revoke_page(Dsm& dsm, LrcState& st, PageId page, NodeId node) {
     dsm.store(node).drop_twin(page);
     e.has_twin = false;
     st.twinned.erase(page);
-    lrc_store_interval(dsm, st, page, node, ++st.interval, std::move(diff));
+    const std::uint32_t interval = ++st.interval;
+    if (Checker* ck = dsm.checker()) {
+      ck->on_lrc_interval(node, interval);
+    }
+    lrc_store_interval(dsm, st, page, node, interval, std::move(diff));
   }
   e.access = Access::kNone;
   e.dirty = false;
@@ -959,6 +993,9 @@ void lrc_acquire(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
       DSM_CHECK_MSG(n.node < static_cast<NodeId>(dsm.node_count()),
                     "write notice names a writer outside the cluster");
       if (!learn_notice(st, n)) continue;
+      if (Checker* ck = dsm.checker()) {
+        ck->on_notice_learned(node, n.page, n.node, n.interval);
+      }
       if (n.node == node) continue;  // own writes: frame/store already carry them
       dsm.counters().inc(node, Counter::kWriteNoticesApplied);
       marcel::MutexLock l(tbl.mutex(n.page));

@@ -1,0 +1,82 @@
+// Vector clocks for the DSM dynamic checker (dsmcheck).
+//
+// One logical clock component per node of the simulated cluster. The checker
+// keeps one vector clock per node plus one per synchronization object (lock,
+// barrier); happens-before edges join clocks exactly where the DSM layer's
+// synchronization actually orders execution:
+//
+//   lock release -> acquire     release joins the lock's clock, the grantee
+//                               joins it back (transitively, hand-off chains)
+//   barrier arrive -> resume    every arrival joins the barrier's clock
+//                               before any resume reads it
+//   thread spawn / join         parent node -> child node and back
+//   thread migration            source node -> destination node
+//
+// Page grants deliberately only *tick* the sender's clock: a page fault that
+// pulls a copy is a protocol event, not an application synchronization, and
+// treating it as a happens-before edge would mask real application races
+// under fault-driven protocols such as li_hudak.
+//
+// Clocks are node-level, not thread-level: fibers of one node genuinely share
+// memory (paper §3, the sim substrate is one process), so intra-node accesses
+// can never race. The coarsening only ever *adds* happens-before edges, so it
+// can hide a race (false negative) but can never invent one (false positive).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsmpm2::dsm {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t components) : c_(components, 0) {}
+
+  /// Component `i`, 0 if the clock never saw node i. Clock value 0 doubles
+  /// as the "never synchronized / never accessed" sentinel throughout the
+  /// checker, so live node clocks start their own component at 1.
+  [[nodiscard]] std::uint64_t at(std::size_t i) const {
+    return i < c_.size() ? c_[i] : 0;
+  }
+
+  void ensure(std::size_t components) {
+    if (c_.size() < components) c_.resize(components, 0);
+  }
+
+  /// Advances component `i` — called on the *source* side of every
+  /// happens-before edge publication.
+  void tick(std::size_t i) {
+    ensure(i + 1);
+    ++c_[i];
+  }
+
+  void set(std::size_t i, std::uint64_t v) {
+    ensure(i + 1);
+    c_[i] = v;
+  }
+
+  /// Element-wise max — called on the *sink* side of an edge.
+  void join(const VectorClock& other) {
+    ensure(other.c_.size());
+    for (std::size_t i = 0; i < other.c_.size(); ++i) {
+      c_[i] = std::max(c_[i], other.c_[i]);
+    }
+  }
+
+  /// True iff an event stamped (node, clock) happens-before (or equals) the
+  /// point this clock represents: the event was published at `clock` on
+  /// `node` and this clock has since absorbed it.
+  [[nodiscard]] bool covers(std::size_t node, std::uint64_t clock) const {
+    return clock <= at(node);
+  }
+
+  [[nodiscard]] std::size_t size() const { return c_.size(); }
+
+ private:
+  std::vector<std::uint64_t> c_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -27,6 +27,14 @@ Thread& ThreadSystem::spawn(NodeId node, std::string name, std::function<void()>
   };
   t->fiber_ = sched_.spawn(t->name_, std::move(body), stack_size);
   t->fiber_->set_user_data(t);
+  if (observer_ != nullptr) {
+    // Inside an inline RPC service the current fiber is an unrelated
+    // bystander, not the logical parent — report "no parent" and let the
+    // caller publish the true edge via notify_spawn_edge.
+    const Thread* parent = inline_depth_ == 0 ? self_or_null() : nullptr;
+    observer_->on_spawn(parent != nullptr ? parent->node() : kInvalidNode,
+                        t->node_);
+  }
   return *t;
 }
 
@@ -38,17 +46,30 @@ Thread& ThreadSystem::spawn_daemon(NodeId node, std::string name,
 }
 
 void ThreadSystem::join(Thread& t) {
-  if (t.finished_) return;
-  sim::Fiber* self_fiber = sched_.current();
-  DSM_CHECK_MSG(self_fiber != nullptr, "join outside thread context");
-  t.joiners_.push_back(self_fiber);
-  sched_.block();
-  DSM_CHECK(t.finished_);
+  if (!t.finished_) {
+    sim::Fiber* self_fiber = sched_.current();
+    DSM_CHECK_MSG(self_fiber != nullptr, "join outside thread context");
+    t.joiners_.push_back(self_fiber);
+    sched_.block();
+    DSM_CHECK(t.finished_);
+  }
+  // The happens-before edge is published at join *return* — also on the
+  // already-finished fast path, where the edge is just as real.
+  if (observer_ != nullptr) {
+    const Thread* joiner = self_or_null();
+    if (joiner != nullptr) {
+      observer_->on_join(joiner->node(), t.node());
+    }
+  }
 }
 
 Thread& ThreadSystem::self() const {
   Thread* t = self_or_null();
   DSM_CHECK_MSG(t != nullptr, "marcel::self() outside thread context");
+  DSM_CHECK_MSG(inline_depth_ == 0,
+                "marcel::self() inside a kInline RPC service: the current "
+                "fiber is whichever one triggered delivery, not the logical "
+                "handler — use RpcContext::self/src instead");
   return *t;
 }
 
@@ -65,8 +86,12 @@ void ThreadSystem::charge(SimTime work) {
 
 void ThreadSystem::rebind(Thread& t, NodeId node) {
   DSM_CHECK(node < static_cast<NodeId>(cluster_.size()));
+  const NodeId from = t.node_;
   t.node_ = node;
   ++t.migrations_;
+  if (observer_ != nullptr && from != node) {
+    observer_->on_rebind(from, node);
+  }
 }
 
 }  // namespace dsmpm2::marcel

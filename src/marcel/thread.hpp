@@ -29,6 +29,19 @@ namespace dsmpm2::marcel {
 
 class ThreadSystem;
 
+/// Observes thread lifecycle events that carry happens-before meaning
+/// (spawn, join, migration). Registered by the DSM checker; all callbacks
+/// must be cheap and must not yield.
+class ThreadObserver {
+ public:
+  virtual ~ThreadObserver() = default;
+  /// `parent` is kInvalidNode when the spawn has no thread context (the
+  /// entry thread, or creation from an event handler).
+  virtual void on_spawn(NodeId parent, NodeId child) { (void)parent; (void)child; }
+  virtual void on_join(NodeId joiner, NodeId joined) { (void)joiner; (void)joined; }
+  virtual void on_rebind(NodeId from, NodeId to) { (void)from; (void)to; }
+};
+
 class Thread {
  public:
   [[nodiscard]] ThreadId id() const { return id_; }
@@ -100,11 +113,30 @@ class ThreadSystem {
   /// Used by the PM2 migration layer to rebind a thread.
   void rebind(Thread& t, NodeId node);
 
+  /// Lifecycle observer (one at a time; null disables).
+  void set_observer(ThreadObserver* obs) { observer_ = obs; }
+  [[nodiscard]] ThreadObserver* observer() const { return observer_; }
+  /// Publishes a spawn edge whose true parent the spawn() call site cannot
+  /// see (remote creation: the RPC handler spawns on behalf of the caller).
+  void notify_spawn_edge(NodeId parent, NodeId child) {
+    if (observer_ != nullptr) observer_->on_spawn(parent, child);
+  }
+
+  /// Inline-service guard: RPC kInline handlers run in delivery context,
+  /// where sched_.current() is whatever fiber happened to trigger delivery —
+  /// self() there silently returns the *wrong* thread. The RPC layer brackets
+  /// inline dispatch with these; self() asserts the depth is zero.
+  void enter_inline_service() { ++inline_depth_; }
+  void exit_inline_service() { --inline_depth_; }
+  [[nodiscard]] bool in_inline_service() const { return inline_depth_ > 0; }
+
  private:
   sim::Scheduler& sched_;
   sim::Cluster& cluster_;
   std::vector<std::unique_ptr<Thread>> threads_;
   ThreadId next_id_ = 0;
+  ThreadObserver* observer_ = nullptr;
+  int inline_depth_ = 0;
 };
 
 }  // namespace dsmpm2::marcel

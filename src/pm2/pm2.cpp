@@ -67,6 +67,9 @@ marcel::Thread& Runtime::spawn_on(NodeId node, std::string name,
   Packer args;
   args.pack(token);
   args.pack_string(name);
+  // The spawn RPC handler runs with no thread context, so the observer
+  // cannot see the true parent; publish the cross-node spawn edge here.
+  threads_.notify_spawn_edge(caller->node(), node);
   rpc_.call_async(node, spawn_service_, std::move(args));
   started.wait();
   DSM_CHECK(created != nullptr);

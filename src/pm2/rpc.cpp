@@ -117,7 +117,13 @@ void Rpc::on_delivery(NodeId self, madeleine::Message msg) {
   if (svc.dispatch == Dispatch::kInline) {
     RpcContext ctx{*this, self, header.src, header.token,
                    std::span<const Buffer>(boxed->fragments)};
+    // Bracket inline dispatch so marcel::self() can assert: in delivery
+    // context the current fiber is whichever one triggered delivery, and
+    // handlers that call self() get a silently wrong thread (then usually a
+    // deadlock). Use ctx.self / ctx.src inside inline handlers.
+    threads_.enter_inline_service();
     svc.handler(ctx, peek);
+    threads_.exit_inline_service();
     return;
   }
 

@@ -11,6 +11,7 @@
 // copies; the invalidations are pushed eagerly at the release.
 #include <memory>
 
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -64,6 +65,12 @@ Protocol make_erc_sw() {
   };
   p.make_node_state = [] {
     return std::make_unique<dsm::lib::MrswRcState>();
+  };
+
+  // dsmcheck: single writer, but readers may legally hold stale copies
+  // until the writer's release sweep reaches them.
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::single_writer(d, page, /*exclusive=*/false);
   };
   return p;
 }

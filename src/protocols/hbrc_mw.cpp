@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -89,6 +90,12 @@ Protocol make_hbrc_mw() {
 
   p.make_node_state = [] {
     return std::make_unique<dsm::lib::HomeRcState>();
+  };
+
+  // dsmcheck: home-based — every cached non-home replica is in the home's
+  // copyset (modulo in-flight invalidation rounds).
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::home_copyset_covers_cached(d, page);
   };
   return p;
 }

@@ -10,6 +10,7 @@
 // invalidates the read copies. Demonstrates that a perfectly usable protocol
 // is a handful of library calls — the platform's raison d'être.
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -57,6 +58,11 @@ Protocol make_hybrid_rw() {
 
   p.lock_acquire = dsm::lib::sync_noop;
   p.lock_release = dsm::lib::sync_release_noop;
+
+  // dsmcheck: reads replicate, a write grant excludes every other copy.
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::single_writer(d, page, /*exclusive=*/true);
+  };
   return p;
 }
 

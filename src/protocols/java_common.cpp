@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -197,6 +198,12 @@ Protocol make_java_protocol(std::string name, dsm::AccessMode mode) {
   };
 
   p.make_node_state = [] { return std::make_unique<JavaState>(); };
+
+  // dsmcheck: home-based multiple-writer — cached replicas register with
+  // the home; lazy self-drops leave only the tolerated over-approximation.
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::home_copyset_covers_cached(d, page);
+  };
   return p;
 }
 

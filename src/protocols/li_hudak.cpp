@@ -8,6 +8,7 @@
 // In the multithreaded adaptation the single writer is a *node*, not a
 // thread: all threads on the owning node share the same copy and may write it
 // concurrently; concurrent faulters on one page serialize on the page entry.
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -57,6 +58,13 @@ Protocol make_li_hudak() {
   // Sequential consistency attaches no actions to synchronization events.
   p.lock_acquire = dsm::lib::sync_noop;
   p.lock_release = dsm::lib::sync_release_noop;
+
+  // dsmcheck: SC means one writer excludes everyone, and every replica is
+  // reachable through some copyset (dynamic distributed manager).
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::single_writer(d, page, /*exclusive=*/true);
+    dsm::checks::copyset_covers_cached(d, page);
+  };
   return p;
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -115,6 +116,12 @@ Protocol make_lrc_mw() {
   };
 
   p.make_node_state = [] { return std::make_unique<dsm::lib::LrcState>(); };
+
+  // dsmcheck: home-based; lazy self-revocation means the home copyset only
+  // ever over-approximates, which is the direction the check tolerates.
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::home_copyset_covers_cached(d, page);
+  };
   return p;
 }
 

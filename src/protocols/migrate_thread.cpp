@@ -14,6 +14,7 @@
 // after migration the thread repeats the access at the *same* virtual
 // address, which designates the same datum.
 #include "common/check.hpp"
+#include "dsm/checker.hpp"
 #include "dsm/protocol_lib.hpp"
 #include "protocols/builtin.hpp"
 
@@ -53,6 +54,11 @@ Protocol make_migrate_thread() {
 
   p.lock_acquire = dsm::lib::sync_noop;
   p.lock_release = dsm::lib::sync_release_noop;
+
+  // dsmcheck: data never moves — only the owner may map a frame.
+  p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::owner_only_frames(d, page);
+  };
   return p;
 }
 

@@ -1,0 +1,370 @@
+// dsmcheck end-to-end: deliberately racy workloads are flagged with full
+// provenance, properly synchronized workloads stay clean under every
+// protocol, the checker never perturbs the simulated schedule, and an
+// injected protocol-invariant violation dies loudly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dsm/checker.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+
+DsmConfig checked(bool abort_on_finding = false) {
+  DsmConfig cfg;
+  cfg.enable_checker = true;
+  cfg.checker_abort = abort_on_finding;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Racy workloads must be flagged, with both sites in the report.
+// ---------------------------------------------------------------------------
+
+TEST(RaceDetector, UnsyncedWriteWriteIsFlagged) {
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked());
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  const PageId page = fx.dsm.geometry().page_of(x);
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(1, "writer1", [&] { fx.dsm.write<int>(x, 1); });
+    // This write races the child's: the spawn edge orders the child AFTER
+    // everything before the spawn, not against this later write.
+    fx.dsm.write<int>(x, 2);
+    fx.rt.threads().join(t);
+  });
+  ASSERT_GE(fx.dsm.checker()->race_count(), 1u);
+  const RaceReport& r = fx.dsm.checker()->races().front();
+  EXPECT_EQ(r.first.page, page);
+  EXPECT_EQ(r.second.page, page);
+  EXPECT_NE(r.first.node, r.second.node);
+  EXPECT_EQ(r.first.kind, AccessKind::kWrite);
+  EXPECT_EQ(r.second.kind, AccessKind::kWrite);
+  // The rendered report names both sites and the page.
+  const std::string msg = r.describe();
+  EXPECT_NE(msg.find("write"), std::string::npos);
+  EXPECT_NE(msg.find("page " + std::to_string(page)), std::string::npos);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kCheckerRaces),
+            fx.dsm.checker()->race_count());
+}
+
+TEST(RaceDetector, UnsyncedReadWriteIsFlagged) {
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked());
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  const PageId page = fx.dsm.geometry().page_of(x);
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(1, "reader", [&] { (void)fx.dsm.read<int>(x); });
+    fx.dsm.write<int>(x, 7);
+    fx.rt.threads().join(t);
+  });
+  ASSERT_GE(fx.dsm.checker()->race_count(), 1u);
+  const RaceReport& r = fx.dsm.checker()->races().front();
+  EXPECT_EQ(r.first.page, page);
+  EXPECT_NE(r.first.node, r.second.node);
+  // One side is the read, the other the write (order depends on schedule).
+  const bool read_write = (r.first.kind == AccessKind::kRead &&
+                           r.second.kind == AccessKind::kWrite) ||
+                          (r.first.kind == AccessKind::kWrite &&
+                           r.second.kind == AccessKind::kRead);
+  EXPECT_TRUE(read_write);
+}
+
+TEST(RaceDetector, PutVsFaultingWriteIsFlagged) {
+  // access_put interleaved with a page-fault write, no ordering: flagged,
+  // and the put is identified as such in the provenance.
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked());
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long));
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(1, "writer", [&] { fx.dsm.write<long>(x, 1); });
+    fx.dsm.put<long>(x, 2);
+    fx.rt.threads().join(t);
+  });
+  ASSERT_GE(fx.dsm.checker()->race_count(), 1u);
+  const RaceReport& r = fx.dsm.checker()->races().front();
+  EXPECT_TRUE(r.first.kind == AccessKind::kPut ||
+              r.second.kind == AccessKind::kPut);
+  EXPECT_NE(r.describe().find("put"), std::string::npos);
+}
+
+TEST(RaceDetector, BarrierRemovedBecomesRacy) {
+  // The racy twin of BarrierOrderedPhasesAreClean below: producer and
+  // consumer separated by nothing at all.
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked());
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(1, "consumer", [&] { (void)fx.dsm.read<int>(x); });
+    fx.dsm.write<int>(x, 5);
+    fx.rt.threads().join(t);
+  });
+  EXPECT_GE(fx.dsm.checker()->race_count(), 1u);
+}
+
+TEST(RaceDetector, RacesAreDeduplicatedPerGranule) {
+  // Hammering the same racy word reports one race, not one per access.
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked());
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(1, "writer1", [&] {
+      for (int i = 0; i < 10; ++i) fx.dsm.write<int>(x, i);
+    });
+    for (int i = 0; i < 10; ++i) fx.dsm.write<int>(x, 100 + i);
+    fx.rt.threads().join(t);
+  });
+  EXPECT_EQ(fx.dsm.checker()->race_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// False-positive guards: synchronized workloads are clean under every
+// protocol, and the checker does not change the simulated outcome.
+// ---------------------------------------------------------------------------
+
+struct Param {
+  const char* protocol;
+  int nodes;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(info.param.protocol) + "_n" +
+         std::to_string(info.param.nodes);
+}
+
+const Param kAllProtocols[] = {
+    {"li_hudak", 4},  {"migrate_thread", 4}, {"erc_sw", 4}, {"hbrc_mw", 4},
+    {"lrc_mw", 4},    {"java_ic", 4},        {"java_pf", 4}, {"hybrid_rw", 4},
+};
+
+class CheckedProtocolTest : public ::testing::TestWithParam<Param> {
+ protected:
+  static bool uses_get_put(const char* name) {
+    return std::string(name) == "java_ic" || std::string(name) == "java_pf";
+  }
+  template <typename T>
+  static T load(Dsm& d, bool getput, DsmAddr a) {
+    return getput ? d.get<T>(a) : d.read<T>(a);
+  }
+  template <typename T>
+  static void store(Dsm& d, bool getput, DsmAddr a, T v) {
+    if (getput) {
+      d.put<T>(a, v);
+    } else {
+      d.write<T>(a, v);
+    }
+  }
+
+  struct Outcome {
+    long counter = 0;
+    SimTime end_time = 0;
+    std::uint64_t messages = 0;
+  };
+
+  /// The seeded equivalence workload: a lock-protected counter hammered
+  /// from every node, then a barrier phase with a producer/consumer pair.
+  Outcome run_workload(const char* proto_name, int nodes, bool with_checker) {
+    DsmFixture fx(nodes, madeleine::bip_myrinet(),
+                  with_checker ? checked(/*abort_on_finding=*/false)
+                               : DsmConfig{});
+    const bool gp = uses_get_put(proto_name);
+    fx.dsm.set_default_protocol(fx.dsm.protocol_by_name(proto_name));
+    const DsmAddr counter = fx.dsm.dsm_malloc(sizeof(long));
+    const DsmAddr flag = fx.dsm.dsm_malloc(sizeof(long));
+    const int lock = fx.dsm.create_lock();
+    const int barrier = fx.dsm.create_barrier(nodes);
+    Outcome out;
+    const auto stats = fx.run([&] {
+      std::vector<marcel::Thread*> workers;
+      for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+        workers.push_back(&fx.rt.spawn_on(n, "worker", [&, n] {
+          for (int i = 0; i < 3; ++i) {
+            fx.dsm.lock_acquire(lock);
+            const long v = load<long>(fx.dsm, gp, counter);
+            store<long>(fx.dsm, gp, counter, v + 1);
+            fx.dsm.lock_release(lock);
+          }
+          if (n == 0) store<long>(fx.dsm, gp, flag, 77L);
+          fx.dsm.barrier_wait(barrier);
+          EXPECT_EQ(load<long>(fx.dsm, gp, flag), 77L);
+        }));
+      }
+      for (auto* w : workers) fx.rt.threads().join(*w);
+      fx.dsm.lock_acquire(lock);
+      out.counter = load<long>(fx.dsm, gp, counter);
+      fx.dsm.lock_release(lock);
+    });
+    out.end_time = stats.end_time;
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+      out.messages += fx.rt.network().stats(n).messages_sent;
+    }
+    if (with_checker) {
+      EXPECT_EQ(fx.dsm.checker()->race_count(), 0u)
+          << fx.dsm.checker()->report();
+      EXPECT_EQ(fx.dsm.checker()->invariant_failure_count(), 0u)
+          << fx.dsm.checker()->report();
+      EXPECT_GT(fx.dsm.counters().total(Counter::kCheckerAccessesTracked), 0u);
+      EXPECT_GT(fx.dsm.counters().total(Counter::kCheckerSyncEvents), 0u);
+    }
+    return out;
+  }
+};
+
+TEST_P(CheckedProtocolTest, SynchronizedWorkloadIsRaceClean) {
+  const auto [proto_name, nodes] = GetParam();
+  const Outcome on = run_workload(proto_name, nodes, /*with_checker=*/true);
+  EXPECT_EQ(on.counter, 3L * nodes);
+}
+
+TEST_P(CheckedProtocolTest, CheckerOffIsByteIdenticalToCheckerOn) {
+  // The checker charges no time and sends no messages: same end time, same
+  // message count, same result, with it on or off.
+  const auto [proto_name, nodes] = GetParam();
+  const Outcome off = run_workload(proto_name, nodes, /*with_checker=*/false);
+  const Outcome on = run_workload(proto_name, nodes, /*with_checker=*/true);
+  EXPECT_EQ(off.counter, on.counter);
+  EXPECT_EQ(off.end_time, on.end_time);
+  EXPECT_EQ(off.messages, on.messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, CheckedProtocolTest,
+                         ::testing::ValuesIn(kAllProtocols), param_name);
+
+TEST(RaceDetector, LockOrderedConflictingWritesAreClean) {
+  // The direct false-positive guard: two nodes write the SAME word, ordered
+  // only by the lock hand-off chain.
+  for (const Param& p : kAllProtocols) {
+    DsmConfig cfg = checked(/*abort_on_finding=*/true);
+    DsmFixture fx(p.nodes, madeleine::bip_myrinet(), cfg);
+    const bool gp = std::string(p.protocol) == "java_ic" ||
+                    std::string(p.protocol) == "java_pf";
+    fx.dsm.set_default_protocol(fx.dsm.protocol_by_name(p.protocol));
+    const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long));
+    const int lock = fx.dsm.create_lock();
+    fx.run([&] {
+      std::vector<marcel::Thread*> workers;
+      for (NodeId n = 0; n < static_cast<NodeId>(p.nodes); ++n) {
+        workers.push_back(&fx.rt.spawn_on(n, "w", [&] {
+          fx.dsm.lock_acquire(lock);
+          const long v = gp ? fx.dsm.get<long>(x) : fx.dsm.read<long>(x);
+          if (gp) {
+            fx.dsm.put<long>(x, v + 1);
+          } else {
+            fx.dsm.write<long>(x, v + 1);
+          }
+          fx.dsm.lock_release(lock);
+        }));
+      }
+      for (auto* w : workers) fx.rt.threads().join(*w);
+    });
+    EXPECT_EQ(fx.dsm.checker()->race_count(), 0u) << p.protocol;
+  }
+}
+
+TEST(RaceDetector, BarrierOrderedPhasesAreClean) {
+  // Barrier-only ordering: no locks anywhere, conflicting accesses in
+  // alternating phases.
+  DsmConfig cfg = checked(/*abort_on_finding=*/true);
+  DsmFixture fx(4, madeleine::bip_myrinet(), cfg);
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long));
+  const int barrier = fx.dsm.create_barrier(4);
+  fx.run([&] {
+    std::vector<marcel::Thread*> workers;
+    for (NodeId n = 0; n < 4; ++n) {
+      workers.push_back(&fx.rt.spawn_on(n, "phase", [&, n] {
+        for (int round = 0; round < 3; ++round) {
+          if (static_cast<NodeId>(round % 4) == n) {
+            fx.dsm.write<long>(x, round * 10 + n);
+          }
+          fx.dsm.barrier_wait(barrier);
+          EXPECT_EQ(fx.dsm.read<long>(x), round * 10 + round % 4);
+          fx.dsm.barrier_wait(barrier);
+        }
+      }));
+    }
+    for (auto* w : workers) fx.rt.threads().join(*w);
+  });
+  EXPECT_EQ(fx.dsm.checker()->race_count(), 0u);
+  EXPECT_EQ(fx.dsm.checker()->invariant_failure_count(), 0u);
+}
+
+TEST(RaceDetector, SpawnAndJoinEdgesOrderAccesses) {
+  // Parent-before-child via the (remote) spawn edge, child-before-parent
+  // via join: neither direction is a race without any lock or barrier.
+  DsmConfig cfg = checked(/*abort_on_finding=*/true);
+  DsmFixture fx(2, madeleine::bip_myrinet(), cfg);
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  fx.run([&] {
+    fx.dsm.write<int>(x, 1);  // before the spawn: ordered into the child
+    auto& t = fx.rt.spawn_on(1, "child", [&] {
+      EXPECT_EQ(fx.dsm.read<int>(x), 1);
+      fx.dsm.write<int>(x, 2);
+    });
+    fx.rt.threads().join(t);
+    EXPECT_EQ(fx.dsm.read<int>(x), 2);  // after the join: child ordered in
+    fx.dsm.write<int>(x, 3);
+  });
+  EXPECT_EQ(fx.dsm.checker()->race_count(), 0u);
+}
+
+TEST(RaceDetector, VolatileReadsAreNeverFlagged) {
+  // get_volatile is the sanctioned relaxed read: concurrent with a writer,
+  // by design, and deliberately untracked.
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked());
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long));
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(1, "poller", [&] {
+      for (int i = 0; i < 5; ++i) (void)fx.dsm.get_volatile<long>(x);
+    });
+    for (int i = 0; i < 5; ++i) fx.dsm.write<long>(x, i);
+    fx.rt.threads().join(t);
+  });
+  EXPECT_EQ(fx.dsm.checker()->race_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant sink: an injected violation is caught and, in abort mode, fatal.
+// ---------------------------------------------------------------------------
+
+TEST(RaceDetectorDeathTest, CorruptedCopysetAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto corrupt = [] {
+    DsmConfig cfg = checked(/*abort_on_finding=*/true);
+    DsmFixture fx(2, madeleine::bip_myrinet(), cfg);
+    const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+    fx.run([&] {
+      fx.dsm.write<int>(x, 7);
+      auto& t = fx.rt.spawn_on(1, "reader", [&] { (void)fx.dsm.read<int>(x); });
+      fx.rt.threads().join(t);
+    });
+    const PageId page = fx.dsm.geometry().page_of(x);
+    // Hand-corrupt the protocol metadata: node 1 holds a cached replica,
+    // now in nobody's copyset.
+    fx.dsm.table(0).entry(page).copyset.clear();
+    fx.dsm.table(1).entry(page).copyset.clear();
+    fx.dsm.checker()->verify_page(0, page);
+  };
+  EXPECT_DEATH(corrupt(), "copyset");
+}
+
+TEST(RaceDetector, InjectedViolationIsCountedInReportMode) {
+  DsmFixture fx(2, madeleine::bip_myrinet(), checked(/*abort_on_finding=*/false));
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(int));
+  fx.run([&] {
+    fx.dsm.write<int>(x, 7);
+    auto& t = fx.rt.spawn_on(1, "reader", [&] { (void)fx.dsm.read<int>(x); });
+    fx.rt.threads().join(t);
+  });
+  const PageId page = fx.dsm.geometry().page_of(x);
+  fx.dsm.table(0).entry(page).copyset.clear();
+  fx.dsm.table(1).entry(page).copyset.clear();
+  fx.dsm.checker()->verify_page(0, page);
+  EXPECT_EQ(fx.dsm.checker()->invariant_failure_count(), 1u);
+  ASSERT_EQ(fx.dsm.checker()->invariant_failures().size(), 1u);
+  EXPECT_EQ(fx.dsm.checker()->invariant_failures().front().page, page);
+  // The finding surfaces in the post-mortem report.
+  EXPECT_NE(fx.dsm.report().find("invariant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

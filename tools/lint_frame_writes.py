@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Enforce the write-span rule on direct page-frame access.
+
+Since the span-tracking change (PR 4), diff generation trusts each page's
+write-span log instead of byte-scanning twin pairs. That is only sound if
+every mutation of a page frame either (a) goes through the access layer,
+which calls Dsm::note_write_span, or (b) is one of the reviewed
+infrastructure paths that bypass spans for a reason (whole-page installs
+into in-transition pages, applying span-derived diffs, read-only packing).
+
+This lint greps src/ for frame-handle acquisitions (`.frame(`) and raw
+byte stores (`write_bytes(`) and fails on any site that is neither
+  * read-only on its face (`const auto frame = ...`),
+  * next to a note_write_span call (within +/-6 lines),
+  * a declaration/definition of the access-layer entry points, nor
+  * explicitly allowlisted below with a justification.
+
+Adding a new direct frame write? Either note the span where you write, or
+add an allowlist entry here with one line saying why spans stay correct.
+
+Exit status: 0 when clean, 1 when violations are found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+HIT = re.compile(r"\.frame\(|write_bytes\(")
+PROXIMITY = 6  # lines around a hit in which note_write_span sanctions it
+
+# Read-only or self-evidently safe on the hit line itself.
+GENERIC_OK = [
+    re.compile(r"const\s+auto\s+frame\s*="),       # immutable view
+    re.compile(r"pack_raw\("),                     # packing reads the frame
+    re.compile(r"(->|\.)apply\("),                 # diffs are span-derived
+    re.compile(r"void\s+(\w+::)?write_bytes\("),   # decl/def of the entry point
+    re.compile(r"^\s*(//|\*)"),                    # comments
+]
+
+# (path suffix, regex on the line, why spans stay correct)
+ALLOWLIST = [
+    (
+        "src/dsm/protocol_lib.cpp",
+        re.compile(r"auto frame = dsm\.store\(arrival\.node\)\.frame\(arrival\.page\);"),
+        "install_page_frame: whole-page install into an in_transition page; "
+        "no twin exists yet, so there are no spans to note",
+    ),
+    (
+        "src/dsm/protocol_lib.cpp",
+        re.compile(r"auto frame = dsm\.store\(node\)\.frame\(page\);"),
+        "diff pull/apply loops and twin creation: mutations come only from "
+        "Diff::apply, whose payload was built from spans at the writer",
+    ),
+    (
+        "src/protocols/java_common.cpp",
+        re.compile(r"auto frame = d\.store\(node\)\.frame\(page\);"),
+        "java release: frame is the read-only input to a span-log diff",
+    ),
+]
+
+# Files that define the frame()/write_bytes() primitives themselves.
+EXCLUDE = ("src/dsm/page_store.hpp", "src/dsm/page_store.cpp")
+
+
+def lint(root: Path, list_all: bool) -> int:
+    violations = []
+    sites = 0
+    for path in sorted(root.glob("src/**/*")):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel in EXCLUDE:
+            continue
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            if not HIT.search(line):
+                continue
+            sites += 1
+            why = classify(rel, lines, i, line)
+            if list_all:
+                status = why if why else "VIOLATION"
+                print(f"{rel}:{i + 1}: [{status}] {line.strip()}")
+            if why is None:
+                violations.append((rel, i + 1, line.strip()))
+    if violations:
+        print(f"{len(violations)} unsanctioned direct frame write(s):",
+              file=sys.stderr)
+        for rel, lineno, text in violations:
+            print(f"  {rel}:{lineno}: {text}", file=sys.stderr)
+        print(
+            "\nEvery frame mutation must call Dsm::note_write_span or be "
+            "allowlisted in tools/lint_frame_writes.py with a justification "
+            "(see the PR 4 span-tracking rule).",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"lint_frame_writes: {sites} frame-access sites, all sanctioned.")
+    return 0
+
+
+def classify(rel: str, lines: list[str], i: int, line: str) -> str | None:
+    """Return a short tag naming why the site is sanctioned, else None."""
+    for pat in GENERIC_OK:
+        if pat.search(line):
+            return "ok:pattern"
+    lo = max(0, i - PROXIMITY)
+    hi = min(len(lines), i + PROXIMITY + 1)
+    if any("note_write_span" in lines[j] for j in range(lo, hi)):
+        return "ok:span-noted"
+    for suffix, pat, _why in ALLOWLIST:
+        if rel.endswith(suffix) and pat.search(line):
+            return "ok:allowlist"
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--list", action="store_true", dest="list_all",
+                    help="print every site with its classification")
+    args = ap.parse_args()
+    return lint(args.root.resolve(), args.list_all)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
