@@ -1,0 +1,329 @@
+// Home + lock-manager migration vs static placement (the perf PR's
+// acceptance bench).
+//
+// Two workloads, each swept 2 -> 64 nodes with migration off and on:
+//
+//   * remote_home — the single-dominant-writer scenario: pages fixed-homed
+//     on node 0, one writer on node N-1 running lock-protected critical
+//     sections (hbrc_mw). Statically placed, every section pays wire round
+//     trips to the home (diff flush) and to the lock manager (grant).
+//     With migration on, the home AND the manager move to the writer after
+//     the warm-up, and the steady state runs entirely on-node: local
+//     grants, home writes, zero messages.
+//
+//   * migratory_lock — a lock whose hot node changes phase by phase. With
+//     migration on the manager role chases the hot node, so each phase
+//     converges to zero-message local grants; statically placed, every
+//     phase pays two messages per acquire forever.
+//
+// Measured per point, over the steady-state phase only (warm-up excluded):
+// mean hand-off latency (lock_acquire + lock_release), mean full critical
+// section, and the control messages on the wire. The self-checks assert the
+// ISSUE acceptance bars at the widest swept point: >= 2x lower steady-state
+// hand-off latency and >= 5x fewer control messages with migration on, and
+// a migration-off run reports zero migration counters (bit-identical paths
+// never taken).
+//
+// Usage: bench_scale_migration [--smoke] [--json <path>]
+//   --smoke   small sweep (CI: the `ctest -L smoke` entry)
+//   --json    also write machine-readable results to <path>
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+constexpr int kWarmupRounds = 12;
+constexpr int kSteadyRounds = 32;
+constexpr int kPhaseRounds = 24;
+
+struct Point {
+  const char* workload = "";
+  bool migration = false;
+  int nodes = 0;
+  double handoff_us = 0;  // mean lock_acquire + lock_release, steady phase
+  double cs_us = 0;       // mean full critical section, steady phase
+  std::uint64_t ctrl_msgs = 0;  // wire messages during the steady phase
+  std::uint64_t home_migrations = 0;
+  std::uint64_t manager_migrations = 0;
+  std::uint64_t local_grants = 0;
+  std::uint64_t redirects = 0;
+};
+
+std::uint64_t wire_msgs(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).messages_sent;
+  }
+  return sum;
+}
+
+dsm::DsmConfig bench_cfg(bool migration) {
+  dsm::DsmConfig cfg;
+  cfg.enable_home_migration = migration;
+  cfg.enable_manager_migration = migration;
+  cfg.migration_threshold = 4;
+  return cfg;
+}
+
+void fill_counters(dsm::Dsm& d, Point& p) {
+  p.home_migrations = d.counters().total(dsm::Counter::kHomeMigrations);
+  p.manager_migrations = d.counters().total(dsm::Counter::kManagerMigrations);
+  p.local_grants = d.counters().total(dsm::Counter::kLocalGrants);
+  p.redirects = d.counters().total(dsm::Counter::kRedirectsFollowed);
+}
+
+/// Single dominant writer, remote static home: node N-1 runs lock-protected
+/// critical sections against pages homed on node 0.
+Point measure_remote_home(int nodes, bool migration) {
+  pm2::Config cfg;
+  cfg.nodes = nodes;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::Dsm dsm(rt, bench_cfg(migration));
+  const dsm::ProtocolId proto = dsm.protocol_by_name("hbrc_mw");
+  dsm::AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = dsm::HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = dsm.create_lock(proto);
+  const NodeId writer = static_cast<NodeId>(nodes - 1);
+
+  Point point;
+  point.workload = "remote_home";
+  point.migration = migration;
+  point.nodes = nodes;
+  SimTime handoff_total = 0;
+  SimTime cs_total = 0;
+
+  rt.run([&] {
+    auto& w = rt.spawn_on(writer, "writer", [&] {
+      const auto section = [&](long value) {
+        const SimTime t0 = rt.now();
+        dsm.lock_acquire(lock);
+        const SimTime t1 = rt.now();
+        dsm.write<long>(x, value);
+        dsm.charge_us(2.0);
+        const SimTime t2 = rt.now();
+        dsm.lock_release(lock);
+        handoff_total += (t1 - t0) + (rt.now() - t2);
+        cs_total += rt.now() - t0;
+        // Think time between sections, outside the timers: a 100% lock duty
+        // cycle leaves the writer permanently twinned or mid-fetch, and no
+        // hand-off can land on a target that is never clean. The gap must
+        // exceed the bulk hand-off's flight time (~a page transfer, which is
+        // also what makes the static-home critical section expensive) or the
+        // transfer keeps arriving inside the next section. Both series
+        // (migration off and on) carry the same gap, so the comparison
+        // stays fair.
+        dsm.charge_us(300.0);
+      };
+      // Warm-up: past the bars, the home and the manager both land here.
+      for (int r = 0; r < kWarmupRounds; ++r) section(r);
+      dsm.charge_us(1000.0);  // let in-flight hand-offs settle
+      handoff_total = 0;
+      cs_total = 0;
+      const std::uint64_t msgs0 = wire_msgs(rt);
+      for (int r = 0; r < kSteadyRounds; ++r) section(kWarmupRounds + r);
+      point.ctrl_msgs = wire_msgs(rt) - msgs0;
+    });
+    rt.threads().join(w);
+  });
+  point.handoff_us = to_us(handoff_total) / kSteadyRounds;
+  point.cs_us = to_us(cs_total) / kSteadyRounds;
+  fill_counters(dsm, point);
+  return point;
+}
+
+/// A lock whose hot node changes phase by phase; the manager role should
+/// chase it. Every phase past the first starts with a stale hint, so the
+/// redirect machinery is on the measured path too.
+Point measure_migratory_lock(int nodes, bool migration) {
+  pm2::Config cfg;
+  cfg.nodes = nodes;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::Dsm dsm(rt, bench_cfg(migration));
+  const int lock = dsm.create_lock();
+  const int phases = std::min(nodes, 8);
+
+  Point point;
+  point.workload = "migratory_lock";
+  point.migration = migration;
+  point.nodes = nodes;
+  SimTime handoff_total = 0;
+  int measured = 0;
+
+  rt.run([&] {
+    const std::uint64_t msgs0 = wire_msgs(rt);
+    for (int phase = 0; phase < phases; ++phase) {
+      const NodeId hot = static_cast<NodeId>(phase % nodes);
+      auto& t = rt.spawn_on(hot, "hot", [&] {
+        for (int r = 0; r < kPhaseRounds; ++r) {
+          const SimTime t0 = rt.now();
+          dsm.lock_acquire(lock);
+          const SimTime t1 = rt.now();
+          dsm.charge_us(1.0);
+          const SimTime t2 = rt.now();
+          dsm.lock_release(lock);
+          // Skip each phase's warm-up half: the hand-off needs threshold
+          // acquires before the manager lands on the hot node.
+          if (r >= kPhaseRounds / 2) {
+            handoff_total += (t1 - t0) + (rt.now() - t2);
+            ++measured;
+          }
+        }
+      });
+      rt.threads().join(t);
+    }
+    point.ctrl_msgs = wire_msgs(rt) - msgs0;
+  });
+  point.handoff_us = to_us(handoff_total) / std::max(measured, 1);
+  point.cs_us = point.handoff_us;  // no data pages in this workload
+  fill_counters(dsm, point);
+  return point;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"scale_migration\",\n"
+      << "  \"driver\": \"bip_myrinet\",\n"
+      << "  \"unit\": \"simulated_us\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"workload\": \"%s\", \"migration\": %s, \"nodes\": %d, "
+        "\"handoff_us\": %.3f, \"cs_us\": %.3f, \"ctrl_msgs\": %llu, "
+        "\"home_migrations\": %llu, \"manager_migrations\": %llu, "
+        "\"local_grants\": %llu, \"redirects\": %llu}%s\n",
+        p.workload, p.migration ? "true" : "false", p.nodes, p.handoff_us,
+        p.cs_us, static_cast<unsigned long long>(p.ctrl_msgs),
+        static_cast<unsigned long long>(p.home_migrations),
+        static_cast<unsigned long long>(p.manager_migrations),
+        static_cast<unsigned long long>(p.local_grants),
+        static_cast<unsigned long long>(p.redirects),
+        i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> sweep = smoke ? std::vector<int>{4}
+                                       : std::vector<int>{2, 4, 8, 16, 32, 64};
+
+  std::printf(
+      "Home + manager migration vs static placement — BIP/Myrinet\n"
+      "%s sweep: warm-up %d rounds, steady %d rounds, %d per phase\n\n",
+      smoke ? "smoke" : "full", kWarmupRounds, kSteadyRounds, kPhaseRounds);
+
+  std::vector<Point> points;
+  TablePrinter table({"workload", "migration", "nodes", "handoff us", "cs us",
+                      "ctrl msgs", "home mig", "mgr mig", "local grants",
+                      "redirects"});
+  for (const int nodes : sweep) {
+    for (const bool migration : {false, true}) {
+      for (Point p : {measure_remote_home(nodes, migration),
+                      measure_migratory_lock(nodes, migration)}) {
+        table.add_row({p.workload, p.migration ? "on" : "off",
+                       std::to_string(p.nodes), TablePrinter::fmt(p.handoff_us),
+                       TablePrinter::fmt(p.cs_us), std::to_string(p.ctrl_msgs),
+                       std::to_string(p.home_migrations),
+                       std::to_string(p.manager_migrations),
+                       std::to_string(p.local_grants),
+                       std::to_string(p.redirects)});
+        points.push_back(p);
+      }
+    }
+  }
+  table.print();
+
+  const auto find = [&](const char* workload, bool migration, int nodes) {
+    for (const Point& p : points) {
+      if (std::strcmp(p.workload, workload) == 0 && p.migration == migration &&
+          p.nodes == nodes) {
+        return p;
+      }
+    }
+    return Point{};
+  };
+
+  bool pass = true;
+  const int at_nodes = sweep.back();
+  const Point off = find("remote_home", false, at_nodes);
+  const Point on = find("remote_home", true, at_nodes);
+
+  // Bar 1: >= 2x lower steady-state hand-off latency with migration on.
+  const double lat_ratio = off.handoff_us / std::max(on.handoff_us, 0.001);
+  const bool lat_ok = lat_ratio >= 2.0;
+  std::printf("\ncheck[hand-off latency off/on]: %.2fx at %d nodes "
+              "(need >= 2.0x): %s\n",
+              lat_ratio, at_nodes, lat_ok ? "PASS" : "FAIL");
+  pass = pass && lat_ok;
+
+  // Bar 2: >= 5x fewer control messages in the steady state.
+  const double msg_ratio = static_cast<double>(off.ctrl_msgs) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               on.ctrl_msgs, 1));
+  const bool msg_ok = msg_ratio >= 5.0;
+  std::printf("check[ctrl messages off/on]: %.2fx at %d nodes "
+              "(need >= 5.0x): %s\n",
+              msg_ratio, at_nodes, msg_ok ? "PASS" : "FAIL");
+  pass = pass && msg_ok;
+
+  // Bar 3: migration off takes none of the new paths — all four counters
+  // stay at zero (the bit-identity claim, observable side).
+  bool off_clean = true;
+  for (const Point& p : points) {
+    if (p.migration) continue;
+    off_clean = off_clean && p.home_migrations == 0 &&
+                p.manager_migrations == 0 && p.local_grants == 0 &&
+                p.redirects == 0;
+  }
+  std::printf("check[migration-off counters all zero]: %s\n",
+              off_clean ? "PASS" : "FAIL");
+  pass = pass && off_clean;
+
+  // Bar 4: the migratory-lock workload actually migrates and grants
+  // locally once the manager lands.
+  const Point chase = find("migratory_lock", true, at_nodes);
+  const bool chase_ok = chase.manager_migrations >= 1 && chase.local_grants > 0;
+  std::printf("check[migratory lock chases the hot node]: %s\n",
+              chase_ok ? "PASS" : "FAIL");
+  pass = pass && chase_ok;
+
+  if (!json_path.empty()) write_json(json_path, points);
+  return pass ? 0 : 1;
+}

@@ -2,6 +2,10 @@
 // Shared by every example: DSMPM2_CHECKER=1 in the environment runs the
 // example under dsmcheck in abort mode, so the `checked.<example>` CTest
 // entries fail loudly on any data race or protocol-invariant violation.
+// DSMPM2_MIGRATION=1 additionally turns on home + lock-manager migration
+// (low bars so the small workloads actually trigger hand-offs); the
+// `checked.<example>_migration` entries combine both, running a documented
+// workload with the homes and managers in motion under the checker.
 #include <cstdlib>
 
 #include "dsm/config.hpp"
@@ -12,6 +16,12 @@ inline dsmpm2::dsm::DsmConfig example_dsm_config() {
   if (std::getenv("DSMPM2_CHECKER") != nullptr) {
     cfg.enable_checker = true;
     cfg.checker_abort = true;
+  }
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (std::getenv("DSMPM2_MIGRATION") != nullptr) {
+    cfg.enable_home_migration = true;
+    cfg.enable_manager_migration = true;
+    cfg.migration_threshold = 2;
   }
   return cfg;
 }

@@ -20,6 +20,11 @@ void AckCollector::wait() {
   cond_.broadcast();  // admit the next round
 }
 
+void AckCollector::quiesce() {
+  marcel::MutexLock l(mutex_);
+  while (active_) cond_.wait(mutex_);
+}
+
 void AckCollector::ack() {
   // Event-context safe: the counter mutation needs no fiber mutex (the
   // simulator is cooperatively scheduled) and broadcast() never blocks.

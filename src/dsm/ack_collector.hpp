@@ -43,6 +43,14 @@ class AckCollector {
   /// event (delivery) context — never blocks.
   void ack();
 
+  /// Blocks (fiber context) until no round is in flight, WITHOUT opening
+  /// one — the home-migration hand-off's drain barrier: a migrating home
+  /// must not ship a page whose invalidation round is still collecting
+  /// acks. Returning guarantees only that the collector was idle at that
+  /// instant; the caller serializes new rounds by other means (the page
+  /// mutex, which every round initiator on the page takes first).
+  void quiesce();
+
   [[nodiscard]] bool active() const { return active_; }
   [[nodiscard]] int pending() const { return pending_; }
 

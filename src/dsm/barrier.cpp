@@ -24,7 +24,9 @@ int BarrierManager::create(int parties, ProtocolId protocol) {
 }
 
 NodeId BarrierManager::coordinator_of(int barrier_id) const {
-  return static_cast<NodeId>(barrier_id % dsm_.node_count());
+  return stripe_to_node(static_cast<std::uint64_t>(barrier_id),
+                        dsm_.node_count(),
+                        dsm_.config().legacy_lock_striding);
 }
 
 ProtocolId BarrierManager::hook_protocol(int barrier_id) const {

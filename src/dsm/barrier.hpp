@@ -4,7 +4,8 @@
 // the generic core runs the protocol's lock_release action (pushing pending
 // modifications / invalidations); after everyone arrived, each participant
 // runs lock_acquire (refreshing its view) and resumes. Centralized
-// coordinator per barrier (coordinator = id mod nodes).
+// coordinator per barrier (coordinator = stripe_to_node(id); the legacy
+// `id mod nodes` striding survives under DsmConfig::legacy_lock_striding).
 //
 // Like the lock manager, the barrier carries the release hooks' payloads:
 // each arrive message ships its party's payload to the coordinator, which

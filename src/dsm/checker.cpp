@@ -521,7 +521,19 @@ void home_copyset_covers_cached(Dsm& dsm, PageId page) {
     return;
   }
   const auto nodes = static_cast<NodeId>(dsm.node_count());
-  const NodeId home = dsm.table(0).entry(page).home;
+  // Locate the true home by self-homed scan: with migration, node 0's home
+  // pointer may be a stale hint. Identical to reading table(0) when homes
+  // never move. No self-homed node (mid-hand-off) is single_home's finding.
+  NodeId home = kInvalidNode;
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (dsm.table(n).entry(page).home == n) {
+      home = n;
+      break;
+    }
+  }
+  if (home == kInvalidNode) {
+    return;
+  }
   const PageEntry& home_entry = dsm.table(home).entry(page);
   for (NodeId m = 0; m < nodes; ++m) {
     if (m == home) {
@@ -535,6 +547,50 @@ void home_copyset_covers_cached(Dsm& dsm, PageId page) {
       c->fail_invariant(m, page,
                         "cached copy missing from the home (node " +
                             std::to_string(home) + ") copyset");
+      return;
+    }
+  }
+}
+
+void single_home(Dsm& dsm, PageId page) {
+  Checker* c = dsm.checker();
+  if (c == nullptr) {
+    return;
+  }
+  const auto nodes = static_cast<NodeId>(dsm.node_count());
+  NodeId home = kInvalidNode;
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (dsm.table(n).entry(page).home != n) {
+      continue;
+    }
+    if (home != kInvalidNode) {
+      c->fail_invariant(n, page,
+                        "two self-homed replicas (nodes " +
+                            std::to_string(home) + " and " + std::to_string(n) +
+                            ")");
+      return;
+    }
+    home = n;
+  }
+  if (home == kInvalidNode) {
+    c->fail_invariant(0, page, "no node is home for the page");
+    return;
+  }
+  // Every node's home pointer must reach the true home within node_count
+  // hops: the probable-home chains migration leaves behind are acyclic and
+  // convergent (each hop was published strictly later).
+  for (NodeId n = 0; n < nodes; ++n) {
+    NodeId at = n;
+    int hops = 0;
+    while (at != home && hops <= dsm.node_count()) {
+      at = dsm.table(at).entry(page).home;
+      ++hops;
+    }
+    if (at != home) {
+      c->fail_invariant(n, page,
+                        "home forwarding chain from node " + std::to_string(n) +
+                            " does not converge on home " +
+                            std::to_string(home));
       return;
     }
   }

@@ -228,8 +228,15 @@ void copyset_covers_cached(Dsm& dsm, PageId page);
 /// Every non-home node with a mapped copy is in the home's copyset or
 /// pending revocation (home-based protocols; the home never revokes lazily
 /// dropped cache entries, so the reverse direction is deliberately not
-/// checked).
+/// checked). The home is located by self-homed scan, so the check stays
+/// valid while homes migrate (stale home pointers on other nodes are fine).
 void home_copyset_covers_cached(Dsm& dsm, PageId page);
+
+/// Exactly one node is self-homed for the page, and every node's home
+/// pointer reaches it in at most node_count hops — the forwarding chains
+/// left behind by home migration are acyclic and convergent. Trivially true
+/// (zero-length chains) when migration is off.
+void single_home(Dsm& dsm, PageId page);
 
 /// Only the owner maps the page at all (migrate_thread: data never moves).
 void owner_only_frames(Dsm& dsm, PageId page);

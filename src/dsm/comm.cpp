@@ -112,6 +112,11 @@ void DsmComm::serve_page_request(pm2::RpcContext& ctx, Unpacker& args) {
   } else {
     proto.read_server(dsm_, req);
   }
+  if (dsm_.config().enable_home_migration && wire.wanted == Access::kWrite &&
+      dsm_.table(ctx.self).entry(wire.page).home == ctx.self) {
+    dsm_.migrator().note_writer_traffic(ctx.self, wire.page, wire.requester);
+    dsm_.migrator().maybe_migrate(ctx.self, wire.page);
+  }
 }
 
 void DsmComm::send_page(NodeId to, PageId page, Access granted, bool ownership,
@@ -300,6 +305,36 @@ void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
   DSM_CHECK_MSG(std::uint64_t{wire.offset} + wire.length <=
                     dsm_.geometry().page_size(),
                 "word read past the end of the page");
+  // A forwarded hop (home migration) appends the original waiter's reply
+  // address to the plain wire head; a direct read has no trailing bytes, so
+  // the off-path wire format is untouched.
+  NodeId origin = ctx.src;
+  std::uint64_t token = ctx.reply_token;
+  bool forwarded = false;
+  if (args.remaining() > 0) {
+    origin = args.unpack<NodeId>();
+    DSM_CHECK_MSG(origin < static_cast<NodeId>(dsm_.node_count()),
+                  "forwarded word read names an origin outside the cluster");
+    token = args.unpack<std::uint64_t>();
+    forwarded = true;
+  }
+  if (dsm_.config().enable_home_migration) {
+    const PageEntry& e = dsm_.table(ctx.self).entry(wire.page);
+    if (e.valid && e.home != ctx.self) {
+      // Stale hop: pass the read along the home pointer carrying the
+      // original waiter's reply address, and correct the origin's hint.
+      dsm_.counters().inc(ctx.self, Counter::kRequestsForwarded);
+      Packer fwd;
+      fwd.pack(wire);
+      fwd.pack(origin);
+      fwd.pack(token);
+      ctx.reply_token = 0;
+      dsm_.runtime().rpc().call_async_from(ctx.self, e.home, svc_word_,
+                                           std::move(fwd));
+      dsm_.migrator().send_redirect(ctx.self, origin, wire.page, e.home);
+      return;
+    }
+  }
   // Inline (non-blocking) read of the home's current frame. The home's frame
   // is always the merged "main memory" for its pages.
   std::uint64_t value = 0;
@@ -308,7 +343,11 @@ void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
       std::span<std::byte>(reinterpret_cast<std::byte*>(&value), wire.length));
   Packer out;
   out.pack(value);
-  ctx.reply(std::move(out));
+  if (forwarded) {
+    dsm_.runtime().rpc().reply_to(ctx.self, origin, token, std::move(out));
+  } else {
+    ctx.reply(std::move(out));
+  }
 }
 
 std::vector<std::pair<std::uint32_t, Diff>> DsmComm::fetch_diffs(
@@ -408,6 +447,13 @@ void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
   deliver_diff(wire.page, ctx.src, ctx.self, wire.response_to_invalidation != 0,
                diff);
   if (ctx.reply_token != 0) ctx.reply(Packer{});
+  // Migration policy runs after the ack: a hand-off can block for a while
+  // and the diff's sender must not be charged for it.
+  if (dsm_.config().enable_home_migration &&
+      dsm_.table(ctx.self).entry(wire.page).home == ctx.self) {
+    dsm_.migrator().note_writer_traffic(ctx.self, wire.page, ctx.src);
+    dsm_.migrator().maybe_migrate(ctx.self, wire.page);
+  }
 }
 
 void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
@@ -422,6 +468,7 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
   // batch never flushes in response to an invalidation — that path is
   // per-page — so arrivals carry response_to_invalidation=false and the
   // home's protocol may start third-party invalidation rounds per page.
+  std::vector<PageId> touched;
   for (const Buffer& fragment : ctx.fragments) {
     Unpacker u(fragment);
     const auto page = u.unpack<PageId>();
@@ -431,6 +478,11 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
     check_wire_diff(diff, "batched diff chunk outside the page");
     deliver_diff(page, ctx.src, ctx.self, /*response_to_invalidation=*/false,
                  diff);
+    if (dsm_.config().enable_home_migration &&
+        dsm_.table(ctx.self).entry(page).home == ctx.self) {
+      dsm_.migrator().note_writer_traffic(ctx.self, page, ctx.src);
+      touched.push_back(page);
+    }
   }
   // One ack for the whole batch, and only after every page (including any
   // third-party invalidation rounds the applies triggered) is done — the
@@ -440,6 +492,10 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
     ack.pack(AckWire{AckWire::kDiffBatch, /*to_release=*/1,
                      /*page=*/PageId{0}});
     dsm_.runtime().rpc().call_async(wire.ack_to, svc_ack_, std::move(ack));
+  }
+  // Migration policy after the ack (see serve_diff).
+  for (const PageId page : touched) {
+    dsm_.migrator().maybe_migrate(ctx.self, page);
   }
 }
 

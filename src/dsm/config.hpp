@@ -104,6 +104,46 @@ struct DsmConfig {
   /// When true the first finding aborts with a full report (for tests);
   /// otherwise findings are counted and listed in Dsm::report().
   bool checker_abort = false;
+  /// Home migration: home nodes of home-based protocols (hbrc_mw, lrc_mw)
+  /// track per-page writer traffic and, past the threshold/hysteresis bars
+  /// below, hand the page's home off to its dominant remote writer (drained
+  /// two-phase transfer; stale nodes are corrected lazily via forwarding and
+  /// dsm.redirect). Off takes zero new branches on the hot paths — behaviour
+  /// and wire traffic are bit-identical to a build without migration.
+  bool enable_home_migration = false;
+  /// Manager migration: lock managers track per-lock acquirer traffic and
+  /// hand the manager role to a lock's dominant remote acquirer when the
+  /// lock is drained (free, empty queue). A node that manages its own hot
+  /// lock grants and releases locally with zero messages. Off restores the
+  /// static id-striped manager exactly.
+  bool enable_manager_migration = false;
+  /// Events from the dominant remote node (diff arrivals + write requests
+  /// for pages; acquires for locks) before a migration is considered.
+  std::uint32_t migration_threshold = 8;
+  /// Dominance factor: the dominant node must out-traffic the runner-up by
+  /// at least this factor before the home/manager moves (hysteresis — keeps
+  /// two alternating writers from thrashing the home back and forth).
+  std::uint32_t migration_hysteresis = 2;
+  /// Restores the historical `id % node_count` lock/barrier manager striding
+  /// (pre mix-hash) for bit-for-bit equivalence tests. The default mixes the
+  /// id first so correlated ids don't pile onto one node (stripe_to_node).
+  bool legacy_lock_striding = false;
 };
+
+/// Deterministic stripe of a lock/barrier id onto a manager node. The
+/// historical mapping (`id % node_count`) piles correlated ids — multiples
+/// of the node count, the common "one lock per row" allocation pattern —
+/// onto node 0; the default runs the id through a splitmix64 finalizer
+/// first. `legacy` (DsmConfig::legacy_lock_striding) restores the historical
+/// mapping bit-for-bit.
+inline NodeId stripe_to_node(std::uint64_t id, int node_count, bool legacy) {
+  const auto n = static_cast<std::uint64_t>(node_count);
+  if (legacy) return static_cast<NodeId>(id % n);
+  std::uint64_t x = id + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<NodeId>(x % n);
+}
 
 }  // namespace dsmpm2::dsm

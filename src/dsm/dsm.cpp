@@ -26,6 +26,7 @@ Dsm::Dsm(pm2::Runtime& runtime, DsmConfig config)
                                                  config_.page_size));
   }
   comm_ = std::make_unique<DsmComm>(*this);
+  migrator_ = std::make_unique<HomeMigrator>(*this);
   builtin_ = protocols::register_builtins(*this);
   default_protocol_ = builtin_.li_hudak;
   probe_.set_enabled(config_.enable_fault_probe);

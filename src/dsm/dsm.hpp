@@ -36,6 +36,7 @@
 #include "dsm/instrumentation.hpp"
 #include "dsm/lock.hpp"
 #include "dsm/memory.hpp"
+#include "dsm/migration.hpp"
 #include "dsm/page.hpp"
 #include "dsm/page_store.hpp"
 #include "dsm/page_table.hpp"
@@ -155,6 +156,7 @@ class Dsm {
   [[nodiscard]] PageTable& table(NodeId node);
   [[nodiscard]] PageStore& store(NodeId node);
   [[nodiscard]] DsmComm& comm() { return *comm_; }
+  [[nodiscard]] HomeMigrator& migrator() { return *migrator_; }
   [[nodiscard]] Counters& counters() { return counters_; }
   [[nodiscard]] FaultProbe& probe() { return probe_; }
   [[nodiscard]] LockManager& locks() { return locks_; }
@@ -233,6 +235,7 @@ class Dsm {
   Counters counters_;
   FaultProbe probe_;
   std::unique_ptr<DsmComm> comm_;
+  std::unique_ptr<HomeMigrator> migrator_;
   AreaManager areas_;
   LockManager locks_;
   BarrierManager barriers_;

@@ -50,6 +50,10 @@ const char* counter_name(Counter c) {
     case Counter::kCheckerInvariantFails: return "checker_invariant_fails";
     case Counter::kCheckerAccessesTracked: return "checker_accesses_tracked";
     case Counter::kCheckerSyncEvents: return "checker_sync_events";
+    case Counter::kHomeMigrations: return "home_migrations";
+    case Counter::kManagerMigrations: return "manager_migrations";
+    case Counter::kRedirectsFollowed: return "redirects_followed";
+    case Counter::kLocalGrants: return "local_grants";
     case Counter::kCount: break;
   }
   return "?";

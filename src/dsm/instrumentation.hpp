@@ -67,6 +67,10 @@ enum class Counter : int {
   kCheckerInvariantFails,  ///< protocol invariant violations reported by dsmcheck
   kCheckerAccessesTracked,  ///< accesses shadow-logged by dsmcheck
   kCheckerSyncEvents,    ///< happens-before edges recorded by dsmcheck
+  kHomeMigrations,       ///< page homes handed off to their dominant writer
+  kManagerMigrations,    ///< lock managers handed off to their dominant acquirer
+  kRedirectsFollowed,    ///< stale home/manager hints corrected via dsm.redirect
+  kLocalGrants,          ///< lock grants/releases served on-node with zero messages
   kCount  // sentinel
 };
 

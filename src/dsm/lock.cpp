@@ -1,5 +1,6 @@
 #include "dsm/lock.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -16,6 +17,12 @@ LockManager::LockManager(Dsm& dsm) : dsm_(dsm) {
   svc_release_ = rpc.register_service(
       "dsm.lock.release", pm2::Dispatch::kInline,
       [this](pm2::RpcContext& ctx, Unpacker& args) { serve_release(ctx, args); });
+  svc_xfer_ = rpc.register_service(
+      "dsm.lock.xfer", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_xfer(ctx, args); });
+  svc_redirect_ = rpc.register_service(
+      "dsm.lock.redirect", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_redirect(ctx, args); });
 }
 
 int LockManager::create(ProtocolId protocol) {
@@ -24,8 +31,34 @@ int LockManager::create(ProtocolId protocol) {
   return id;
 }
 
+NodeId LockManager::stripe_manager_of(int lock_id) const {
+  return stripe_to_node(static_cast<std::uint64_t>(lock_id), dsm_.node_count(),
+                        dsm_.config().legacy_lock_striding);
+}
+
 NodeId LockManager::manager_of(int lock_id) const {
-  return static_cast<NodeId>(lock_id % dsm_.node_count());
+  if (const auto it = manager_override_.find(lock_id);
+      it != manager_override_.end()) {
+    return it->second;
+  }
+  return stripe_manager_of(lock_id);
+}
+
+NodeId LockManager::probable_manager(NodeId node, int lock_id) const {
+  const auto idx = static_cast<std::size_t>(node);
+  if (idx < hint_.size()) {
+    if (const auto it = hint_[idx].find(lock_id); it != hint_[idx].end()) {
+      return it->second;
+    }
+  }
+  return stripe_manager_of(lock_id);
+}
+
+void LockManager::set_hint(NodeId node, int lock_id, NodeId manager) {
+  if (hint_.size() <= static_cast<std::size_t>(node)) {
+    hint_.resize(static_cast<std::size_t>(dsm_.node_count()));
+  }
+  hint_[static_cast<std::size_t>(node)][lock_id] = manager;
 }
 
 ProtocolId LockManager::hook_protocol(int lock_id) const {
@@ -37,20 +70,28 @@ ProtocolId LockManager::hook_protocol(int lock_id) const {
 void LockManager::acquire(int lock_id) {
   auto& rt = dsm_.runtime();
   const NodeId node = rt.self_node();
-  Packer args;
-  args.pack(lock_id);
-  // Blocks until the manager grants (possibly much later, FIFO). The grant
-  // carries the payload-history slice this node has not seen yet.
   const SimTime wait_start = rt.now();
-  const Buffer grant = rt.rpc().call(manager_of(lock_id), svc_acquire_,
-                                     std::move(args));
-  dsm_.counters().inc(node, Counter::kLockAcquires);
-  dsm_.counters().inc(node, Counter::kLockWaitUs,
-                      static_cast<std::uint64_t>(to_us(rt.now() - wait_start)));
-  // Decode the forwarded release payloads (count + length-prefixed blocks).
-  Unpacker u(grant);
-  const std::vector<Buffer> payloads = unpack_blocks(u);
-  DSM_CHECK_MSG(u.done(), "lock grant carries bytes past its payload blocks");
+  std::vector<Buffer> payloads;
+  if (dsm_.config().enable_manager_migration) {
+    payloads = acquire_migratory(lock_id, node);
+    dsm_.counters().inc(node, Counter::kLockAcquires);
+    dsm_.counters().inc(node, Counter::kLockWaitUs,
+                        static_cast<std::uint64_t>(to_us(rt.now() - wait_start)));
+  } else {
+    Packer args;
+    args.pack(lock_id);
+    // Blocks until the manager grants (possibly much later, FIFO). The grant
+    // carries the payload-history slice this node has not seen yet.
+    const Buffer grant = rt.rpc().call(manager_of(lock_id), svc_acquire_,
+                                       std::move(args));
+    dsm_.counters().inc(node, Counter::kLockAcquires);
+    dsm_.counters().inc(node, Counter::kLockWaitUs,
+                        static_cast<std::uint64_t>(to_us(rt.now() - wait_start)));
+    // Decode the forwarded release payloads (count + length-prefixed blocks).
+    Unpacker u(grant);
+    payloads = unpack_blocks(u);
+    DSM_CHECK_MSG(u.done(), "lock grant carries bytes past its payload blocks");
+  }
   if (Checker* ck = dsm_.checker()) {
     ck->on_lock_acquired(node, lock_id);
   }
@@ -59,6 +100,55 @@ void LockManager::acquire(int lock_id) {
   const Protocol& proto = dsm_.protocols().get(hook_protocol(lock_id));
   SyncContext ctx{lock_id, node, SyncKind::kLock, payloads};
   proto.lock_acquire(dsm_, ctx);
+}
+
+std::vector<Buffer> LockManager::acquire_migratory(int lock_id, NodeId node) {
+  auto& rt = dsm_.runtime();
+  NodeId dst = probable_manager(node, lock_id);
+  for (int hops = 0;; ++hops) {
+    // Hints only ever follow the migration sequence forward and collapse on
+    // first contact, so real chains are short; the generous bound exists to
+    // turn a routing livelock into a loud failure.
+    DSM_CHECK_MSG(hops <= 4 * dsm_.node_count(),
+                  "lock manager redirect chain failed to converge");
+    if (dst == node && manager_of(lock_id) == node &&
+        !migrating_to_.contains(lock_id)) {
+      LockState& s = state_[lock_id];
+      if (!s.held) {
+        // The manager acquiring its own free lock: grant in place with zero
+        // messages — the fast path manager migration exists to create.
+        s.held = true;
+        note_acquirer(lock_id, node);
+        dsm_.counters().inc(node, Counter::kLocalGrants);
+        const Packer grant = make_grant(s, node, node);
+        Unpacker u(grant.buffer());
+        std::vector<Buffer> payloads = unpack_blocks(u);
+        DSM_CHECK_MSG(u.done(),
+                      "lock grant carries bytes past its payload blocks");
+        return payloads;
+      }
+      // Contended: fall through to the loopback call so this request gets a
+      // real reply token to wait on in the FIFO queue.
+    }
+    Packer args;
+    args.pack(lock_id);
+    const Buffer reply = rt.rpc().call(dst, svc_acquire_, std::move(args));
+    Unpacker u(reply);
+    const auto status = u.unpack<std::uint8_t>();
+    if (status == 0) {
+      std::vector<Buffer> payloads = unpack_blocks(u);
+      DSM_CHECK_MSG(u.done(),
+                    "lock grant carries bytes past its payload blocks");
+      set_hint(node, lock_id, dst);
+      return payloads;
+    }
+    DSM_CHECK_MSG(status == 1, "unknown lock acquire reply status");
+    const auto next = u.unpack<NodeId>();
+    DSM_CHECK_MSG(u.done(), "lock redirect carries trailing bytes");
+    dsm_.counters().inc(node, Counter::kRedirectsFollowed);
+    set_hint(node, lock_id, next);
+    dst = next;
+  }
 }
 
 void LockManager::release(int lock_id) {
@@ -75,6 +165,21 @@ void LockManager::release(int lock_id) {
   Packer payload =
       proto.lock_release(dsm_, SyncContext{lock_id, node, SyncKind::kLock});
   dsm_.counters().inc(node, Counter::kLockReleases);
+  if (dsm_.config().enable_manager_migration) {
+    const NodeId dst = probable_manager(node, lock_id);
+    if (dst == node && manager_of(lock_id) == node &&
+        !migrating_to_.contains(lock_id)) {
+      // The manager releasing its own lock: process in place, zero messages.
+      dsm_.counters().inc(node, Counter::kLocalGrants);
+      do_release(lock_id, payload.buffer(), node, node);
+      return;
+    }
+    Packer args;
+    args.pack(lock_id);
+    args.pack_bytes(payload.buffer());
+    rt.rpc().call_async(dst, svc_release_, std::move(args));
+    return;
+  }
   Packer args;
   args.pack(lock_id);
   args.pack_bytes(payload.buffer());
@@ -97,14 +202,50 @@ Packer LockManager::make_grant(LockState& s, NodeId to, NodeId manager) {
   return grant;
 }
 
+Packer LockManager::grant_packer(LockState& s, NodeId to, NodeId manager) {
+  if (!dsm_.config().enable_manager_migration) {
+    return make_grant(s, to, manager);
+  }
+  // With migration on, every acquire reply leads with a status byte: 0 =
+  // grant (payload blocks follow), 1 = redirect (the probable manager
+  // follows). Off keeps the historical bare-blocks wire format.
+  Packer wrapped;
+  wrapped.pack(std::uint8_t{0});
+  const Packer grant = make_grant(s, to, manager);
+  wrapped.pack_raw(grant.buffer());
+  return wrapped;
+}
+
 void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
   const auto lock_id = args.unpack<int>();
   DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
                 "acquire of a lock id that was never created");
+  if (dsm_.config().enable_manager_migration) {
+    // A stale requester is told where to go instead of being served: the
+    // manager role either already moved (the override points elsewhere) or
+    // is on the wire right now (migrating_to_, consulted only by the node
+    // that initiated the hand-off). One hop, and the requester's hint is
+    // corrected for good.
+    NodeId redirect = kInvalidNode;
+    if (const NodeId mgr = manager_of(lock_id); mgr != ctx.self) {
+      redirect = mgr;
+    } else if (const auto mig = migrating_to_.find(lock_id);
+               mig != migrating_to_.end()) {
+      redirect = mig->second;
+    }
+    if (redirect != kInvalidNode) {
+      Packer r;
+      r.pack(std::uint8_t{1});
+      r.pack(redirect);
+      ctx.reply(std::move(r));
+      return;
+    }
+    note_acquirer(lock_id, ctx.src);
+  }
   LockState& s = state_[lock_id];
   if (!s.held) {
     s.held = true;
-    ctx.reply(make_grant(s, ctx.src, ctx.self));  // immediate grant
+    ctx.reply(grant_packer(s, ctx.src, ctx.self));  // immediate grant
     return;
   }
   s.queue.push_back(Waiter{ctx.src, ctx.reply_token});
@@ -116,6 +257,42 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
   DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
                 "release of a lock id that was never created");
   const auto payload = args.unpack_bytes();
+  // A forwarded release carries the original releaser as a trailing node id
+  // — the forwarding hop must not masquerade as the releaser, the cursor
+  // advance in do_release belongs to the node that ran the release hook.
+  NodeId releaser = ctx.src;
+  if (args.remaining() > 0) {
+    releaser = args.unpack<NodeId>();
+    DSM_CHECK_MSG(args.done(), "release carries bytes past its forward tail");
+  }
+  if (dsm_.config().enable_manager_migration) {
+    // Defensive forwarding: a drained hand-off never moves a held lock, so
+    // a correctly-paired release cannot go stale in flight — but if one
+    // ever lands off-manager, pass it along and correct the releaser rather
+    // than corrupting this node's state.
+    NodeId forward = kInvalidNode;
+    if (const NodeId mgr = manager_of(lock_id); mgr != ctx.self) {
+      forward = mgr;
+    } else if (const auto mig = migrating_to_.find(lock_id);
+               mig != migrating_to_.end()) {
+      forward = mig->second;
+    }
+    if (forward != kInvalidNode) {
+      Packer f;
+      f.pack(lock_id);
+      f.pack_bytes(payload);
+      f.pack(releaser);
+      dsm_.runtime().rpc().call_async_from(ctx.self, forward, svc_release_,
+                                           std::move(f));
+      send_manager_redirect(ctx.self, releaser, lock_id, forward);
+      return;
+    }
+  }
+  do_release(lock_id, payload, releaser, ctx.self);
+}
+
+void LockManager::do_release(int lock_id, std::span<const std::byte> payload,
+                             NodeId releaser, NodeId manager) {
   LockState& s = state_[lock_id];
   DSM_CHECK_MSG(s.held, "release of a lock that is not held");
   if (!payload.empty()) {
@@ -132,18 +309,134 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
   }
   // The releaser trivially knows its own payload (and saw everything before
   // it at its grant): advance its cursor past the whole history.
-  s.cursor[ctx.src] = s.floor + s.history.size();
+  s.cursor[releaser] = s.floor + s.history.size();
   if (s.queue.empty()) {
     s.held = false;
+    // The lock is drained — the one moment the manager role may move.
+    maybe_migrate_manager(lock_id, manager);
     return;
   }
   const Waiter next = s.queue.front();
   s.queue.pop_front();
   // FIFO hand-off: the lock stays held; grant the queued requester, with the
   // payload history it has not seen (including this very release's).
-  dsm_.counters().inc(ctx.self, Counter::kLockHandoffs);
-  dsm_.runtime().rpc().reply_to(ctx.self, next.src, next.token,
-                                make_grant(s, next.src, ctx.self));
+  dsm_.counters().inc(manager, Counter::kLockHandoffs);
+  dsm_.runtime().rpc().reply_to(manager, next.src, next.token,
+                                grant_packer(s, next.src, manager));
+}
+
+void LockManager::note_acquirer(int lock_id, NodeId requester) {
+  auto& counts = acquire_stats_[lock_id];
+  if (counts.size() < static_cast<std::size_t>(dsm_.node_count())) {
+    counts.resize(static_cast<std::size_t>(dsm_.node_count()), 0);
+  }
+  ++counts[static_cast<std::size_t>(requester)];
+}
+
+void LockManager::maybe_migrate_manager(int lock_id, NodeId manager) {
+  if (!dsm_.config().enable_manager_migration) return;
+  const auto st = acquire_stats_.find(lock_id);
+  if (st == acquire_stats_.end()) return;
+  const auto& counts = st->second;
+  NodeId best = kInvalidNode;
+  std::uint32_t best_n = 0;
+  std::uint32_t runner_n = 0;
+  for (std::size_t n = 0; n < counts.size(); ++n) {
+    if (counts[n] > best_n) {
+      runner_n = best_n;
+      best_n = counts[n];
+      best = static_cast<NodeId>(n);
+    } else if (counts[n] > runner_n) {
+      runner_n = counts[n];
+    }
+  }
+  const DsmConfig& cfg = dsm_.config();
+  if (best == kInvalidNode || best == manager) return;
+  if (best_n < cfg.migration_threshold) return;
+  if (best_n < cfg.migration_hysteresis * std::max<std::uint32_t>(runner_n, 1)) {
+    return;
+  }
+  acquire_stats_.erase(st);  // fresh decision window after the move
+  LockState& s = state_[lock_id];
+  DSM_CHECK(!s.held && s.queue.empty());
+  DSM_CHECK(s.history.size() == s.horizons.size());
+  // Serialize the whole manager state onto the wire — payload history,
+  // horizons, floor, cursors — so the hand-off pays its true cost in bytes
+  // and the target installs from the message, not from shared memory.
+  Packer p;
+  p.pack(lock_id);
+  p.pack(static_cast<std::uint64_t>(s.floor));
+  pack_blocks(s.history, p);
+  p.pack(static_cast<std::uint32_t>(s.horizons.size()));
+  for (const auto& h : s.horizons) {
+    p.pack(static_cast<std::uint32_t>(h.size()));
+    for (const std::uint32_t v : h) p.pack(v);
+  }
+  p.pack(static_cast<std::uint32_t>(s.cursor.size()));
+  for (const auto& [n, c] : s.cursor) {
+    p.pack(n);
+    p.pack(static_cast<std::uint64_t>(c));
+  }
+  migrating_to_[lock_id] = best;
+  dsm_.counters().inc(manager, Counter::kManagerMigrations);
+  dsm_.runtime().rpc().call_async_from(manager, best, svc_xfer_, std::move(p),
+                                       madeleine::MsgKind::kBulk);
+}
+
+void LockManager::send_manager_redirect(NodeId from, NodeId to, int lock_id,
+                                        NodeId manager) {
+  Packer p;
+  p.pack(lock_id);
+  p.pack(manager);
+  dsm_.runtime().rpc().call_async_from(from, to, svc_redirect_, std::move(p));
+}
+
+void LockManager::serve_xfer(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto lock_id = args.unpack<int>();
+  DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
+                "manager hand-off for a lock id that was never created");
+  const auto floor = args.unpack<std::uint64_t>();
+  std::vector<Buffer> history = unpack_blocks(args);
+  const auto horizon_count = args.unpack<std::uint32_t>();
+  std::vector<std::vector<std::uint32_t>> horizons(horizon_count);
+  for (auto& h : horizons) {
+    const auto len = args.unpack<std::uint32_t>();
+    h.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      h.push_back(args.unpack<std::uint32_t>());
+    }
+  }
+  const auto cursor_count = args.unpack<std::uint32_t>();
+  std::unordered_map<NodeId, std::size_t> cursor;
+  cursor.reserve(cursor_count);
+  for (std::uint32_t i = 0; i < cursor_count; ++i) {
+    const auto n = args.unpack<NodeId>();
+    cursor[n] = static_cast<std::size_t>(args.unpack<std::uint64_t>());
+  }
+  DSM_CHECK_MSG(args.done(), "manager hand-off carries trailing bytes");
+  DSM_CHECK(history.size() == horizons.size());
+  LockState& s = state_[lock_id];
+  // The lock was drained before the hand-off and stale traffic bounces off
+  // the redirect guards while it flies, so the wire image replaces a frozen
+  // state.
+  DSM_CHECK(!s.held && s.queue.empty());
+  s.history = std::move(history);
+  s.horizons = std::move(horizons);
+  s.floor = static_cast<std::size_t>(floor);
+  s.cursor = std::move(cursor);
+  // Publish: this node is the manager from here on; the in-flight marker
+  // dies with the landing.
+  manager_override_[lock_id] = ctx.self;
+  migrating_to_.erase(lock_id);
+  set_hint(ctx.self, lock_id, ctx.self);
+}
+
+void LockManager::serve_redirect(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto lock_id = args.unpack<int>();
+  const auto manager = args.unpack<NodeId>();
+  DSM_CHECK_MSG(args.done(), "lock redirect carries trailing bytes");
+  dsm_.counters().inc(ctx.self, Counter::kRedirectsFollowed);
+  set_hint(ctx.self, lock_id, manager);
 }
 
 void LockManager::trim_histories(NodeId node,
@@ -158,6 +451,9 @@ void LockManager::trim_histories(NodeId node,
   };
   for (auto& [lock_id, s] : state_) {
     if (manager_of(lock_id) != node) continue;
+    // A lock whose state is on the wire mid-hand-off must not be trimmed
+    // under the serialized image — the new manager trims it next round.
+    if (migrating_to_.contains(lock_id)) continue;
     std::size_t drop = 0;
     while (drop < s.horizons.size() && covered(s.horizons[drop])) ++drop;
     if (drop == 0) continue;

@@ -3,10 +3,10 @@
 // Weak consistency models take their consistency actions at synchronization
 // points (paper §2.2, "Synchronization and consistency"). A DSM lock here is
 // a cluster-wide mutex with a centralized per-lock manager node (manager =
-// id mod nodes, FIFO grants), and the generic core invokes the protocol's
-// lock_acquire action right after the grant arrives and its lock_release
-// action right before the release message leaves — exactly the two hook
-// points of Table 1.
+// stripe_to_node(id), FIFO grants), and the generic core invokes the
+// protocol's lock_acquire action right after the grant arrives and its
+// lock_release action right before the release message leaves — exactly the
+// two hook points of Table 1.
 //
 // Consistency data rides the synchronization messages themselves: the bytes
 // a lock_release hook returns travel with the release to the manager, which
@@ -21,6 +21,18 @@
 // already knows their content, and any bytes it still needs come from a
 // home-page fetch. With GC off (or for protocols without payload_horizon)
 // the history lives for the lock's lifetime, the pre-GC behaviour.
+//
+// Manager migration (DsmConfig::enable_manager_migration): the manager
+// counts acquires per node and, once a remote node dominates past the
+// threshold/hysteresis bars and the lock is drained (free, empty queue),
+// ships the whole manager state — history, horizons, floor, cursors — to
+// that node over dsm.lock.xfer. From then on the new manager grants its own
+// acquires and processes its own releases with zero messages (the
+// local-grant fast path). Stale requesters are bounced by one-hop redirect
+// replies (a status byte on the acquire reply) and per-node probable-manager
+// hints collapse on first contact, Li-Hudak style; stale releases are
+// forwarded and the releaser corrected via dsm.lock.redirect. Off keeps the
+// historical wire format and message schedule bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -58,11 +70,19 @@ class LockManager {
 
   [[nodiscard]] int count() const { return next_id_; }
 
+  /// The node currently managing `lock_id` (the striped manager until a
+  /// migration moved it). Observability for tests and reports.
+  [[nodiscard]] NodeId current_manager(int lock_id) const {
+    return manager_of(lock_id);
+  }
+
   /// Epoch GC: drops the leading payload-history blocks of every lock
   /// managed by `node` whose notice horizon sank at or below `watermark`
   /// (element-wise; blocks with no parsed horizon are never trimmed and
   /// stop the prefix scan — order must be preserved). Pure data
-  /// manipulation, callable from inline servers.
+  /// manipulation, callable from inline servers. Locks whose manager state
+  /// is on the wire mid-hand-off are skipped (the new manager trims them
+  /// at the next watermark round).
   void trim_histories(NodeId node, std::span<const std::uint32_t> watermark);
 
   /// Retained payload-history bytes of the locks managed by `node` (the
@@ -90,7 +110,16 @@ class LockManager {
     std::unordered_map<NodeId, std::size_t> cursor;
   };
 
+  /// The static stripe mapping — what any node can compute locally with no
+  /// cluster knowledge (the fallback when it holds no hint).
+  [[nodiscard]] NodeId stripe_manager_of(int lock_id) const;
+  /// The authoritative manager: a migration override if one landed, else
+  /// the stripe.
   [[nodiscard]] NodeId manager_of(int lock_id) const;
+  /// `node`'s best guess at the manager: its hint if it has one (updated on
+  /// every grant and redirect), else the stripe.
+  [[nodiscard]] NodeId probable_manager(NodeId node, int lock_id) const;
+  void set_hint(NodeId node, int lock_id, NodeId manager);
   [[nodiscard]] ProtocolId hook_protocol(int lock_id) const;
 
   /// Builds the grant message for `to`: the history slice past its cursor
@@ -98,16 +127,51 @@ class LockManager {
   /// below the trim floor is clamped (the watermark proved the node knows
   /// the trimmed content).
   [[nodiscard]] Packer make_grant(LockState& s, NodeId to, NodeId manager);
+  /// make_grant wrapped for the wire: with migration on, every acquire
+  /// reply leads with a status byte (0 = grant, 1 = redirect); off, the
+  /// historical bare-blocks format.
+  [[nodiscard]] Packer grant_packer(LockState& s, NodeId to, NodeId manager);
+
+  /// The migration-enabled acquire: follows probable-manager hints and
+  /// redirect replies until granted, taking the zero-message local path
+  /// when this node is the (settled) manager of a free lock.
+  [[nodiscard]] std::vector<Buffer> acquire_migratory(int lock_id, NodeId node);
+  /// The release body shared by the RPC handler and the local fast path:
+  /// history append, cursor advance, FIFO hand-off, migration trigger.
+  void do_release(int lock_id, std::span<const std::byte> payload,
+                  NodeId releaser, NodeId manager);
+  /// Counts an acquire for the migration policy (manager side).
+  void note_acquirer(int lock_id, NodeId requester);
+  /// Drained two-phase hand-off: if a remote node dominates the acquire
+  /// counts past the config bars, serialize the manager state and ship it
+  /// (dsm.lock.xfer); grants are bounced while it flies.
+  void maybe_migrate_manager(int lock_id, NodeId manager);
+  /// Pushes a probable-manager correction to `to` (dsm.lock.redirect).
+  void send_manager_redirect(NodeId from, NodeId to, int lock_id,
+                             NodeId manager);
 
   void serve_acquire(pm2::RpcContext& ctx, Unpacker& args);
   void serve_release(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_xfer(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_redirect(pm2::RpcContext& ctx, Unpacker& args);
 
   Dsm& dsm_;
   pm2::ServiceId svc_acquire_ = 0;
   pm2::ServiceId svc_release_ = 0;
+  pm2::ServiceId svc_xfer_ = 0;
+  pm2::ServiceId svc_redirect_ = 0;
   int next_id_ = 0;
   std::vector<ProtocolId> protocol_of_;       // by lock id
   std::unordered_map<int, LockState> state_;  // lives on the manager node
+  /// Migration routing state. The override is the authoritative manager of
+  /// a migrated lock (written only when a hand-off lands); migrating_to_
+  /// marks a hand-off on the wire (written by the old manager, erased when
+  /// the transfer lands); hint_[node] is that node's private best guess.
+  std::unordered_map<int, NodeId> manager_override_;
+  std::unordered_map<int, NodeId> migrating_to_;
+  std::vector<std::unordered_map<int, NodeId>> hint_;
+  /// Per lock, per node: acquires seen by the manager (migration policy).
+  std::unordered_map<int, std::vector<std::uint32_t>> acquire_stats_;
 };
 
 }  // namespace dsmpm2::dsm

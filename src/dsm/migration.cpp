@@ -1,0 +1,240 @@
+#include "dsm/migration.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "dsm/checker.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+namespace {
+
+/// Fixed-size head of a home hand-off. The old home's copyset follows as a
+/// length-prefixed CopySet::serialize block, then the epoch horizon (count +
+/// per-writer intervals) and the raw frame bytes.
+struct HandoffWire {
+  PageId page;
+  NodeId old_home;
+};
+
+struct RedirectWire {
+  PageId page;
+  NodeId new_home;
+};
+
+}  // namespace
+
+HomeMigrator::HomeMigrator(Dsm& dsm)
+    : dsm_(dsm), stats_(static_cast<std::size_t>(dsm.node_count())) {
+  auto& rpc = dsm_.runtime().rpc();
+  svc_handoff_ = rpc.register_service(
+      "dsm.mig.home", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_handoff(ctx, args); });
+  svc_redirect_ = rpc.register_service(
+      "dsm.redirect", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_redirect(ctx, args); });
+}
+
+void HomeMigrator::note_writer_traffic(NodeId home, PageId page, NodeId writer) {
+  if (writer == home || writer >= static_cast<NodeId>(dsm_.node_count())) return;
+  auto& counts = stats_[home][page];
+  if (counts.empty()) counts.resize(static_cast<std::size_t>(dsm_.node_count()), 0);
+  ++counts[writer];
+}
+
+void HomeMigrator::maybe_migrate(NodeId home, PageId page) {
+  auto& per_page = stats_[home];
+  const auto it = per_page.find(page);
+  if (it == per_page.end()) return;
+  const auto& counts = it->second;
+  NodeId dominant = kInvalidNode;
+  std::uint32_t best = 0;
+  std::uint32_t runner_up = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(counts.size()); ++n) {
+    if (counts[n] > best) {
+      runner_up = best;
+      best = counts[n];
+      dominant = n;
+    } else if (counts[n] > runner_up) {
+      runner_up = counts[n];
+    }
+  }
+  const DsmConfig& cfg = dsm_.config();
+  if (dominant == kInvalidNode || best < cfg.migration_threshold) return;
+  if (best < cfg.migration_hysteresis * std::max<std::uint32_t>(1, runner_up)) {
+    return;
+  }
+  // Only protocols that know how to rebuild their consistency view at a new
+  // home are eligible (they install a home_migrated hook).
+  if (dsm_.protocol_of(page).home_migrated == nullptr) return;
+  // One decision per traffic window. On success the counters restart from
+  // zero. On failure the dominant keeps threshold-1 of its evidence, so
+  // sustained dominance retries at the VERY NEXT traffic event rather than
+  // a full window later. That next event is usually the decisive one: a
+  // threshold crossing most often fires while serving the dominant's write
+  // request, and a hand-off launched there chases the freshly sent grant
+  // down the wire and lands exactly when the grant has re-twinned the
+  // target — a guaranteed NACK. The event after it is that write burst's
+  // release diff, and a hand-off launched on a diff arrival reaches the
+  // target in its post-release quiet window. Restarting from zero instead
+  // would re-align every retry with the doomed request-grant phase and
+  // starve the migration forever in a steady single-writer loop.
+  const std::uint32_t retry_seed = cfg.migration_threshold - 1;
+  per_page.erase(it);
+  if (!migrate_home(home, page, dominant) && retry_seed > 0) {
+    auto& counts = per_page[page];
+    counts.resize(static_cast<std::size_t>(dsm_.node_count()), 0);
+    counts[dominant] = retry_seed;
+  }
+}
+
+bool HomeMigrator::migrate_home(NodeId home, PageId page, NodeId target) {
+  auto& tbl = dsm_.table(home);
+  AckCollector& collector = tbl.ack_collector(page);
+  for (;;) {
+    // Drain: an invalidation round still collecting acks pins the frame
+    // here (members flush diffs *to this node* before acking). quiesce()
+    // returns with the collector idle, but a new round may open before we
+    // hold the page mutex — re-check and restart the drain if so.
+    collector.quiesce();
+    marcel::MutexLock l(tbl.mutex(page));
+    if (collector.active()) continue;
+    PageEntry& e = tbl.entry(page);
+    // Re-validate under the mutex: the world may have moved since the
+    // policy fired. A twinned or dirty home frame (the home itself is
+    // mid-write-burst) stays put — migrating it would have to ship
+    // unflushed local modifications too.
+    if (!e.valid || e.home != home || e.in_transition || e.has_twin ||
+        e.dirty || target == home) {
+      return false;
+    }
+    tbl.begin_transition(page);
+    const Protocol& proto = dsm_.protocol_of(page);
+    Packer p;
+    p.pack(HandoffWire{page, home});
+    e.copyset.serialize(p);
+    // The epoch horizon rides the hand-off for wire-cost fidelity: a real
+    // implementation must carry the GC floor with the home role so the new
+    // home never re-pulls reclaimed diffs. (The shared-process epoch hooks
+    // read their state directly; the receiver validates and discards.)
+    std::vector<std::uint32_t> horizon;
+    if (proto.epoch_report) horizon = proto.epoch_report(dsm_, home);
+    p.pack(static_cast<std::uint32_t>(horizon.size()));
+    for (const std::uint32_t h : horizon) p.pack(h);
+    p.pack_raw(dsm_.store(home).frame(page));
+    if (Checker* ck = dsm_.checker()) ck->on_page_send(home, page);
+    dsm_.counters().inc(home, Counter::kPagesSent);
+    // Phase 2, blocking, WITH the page mutex held: every stale request that
+    // reaches this node meanwhile parks on the mutex and is served against
+    // the published truth afterwards. Deadlock-free because no path in the
+    // system blocks on an RPC into *this* node's page mutex while holding
+    // another page mutex, and the target's installer takes only its own.
+    Buffer reply = dsm_.runtime().rpc().call(target, svc_handoff_, std::move(p),
+                                             madeleine::MsgKind::kBulk);
+    const bool accepted = Unpacker(reply).unpack<std::uint8_t>() != 0;
+    if (accepted) {
+      e.home = target;
+      e.prob_owner = target;
+      e.access = Access::kNone;
+      e.copyset.clear();
+      e.proto_word = 0;
+      e.dirty = false;
+      e.write_spans.clear();
+      dsm_.store(home).drop_frame(page);
+      dsm_.counters().inc(home, Counter::kHomeMigrations);
+    }
+    tbl.end_transition(page);
+    return accepted;
+  }
+}
+
+void HomeMigrator::serve_handoff(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<HandoffWire>();
+  DSM_CHECK_MSG(wire.page < dsm_.geometry().page_count(),
+                "home hand-off names a page outside the DSM space");
+  DSM_CHECK_MSG(wire.old_home == ctx.src,
+                "home hand-off claims a different source than its sender");
+  CopySet copyset = CopySet::deserialize(args);
+  const auto horizon_count = args.unpack<std::uint32_t>();
+  DSM_CHECK_MSG(horizon_count <= static_cast<std::uint32_t>(dsm_.node_count()),
+                "home hand-off horizon wider than the cluster");
+  for (std::uint32_t i = 0; i < horizon_count; ++i) {
+    (void)args.unpack<std::uint32_t>();  // wire fidelity only (see sender)
+  }
+  DSM_CHECK_MSG(args.remaining() == dsm_.geometry().page_size(),
+                "home hand-off payload is not exactly one page");
+  const auto data = args.unpack_raw(dsm_.geometry().page_size());
+
+  auto& tbl = dsm_.table(ctx.self);
+  bool accepted = false;
+  {
+    marcel::MutexLock l(tbl.mutex(wire.page));
+    PageEntry& e = tbl.entry(wire.page);
+    // NACK instead of waiting: this handler must never block on local page
+    // state while the old home blocks on us (its fetchers may in turn wait
+    // on *it*). A mid-transition or twinned target simply stays a client;
+    // the old home retries on fresh traffic.
+    if (e.valid && !e.in_transition && !e.has_twin) {
+      dsm_.charge(dsm_.costs().page_install);
+      auto frame = dsm_.store(ctx.self).frame(wire.page);
+      std::copy(data.begin(), data.end(), frame.begin());
+      e.home = ctx.self;
+      e.prob_owner = ctx.self;
+      copyset.erase(ctx.self);
+      copyset.erase(ctx.src);
+      e.copyset = copyset;
+      // Install cold: the protocol's home_migrated hook decides what access
+      // the new home frame supports and rebuilds any protocol-private view
+      // (lrc re-pulls diffs its cached copy had applied but the transferred
+      // frame lacks). in_transition holds local faulters off until then.
+      e.access = Access::kNone;
+      e.proto_word = 0;
+      e.dirty = false;
+      e.write_spans.clear();
+      tbl.begin_transition(wire.page);
+      accepted = true;
+    }
+  }
+  if (accepted) {
+    if (Checker* ck = dsm_.checker()) {
+      ck->on_page_arrival(ctx.self, wire.page, ctx.src);
+    }
+    const Protocol& proto = dsm_.protocol_of(wire.page);
+    DSM_CHECK_MSG(proto.home_migrated != nullptr,
+                  "home hand-off for a protocol without a home_migrated hook");
+    proto.home_migrated(dsm_, wire.page, ctx.src, ctx.self);
+    marcel::MutexLock l(tbl.mutex(wire.page));
+    tbl.end_transition(wire.page);
+  }
+  Packer out;
+  out.pack(accepted ? std::uint8_t{1} : std::uint8_t{0});
+  ctx.reply(std::move(out));
+}
+
+void HomeMigrator::send_redirect(NodeId from, NodeId stale, PageId page,
+                                 NodeId new_home) {
+  if (stale == new_home || stale == from) return;
+  Packer p;
+  p.pack(RedirectWire{page, new_home});
+  dsm_.runtime().rpc().call_async_from(from, stale, svc_redirect_, std::move(p));
+}
+
+void HomeMigrator::serve_redirect(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<RedirectWire>();
+  DSM_CHECK_MSG(wire.page < dsm_.geometry().page_count(),
+                "home redirect names a page outside the DSM space");
+  DSM_CHECK_MSG(wire.new_home < static_cast<NodeId>(dsm_.node_count()),
+                "home redirect names a node outside the cluster");
+  auto& tbl = dsm_.table(ctx.self);
+  marcel::MutexLock l(tbl.mutex(wire.page));
+  PageEntry& e = tbl.entry(wire.page);
+  // A node whose entry says it IS the home ignores hints: either the hint is
+  // simply stale (the home came back here), or honoring it would detach the
+  // one true home pointer and the forwarding graph loses its sink.
+  if (!e.valid || e.home == ctx.self || e.home == wire.new_home) return;
+  e.home = wire.new_home;
+  dsm_.counters().inc(ctx.self, Counter::kRedirectsFollowed);
+}
+
+}  // namespace dsmpm2::dsm

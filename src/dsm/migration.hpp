@@ -1,0 +1,94 @@
+// Home migration: mobile homes for the home-based protocols.
+//
+// A fixed home is the right default — the paper's home-based protocols
+// (hbrc_mw, lrc_mw) pin each page's merged "main memory" where the area was
+// allocated — but it is the wrong steady state when one remote node does
+// nearly all the writing: every critical section then pays a diff round trip
+// to a home that contributes nothing but the merge. The HomeMigrator watches
+// exactly that traffic at each home (write-request and diff arrivals, per
+// page, per source) and, past DsmConfig::migration_threshold with
+// migration_hysteresis dominance over the runner-up, hands the page's home
+// off to the dominant writer. A writer that becomes its own home upgrades
+// locally and releases with zero messages.
+//
+// The hand-off is a drained two-phase transfer, initiated by the serving
+// thread at the old home:
+//   1. quiesce the page's AckCollector (no invalidation round may be
+//      collecting acks while the frame leaves the node), then take the page
+//      mutex and re-check — a round that opened in between restarts the
+//      drain;
+//   2. under the page mutex (held across the blocking RPC, so every stale
+//      request arriving at the old home parks until the new truth is
+//      published), ship frame + copyset + epoch horizon to the target with
+//      `dsm.mig.home`; the target installs with Access::kNone and
+//      in_transition held, runs the protocol's `home_migrated` hook to
+//      rebuild its consistency view, and acks; the old home then publishes
+//      home = target and drops its frame, or aborts on a NACK (target
+//      mid-transition or twinned).
+//
+// Everyone else learns lazily, Li-Hudak style: a stale node's request is
+// forwarded along the home pointers (each hop is strictly newer — a
+// redirecting node's pointer was installed by a later migration than the
+// requester's, so chains are acyclic and at most node_count hops), and the
+// forwarding home corrects the requester with a `dsm.redirect` hint. Page
+// arrivals carry the serving home as owner_hint, collapsing the requester's
+// chain to length one on first contact.
+//
+// With enable_home_migration off nothing here is ever called: no counters,
+// no branches under page mutexes, no wire bytes — bit-identical behaviour.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "pm2/rpc.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+class HomeMigrator {
+ public:
+  explicit HomeMigrator(Dsm& dsm);
+
+  HomeMigrator(const HomeMigrator&) = delete;
+  HomeMigrator& operator=(const HomeMigrator&) = delete;
+
+  /// Records one unit of home-side traffic (a write request or a diff
+  /// arrival) for `page` on `home`, attributed to `writer`. Local traffic is
+  /// ignored — only remote dominance argues for moving the home.
+  void note_writer_traffic(NodeId home, PageId page, NodeId writer);
+
+  /// Policy gate, called from a serving thread at `home` after the protocol
+  /// action completed (never under the page mutex): if one remote writer
+  /// dominates per the threshold/hysteresis bars, runs the two-phase
+  /// hand-off. A successful hand-off restarts the page's traffic window; a
+  /// failed one (target mid-burst NACKed, or the frame became unshippable)
+  /// keeps half the dominant's evidence, so sustained dominance retries
+  /// after threshold/2 more events instead of starving behind a full fresh
+  /// window — an actively writing target is only clean between bursts, and
+  /// the retry has to keep probing for that gap.
+  void maybe_migrate(NodeId home, PageId page);
+
+  /// Sends a probable-home correction to `stale` on behalf of `from` (safe
+  /// from any context; fire-and-forget).
+  void send_redirect(NodeId from, NodeId stale, PageId page, NodeId new_home);
+
+ private:
+  /// Runs the drained two-phase hand-off; true iff the home actually moved.
+  bool migrate_home(NodeId home, PageId page, NodeId target);
+  void serve_handoff(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_redirect(pm2::RpcContext& ctx, Unpacker& args);
+
+  Dsm& dsm_;
+  pm2::ServiceId svc_handoff_ = 0;
+  pm2::ServiceId svc_redirect_ = 0;
+  /// Per home node: page -> per-source traffic counts since the last
+  /// migration decision on that page.
+  std::vector<std::unordered_map<PageId, std::vector<std::uint32_t>>> stats_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -187,6 +187,15 @@ struct Protocol {
   /// charge time or send messages.
   std::function<void(Dsm&, PageId)> checker_verify;
 
+  /// Home-migration hook, doubling as the eligibility marker: only protocols
+  /// that set it can have their pages' homes moved (dsm/migration.hpp). Runs
+  /// on the NEW home right after the hand-off installed the frame cold
+  /// (Access::kNone, in_transition held on both ends): rebuilds the
+  /// protocol-private view of the page and grants whatever access the fresh
+  /// home frame supports. May block (pull diffs); must leave the entry
+  /// consistent before returning. Arguments: page, old home, new home.
+  std::function<void(Dsm&, PageId, NodeId, NodeId)> home_migrated;
+
   /// Factory for per-node protocol state.
   std::function<std::unique_ptr<ProtocolState>()> make_node_state;
 

@@ -360,15 +360,36 @@ void fetch_from_home(Dsm& dsm, const FaultContext& ctx) {
 void serve_request_home(Dsm& dsm, const PageRequest& req,
                         bool arm_home_write_detection) {
   auto& tbl = dsm.table(req.node);
+  NodeId forward_to = kInvalidNode;
   {
     marcel::MutexLock l(tbl.mutex(req.page));
+    // A home hand-off publishes under this mutex; a freshly migrated-IN home
+    // also finishes its install (in_transition) before it may serve.
+    settle(dsm, req.node, req.page);
     PageEntry& e = tbl.entry(req.page);
-    DSM_CHECK_MSG(e.home == req.node, "home request served off the home node");
-    dsm.charge(dsm.costs().request_serve);
-    e.copyset.insert(req.requester);
-    if (arm_home_write_detection && e.access == Access::kWrite) {
-      e.access = Access::kRead;  // next home-side write faults and is tracked
+    if (e.home != req.node) {
+      // Stale requester: the home moved. Forward along the migration chain
+      // (each hop is strictly newer, so it terminates at the current home).
+      DSM_CHECK_MSG(dsm.config().enable_home_migration,
+                    "home request served off the home node");
+      forward_to = e.home;
+    } else {
+      dsm.charge(dsm.costs().request_serve);
+      e.copyset.insert(req.requester);
+      if (arm_home_write_detection && e.access == Access::kWrite) {
+        e.access = Access::kRead;  // next home-side write faults and is tracked
+      }
     }
+  }
+  if (forward_to != kInvalidNode) {
+    // The requester holds its own page in_transition for the whole fetch and
+    // a hand-off NACKs on in_transition, so the chain can never point back
+    // at the requester itself.
+    DSM_CHECK(forward_to != req.node && forward_to != req.requester);
+    dsm.counters().inc(req.node, Counter::kRequestsForwarded);
+    dsm.comm().request_page(forward_to, req.page, req.wanted, req.requester);
+    dsm.migrator().send_redirect(req.node, req.requester, req.page, forward_to);
+    return;
   }
   dsm.comm().send_page(req.requester, req.page, req.wanted,
                        /*ownership=*/false, CopySet{}, /*owner_hint=*/req.node);
@@ -379,6 +400,12 @@ bool upgrade_home_write(Dsm& dsm, const FaultContext& ctx) {
   marcel::MutexLock l(tbl.mutex(ctx.page));
   PageEntry& e = tbl.entry(ctx.page);
   if (e.home != ctx.node) return false;
+  if (e.in_transition) {
+    // A hand-off is installing the home role here (the only transition a
+    // home frame ever sees): wait it out and let the retry loop re-fault.
+    tbl.wait_transition(ctx.page);
+    return true;
+  }
   if (access_covers(e.access, Access::kWrite)) return true;  // raced
   DSM_CHECK(e.access == Access::kRead);  // the home always retains read
   e.access = Access::kWrite;
@@ -399,6 +426,11 @@ void receive_page_home(Dsm& dsm, const PageArrival& arrival, bool twin_on_write)
   marcel::MutexLock l(tbl.mutex(arrival.page));
   PageEntry& e = tbl.entry(arrival.page);
   install_page_frame(dsm, arrival);
+  if (dsm.config().enable_home_migration) {
+    // The serving home stamped itself into owner_hint: adopt it, collapsing
+    // any redirect chain this request followed down to one hop.
+    e.home = arrival.owner_hint;
+  }
   const auto frame = dsm.store(arrival.node).frame(arrival.page);
   e.access = arrival.granted;
   if (arrival.granted == Access::kWrite && twin_on_write) {
@@ -561,25 +593,48 @@ void send_diff_batches(
 void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival) {
   auto& tbl = dsm.table(arrival.node);
   CopySet third_party;
+  NodeId forward_to = kInvalidNode;
   {
     marcel::MutexLock l(tbl.mutex(arrival.page));
+    settle(dsm, arrival.node, arrival.page);
     PageEntry& e = tbl.entry(arrival.page);
-    DSM_CHECK_MSG(e.home == arrival.node, "diff arrived off the home node");
-    dsm.charge_us(static_cast<double>(arrival.diff->payload_bytes()) *
-                  dsm.costs().diff_apply_per_byte_us);
-    arrival.diff->apply(dsm.store(arrival.node).frame(arrival.page));
-    if (!arrival.response_to_invalidation) {
-      third_party = e.copyset;
-      third_party.erase(arrival.from);
-      third_party.erase(arrival.node);
-      // The releaser flush-invalidated its own copy and the round below
-      // drops everyone else's: no replicas remain.
-      e.copyset.clear();
-      if (Checker* ck = dsm.checker()) {
-        third_party.for_each(
-            [&](NodeId m) { ck->pending_revoke_add(arrival.page, m); });
+    if (e.home != arrival.node) {
+      // Stale flusher: the home moved after this diff left its writer.
+      DSM_CHECK_MSG(dsm.config().enable_home_migration,
+                    "diff arrived off the home node");
+      forward_to = e.home;
+    } else {
+      dsm.charge_us(static_cast<double>(arrival.diff->payload_bytes()) *
+                    dsm.costs().diff_apply_per_byte_us);
+      arrival.diff->apply(dsm.store(arrival.node).frame(arrival.page));
+      if (!arrival.response_to_invalidation) {
+        third_party = e.copyset;
+        third_party.erase(arrival.from);
+        third_party.erase(arrival.node);
+        // The releaser flush-invalidated its own copy and the round below
+        // drops everyone else's: no replicas remain.
+        e.copyset.clear();
+        if (Checker* ck = dsm.checker()) {
+          third_party.for_each(
+              [&](NodeId m) { ck->pending_revoke_add(arrival.page, m); });
+        }
       }
     }
+  }
+  if (forward_to != kInvalidNode) {
+    // BLOCKING hop: our ack to the flusher means "merged at the home" (the
+    // epoch GC advances flushed horizons on it), so it may only go out after
+    // the real home applied the bytes. send_diff blocks on the home's ack,
+    // and we are a kThread handler — the flusher's reply waits on us. The
+    // hop may legitimately point back at the flusher itself: a node that
+    // flush-invalidated its copy is hand-off eligible, so the home can move
+    // there while its diff is still in flight to us.
+    dsm.counters().inc(arrival.node, Counter::kRequestsForwarded);
+    dsm.comm().send_diff(forward_to, arrival.page, *arrival.diff,
+                         arrival.response_to_invalidation);
+    dsm.migrator().send_redirect(arrival.node, arrival.from, arrival.page,
+                                 forward_to);
+    return;
   }
   if (!arrival.response_to_invalidation && !third_party.empty()) {
     invalidate_copyset(dsm, arrival.page, third_party, arrival.node, arrival.node);
@@ -618,6 +673,20 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
   if (!diff.empty()) {
     dsm.comm().send_diff(home, inv.page, diff, /*response_to_invalidation=*/true);
   }
+}
+
+void hbrc_home_migrated(Dsm& dsm, PageId page, NodeId /*old_home*/,
+                        NodeId new_home) {
+  auto& tbl = dsm.table(new_home);
+  marcel::MutexLock l(tbl.mutex(page));
+  PageEntry& e = tbl.entry(page);
+  // The hand-off drained every in-flight collector round and refused dirty
+  // or twinned frames, so the transferred bytes are the fully merged image.
+  // All that is left is granting access: alone, the new home writes for free
+  // (the steady-state win the migration buys); with replicas outstanding it
+  // takes kRead so its next local write faults into home_dirty like any
+  // armed home.
+  e.access = e.copyset.empty() ? Access::kWrite : Access::kRead;
 }
 
 // ---------------------------------------------------------------------------
@@ -1013,15 +1082,42 @@ void lrc_acquire(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
   // read a page the acquire should have revoked or completed.
   while (!st.revoke_pending.empty()) {
     const PageId page = *st.revoke_pending.begin();
+    if (dsm.config().enable_home_migration) {
+      // The home may have migrated HERE between ingest and this drain: the
+      // page is now merged in place like any home page, not revoked.
+      marcel::MutexLock l(tbl.mutex(page));
+      if (tbl.entry(page).home == node) {
+        st.revoke_pending.erase(page);
+        st.home_pending.insert(page);
+        continue;
+      }
+    }
     lrc_revoke_page(dsm, st, page, node);
     st.revoke_pending.erase(page);
   }
   while (!st.home_pending.empty()) {
     const PageId page = *st.home_pending.begin();
+    if (dsm.config().enable_home_migration) {
+      // The home role (and the frame with it) may have left this node since
+      // ingest: the new home's hand-off hook completed the merge, and the
+      // frame this entry referred to is gone. Nothing to do here.
+      marcel::MutexLock l(tbl.mutex(page));
+      if (tbl.entry(page).home != node) {
+        st.home_pending.erase(page);
+        continue;
+      }
+    }
     const PullOutcome o =
         lrc_pull_missing_diffs(dsm, st, page, node);  // blocks; re-checks growth
-    DSM_CHECK_MSG(o == PullOutcome::kComplete,
-                  "home frame asked to refetch itself");
+    if (o == PullOutcome::kRefetchHome) {
+      // Only reachable when the home moved away mid-pull (frame_is_home went
+      // false under the blocking collect): re-check and drop the entry.
+      DSM_CHECK_MSG(dsm.config().enable_home_migration,
+                    "home frame asked to refetch itself");
+      marcel::MutexLock l(tbl.mutex(page));
+      if (tbl.entry(page).home != node) st.home_pending.erase(page);
+      continue;
+    }
     marcel::MutexLock l(tbl.mutex(page));
     if (tbl.entry(page).proto_word >= st.notices_by_page[page].size()) {
       st.home_pending.erase(page);
@@ -1063,6 +1159,12 @@ void lrc_receive_page(Dsm& dsm, const PageArrival& arrival) {
     // A fresh base image carries no locally verified notices (whatever the
     // home had merged is simply re-applied — harmless, order-preserving).
     e.proto_word = 0;
+    if (dsm.config().enable_home_migration) {
+      // Chain collapse: the node that actually served us is the home as of
+      // this grant; the refetch loop below re-reads e.home and so chases
+      // any migration that lands after this point.
+      e.home = arrival.owner_hint;
+    }
     pid = e.protocol;
   }
   auto& st = dsm.proto_state<LrcState>(pid, arrival.node);
@@ -1310,6 +1412,45 @@ void lrc_retained_bytes(Dsm& dsm, ProtocolId protocol, NodeId node,
   for (const auto& [page, list] : st.notices_by_page) notices += list.size();
   notice_list_bytes += notices * sizeof(WriteNotice) +
                        st.notices_seen.size() * sizeof(std::uint64_t);
+}
+
+void lrc_home_migrated(Dsm& dsm, ProtocolId protocol, PageId page,
+                       NodeId old_home, NodeId new_home) {
+  auto& st = dsm.proto_state<LrcState>(protocol, new_home);
+  auto& st_old = dsm.proto_state<LrcState>(protocol, old_home);
+  auto& tbl = dsm.table(new_home);
+  // Both ends' cached-frame bookkeeping for the page is void: the old home's
+  // frame leaves with the hand-off, and whatever view THIS node had of the
+  // page as a cache was just overwritten by the transferred image. Without
+  // the erase here, a later lrc_complete_cached would patch diffs onto a
+  // rematerialized zero-filled frame at the old home, and the base-floor
+  // skipping would trust horizons that no longer describe these bytes.
+  st_old.cached.erase(page);
+  st_old.frame_floor.erase(page);
+  st.cached.erase(page);
+  st.frame_floor.erase(page);
+  // The transferred image is the old home's merged view. This node may know
+  // notices the old home never merged — including its OWN unflushed
+  // intervals, whose in-place frame bytes the install just clobbered — so
+  // re-apply everything known on top. The installer reset proto_word, the
+  // pull starts from zero, and re-applying diffs the old home had already
+  // merged is harmless and order-preserving (the lrc_receive_page argument).
+  // frame_is_home is already true here, so a reclaimed diff is skipped:
+  // flushed-to-home means the transferred bytes carry it.
+  for (;;) {
+    const PullOutcome o = lrc_pull_missing_diffs(dsm, st, page, new_home);
+    DSM_CHECK_MSG(o == PullOutcome::kComplete,
+                  "transferred home frame asked to refetch itself");
+    marcel::MutexLock l(tbl.mutex(page));
+    PageEntry& e = tbl.entry(page);
+    if (e.proto_word >= st.notices_by_page[page].size()) {
+      // Home steady state is read access: the next local write faults and
+      // twins like any other lrc home write, keeping interval replay intact.
+      e.access = Access::kRead;
+      return;
+    }
+    // Grew while taking the mutex: pull again (unlocked by scope).
+  }
 }
 
 // ---------------------------------------------------------------------------

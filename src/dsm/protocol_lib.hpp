@@ -237,6 +237,13 @@ void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival);
 /// hbrc_mw invalidation service: flush own diff (if dirty), drop the copy.
 void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv);
 
+/// Protocol::home_migrated for the eager home-based family (hbrc_mw). The
+/// transferred frame is already the fully merged image — the hand-off drained
+/// every in-flight collector round and refused dirty/twinned frames — so the
+/// hook only grants access: kWrite when no replicas are out (the steady-state
+/// dominant-writer win), kRead to arm home write detection otherwise.
+void hbrc_home_migrated(Dsm& dsm, PageId page, NodeId old_home, NodeId new_home);
+
 // ---------------------------------------------------------------------------
 // Lazy release consistency (lrc_mw)
 // ---------------------------------------------------------------------------
@@ -304,6 +311,16 @@ std::vector<std::uint32_t> lrc_payload_horizon(std::span<const std::byte> payloa
 void lrc_retained_bytes(Dsm& dsm, ProtocolId protocol, NodeId node,
                         std::uint64_t& diff_store_bytes,
                         std::uint64_t& notice_list_bytes);
+
+/// Protocol::home_migrated for lrc_mw. The transferred image is the OLD
+/// home's merged view; this node may know notices the old home never saw (and
+/// its own cached-frame bookkeeping is void — the installer overwrote the
+/// frame). Voids `cached`/`frame_floor` for the page on both ends, pulls
+/// every known diff onto the fresh home frame (reclaimed diffs are skipped:
+/// flushed-to-home means they are in the transferred bytes), and grants read
+/// access once the applied prefix covers the notice list.
+void lrc_home_migrated(Dsm& dsm, ProtocolId protocol, PageId page,
+                       NodeId old_home, NodeId new_home);
 
 // ---------------------------------------------------------------------------
 // Small helpers

@@ -88,13 +88,21 @@ Protocol make_hbrc_mw() {
     dsm::lib::apply_diff_home_and_invalidate(d, arrival);
   };
 
+  // Hand-off eligibility + post-install fixup: setting this hook is what
+  // allows the migrator to move hbrc_mw homes at all.
+  p.home_migrated = [](Dsm& d, PageId page, NodeId old_home, NodeId new_home) {
+    dsm::lib::hbrc_home_migrated(d, page, old_home, new_home);
+  };
+
   p.make_node_state = [] {
     return std::make_unique<dsm::lib::HomeRcState>();
   };
 
   // dsmcheck: home-based — every cached non-home replica is in the home's
-  // copyset (modulo in-flight invalidation rounds).
+  // copyset (modulo in-flight invalidation rounds), there is exactly one
+  // home, and the forwarding chains migration leaves behind converge on it.
   p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::single_home(d, page);
     dsm::checks::home_copyset_covers_cached(d, page);
   };
   return p;

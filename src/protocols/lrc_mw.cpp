@@ -115,11 +115,21 @@ Protocol make_lrc_mw() {
                                  diff_store_bytes, notice_list_bytes);
   };
 
+  // Hand-off eligibility + post-install reconciliation: setting this hook is
+  // what allows the migrator to move lrc_mw homes at all.
+  p.home_migrated = [](Dsm& d, PageId page, NodeId old_home, NodeId new_home) {
+    dsm::lib::lrc_home_migrated(d, d.protocol_by_name("lrc_mw"), page,
+                                old_home, new_home);
+  };
+
   p.make_node_state = [] { return std::make_unique<dsm::lib::LrcState>(); };
 
   // dsmcheck: home-based; lazy self-revocation means the home copyset only
   // ever over-approximates, which is the direction the check tolerates.
+  // single_home additionally pins down exactly one home per page and
+  // convergent forwarding chains under migration.
   p.checker_verify = [](Dsm& d, PageId page) {
+    dsm::checks::single_home(d, page);
     dsm::checks::home_copyset_covers_cached(d, page);
   };
   return p;

@@ -1,0 +1,511 @@
+// Home and lock-manager migration (perf PR): dominant-writer home hand-off,
+// probable-home forwarding chains collapsing on first contact, the drained
+// lock-manager transfer with its zero-message local-grant fast path, stale
+// requester redirects, the checker x migration equivalence matrix, and the
+// mix-hash manager striding.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dsm/protocol_lib.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+using namespace dsmpm2::time_literals;
+
+DsmConfig mig_cfg(bool home, bool mgr, std::uint32_t threshold = 4,
+                  bool checker = false) {
+  DsmConfig cfg;
+  cfg.enable_home_migration = home;
+  cfg.enable_manager_migration = mgr;
+  cfg.migration_threshold = threshold;
+  cfg.enable_checker = checker;
+  cfg.checker_abort = checker;  // tests want invariant breaks to be fatal
+  return cfg;
+}
+
+std::uint64_t wire_msgs(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).messages_sent;
+  }
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Home migration
+// ---------------------------------------------------------------------------
+
+TEST(HomeMigration, DominantRemoteWriterTakesTheHome) {
+  DsmFixture fx(4, madeleine::bip_myrinet(), mig_cfg(true, false));
+  const ProtocolId proto = fx.dsm.protocol_by_name("hbrc_mw");
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = fx.dsm.geometry().page_of(x);
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    // Node 3 is the only writer: every critical section faults/flushes a
+    // diff at the home, so its traffic count passes the bars quickly.
+    auto& w = fx.rt.spawn_on(3, "writer", [&] {
+      for (long i = 0; i < 10; ++i) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(x, i + 1);
+        fx.dsm.lock_release(lock);
+      }
+    });
+    fx.rt.threads().join(w);
+    // A reader on another node still sees the data after the hand-off.
+    auto& r = fx.rt.spawn_on(1, "reader", [&] {
+      fx.dsm.lock_acquire(lock);
+      EXPECT_EQ(fx.dsm.read<long>(x), 10);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(r);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kHomeMigrations), 1u);
+  // The dominant writer is self-homed; exactly one node is.
+  EXPECT_EQ(fx.dsm.table(3).entry(page).home, 3u);
+  int self_homed = 0;
+  for (NodeId n = 0; n < 4; ++n) {
+    if (fx.dsm.table(n).entry(page).home == n) ++self_homed;
+  }
+  EXPECT_EQ(self_homed, 1);
+}
+
+TEST(HomeMigration, ForwardingChainCollapsesOnFirstContact) {
+  // Three successive migrations leave a 3-hop probable-home chain
+  // 0 -> 1 -> 2 -> 3. A bystander that still points at the original home
+  // reaches the current one through forwards and comes back with a
+  // collapsed (direct) pointer. Checker on + abort: single_home asserts the
+  // chain stays acyclic and convergent throughout.
+  DsmFixture fx(5, madeleine::bip_myrinet(), mig_cfg(true, false, 4, true));
+  const ProtocolId proto = fx.dsm.protocol_by_name("hbrc_mw");
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = fx.dsm.geometry().page_of(x);
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run([&] {
+    for (NodeId writer = 1; writer <= 3; ++writer) {
+      auto& w = fx.rt.spawn_on(writer, "writer", [&] {
+        for (long i = 0; i < 10; ++i) {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(x, static_cast<long>(writer) * 100 + i);
+          fx.dsm.lock_release(lock);
+        }
+      });
+      fx.rt.threads().join(w);
+    }
+    const std::uint64_t forwarded0 =
+        fx.dsm.counters().total(Counter::kRequestsForwarded);
+    // Node 4 never touched the page: its home pointer is the stale original.
+    auto& r = fx.rt.spawn_on(4, "late-reader", [&] {
+      fx.dsm.lock_acquire(lock);
+      EXPECT_EQ(fx.dsm.read<long>(x), 309);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(r);
+    EXPECT_GE(fx.dsm.counters().total(Counter::kRequestsForwarded) - forwarded0,
+              3u);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kHomeMigrations), 3u);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kRedirectsFollowed), 1u);
+  // The stale reader's pointer collapsed straight to the current home.
+  EXPECT_EQ(fx.dsm.table(3).entry(page).home, 3u);
+  EXPECT_EQ(fx.dsm.table(4).entry(page).home, 3u);
+}
+
+TEST(HomeMigration, FaultsRacingHandoffsStayCoherent) {
+  // Every node reads and writes two pages under one lock while low bars
+  // keep the homes moving; dsmcheck runs in abort mode, so a single broken
+  // invariant (two homes, divergent chain, lost diff) kills the test.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 8;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), mig_cfg(true, false, 2, true));
+  const ProtocolId proto = fx.dsm.protocol_by_name("hbrc_mw");
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr a = fx.dsm.dsm_malloc(sizeof(long), attr);
+  attr.fixed_home = 1;
+  const DsmAddr b = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(proto);
+  fx.run_on_all_nodes([&](NodeId n) {
+    for (int r = 0; r < kRounds; ++r) {
+      fx.dsm.lock_acquire(lock);
+      const long va = fx.dsm.read<long>(a);
+      const long vb = fx.dsm.read<long>(b);
+      fx.dsm.write<long>(a, va + 1);
+      fx.dsm.write<long>(b, vb + 1);
+      fx.dsm.lock_release(lock);
+      (void)n;
+    }
+  });
+  fx.run([&] {
+    fx.dsm.lock_acquire(lock);
+    EXPECT_EQ(fx.dsm.read<long>(a), kNodes * kRounds);
+    EXPECT_EQ(fx.dsm.read<long>(b), kNodes * kRounds);
+    fx.dsm.lock_release(lock);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kHomeMigrations), 1u);
+}
+
+TEST(HomeMigration, LrcHomesMigrateToo) {
+  // Under the lazy protocol the home only sees a writer's traffic when
+  // epoch GC flushes reclaimed diffs home, so this drives barrier rounds
+  // with metadata GC on: the dominant writer's flushes trip the bars and
+  // the hand-off must reconcile the transferred frame against the diff
+  // stores.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 8;
+  DsmConfig cfg = mig_cfg(true, false, 2, true);
+  cfg.enable_metadata_gc = true;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), cfg);
+  const ProtocolId proto = fx.dsm.protocol_by_name("lrc_mw");
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(proto);
+  const int barrier = fx.dsm.create_barrier(kNodes, proto);
+  long last = 0;
+  fx.run_on_all_nodes([&](NodeId n) {
+    for (int r = 0; r < kRounds; ++r) {
+      if (n == 2) {  // the dominant writer
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+        fx.dsm.lock_release(lock);
+      }
+      fx.dsm.barrier_wait(barrier);  // advances the watermark, flushes home
+    }
+    if (n == 1) {
+      fx.dsm.lock_acquire(lock);
+      last = fx.dsm.read<long>(x);
+      fx.dsm.lock_release(lock);
+    }
+  });
+  EXPECT_EQ(last, kRounds);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kHomeMigrations), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Lock-manager migration
+// ---------------------------------------------------------------------------
+
+TEST(ManagerMigration, DominantAcquirerTakesTheManagerAndGrantsLocally) {
+  constexpr int kNodes = 4;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), mig_cfg(false, true));
+  const int lock = fx.dsm.create_lock();
+  const NodeId striped = stripe_to_node(0, kNodes, /*legacy=*/false);
+  const NodeId hot = striped == 3 ? 2 : 3;  // any node off the stripe
+  std::uint64_t msgs_before_local_phase = 0;
+  std::uint64_t msgs_after_local_phase = 0;
+  fx.run([&] {
+    auto& t = fx.rt.spawn_on(hot, "hot", [&] {
+      // Dominance phase: every acquire lands at the striped manager until
+      // the bars trip and the role moves here.
+      for (int i = 0; i < 8; ++i) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.lock_release(lock);
+      }
+      // Let the hand-off land, then one settling cycle to collapse the hint.
+      fx.rt.compute(1_ms);
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+      // Steady state: the manager granting and releasing its own lock must
+      // put NOTHING on the wire.
+      msgs_before_local_phase = wire_msgs(fx.rt);
+      for (int i = 0; i < 16; ++i) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.lock_release(lock);
+      }
+      msgs_after_local_phase = wire_msgs(fx.rt);
+    });
+    fx.rt.threads().join(t);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kManagerMigrations), 1u);
+  EXPECT_EQ(fx.dsm.locks().current_manager(lock), hot);
+  EXPECT_EQ(msgs_after_local_phase, msgs_before_local_phase);
+  EXPECT_GE(fx.dsm.counters().get(hot, Counter::kLocalGrants), 32u);
+}
+
+TEST(ManagerMigration, StaleRequesterIsRedirectedOnce) {
+  constexpr int kNodes = 4;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), mig_cfg(false, true));
+  const int lock = fx.dsm.create_lock();
+  const NodeId striped = stripe_to_node(0, kNodes, /*legacy=*/false);
+  const NodeId hot = striped == 3 ? 2 : 3;
+  const NodeId stale = [&] {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n != striped && n != hot) return n;
+    }
+    return kInvalidNode;
+  }();
+  fx.run([&] {
+    // The stale node learns the original manager...
+    auto& s0 = fx.rt.spawn_on(stale, "stale", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(s0);
+    // ...the hot node then takes the manager role...
+    auto& h = fx.rt.spawn_on(hot, "hot", [&] {
+      for (int i = 0; i < 10; ++i) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.lock_release(lock);
+      }
+      fx.rt.compute(1_ms);
+    });
+    fx.rt.threads().join(h);
+    const std::uint64_t redirects0 =
+        fx.dsm.counters().total(Counter::kRedirectsFollowed);
+    // ...and the stale node's next acquire bounces off the old manager,
+    // follows the redirect, and succeeds at the new one.
+    auto& s1 = fx.rt.spawn_on(stale, "stale2", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(s1);
+    EXPECT_GE(fx.dsm.counters().total(Counter::kRedirectsFollowed) - redirects0,
+              1u);
+  });
+  EXPECT_EQ(fx.dsm.locks().current_manager(lock), hot);
+}
+
+/// A protocol whose sync hooks only move payloads (strings), to watch the
+/// payload history cross a manager hand-off intact.
+struct PayloadProbe {
+  std::string outgoing;
+  std::vector<std::vector<std::string>> received;
+};
+
+Protocol make_payload_probe(PayloadProbe* probe) {
+  Protocol p;
+  p.name = "payload_probe";
+  p.read_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    lib::acquire_page_copy(d, ctx);
+  };
+  p.write_fault_handler = [](Dsm& d, const FaultContext& ctx) {
+    if (lib::upgrade_owner_to_write(d, ctx, true)) return;
+    lib::acquire_page_copy(d, ctx);
+  };
+  p.read_server = lib::serve_read_dynamic;
+  p.write_server = lib::serve_write_dynamic;
+  p.invalidate_server = lib::invalidate_local;
+  p.receive_page_server = [](Dsm& d, const PageArrival& a) {
+    lib::receive_page_dynamic(d, a, true);
+  };
+  p.lock_acquire = [probe](Dsm&, const SyncContext& ctx) {
+    std::vector<std::string> blocks;
+    for (const Buffer& b : ctx.grant_payloads) {
+      Unpacker u(b);
+      blocks.push_back(u.unpack_string());
+    }
+    probe->received.push_back(std::move(blocks));
+  };
+  p.lock_release = [probe](Dsm&, const SyncContext&) {
+    Packer payload;
+    if (!probe->outgoing.empty()) {
+      payload.pack_string(probe->outgoing);
+      probe->outgoing.clear();
+    }
+    return payload;
+  };
+  return p;
+}
+
+TEST(ManagerMigration, PayloadHistorySurvivesTheHandoff) {
+  // Releases before the migration must come out of grants after it: the
+  // hand-off carries the history, horizons, floor and cursors on the wire.
+  constexpr int kNodes = 4;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), mig_cfg(false, true));
+  PayloadProbe probe;
+  const ProtocolId proto = fx.dsm.create_protocol(make_payload_probe(&probe));
+  const int lock = fx.dsm.create_lock(proto);
+  const NodeId striped = stripe_to_node(0, kNodes, /*legacy=*/false);
+  const NodeId hot = striped == 3 ? 2 : 3;
+  const NodeId late = [&] {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n != striped && n != hot) return n;
+    }
+    return kInvalidNode;
+  }();
+  fx.run([&] {
+    auto& h = fx.rt.spawn_on(hot, "hot", [&] {
+      for (int i = 0; i < 8; ++i) {
+        fx.dsm.lock_acquire(lock);
+        probe.outgoing = "cs" + std::to_string(i);
+        fx.dsm.lock_release(lock);
+      }
+      fx.rt.compute(1_ms);
+    });
+    fx.rt.threads().join(h);
+    // First-ever acquire after the migration: the slice must contain the
+    // ENTIRE pre-migration history, in release order.
+    auto& l = fx.rt.spawn_on(late, "late", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(l);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kManagerMigrations), 1u);
+  ASSERT_EQ(probe.received.size(), 9u);
+  const std::vector<std::string> want{"cs0", "cs1", "cs2", "cs3",
+                                      "cs4", "cs5", "cs6", "cs7"};
+  EXPECT_EQ(probe.received[8], want);
+}
+
+TEST(ManagerMigration, ReleasesRacingTheHandoffStayMutuallyExclusive) {
+  // The hot node fires its next acquire while the previous (async) release
+  // — possibly the one that triggers the hand-off — is still in flight, and
+  // a contender hammers the lock from another node the whole time. Grants
+  // issued inside the transfer window bounce off the redirect guards; the
+  // in-CS flag proves no double grant ever happens.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 12;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), mig_cfg(false, true, 3));
+  const int lock = fx.dsm.create_lock();
+  const NodeId striped = stripe_to_node(0, kNodes, /*legacy=*/false);
+  const NodeId hot = striped == 3 ? 2 : 3;
+  const NodeId rival = [&] {
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n != striped && n != hot) return n;
+    }
+    return kInvalidNode;
+  }();
+  bool in_cs = false;
+  int sections = 0;
+  const auto cs_loop = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      fx.dsm.lock_acquire(lock);
+      EXPECT_FALSE(in_cs);
+      in_cs = true;
+      ++sections;
+      fx.rt.compute(5_us);
+      in_cs = false;
+      fx.dsm.lock_release(lock);
+    }
+  };
+  fx.run([&] {
+    auto& a = fx.rt.spawn_on(hot, "hot", [&] { cs_loop(2 * kRounds); });
+    auto& b = fx.rt.spawn_on(rival, "rival", [&] { cs_loop(kRounds); });
+    fx.rt.threads().join(a);
+    fx.rt.threads().join(b);
+  });
+  EXPECT_EQ(sections, 3 * kRounds);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kManagerMigrations), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence matrix + striding
+// ---------------------------------------------------------------------------
+
+struct RunSignature {
+  SimTime end_time = 0;
+  std::uint64_t msgs = 0;
+  long final_value = 0;
+};
+
+RunSignature matrix_run(bool home_mig, bool mgr_mig, bool checker) {
+  DsmFixture fx(4, madeleine::bip_myrinet(),
+                mig_cfg(home_mig, mgr_mig, 4, checker));
+  const ProtocolId proto = fx.dsm.protocol_by_name("lrc_mw");
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(proto);
+  RunSignature sig;
+  const pm2::RunStats stats = fx.run([&] {
+    for (int r = 0; r < 3; ++r) {
+      for (NodeId n = 0; n < 4; ++n) {
+        auto& t = fx.rt.spawn_on(n, "w", [&] {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+          fx.dsm.lock_release(lock);
+        });
+        fx.rt.threads().join(t);
+      }
+    }
+    fx.dsm.lock_acquire(lock);
+    sig.final_value = fx.dsm.read<long>(x);
+    fx.dsm.lock_release(lock);
+  });
+  sig.end_time = stats.end_time;
+  sig.msgs = wire_msgs(fx.rt);
+  return sig;
+}
+
+TEST(MigrationMatrix, CheckerNeverPerturbsAndDataNeverDiverges) {
+  for (const bool home : {false, true}) {
+    for (const bool mgr : {false, true}) {
+      const RunSignature off = matrix_run(home, mgr, /*checker=*/false);
+      const RunSignature on = matrix_run(home, mgr, /*checker=*/true);
+      // dsmcheck charges no time and sends nothing: bit-identical schedule.
+      EXPECT_EQ(off.end_time, on.end_time) << "home=" << home << " mgr=" << mgr;
+      EXPECT_EQ(off.msgs, on.msgs) << "home=" << home << " mgr=" << mgr;
+      // Migration reshuffles placement, never results.
+      EXPECT_EQ(off.final_value, 12) << "home=" << home << " mgr=" << mgr;
+    }
+  }
+}
+
+TEST(Striding, MixHashSpreadsCorrelatedIdsAndLegacyRestoresModulo) {
+  constexpr int kNodes = 8;
+  // The historical mapping piles every multiple of the node count onto node
+  // 0 — the common "one lock per row" allocation pattern.
+  std::set<NodeId> legacy_nodes;
+  std::set<NodeId> mixed_nodes;
+  int mixed_on_zero = 0;
+  for (int id = 0; id < 64 * kNodes; id += kNodes) {
+    const NodeId legacy = stripe_to_node(static_cast<std::uint64_t>(id),
+                                         kNodes, /*legacy=*/true);
+    EXPECT_EQ(legacy, static_cast<NodeId>(id % kNodes));
+    legacy_nodes.insert(legacy);
+    const NodeId mixed = stripe_to_node(static_cast<std::uint64_t>(id),
+                                        kNodes, /*legacy=*/false);
+    mixed_nodes.insert(mixed);
+    if (mixed == 0) ++mixed_on_zero;
+  }
+  EXPECT_EQ(legacy_nodes.size(), 1u);  // all on node 0
+  EXPECT_GE(mixed_nodes.size(), 5u);   // spread across most of the cluster
+  EXPECT_LT(mixed_on_zero, 32);        // no majority pile-up anywhere
+  // Determinism: same id, same node, every call.
+  for (int id = 0; id < 16; ++id) {
+    EXPECT_EQ(stripe_to_node(static_cast<std::uint64_t>(id), kNodes, false),
+              stripe_to_node(static_cast<std::uint64_t>(id), kNodes, false));
+  }
+}
+
+TEST(Striding, LegacyFlagKeepsLockAndBarrierPlacement) {
+  // With legacy_lock_striding on, lock 1 of a 4-node cluster is managed by
+  // node 1 — observable through current_manager.
+  DsmConfig cfg;
+  cfg.legacy_lock_striding = true;
+  DsmFixture fx(4, madeleine::bip_myrinet(), cfg);
+  (void)fx.dsm.create_lock();
+  const int lock1 = fx.dsm.create_lock();
+  EXPECT_EQ(fx.dsm.locks().current_manager(lock1), 1u);
+  DsmFixture fx2(4);
+  (void)fx2.dsm.create_lock();
+  const int mixed1 = fx2.dsm.create_lock();
+  EXPECT_EQ(fx2.dsm.locks().current_manager(mixed1),
+            stripe_to_node(1, 4, /*legacy=*/false));
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Merge per-bench JSON outputs into one BENCH_RESULTS.json.
+
+Every scaling/soak bench writes a machine-readable `bench_<name>.json` next
+to its binary when run with `--json` (the `ctest -L smoke` entries do this in
+the build tree). This tool globs them up and folds them into a single
+artifact so CI uploads — and humans diffing two runs — deal with one file:
+
+    {
+      "benches": {
+        "scale_lrc":       { ...bench_scale_lrc.json... },
+        "scale_migration": { ...bench_scale_migration.json... },
+        ...
+      },
+      "bench_count": N
+    }
+
+The per-bench payloads are embedded verbatim (each already names its bench,
+driver, and unit); files that fail to parse are reported and fail the run —
+a truncated artifact should fail CI, not upload quietly.
+
+Usage: bench_summary.py [--dir build/bench] [--out BENCH_RESULTS.json]
+
+Exit status: 0 on success (even with zero inputs, which prints a notice so a
+mis-pointed --dir is visible in CI logs), 1 on any unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def merge(src_dir: Path, out_path: Path) -> int:
+    merged: dict[str, object] = {}
+    bad = 0
+    for path in sorted(src_dir.glob("bench_*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"bench_summary: cannot read {path}: {err}", file=sys.stderr)
+            bad += 1
+            continue
+        # Key by the bench's self-declared name; fall back to the file stem
+        # (minus the bench_ prefix) for older payloads.
+        name = payload.get("bench") if isinstance(payload, dict) else None
+        if not isinstance(name, str) or not name:
+            name = path.stem.removeprefix("bench_")
+        if name in merged:
+            # bench_soak_lrc writes both a smoke and a full variant; keep
+            # them apart by file stem instead of silently overwriting.
+            name = path.stem.removeprefix("bench_")
+        merged[name] = payload
+    if bad:
+        return 1
+    if not merged:
+        print(f"bench_summary: no bench_*.json under {src_dir} — "
+              "did the smoke benches run?")
+    out_path.write_text(
+        json.dumps({"benches": merged, "bench_count": len(merged)}, indent=2)
+        + "\n")
+    print(f"bench_summary: merged {len(merged)} bench file(s) from "
+          f"{src_dir} into {out_path}")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", type=Path, default=Path("build/bench"),
+                    help="directory holding bench_*.json (default: build/bench)")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="output path (default: <dir>/BENCH_RESULTS.json)")
+    args = ap.parse_args()
+    out = args.out if args.out else args.dir / "BENCH_RESULTS.json"
+    return merge(args.dir.resolve(), out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,14 @@ ALLOWLIST = [
         re.compile(r"auto frame = d\.store\(node\)\.frame\(page\);"),
         "java release: frame is the read-only input to a span-log diff",
     ),
+    (
+        "src/dsm/migration.cpp",
+        re.compile(r"auto frame = dsm_\.store\(ctx\.self\)\.frame\(wire\.page\);"),
+        "home hand-off install: whole-page copy of the old home's merged "
+        "frame under in_transition, with write_spans cleared and access "
+        "kNone until the protocol's home_migrated hook re-arms the page; "
+        "the installed frame is home truth, never a twin-diffed writer copy",
+    ),
 ]
 
 # Files that define the frame()/write_bytes() primitives themselves.
