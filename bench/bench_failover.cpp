@@ -1,0 +1,261 @@
+// Failover cost: what replication adds in steady state, and what a node
+// death costs end to end (the bugfix PR's acceptance bench).
+//
+// One workload — every node except the designated victim runs lock-protected
+// critical sections against a page homed AT the victim, with the lock also
+// managed by the victim (legacy striding pins both roles there) — swept over
+// the cluster sizes and run as three series:
+//
+//   * off       — enable_failover=false. The baseline; also the bit-identity
+//                 reference: every failover counter must stay at zero.
+//   * shadowed  — enable_failover=true, nobody dies. The steady-state price:
+//                 heartbeat pings plus shadow pushes on the wire, and
+//                 whatever they add to the completion time.
+//   * killed    — enable_failover=true and the victim is killed mid-run. The
+//                 survivors must detect, promote the striped backup, and
+//                 finish with the exact same final value as the other two
+//                 series — node death costs time, never data.
+//
+// Measured per point: completion time, wire messages, heartbeats, shadow
+// bytes, and the recovery overhead (killed vs shadowed completion time).
+// The self-checks assert the ISSUE acceptance bars: the off series keeps
+// every new counter at zero, the killed series converges to the no-death
+// final value with exactly one failover, and the backup ends up holding the
+// victim's lock-manager and home roles.
+//
+// Usage: bench_failover [--smoke] [--json <path>]
+//   --smoke   small sweep (CI: the `ctest -L fault` entry)
+//   --json    also write machine-readable results to <path>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+using namespace dsmpm2::time_literals;
+
+namespace {
+
+constexpr int kRounds = 16;
+
+enum class Series { kOff, kShadowed, kKilled };
+
+const char* series_name(Series s) {
+  switch (s) {
+    case Series::kOff: return "off";
+    case Series::kShadowed: return "shadowed";
+    case Series::kKilled: return "killed";
+  }
+  return "?";
+}
+
+struct Point {
+  Series series = Series::kOff;
+  int nodes = 0;
+  double end_ms = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t heartbeats = 0;
+  std::uint64_t replica_bytes = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t promotions = 0;
+  long final_value = 0;
+  bool manager_on_backup = false;
+  bool home_on_backup = false;
+};
+
+std::uint64_t wire_msgs(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).messages_sent;
+  }
+  return sum;
+}
+
+Point measure(int nodes, Series series) {
+  pm2::Config pcfg;
+  pcfg.nodes = nodes;
+  pcfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(pcfg);
+  dsm::DsmConfig cfg;
+  cfg.enable_failover = series != Series::kOff;
+  cfg.legacy_lock_striding = true;  // lock id 1 -> manager node 1
+  dsm::Dsm dsm(rt, cfg);
+
+  const NodeId victim = 1;
+  const NodeId backup = (victim + 1) % static_cast<NodeId>(nodes);
+  const dsm::ProtocolId proto = dsm.protocol_by_name("hbrc_mw");
+  dsm::AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = dsm::HomePolicy::kFixed;
+  attr.fixed_home = victim;
+  const DsmAddr x = dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = dsm.geometry().page_of(x);
+  (void)dsm.create_lock(proto);
+  const int lock = dsm.create_lock(proto);  // id 1 -> the victim
+
+  Point point;
+  point.series = series;
+  point.nodes = nodes;
+
+  const pm2::RunStats stats = rt.run([&] {
+    if (series == Series::kKilled) {
+      rt.scheduler().schedule_background_at(1_ms,
+                                            [&] { rt.kill_node(victim); });
+    }
+    std::vector<marcel::Thread*> workers;
+    for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+      if (n == victim) continue;  // the victim runs no application threads
+      workers.push_back(&rt.spawn_on(n, "worker" + std::to_string(n), [&] {
+        for (int r = 0; r < kRounds; ++r) {
+          dsm.lock_acquire(lock);
+          dsm.write<long>(x, dsm.read<long>(x) + 1);
+          dsm.lock_release(lock);
+          rt.compute(20_us);
+        }
+      }));
+    }
+    for (auto* w : workers) rt.threads().join(*w);
+    dsm.lock_acquire(lock);
+    point.final_value = dsm.read<long>(x);
+    dsm.lock_release(lock);
+  });
+
+  point.end_ms = to_us(stats.end_time) / 1000.0;
+  point.msgs = wire_msgs(rt);
+  point.heartbeats = dsm.counters().total(dsm::Counter::kHeartbeats);
+  point.replica_bytes = dsm.counters().total(dsm::Counter::kReplicaBytes);
+  point.failovers = dsm.counters().total(dsm::Counter::kFailovers);
+  point.promotions = dsm.counters().total(dsm::Counter::kPromotions);
+  point.manager_on_backup = dsm.locks().current_manager(lock) == backup;
+  point.home_on_backup = dsm.table(0).entry(page).home == backup;
+  return point;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"failover\",\n"
+      << "  \"driver\": \"bip_myrinet\",\n"
+      << "  \"unit\": \"simulated_ms\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"series\": \"%s\", \"nodes\": %d, \"end_ms\": %.3f, "
+        "\"msgs\": %llu, \"heartbeats\": %llu, \"replica_bytes\": %llu, "
+        "\"failovers\": %llu, \"promotions\": %llu, \"final_value\": %ld}%s\n",
+        series_name(p.series), p.nodes, p.end_ms,
+        static_cast<unsigned long long>(p.msgs),
+        static_cast<unsigned long long>(p.heartbeats),
+        static_cast<unsigned long long>(p.replica_bytes),
+        static_cast<unsigned long long>(p.failovers),
+        static_cast<unsigned long long>(p.promotions), p.final_value,
+        i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{4} : std::vector<int>{4, 8, 16};
+
+  std::printf(
+      "Failover cost: shadowing overhead and node-death recovery — "
+      "BIP/Myrinet\n%s sweep, %d critical sections per surviving node\n\n",
+      smoke ? "smoke" : "full", kRounds);
+
+  std::vector<Point> points;
+  TablePrinter table({"series", "nodes", "end ms", "msgs", "heartbeats",
+                      "replica bytes", "failovers", "final value"});
+  for (const int nodes : sweep) {
+    for (const Series s : {Series::kOff, Series::kShadowed, Series::kKilled}) {
+      const Point p = measure(nodes, s);
+      table.add_row({series_name(p.series), std::to_string(p.nodes),
+                     TablePrinter::fmt(p.end_ms), std::to_string(p.msgs),
+                     std::to_string(p.heartbeats),
+                     std::to_string(p.replica_bytes),
+                     std::to_string(p.failovers),
+                     std::to_string(p.final_value)});
+      points.push_back(p);
+    }
+  }
+  table.print();
+
+  const auto find = [&](Series s, int nodes) {
+    for (const Point& p : points) {
+      if (p.series == s && p.nodes == nodes) return p;
+    }
+    return Point{};
+  };
+
+  bool pass = true;
+  const int at_nodes = sweep.back();
+  const Point off = find(Series::kOff, at_nodes);
+  const Point shadowed = find(Series::kShadowed, at_nodes);
+  const Point killed = find(Series::kKilled, at_nodes);
+  const long want = (at_nodes - 1) * static_cast<long>(kRounds);
+
+  // Bar 1: failover off takes none of the new paths.
+  bool off_clean = true;
+  for (const Point& p : points) {
+    if (p.series != Series::kOff) continue;
+    off_clean = off_clean && p.heartbeats == 0 && p.replica_bytes == 0 &&
+                p.failovers == 0 && p.promotions == 0;
+  }
+  std::printf("\ncheck[failover-off counters all zero]: %s\n",
+              off_clean ? "PASS" : "FAIL");
+  pass = pass && off_clean;
+
+  // Bar 2: every series converges to the same final value — the death cost
+  // time, not data.
+  const bool value_ok = off.final_value == want &&
+                        shadowed.final_value == want &&
+                        killed.final_value == want;
+  std::printf("check[final value %ld in all series]: %s\n", want,
+              value_ok ? "PASS" : "FAIL");
+  pass = pass && value_ok;
+
+  // Bar 3: the killed run detected exactly one death and the backup ended
+  // up holding both of the victim's roles.
+  const bool roles_ok = killed.failovers == 1 && killed.promotions >= 1 &&
+                        killed.manager_on_backup && killed.home_on_backup;
+  std::printf("check[one failover, roles on the backup]: %s\n",
+              roles_ok ? "PASS" : "FAIL");
+  pass = pass && roles_ok;
+
+  // Bar 4: shadowing actually runs when enabled (the overhead being
+  // measured is real, not a silent no-op).
+  const bool shadow_ok = shadowed.heartbeats > 0 && shadowed.replica_bytes > 0;
+  std::printf("check[shadowing active in the on series]: %s\n",
+              shadow_ok ? "PASS" : "FAIL");
+  pass = pass && shadow_ok;
+
+  if (!json_path.empty()) write_json(json_path, points);
+  return pass ? 0 : 1;
+}

@@ -20,6 +20,39 @@ void AckCollector::wait() {
   cond_.broadcast();  // admit the next round
 }
 
+bool AckCollector::wait_for(SimTime timeout) {
+  if (timeout <= 0) {
+    wait();
+    return true;
+  }
+  marcel::MutexLock l(mutex_);
+  DSM_CHECK_MSG(active_, "wait_for() with no round open");
+  bool timed_out = false;
+  if (pending_ > 0) {
+    // Background deadline: it may fire only while this fiber is blocked
+    // below, and is cancelled before the flag goes out of scope.
+    sim::EventHandle timer =
+        sched_.schedule_background_after(timeout, [this, &timed_out] {
+          timed_out = true;
+          cond_.broadcast();
+        });
+    while (pending_ > 0 && !timed_out) cond_.wait(mutex_);
+    timer.cancel();
+  }
+  const bool complete = pending_ == 0;
+  if (!complete) {
+    // Abandon the round. If an abandoned acker was slow rather than dead,
+    // its straggler ack is consumed by expected_late_ in ack(); if it was
+    // dead, a deliberately short-counted future round converges by timing
+    // out too.
+    expected_late_ += pending_;
+    pending_ = 0;
+  }
+  active_ = false;
+  cond_.broadcast();  // admit the next round
+  return complete;
+}
+
 void AckCollector::quiesce() {
   marcel::MutexLock l(mutex_);
   while (active_) cond_.wait(mutex_);
@@ -28,6 +61,13 @@ void AckCollector::quiesce() {
 void AckCollector::ack() {
   // Event-context safe: the counter mutation needs no fiber mutex (the
   // simulator is cooperatively scheduled) and broadcast() never blocks.
+  if (expected_late_ > 0) {
+    // Straggler from a timed-out round (see wait_for). Consumed first: a
+    // late ack cannot be told apart from a new round's, and crediting the
+    // old debt keeps both rounds' counts conservative.
+    --expected_late_;
+    return;
+  }
   DSM_CHECK_MSG(active_ && pending_ > 0, "ack with no round in flight");
   if (--pending_ == 0) cond_.broadcast();
 }

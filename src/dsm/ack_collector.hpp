@@ -26,7 +26,8 @@ namespace dsmpm2::dsm {
 
 class AckCollector {
  public:
-  explicit AckCollector(sim::Scheduler& sched) : mutex_(sched), cond_(sched) {}
+  explicit AckCollector(sim::Scheduler& sched)
+      : sched_(sched), mutex_(sched), cond_(sched) {}
 
   AckCollector(const AckCollector&) = delete;
   AckCollector& operator=(const AckCollector&) = delete;
@@ -38,6 +39,15 @@ class AckCollector {
   /// Blocks (fiber context) until every ack of the open round arrived, then
   /// closes the round and admits the next one.
   void wait();
+
+  /// Like wait(), but gives up after `timeout` of virtual time and closes
+  /// the round anyway, returning false. The missing acks are remembered:
+  /// stragglers that arrive after the deadline are absorbed silently
+  /// instead of tripping the no-round-open check (an ack from a peer that
+  /// was merely slow, not dead). timeout == 0 is exactly wait() (returns
+  /// true). Callers surface a false return instead of wedging forever on a
+  /// dead acker.
+  bool wait_for(SimTime timeout);
 
   /// Records one ack and wakes the waiter when it was the last. Safe from
   /// event (delivery) context — never blocks.
@@ -55,10 +65,12 @@ class AckCollector {
   [[nodiscard]] int pending() const { return pending_; }
 
  private:
+  sim::Scheduler& sched_;
   marcel::Mutex mutex_;
   marcel::CondVar cond_;
   bool active_ = false;
   int pending_ = 0;
+  int expected_late_ = 0;  ///< acks abandoned by timed-out rounds
 };
 
 }  // namespace dsmpm2::dsm

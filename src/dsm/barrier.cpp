@@ -3,9 +3,11 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/time.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 #include "dsm/epoch.hpp"
+#include "dsm/replica.hpp"
 
 namespace dsmpm2::dsm {
 
@@ -24,6 +26,10 @@ int BarrierManager::create(int parties, ProtocolId protocol) {
 }
 
 NodeId BarrierManager::coordinator_of(int barrier_id) const {
+  if (const auto it = coordinator_override_.find(barrier_id);
+      it != coordinator_override_.end()) {
+    return it->second;
+  }
   return stripe_to_node(static_cast<std::uint64_t>(barrier_id),
                         dsm_.node_count(),
                         dsm_.config().legacy_lock_striding);
@@ -66,12 +72,44 @@ void BarrierManager::wait(int barrier_id) {
   if (Checker* ck = dsm_.checker()) {
     ck->on_barrier_arrive(node, barrier_id);
   }
-  const Buffer resume =
-      rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
+  Buffer resume;
+  if (!dsm_.config().enable_failover) {
+    resume =
+        rt.rpc().call(coordinator_of(barrier_id), svc_arrive_, std::move(args));
+  } else {
+    // Blocking arrive with resend: if the coordinator dies with our arrival
+    // (failed call) or a not-yet-promoted backup bounces it (retry status),
+    // back off one heartbeat and resend the SAME wire bytes — the release
+    // hook above ran exactly once, its payload must not be rebuilt.
+    const Buffer wire = args.buffer();
+    NodeId dst = dsm_.replicator().route(coordinator_of(barrier_id));
+    for (;;) {
+      Packer resend;
+      resend.pack_raw(wire);
+      pm2::Rpc::CallResult r =
+          rt.rpc().try_call(dst, svc_arrive_, std::move(resend));
+      if (r.ok) {
+        Unpacker su(r.reply);
+        const auto status = su.unpack<std::uint8_t>();
+        if (status == 0) {
+          resume = std::move(r.reply);
+          break;
+        }
+        DSM_CHECK_MSG(status == 1, "unknown barrier resume status");
+      }
+      rt.threads().sleep_for(from_us(dsm_.config().heartbeat_interval_us));
+      dst = dsm_.replicator().route(coordinator_of(barrier_id));
+    }
+  }
 
   // The resume message carries the payload-history slice this node has not
   // yet received, then the folded cluster watermark (0-or-1 blocks).
   Unpacker u(resume);
+  if (dsm_.config().enable_failover) {
+    // Strip the status byte the retry loop already inspected.
+    const auto status = u.unpack<std::uint8_t>();
+    DSM_CHECK(status == 0);
+  }
   const std::vector<Buffer> payloads = unpack_blocks(u);
   const std::vector<Buffer> watermark_blocks = unpack_blocks(u);
   DSM_CHECK_MSG(u.done(), "barrier resume carries bytes past its payload blocks");
@@ -97,6 +135,16 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   const auto barrier_id = args.unpack<int>();
   DSM_CHECK_MSG(barrier_id >= 0 && barrier_id < next_id_,
                 "arrival at a barrier id that was never created");
+  if (dsm_.config().enable_failover && coordinator_of(barrier_id) != ctx.self) {
+    // Not (or not yet) this barrier's coordinator — most likely a backup
+    // whose promotion has not landed. Absorbing the arrival here would
+    // corrupt state this node does not own; bounce it and let the party's
+    // resend loop converge once the override is published.
+    Packer r;
+    r.pack(std::uint8_t{1});
+    ctx.reply(std::move(r));
+    return;
+  }
   const auto payload = args.unpack_bytes();
   const std::vector<Buffer> report = unpack_blocks(args);
   BarrierState& s = state_[barrier_id];
@@ -154,10 +202,85 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
       cur = s.floor;
     }
     Packer resume;
+    // With failover on, every arrive reply leads with a status byte (0 =
+    // resume, 1 = retry); off keeps the historical wire format.
+    if (dsm_.config().enable_failover) resume.pack(std::uint8_t{0});
     pack_blocks(std::span(s.history).subspan(cur - s.floor), resume);
     cur = s.floor + s.history.size();
     pack_blocks(watermark_blocks, resume);
     dsm_.runtime().rpc().reply_to(ctx.self, w.src, w.token, std::move(resume));
+  }
+  // The generation is complete and the state quiescent (no waiters, no
+  // partial arrivals) — the one instant a shadow snapshot is consistent.
+  push_shadow(barrier_id, ctx.self);
+}
+
+void BarrierManager::pack_state(const BarrierState& s, Packer& p) const {
+  DSM_CHECK(s.history.size() == s.horizons.size());
+  p.pack(s.generation);
+  p.pack(static_cast<std::uint64_t>(s.floor));
+  pack_blocks(s.history, p);
+  p.pack(static_cast<std::uint32_t>(s.horizons.size()));
+  for (const auto& h : s.horizons) {
+    p.pack(static_cast<std::uint32_t>(h.size()));
+    for (const std::uint32_t v : h) p.pack(v);
+  }
+  p.pack(static_cast<std::uint32_t>(s.cursor.size()));
+  for (const auto& [n, c] : s.cursor) {
+    p.pack(n);
+    p.pack(static_cast<std::uint64_t>(c));
+  }
+}
+
+void BarrierManager::unpack_state(Unpacker& args, BarrierState& s) const {
+  s.generation = args.unpack<std::uint64_t>();
+  s.floor = static_cast<std::size_t>(args.unpack<std::uint64_t>());
+  s.history = unpack_blocks(args);
+  const auto horizon_count = args.unpack<std::uint32_t>();
+  s.horizons.assign(horizon_count, {});
+  for (auto& h : s.horizons) {
+    const auto len = args.unpack<std::uint32_t>();
+    h.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) {
+      h.push_back(args.unpack<std::uint32_t>());
+    }
+  }
+  DSM_CHECK(s.history.size() == s.horizons.size());
+  const auto cursor_count = args.unpack<std::uint32_t>();
+  s.cursor.clear();
+  s.cursor.reserve(cursor_count);
+  for (std::uint32_t i = 0; i < cursor_count; ++i) {
+    const auto n = args.unpack<NodeId>();
+    s.cursor[n] = static_cast<std::size_t>(args.unpack<std::uint64_t>());
+  }
+}
+
+void BarrierManager::push_shadow(int barrier_id, NodeId coordinator) {
+  if (!dsm_.config().enable_failover) return;
+  Packer p;
+  pack_state(state_[barrier_id], p);
+  dsm_.replicator().push_shadow(Replicator::ShadowKind::kBarrier,
+                                static_cast<std::uint64_t>(barrier_id),
+                                p.buffer(), coordinator);
+}
+
+void BarrierManager::fail_over(NodeId dead, NodeId backup,
+                               const std::unordered_map<int, Buffer>& shadows) {
+  for (int id = 0; id < next_id_; ++id) {
+    if (coordinator_of(id) != dead) continue;
+    coordinator_override_[id] = backup;
+    BarrierState fresh;
+    if (const auto sh = shadows.find(id); sh != shadows.end()) {
+      Unpacker u(sh->second);
+      unpack_state(u, fresh);
+      DSM_CHECK_MSG(u.done(), "barrier shadow carries trailing bytes");
+    }
+    // parties stays 0 and is re-derived lazily on the first arrival, like a
+    // fresh coordinator's. Arrivals of the generation that was in flight
+    // when the coordinator died are NOT restored — the parties' failed
+    // calls resend and rebuild the partial generation here.
+    state_[id] = std::move(fresh);
+    dsm_.counters().inc(backup, Counter::kPromotions);
   }
 }
 

@@ -61,6 +61,16 @@ class BarrierManager {
   /// (the barrier_history_bytes gauge).
   [[nodiscard]] std::uint64_t history_bytes(NodeId node) const;
 
+  /// Failover (called by the Replicator while promoting `backup` for the
+  /// dead node `dead`): re-points every barrier whose coordinator was
+  /// `dead` at `backup`, restoring the coordinator state shadowed at the
+  /// last generation completion (or fresh when none arrived). A generation
+  /// that was mid-flight when the coordinator died is rebuilt from scratch:
+  /// the parties' failed arrive calls resend verbatim and the partial
+  /// arrivals the dead node had absorbed died with it.
+  void fail_over(NodeId dead, NodeId backup,
+                 const std::unordered_map<int, Buffer>& shadows);
+
  private:
   struct Waiter {
     NodeId src;
@@ -86,6 +96,12 @@ class BarrierManager {
   [[nodiscard]] NodeId coordinator_of(int barrier_id) const;
   [[nodiscard]] ProtocolId hook_protocol(int barrier_id) const;
 
+  /// Coordinator-state serialization for the failover shadow (pushed at
+  /// every generation completion — the only instant the state is quiescent).
+  void pack_state(const BarrierState& s, Packer& p) const;
+  void unpack_state(Unpacker& args, BarrierState& s) const;
+  void push_shadow(int barrier_id, NodeId coordinator);
+
   void serve_arrive(pm2::RpcContext& ctx, Unpacker& args);
 
   Dsm& dsm_;
@@ -94,6 +110,9 @@ class BarrierManager {
   std::vector<ProtocolId> protocol_of_;
   std::vector<int> parties_of_;
   std::unordered_map<int, BarrierState> state_;  // lives on the coordinator
+  /// Failover: the authoritative coordinator of a barrier whose striped
+  /// home died (written only by fail_over).
+  std::unordered_map<int, NodeId> coordinator_override_;
 };
 
 }  // namespace dsmpm2::dsm

@@ -2,8 +2,10 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "common/time.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
+#include "dsm/replica.hpp"
 
 namespace dsmpm2::dsm {
 
@@ -112,6 +114,12 @@ void DsmComm::serve_page_request(pm2::RpcContext& ctx, Unpacker& args) {
   } else {
     proto.read_server(dsm_, req);
   }
+  // Serving a request changes the home's copyset (and possibly its frame's
+  // merge state): refresh the backup's shadow.
+  if (dsm_.config().enable_failover &&
+      dsm_.table(ctx.self).entry(wire.page).home == ctx.self) {
+    dsm_.replicator().push_home_page(wire.page, ctx.self);
+  }
   if (dsm_.config().enable_home_migration && wire.wanted == Access::kWrite &&
       dsm_.table(ctx.self).entry(wire.page).home == ctx.self) {
     dsm_.migrator().note_writer_traffic(ctx.self, wire.page, wire.requester);
@@ -167,7 +175,23 @@ void DsmComm::invalidate(NodeId to, PageId page, NodeId new_owner) {
   }
   Packer p;
   p.pack(InvalidateWire{page, new_owner, kInvalidNode, 0});
-  rt.rpc().call(to, svc_invalidate_, std::move(p));  // blocks for the ack
+  if (!dsm_.config().enable_failover) {
+    rt.rpc().call(to, svc_invalidate_, std::move(p));  // blocks for the ack
+    return;
+  }
+  // Failover: a dead copy holder needs no invalidation — its memory is
+  // gone. Treat the failed call as acked, but retire the checker's
+  // suppression entry ourselves (the server-side clear will never run).
+  pm2::Rpc::CallResult r =
+      rt.rpc().try_call(to, svc_invalidate_, std::move(p),
+                        madeleine::MsgKind::kControl,
+                        from_us(dsm_.config().ack_timeout_us));
+  if (!r.ok) {
+    dsm_.counters().inc(rt.self_node(), Counter::kAckTimeouts);
+    if (Checker* ck = dsm_.checker()) {
+      ck->pending_revoke_clear(page, to);
+    }
+  }
 }
 
 void DsmComm::invalidate_async(NodeId to, PageId page, NodeId new_owner,
@@ -241,7 +265,35 @@ void DsmComm::send_diff(NodeId home, PageId page, const Diff& diff,
   Packer p;
   p.pack(DiffWire{page, response_to_invalidation ? std::uint8_t{1} : std::uint8_t{0}});
   diff.serialize(p);
-  rt.rpc().call(home, svc_diff_, std::move(p), madeleine::MsgKind::kBulk);
+  if (!dsm_.config().enable_failover) {
+    rt.rpc().call(home, svc_diff_, std::move(p), madeleine::MsgKind::kBulk);
+    return;
+  }
+  // Failover: the home may die (call fails) or move under us mid-promotion
+  // (status-1 reply: "not my home"). Either way back off one heartbeat,
+  // re-resolve the home from the local table — apply_promote repoints it —
+  // and resend the identical wire bytes (the diff must not be rebuilt: the
+  // twin was already reconciled).
+  const Buffer wire = std::move(p).take();
+  NodeId dst = dsm_.replicator().route(home);
+  for (;;) {
+    Packer resend;
+    resend.pack_raw(wire);
+    // The heartbeat deadline doubles as the resend timer: a diff (or its
+    // status reply) lost to a link fault is resent — re-applying the same
+    // absolute bytes at the home is idempotent under the lock discipline.
+    pm2::Rpc::CallResult r = rt.rpc().try_call(
+        dst, svc_diff_, std::move(resend), madeleine::MsgKind::kBulk,
+        from_us(dsm_.config().heartbeat_timeout_us));
+    if (r.ok) {
+      Unpacker u(r.reply);
+      if (u.unpack<std::uint8_t>() == 0) {
+        return;  // applied
+      }
+    }
+    rt.threads().sleep_for(from_us(dsm_.config().heartbeat_interval_us));
+    dst = dsm_.replicator().route(dsm_.table(self).entry(page).home);
+  }
 }
 
 void DsmComm::send_diff_batch(NodeId home, std::span<const DiffBatchItem> items,
@@ -288,10 +340,30 @@ struct DiffReqWire {
 std::uint64_t DsmComm::remote_read_word(NodeId home, PageId page,
                                         std::uint32_t offset, std::uint32_t length) {
   DSM_CHECK(length > 0 && length <= 8);
+  auto& rt = dsm_.runtime();
   Packer p;
   p.pack(WordWire{page, offset, length});
-  Buffer reply = dsm_.runtime().rpc().call(home, svc_word_, std::move(p));
-  return Unpacker(reply).unpack<std::uint64_t>();
+  if (!dsm_.config().enable_failover) {
+    Buffer reply = rt.rpc().call(home, svc_word_, std::move(p));
+    return Unpacker(reply).unpack<std::uint64_t>();
+  }
+  // Failover: the home may die while the volatile read is in flight —
+  // back off and re-resolve like the diff path.
+  const Buffer wire = p.buffer();
+  NodeId dst = dsm_.replicator().route(home);
+  for (;;) {
+    Packer resend;
+    resend.pack_raw(wire);
+    pm2::Rpc::CallResult r = rt.rpc().try_call(
+        dst, svc_word_, std::move(resend), madeleine::MsgKind::kControl,
+        from_us(dsm_.config().heartbeat_timeout_us));
+    if (r.ok) {
+      return Unpacker(r.reply).unpack<std::uint64_t>();
+    }
+    rt.threads().sleep_for(from_us(dsm_.config().heartbeat_interval_us));
+    dst = dsm_.replicator().route(
+        dsm_.table(rt.self_node()).entry(page).home);
+  }
 }
 
 void DsmComm::serve_word_read(pm2::RpcContext& ctx, Unpacker& args) {
@@ -358,7 +430,24 @@ std::vector<std::pair<std::uint32_t, Diff>> DsmComm::fetch_diffs(
   dsm_.counters().inc(rt.self_node(), Counter::kDiffFetchesSent);
   Packer p;
   p.pack(DiffReqWire{page, from_interval, up_to_interval});
-  const Buffer reply = rt.rpc().call(writer, svc_diff_req_, std::move(p));
+  Buffer reply;
+  if (dsm_.config().enable_failover) {
+    // A dead writer's diff store died with it; there is no replica to ask.
+    // Return empty rather than aborting the run — the requester proceeds
+    // with the intervals it could collect (documented failover limitation
+    // for the lazy protocols).
+    pm2::Rpc::CallResult r = rt.rpc().try_call(writer, svc_diff_req_,
+                                               std::move(p));
+    if (!r.ok) {
+      log::warn("diff fetch for page %u from dead node %u dropped",
+                static_cast<unsigned>(page), static_cast<unsigned>(writer));
+      if (flushed_out != nullptr) *flushed_out = 0;
+      return {};
+    }
+    reply = std::move(r.reply);
+  } else {
+    reply = rt.rpc().call(writer, svc_diff_req_, std::move(p));
+  }
   Unpacker u(reply);
   const auto flushed = u.unpack<std::uint32_t>();
   if (flushed_out != nullptr) *flushed_out = flushed;
@@ -442,11 +531,32 @@ void DsmComm::deliver_diff(PageId page, NodeId from, NodeId self,
 void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
   const auto wire = args.unpack<DiffWire>();
   check_wire_page(wire.page, "diff names a page outside the DSM space");
+  const bool failover = dsm_.config().enable_failover;
+  if (failover) {
+    const PageEntry& e = dsm_.table(ctx.self).entry(wire.page);
+    if (e.valid && e.home != ctx.self) {
+      // Stale sender view mid-promotion: bounce so it re-resolves the home
+      // and resends — applying here would fork the page's merge history.
+      if (ctx.reply_token != 0) {
+        Packer r;
+        r.pack(std::uint8_t{1});
+        ctx.reply(std::move(r));
+      }
+      return;
+    }
+  }
   const Diff diff = Diff::deserialize(args);
   check_wire_diff(diff, "diff chunk outside the page");
   deliver_diff(wire.page, ctx.src, ctx.self, wire.response_to_invalidation != 0,
                diff);
-  if (ctx.reply_token != 0) ctx.reply(Packer{});
+  if (ctx.reply_token != 0) {
+    Packer r;
+    if (failover) r.pack(std::uint8_t{0});  // applied
+    ctx.reply(std::move(r));
+  }
+  if (failover && dsm_.table(ctx.self).entry(wire.page).home == ctx.self) {
+    dsm_.replicator().push_home_page(wire.page, ctx.self);
+  }
   // Migration policy runs after the ack: a hand-off can block for a while
   // and the diff's sender must not be charged for it.
   if (dsm_.config().enable_home_migration &&
@@ -478,6 +588,10 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
     check_wire_diff(diff, "batched diff chunk outside the page");
     deliver_diff(page, ctx.src, ctx.self, /*response_to_invalidation=*/false,
                  diff);
+    if (dsm_.config().enable_failover &&
+        dsm_.table(ctx.self).entry(page).home == ctx.self) {
+      dsm_.replicator().push_home_page(page, ctx.self);
+    }
     if (dsm_.config().enable_home_migration &&
         dsm_.table(ctx.self).entry(page).home == ctx.self) {
       dsm_.migrator().note_writer_traffic(ctx.self, page, ctx.src);

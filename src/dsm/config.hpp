@@ -124,6 +124,26 @@ struct DsmConfig {
   /// at least this factor before the home/manager moves (hysteresis — keeps
   /// two alternating writers from thrashing the home back and forth).
   std::uint32_t migration_hysteresis = 2;
+  /// Failover: every node shadows the manager/coordinator/home state it is
+  /// primary for onto its striped backup (`(self + 1) % nodes`), heartbeats
+  /// watch the predecessor, and a detected death promotes the backup — the
+  /// shadowed locks, barriers and page homes come back on the backup node
+  /// and stale references are re-pointed through the redirect machinery.
+  /// Off takes zero behavior-altering branches: no heartbeats, no shadow
+  /// messages, bit-identical runs.
+  bool enable_failover = false;
+  /// AckCollector::wait deadline in µs; 0 keeps the legacy infinite wait.
+  /// On timeout the collector round resolves as timed-out instead of
+  /// wedging forever on an acker that died (the release/invalidation paths
+  /// count kAckTimeouts and move on — a dead acker holds no copy worth
+  /// waiting for).
+  std::uint32_t ack_timeout_us = 0;
+  /// Heartbeat period (only armed when enable_failover). Each node pings its
+  /// predecessor `(self - 1 + nodes) % nodes` on this period.
+  std::uint32_t heartbeat_interval_us = 200;
+  /// Silence on the predecessor longer than this declares it dead and starts
+  /// the backup promotion. Must comfortably exceed interval + ping RTT.
+  std::uint32_t heartbeat_timeout_us = 1000;
   /// Restores the historical `id % node_count` lock/barrier manager striding
   /// (pre mix-hash) for bit-for-bit equivalence tests. The default mixes the
   /// id first so correlated ids don't pile onto one node (stripe_to_node).

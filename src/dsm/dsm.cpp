@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "dsm/checker.hpp"
+#include "dsm/replica.hpp"
 #include "protocols/builtin.hpp"
 
 namespace dsmpm2::dsm {
@@ -27,6 +28,7 @@ Dsm::Dsm(pm2::Runtime& runtime, DsmConfig config)
   }
   comm_ = std::make_unique<DsmComm>(*this);
   migrator_ = std::make_unique<HomeMigrator>(*this);
+  replicator_ = std::make_unique<Replicator>(*this);
   builtin_ = protocols::register_builtins(*this);
   default_protocol_ = builtin_.li_hudak;
   probe_.set_enabled(config_.enable_fault_probe);
@@ -60,6 +62,8 @@ PageStore& Dsm::store(NodeId node) {
   DSM_CHECK(node < nodes_.size());
   return nodes_[node]->store;
 }
+
+Replicator& Dsm::replicator() { return *replicator_; }
 
 const Protocol& Dsm::protocol_of(PageId page) {
   return registry_.get(protocol_id_of(page));

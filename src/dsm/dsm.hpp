@@ -46,6 +46,7 @@
 namespace dsmpm2::dsm {
 
 class Checker;
+class Replicator;
 
 /// Identifiers of the protocols that ship with DSM-PM2 (paper Table 2, plus
 /// the hybrid built from library routines described in §2.3).
@@ -157,6 +158,10 @@ class Dsm {
   [[nodiscard]] PageStore& store(NodeId node);
   [[nodiscard]] DsmComm& comm() { return *comm_; }
   [[nodiscard]] HomeMigrator& migrator() { return *migrator_; }
+  /// Failover machinery (always constructed; inert unless
+  /// DsmConfig::enable_failover). Defined in dsm.cpp — the type is
+  /// incomplete here.
+  [[nodiscard]] Replicator& replicator();
   [[nodiscard]] Counters& counters() { return counters_; }
   [[nodiscard]] FaultProbe& probe() { return probe_; }
   [[nodiscard]] LockManager& locks() { return locks_; }
@@ -236,6 +241,7 @@ class Dsm {
   FaultProbe probe_;
   std::unique_ptr<DsmComm> comm_;
   std::unique_ptr<HomeMigrator> migrator_;
+  std::unique_ptr<Replicator> replicator_;
   AreaManager areas_;
   LockManager locks_;
   BarrierManager barriers_;

@@ -54,6 +54,12 @@ const char* counter_name(Counter c) {
     case Counter::kManagerMigrations: return "manager_migrations";
     case Counter::kRedirectsFollowed: return "redirects_followed";
     case Counter::kLocalGrants: return "local_grants";
+    case Counter::kRedirectChainResets: return "redirect_chain_resets";
+    case Counter::kAckTimeouts: return "ack_timeouts";
+    case Counter::kHeartbeats: return "heartbeats";
+    case Counter::kFailovers: return "failovers";
+    case Counter::kPromotions: return "promotions";
+    case Counter::kReplicaBytes: return "replica_bytes";
     case Counter::kCount: break;
   }
   return "?";

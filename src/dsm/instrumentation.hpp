@@ -71,6 +71,12 @@ enum class Counter : int {
   kManagerMigrations,    ///< lock managers handed off to their dominant acquirer
   kRedirectsFollowed,    ///< stale home/manager hints corrected via dsm.redirect
   kLocalGrants,          ///< lock grants/releases served on-node with zero messages
+  kRedirectChainResets,  ///< lock redirect chains that fell back to the striped manager
+  kAckTimeouts,          ///< collector rounds resolved by deadline instead of acks
+  kHeartbeats,           ///< failure-detector pings sent
+  kFailovers,            ///< node deaths detected by the failure detector
+  kPromotions,           ///< manager/coordinator/home roles promoted onto a backup
+  kReplicaBytes,         ///< shadow-state bytes pushed to backups
   kCount  // sentinel
 };
 

@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/time.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
+#include "dsm/replica.hpp"
 
 namespace dsmpm2::dsm {
 
@@ -29,6 +31,11 @@ int LockManager::create(ProtocolId protocol) {
   const int id = next_id_++;
   protocol_of_.push_back(protocol);
   return id;
+}
+
+bool LockManager::routed_locks() const {
+  return dsm_.config().enable_manager_migration ||
+         dsm_.config().enable_failover;
 }
 
 NodeId LockManager::stripe_manager_of(int lock_id) const {
@@ -72,7 +79,7 @@ void LockManager::acquire(int lock_id) {
   const NodeId node = rt.self_node();
   const SimTime wait_start = rt.now();
   std::vector<Buffer> payloads;
-  if (dsm_.config().enable_manager_migration) {
+  if (routed_locks()) {
     payloads = acquire_migratory(lock_id, node);
     dsm_.counters().inc(node, Counter::kLockAcquires);
     dsm_.counters().inc(node, Counter::kLockWaitUs,
@@ -104,13 +111,33 @@ void LockManager::acquire(int lock_id) {
 
 std::vector<Buffer> LockManager::acquire_migratory(int lock_id, NodeId node) {
   auto& rt = dsm_.runtime();
+  const bool failover = dsm_.config().enable_failover;
   NodeId dst = probable_manager(node, lock_id);
+  int resets = 0;
   for (int hops = 0;; ++hops) {
     // Hints only ever follow the migration sequence forward and collapse on
-    // first contact, so real chains are short; the generous bound exists to
-    // turn a routing livelock into a loud failure.
-    DSM_CHECK_MSG(hops <= 4 * dsm_.node_count(),
-                  "lock manager redirect chain failed to converge");
+    // first contact, so real chains are short. A chain that refuses to
+    // settle is reset: drop the poisoned hint and start over from the
+    // striped manager, instead of treating the livelock as fatal.
+    if (hops > 2 * dsm_.node_count()) {
+      ++resets;
+      // Without failover more than a few resets means a routing bug; with
+      // it, chains legitimately spin off a just-died manager until the
+      // backup's promotion lands, so the leash is long and every reset
+      // backs off one heartbeat to give the promotion time.
+      DSM_CHECK_MSG(resets <= (failover ? 256 : 3),
+                    "lock manager redirect chain failed to converge");
+      dsm_.counters().inc(node, Counter::kRedirectChainResets);
+      if (static_cast<std::size_t>(node) < hint_.size()) {
+        hint_[static_cast<std::size_t>(node)].erase(lock_id);
+      }
+      dst = stripe_manager_of(lock_id);
+      if (failover) {
+        rt.threads().sleep_for(from_us(dsm_.config().heartbeat_interval_us));
+        dst = dsm_.replicator().route(dst);
+      }
+      hops = 0;
+    }
     if (dst == node && manager_of(lock_id) == node &&
         !migrating_to_.contains(lock_id)) {
       LockState& s = state_[lock_id];
@@ -118,9 +145,11 @@ std::vector<Buffer> LockManager::acquire_migratory(int lock_id, NodeId node) {
         // The manager acquiring its own free lock: grant in place with zero
         // messages — the fast path manager migration exists to create.
         s.held = true;
+        s.holder = node;
         note_acquirer(lock_id, node);
         dsm_.counters().inc(node, Counter::kLocalGrants);
         const Packer grant = make_grant(s, node, node);
+        push_shadow(lock_id, node);
         Unpacker u(grant.buffer());
         std::vector<Buffer> payloads = unpack_blocks(u);
         DSM_CHECK_MSG(u.done(),
@@ -132,7 +161,22 @@ std::vector<Buffer> LockManager::acquire_migratory(int lock_id, NodeId node) {
     }
     Packer args;
     args.pack(lock_id);
-    const Buffer reply = rt.rpc().call(dst, svc_acquire_, std::move(args));
+    Buffer reply;
+    if (failover) {
+      pm2::Rpc::CallResult r =
+          rt.rpc().try_call(dst, svc_acquire_, std::move(args));
+      if (!r.ok) {
+        // The node this request went to died with it (either the manager
+        // itself or a stale hint's target): back off one heartbeat, then
+        // retry along the backup chain.
+        rt.threads().sleep_for(from_us(dsm_.config().heartbeat_interval_us));
+        dst = dsm_.replicator().route(manager_of(lock_id));
+        continue;
+      }
+      reply = std::move(r.reply);
+    } else {
+      reply = rt.rpc().call(dst, svc_acquire_, std::move(args));
+    }
     Unpacker u(reply);
     const auto status = u.unpack<std::uint8_t>();
     if (status == 0) {
@@ -147,7 +191,7 @@ std::vector<Buffer> LockManager::acquire_migratory(int lock_id, NodeId node) {
     DSM_CHECK_MSG(u.done(), "lock redirect carries trailing bytes");
     dsm_.counters().inc(node, Counter::kRedirectsFollowed);
     set_hint(node, lock_id, next);
-    dst = next;
+    dst = failover ? dsm_.replicator().route(next) : next;
   }
 }
 
@@ -165,8 +209,8 @@ void LockManager::release(int lock_id) {
   Packer payload =
       proto.lock_release(dsm_, SyncContext{lock_id, node, SyncKind::kLock});
   dsm_.counters().inc(node, Counter::kLockReleases);
-  if (dsm_.config().enable_manager_migration) {
-    const NodeId dst = probable_manager(node, lock_id);
+  if (routed_locks()) {
+    NodeId dst = probable_manager(node, lock_id);
     if (dst == node && manager_of(lock_id) == node &&
         !migrating_to_.contains(lock_id)) {
       // The manager releasing its own lock: process in place, zero messages.
@@ -177,8 +221,26 @@ void LockManager::release(int lock_id) {
     Packer args;
     args.pack(lock_id);
     args.pack_bytes(payload.buffer());
-    rt.rpc().call_async(dst, svc_release_, std::move(args));
-    return;
+    if (!dsm_.config().enable_failover) {
+      rt.rpc().call_async(dst, svc_release_, std::move(args));
+      return;
+    }
+    // Failover turns the release into a blocking, acknowledged call: a
+    // fire-and-forget release into a dying manager would vanish with the
+    // lock held forever. The wire bytes are resent verbatim on retry;
+    // do_release drops the duplicate a processed-but-unacked first copy
+    // would produce. A non-empty reply is a bounce from a backup that is
+    // not yet the manager — keep retrying until the promotion lands.
+    const Buffer wire = args.buffer();
+    for (;;) {
+      Packer resend;
+      resend.pack_raw(wire);
+      pm2::Rpc::CallResult r =
+          rt.rpc().try_call(dst, svc_release_, std::move(resend));
+      if (r.ok && r.reply.empty()) return;
+      rt.threads().sleep_for(from_us(dsm_.config().heartbeat_interval_us));
+      dst = dsm_.replicator().route(manager_of(lock_id));
+    }
   }
   Packer args;
   args.pack(lock_id);
@@ -203,10 +265,10 @@ Packer LockManager::make_grant(LockState& s, NodeId to, NodeId manager) {
 }
 
 Packer LockManager::grant_packer(LockState& s, NodeId to, NodeId manager) {
-  if (!dsm_.config().enable_manager_migration) {
+  if (!routed_locks()) {
     return make_grant(s, to, manager);
   }
-  // With migration on, every acquire reply leads with a status byte: 0 =
+  // With routing on, every acquire reply leads with a status byte: 0 =
   // grant (payload blocks follow), 1 = redirect (the probable manager
   // follows). Off keeps the historical bare-blocks wire format.
   Packer wrapped;
@@ -220,12 +282,14 @@ void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
   const auto lock_id = args.unpack<int>();
   DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
                 "acquire of a lock id that was never created");
-  if (dsm_.config().enable_manager_migration) {
+  if (routed_locks()) {
     // A stale requester is told where to go instead of being served: the
     // manager role either already moved (the override points elsewhere) or
     // is on the wire right now (migrating_to_, consulted only by the node
     // that initiated the hand-off). One hop, and the requester's hint is
-    // corrected for good.
+    // corrected for good. Under failover this same guard keeps a
+    // not-yet-promoted backup from serving (and corrupting) state it does
+    // not own yet: the requester bounces until the promotion lands.
     NodeId redirect = kInvalidNode;
     if (const NodeId mgr = manager_of(lock_id); mgr != ctx.self) {
       redirect = mgr;
@@ -245,7 +309,10 @@ void LockManager::serve_acquire(pm2::RpcContext& ctx, Unpacker& args) {
   LockState& s = state_[lock_id];
   if (!s.held) {
     s.held = true;
-    ctx.reply(grant_packer(s, ctx.src, ctx.self));  // immediate grant
+    s.holder = ctx.src;
+    Packer grant = grant_packer(s, ctx.src, ctx.self);
+    push_shadow(lock_id, ctx.self);
+    ctx.reply(std::move(grant));  // immediate grant
     return;
   }
   s.queue.push_back(Waiter{ctx.src, ctx.reply_token});
@@ -265,7 +332,7 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
     releaser = args.unpack<NodeId>();
     DSM_CHECK_MSG(args.done(), "release carries bytes past its forward tail");
   }
-  if (dsm_.config().enable_manager_migration) {
+  if (routed_locks()) {
     // Defensive forwarding: a drained hand-off never moves a held lock, so
     // a correctly-paired release cannot go stale in flight — but if one
     // ever lands off-manager, pass it along and correct the releaser rather
@@ -278,6 +345,18 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
       forward = mig->second;
     }
     if (forward != kInvalidNode) {
+      // Bounce rather than forward-and-ack when the true manager is dead
+      // (this node is the not-yet-promoted backup): an acked release whose
+      // forward lands on a corpse is GONE, and the shadow restored at
+      // promotion still says "held" — the lock wedges forever. The bounced
+      // releaser retries each heartbeat until the promotion lands here.
+      if (dsm_.config().enable_failover &&
+          dsm_.replicator().route(forward) != forward) {
+        Packer bounce;
+        bounce.pack(std::uint8_t{1});
+        if (ctx.reply_token != 0) ctx.reply(std::move(bounce));
+        return;
+      }
       Packer f;
       f.pack(lock_id);
       f.pack_bytes(payload);
@@ -285,15 +364,28 @@ void LockManager::serve_release(pm2::RpcContext& ctx, Unpacker& args) {
       dsm_.runtime().rpc().call_async_from(ctx.self, forward, svc_release_,
                                            std::move(f));
       send_manager_redirect(ctx.self, releaser, lock_id, forward);
+      // An acknowledged release (failover) is acked by whoever accepted it
+      // for processing, forwarding hop included — the releaser must not
+      // block on the forward's landing.
+      if (ctx.reply_token != 0) ctx.reply(Packer{});
       return;
     }
   }
   do_release(lock_id, payload, releaser, ctx.self);
+  if (ctx.reply_token != 0) ctx.reply(Packer{});
 }
 
 void LockManager::do_release(int lock_id, std::span<const std::byte> payload,
                              NodeId releaser, NodeId manager) {
   LockState& s = state_[lock_id];
+  if (dsm_.config().enable_failover && (!s.held || s.holder != releaser)) {
+    // Duplicate delivery: the first copy was processed but its ack was lost
+    // (the manager died with the ack in flight, or a fault schedule dropped
+    // the link) and the releaser resent. Everything a release does —
+    // history append, cursor advance, FIFO hand-off — happened at the first
+    // delivery, of which the shadow is the record; drop the copy.
+    return;
+  }
   DSM_CHECK_MSG(s.held, "release of a lock that is not held");
   if (!payload.empty()) {
     s.history.emplace_back(payload.begin(), payload.end());
@@ -312,6 +404,8 @@ void LockManager::do_release(int lock_id, std::span<const std::byte> payload,
   s.cursor[releaser] = s.floor + s.history.size();
   if (s.queue.empty()) {
     s.held = false;
+    s.holder = kInvalidNode;
+    push_shadow(lock_id, manager);
     // The lock is drained — the one moment the manager role may move.
     maybe_migrate_manager(lock_id, manager);
     return;
@@ -320,9 +414,12 @@ void LockManager::do_release(int lock_id, std::span<const std::byte> payload,
   s.queue.pop_front();
   // FIFO hand-off: the lock stays held; grant the queued requester, with the
   // payload history it has not seen (including this very release's).
+  s.holder = next.src;
   dsm_.counters().inc(manager, Counter::kLockHandoffs);
+  Packer grant = grant_packer(s, next.src, manager);
+  push_shadow(lock_id, manager);
   dsm_.runtime().rpc().reply_to(manager, next.src, next.token,
-                                grant_packer(s, next.src, manager));
+                                std::move(grant));
 }
 
 void LockManager::note_acquirer(int lock_id, NodeId requester) {
@@ -352,6 +449,10 @@ void LockManager::maybe_migrate_manager(int lock_id, NodeId manager) {
   }
   const DsmConfig& cfg = dsm_.config();
   if (best == kInvalidNode || best == manager) return;
+  // Failover: never ship the manager role to a node already known dead —
+  // the transfer would vanish on the wire and strand the lock mid-hand-off
+  // with nobody left to clean migrating_to_ up (promotion already ran).
+  if (cfg.enable_failover && dsm_.runtime().rpc().node_down(best)) return;
   if (best_n < cfg.migration_threshold) return;
   if (best_n < cfg.migration_hysteresis * std::max<std::uint32_t>(runner_n, 1)) {
     return;
@@ -365,18 +466,7 @@ void LockManager::maybe_migrate_manager(int lock_id, NodeId manager) {
   // and the target installs from the message, not from shared memory.
   Packer p;
   p.pack(lock_id);
-  p.pack(static_cast<std::uint64_t>(s.floor));
-  pack_blocks(s.history, p);
-  p.pack(static_cast<std::uint32_t>(s.horizons.size()));
-  for (const auto& h : s.horizons) {
-    p.pack(static_cast<std::uint32_t>(h.size()));
-    for (const std::uint32_t v : h) p.pack(v);
-  }
-  p.pack(static_cast<std::uint32_t>(s.cursor.size()));
-  for (const auto& [n, c] : s.cursor) {
-    p.pack(n);
-    p.pack(static_cast<std::uint64_t>(c));
-  }
+  pack_state(s, p);
   migrating_to_[lock_id] = best;
   dsm_.counters().inc(manager, Counter::kManagerMigrations);
   dsm_.runtime().rpc().call_async_from(manager, best, svc_xfer_, std::move(p),
@@ -392,43 +482,147 @@ void LockManager::send_manager_redirect(NodeId from, NodeId to, int lock_id,
 }
 
 void LockManager::serve_xfer(pm2::RpcContext& ctx, Unpacker& args) {
+  if (dsm_.config().enable_failover &&
+      dsm_.runtime().rpc().node_down(ctx.src)) {
+    // An orphaned hand-off from a manager that died after serializing it:
+    // the promotion already re-seated the role from the shadow — installing
+    // the stale image would clobber the live state.
+    return;
+  }
   const auto lock_id = args.unpack<int>();
   DSM_CHECK_MSG(lock_id >= 0 && lock_id < next_id_,
                 "manager hand-off for a lock id that was never created");
-  const auto floor = args.unpack<std::uint64_t>();
-  std::vector<Buffer> history = unpack_blocks(args);
+  LockState incoming;
+  unpack_state(args, incoming);
+  DSM_CHECK_MSG(args.done(), "manager hand-off carries trailing bytes");
+  LockState& s = state_[lock_id];
+  // The lock was drained before the hand-off and stale traffic bounces off
+  // the redirect guards while it flies, so the wire image replaces a frozen
+  // state.
+  DSM_CHECK(!s.held && s.queue.empty());
+  s.history = std::move(incoming.history);
+  s.horizons = std::move(incoming.horizons);
+  s.floor = incoming.floor;
+  s.cursor = std::move(incoming.cursor);
+  s.holder = kInvalidNode;
+  // Publish: this node is the manager from here on; the in-flight marker
+  // dies with the landing.
+  manager_override_[lock_id] = ctx.self;
+  migrating_to_.erase(lock_id);
+  set_hint(ctx.self, lock_id, ctx.self);
+  push_shadow(lock_id, ctx.self);
+}
+
+void LockManager::pack_state(const LockState& s, Packer& p) const {
+  DSM_CHECK(s.history.size() == s.horizons.size());
+  p.pack(static_cast<std::uint64_t>(s.floor));
+  pack_blocks(s.history, p);
+  p.pack(static_cast<std::uint32_t>(s.horizons.size()));
+  for (const auto& h : s.horizons) {
+    p.pack(static_cast<std::uint32_t>(h.size()));
+    for (const std::uint32_t v : h) p.pack(v);
+  }
+  p.pack(static_cast<std::uint32_t>(s.cursor.size()));
+  for (const auto& [n, c] : s.cursor) {
+    p.pack(n);
+    p.pack(static_cast<std::uint64_t>(c));
+  }
+}
+
+void LockManager::unpack_state(Unpacker& args, LockState& s) const {
+  s.floor = static_cast<std::size_t>(args.unpack<std::uint64_t>());
+  s.history = unpack_blocks(args);
   const auto horizon_count = args.unpack<std::uint32_t>();
-  std::vector<std::vector<std::uint32_t>> horizons(horizon_count);
-  for (auto& h : horizons) {
+  s.horizons.assign(horizon_count, {});
+  for (auto& h : s.horizons) {
     const auto len = args.unpack<std::uint32_t>();
     h.reserve(len);
     for (std::uint32_t i = 0; i < len; ++i) {
       h.push_back(args.unpack<std::uint32_t>());
     }
   }
+  DSM_CHECK(s.history.size() == s.horizons.size());
   const auto cursor_count = args.unpack<std::uint32_t>();
-  std::unordered_map<NodeId, std::size_t> cursor;
-  cursor.reserve(cursor_count);
+  s.cursor.clear();
+  s.cursor.reserve(cursor_count);
   for (std::uint32_t i = 0; i < cursor_count; ++i) {
     const auto n = args.unpack<NodeId>();
-    cursor[n] = static_cast<std::size_t>(args.unpack<std::uint64_t>());
+    s.cursor[n] = static_cast<std::size_t>(args.unpack<std::uint64_t>());
   }
-  DSM_CHECK_MSG(args.done(), "manager hand-off carries trailing bytes");
-  DSM_CHECK(history.size() == horizons.size());
-  LockState& s = state_[lock_id];
-  // The lock was drained before the hand-off and stale traffic bounces off
-  // the redirect guards while it flies, so the wire image replaces a frozen
-  // state.
-  DSM_CHECK(!s.held && s.queue.empty());
-  s.history = std::move(history);
-  s.horizons = std::move(horizons);
-  s.floor = static_cast<std::size_t>(floor);
-  s.cursor = std::move(cursor);
-  // Publish: this node is the manager from here on; the in-flight marker
-  // dies with the landing.
-  manager_override_[lock_id] = ctx.self;
-  migrating_to_.erase(lock_id);
-  set_hint(ctx.self, lock_id, ctx.self);
+}
+
+void LockManager::push_shadow(int lock_id, NodeId manager) {
+  if (!dsm_.config().enable_failover) return;
+  const LockState& s = state_[lock_id];
+  Packer p;
+  p.pack(static_cast<std::uint8_t>(s.held ? 1 : 0));
+  p.pack(s.holder);
+  pack_state(s, p);
+  dsm_.replicator().push_shadow(Replicator::ShadowKind::kLock,
+                                static_cast<std::uint64_t>(lock_id),
+                                p.buffer(), manager);
+}
+
+void LockManager::fail_over(NodeId dead, NodeId backup,
+                            const std::unordered_map<int, Buffer>& shadows) {
+  // Hand-offs die with either endpoint: drop entries aimed at the dead node
+  // (the live initiator is authoritative again, its serve_acquire stops
+  // bouncing) and entries initiated by the dead manager (serve_xfer discards
+  // the orphaned transfer if it ever lands). manager_of is still the
+  // pre-promotion view here — the overrides land below.
+  for (auto it = migrating_to_.begin(); it != migrating_to_.end();) {
+    if (it->second == dead || manager_of(it->first) == dead) {
+      it = migrating_to_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (int id = 0; id < next_id_; ++id) {
+    if (manager_of(id) != dead) continue;
+    manager_override_[id] = backup;
+    LockState fresh;
+    if (const auto sh = shadows.find(id); sh != shadows.end()) {
+      Unpacker u(sh->second);
+      fresh.held = u.unpack<std::uint8_t>() != 0;
+      fresh.holder = u.unpack<NodeId>();
+      unpack_state(u, fresh);
+      DSM_CHECK_MSG(u.done(), "lock shadow carries trailing bytes");
+      if (fresh.held && fresh.holder == dead) {
+        // The holder died with the manager: the lock comes back free. Its
+        // last critical section never published a release, so the payload
+        // history as of the last completed release is exactly what the
+        // shadow holds.
+        fresh.held = false;
+        fresh.holder = kInvalidNode;
+      }
+    }
+    // No shadow = a lock the dead manager never granted; fresh state is the
+    // faithful reconstruction. Queued waiters are never restored: their
+    // grant tokens died with the manager, and their failed acquire calls
+    // retry against this node and rebuild the queue.
+    state_[id] = std::move(fresh);
+    acquire_stats_.erase(id);
+    set_hint(backup, id, backup);
+    dsm_.counters().inc(backup, Counter::kPromotions);
+  }
+  // The dead node's acquire counts are history — zero its column everywhere
+  // so the migration policy never elects a dead dominant acquirer.
+  for (auto& [id, counts] : acquire_stats_) {
+    if (static_cast<std::size_t>(dead) < counts.size()) {
+      counts[dead] = 0;
+    }
+  }
+  // Probable-manager hints pointing at the dead node would only buy their
+  // holders a failed call + retry; clear them.
+  for (auto& node_hints : hint_) {
+    for (auto it = node_hints.begin(); it != node_hints.end();) {
+      if (it->second == dead) {
+        it = node_hints.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 void LockManager::serve_redirect(pm2::RpcContext& ctx, Unpacker& args) {

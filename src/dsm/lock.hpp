@@ -89,6 +89,19 @@ class LockManager {
   /// lock_history_bytes gauge).
   [[nodiscard]] std::uint64_t history_bytes(NodeId node) const;
 
+  /// Failover (called by the Replicator while promoting `backup` for the
+  /// dead node `dead`): re-points every lock whose manager was `dead` at
+  /// `backup`, rebuilding manager state from the shadow pushed by the old
+  /// manager (or fresh when none arrived — a never-contended lock). A lock
+  /// the shadow shows held BY the dead node comes back free; one held by a
+  /// survivor stays held (its release will reach the new manager). Queued
+  /// waiters are NOT restored — their grant tokens died with the manager;
+  /// their failed acquire calls retry and rebuild the queue. Also drops
+  /// in-flight hand-offs aimed at the dead node (the old manager stays
+  /// authoritative) and clears every stale probable-manager hint.
+  void fail_over(NodeId dead, NodeId backup,
+                 const std::unordered_map<int, Buffer>& shadows);
+
  private:
   struct Waiter {
     NodeId src;
@@ -96,6 +109,10 @@ class LockManager {
   };
   struct LockState {
     bool held = false;
+    /// Which node holds the lock (local bookkeeping, never on the legacy
+    /// wire; failover needs it to decide whether a shadowed lock died with
+    /// its holder).
+    NodeId holder = kInvalidNode;
     std::deque<Waiter> queue;
     /// Release payloads in arrival (= happens-before) order; block i holds
     /// the payload of absolute release number floor + i.
@@ -109,6 +126,12 @@ class LockManager {
     /// Per node: absolute count of releases already delivered to it.
     std::unordered_map<NodeId, std::size_t> cursor;
   };
+
+  /// Locks are routed (hint-following acquire loop, status-byte replies,
+  /// redirect guards on the servers) when either dynamic-manager feature is
+  /// on: manager migration moves the role for performance, failover moves
+  /// it on death — both need the same machinery.
+  [[nodiscard]] bool routed_locks() const;
 
   /// The static stripe mapping — what any node can compute locally with no
   /// cluster knowledge (the fallback when it holds no hint).
@@ -149,6 +172,14 @@ class LockManager {
   /// Pushes a probable-manager correction to `to` (dsm.lock.redirect).
   void send_manager_redirect(NodeId from, NodeId to, int lock_id,
                              NodeId manager);
+
+  /// Manager-state serialization shared by the migration hand-off
+  /// (dsm.lock.xfer) and the failover shadow — one wire format, PR 8's.
+  void pack_state(const LockState& s, Packer& p) const;
+  void unpack_state(Unpacker& args, LockState& s) const;
+  /// Failover: ships [held, holder] + the serialized manager state of
+  /// `lock_id` to the striped backup (no-op with failover off).
+  void push_shadow(int lock_id, NodeId manager);
 
   void serve_acquire(pm2::RpcContext& ctx, Unpacker& args);
   void serve_release(pm2::RpcContext& ctx, Unpacker& args);

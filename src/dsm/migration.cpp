@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/time.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 
@@ -130,9 +131,21 @@ bool HomeMigrator::migrate_home(NodeId home, PageId page, NodeId target) {
     // the published truth afterwards. Deadlock-free because no path in the
     // system blocks on an RPC into *this* node's page mutex while holding
     // another page mutex, and the target's installer takes only its own.
-    Buffer reply = dsm_.runtime().rpc().call(target, svc_handoff_, std::move(p),
-                                             madeleine::MsgKind::kBulk);
-    const bool accepted = Unpacker(reply).unpack<std::uint8_t>() != 0;
+    bool accepted = false;
+    if (dsm_.config().enable_failover) {
+      // Failure-aware hand-off: a target that dies between the send and the
+      // ack (or a reply lost to a link fault) reads as a NACK after the
+      // heartbeat deadline — the old home stays authoritative, exactly the
+      // refused-hand-off path below.
+      pm2::Rpc::CallResult r = dsm_.runtime().rpc().try_call(
+          target, svc_handoff_, std::move(p), madeleine::MsgKind::kBulk,
+          from_us(dsm_.config().heartbeat_timeout_us));
+      accepted = r.ok && Unpacker(r.reply).unpack<std::uint8_t>() != 0;
+    } else {
+      Buffer reply = dsm_.runtime().rpc().call(
+          target, svc_handoff_, std::move(p), madeleine::MsgKind::kBulk);
+      accepted = Unpacker(reply).unpack<std::uint8_t>() != 0;
+    }
     if (accepted) {
       e.home = target;
       e.prob_owner = target;

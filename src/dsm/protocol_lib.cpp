@@ -40,6 +40,16 @@ struct SweepRound {
   CopySet targets;
 };
 
+/// Collector wait honoring the optional ack deadline (`ack_timeout_us`): a
+/// dead acker must not wedge a release forever. A timed-out round is counted
+/// and abandoned — the missing acker holds no copy worth waiting for (it is
+/// dead, or so slow its straggler ack is absorbed by the collector).
+void collector_wait(Dsm& dsm, NodeId node, AckCollector& collector) {
+  if (!collector.wait_for(from_us(dsm.config().ack_timeout_us))) {
+    dsm.counters().inc(node, Counter::kAckTimeouts);
+  }
+}
+
 /// Runs the invalidation rounds of a release sweep. Batched mode opens ONE
 /// node-level collector round covering every page's copyset and blocks a
 /// single time (acks route to the release collector); otherwise each page
@@ -64,7 +74,7 @@ void run_release_invalidations(Dsm& dsm, NodeId node,
                                   /*ack_to_release_collector=*/true);
     });
   }
-  collector.wait();
+  collector_wait(dsm, node, collector);
 }
 
 }  // namespace
@@ -587,7 +597,7 @@ void send_diff_batches(
   for (const auto& [home, items] : by_home) {
     dsm.comm().send_diff_batch(home, items, /*ack_to=*/node);
   }
-  collector.wait();
+  collector_wait(dsm, node, collector);
 }
 
 void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival) {
@@ -1481,7 +1491,7 @@ void invalidate_copyset(Dsm& dsm, PageId page, const CopySet& copyset,
   targets.for_each([&](NodeId member) {
     dsm.comm().invalidate_async(member, page, new_owner, /*ack_to=*/self);
   });
-  collector.wait();
+  collector_wait(dsm, self, collector);
 }
 
 void sync_noop(Dsm&, const SyncContext&) {}

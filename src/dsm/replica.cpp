@@ -1,0 +1,353 @@
+#include "dsm/replica.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "dsm/checker.hpp"
+#include "dsm/dsm.hpp"
+
+namespace dsmpm2::dsm {
+
+Replicator::Replicator(Dsm& dsm) : dsm_(dsm) {
+  auto& rt = dsm_.runtime();
+  auto& rpc = rt.rpc();
+  // Services are registered unconditionally (registration is inert); only
+  // the heartbeat chain — the single clock-visible artifact — is gated.
+  svc_ping_ = rpc.register_service(
+      "dsm.ft.ping", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_ping(ctx, args); });
+  svc_pong_ = rpc.register_service(
+      "dsm.ft.pong", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_pong(ctx, args); });
+  svc_shadow_ = rpc.register_service(
+      "dsm.ft.shadow", pm2::Dispatch::kInline,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_shadow(ctx, args); });
+  // Promotion takes page mutexes and may block: thread dispatch.
+  svc_promote_ = rpc.register_service(
+      "dsm.ft.promote", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_promote(ctx, args); });
+  last_heard_.assign(static_cast<std::size_t>(dsm_.node_count()), SimTime{0});
+  if (dsm_.config().enable_failover && dsm_.node_count() > 1) {
+    rt.scheduler().schedule_background_after(
+        from_us(dsm_.config().heartbeat_interval_us),
+        [this] { heartbeat_tick(); });
+  }
+}
+
+NodeId Replicator::backup_of(NodeId primary) const {
+  const auto n = static_cast<NodeId>(dsm_.node_count());
+  return static_cast<NodeId>((primary + 1) % n);
+}
+
+NodeId Replicator::route(NodeId dst) const {
+  const auto& fault = dsm_.runtime().cluster().fault();
+  if (!fault.any_dead()) {
+    return dst;
+  }
+  NodeId at = dst;
+  for (int i = 0; i < dsm_.node_count(); ++i) {
+    if (!fault.is_dead(at)) {
+      return at;
+    }
+    at = backup_of(at);
+  }
+  DSM_CHECK_MSG(false, "route: every node in the cluster is dead");
+  return dst;
+}
+
+void Replicator::push_shadow(ShadowKind kind, std::uint64_t id,
+                             const Buffer& state, NodeId primary) {
+  if (!dsm_.config().enable_failover) {
+    return;
+  }
+  const NodeId backup = backup_of(primary);
+  if (backup == primary) {
+    return;  // single-node cluster: nothing to replicate to
+  }
+  dsm_.counters().inc(primary, Counter::kReplicaBytes, state.size());
+  Packer p;
+  p.pack(static_cast<std::uint8_t>(kind));
+  p.pack(id);
+  p.pack_bytes(state);
+  dsm_.runtime().rpc().call_async_from(primary, backup, svc_shadow_,
+                                       std::move(p),
+                                       kind == ShadowKind::kPage
+                                           ? madeleine::MsgKind::kBulk
+                                           : madeleine::MsgKind::kControl);
+}
+
+void Replicator::push_home_page(PageId page, NodeId home) {
+  if (!dsm_.config().enable_failover) {
+    return;
+  }
+  Packer p;
+  dsm_.table(home).entry(page).copyset.serialize(p);
+  p.pack_raw(dsm_.store(home).frame(page));
+  push_shadow(ShadowKind::kPage, page, p.buffer(), home);
+}
+
+void Replicator::serve_ping(pm2::RpcContext& ctx, Unpacker& /*args*/) {
+  dsm_.runtime().rpc().call_async_from(ctx.self, ctx.src, svc_pong_, Packer{});
+}
+
+void Replicator::serve_pong(pm2::RpcContext& ctx, Unpacker& /*args*/) {
+  last_heard_[ctx.src] = dsm_.runtime().now();
+}
+
+void Replicator::serve_shadow(pm2::RpcContext& /*ctx*/, Unpacker& args) {
+  const auto kind = static_cast<ShadowKind>(args.unpack<std::uint8_t>());
+  const auto id = args.unpack<std::uint64_t>();
+  const auto bytes = args.unpack_bytes();
+  Buffer state(bytes.begin(), bytes.end());
+  switch (kind) {
+    case ShadowKind::kLock:
+      lock_shadows_[static_cast<int>(id)] = std::move(state);
+      break;
+    case ShadowKind::kBarrier:
+      barrier_shadows_[static_cast<int>(id)] = std::move(state);
+      break;
+    case ShadowKind::kPage:
+      page_shadows_[static_cast<PageId>(id)] = std::move(state);
+      break;
+    default:
+      DSM_CHECK_MSG(false, "shadow push of unknown kind");
+  }
+}
+
+void Replicator::serve_promote(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto dead = args.unpack<NodeId>();
+  const auto backup = args.unpack<NodeId>();
+  const auto lost_count = args.unpack<std::uint32_t>();
+  std::set<PageId> lost;
+  for (std::uint32_t i = 0; i < lost_count; ++i) {
+    lost.insert(args.unpack<PageId>());
+  }
+  apply_promote(ctx.self, dead, backup, lost);
+}
+
+void Replicator::heartbeat_tick() {
+  auto& rt = dsm_.runtime();
+  const auto& fault = rt.cluster().fault();
+  const auto n = static_cast<NodeId>(dsm_.node_count());
+  const SimTime now = rt.now();
+  const SimTime deadline = from_us(dsm_.config().heartbeat_timeout_us);
+  for (NodeId b = 0; b < n; ++b) {
+    if (fault.is_dead(b)) {
+      continue;
+    }
+    const auto p = static_cast<NodeId>((b + n - 1) % n);
+    if (p == b || suspected_.contains(p)) {
+      continue;
+    }
+    // Pings to a dead primary vanish on the wire — detection is silence.
+    dsm_.counters().inc(b, Counter::kHeartbeats);
+    rt.rpc().call_async_from(b, p, svc_ping_, Packer{});
+    const SimTime silent_for = now - last_heard_[p];
+    if (now > deadline && silent_for > deadline) {
+      suspected_.insert(p);
+      rt.threads().spawn_daemon(b, "dsm.ft.promote",
+                                [this, p, b] { promote(p, b); });
+    }
+  }
+  rt.scheduler().schedule_background_after(
+      from_us(dsm_.config().heartbeat_interval_us),
+      [this] { heartbeat_tick(); });
+}
+
+void Replicator::promote(NodeId dead, NodeId backup) {
+  log::warn("failover: node %u silent past the heartbeat deadline; node %u "
+            "promoting itself",
+            static_cast<unsigned>(dead), static_cast<unsigned>(backup));
+  auto& rt = dsm_.runtime();
+  // Fail fast everywhere first: pending calls to the dead node wake with a
+  // failure, future try_calls return immediately — the retry loops in the
+  // lock/barrier/diff paths start re-routing while promotion proceeds.
+  rt.rpc().mark_node_down(dead);
+  rt.rpc().fail_pending_to(dead);
+  dsm_.counters().inc(backup, Counter::kFailovers);
+  dsm_.locks().fail_over(dead, backup, lock_shadows_);
+  dsm_.barriers().fail_over(dead, backup, barrier_shadows_);
+  scrub_dead_table(dead, backup);
+  install_page_shadows(dead, backup);
+  // Pages homed at the dead node with no shadow: their frames died with it.
+  // Every survivor wipes its (now unmergeable) copies and the backup
+  // becomes a fresh zero-filled home — the documented single-death data
+  // loss window for never-shadowed pages.
+  std::vector<PageId> lost;
+  {
+    auto& tbl = dsm_.table(backup);
+    for (PageId page = 0; page < tbl.page_count(); ++page) {
+      const PageEntry& e = tbl.entry(page);
+      if (e.valid && e.home == dead) {
+        lost.push_back(page);
+      }
+    }
+  }
+  if (!lost.empty()) {
+    log::warn("failover: %zu pages homed at node %u had no shadow; "
+              "reinitializing",
+              lost.size(), static_cast<unsigned>(dead));
+  }
+  Packer announce;
+  announce.pack(dead);
+  announce.pack(backup);
+  announce.pack(static_cast<std::uint32_t>(lost.size()));
+  for (const PageId page : lost) {
+    announce.pack(page);
+  }
+  const auto& fault = rt.cluster().fault();
+  const auto n = static_cast<NodeId>(dsm_.node_count());
+  for (NodeId node = 0; node < n; ++node) {
+    if (node == backup || node == dead || fault.is_dead(node)) {
+      continue;
+    }
+    Packer copy;
+    copy.pack_raw(announce.buffer());
+    rt.rpc().call_async_from(backup, node, svc_promote_, std::move(copy));
+  }
+  apply_promote(backup, dead, backup,
+                std::set<PageId>(lost.begin(), lost.end()));
+}
+
+void Replicator::scrub_dead_table(NodeId dead, NodeId backup) {
+  // The dead node's fibers are abandoned and its messages dropped, so its
+  // table is frozen; it is mutated directly (no page mutexes — those may be
+  // held forever by orphaned fibers). Re-aiming its home pointers at the
+  // backup keeps the checker's forwarding-chain invariant convergent even
+  // before the survivors repoint.
+  auto& tbl = dsm_.table(dead);
+  auto& store = dsm_.store(dead);
+  for (PageId page = 0; page < tbl.page_count(); ++page) {
+    PageEntry& e = tbl.entry(page);
+    if (!e.valid) {
+      continue;
+    }
+    if (e.home == dead) {
+      e.home = backup;
+    }
+    if (e.prob_owner == dead) {
+      e.prob_owner = backup;
+    }
+    e.access = Access::kNone;
+    e.pending = Access::kNone;
+    e.in_transition = false;  // no wake: the waiters died with the node
+    e.dirty = false;
+    e.has_twin = false;
+    e.write_spans.clear();
+    if (store.has_twin(page)) {
+      store.drop_twin(page);
+    }
+    if (store.has_frame(page)) {
+      store.drop_frame(page);
+    }
+  }
+}
+
+void Replicator::install_page_shadows(NodeId dead, NodeId backup) {
+  auto& tbl = dsm_.table(backup);
+  const std::uint32_t page_size = dsm_.geometry().page_size();
+  for (const auto& [page, buf] : page_shadows_) {
+    PageEntry& e = tbl.entry(page);
+    {
+      marcel::MutexLock lock(tbl.mutex(page));
+      if (!e.valid || e.home != dead) {
+        continue;  // stale shadow (the home moved on) — not ours to install
+      }
+      // A transition already in flight here is a fault wedged on the dead
+      // home (requests follow e.home); the install takes it over and the
+      // end_transition below wakes the faulter to retry against the data
+      // it now finds at home.
+      if (!e.in_transition) {
+        tbl.begin_transition(page);
+      }
+      Unpacker u(buf);
+      CopySet copyset = CopySet::deserialize(u);
+      DSM_CHECK_MSG(u.remaining() == page_size,
+                    "page shadow payload is not exactly one page");
+      const auto bytes = u.unpack_raw(page_size);
+      std::memcpy(dsm_.store(backup).frame(page).data(), bytes.data(),
+                  page_size);
+      copyset.erase(backup);
+      copyset.erase(dead);
+      e.home = backup;
+      e.prob_owner = backup;
+      e.copyset = copyset;
+      e.access = Access::kNone;  // the protocol fixup below recomputes
+      e.pending = Access::kNone;
+      e.dirty = false;
+      e.write_spans.clear();
+      e.proto_word = 0;
+      if (e.has_twin) {
+        e.has_twin = false;
+        dsm_.store(backup).drop_twin(page);
+      }
+    }
+    if (Checker* ck = dsm_.checker()) {
+      ck->on_page_arrival(backup, page, dead);
+    }
+    const Protocol& proto = dsm_.protocol_of(page);
+    if (proto.home_migrated != nullptr) {
+      proto.home_migrated(dsm_, page, dead, backup);
+    } else {
+      log::warn("failover: protocol of page %u has no home_migrated fixup; "
+                "home access stays revoked until the next fault",
+                static_cast<unsigned>(page));
+    }
+    {
+      marcel::MutexLock lock(tbl.mutex(page));
+      tbl.end_transition(page);
+    }
+    dsm_.counters().inc(backup, Counter::kPromotions);
+  }
+}
+
+void Replicator::apply_promote(NodeId self, NodeId dead, NodeId backup,
+                               const std::set<PageId>& lost) {
+  if (self == dead) {
+    return;
+  }
+  auto& tbl = dsm_.table(self);
+  auto& store = dsm_.store(self);
+  for (PageId page = 0; page < tbl.page_count(); ++page) {
+    PageEntry& e = tbl.entry(page);
+    if (!e.valid) {
+      continue;
+    }
+    marcel::MutexLock lock(tbl.mutex(page));
+    const bool was_dead_home = e.home == dead || e.prob_owner == dead;
+    if (e.home == dead) {
+      e.home = backup;
+    }
+    if (e.prob_owner == dead) {
+      e.prob_owner = backup;
+    }
+    // Home-side copysets: the dead node's copies are gone, stop tracking
+    // (and stop invalidating) them.
+    e.copyset.erase(dead);
+    if (lost.contains(page)) {
+      // The page's frames died unshadowed: drop the local copy — it can
+      // never be merged or invalidated coherently again.
+      e.copyset.clear();
+      e.access = Access::kNone;
+      e.pending = Access::kNone;
+      e.dirty = false;
+      e.write_spans.clear();
+      e.proto_word = 0;
+      if (e.has_twin) {
+        e.has_twin = false;
+        store.drop_twin(page);
+      }
+      if (store.has_frame(page)) {
+        store.drop_frame(page);
+      }
+    }
+    if (e.in_transition && was_dead_home) {
+      // Wake faulters wedged on the dead home; they re-check their access
+      // and re-fault toward the promoted one.
+      tbl.end_transition(page);
+    }
+  }
+}
+
+}  // namespace dsmpm2::dsm

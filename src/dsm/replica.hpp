@@ -1,0 +1,136 @@
+// Failover: replicated manager/home state and backup promotion.
+//
+// DSM-PM2's managers are single points of failure: a lock's payload history,
+// a barrier's generation state and a page's home frame all live on exactly
+// one node. The Replicator (DsmConfig::enable_failover) shadows that state to
+// a striped backup — backup_of(p) = (p+1) mod nodes — so the cluster survives
+// one node death:
+//
+//   * shadow pushes — the lock manager after every quiescent-state change
+//     (grant, free, hand-off landing), the barrier coordinator at every
+//     generation completion, and the page home after every diff apply /
+//     copyset change each serialize their state (reusing the dsm.lock.xfer
+//     wire format for managers) and fire it at the backup over dsm.ft.shadow.
+//     Fire-and-forget: the shadow of the very last mutation may be lost with
+//     the primary, in which case the backup restores the previous quiescent
+//     state and the survivors' retries rebuild the rest.
+//
+//   * failure detection — every node pings the node it backs up each
+//     heartbeat_interval_us (dsm.ft.ping/pong); silence past
+//     heartbeat_timeout_us marks the primary suspected and starts promotion.
+//     Pings to a dead node vanish on the wire, so detection needs no state
+//     on the dead side.
+//
+//   * promotion — the backup marks the dead node down in the RPC layer
+//     (pending calls fail, future try_calls fail fast), replays the lock and
+//     barrier shadows (LockManager::fail_over / BarrierManager::fail_over),
+//     re-homes the shadowed pages onto itself through the same
+//     begin_transition / home_migrated / end_transition sequence as a
+//     migration hand-off, scrubs the dead node's table (its memory is gone),
+//     and broadcasts dsm.ft.promote so every survivor re-points its
+//     probable-home/owner maps and wakes faulters wedged on the dead home.
+//
+// Known limitations (single-death tolerance, documented in the README):
+// pages homed at the dead node with no shadow yet reinitialize to zero
+// frames; home-local writes since the last shadow push are lost; a dead
+// barrier party leaves its barrier short; queued lock/barrier waiters are
+// rebuilt by their own retries, not restored.
+//
+// With enable_failover off every hook returns before touching the wire or
+// the clock — runs are bit-identical to a build without this module.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+#include "common/time.hpp"
+#include "pm2/rpc.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+class Replicator {
+ public:
+  /// What a dsm.ft.shadow message carries (wire tag).
+  enum class ShadowKind : std::uint8_t { kLock = 0, kBarrier = 1, kPage = 2 };
+
+  explicit Replicator(Dsm& dsm);
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// The striped backup of `primary`.
+  [[nodiscard]] NodeId backup_of(NodeId primary) const;
+
+  /// Routes `dst` past dead nodes: follows the backup chain until it lands
+  /// on a live node (identity while nobody died).
+  [[nodiscard]] NodeId route(NodeId dst) const;
+
+  /// Ships one serialized state blob to `primary`'s backup over
+  /// dsm.ft.shadow (fire-and-forget; no-op with failover off or on a
+  /// single-node cluster).
+  void push_shadow(ShadowKind kind, std::uint64_t id, const Buffer& state,
+                   NodeId primary);
+
+  /// Shadows a home page: copyset + current frame bytes, pushed by the home
+  /// after a diff apply or a copyset change.
+  void push_home_page(PageId page, NodeId home);
+
+ private:
+  void serve_ping(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_pong(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_shadow(pm2::RpcContext& ctx, Unpacker& args);
+  void serve_promote(pm2::RpcContext& ctx, Unpacker& args);
+
+  /// The failure detector: one background event that pings every backed-up
+  /// primary, checks silence deadlines, and reschedules itself (the chain
+  /// dies at quiescence with the rest of the background work).
+  void heartbeat_tick();
+
+  /// Full promotion sequence, run on a daemon fiber on `backup`.
+  void promote(NodeId dead, NodeId backup);
+
+  /// Models the death of `dead`'s memory for the cluster-wide invariant
+  /// checker: every entry loses its access/twin/dirty state and its
+  /// home/prob_owner pointers are re-aimed at `backup`. The dead node's
+  /// fibers are abandoned and its messages dropped, so its table is frozen —
+  /// mutated directly, without its (possibly orphaned) page mutexes.
+  void scrub_dead_table(NodeId dead, NodeId backup);
+
+  /// Replays the page shadows onto `backup`: same install discipline as a
+  /// migration hand-off (begin_transition under the page mutex, the
+  /// protocol's home_migrated fixup outside it, end_transition last).
+  void install_page_shadows(NodeId dead, NodeId backup);
+
+  /// Survivor-side repair (every live node, backup included): re-points
+  /// home/prob_owner references to `dead` at `backup`, wipes copies of the
+  /// `lost` pages (dead-homed, never shadowed), and ends transitions wedged
+  /// on the dead home so the faulters retry against the new one.
+  void apply_promote(NodeId self, NodeId dead, NodeId backup,
+                     const std::set<PageId>& lost);
+
+  Dsm& dsm_;
+  pm2::ServiceId svc_ping_ = 0;
+  pm2::ServiceId svc_pong_ = 0;
+  pm2::ServiceId svc_shadow_ = 0;
+  pm2::ServiceId svc_promote_ = 0;
+
+  /// Per node: last instant a pong from it reached its backup.
+  std::vector<SimTime> last_heard_;
+  /// Nodes already handed to promote() — one promotion per death.
+  std::set<NodeId> suspected_;
+
+  /// Shadow stores, written at dsm.ft.shadow delivery on the backup. Global
+  /// maps (like the manager state they mirror): the id spaces are disjoint
+  /// per kind and each id has exactly one primary, hence one backup writer.
+  std::unordered_map<int, Buffer> lock_shadows_;
+  std::unordered_map<int, Buffer> barrier_shadows_;
+  std::unordered_map<PageId, Buffer> page_shadows_;
+};
+
+}  // namespace dsmpm2::dsm

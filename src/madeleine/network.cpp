@@ -32,6 +32,14 @@ void Network::send(Message msg) {
   DSM_CHECK(msg.src < handlers_.size() && msg.dst < handlers_.size());
   auto& sched = cluster_.scheduler();
 
+  // Fault injection: a dead endpoint or a dropped link swallows the message
+  // before it ever reaches the wire (no stats, no FIFO slot) — the sender
+  // cannot tell a crashed peer from a slow one, which is the point.
+  if (cluster_.fault().should_drop(msg.src, msg.dst)) {
+    cluster_.fault().note_drop();
+    return;
+  }
+
   const std::size_t bytes = msg.total_bytes();
   const std::size_t kind = static_cast<std::size_t>(msg.kind);
   stats_[msg.src].messages_sent++;
@@ -54,6 +62,11 @@ void Network::send(Message msg) {
   // The shared_ptr carries the payload through the event queue without copies.
   auto boxed = std::make_shared<Message>(std::move(msg));
   sched.schedule_at(deliver_at, [this, boxed, bytes, kind] {
+    // The destination may have died while the message was in flight.
+    if (cluster_.fault().is_dead(boxed->dst)) {
+      cluster_.fault().note_drop();
+      return;
+    }
     stats_[boxed->dst].messages_received++;
     stats_[boxed->dst].bytes_received += bytes;
     stats_[boxed->dst].kind_messages_received[kind]++;

@@ -84,6 +84,14 @@ void ThreadSystem::charge(SimTime work) {
   cluster_.node(t.node()).cpu().charge(work);
 }
 
+void ThreadSystem::abandon_node(NodeId node) {
+  for (const auto& t : threads_) {
+    if (t->node_ == node && !t->finished_ && t->fiber_ != nullptr) {
+      t->fiber_->set_daemon(true);
+    }
+  }
+}
+
 void ThreadSystem::rebind(Thread& t, NodeId node) {
   DSM_CHECK(node < static_cast<NodeId>(cluster_.size()));
   const NodeId from = t.node_;

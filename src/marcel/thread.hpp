@@ -113,6 +113,13 @@ class ThreadSystem {
   /// Used by the PM2 migration layer to rebind a thread.
   void rebind(Thread& t, NodeId node);
 
+  /// Fault injection: marks every unfinished thread bound to `node` as a
+  /// daemon. The dead node's fibers will never run to completion (their
+  /// messages are dropped); daemon status keeps them from counting as
+  /// deadlocked at quiescence. Their joiners are NOT woken — code joining a
+  /// thread on a dead node is itself stuck unless failover redirects it.
+  void abandon_node(NodeId node);
+
   /// Lifecycle observer (one at a time; null disables).
   void set_observer(ThreadObserver* obs) { observer_ = obs; }
   [[nodiscard]] ThreadObserver* observer() const { return observer_; }

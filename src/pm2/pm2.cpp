@@ -45,6 +45,15 @@ RunStats Runtime::run(std::function<void()> entry) {
   return stats;
 }
 
+void Runtime::kill_node(NodeId node) {
+  DSM_CHECK(node < static_cast<NodeId>(cluster_.size()));
+  log::warn("kill_node: node %u dies now", static_cast<unsigned>(node));
+  cluster_.fault().kill(node);
+  threads_.abandon_node(node);
+  rpc_.mark_node_down(node);
+  rpc_.fail_pending_to(node);
+}
+
 marcel::Thread& Runtime::spawn_on(NodeId node, std::string name,
                                   std::function<void()> fn) {
   marcel::Thread* caller = threads_.self_or_null();

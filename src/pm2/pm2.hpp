@@ -70,6 +70,14 @@ class Runtime {
   /// Migrates the calling thread (see MigrationService).
   void migrate_to(NodeId dst) { migration_.migrate_to(dst); }
 
+  /// Fault injection: kills `node` at the current virtual time. Its messages
+  /// stop (in both directions), its unfinished threads are abandoned as
+  /// daemons, every caller blocked on a reply from it fails, and future
+  /// try_call()s to it fail fast. Callable from fiber or event context
+  /// (tests usually wrap it in scheduler().schedule_background_at so the
+  /// death lands at an exact instant).
+  void kill_node(NodeId node);
+
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] int node_count() const { return cluster_.size(); }
   [[nodiscard]] NodeId self_node() const { return threads_.self_node(); }

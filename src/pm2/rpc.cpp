@@ -31,12 +31,19 @@ Rpc::Rpc(sim::Cluster& cluster, madeleine::Network& net, marcel::ThreadSystem& t
       "rpc.reply", Dispatch::kInline,
       [this](RpcContext& ctx, Unpacker& args) {
         auto it = pending_.find(ctx.reply_token);
-        DSM_CHECK_MSG(it != pending_.end(), "reply for unknown token");
+        if (it == pending_.end()) {
+          // A straggler reply to a call that already timed out: the caller
+          // moved on (and possibly retried elsewhere) — drop it.
+          DSM_CHECK_MSG(failed_tokens_.erase(ctx.reply_token) > 0,
+                        "reply for unknown token");
+          return;
+        }
         auto rest = args.unpack_raw(args.remaining());
         it->second.result.assign(rest.begin(), rest.end());
         it->second.done = true;
         if (it->second.waiter != nullptr) {
           cluster_.scheduler().ready(it->second.waiter);
+          it->second.waiter = nullptr;
         }
       }});
   for (NodeId n = 0; n < static_cast<NodeId>(cluster.size()); ++n) {
@@ -73,28 +80,72 @@ void Rpc::call_async_from(NodeId src, NodeId dst, ServiceId svc, Packer args,
 }
 
 Buffer Rpc::call(NodeId dst, ServiceId svc, Packer args, madeleine::MsgKind kind) {
+  CallResult r = try_call(dst, svc, std::move(args), kind, /*timeout=*/0);
+  DSM_CHECK_MSG(r.ok, "rpc call failed: destination died with no failover path");
+  return std::move(r.reply);
+}
+
+Rpc::CallResult Rpc::try_call(NodeId dst, ServiceId svc, Packer args,
+                              madeleine::MsgKind kind, SimTime timeout) {
   DSM_CHECK(svc < services_.size());
   ++calls_issued_;
+  if (down_.contains(dst)) return {};
   const NodeId src = threads_.self().node();
   const std::uint64_t token = next_token_++;
-  PendingReply& pending = pending_[token];
+  PendingReply& pending = pending_[token];  // refs survive rehash
+  pending.dst = dst;
 
   Packer wire;
   wire.pack(WireHeader{svc, src, token});
   wire.pack_raw(std::span<const std::byte>(args.buffer().data(), args.size()));
   net_.send(madeleine::Message{src, dst, kind, std::move(wire).take()});
 
-  if (!pending.done) {
+  sim::EventHandle timer;
+  if (timeout > 0) {
+    // Background: a pending deadline alone must not keep a finished run
+    // alive, and the waiter below is a blocked fiber that lets it fire.
+    timer = cluster_.scheduler().schedule_background_after(timeout, [this, token] {
+      auto it = pending_.find(token);
+      if (it == pending_.end() || it->second.done) return;
+      it->second.failed = true;
+      if (it->second.waiter != nullptr) {
+        cluster_.scheduler().ready(it->second.waiter);
+        it->second.waiter = nullptr;
+      }
+    });
+  }
+
+  while (!pending.done && !pending.failed) {
     pending.waiter = cluster_.scheduler().current();
     DSM_CHECK_MSG(pending.waiter != nullptr, "Rpc::call outside thread context");
     cluster_.scheduler().block();
   }
+  timer.cancel();
   auto it = pending_.find(token);
-  DSM_CHECK(it != pending_.end() && it->second.done);
-  Buffer result = std::move(it->second.result);
+  DSM_CHECK(it != pending_.end());
+  CallResult result;
+  result.ok = it->second.done;
+  if (result.ok) {
+    result.reply = std::move(it->second.result);
+  } else {
+    failed_tokens_.insert(token);  // tolerate (and drop) a straggler reply
+  }
   pending_.erase(it);
   return result;
 }
+
+void Rpc::fail_pending_to(NodeId dead) {
+  for (auto& [token, p] : pending_) {
+    if (p.dst != dead || p.done || p.failed) continue;
+    p.failed = true;
+    if (p.waiter != nullptr) {
+      cluster_.scheduler().ready(p.waiter);
+      p.waiter = nullptr;
+    }
+  }
+}
+
+void Rpc::mark_node_down(NodeId dead) { down_.insert(dead); }
 
 void Rpc::send_reply(NodeId from, NodeId to, std::uint64_t token, Packer result,
                      madeleine::MsgKind kind) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <set>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 
 #include "common/ids.hpp"
 #include "common/serialize.hpp"
+#include "common/time.hpp"
 #include "madeleine/network.hpp"
 #include "marcel/sync.hpp"
 #include "marcel/thread.hpp"
@@ -72,8 +74,33 @@ class Rpc {
   /// Invocation with reply: blocks the calling thread until the handler
   /// replies, and returns the reply payload. (Vectored sends are async-only:
   /// the batched callers pair call_async fragments with an ack collector.)
+  /// Fatal if the call fails (destination marked down / pending round
+  /// failed) — failure-aware callers use try_call.
   Buffer call(NodeId dst, ServiceId svc, Packer args,
               madeleine::MsgKind kind = madeleine::MsgKind::kControl);
+
+  /// Outcome of a failure-aware call. `reply` is only meaningful when `ok`.
+  struct CallResult {
+    bool ok = false;
+    Buffer reply;
+  };
+
+  /// Like call(), but instead of blocking forever it reports failure when
+  ///   * `dst` was already marked down (fails without sending),
+  ///   * `fail_pending_to(dst)` fires while this call is in flight, or
+  ///   * `timeout` > 0 virtual time passes without a reply (0 = no deadline).
+  /// A reply that still arrives after a timeout is silently dropped.
+  CallResult try_call(NodeId dst, ServiceId svc, Packer args,
+                      madeleine::MsgKind kind = madeleine::MsgKind::kControl,
+                      SimTime timeout = 0);
+
+  /// Failure detection hooks (used by kill_node / the DSM replicator):
+  /// wakes every caller blocked on a reply from `dead` with a failed status.
+  void fail_pending_to(NodeId dead);
+  /// Future try_call()s to `dead` fail fast without touching the wire;
+  /// call()s to it become fatal. Irreversible, like FaultInjector::kill.
+  void mark_node_down(NodeId dead);
+  [[nodiscard]] bool node_down(NodeId node) const { return down_.contains(node); }
 
   /// Sends the reply for a deferred call: a handler may stash (src, token)
   /// and answer long after returning (e.g. a lock manager granting a queued
@@ -104,7 +131,9 @@ class Rpc {
   struct PendingReply {
     sim::Fiber* waiter = nullptr;
     Buffer result;
+    NodeId dst = kInvalidNode;
     bool done = false;
+    bool failed = false;
   };
 
   void on_delivery(NodeId self, madeleine::Message msg);
@@ -118,6 +147,8 @@ class Rpc {
   marcel::ThreadSystem& threads_;
   std::vector<Service> services_;
   std::unordered_map<std::uint64_t, PendingReply> pending_;
+  std::set<std::uint64_t> failed_tokens_;  ///< timed-out calls: late replies dropped
+  std::set<NodeId> down_;
   std::uint64_t next_token_ = 1;
   std::uint64_t calls_issued_ = 0;
 };

@@ -11,6 +11,7 @@
 
 #include "common/ids.hpp"
 #include "sim/cpu.hpp"
+#include "sim/fault.hpp"
 #include "sim/scheduler.hpp"
 
 namespace dsmpm2::sim {
@@ -35,10 +36,14 @@ class Cluster {
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] Node& node(NodeId id);
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  /// Always present; empty unless a test/bench injects faults.
+  [[nodiscard]] FaultInjector& fault() { return fault_; }
+  [[nodiscard]] const FaultInjector& fault() const { return fault_; }
 
  private:
   Scheduler& sched_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  FaultInjector fault_;
 };
 
 }  // namespace dsmpm2::sim

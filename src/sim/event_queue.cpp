@@ -10,22 +10,33 @@ void EventHandle::cancel() {
   if (entry_ != nullptr) entry_->cancelled = true;
 }
 
-EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn) {
+EventHandle EventQueue::schedule(SimTime at, std::function<void()> fn,
+                                 bool background) {
   auto entry = std::make_shared<EventHandle::Entry>();
   entry->time = at;
   entry->seq = next_seq_++;
   entry->fn = std::move(fn);
+  entry->background = background;
+  if (!background) ++foreground_pending_;
   heap_.push(entry);
   return EventHandle(std::move(entry));
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    if (!heap_.top()->background) --foreground_pending_;
+    heap_.pop();
+  }
 }
 
 bool EventQueue::empty() const {
   drop_cancelled();
   return heap_.empty();
+}
+
+bool EventQueue::has_foreground() const {
+  drop_cancelled();
+  return foreground_pending_ > 0;
 }
 
 SimTime EventQueue::next_time() const {
@@ -39,6 +50,7 @@ SimTime EventQueue::pop_and_run() {
   DSM_CHECK(!heap_.empty());
   auto entry = heap_.top();
   heap_.pop();
+  if (!entry->background) --foreground_pending_;
   ++executed_;
   const SimTime t = entry->time;
   auto fn = std::move(entry->fn);

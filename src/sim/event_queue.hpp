@@ -32,6 +32,7 @@ class EventHandle {
     std::uint64_t seq = 0;
     std::function<void()> fn;
     bool cancelled = false;
+    bool background = false;
   };
   explicit EventHandle(std::shared_ptr<Entry> entry) : entry_(std::move(entry)) {}
   std::shared_ptr<Entry> entry_;
@@ -39,9 +40,17 @@ class EventHandle {
 
 class EventQueue {
  public:
-  EventHandle schedule(SimTime at, std::function<void()> fn);
+  /// Background events (heartbeats, watchdogs) never keep a run alive on
+  /// their own: the scheduler quiesces when only background events remain
+  /// and no non-daemon fiber is still blocked.
+  EventHandle schedule(SimTime at, std::function<void()> fn,
+                       bool background = false);
 
   [[nodiscard]] bool empty() const;
+  /// True while at least one foreground (non-background) event is pending.
+  /// Conservative: a cancelled foreground event still counts until it is
+  /// dropped from the heap top, which only delays quiescence, never blocks it.
+  [[nodiscard]] bool has_foreground() const;
   /// Earliest pending (non-cancelled) event time; only valid if !empty().
   [[nodiscard]] SimTime next_time() const;
 
@@ -66,6 +75,7 @@ class EventQueue {
       heap_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  mutable std::uint64_t foreground_pending_ = 0;
 };
 
 }  // namespace dsmpm2::sim

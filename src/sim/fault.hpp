@@ -1,0 +1,57 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// Two fault classes, both driven from test/bench code (usually via a
+// scheduled background event so the fault lands at an exact virtual time):
+//
+//   * node death — `kill(id)` marks a node dead. The network refuses to
+//     deliver anything to or from it from that instant on; messages already
+//     in flight toward it are dropped at their delivery time (the NIC died
+//     with the host). Higher layers (pm2::Runtime::kill_node) additionally
+//     abandon the node's fibers and fail its pending RPCs.
+//
+//   * link drops — `drop_link(src, dst)` silently discards every subsequent
+//     src->dst message until `restore_link`. This models the "request sent,
+//     reply never arrives" half-failures that timeout paths must survive,
+//     without the nondeterminism of racing a kill against message flight.
+//
+// An empty injector (the default) takes no branches that alter behavior:
+// `is_dead`/`should_drop` are O(1) checks against empty sets.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "common/ids.hpp"
+
+namespace dsmpm2::sim {
+
+class FaultInjector {
+ public:
+  /// Marks a node dead. Idempotent; there is no resurrection.
+  void kill(NodeId node) { dead_.insert(node); }
+
+  [[nodiscard]] bool is_dead(NodeId node) const { return dead_.contains(node); }
+  [[nodiscard]] bool any_dead() const { return !dead_.empty(); }
+  [[nodiscard]] const std::set<NodeId>& dead() const { return dead_; }
+
+  /// Starts silently dropping every src->dst message (one direction only).
+  void drop_link(NodeId src, NodeId dst) { dropped_links_.insert({src, dst}); }
+  void restore_link(NodeId src, NodeId dst) { dropped_links_.erase({src, dst}); }
+
+  /// Send-time verdict: true when the message must vanish from the wire.
+  [[nodiscard]] bool should_drop(NodeId src, NodeId dst) const {
+    if (dead_.empty() && dropped_links_.empty()) return false;
+    return is_dead(src) || is_dead(dst) || dropped_links_.contains({src, dst});
+  }
+
+  void note_drop() { ++messages_dropped_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  std::set<NodeId> dead_;
+  std::set<std::pair<NodeId, NodeId>> dropped_links_;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace dsmpm2::sim

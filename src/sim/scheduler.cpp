@@ -83,6 +83,15 @@ EventHandle Scheduler::schedule_after(SimTime d, std::function<void()> fn) {
   return schedule_at(now_ + std::max<SimTime>(d, 0), std::move(fn));
 }
 
+EventHandle Scheduler::schedule_background_at(SimTime t, std::function<void()> fn) {
+  DSM_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  return events_.schedule(t, std::move(fn), /*background=*/true);
+}
+
+EventHandle Scheduler::schedule_background_after(SimTime d, std::function<void()> fn) {
+  return schedule_background_at(now_ + std::max<SimTime>(d, 0), std::move(fn));
+}
+
 Fiber* Scheduler::pick_next() {
   DSM_CHECK(!run_queue_.empty());
   std::size_t idx = 0;
@@ -104,6 +113,12 @@ void Scheduler::reap_finished() {
   std::erase_if(fibers_, [](const std::unique_ptr<Fiber>& f) { return f->finished(); });
 }
 
+bool Scheduler::any_blocked_user_fiber() const {
+  return std::any_of(fibers_.begin(), fibers_.end(), [](const auto& f) {
+    return f->state() == Fiber::State::kBlocked && !f->daemon();
+  });
+}
+
 Scheduler::RunResult Scheduler::run() {
   DSM_CHECK_MSG(!running_, "scheduler already running");
   running_ = true;
@@ -122,6 +137,11 @@ Scheduler::RunResult Scheduler::run() {
       continue;
     }
     if (!events_.empty()) {
+      // Background-only horizon: a pending heartbeat or fault schedule may
+      // still unwedge a blocked user fiber (e.g. a failover promotion), so
+      // keep firing while one exists — but never keep a finished run alive
+      // on background ticks alone.
+      if (!events_.has_foreground() && !any_blocked_user_fiber()) break;
       const SimTime t = events_.next_time();
       DSM_CHECK(t >= now_);
       now_ = t;

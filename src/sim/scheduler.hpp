@@ -67,6 +67,13 @@ class Scheduler {
   EventHandle schedule_at(SimTime t, std::function<void()> fn);
   EventHandle schedule_after(SimTime d, std::function<void()> fn);
 
+  /// Background events (heartbeats, fault schedules) fire while any
+  /// non-daemon fiber is still blocked but never keep a finished run alive:
+  /// once every user fiber has finished, remaining background events are
+  /// abandoned and run() quiesces.
+  EventHandle schedule_background_at(SimTime t, std::function<void()> fn);
+  EventHandle schedule_background_after(SimTime d, std::function<void()> fn);
+
   // ---- Run loop ----
   struct RunResult {
     std::uint64_t fibers_spawned = 0;
@@ -89,6 +96,7 @@ class Scheduler {
   Fiber* pick_next();
   void run_fiber(Fiber* fiber);
   void reap_finished();
+  [[nodiscard]] bool any_blocked_user_fiber() const;
 
   SchedPolicy policy_;
   Rng rng_;

@@ -410,6 +410,146 @@ TEST(ManagerMigration, ReleasesRacingTheHandoffStayMutuallyExclusive) {
 }
 
 // ---------------------------------------------------------------------------
+// Migration x node death
+// ---------------------------------------------------------------------------
+
+TEST(HomeMigration, MigratedHomeDiesAndTheBackupTakesOver) {
+  // The home role moves to the dominant writer, and THEN that node dies:
+  // promotion must chase the role to where migration put it, not where the
+  // allocator did. The shadow pushed when the migrated home served its first
+  // remote diff is what the backup replays.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 6;
+  DsmConfig cfg = mig_cfg(true, false, 4, /*checker=*/true);
+  cfg.enable_failover = true;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), cfg);
+  const ProtocolId proto = fx.dsm.protocol_by_name("hbrc_mw");
+  AllocAttr attr;
+  attr.protocol = proto;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = fx.dsm.geometry().page_of(x);
+  const int lock = fx.dsm.create_lock(proto);  // managed by a survivor
+  const NodeId doomed = 3;
+  const NodeId backup = (doomed + 1) % kNodes;  // = 0
+  long final_value = -1;
+  fx.run([&] {
+    // Phase 1: node 3 dominates until the home migrates to it.
+    auto& w = fx.rt.spawn_on(doomed, "dominant", [&] {
+      for (int i = 0; i < 10; ++i) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+        fx.dsm.lock_release(lock);
+        // A post-release quiet window: the hand-off launched while serving
+        // this round's diff lands on an untwinned frame and is accepted
+        // (failover's shadow pushes shift the timing enough that the tight
+        // loop's accidental alignment cannot be relied on).
+        fx.rt.compute(50_us);
+      }
+    });
+    fx.rt.threads().join(w);
+    // The diff that crossed the threshold was acked BEFORE the policy ran
+    // (the releaser is never charged for the hand-off), so the join can
+    // return with the hand-off still in flight — give it time to land.
+    for (int spin = 0;
+         spin < 100 && fx.dsm.counters().total(Counter::kHomeMigrations) == 0;
+         ++spin) {
+      fx.rt.compute(100_us);
+    }
+    ASSERT_GE(fx.dsm.counters().total(Counter::kHomeMigrations), 1u);
+    ASSERT_EQ(fx.dsm.table(doomed).entry(page).home, doomed);
+    // Phase 2: one remote write makes the migrated home serve a diff, which
+    // pushes the page shadow to its backup — the state death must not lose.
+    auto& s = fx.rt.spawn_on(1, "seeder", [&] {
+      fx.dsm.lock_acquire(lock);
+      fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+      fx.dsm.lock_release(lock);
+    });
+    fx.rt.threads().join(s);
+    // Phase 3: the migrated home dies; the survivors keep writing through
+    // detection, promotion, and the repointed home.
+    fx.rt.kill_node(doomed);
+    std::vector<marcel::Thread*> workers;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n == doomed) continue;
+      workers.push_back(&fx.rt.spawn_on(n, "survivor" + std::to_string(n), [&] {
+        for (int r = 0; r < kRounds; ++r) {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+          fx.dsm.lock_release(lock);
+          fx.rt.compute(20_us);
+        }
+      }));
+    }
+    for (auto* t : workers) fx.rt.threads().join(*t);
+    fx.dsm.lock_acquire(lock);
+    final_value = fx.dsm.read<long>(x);
+    fx.dsm.lock_release(lock);
+  });
+  // Nothing written before the death went missing, nothing replayed twice.
+  EXPECT_EQ(final_value, 10 + 1 + 3 * kRounds);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kFailovers), 1u);
+  for (NodeId n = 0; n < kNodes; ++n) {
+    if (n == doomed) continue;
+    EXPECT_EQ(fx.dsm.table(n).entry(page).home, backup) << "node " << n;
+  }
+}
+
+TEST(ManagerMigration, MigratedManagerDiesAndMutualExclusionHolds) {
+  // The manager role migrates to the hot acquirer, the hot acquirer dies,
+  // and two rivals hammer the lock across the death: acquires bounce off
+  // the corpse until promotion restores the manager from its shadow at the
+  // backup, and no window ever double-grants.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 8;
+  DsmConfig cfg = mig_cfg(false, true, 4);
+  cfg.enable_failover = true;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), cfg);
+  const int lock = fx.dsm.create_lock();
+  const NodeId striped = stripe_to_node(0, kNodes, /*legacy=*/false);
+  const NodeId hot = striped == 3 ? 2 : 3;
+  const NodeId backup = (hot + 1) % kNodes;
+  bool in_cs = false;
+  int sections = 0;
+  fx.run([&] {
+    // Phase 1: the hot node takes the manager role the usual way.
+    auto& h = fx.rt.spawn_on(hot, "hot", [&] {
+      for (int i = 0; i < 8; ++i) {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.lock_release(lock);
+      }
+      fx.rt.compute(1_ms);
+    });
+    fx.rt.threads().join(h);
+    ASSERT_GE(fx.dsm.counters().total(Counter::kManagerMigrations), 1u);
+    ASSERT_EQ(fx.dsm.locks().current_manager(lock), hot);
+    // Phase 2: kill it and keep contending from two surviving nodes whose
+    // hints still point at the corpse.
+    fx.rt.kill_node(hot);
+    std::vector<marcel::Thread*> rivals;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n == hot || rivals.size() == 2) continue;
+      rivals.push_back(&fx.rt.spawn_on(n, "rival" + std::to_string(n), [&] {
+        for (int i = 0; i < kRounds; ++i) {
+          fx.dsm.lock_acquire(lock);
+          EXPECT_FALSE(in_cs);
+          in_cs = true;
+          ++sections;
+          fx.rt.compute(5_us);
+          in_cs = false;
+          fx.dsm.lock_release(lock);
+        }
+      }));
+    }
+    for (auto* t : rivals) fx.rt.threads().join(*t);
+  });
+  EXPECT_EQ(sections, 2 * kRounds);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kFailovers), 1u);
+  EXPECT_EQ(fx.dsm.locks().current_manager(lock), backup);
+}
+
+// ---------------------------------------------------------------------------
 // Equivalence matrix + striding
 // ---------------------------------------------------------------------------
 

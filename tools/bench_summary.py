@@ -12,17 +12,20 @@ artifact so CI uploads — and humans diffing two runs — deal with one file:
         "scale_migration": { ...bench_scale_migration.json... },
         ...
       },
-      "bench_count": N
+      "bench_count": N,
+      "skipped": ["bench_broken.json", ...]
     }
 
 The per-bench payloads are embedded verbatim (each already names its bench,
-driver, and unit); files that fail to parse are reported and fail the run —
-a truncated artifact should fail CI, not upload quietly.
+driver, and unit). An empty or truncated file — a bench that crashed mid-dump
+or was interrupted by a fault-injection run — is skipped with a warning and
+recorded in the artifact's "skipped" list: the healthy benches still merge
+and upload instead of one bad file hiding all the others.
 
 Usage: bench_summary.py [--dir build/bench] [--out BENCH_RESULTS.json]
 
-Exit status: 0 on success (even with zero inputs, which prints a notice so a
-mis-pointed --dir is visible in CI logs), 1 on any unreadable input.
+Exit status: 0 always (zero inputs prints a notice so a mis-pointed --dir is
+visible in CI logs; skipped files are warned about on stderr).
 """
 
 from __future__ import annotations
@@ -35,13 +38,14 @@ from pathlib import Path
 
 def merge(src_dir: Path, out_path: Path) -> int:
     merged: dict[str, object] = {}
-    bad = 0
+    skipped: list[str] = []
     for path in sorted(src_dir.glob("bench_*.json")):
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as err:
-            print(f"bench_summary: cannot read {path}: {err}", file=sys.stderr)
-            bad += 1
+            print(f"bench_summary: WARNING: skipping {path}: {err}",
+                  file=sys.stderr)
+            skipped.append(path.name)
             continue
         # Key by the bench's self-declared name; fall back to the file stem
         # (minus the bench_ prefix) for older payloads.
@@ -53,15 +57,15 @@ def merge(src_dir: Path, out_path: Path) -> int:
             # them apart by file stem instead of silently overwriting.
             name = path.stem.removeprefix("bench_")
         merged[name] = payload
-    if bad:
-        return 1
-    if not merged:
+    if not merged and not skipped:
         print(f"bench_summary: no bench_*.json under {src_dir} — "
               "did the smoke benches run?")
-    out_path.write_text(
-        json.dumps({"benches": merged, "bench_count": len(merged)}, indent=2)
-        + "\n")
-    print(f"bench_summary: merged {len(merged)} bench file(s) from "
+    summary: dict[str, object] = {"benches": merged, "bench_count": len(merged)}
+    if skipped:
+        summary["skipped"] = skipped
+    out_path.write_text(json.dumps(summary, indent=2) + "\n")
+    note = f" ({len(skipped)} skipped)" if skipped else ""
+    print(f"bench_summary: merged {len(merged)} bench file(s){note} from "
           f"{src_dir} into {out_path}")
     return 0
 
