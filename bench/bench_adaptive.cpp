@@ -1,0 +1,448 @@
+// Adaptive per-page protocol switching vs every fixed protocol on a mixed
+// workload (the tentpole's headline number).
+//
+// No single consistency protocol wins a mixed working set: the eager MRSW
+// protocols (li_hudak, erc_sw) pay an invalidation round plus a refetch storm
+// per write on read-mostly pages, the home-based protocols (hbrc_mw, lrc_mw)
+// pay a double round trip (base fetch + diff) per hand-off on migratory
+// pages, and sequential consistency bounces falsely-shared pages whole. The
+// ProtocolAdvisor classifies each page online from the traffic its serving
+// site already sees and rebinds it — migratory -> erc_sw, read-mostly ->
+// lrc_mw, producer-consumer and page-grain false sharing -> hbrc_mw — via the
+// drained two-phase hand-off over dsm.proto.switch.
+//
+// Workload per round, four page groups driven under per-group locks:
+//   * migratory:   two writers ping-pong whole-page blind writes (the full
+//                  page is dirty every hand-off, so laziness buys nothing:
+//                  a page-sized diff costs the wire what the page grant
+//                  does, plus twin + diff-scan time), and every fourth
+//                  round a lagging auditor reads under the lock — eager
+//                  migration serves it one grant where lrc_mw replays the
+//                  whole accumulated interval chain, diff by diff;
+//   * read-mostly: the home writes one word, every other node re-reads
+//                  WITHOUT synchronizing (RC-legal staleness, the paper's
+//                  monitor scenario) — under DSMPM2_CHECKER=1 the monitors
+//                  take the lock instead so the run stays race-free in
+//                  abort mode;
+//   * producer-consumer: node 1 writes a word, node 2 reads it and writes an
+//                  ack word on the same page;
+//   * false sharing: writers 1,2,1,3 update their own 1 KB quarter of one
+//                  page, so the home's diff merge beats per-writer pulls.
+//
+// Measured end-to-end (simulated time of the whole phase), adaptive vs the
+// same workload with ALL pages pinned to each fixed protocol. The self-check
+// bar is the ISSUE acceptance: adaptive >= 1.3x faster than EVERY fixed
+// protocol, with every page group landing on its expected target protocol.
+//
+// Usage: bench_adaptive [--smoke] [--json <path>]
+//   --smoke   4-node point only (CI: the `ctest -L smoke` + `-L checked` entries)
+//   --json    also write machine-readable results to <path>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "dsm/adaptive.hpp"
+#include "dsm/dsm.hpp"
+#include "pm2/pm2.hpp"
+
+using namespace dsmpm2;
+
+namespace {
+
+constexpr int kMigPages = 3;
+constexpr int kRmPages = 3;
+constexpr int kPcPages = 1;
+constexpr int kFsPages = 1;
+
+struct GroupLanding {
+  const char* pattern = "";
+  int pages = 0;
+  int on_target = 0;      // pages that ended bound to the pattern's protocol
+  std::string stray;      // a protocol some off-target page ended on
+};
+
+struct Point {
+  std::string protocol;
+  int nodes = 0;
+  int rounds = 0;
+  double end_us = 0;         // simulated end of the whole measured phase
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_bytes = 0;
+  // Adaptive-run extras (zero for fixed-protocol points).
+  std::uint64_t proto_switches = 0;
+  std::uint64_t classify_events = 0;
+  std::uint64_t switch_nacks = 0;
+  std::uint64_t pages_reclassified = 0;
+  std::vector<GroupLanding> landings;
+};
+
+/// Spreads a small counter over every byte of a long, so byte-granular
+/// diffs of rewritten pages are honestly page-sized (a bare counter only
+/// perturbs the low bytes and lets laziness ship token diffs).
+long spread(long v) { return v * 0x0101010101010101L; }
+
+std::uint64_t wire_msgs(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).messages_sent;
+  }
+  return sum;
+}
+
+std::uint64_t wire_bytes(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).bytes_sent;
+  }
+  return sum;
+}
+
+bool checker_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded at this point.
+  return std::getenv("DSMPM2_CHECKER") != nullptr;
+}
+
+Point measure(const std::string& protocol, int nodes, int rounds) {
+  const bool adaptive = protocol == "adaptive";
+  const bool checked = checker_env();
+  pm2::Config cfg;
+  cfg.nodes = nodes;
+  cfg.driver = madeleine::bip_myrinet();
+  pm2::Runtime rt(cfg);
+  dsm::DsmConfig dcfg;
+  dcfg.enable_adaptive_protocols = adaptive;
+  dcfg.adaptive_threshold = 8;
+  // The classifier window counts events, so the occasional audit read must
+  // not tip a write-dominated window into "interleaving": 6 writes + 2
+  // reads is still migratory at ratio 3.
+  dcfg.adaptive_read_ratio = 3;
+  dcfg.enable_checker = checked;
+  dcfg.checker_abort = checked;
+  dsm::Dsm dsm(rt, dcfg);
+  const dsm::ProtocolId proto = dsm.protocol_by_name(protocol);
+  DSM_CHECK(proto != dsm::kInvalidProtocol);
+
+  // One single-page area per page; group homes sit where the pattern's
+  // dominant server is so classification windows accumulate at one site.
+  const auto alloc_page = [&](NodeId home) {
+    dsm::AllocAttr attr;
+    attr.protocol = proto;
+    attr.home_policy = dsm::HomePolicy::kFixed;
+    attr.fixed_home = home;
+    return dsm.dsm_malloc(dsm.config().page_size, attr);
+  };
+  std::vector<DsmAddr> mig;
+  std::vector<DsmAddr> rm;
+  std::vector<DsmAddr> pc;
+  std::vector<DsmAddr> fs;
+  for (int i = 0; i < kMigPages; ++i) mig.push_back(alloc_page(0));
+  for (int i = 0; i < kRmPages; ++i) rm.push_back(alloc_page(0));
+  for (int i = 0; i < kPcPages; ++i) pc.push_back(alloc_page(0));
+  for (int i = 0; i < kFsPages; ++i) fs.push_back(alloc_page(0));
+  const int mig_lock = dsm.create_lock(proto);
+  const int rm_lock = dsm.create_lock(proto);
+  const int pc_lock = dsm.create_lock(proto);
+  const int fs_lock = dsm.create_lock(proto);
+
+  Point point;
+  point.protocol = protocol;
+  point.nodes = nodes;
+  point.rounds = rounds;
+  bool data_ok = true;
+
+  const pm2::RunStats run_stats = rt.run([&] {
+    for (int r = 1; r <= rounds; ++r) {
+      // Migratory: exclusive whole-page blind writes ping-ponging between
+      // two nodes, with a lagging auditor every fourth round.
+      const std::uint32_t page_longs =
+          dsm.config().page_size / sizeof(long);
+      for (const DsmAddr page : mig) {
+        for (const NodeId w : {NodeId{1}, NodeId{2}, NodeId{1}, NodeId{2}}) {
+          auto& t = rt.spawn_on(w, "mig", [&] {
+            dsm.lock_acquire(mig_lock);
+            for (std::uint32_t i = 0; i < page_longs; ++i) {
+              dsm.write<long>(page + i * sizeof(long),
+                              spread(2L * r + static_cast<long>(w)));
+            }
+            dsm.lock_release(mig_lock);
+          });
+          rt.threads().join(t);
+        }
+        if (r % 4 == 0) {
+          auto& a = rt.spawn_on(3, "mig-audit", [&] {
+            dsm.lock_acquire(mig_lock);
+            (void)dsm.read<long>(page);
+            dsm.lock_release(mig_lock);
+          });
+          rt.threads().join(a);
+        }
+      }
+      // Read-mostly: the home refreshes, the monitors fan out re-reads.
+      for (const DsmAddr page : rm) {
+        auto& w = rt.spawn_on(0, "rm-w", [&] {
+          dsm.lock_acquire(rm_lock);
+          dsm.write<long>(page, r);
+          dsm.lock_release(rm_lock);
+        });
+        rt.threads().join(w);
+        for (NodeId n = 1; n < static_cast<NodeId>(nodes); ++n) {
+          auto& t = rt.spawn_on(n, "rm-r", [&] {
+            if (checked) {
+              // Abort-mode dsmcheck rightly flags unsynchronized monitor
+              // reads; the checked lane orders them through the lock.
+              dsm.lock_acquire(rm_lock);
+              (void)dsm.read<long>(page);
+              dsm.lock_release(rm_lock);
+            } else {
+              (void)dsm.read<long>(page);  // RC-legal stale re-read
+            }
+          });
+          rt.threads().join(t);
+        }
+      }
+      // Producer-consumer and false-sharing garnish every fourth round:
+      // enough traffic to classify, small enough that the home-based
+      // rebind's per-CS page fetch does not dominate the mix.
+      const bool garnish = r % 4 == 1;
+      // Producer-consumer: write one word, consume it via an ack word.
+      for (const DsmAddr page : pc) {
+        if (!garnish) break;
+        auto& p = rt.spawn_on(1, "pc-p", [&] {
+          dsm.lock_acquire(pc_lock);
+          dsm.write<long>(page, r);
+          dsm.lock_release(pc_lock);
+        });
+        rt.threads().join(p);
+        auto& c = rt.spawn_on(2, "pc-c", [&] {
+          dsm.lock_acquire(pc_lock);
+          const long v = dsm.read<long>(page);
+          dsm.write<long>(page + sizeof(long), v);
+          dsm.lock_release(pc_lock);
+        });
+        rt.threads().join(c);
+      }
+      // False sharing: interleaved writers, each dirtying its own 1 KB
+      // quarter of the page.
+      constexpr std::uint32_t kQuarter = 1024;
+      for (const DsmAddr page : fs) {
+        if (!garnish) break;
+        for (const NodeId w : {NodeId{1}, NodeId{2}, NodeId{1}, NodeId{3}}) {
+          auto& t = rt.spawn_on(w, "fs", [&] {
+            dsm.lock_acquire(fs_lock);
+            for (std::uint32_t i = 0; i < kQuarter / sizeof(long); ++i) {
+              dsm.write<long>(page + w * kQuarter + i * sizeof(long),
+                              spread(r));
+            }
+            dsm.lock_release(fs_lock);
+          });
+          rt.threads().join(t);
+        }
+      }
+    }
+    // Synchronized verification pass: every protocol must agree on the data.
+    // pc/fs last wrote on the final garnish round (largest r == 1 mod 4).
+    const long last_garnish = rounds - ((rounds - 1) % 4);
+    auto& v = rt.spawn_on(3, "verify", [&] {
+      dsm.lock_acquire(mig_lock);
+      for (const DsmAddr page : mig) {
+        data_ok = data_ok && dsm.read<long>(page) == spread(2L * rounds + 2);
+      }
+      dsm.lock_release(mig_lock);
+      dsm.lock_acquire(rm_lock);
+      for (const DsmAddr page : rm) {
+        data_ok = data_ok && dsm.read<long>(page) == rounds;
+      }
+      dsm.lock_release(rm_lock);
+      dsm.lock_acquire(pc_lock);
+      for (const DsmAddr page : pc) {
+        data_ok = data_ok && dsm.read<long>(page + sizeof(long)) == last_garnish;
+      }
+      dsm.lock_release(pc_lock);
+      dsm.lock_acquire(fs_lock);
+      for (const DsmAddr page : fs) {
+        for (const NodeId w : {NodeId{1}, NodeId{2}, NodeId{3}}) {
+          data_ok = data_ok &&
+                    dsm.read<long>(page + w * 1024) == spread(last_garnish);
+        }
+      }
+      dsm.lock_release(fs_lock);
+    });
+    rt.threads().join(v);
+  });
+
+  if (!data_ok) {
+    std::fprintf(stderr, "FATAL: %s run diverged on data\n", protocol.c_str());
+    std::exit(1);
+  }
+  point.end_us = to_us(run_stats.end_time);
+  point.total_msgs = wire_msgs(rt);
+  point.total_bytes = wire_bytes(rt);
+  point.proto_switches = dsm.counters().total(dsm::Counter::kProtoSwitches);
+  point.classify_events = dsm.counters().total(dsm::Counter::kClassifyEvents);
+  point.switch_nacks = dsm.counters().total(dsm::Counter::kSwitchNacks);
+  point.pages_reclassified =
+      dsm.counters().total(dsm::Counter::kPagesReclassified);
+  if (adaptive) {
+    const auto landing = [&](const char* pattern,
+                             const std::vector<DsmAddr>& pages,
+                             dsm::ProtocolId target) {
+      GroupLanding g;
+      g.pattern = pattern;
+      g.pages = static_cast<int>(pages.size());
+      for (const DsmAddr a : pages) {
+        const PageId p = dsm.geometry().page_of(a);
+        const dsm::ProtocolId bound = dsm.table(0).entry(p).protocol;
+        if (bound == target) {
+          ++g.on_target;
+        } else {
+          g.stray = dsm.protocols().get(bound).name;
+        }
+      }
+      point.landings.push_back(g);
+    };
+    landing("migratory", mig, dsm.builtin().erc_sw);
+    landing("read_mostly", rm, dsm.builtin().lrc_mw);
+    landing("producer_consumer", pc, dsm.builtin().hbrc_mw);
+    landing("false_sharing", fs, dsm.builtin().hbrc_mw);
+  }
+  return point;
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"adaptive\",\n"
+      << "  \"driver\": \"bip_myrinet\",\n"
+      << "  \"checker\": " << (checker_env() ? "true" : "false") << ",\n"
+      << "  \"unit\": \"simulated_us\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"protocol\": \"%s\", \"nodes\": %d, \"rounds\": %d, "
+                  "\"end_us\": %.3f, \"total_msgs\": %llu, "
+                  "\"proto_switches\": %llu, \"classify_events\": %llu, "
+                  "\"switch_nacks\": %llu, \"pages_reclassified\": %llu}%s\n",
+                  p.protocol.c_str(), p.nodes, p.rounds, p.end_us,
+                  static_cast<unsigned long long>(p.total_msgs),
+                  static_cast<unsigned long long>(p.proto_switches),
+                  static_cast<unsigned long long>(p.classify_events),
+                  static_cast<unsigned long long>(p.switch_nacks),
+                  static_cast<unsigned long long>(p.pages_reclassified),
+                  i + 1 < points.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n  \"pattern_pages\": [\n";
+  std::vector<GroupLanding> landings;
+  for (const Point& p : points) {
+    if (p.protocol == "adaptive" && !p.landings.empty()) {
+      landings = p.landings;  // the last adaptive point of the sweep
+    }
+  }
+  for (std::size_t i = 0; i < landings.size(); ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"pattern\": \"%s\", \"pages\": %d, "
+                  "\"on_target_protocol\": %d}%s\n",
+                  landings[i].pattern, landings[i].pages,
+                  landings[i].on_target, i + 1 < landings.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const bool checked = checker_env();
+  const std::vector<int> sweep = smoke ? std::vector<int>{4}
+                                       : std::vector<int>{4, 8};
+  const int rounds = smoke ? 24 : 32;
+  const std::vector<std::string> kModes = {"adaptive", "li_hudak", "erc_sw",
+                                           "hbrc_mw", "lrc_mw"};
+
+  std::printf(
+      "Adaptive protocol switching vs fixed protocols — mixed workload, "
+      "BIP/Myrinet%s\n%s sweep: %d migratory + %d read-mostly + %d "
+      "producer-consumer + %d false-sharing pages, %d rounds\n\n",
+      checked ? " (dsmcheck abort mode)" : "", smoke ? "smoke" : "full",
+      kMigPages, kRmPages, kPcPages, kFsPages, rounds);
+
+  std::vector<Point> points;
+  TablePrinter table({"protocol", "nodes", "end ms", "total msgs", "wire KB",
+                      "switches", "nacks", "vs adaptive"});
+  for (const int nodes : sweep) {
+    std::vector<Point> at_scale;
+    for (const std::string& mode : kModes) {
+      at_scale.push_back(measure(mode, nodes, rounds));
+    }
+    const double adaptive_us = at_scale.front().end_us;
+    for (const Point& p : at_scale) {
+      const double ratio = adaptive_us > 0 ? p.end_us / adaptive_us : 0;
+      table.add_row({p.protocol, std::to_string(p.nodes),
+                     TablePrinter::fmt(p.end_us / 1000.0),
+                     std::to_string(p.total_msgs),
+                     std::to_string(p.total_bytes / 1024),
+                     std::to_string(p.proto_switches),
+                     std::to_string(p.switch_nacks),
+                     TablePrinter::fmt(ratio) + "x"});
+      points.push_back(p);
+    }
+  }
+  table.print();
+
+  if (!json_path.empty()) write_json(json_path, points);
+
+  bool pass = true;
+  for (const int nodes : sweep) {
+    const Point* adaptive = nullptr;
+    for (const Point& p : points) {
+      if (p.nodes == nodes && p.protocol == "adaptive") adaptive = &p;
+    }
+    // Every page group must land on its pattern's protocol.
+    for (const GroupLanding& g : adaptive->landings) {
+      const bool ok = g.on_target == g.pages;
+      std::printf("check[%d nodes, %s pages rebound]: %d/%d%s%s: %s\n", nodes,
+                  g.pattern, g.on_target, g.pages,
+                  ok ? "" : ", stray on ", ok ? "" : g.stray.c_str(),
+                  ok ? "PASS" : "FAIL");
+      pass = pass && ok;
+    }
+    // And the headline: adaptive beats every fixed protocol end-to-end.
+    // The checked lane reorders the monitors through the lock (see above),
+    // which flattens the read-mostly gap on purpose — correctness lane, so
+    // the bar drops to "no slower than any fixed protocol".
+    const double bar = checked ? 1.0 : 1.3;
+    for (const Point& p : points) {
+      if (p.nodes != nodes || p.protocol == "adaptive") continue;
+      const double ratio = p.end_us / adaptive->end_us;
+      const bool ok = ratio >= bar;
+      std::printf(
+          "check[%d nodes, adaptive vs %s end-to-end]: %.2fx (need >= "
+          "%.1fx): %s\n",
+          nodes, p.protocol.c_str(), ratio, bar, ok ? "PASS" : "FAIL");
+      pass = pass && ok;
+    }
+  }
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,410 @@
+#include "dsm/adaptive.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/time.hpp"
+#include "dsm/checker.hpp"
+#include "dsm/dsm.hpp"
+#include "dsm/protocol_lib.hpp"
+
+namespace dsmpm2::dsm {
+
+namespace {
+
+/// One `dsm.proto.switch` message. `fetcher` is the requester whose page
+/// request the executor holds un-served while it switches (kInvalidNode when
+/// the switch was triggered off a diff arrival): that node — and only that
+/// node — may ACK a prepare while mid-fetch, because its grant provably is
+/// not on the wire yet (see serve_switch).
+struct SwitchWire {
+  PageId page;
+  std::uint8_t op;
+  ProtocolId from;
+  ProtocolId to;
+  NodeId fetcher;
+};
+
+constexpr std::uint8_t kSwitchPrepare = 0;
+constexpr std::uint8_t kSwitchCommit = 1;
+constexpr std::uint8_t kSwitchAbort = 2;
+
+}  // namespace
+
+const char* pattern_name(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kUnknown:
+      return "unknown";
+    case AccessPattern::kMigratory:
+      return "migratory";
+    case AccessPattern::kReadMostly:
+      return "read_mostly";
+    case AccessPattern::kProducerConsumer:
+      return "producer_consumer";
+    case AccessPattern::kFalseSharing:
+      return "false_sharing";
+  }
+  DSM_UNREACHABLE("unknown AccessPattern");
+}
+
+ProtocolAdvisor::ProtocolAdvisor(Dsm& dsm)
+    : dsm_(dsm),
+      stats_(static_cast<std::size_t>(dsm.node_count())),
+      froze_(static_cast<std::size_t>(dsm.node_count())),
+      fetch_hold_(static_cast<std::size_t>(dsm.node_count())) {
+  svc_switch_ = dsm_.runtime().rpc().register_service(
+      "dsm.proto.switch", pm2::Dispatch::kThread,
+      [this](pm2::RpcContext& ctx, Unpacker& args) { serve_switch(ctx, args); });
+}
+
+void ProtocolAdvisor::mark_managed(PageId page) {
+  if (managed_.empty()) {
+    managed_.resize(dsm_.geometry().page_count(), 0);
+  }
+  DSM_CHECK(page < managed_.size());
+  managed_[page] = 1;
+}
+
+void ProtocolAdvisor::note_access(NodeId server, PageId page, NodeId requester,
+                                  bool write, NodeId held_fetcher) {
+  if (!dsm_.config().enable_adaptive_protocols) return;
+  if (!manages(page) || requester >= static_cast<NodeId>(dsm_.node_count())) {
+    return;
+  }
+  PageStats& s = stats_[server][page];
+  if (write) {
+    ++s.writes;
+    if (s.last_writer != kInvalidNode && s.last_writer != requester) {
+      ++s.writer_switches;
+    }
+    s.last_writer = requester;
+  } else {
+    ++s.reads;
+  }
+  if (s.reads + s.writes >= dsm_.config().adaptive_threshold) {
+    maybe_switch(server, page, held_fetcher);
+  }
+}
+
+AccessPattern ProtocolAdvisor::classify(NodeId server, PageId page) const {
+  const auto& per_page = stats_[server];
+  const auto it = per_page.find(page);
+  if (it == per_page.end()) return AccessPattern::kUnknown;
+  return classify_stats(it->second);
+}
+
+AccessPattern ProtocolAdvisor::classify_stats(const PageStats& s) const {
+  const DsmConfig& cfg = dsm_.config();
+  const std::uint32_t ratio = std::max<std::uint32_t>(1, cfg.adaptive_read_ratio);
+  if (s.reads >= ratio * std::max<std::uint32_t>(1, s.writes)) {
+    return AccessPattern::kReadMostly;
+  }
+  if (s.writes >= ratio * std::max<std::uint32_t>(1, s.reads)) {
+    // Write-dominated: the hysteresis knob separates "one writer at a time"
+    // (ownership should just migrate with the writer) from page-grain
+    // write interleaving (writers should merge diffs at a home instead of
+    // bouncing the page).
+    const std::uint32_t hysteresis =
+        std::max<std::uint32_t>(1, cfg.adaptive_hysteresis);
+    return s.writer_switches * hysteresis <= s.writes
+               ? AccessPattern::kMigratory
+               : AccessPattern::kFalseSharing;
+  }
+  return AccessPattern::kProducerConsumer;
+}
+
+ProtocolId ProtocolAdvisor::pattern_protocol(AccessPattern p) const {
+  const BuiltinProtocols& b = dsm_.builtin();
+  switch (p) {
+    case AccessPattern::kMigratory:
+      return b.erc_sw;
+    case AccessPattern::kReadMostly:
+      return b.lrc_mw;
+    case AccessPattern::kProducerConsumer:
+    case AccessPattern::kFalseSharing:
+      return b.hbrc_mw;
+    case AccessPattern::kUnknown:
+      break;
+  }
+  return kInvalidProtocol;
+}
+
+void ProtocolAdvisor::maybe_switch(NodeId server, PageId page,
+                                   NodeId held_fetcher) {
+  const AccessPattern pattern = classify(server, page);
+  dsm_.counters().inc(server, Counter::kClassifyEvents);
+  const ProtocolId target = pattern_protocol(pattern);
+  const ProtocolId current = dsm_.table(server).entry(page).protocol;
+  if (target == kInvalidProtocol || target == current) {
+    // "Keep what you have" is a decision too: restart the traffic window so
+    // a later phase change is measured fresh, not against stale history.
+    stats_[server].erase(page);
+    return;
+  }
+  // Only protocols that know how to tear down (source) and arm (target)
+  // their per-page view are eligible for hot swapping.
+  if (dsm_.protocols().get(current).protocol_switched == nullptr ||
+      dsm_.protocols().get(target).protocol_switched == nullptr) {
+    stats_[server].erase(page);
+    return;
+  }
+  if (execute_switch(server, page, target, held_fetcher)) {
+    stats_[server].erase(page);
+    return;
+  }
+  // Busy page or refused participant: keep the evidence so sustained
+  // pressure retries at the very next traffic event (the home-migration
+  // retry discipline), bounded so a permanently refused page cannot grow
+  // its counters without limit.
+  const auto it = stats_[server].find(page);
+  if (it == stats_[server].end()) return;
+  PageStats& s = it->second;
+  if (s.reads + s.writes >
+      4 * std::max<std::uint32_t>(1, dsm_.config().adaptive_threshold)) {
+    s.reads /= 2;
+    s.writes /= 2;
+    s.writer_switches /= 2;
+  }
+}
+
+bool ProtocolAdvisor::execute_switch(NodeId self, PageId page, ProtocolId target,
+                                     NodeId held_fetcher) {
+  auto& tbl = dsm_.table(self);
+  AckCollector& collector = tbl.ack_collector(page);
+  ProtocolId from = kInvalidProtocol;
+  for (;;) {
+    // Drain: an invalidation round still collecting acks means protocol
+    // messages referencing the old binding are in flight. quiesce() returns
+    // with the collector idle, but a new round may open before we hold the
+    // page mutex — re-check and restart the drain if so.
+    collector.quiesce();
+    marcel::MutexLock l(tbl.mutex(page));
+    if (collector.active()) continue;
+    PageEntry& e = tbl.entry(page);
+    // Re-validate under the mutex: only a clean, settled frame on the
+    // serving node (home, or owning replica) may anchor the hand-off. An
+    // active release collector means this node's own flush is mid-flight.
+    if (!e.valid || e.in_transition || e.has_twin || e.dirty ||
+        e.access == Access::kNone || tbl.release_collector().active()) {
+      return false;
+    }
+    if (e.home != self && e.prob_owner != self) return false;
+    from = e.protocol;
+    if (from == target) return false;
+    // A lazy-protocol home must additionally hold every noticed diff merged
+    // into its frame — otherwise the frame is not the one complete image
+    // the new binding inherits. Stats are retained by the caller, so the
+    // switch retries once the epoch flush catches up.
+    if (dsm_.protocols().get(from).diff_request_server != nullptr &&
+        !lib::lrc_home_switch_ready(dsm_, from, self, page)) {
+      return false;
+    }
+    tbl.begin_transition(page);
+    break;
+  }
+  // Phase 1, WITHOUT the page mutex: in_transition is the local freeze
+  // (every fault and server settles on it), and holding the mutex across
+  // N-1 blocking prepares would park every stale message handler on it.
+  const auto nodes = static_cast<NodeId>(dsm_.node_count());
+  std::vector<NodeId> acked;
+  bool refused = false;
+  for (NodeId m = 0; m < nodes && !refused; ++m) {
+    if (m == self) continue;
+    Packer p;
+    p.pack(SwitchWire{page, kSwitchPrepare, from, target, held_fetcher});
+    bool ok;
+    if (dsm_.config().enable_failover) {
+      // Fail-stop cluster: a dead participant's replica died with it —
+      // nothing to drop, nothing to convert. Treat the timeout as an ack,
+      // the invalidation path's discipline.
+      pm2::Rpc::CallResult r = dsm_.runtime().rpc().try_call(
+          m, svc_switch_, std::move(p), madeleine::MsgKind::kControl,
+          from_us(dsm_.config().heartbeat_timeout_us));
+      if (!r.ok) dsm_.counters().inc(self, Counter::kAckTimeouts);
+      ok = !r.ok || Unpacker(r.reply).unpack<std::uint8_t>() != 0;
+    } else {
+      Buffer reply = dsm_.runtime().rpc().call(m, svc_switch_, std::move(p));
+      ok = Unpacker(reply).unpack<std::uint8_t>() != 0;
+    }
+    if (ok) {
+      acked.push_back(m);
+    } else {
+      refused = true;
+    }
+  }
+  if (refused) {
+    for (const NodeId m : acked) {
+      Packer p;
+      p.pack(SwitchWire{page, kSwitchAbort, from, target, held_fetcher});
+      dsm_.runtime().rpc().call_async(m, svc_switch_, std::move(p));
+    }
+    dsm_.counters().inc(self, Counter::kSwitchNacks);
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.end_transition(page);
+    return false;
+  }
+  // Phase 2: every replica is frozen and dropped (or provably clean and
+  // mid-fetch toward us). Commit everywhere — asynchronously, because the
+  // participants have nothing left that could refuse. Per-link FIFO
+  // guarantees each participant reorders nothing: its commit arrives before
+  // any message the new binding emits toward it.
+  for (NodeId m = 0; m < nodes; ++m) {
+    if (m == self) continue;
+    Packer p;
+    p.pack(SwitchWire{page, kSwitchCommit, from, target, held_fetcher});
+    dsm_.runtime().rpc().call_async(m, svc_switch_, std::move(p));
+  }
+  {
+    marcel::MutexLock l(tbl.mutex(page));
+    PageEntry& e = tbl.entry(page);
+    const Protocol& src = dsm_.protocols().get(from);
+    if (src.protocol_switched) {
+      src.protocol_switched(dsm_, page, self, from, target);
+    }
+    e.protocol = target;
+    e.home = self;
+    e.prob_owner = self;
+    e.copyset.clear();
+    e.proto_word = 0;
+    e.dirty = false;
+    e.write_spans.clear();
+    if (Checker* ck = dsm_.checker()) ck->on_protocol_switch(self, page);
+    dsm_.counters().inc(self, Counter::kProtoSwitches);
+    if (ever_switched_.insert(page).second) {
+      dsm_.counters().inc(self, Counter::kPagesReclassified);
+    }
+  }
+  // Arm the target binding outside the mutex but under the transition (the
+  // hook may block — lrc-style arming is allowed to talk to the cluster).
+  const Protocol& dst = dsm_.protocols().get(target);
+  if (dst.protocol_switched) {
+    dst.protocol_switched(dsm_, page, self, from, target);
+  }
+  marcel::MutexLock l(tbl.mutex(page));
+  tbl.end_transition(page);
+  return true;
+}
+
+void ProtocolAdvisor::hold_grant(NodeId node, PageId page) {
+  if (fetch_hold_[node].empty()) return;
+  auto& tbl = dsm_.table(node);
+  marcel::MutexLock l(tbl.mutex(page));
+  // A grant for a page whose fetch ACKed a prepare must not install until
+  // the switch resolves: the commit decides which binding's receive server
+  // interprets it. (The commit precedes the grant on the wire — both come
+  // from the executor — but the grant's handler could win the page mutex.)
+  while (fetch_hold_[node].contains(page)) {
+    tbl.cond(page).wait(tbl.mutex(page));
+  }
+}
+
+void ProtocolAdvisor::serve_switch(pm2::RpcContext& ctx, Unpacker& args) {
+  const auto wire = args.unpack<SwitchWire>();
+  DSM_CHECK_MSG(wire.page < dsm_.geometry().page_count(),
+                "protocol switch names a page outside the DSM space");
+  const ProtocolId count = dsm_.protocols().count();
+  DSM_CHECK_MSG(wire.from >= 0 && wire.from < count && wire.to >= 0 &&
+                    wire.to < count && wire.from != wire.to,
+                "protocol switch names an unregistered protocol");
+  DSM_CHECK_MSG(wire.op <= kSwitchAbort, "protocol switch of unknown kind");
+  DSM_CHECK_MSG(wire.fetcher == kInvalidNode ||
+                    wire.fetcher < static_cast<NodeId>(dsm_.node_count()),
+                "protocol switch names a fetcher outside the cluster");
+  auto& tbl = dsm_.table(ctx.self);
+
+  if (wire.op == kSwitchPrepare) {
+    bool ok = false;
+    {
+      marcel::MutexLock l(tbl.mutex(wire.page));
+      PageEntry& e = tbl.entry(wire.page);
+      const bool quiet = e.valid && e.protocol == wire.from && !e.has_twin &&
+                         !e.dirty && !tbl.release_collector().active() &&
+                         !tbl.ack_collector(wire.page).active();
+      if (quiet && e.in_transition) {
+        // Mid-fetch: tolerable only for the fetcher whose request the
+        // executor itself holds un-served — its grant is provably not on
+        // the wire, there is no frame to drop, and the fault's own freeze
+        // already blocks every mutator. ACK without a second freeze; the
+        // commit flips the binding under the fault's transition and the
+        // grant that completes the fetch is interpreted by the new one.
+        // Any other mid-fetch replica may have a grant in flight — refuse.
+        if (ctx.self == wire.fetcher && e.pending != Access::kNone &&
+            e.access == Access::kNone) {
+          fetch_hold_[ctx.self].insert(wire.page);
+          ok = true;
+        }
+      } else if (quiet) {
+        const Protocol& src = dsm_.protocols().get(wire.from);
+        // Protocol-family drain checks, abort-safe by construction: a
+        // refusal (or a later abort) leaves consistency state that was
+        // merely allowed to forget clean cached derivations.
+        bool drained = true;
+        if (src.diff_request_server != nullptr) {
+          drained = lib::lrc_prepare_switch(dsm_, wire.from, ctx.self,
+                                            wire.page);
+        }
+        if (drained && src.diff_server != nullptr) {
+          drained = lib::homerc_prepare_switch(dsm_, wire.from, ctx.self,
+                                               wire.page);
+        }
+        if (drained) {
+          // Generic drop: a clean cached frame may always be discarded (the
+          // next fault refetches from the surviving image). Legal even if
+          // the switch later aborts.
+          e.access = Access::kNone;
+          e.pending = Access::kNone;
+          e.copyset.clear();
+          e.proto_word = 0;
+          e.dirty = false;
+          e.write_spans.clear();
+          dsm_.store(ctx.self).drop_frame(wire.page);
+          tbl.begin_transition(wire.page);
+          froze_[ctx.self].insert(wire.page);
+          ok = true;
+        }
+      }
+    }
+    Packer out;
+    out.pack(ok ? std::uint8_t{1} : std::uint8_t{0});
+    ctx.reply(std::move(out));
+    return;
+  }
+
+  if (wire.op == kSwitchCommit) {
+    {
+      marcel::MutexLock l(tbl.mutex(wire.page));
+      PageEntry& e = tbl.entry(wire.page);
+      DSM_CHECK_MSG(e.valid && e.protocol == wire.from,
+                    "protocol switch commit against a diverged replica");
+      const Protocol& src = dsm_.protocols().get(wire.from);
+      if (src.protocol_switched) {
+        // Teardown role: purge this node's per-page private view of the old
+        // binding (notices, twin bookkeeping, pending invalidations).
+        src.protocol_switched(dsm_, wire.page, ctx.self, wire.from, wire.to);
+      }
+      e.protocol = wire.to;
+      e.home = ctx.src;
+      e.prob_owner = ctx.src;
+      if (froze_[ctx.self].erase(wire.page) != 0) {
+        tbl.end_transition(wire.page);
+      } else if (fetch_hold_[ctx.self].erase(wire.page) != 0) {
+        tbl.cond(wire.page).broadcast();  // release any held grant
+      }
+    }
+    if (Checker* ck = dsm_.checker()) {
+      ck->on_protocol_switch_applied(ctx.self, wire.page);
+    }
+    return;
+  }
+
+  // Abort: the generic drop at prepare was abort-safe, so recovery is just
+  // lifting the freeze (protocol id and private state were never touched).
+  marcel::MutexLock l(tbl.mutex(wire.page));
+  if (froze_[ctx.self].erase(wire.page) != 0) {
+    tbl.end_transition(wire.page);
+  } else if (fetch_hold_[ctx.self].erase(wire.page) != 0) {
+    tbl.cond(wire.page).broadcast();
+  }
+}
+
+}  // namespace dsmpm2::dsm

@@ -1,0 +1,126 @@
+// Adaptive per-page protocol switching (the ROADMAP's "use the counters we
+// already collect to switch each page to its best protocol online").
+//
+// No single consistency protocol wins across workloads: lazy release
+// consistency crushes eager invalidation on read-mostly monitors, while a
+// migratory single-writer page wants the eager MRSW dance and falsely-shared
+// pages want a home-based multiple-writer merge. The ProtocolAdvisor closes
+// that gap: serving sites (homes and dynamic owners) classify each managed
+// page's access pattern online from the traffic they already see, and past
+// the threshold/hysteresis bars rebind the page to the protocol its pattern
+// favours via a drained two-phase hand-off over `dsm.proto.switch` —
+// the home-migration quiesce discipline applied to the protocol axis.
+//
+// The rebind keeps one global invariant: a page's protocol id may only
+// change while EVERY node's entry for it is in_transition (participants
+// freeze at PREPARE, the executor freezes before broadcasting), and the
+// comm dispatchers settle on the local transition before capturing the
+// protocol when adaptive is enabled. Remotes never keep frames across a
+// switch — PREPARE drops clean cached copies (always legal; the next fault
+// refetches) and refuses busy pages (mid-transition, twinned, dirty, or
+// holding un-flushed lazy diffs), so the executor's frame is the one
+// complete image and no metadata conversion between protocol families is
+// ever partial.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "dsm/config.hpp"
+#include "pm2/pm2.hpp"
+
+namespace dsmpm2::dsm {
+
+class Dsm;
+
+/// The access patterns the advisor distinguishes (classification targets).
+enum class AccessPattern : std::uint8_t {
+  kUnknown = 0,
+  kMigratory,         ///< write-dominated, one writer at a time -> erc_sw
+  kReadMostly,        ///< read-dominated fan-out -> lrc_mw
+  kProducerConsumer,  ///< writes and reads interleave -> hbrc_mw
+  kFalseSharing,      ///< write-dominated, interleaved writers -> hbrc_mw
+};
+
+const char* pattern_name(AccessPattern p);
+
+/// Classifies managed pages online and hot-swaps their consistency protocol.
+/// Always constructed (the service row must exist on every node); inert —
+/// zero branches taken, zero state grown — unless
+/// DsmConfig::enable_adaptive_protocols.
+class ProtocolAdvisor {
+ public:
+  explicit ProtocolAdvisor(Dsm& dsm);
+
+  /// Marks a page as advisor-managed (AreaManager::init_pages does this for
+  /// areas allocated under the builtin "adaptive" composite).
+  void mark_managed(PageId page);
+  [[nodiscard]] bool manages(PageId page) const {
+    return page < managed_.size() && managed_[page] != 0;
+  }
+
+  /// One observed remote access served at `server` (a page-request serve, or
+  /// a diff arrival for `write` accesses). Updates the classifier stats and,
+  /// past the threshold, classifies and possibly executes a switch — which
+  /// blocks, so call only from kThread context with no page mutex held.
+  /// `held_fetcher` names the requester whose page request the caller holds
+  /// un-served (request serves note BEFORE serving so a migratory page's
+  /// owner still holds ownership when the switch fires); kInvalidNode when
+  /// the triggering message needed no reply (diff arrivals note after).
+  void note_access(NodeId server, PageId page, NodeId requester, bool write,
+                   NodeId held_fetcher = kInvalidNode);
+
+  /// Classifier decision for the page's current stats (exposed for tests).
+  [[nodiscard]] AccessPattern classify(NodeId server, PageId page) const;
+
+  /// Drained two-phase rebind of `page` (homed/owned by `self`) onto
+  /// `target`. Returns false when the page was busy (policy retries on the
+  /// next traffic event, the migration discipline).
+  bool execute_switch(NodeId self, PageId page, ProtocolId target,
+                      NodeId held_fetcher = kInvalidNode);
+
+  /// Called by the comm layer before a page grant installs on `node`: blocks
+  /// while the page's fetch has ACKed a switch prepare whose commit/abort
+  /// has not resolved yet (the resolution decides which binding's receive
+  /// server interprets the grant). No-op when nothing is held.
+  void hold_grant(NodeId node, PageId page);
+
+ private:
+  struct PageStats {
+    std::uint32_t reads = 0;
+    std::uint32_t writes = 0;
+    /// Distinct-writer alternations: how often the writing node changed
+    /// between consecutive observed writes. Low relative to `writes` means
+    /// one writer at a time (migratory); high means interleaved writers
+    /// (false sharing on the page grain).
+    std::uint32_t writer_switches = 0;
+    NodeId last_writer = kInvalidNode;
+  };
+
+  [[nodiscard]] AccessPattern classify_stats(const PageStats& s) const;
+  [[nodiscard]] ProtocolId pattern_protocol(AccessPattern p) const;
+  void maybe_switch(NodeId server, PageId page, NodeId held_fetcher);
+  void serve_switch(pm2::RpcContext& ctx, Unpacker& args);
+
+  Dsm& dsm_;
+  pm2::ServiceId svc_switch_ = 0;
+  std::vector<std::uint8_t> managed_;
+  /// Per-node classifier state: traffic is observed where it is served, so
+  /// each serving site keeps its own window (the HomeMigrator discipline).
+  std::vector<std::unordered_map<PageId, PageStats>> stats_;
+  /// Per node: pages whose transition THIS module began at prepare (and so
+  /// must end at commit/abort). A mid-fetch ACKer's transition belongs to
+  /// its fault and is never touched.
+  std::vector<std::unordered_set<PageId>> froze_;
+  /// Per node: pages whose in-flight fetch ACKed a prepare; grants for them
+  /// park in hold_grant until the commit/abort resolves the binding.
+  std::vector<std::unordered_set<PageId>> fetch_hold_;
+  /// Pages that ever changed protocol (kPagesReclassified is a distinct
+  /// count, not an event count).
+  std::unordered_set<PageId> ever_switched_;
+};
+
+}  // namespace dsmpm2::dsm

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/log.hpp"
 #include "common/time.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
@@ -150,6 +151,13 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   BarrierState& s = state_[barrier_id];
   if (s.parties == 0) {
     s.parties = parties_of_[static_cast<std::size_t>(barrier_id)];
+    // Nodes scrubbed as dead parties stay deducted across a failover
+    // restore (multiplicity 1 when the death predates any membership
+    // snapshot the shadow carried).
+    for (const NodeId n : s.excluded) {
+      const auto m = s.members.find(n);
+      s.parties -= m != s.members.end() ? m->second : 1;
+    }
   }
   s.waiters.push_back(Waiter{ctx.src, ctx.reply_token});
   ctx.reply_token = 0;  // replies go out when the generation completes
@@ -169,6 +177,11 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   }
   ++s.arrived;
   if (s.arrived < s.parties) return;
+  complete_generation(barrier_id, s, ctx.self);
+}
+
+void BarrierManager::complete_generation(int barrier_id, BarrierState& s,
+                                         NodeId self) {
   // Everyone is here. Fold the cluster watermark from the nodes' latest
   // epoch reports and trim the histories this coordinator manages — safe
   // before building the resume slices: a trimmed block's horizon is at or
@@ -179,14 +192,22 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   if (dsm_.config().enable_metadata_gc) {
     const std::vector<std::uint32_t> watermark = dsm_.epoch().fold();
     if (Checker* ck = dsm_.checker()) {
-      ck->on_watermark_fold(ctx.self, watermark);
+      ck->on_watermark_fold(self, watermark);
     }
-    dsm_.counters().inc(ctx.self, Counter::kGcWatermarkRounds);
-    dsm_.epoch().trim_histories(ctx.self, watermark);
+    dsm_.counters().inc(self, Counter::kGcWatermarkRounds);
+    dsm_.epoch().trim_histories(self, watermark);
     Packer wp;
     EpochManager::serialize_intervals(watermark, wp);
     const auto bytes = wp.buffer();
     watermark_blocks.emplace_back(bytes.begin(), bytes.end());
+  }
+  // Membership snapshot: how many parties each node contributed to this
+  // generation — what a dead-party scrub later subtracts for that node.
+  for (const Waiter& w : s.waiters) {
+    s.members[w.src] = 0;
+  }
+  for (const Waiter& w : s.waiters) {
+    ++s.members[w.src];
   }
   // Resume the lot, handing each party the history slice past its cursor —
   // the whole generation's payloads, plus anything from generations it sat
@@ -198,7 +219,7 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
   for (const Waiter& w : waiters) {
     std::size_t& cur = s.cursor[w.src];
     if (cur < s.floor) {
-      dsm_.counters().inc(ctx.self, Counter::kGcStaleGrants);
+      dsm_.counters().inc(self, Counter::kGcStaleGrants);
       cur = s.floor;
     }
     Packer resume;
@@ -208,11 +229,11 @@ void BarrierManager::serve_arrive(pm2::RpcContext& ctx, Unpacker& args) {
     pack_blocks(std::span(s.history).subspan(cur - s.floor), resume);
     cur = s.floor + s.history.size();
     pack_blocks(watermark_blocks, resume);
-    dsm_.runtime().rpc().reply_to(ctx.self, w.src, w.token, std::move(resume));
+    dsm_.runtime().rpc().reply_to(self, w.src, w.token, std::move(resume));
   }
   // The generation is complete and the state quiescent (no waiters, no
   // partial arrivals) — the one instant a shadow snapshot is consistent.
-  push_shadow(barrier_id, ctx.self);
+  push_shadow(barrier_id, self);
 }
 
 void BarrierManager::pack_state(const BarrierState& s, Packer& p) const {
@@ -230,6 +251,13 @@ void BarrierManager::pack_state(const BarrierState& s, Packer& p) const {
     p.pack(n);
     p.pack(static_cast<std::uint64_t>(c));
   }
+  p.pack(static_cast<std::uint32_t>(s.members.size()));
+  for (const auto& [n, m] : s.members) {
+    p.pack(n);
+    p.pack(static_cast<std::uint32_t>(m));
+  }
+  p.pack(static_cast<std::uint32_t>(s.excluded.size()));
+  for (const NodeId n : s.excluded) p.pack(n);
 }
 
 void BarrierManager::unpack_state(Unpacker& args, BarrierState& s) const {
@@ -252,6 +280,19 @@ void BarrierManager::unpack_state(Unpacker& args, BarrierState& s) const {
   for (std::uint32_t i = 0; i < cursor_count; ++i) {
     const auto n = args.unpack<NodeId>();
     s.cursor[n] = static_cast<std::size_t>(args.unpack<std::uint64_t>());
+  }
+  const auto member_count = args.unpack<std::uint32_t>();
+  s.members.clear();
+  s.members.reserve(member_count);
+  for (std::uint32_t i = 0; i < member_count; ++i) {
+    const auto n = args.unpack<NodeId>();
+    s.members[n] = static_cast<int>(args.unpack<std::uint32_t>());
+  }
+  const auto excluded_count = args.unpack<std::uint32_t>();
+  s.excluded.clear();
+  s.excluded.reserve(excluded_count);
+  for (std::uint32_t i = 0; i < excluded_count; ++i) {
+    s.excluded.insert(args.unpack<NodeId>());
   }
 }
 
@@ -281,6 +322,44 @@ void BarrierManager::fail_over(NodeId dead, NodeId backup,
     // calls resend and rebuild the partial generation here.
     state_[id] = std::move(fresh);
     dsm_.counters().inc(backup, Counter::kPromotions);
+  }
+}
+
+void BarrierManager::scrub_dead_party(NodeId dead, NodeId self) {
+  for (auto& [barrier_id, s] : state_) {
+    if (coordinator_of(barrier_id) != self) continue;
+    // Drop the dead node's in-flight arrivals: their reply tokens lead
+    // nowhere, and counting them would let the generation complete with a
+    // resume addressed to a corpse.
+    int dropped = 0;
+    std::erase_if(s.waiters, [&](const Waiter& w) {
+      if (w.src != dead) return false;
+      ++dropped;
+      return true;
+    });
+    s.arrived -= dropped;
+    if (s.excluded.insert(dead).second) {
+      // Multiplicity: the last completed generation's snapshot, or — for a
+      // death before any completion — the arrivals it had in flight.
+      const auto m = s.members.find(dead);
+      const int mult = m != s.members.end() ? m->second : dropped;
+      if (mult == 0) {
+        // Never seen at this barrier: it cannot be attributed parties, so
+        // the expected count must not shrink on its account.
+        s.excluded.erase(dead);
+        continue;
+      }
+      if (s.parties > 0) {
+        s.parties -= mult;
+      }
+      log::warn("failover: scrubbed node %u (%d parties) from barrier %d",
+                static_cast<unsigned>(dead), mult, barrier_id);
+    }
+    // The death may have left the generation satisfied: the survivors all
+    // arrived and were waiting on a party that no longer exists.
+    if (s.parties > 0 && s.arrived >= s.parties && !s.waiters.empty()) {
+      complete_generation(barrier_id, s, self);
+    }
   }
 }
 

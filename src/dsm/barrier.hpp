@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/ids.hpp"
@@ -71,6 +72,16 @@ class BarrierManager {
   void fail_over(NodeId dead, NodeId backup,
                  const std::unordered_map<int, Buffer>& shadows);
 
+  /// Failover (called on EVERY survivor while applying a promotion): removes
+  /// the dead node's parties from the barriers `self` coordinates, so the
+  /// survivors' generations complete without them. Drops the dead node's
+  /// in-flight arrivals, shrinks the expected count by its party
+  /// multiplicity (learned at the last generation completion), and finishes
+  /// a generation the death left satisfied. A node that dies before ever
+  /// completing a generation of a barrier — and with no arrival in flight —
+  /// cannot be attributed parties and is not scrubbed.
+  void scrub_dead_party(NodeId dead, NodeId self);
+
  private:
   struct Waiter {
     NodeId src;
@@ -91,6 +102,12 @@ class BarrierManager {
     std::size_t floor = 0;
     /// Per node: absolute count of blocks already delivered to it.
     std::unordered_map<NodeId, std::size_t> cursor;
+    /// Per node: how many parties it contributed to the last completed
+    /// generation — the multiplicity a dead-party scrub subtracts.
+    std::unordered_map<NodeId, int> members;
+    /// Nodes scrubbed as dead parties; their multiplicities stay deducted
+    /// when `parties` is re-derived after a failover restore.
+    std::unordered_set<NodeId> excluded;
   };
 
   [[nodiscard]] NodeId coordinator_of(int barrier_id) const;
@@ -103,6 +120,11 @@ class BarrierManager {
   void push_shadow(int barrier_id, NodeId coordinator);
 
   void serve_arrive(pm2::RpcContext& ctx, Unpacker& args);
+
+  /// All (surviving) parties are in: fold the watermark, resume the waiters
+  /// with their history slices, refresh membership, push the shadow. Shared
+  /// by the last arrival and the dead-party scrub.
+  void complete_generation(int barrier_id, BarrierState& s, NodeId self);
 
   Dsm& dsm_;
   pm2::ServiceId svc_arrive_ = 0;

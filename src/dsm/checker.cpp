@@ -18,6 +18,9 @@ namespace {
 // same numeric id apart.
 constexpr std::uint8_t kSyncLock = 0;
 constexpr std::uint8_t kSyncBarrier = 1;
+/// Protocol-switch commits, keyed by page: the executor's PREPARE/COMMIT
+/// round orders every participant's drop behind the executor's rebind.
+constexpr std::uint8_t kSyncSwitch = 2;
 
 std::uint64_t revoke_key(PageId page, NodeId node) {
   return (static_cast<std::uint64_t>(page) << 32) | node;
@@ -256,6 +259,19 @@ void Checker::on_barrier_resume(NodeId node, int barrier_id) {
   record_sync(node, "barrier " + std::to_string(barrier_id) + " resume");
 }
 
+void Checker::on_protocol_switch(NodeId executor, PageId page) {
+  sync_clock(kSyncSwitch, static_cast<int>(page)).join(node_vc_[executor]);
+  node_vc_[executor].tick(executor);
+  record_sync(executor, "protocol switch on page " + std::to_string(page));
+}
+
+void Checker::on_protocol_switch_applied(NodeId node, PageId page) {
+  // Participants drained and dropped at PREPARE before the executor rebound,
+  // so the commit is a real happens-before edge executor -> participant.
+  node_vc_[node].join(sync_clock(kSyncSwitch, static_cast<int>(page)));
+  record_sync(node, "protocol switch applied on page " + std::to_string(page));
+}
+
 void Checker::on_page_send(NodeId from, PageId page) {
   // Deliberately only a tick: a page grant is protocol machinery, not an
   // application happens-before edge (see header).
@@ -331,6 +347,16 @@ void Checker::verify_page(NodeId where, PageId page) {
     // node's own side (lazy self-invalidation never sends a message).
     if (e.access == Access::kNone) {
       pending_revoke_clear(page, n);
+    }
+    // Replica protocol agreement: a page's binding may only differ across
+    // nodes while a switch is mid-flight, and mid-flight replicas are
+    // in_transition (which the quiescence scan above already excluded).
+    if (proto_id != kInvalidProtocol && e.protocol != proto_id) {
+      fail_invariant(n, page,
+                     "replica bound to protocol " +
+                         std::to_string(e.protocol) + " while another holds " +
+                         std::to_string(proto_id) +
+                         " (protocol switch left a diverged binding)");
     }
     proto_id = e.protocol;
   }

@@ -105,6 +105,11 @@ class Checker final : public marcel::ThreadObserver {
   void on_lock_release(NodeId node, int lock_id);
   void on_barrier_arrive(NodeId node, int barrier_id);
   void on_barrier_resume(NodeId node, int barrier_id);
+  /// The executor committed a protocol switch for `page`: publishes the
+  /// edge source (every participant's PREPARE drain happened before).
+  void on_protocol_switch(NodeId executor, PageId page);
+  /// A participant applied the switch commit: joins the executor's edge.
+  void on_protocol_switch_applied(NodeId node, PageId page);
   /// A page grant leaving `from`: ticks the sender's clock (no edge).
   void on_page_send(NodeId from, PageId page);
   /// A page grant landing: protocol invariants are re-checked.

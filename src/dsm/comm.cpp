@@ -3,6 +3,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "common/time.hpp"
+#include "dsm/adaptive.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/dsm.hpp"
 #include "dsm/replica.hpp"
@@ -107,7 +108,43 @@ void DsmComm::serve_page_request(pm2::RpcContext& ctx, Unpacker& args) {
   DSM_CHECK_MSG(wire.requester < static_cast<NodeId>(dsm_.node_count()),
                 "page request names a requester outside the cluster");
   dsm_.probe().mark(wire.requester, FaultStep::kRequestReceived, dsm_.runtime().now());
-  const Protocol& proto = dsm_.protocol_of(wire.page);
+  if (dsm_.config().enable_adaptive_protocols &&
+      dsm_.advisor().manages(wire.page)) {
+    bool served_here = false;
+    bool grant_is_the_write = false;
+    {
+      auto& tbl = dsm_.table(ctx.self);
+      marcel::MutexLock l(tbl.mutex(wire.page));
+      tbl.wait_transition(wire.page);  // settle on an in-flight rebind first
+      const PageEntry& pre = tbl.entry(wire.page);
+      // Only a node that actually holds the page and a serving role counts
+      // as the observation site — a stale init-home without a frame must
+      // neither classify nor try to execute a switch it cannot back.
+      served_here = pre.valid && pre.access != Access::kNone &&
+                    (pre.home == ctx.self || pre.prob_owner == ctx.self);
+      // Under an MRSW protocol the write grant IS the remote write (ownership
+      // leaves with it). Under a diff family the same request is only the
+      // fetch half of a critical section whose diff comes back separately —
+      // counting both would halve the observed writer alternation and
+      // misread page-grain false sharing as migratory.
+      if (served_here) {
+        const Protocol& p = dsm_.protocols().get(pre.protocol);
+        grant_is_the_write = p.diff_server == nullptr &&
+                             p.diff_request_server == nullptr;
+      }
+    }
+    // Classify BEFORE serving: a migratory page's rebind must fire while
+    // this node still owns the page (serving a write request hands the
+    // ownership away with the grant). The requester is mid-fetch, which the
+    // switch protocol accounts for via its held-fetcher channel.
+    if (served_here) {
+      dsm_.advisor().note_access(
+          ctx.self, wire.page, wire.requester,
+          wire.wanted == Access::kWrite && grant_is_the_write,
+          /*held_fetcher=*/wire.requester);
+    }
+  }
+  const Protocol& proto = dispatch_protocol(ctx.self, wire.page);
   PageRequest req{wire.page, wire.wanted, wire.requester, ctx.self};
   if (wire.wanted == Access::kWrite) {
     proto.write_server(dsm_, req);
@@ -161,7 +198,13 @@ void DsmComm::serve_send_page(pm2::RpcContext& ctx, Unpacker& args) {
   arrival.copyset = copyset;
   arrival.owner_hint = wire.owner_hint;
   arrival.data = data;
-  dsm_.protocol_of(wire.page).receive_page_server(dsm_, arrival);
+  if (dsm_.config().enable_adaptive_protocols) {
+    // If our in-flight fetch ACKed a switch prepare, the commit/abort racing
+    // this grant decides which binding's receive server must interpret it —
+    // park until that resolution lands (it is already ahead on the wire).
+    dsm_.advisor().hold_grant(ctx.self, wire.page);
+  }
+  dispatch_protocol(ctx.self, wire.page).receive_page_server(dsm_, arrival);
   if (Checker* ck = dsm_.checker()) {
     ck->on_page_arrival(ctx.self, wire.page, ctx.src);
   }
@@ -216,7 +259,11 @@ void DsmComm::serve_invalidate(pm2::RpcContext& ctx, Unpacker& args) {
   dsm_.counters().inc(ctx.self, Counter::kInvalidationsServed);
   dsm_.charge(dsm_.costs().invalidate_serve);
   InvalidateRequest inv{wire.page, ctx.src, wire.new_owner, ctx.self};
-  dsm_.protocol_of(wire.page).invalidate_server(dsm_, inv);
+  // Dispatches the LOCAL committed binding but does not settle a transition:
+  // invalidations must apply across a pending write grant (see
+  // PageEntry::pending), and a prepare-frozen page already dropped its copy,
+  // making either binding's invalidate a no-op that just acks.
+  dispatch_protocol(ctx.self, wire.page).invalidate_server(dsm_, inv);
   if (Checker* ck = dsm_.checker()) {
     ck->pending_revoke_clear(wire.page, ctx.self);
     ck->verify_page(ctx.self, wire.page);
@@ -506,6 +553,20 @@ void DsmComm::check_wire_diff(const Diff& diff, const char* what) const {
   }
 }
 
+const Protocol& DsmComm::dispatch_protocol(NodeId self, PageId page) {
+  if (!dsm_.config().enable_adaptive_protocols) {
+    return dsm_.protocol_of(page);
+  }
+  // Deliberately no wait_transition: a fetcher receiving its grant holds its
+  // own fault's transition, and callers that must settle (page requests,
+  // diff deliveries) settle before calling.
+  auto& tbl = dsm_.table(self);
+  marcel::MutexLock l(tbl.mutex(page));
+  const PageEntry& e = tbl.entry(page);
+  DSM_CHECK_MSG(e.valid, "message for a page outside any DSM area");
+  return dsm_.protocols().get(e.protocol);
+}
+
 void DsmComm::deliver_diff(PageId page, NodeId from, NodeId self,
                            bool response_to_invalidation, const Diff& diff) {
   dsm_.counters().inc(self, Counter::kDiffsApplied);
@@ -515,7 +576,16 @@ void DsmComm::deliver_diff(PageId page, NodeId from, NodeId self,
   arrival.node = self;
   arrival.response_to_invalidation = response_to_invalidation;
   arrival.diff = &diff;
-  const Protocol& proto = dsm_.protocol_of(page);
+  if (dsm_.config().enable_adaptive_protocols) {
+    // Settle an in-flight rebind before capturing the binding: applying
+    // through the old diff server while a commit flips the protocol would
+    // strand the update. (A writer with a diff on the wire NACKs the
+    // prepare, so post-settle the captured binding can still merge it.)
+    auto& tbl = dsm_.table(self);
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.wait_transition(page);
+  }
+  const Protocol& proto = dispatch_protocol(self, page);
   if (proto.diff_server) {
     proto.diff_server(dsm_, arrival);
   } else {
@@ -564,6 +634,12 @@ void DsmComm::serve_diff(pm2::RpcContext& ctx, Unpacker& args) {
     dsm_.migrator().note_writer_traffic(ctx.self, wire.page, ctx.src);
     dsm_.migrator().maybe_migrate(ctx.self, wire.page);
   }
+  // Adaptive classification likewise after the ack (a rebind blocks too).
+  // Diff arrivals carry no un-served fetch, so no held-fetcher channel.
+  if (dsm_.config().enable_adaptive_protocols &&
+      dsm_.table(ctx.self).entry(wire.page).home == ctx.self) {
+    dsm_.advisor().note_access(ctx.self, wire.page, ctx.src, /*write=*/true);
+  }
 }
 
 void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
@@ -579,6 +655,7 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
   // per-page — so arrivals carry response_to_invalidation=false and the
   // home's protocol may start third-party invalidation rounds per page.
   std::vector<PageId> touched;
+  std::vector<PageId> adaptive_touched;
   for (const Buffer& fragment : ctx.fragments) {
     Unpacker u(fragment);
     const auto page = u.unpack<PageId>();
@@ -597,6 +674,10 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
       dsm_.migrator().note_writer_traffic(ctx.self, page, ctx.src);
       touched.push_back(page);
     }
+    if (dsm_.config().enable_adaptive_protocols &&
+        dsm_.table(ctx.self).entry(page).home == ctx.self) {
+      adaptive_touched.push_back(page);
+    }
   }
   // One ack for the whole batch, and only after every page (including any
   // third-party invalidation rounds the applies triggered) is done — the
@@ -610,6 +691,10 @@ void DsmComm::serve_diff_batch(pm2::RpcContext& ctx, Unpacker& args) {
   // Migration policy after the ack (see serve_diff).
   for (const PageId page : touched) {
     dsm_.migrator().maybe_migrate(ctx.self, page);
+  }
+  // Adaptive classification after the ack, one event per flushed page.
+  for (const PageId page : adaptive_touched) {
+    dsm_.advisor().note_access(ctx.self, page, ctx.src, /*write=*/true);
   }
 }
 

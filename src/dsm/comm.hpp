@@ -24,6 +24,7 @@
 namespace dsmpm2::dsm {
 
 class Dsm;
+struct Protocol;
 
 class DsmComm {
  public:
@@ -113,6 +114,11 @@ class DsmComm {
   /// the default apply path). Shared by serve_diff and serve_diff_batch.
   void deliver_diff(PageId page, NodeId from, NodeId self,
                     bool response_to_invalidation, const Diff& diff);
+  /// Protocol an arrived message for `page` dispatches into. With adaptive
+  /// switching enabled a page's binding changes at runtime and commits apply
+  /// asynchronously, so node 0's table (protocol_of) can lag — servers must
+  /// follow the binding THIS node committed.
+  const Protocol& dispatch_protocol(NodeId self, PageId page);
 
   Dsm& dsm_;
   pm2::ServiceId svc_request_ = 0;

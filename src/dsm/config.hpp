@@ -148,6 +148,25 @@ struct DsmConfig {
   /// (pre mix-hash) for bit-for-bit equivalence tests. The default mixes the
   /// id first so correlated ids don't pile onto one node (stripe_to_node).
   bool legacy_lock_striding = false;
+  /// Adaptive per-page protocol switching: serving sites (homes and dynamic
+  /// owners) classify each page's access pattern online — migratory,
+  /// read-mostly, producer-consumer, false-sharing — and hand the page off
+  /// to the protocol that pattern favours via a drained two-phase rebind
+  /// (`dsm.proto.switch`). Only pages allocated with the "adaptive" protocol
+  /// participate. Off takes zero behavior-altering branches: no
+  /// classification state, no new messages, bit-identical runs.
+  bool enable_adaptive_protocols = false;
+  /// Accesses observed for a page (reads + writes at serving sites) before
+  /// the advisor classifies it. Mirrors migration_threshold's role.
+  std::uint32_t adaptive_threshold = 16;
+  /// Dominance factor between the winning pattern's evidence and the
+  /// runner-up before a switch fires (hysteresis — keeps a page whose
+  /// pattern drifts between two classes from thrashing protocols).
+  std::uint32_t adaptive_hysteresis = 2;
+  /// A page is read-mostly when reads >= adaptive_read_ratio * writes; the
+  /// same ratio applied to writes marks write-dominated (migratory or
+  /// false-sharing) pages.
+  std::uint32_t adaptive_read_ratio = 4;
 };
 
 /// Deterministic stripe of a lock/barrier id onto a manager node. The

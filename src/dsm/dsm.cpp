@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "dsm/adaptive.hpp"
 #include "dsm/checker.hpp"
 #include "dsm/replica.hpp"
 #include "protocols/builtin.hpp"
@@ -29,6 +30,7 @@ Dsm::Dsm(pm2::Runtime& runtime, DsmConfig config)
   comm_ = std::make_unique<DsmComm>(*this);
   migrator_ = std::make_unique<HomeMigrator>(*this);
   replicator_ = std::make_unique<Replicator>(*this);
+  advisor_ = std::make_unique<ProtocolAdvisor>(*this);
   builtin_ = protocols::register_builtins(*this);
   default_protocol_ = builtin_.li_hudak;
   probe_.set_enabled(config_.enable_fault_probe);
@@ -64,6 +66,8 @@ PageStore& Dsm::store(NodeId node) {
 }
 
 Replicator& Dsm::replicator() { return *replicator_; }
+
+ProtocolAdvisor& Dsm::advisor() { return *advisor_; }
 
 const Protocol& Dsm::protocol_of(PageId page) {
   return registry_.get(protocol_id_of(page));

@@ -46,6 +46,7 @@
 namespace dsmpm2::dsm {
 
 class Checker;
+class ProtocolAdvisor;
 class Replicator;
 
 /// Identifiers of the protocols that ship with DSM-PM2 (paper Table 2, plus
@@ -59,6 +60,10 @@ struct BuiltinProtocols {
   ProtocolId java_ic = kInvalidProtocol;
   ProtocolId java_pf = kInvalidProtocol;
   ProtocolId hybrid_rw = kInvalidProtocol;
+  /// The adaptive composite: pages allocated under it start on li_hudak and
+  /// are rebound online by the ProtocolAdvisor (dsm/adaptive.hpp). The id
+  /// itself only ever dispatches sync hooks — no page is bound to it.
+  ProtocolId adaptive = kInvalidProtocol;
 };
 
 class Dsm {
@@ -162,6 +167,10 @@ class Dsm {
   /// DsmConfig::enable_failover). Defined in dsm.cpp — the type is
   /// incomplete here.
   [[nodiscard]] Replicator& replicator();
+  /// Adaptive protocol-switching machinery (always constructed; inert unless
+  /// DsmConfig::enable_adaptive_protocols). Defined in dsm.cpp — the type is
+  /// incomplete here.
+  [[nodiscard]] ProtocolAdvisor& advisor();
   [[nodiscard]] Counters& counters() { return counters_; }
   [[nodiscard]] FaultProbe& probe() { return probe_; }
   [[nodiscard]] LockManager& locks() { return locks_; }
@@ -242,6 +251,7 @@ class Dsm {
   std::unique_ptr<DsmComm> comm_;
   std::unique_ptr<HomeMigrator> migrator_;
   std::unique_ptr<Replicator> replicator_;
+  std::unique_ptr<ProtocolAdvisor> advisor_;
   AreaManager areas_;
   LockManager locks_;
   BarrierManager barriers_;

@@ -60,6 +60,10 @@ const char* counter_name(Counter c) {
     case Counter::kFailovers: return "failovers";
     case Counter::kPromotions: return "promotions";
     case Counter::kReplicaBytes: return "replica_bytes";
+    case Counter::kProtoSwitches: return "proto_switches";
+    case Counter::kClassifyEvents: return "classify_events";
+    case Counter::kSwitchNacks: return "switch_nacks";
+    case Counter::kPagesReclassified: return "pages_reclassified";
     case Counter::kCount: break;
   }
   return "?";

@@ -77,6 +77,10 @@ enum class Counter : int {
   kFailovers,            ///< node deaths detected by the failure detector
   kPromotions,           ///< manager/coordinator/home roles promoted onto a backup
   kReplicaBytes,         ///< shadow-state bytes pushed to backups
+  kProtoSwitches,        ///< per-page protocol rebinds committed (adaptive)
+  kClassifyEvents,       ///< advisor classifications (incl. "keep current")
+  kSwitchNacks,          ///< protocol rebinds refused by a busy participant
+  kPagesReclassified,    ///< distinct pages that ever changed protocol
   kCount  // sentinel
 };
 

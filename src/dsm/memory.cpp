@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "dsm/adaptive.hpp"
 #include "dsm/dsm.hpp"
 
 namespace dsmpm2::dsm {
@@ -40,6 +41,17 @@ void AreaManager::init_pages(const Area& area, const AllocAttr& attr,
   const PageId first = g.page_of(area.base);
   const PageId last = g.page_of(area.base + area.size - 1);
   const int nodes = dsm_.node_count();
+  // The adaptive composite never binds pages itself: they start on li_hudak
+  // (the cheapest protocol to leave, it keeps no per-page metadata) and the
+  // advisor rebinds each one online as its access pattern emerges. The area
+  // keeps the composite id so sync objects created against it dispatch the
+  // multiplexed hooks.
+  const bool adaptive = area.protocol != kInvalidProtocol &&
+                        area.protocol == dsm_.builtin().adaptive;
+  DSM_CHECK_MSG(!adaptive || dsm_.config().enable_adaptive_protocols,
+                "adaptive area allocated with adaptive protocols disabled");
+  const ProtocolId page_protocol =
+      adaptive ? dsm_.builtin().li_hudak : area.protocol;
   for (PageId p = first; p <= last; ++p) {
     NodeId home = allocating_node;
     switch (attr.home_policy) {
@@ -55,10 +67,13 @@ void AreaManager::init_pages(const Area& area, const AllocAttr& attr,
       DSM_CHECK_MSG(!e.valid, "page already belongs to a live area");
       e = PageEntry{};
       e.valid = true;
-      e.protocol = area.protocol;
+      e.protocol = page_protocol;
       e.home = home;
       e.prob_owner = home;
       e.access = n == home ? Access::kWrite : Access::kNone;
+    }
+    if (adaptive) {
+      dsm_.advisor().mark_managed(p);
     }
   }
 }

@@ -196,6 +196,23 @@ struct Protocol {
   /// consistent before returning. Arguments: page, old home, new home.
   std::function<void(Dsm&, PageId, NodeId, NodeId)> home_migrated;
 
+  /// Adaptive protocol-switch hook, doubling as the eligibility marker: a
+  /// page may only be rebound between protocols that both set it
+  /// (dsm/adaptive.hpp). Called in two roles, distinguished by which side
+  /// `self` is on:
+  ///   * teardown — on the page's OLD protocol (`from == current`), on every
+  ///     participating node, under the page mutex, after the generic state
+  ///     (frame, copyset, proto_word, spans) was already reset: purge any
+  ///     protocol-private per-page state (twins, notice lists, diff-store
+  ///     entries) so nothing stale survives the rebind.
+  ///   * arm — on the page's NEW protocol (`to == current`), on the
+  ///     executing node only, outside the mutex with in_transition held
+  ///     (like home_migrated): grant whatever access the fresh home frame
+  ///     supports and rebuild the protocol-private view. May block.
+  /// Arguments: page, node the hook runs for, old protocol, new protocol.
+  std::function<void(Dsm&, PageId, NodeId, ProtocolId, ProtocolId)>
+      protocol_switched;
+
   /// Factory for per-node protocol state.
   std::function<std::unique_ptr<ProtocolState>()> make_node_state;
 

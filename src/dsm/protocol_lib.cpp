@@ -380,7 +380,8 @@ void serve_request_home(Dsm& dsm, const PageRequest& req,
     if (e.home != req.node) {
       // Stale requester: the home moved. Forward along the migration chain
       // (each hop is strictly newer, so it terminates at the current home).
-      DSM_CHECK_MSG(dsm.config().enable_home_migration,
+      DSM_CHECK_MSG(dsm.config().enable_home_migration ||
+                        dsm.config().enable_adaptive_protocols,
                     "home request served off the home node");
       forward_to = e.home;
     } else {
@@ -531,7 +532,8 @@ Diff compute_twin_diff(Dsm& dsm, PageEntry& e, PageId page, NodeId node) {
 /// frame) under one hold of the page lock — the flush-invalidate step shared
 /// by the sequential and batched release paths. Returns the page's home, or
 /// kInvalidNode when there was no twin to flush.
-NodeId take_twin_diff(Dsm& dsm, PageId page, NodeId node, Diff& out) {
+NodeId take_twin_diff(Dsm& dsm, PageId page, NodeId node, Diff& out,
+                      ProtocolId& proto_out) {
   auto& tbl = dsm.table(node);
   marcel::MutexLock l(tbl.mutex(page));
   PageEntry& e = tbl.entry(page);
@@ -545,6 +547,12 @@ NodeId take_twin_diff(Dsm& dsm, PageId page, NodeId node, Diff& out) {
   // merge only at the home), which a later read here must not see.
   e.access = Access::kNone;
   dsm.store(node).drop_frame(page);
+  proto_out = e.protocol;
+  // Published under the page lock BEFORE the blocking send: from here until
+  // the home's ack this node looks clean but holds an update only it can
+  // deliver, and a protocol-switch PREPARE must refuse rather than let the
+  // commit orphan the diff.
+  dsm.proto_state<HomeRcState>(e.protocol, node).diff_inflight.insert(page);
   return e.home;
 }
 
@@ -553,10 +561,13 @@ NodeId take_twin_diff(Dsm& dsm, PageId page, NodeId node, Diff& out) {
 void flush_one_twin_diff(Dsm& dsm, PageId page, NodeId node,
                          bool response_to_invalidation) {
   Diff diff;
-  const NodeId home = take_twin_diff(dsm, page, node, diff);
-  if (home != kInvalidNode && !diff.empty()) {
+  ProtocolId proto = kInvalidProtocol;
+  const NodeId home = take_twin_diff(dsm, page, node, diff, proto);
+  if (home == kInvalidNode) return;
+  if (!diff.empty()) {
     dsm.comm().send_diff(home, page, diff, response_to_invalidation);
   }
+  dsm.proto_state<HomeRcState>(proto, node).diff_inflight.erase(page);
 }
 
 void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
@@ -579,13 +590,25 @@ void flush_twin_diffs(Dsm& dsm, ProtocolId protocol, NodeId node,
   // release latency is one round-trip depth plus per-home processing, not
   // O(dirty pages). std::map keeps home order deterministic.
   std::map<NodeId, std::vector<DsmComm::DiffBatchItem>> by_home;
+  std::vector<PageId> batched;
   for (const PageId page : pages) {
     Diff diff;
-    const NodeId home = take_twin_diff(dsm, page, node, diff);
-    if (home == kInvalidNode || diff.empty()) continue;
+    ProtocolId proto = kInvalidProtocol;
+    const NodeId home = take_twin_diff(dsm, page, node, diff, proto);
+    if (home == kInvalidNode) continue;
+    if (diff.empty()) {
+      rc.diff_inflight.erase(page);
+      continue;
+    }
     by_home[home].push_back(DsmComm::DiffBatchItem{page, std::move(diff)});
+    batched.push_back(page);
   }
   send_diff_batches(dsm, node, by_home);
+  // send_diff_batches blocked on every home's ack (the release collector), so
+  // all batched updates have merged and the in-flight markers can clear.
+  for (const PageId page : batched) {
+    rc.diff_inflight.erase(page);
+  }
 }
 
 void send_diff_batches(
@@ -610,7 +633,8 @@ void apply_diff_home_and_invalidate(Dsm& dsm, const DiffArrival& arrival) {
     PageEntry& e = tbl.entry(arrival.page);
     if (e.home != arrival.node) {
       // Stale flusher: the home moved after this diff left its writer.
-      DSM_CHECK_MSG(dsm.config().enable_home_migration,
+      DSM_CHECK_MSG(dsm.config().enable_home_migration ||
+                        dsm.config().enable_adaptive_protocols,
                     "diff arrived off the home node");
       forward_to = e.home;
     } else {
@@ -659,10 +683,12 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
   auto& tbl = dsm.table(inv.node);
   Diff diff;
   NodeId home = kInvalidNode;
+  ProtocolId proto = kInvalidProtocol;
   {
     marcel::MutexLock l(tbl.mutex(inv.page));
     settle(dsm, inv.node, inv.page);  // let any in-flight fetch land first
     PageEntry& e = tbl.entry(inv.page);
+    proto = e.protocol;
     if (e.has_twin) {
       // The third-party-writer flush: span-guided like the release path.
       diff = compute_twin_diff(dsm, e, inv.page, inv.node);
@@ -670,6 +696,9 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
       e.has_twin = false;
       auto& rc = dsm.proto_state<HomeRcState>(e.protocol, inv.node);
       rc.twinned.erase(inv.page);
+      if (!diff.empty()) {
+        rc.diff_inflight.insert(inv.page);
+      }
     }
     e.access = Access::kNone;
     e.dirty = false;
@@ -682,6 +711,7 @@ void invalidate_home_based(Dsm& dsm, const InvalidateRequest& inv) {
   // the later release flush.
   if (!diff.empty()) {
     dsm.comm().send_diff(home, inv.page, diff, /*response_to_invalidation=*/true);
+    dsm.proto_state<HomeRcState>(proto, inv.node).diff_inflight.erase(inv.page);
   }
 }
 
@@ -1071,6 +1101,22 @@ void lrc_acquire(Dsm& dsm, ProtocolId protocol, const SyncContext& ctx) {
                     "write notice names a page outside the DSM space");
       DSM_CHECK_MSG(n.node < static_cast<NodeId>(dsm.node_count()),
                     "write notice names a writer outside the cluster");
+      if (dsm.config().enable_adaptive_protocols &&
+          tbl.entry(n.page).protocol != protocol) {
+        // The page was rebound away from this protocol after the notice was
+        // created (adaptive switching): the notice is dead — its diff is
+        // merged at the home (the switch refused to commit otherwise) and
+        // the page's consistency is the new protocol's business. Keep only
+        // the dedup key and the writer horizon, so straggler channels don't
+        // re-admit it and the GC watermark stays monotone.
+        if (st.notices_seen.insert(notice_key(n)).second) {
+          if (st.seen.size() <= n.node) {
+            st.seen.resize(std::size_t{n.node} + 1, 0);
+          }
+          st.seen[n.node] = std::max(st.seen[n.node], n.interval);
+        }
+        continue;
+      }
       if (!learn_notice(st, n)) continue;
       if (Checker* ck = dsm.checker()) {
         ck->on_notice_learned(node, n.page, n.node, n.interval);
@@ -1326,6 +1372,19 @@ void lrc_epoch_trim(Dsm& dsm, ProtocolId protocol, NodeId node,
       ++pit;
       continue;
     }
+    if (dsm.config().enable_adaptive_protocols && e.protocol != protocol) {
+      // The page was rebound away from this protocol (adaptive switching)
+      // with a notice list left behind (a straggler ingested between the
+      // rebind and this trim): the list is dead weight and the entry's
+      // proto_word belongs to the new protocol — drop everything, touch
+      // nothing else.
+      for (const WriteNotice& n : list) {
+        dropped.insert(notice_key(n));
+        dsm.counters().inc(node, Counter::kGcNoticesDropped);
+      }
+      pit = st.notices_by_page.erase(pit);
+      continue;
+    }
     const auto old_prefix = static_cast<std::size_t>(e.proto_word);
     std::vector<WriteNotice> kept;
     kept.reserve(list.size());
@@ -1461,6 +1520,87 @@ void lrc_home_migrated(Dsm& dsm, ProtocolId protocol, PageId page,
     }
     // Grew while taking the mutex: pull again (unlocked by scope).
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive protocol switching (dsm/adaptive.hpp)
+// ---------------------------------------------------------------------------
+
+bool lrc_prepare_switch(Dsm& dsm, ProtocolId protocol, NodeId node,
+                        PageId page) {
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  const auto it = st.diff_store.find(page);
+  if (it != st.diff_store.end() && !it->second.empty() &&
+      it->second.rbegin()->first > st.flushed) {
+    // An un-flushed own interval: its bytes live only in this store, and
+    // lrc_collect_diffs treats "missing and un-flushed" as a lost write.
+    return false;
+  }
+  st.cached.erase(page);
+  st.frame_floor.erase(page);
+  return true;
+}
+
+bool homerc_prepare_switch(Dsm& dsm, ProtocolId protocol, NodeId node,
+                           PageId page) {
+  return !dsm.proto_state<HomeRcState>(protocol, node)
+              .diff_inflight.contains(page);
+}
+
+bool lrc_home_switch_ready(Dsm& dsm, ProtocolId protocol, NodeId node,
+                           PageId page) {
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  const auto nit = st.notices_by_page.find(page);
+  const std::size_t known =
+      nit == st.notices_by_page.end() ? 0 : nit->second.size();
+  return dsm.table(node).entry(page).proto_word >= known;
+}
+
+void lrc_forget_page(Dsm& dsm, ProtocolId protocol, NodeId node, PageId page) {
+  auto& st = dsm.proto_state<LrcState>(protocol, node);
+  st.twinned.erase(page);
+  st.home_dirty.erase(page);
+  st.cached.erase(page);
+  st.frame_floor.erase(page);
+  st.home_pending.erase(page);
+  st.revoke_pending.erase(page);
+  st.diff_store.erase(page);
+  const auto nit = st.notices_by_page.find(page);
+  if (nit == st.notices_by_page.end()) return;
+  std::unordered_set<std::uint64_t> dropped;
+  for (const WriteNotice& n : nit->second) dropped.insert(notice_key(n));
+  st.notices_by_page.erase(nit);
+  // Rebuild the forwarding queue without the dead notices and remap every
+  // channel's sent prefix onto the surviving order (the lrc_epoch_trim
+  // discipline). notices_seen keeps the dropped keys: unlike a watermark
+  // trim there is no trimmed_floor to stop a straggler channel from
+  // re-admitting one, so the dedup set is the only guard left.
+  std::vector<std::size_t> kept_prefix(st.notice_order.size() + 1, 0);
+  std::vector<WriteNotice> order;
+  order.reserve(st.notice_order.size());
+  for (std::size_t i = 0; i < st.notice_order.size(); ++i) {
+    if (!dropped.contains(notice_key(st.notice_order[i]))) {
+      order.push_back(st.notice_order[i]);
+    }
+    kept_prefix[i + 1] = order.size();
+  }
+  for (auto& [channel, mark] : st.sent_mark) {
+    mark = kept_prefix[std::min(mark, st.notice_order.size())];
+  }
+  st.notice_order = std::move(order);
+}
+
+void mrsw_forget_page(Dsm& dsm, ProtocolId protocol, NodeId node, PageId page) {
+  auto& st = dsm.proto_state<MrswRcState>(protocol, node);
+  st.pending_invalidate.erase(page);
+}
+
+void homerc_forget_page(Dsm& dsm, ProtocolId protocol, NodeId node,
+                        PageId page) {
+  auto& st = dsm.proto_state<HomeRcState>(protocol, node);
+  st.twinned.erase(page);
+  st.home_dirty.erase(page);
+  st.diff_inflight.erase(page);
 }
 
 // ---------------------------------------------------------------------------

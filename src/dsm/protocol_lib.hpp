@@ -46,6 +46,11 @@ struct MrswRcState : ProtocolState {
 struct HomeRcState : ProtocolState {
   FlatSet<PageId> twinned;
   FlatSet<PageId> home_dirty;
+  /// Pages with a flushed diff still on the wire toward their home (the
+  /// per-page blocking send: the twin is already retired, so the entry looks
+  /// clean, but the home frame does not carry the bytes yet). A protocol-
+  /// switch prepare refuses such pages — committing would strand the diff.
+  FlatSet<PageId> diff_inflight;
 };
 
 /// Lazy release consistency state (lrc_mw), on top of the home-based twin
@@ -321,6 +326,48 @@ void lrc_retained_bytes(Dsm& dsm, ProtocolId protocol, NodeId node,
 /// access once the applied prefix covers the notice list.
 void lrc_home_migrated(Dsm& dsm, ProtocolId protocol, PageId page,
                        NodeId old_home, NodeId new_home);
+
+// ---- adaptive protocol switching (dsm/adaptive.hpp) helpers ----
+
+/// Participant side of a protocol-switch PREPARE for a lazy (diff-store)
+/// protocol, called under the page mutex after the generic checks passed.
+/// Refuses (returns false) when this node still holds an un-flushed own
+/// interval for `page` — the home frame lacks those bytes, so rebinding now
+/// would strand them (they flush at the next barrier, so a retry converges).
+/// On success retires the cached-frame bookkeeping exactly like the epoch
+/// trimmer's discard path; abort-safe — a clean cached frame may always be
+/// dropped, the next fault refetches from home.
+bool lrc_prepare_switch(Dsm& dsm, ProtocolId protocol, NodeId node, PageId page);
+
+/// Participant side of a protocol-switch PREPARE for the home-based twin
+/// protocols (any source with a diff_server), called under the page mutex:
+/// refuses while this node has a flushed diff for `page` still on the wire
+/// (HomeRcState::diff_inflight) — the sender's entry is clean but the home
+/// frame does not carry the bytes yet. Pure check, trivially abort-safe.
+bool homerc_prepare_switch(Dsm& dsm, ProtocolId protocol, NodeId node,
+                           PageId page);
+
+/// Executor-side readiness check, under the page mutex: true when the home
+/// frame of `page` on `node` already covers every notice this node knows
+/// (nothing left to merge in place). Own un-flushed intervals are fine — a
+/// home writes in place, so its frame carries them.
+bool lrc_home_switch_ready(Dsm& dsm, ProtocolId protocol, NodeId node,
+                           PageId page);
+
+/// Teardown half of Protocol::protocol_switched for lrc_mw: forgets every
+/// LrcState trace of `page` on `node` — diff-store entries, notice lists
+/// (with the forwarding queue rebuilt and every channel's sent prefix
+/// remapped onto the survivors, the epoch-trim discipline), pending sets and
+/// cached-frame bookkeeping. The dedup and watermark summaries stay: a
+/// straggler channel must not re-admit a dead notice, and the GC watermark
+/// must not regress. Caller holds the page mutex.
+void lrc_forget_page(Dsm& dsm, ProtocolId protocol, NodeId node, PageId page);
+
+/// Teardown halves for the eager families: drop `page` from the release
+/// sweep sets (MrswRcState::pending_invalidate; HomeRcState::twinned and
+/// home_dirty). Caller holds the page mutex.
+void mrsw_forget_page(Dsm& dsm, ProtocolId protocol, NodeId node, PageId page);
+void homerc_forget_page(Dsm& dsm, ProtocolId protocol, NodeId node, PageId page);
 
 // ---------------------------------------------------------------------------
 // Small helpers

@@ -307,6 +307,11 @@ void Replicator::apply_promote(NodeId self, NodeId dead, NodeId backup,
   if (self == dead) {
     return;
   }
+  // The dead node's parties leave every barrier it participated in short
+  // forever unless the coordinators stop expecting them. Each survivor
+  // scrubs the barriers IT coordinates (the backup's own call covers the
+  // ones just restored from the dead coordinator's shadow).
+  dsm_.barriers().scrub_dead_party(dead, self);
   auto& tbl = dsm_.table(self);
   auto& store = dsm_.store(self);
   for (PageId page = 0; page < tbl.page_count(); ++page) {

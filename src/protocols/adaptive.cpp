@@ -1,0 +1,122 @@
+// adaptive: the composite protocol behind DsmConfig::enable_adaptive_protocols.
+//
+// Pages allocated under it start life bound to li_hudak and are marked
+// advisor-managed (AreaManager::init_pages); the ProtocolAdvisor then rebinds
+// each page online to whichever member protocol its observed access pattern
+// favours (dsm/adaptive.hpp). Page traffic therefore never dispatches into
+// this Protocol value — a page's table entry always names a concrete member —
+// but synchronization hooks dispatch per lock/barrier, and a lock guarding
+// adaptive pages must run EVERY member's consistency action (the pages it
+// protects can be bound to any mix of members at any moment). So the sync
+// hooks here multiplex: the release concatenates each member's framed payload
+// in a fixed order, the acquire splits the forwarded blocks back out, and
+// payload_horizon unwraps the lrc_mw segment (the only member whose payloads
+// the epoch GC trims by horizon).
+#include <array>
+#include <vector>
+
+#include "common/check.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "protocols/builtin.hpp"
+
+namespace dsmpm2::protocols {
+
+using dsm::Dsm;
+using dsm::Protocol;
+using dsm::SyncContext;
+
+namespace {
+
+/// Fixed member order on the wire: index i of every framed release segment
+/// belongs to kMembers[i], on both the pack and the unpack side.
+constexpr std::array<const char*, 4> kMembers = {"li_hudak", "erc_sw",
+                                                 "hbrc_mw", "lrc_mw"};
+constexpr std::size_t kLrcSegment = 3;
+
+const Protocol& member(Dsm& d, std::size_t i) {
+  return d.protocols().get(d.protocol_by_name(kMembers[i]));
+}
+
+[[noreturn]] void never_bound() {
+  DSM_UNREACHABLE(
+      "adaptive is a sync-hook mux; page traffic dispatches into the page's "
+      "current member protocol, never into the composite");
+}
+
+}  // namespace
+
+Protocol make_adaptive() {
+  Protocol p;
+  p.name = "adaptive";
+
+  // The eight core actions must exist for registration, but no page entry is
+  // ever bound to the composite id, so the six page-traffic actions cannot
+  // fire.
+  p.read_fault_handler = [](Dsm&, const dsm::FaultContext&) { never_bound(); };
+  p.write_fault_handler = [](Dsm&, const dsm::FaultContext&) { never_bound(); };
+  p.read_server = [](Dsm&, const dsm::PageRequest&) { never_bound(); };
+  p.write_server = [](Dsm&, const dsm::PageRequest&) { never_bound(); };
+  p.invalidate_server = [](Dsm&, const dsm::InvalidateRequest&) {
+    never_bound();
+  };
+  p.receive_page_server = [](Dsm&, const dsm::PageArrival&) { never_bound(); };
+
+  p.lock_acquire = [](Dsm& d, const SyncContext& ctx) {
+    // Each forwarded block is one adaptive release: one length-prefixed
+    // segment per member in kMembers order. Rebuild every member's private
+    // payload stream, then run its acquire action exactly as a fixed-protocol
+    // lock would (members with nothing to say still run — lrc self-checks
+    // queued notices even on payload-less grants).
+    std::array<std::vector<Buffer>, kMembers.size()> per_member;
+    for (const Buffer& block : ctx.grant_payloads) {
+      Unpacker u(block);
+      for (std::size_t i = 0; i < kMembers.size(); ++i) {
+        const auto seg = u.unpack_bytes();
+        if (!seg.empty()) {
+          per_member[i].emplace_back(seg.begin(), seg.end());
+        }
+      }
+      DSM_CHECK_MSG(u.done(), "adaptive grant block carries trailing bytes");
+    }
+    for (std::size_t i = 0; i < kMembers.size(); ++i) {
+      const SyncContext mctx{ctx.object_id, ctx.node, ctx.kind, per_member[i]};
+      member(d, i).lock_acquire(d, mctx);
+    }
+  };
+
+  p.lock_release = [](Dsm& d, const SyncContext& ctx) {
+    std::array<Packer, kMembers.size()> segs;
+    bool any = false;
+    for (std::size_t i = 0; i < kMembers.size(); ++i) {
+      segs[i] = member(d, i).lock_release(d, ctx);
+      any = any || !segs[i].buffer().empty();
+    }
+    // All-eager releases (nothing from lrc) stay payload-less so the sync
+    // managers store no history block for them.
+    Packer out;
+    if (any) {
+      for (const Packer& seg : segs) {
+        out.pack_bytes(seg.buffer());
+      }
+    }
+    return out;
+  };
+
+  p.payload_horizon = [](std::span<const std::byte> payload) {
+    // Only the lrc_mw segment carries interval-horizon content; unwrap it so
+    // the managers can trim adaptive history blocks like fixed-lrc ones.
+    Unpacker u(payload);
+    std::span<const std::byte> lrc_seg;
+    for (std::size_t i = 0; i < kMembers.size(); ++i) {
+      const auto seg = u.unpack_bytes();
+      if (i == kLrcSegment) {
+        lrc_seg = seg;
+      }
+    }
+    return dsm::lib::lrc_payload_horizon(lrc_seg);
+  };
+
+  return p;
+}
+
+}  // namespace dsmpm2::protocols

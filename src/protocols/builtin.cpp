@@ -14,6 +14,7 @@ dsm::BuiltinProtocols register_builtins(dsm::Dsm& d) {
   ids.java_pf = d.create_protocol(
       make_java_protocol("java_pf", dsm::AccessMode::kPageFault));
   ids.hybrid_rw = d.create_protocol(make_hybrid_rw());
+  ids.adaptive = d.create_protocol(make_adaptive());
   return ids;
 }
 

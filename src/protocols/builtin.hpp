@@ -39,6 +39,9 @@ dsm::Protocol make_lrc_mw();
 /// only in how accesses to shared data are detected.
 dsm::Protocol make_java_protocol(std::string name, dsm::AccessMode mode);
 dsm::Protocol make_hybrid_rw();
+/// The adaptive composite (dsm/adaptive.hpp): a sync-hook multiplexer over
+/// li_hudak/erc_sw/hbrc_mw/lrc_mw; its pages are always bound to a member.
+dsm::Protocol make_adaptive();
 
 /// Registers all built-ins with `dsm` and returns their ids.
 dsm::BuiltinProtocols register_builtins(dsm::Dsm& dsm);

@@ -67,6 +67,22 @@ Protocol make_erc_sw() {
     return std::make_unique<dsm::lib::MrswRcState>();
   };
 
+  // Adaptive rebind eligibility (dsm/adaptive.hpp). Teardown: drop the page
+  // from the release sweep set. Arm: like li_hudak, the executor becomes the
+  // writing owner of the one surviving replica.
+  p.protocol_switched = [](Dsm& d, PageId page, NodeId node, dsm::ProtocolId from,
+                           dsm::ProtocolId to) {
+    const dsm::ProtocolId self = d.protocol_by_name("erc_sw");
+    if (from == self) {
+      dsm::lib::mrsw_forget_page(d, self, node, page);
+      return;
+    }
+    if (to != self) return;
+    auto& tbl = d.table(node);
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.entry(page).access = dsm::Access::kWrite;
+  };
+
   // dsmcheck: single writer, but readers may legally hold stale copies
   // until the writer's release sweep reaches them.
   p.checker_verify = [](Dsm& d, PageId page) {

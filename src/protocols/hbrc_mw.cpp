@@ -94,6 +94,24 @@ Protocol make_hbrc_mw() {
     dsm::lib::hbrc_home_migrated(d, page, old_home, new_home);
   };
 
+  // Adaptive rebind eligibility (dsm/adaptive.hpp). Teardown: drop the page
+  // from the twin/flush bookkeeping. Arm: the executor becomes the home; the
+  // commit cleared the copyset, so the fresh home writes for free until it
+  // serves a replica (hbrc_home_migrated's rule collapses to kWrite here).
+  p.protocol_switched = [](Dsm& d, PageId page, NodeId node, dsm::ProtocolId from,
+                           dsm::ProtocolId to) {
+    const dsm::ProtocolId self = d.protocol_by_name("hbrc_mw");
+    if (from == self) {
+      dsm::lib::homerc_forget_page(d, self, node, page);
+      return;
+    }
+    if (to != self) return;
+    auto& tbl = d.table(node);
+    marcel::MutexLock l(tbl.mutex(page));
+    auto& e = tbl.entry(page);
+    e.access = e.copyset.empty() ? dsm::Access::kWrite : dsm::Access::kRead;
+  };
+
   p.make_node_state = [] {
     return std::make_unique<dsm::lib::HomeRcState>();
   };

@@ -59,6 +59,18 @@ Protocol make_li_hudak() {
   p.lock_acquire = dsm::lib::sync_noop;
   p.lock_release = dsm::lib::sync_release_noop;
 
+  // Adaptive rebind eligibility (dsm/adaptive.hpp). Teardown: SC keeps no
+  // protocol-private per-page state, nothing to purge. Arm: the executor is
+  // the single surviving replica, which in MRSW terms is the writing owner.
+  p.protocol_switched = [](Dsm& d, PageId page, NodeId node, dsm::ProtocolId from,
+                           dsm::ProtocolId to) {
+    const dsm::ProtocolId self = d.protocol_by_name("li_hudak");
+    if (from == self || to != self) return;
+    auto& tbl = d.table(node);
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.entry(page).access = dsm::Access::kWrite;
+  };
+
   // dsmcheck: SC means one writer excludes everyone, and every replica is
   // reachable through some copyset (dynamic distributed manager).
   p.checker_verify = [](Dsm& d, PageId page) {

@@ -122,6 +122,24 @@ Protocol make_lrc_mw() {
                                 old_home, new_home);
   };
 
+  // Adaptive rebind eligibility (dsm/adaptive.hpp). Teardown: forget every
+  // LrcState trace of the page (notice queues rebuilt, dedup and watermark
+  // summaries kept — see lrc_forget_page). Arm: the executor is the home;
+  // read access so its next write twins and opens an interval like any
+  // armed lrc home.
+  p.protocol_switched = [](Dsm& d, PageId page, NodeId node, dsm::ProtocolId from,
+                           dsm::ProtocolId to) {
+    const dsm::ProtocolId self = d.protocol_by_name("lrc_mw");
+    if (from == self) {
+      dsm::lib::lrc_forget_page(d, self, node, page);
+      return;
+    }
+    if (to != self) return;
+    auto& tbl = d.table(node);
+    marcel::MutexLock l(tbl.mutex(page));
+    tbl.entry(page).access = dsm::Access::kRead;
+  };
+
   p.make_node_state = [] { return std::make_unique<dsm::lib::LrcState>(); };
 
   // dsmcheck: home-based; lazy self-revocation means the home copyset only

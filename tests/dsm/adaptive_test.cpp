@@ -1,0 +1,270 @@
+// Adaptive per-page protocol switching (perf PR): the ProtocolAdvisor's
+// online classifier, the drained two-phase rebind over dsm.proto.switch,
+// data survival across the hand-off, composite-lock sync-hook muxing, the
+// checker's switch edges, and flag-off inertness.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dsm/adaptive.hpp"
+#include "dsm/protocol_lib.hpp"
+#include "tests/dsm/dsm_fixture.hpp"
+
+namespace dsmpm2::dsm {
+namespace {
+
+using testing::DsmFixture;
+using namespace dsmpm2::time_literals;
+
+DsmConfig adaptive_cfg(std::uint32_t threshold = 8, bool checker = false) {
+  DsmConfig cfg;
+  cfg.enable_adaptive_protocols = true;
+  cfg.adaptive_threshold = threshold;
+  cfg.enable_checker = checker;
+  cfg.checker_abort = checker;  // invariant breaks and races must be fatal
+  return cfg;
+}
+
+std::uint64_t wire_msgs(pm2::Runtime& rt) {
+  std::uint64_t sum = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(rt.node_count()); ++n) {
+    sum += rt.network().stats(n).messages_sent;
+  }
+  return sum;
+}
+
+/// Every node's entry must agree on the page's protocol once quiesced (the
+/// invariant the checker also enforces; asserted here even in checker-off
+/// runs).
+void expect_bound_everywhere(DsmFixture& fx, PageId page, ProtocolId proto,
+                             int nodes) {
+  for (NodeId n = 0; n < static_cast<NodeId>(nodes); ++n) {
+    EXPECT_EQ(fx.dsm.table(n).entry(page).protocol, proto) << "node " << n;
+  }
+}
+
+TEST(AdaptiveSwitch, ReadMostlyPageGoesLazy) {
+  // One writer refreshes the page, three readers fan out after every
+  // refresh: the serving home observes a pure-read window and rebinds the
+  // page li_hudak -> lrc_mw. Reads after the switch still see every write.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 6;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), adaptive_cfg());
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().adaptive;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = fx.dsm.geometry().page_of(x);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().adaptive);
+  fx.run([&] {
+    for (long r = 1; r <= kRounds; ++r) {
+      auto& w = fx.rt.spawn_on(0, "writer", [&] {
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(x, r);
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(w);
+      for (NodeId n = 1; n < kNodes; ++n) {
+        auto& t = fx.rt.spawn_on(n, "reader", [&] {
+          fx.dsm.lock_acquire(lock);
+          EXPECT_EQ(fx.dsm.read<long>(x), r);
+          fx.dsm.lock_release(lock);
+        });
+        fx.rt.threads().join(t);
+      }
+    }
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kProtoSwitches), 1u);
+  EXPECT_GE(fx.dsm.counters().total(Counter::kClassifyEvents), 1u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kPagesReclassified), 1u);
+  expect_bound_everywhere(fx, page, fx.dsm.builtin().lrc_mw, kNodes);
+}
+
+TEST(AdaptiveSwitch, MigratoryPageGoesEagerMrsw) {
+  // Two nodes ping-pong exclusive writes: each serve observes the same
+  // single remote writer (zero alternation), so the page classifies
+  // migratory and rebinds li_hudak -> erc_sw. Checker on + abort: the
+  // switch edges must keep the shadow happens-before graph race-free and
+  // the per-page binding must never diverge across replicas.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 24;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(),
+                adaptive_cfg(8, /*checker=*/true));
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().adaptive;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = fx.dsm.geometry().page_of(x);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().adaptive);
+  fx.run([&] {
+    for (int r = 0; r < kRounds; ++r) {
+      auto& t = fx.rt.spawn_on(1 + (r % 2), "writer", [&] {
+        // Blind write: a read would make every round a read+write pair at
+        // the server and classify as producer-consumer instead.
+        fx.dsm.lock_acquire(lock);
+        fx.dsm.write<long>(x, r + 1);
+        fx.dsm.lock_release(lock);
+      });
+      fx.rt.threads().join(t);
+    }
+    fx.dsm.lock_acquire(lock);
+    EXPECT_EQ(fx.dsm.read<long>(x), kRounds);
+    fx.dsm.lock_release(lock);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kProtoSwitches), 1u);
+  expect_bound_everywhere(fx, page, fx.dsm.builtin().erc_sw, kNodes);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kCheckerRaces), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kCheckerInvariantFails), 0u);
+}
+
+TEST(AdaptiveSwitch, InterleavedWritersGoHomeBased) {
+  // Writer order 1,2,1,3 repeated: node 1 keeps regaining ownership and
+  // serves write requests from alternating peers, so its window shows high
+  // writer alternation — page-grain false sharing — and the page rebinds
+  // onto the multiple-writer home-based protocol.
+  constexpr int kNodes = 4;
+  constexpr int kCycles = 8;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(),
+                adaptive_cfg(8, /*checker=*/true));
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().adaptive;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const PageId page = fx.dsm.geometry().page_of(x);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().adaptive);
+  const NodeId order[] = {1, 2, 1, 3};
+  fx.run([&] {
+    for (int c = 0; c < kCycles; ++c) {
+      for (const NodeId writer : order) {
+        auto& t = fx.rt.spawn_on(writer, "writer", [&] {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+          fx.dsm.lock_release(lock);
+        });
+        fx.rt.threads().join(t);
+      }
+    }
+    fx.dsm.lock_acquire(lock);
+    EXPECT_EQ(fx.dsm.read<long>(x), kCycles * 4);
+    fx.dsm.lock_release(lock);
+  });
+  EXPECT_GE(fx.dsm.counters().total(Counter::kProtoSwitches), 1u);
+  expect_bound_everywhere(fx, page, fx.dsm.builtin().hbrc_mw, kNodes);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kCheckerInvariantFails), 0u);
+}
+
+TEST(AdaptiveSwitch, ConcurrentFaultsAcrossTheRebindStayCoherent) {
+  // All four nodes hammer two adaptive pages under one lock while low bars
+  // keep classification (and possibly several rebinds) firing mid-stream;
+  // checker in abort mode makes a single lost write or diverged binding
+  // fatal. This is the adaptive analogue of
+  // HomeMigration.FaultsRacingHandoffsStayCoherent.
+  constexpr int kNodes = 4;
+  constexpr int kRounds = 10;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(),
+                adaptive_cfg(4, /*checker=*/true));
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().adaptive;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr a = fx.dsm.dsm_malloc(sizeof(long), attr);
+  attr.fixed_home = 1;
+  const DsmAddr b = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().adaptive);
+  fx.run_on_all_nodes([&](NodeId n) {
+    for (int r = 0; r < kRounds; ++r) {
+      fx.dsm.lock_acquire(lock);
+      const long va = fx.dsm.read<long>(a);
+      const long vb = fx.dsm.read<long>(b);
+      fx.dsm.write<long>(a, va + 1);
+      fx.dsm.write<long>(b, vb + 1);
+      fx.dsm.lock_release(lock);
+      (void)n;
+    }
+  });
+  fx.run([&] {
+    fx.dsm.lock_acquire(lock);
+    EXPECT_EQ(fx.dsm.read<long>(a), kNodes * kRounds);
+    EXPECT_EQ(fx.dsm.read<long>(b), kNodes * kRounds);
+    fx.dsm.lock_release(lock);
+  });
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kCheckerRaces), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kCheckerInvariantFails), 0u);
+  // Same-protocol agreement even without the checker's quiescence scan.
+  const PageId pa = fx.dsm.geometry().page_of(a);
+  const PageId pb = fx.dsm.geometry().page_of(b);
+  expect_bound_everywhere(fx, pa, fx.dsm.table(0).entry(pa).protocol, kNodes);
+  expect_bound_everywhere(fx, pb, fx.dsm.table(0).entry(pb).protocol, kNodes);
+}
+
+struct RunSignature {
+  SimTime end_time = 0;
+  std::uint64_t msgs = 0;
+  long final_value = 0;
+};
+
+/// A fixed li_hudak workload, with the adaptive machinery present-but-idle
+/// (flag on, no adaptive area) or absent (flag off).
+RunSignature fixed_run(bool adaptive_flag) {
+  DsmConfig cfg;
+  cfg.enable_adaptive_protocols = adaptive_flag;
+  DsmFixture fx(4, madeleine::bip_myrinet(), cfg);
+  AllocAttr attr;
+  attr.protocol = fx.dsm.builtin().li_hudak;
+  attr.home_policy = HomePolicy::kFixed;
+  attr.fixed_home = 0;
+  const DsmAddr x = fx.dsm.dsm_malloc(sizeof(long), attr);
+  const int lock = fx.dsm.create_lock(fx.dsm.builtin().li_hudak);
+  RunSignature sig;
+  const pm2::RunStats stats = fx.run([&] {
+    for (int r = 0; r < 3; ++r) {
+      for (NodeId n = 0; n < 4; ++n) {
+        auto& t = fx.rt.spawn_on(n, "w", [&] {
+          fx.dsm.lock_acquire(lock);
+          fx.dsm.write<long>(x, fx.dsm.read<long>(x) + 1);
+          fx.dsm.lock_release(lock);
+        });
+        fx.rt.threads().join(t);
+      }
+    }
+    fx.dsm.lock_acquire(lock);
+    sig.final_value = fx.dsm.read<long>(x);
+    fx.dsm.lock_release(lock);
+  });
+  sig.end_time = stats.end_time;
+  sig.msgs = wire_msgs(fx.rt);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kProtoSwitches), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kClassifyEvents), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kSwitchNacks), 0u);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kPagesReclassified), 0u);
+  return sig;
+}
+
+TEST(AdaptiveSwitch, DisabledIsBitIdentical) {
+  // Without an adaptive area the advisor must be pure overhead-free
+  // bookkeeping: same simulated schedule, same wire traffic, same data,
+  // all four adaptive counters zero — whether the flag is on or off.
+  const RunSignature off = fixed_run(false);
+  const RunSignature on = fixed_run(true);
+  EXPECT_EQ(off.end_time, on.end_time);
+  EXPECT_EQ(off.msgs, on.msgs);
+  EXPECT_EQ(off.final_value, 12);
+  EXPECT_EQ(on.final_value, 12);
+}
+
+TEST(AdaptiveSwitch, PatternNamesAreStable) {
+  // The bench JSON keys off these strings.
+  EXPECT_STREQ(pattern_name(AccessPattern::kUnknown), "unknown");
+  EXPECT_STREQ(pattern_name(AccessPattern::kMigratory), "migratory");
+  EXPECT_STREQ(pattern_name(AccessPattern::kReadMostly), "read_mostly");
+  EXPECT_STREQ(pattern_name(AccessPattern::kProducerConsumer),
+               "producer_consumer");
+  EXPECT_STREQ(pattern_name(AccessPattern::kFalseSharing), "false_sharing");
+}
+
+}  // namespace
+}  // namespace dsmpm2::dsm

@@ -137,6 +137,46 @@ TEST(Failover, KillBarrierCoordinatorBetweenGenerations) {
   EXPECT_GE(fx.dsm.counters().get(kBackup, Counter::kPromotions), 1u);
 }
 
+TEST(Failover, DeadPartyIsScrubbedSoSurvivorGenerationsComplete) {
+  // The victim is a full PARTY of two all-node barriers — one coordinated by
+  // a survivor (node 0), one by the victim itself — and dies mid-loop.
+  // Without the dead-party scrub the remaining parties block forever at the
+  // first generation the victim missed; with it, every coordinator stops
+  // expecting the corpse and the survivors cross all remaining generations.
+  constexpr int kRounds = 10;
+  DsmFixture fx(kNodes, madeleine::bip_myrinet(), failover_cfg(true));
+  const ProtocolId proto = fx.dsm.protocol_by_name("hbrc_mw");
+  const int b0 = fx.dsm.create_barrier(kNodes, proto);  // id 0 -> node 0
+  const int b1 = fx.dsm.create_barrier(kNodes, proto);  // id 1 -> the victim
+  int generations_done = 0;
+  fx.run([&] {
+    fx.rt.scheduler().schedule_background_at(
+        1_ms, [&] { fx.rt.kill_node(kVictim); });
+    std::vector<marcel::Thread*> workers;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      workers.push_back(&fx.rt.spawn_on(n, "party" + std::to_string(n), [&] {
+        // 300us per generation straddles the kill (1ms) and the promotion
+        // (~2ms): the victim completes a few generations (so the
+        // coordinators learn its membership), then vanishes mid-loop.
+        for (int r = 0; r < kRounds; ++r) {
+          fx.dsm.barrier_wait(b0);
+          fx.dsm.barrier_wait(b1);
+          fx.rt.compute(300_us);
+        }
+        ++generations_done;
+      }));
+    }
+    // Joining the victim's party would wait on a corpse: join survivors only.
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (static_cast<NodeId>(i) == kVictim) continue;
+      fx.rt.threads().join(*workers[i]);
+    }
+  });
+  // Every SURVIVOR crossed every generation of both barriers.
+  EXPECT_EQ(generations_done, kNodes - 1);
+  EXPECT_EQ(fx.dsm.counters().total(Counter::kFailovers), 1u);
+}
+
 TEST(Failover, KillNodeWithNoManagedRole) {
   // The dead node holds copies but manages nothing: promotion must be a
   // near-no-op (drop it from copysets, nothing to restore) and the workload

@@ -23,9 +23,18 @@ recorded in the artifact's "skipped" list: the healthy benches still merge
 and upload instead of one bad file hiding all the others.
 
 Usage: bench_summary.py [--dir build/bench] [--out BENCH_RESULTS.json]
+                        [--baseline BENCH_RESULTS.json]
 
-Exit status: 0 always (zero inputs prints a notice so a mis-pointed --dir is
-visible in CI logs; skipped files are warned about on stderr).
+With --baseline, the freshly merged summary is additionally compared against
+a previous BENCH_RESULTS.json: every time-valued series (point fields ending
+in `_us` / `_ms`, where lower is better) present in both is checked, and any
+that regressed by more than 20% is flagged. The simulator runs on virtual
+time, so these numbers are deterministic and machine-independent — a
+checked-in baseline is a real gate, not a noise lottery.
+
+Exit status: 0 normally (zero inputs prints a notice so a mis-pointed --dir
+is visible in CI logs; skipped files are warned about on stderr); nonzero
+when --baseline found at least one regression.
 """
 
 from __future__ import annotations
@@ -70,15 +79,87 @@ def merge(src_dir: Path, out_path: Path) -> int:
     return 0
 
 
+# Point fields that name an axis of the sweep rather than a measurement;
+# together with every string/bool field they identify a series.
+AXIS_KEYS = {"nodes", "rounds", "sharers", "dirty_pages", "homes", "pages",
+             "parties"}
+REGRESSION_BAR = 1.20
+
+
+def series_id(point: dict) -> tuple:
+    parts = []
+    for key, value in sorted(point.items()):
+        if isinstance(value, (str, bool)) or key in AXIS_KEYS:
+            parts.append((key, value))
+    return tuple(parts)
+
+
+def time_metrics(point: dict) -> dict[str, float]:
+    return {k: float(v) for k, v in point.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+            and (k.endswith("_us") or k.endswith("_ms"))}
+
+
+def compare(current: dict, baseline: dict) -> int:
+    """Returns the number of >20% time regressions vs the baseline summary."""
+    regressions = 0
+    base_benches = baseline.get("benches", {})
+    for name, payload in current.get("benches", {}).items():
+        base = base_benches.get(name)
+        if not isinstance(base, dict):
+            print(f"bench_summary: note: bench '{name}' has no baseline — "
+                  "skipped", file=sys.stderr)
+            continue
+        base_points = {series_id(p): p for p in base.get("points", [])
+                       if isinstance(p, dict)}
+        for point in payload.get("points", []):
+            if not isinstance(point, dict):
+                continue
+            ref = base_points.get(series_id(point))
+            if ref is None:
+                continue  # new series: nothing to regress against
+            for metric, value in time_metrics(point).items():
+                old = ref.get(metric)
+                if not isinstance(old, (int, float)) or old <= 0:
+                    continue
+                ratio = value / float(old)
+                if ratio > REGRESSION_BAR:
+                    regressions += 1
+                    ident = ", ".join(f"{k}={v}" for k, v in series_id(point))
+                    print(f"bench_summary: REGRESSION: {name} [{ident}] "
+                          f"{metric}: {old:g} -> {value:g} "
+                          f"({(ratio - 1) * 100:.1f}% worse)", file=sys.stderr)
+    return regressions
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--dir", type=Path, default=Path("build/bench"),
                     help="directory holding bench_*.json (default: build/bench)")
     ap.add_argument("--out", type=Path, default=None,
                     help="output path (default: <dir>/BENCH_RESULTS.json)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="previous BENCH_RESULTS.json to gate regressions "
+                         "against (>20% slower on any time series fails)")
     args = ap.parse_args()
     out = args.out if args.out else args.dir / "BENCH_RESULTS.json"
-    return merge(args.dir.resolve(), out)
+    status = merge(args.dir.resolve(), out)
+    if args.baseline is None:
+        return status
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_summary: ERROR: cannot read baseline "
+              f"{args.baseline}: {err}", file=sys.stderr)
+        return 2
+    regressions = compare(json.loads(out.read_text()), baseline)
+    if regressions:
+        print(f"bench_summary: {regressions} series regressed >"
+              f"{(REGRESSION_BAR - 1) * 100:.0f}% vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_summary: no time series regressed vs {args.baseline}")
+    return 0
 
 
 if __name__ == "__main__":
